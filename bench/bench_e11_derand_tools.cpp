@@ -1,0 +1,111 @@
+// Experiment E11 (extension: the GKM17/GHK18 machinery the paper builds
+// on): deterministic splitting via conditional expectations, and SLOCAL
+// algorithms with measured locality.
+//
+// Prediction: conditional expectations produce zero violations whenever the
+// initial estimator is < 1 (min degree >= log2(2|U|) + 1); SLOCAL greedy
+// MIS/coloring run at locality exactly 1 and the deterministic ball-carving
+// decomposition achieves (O(log n), O(log n)).
+#include <iostream>
+
+#include "core/api.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rlocal;
+  const CliArgs args(argc, argv);
+  const NodeId scale =
+      static_cast<NodeId>(args.get_int("scale", args.quick() ? 128 : 512));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  const int logn = ceil_log2(static_cast<std::uint64_t>(scale));
+
+  std::cout << "=== E11: derandomization tools (GKM17/GHK18 machinery) "
+               "===\n\n";
+
+  // Deterministic splitting.
+  std::cout << "conditional-expectation splitting:\n";
+  Table split({"instance", "degree", "initial E", "violations"});
+  for (const char* kind : {"random", "window"}) {
+    for (const int degree : {logn, 2 * logn, 4 * logn}) {
+      const BipartiteGraph h =
+          kind[0] == 'r' ? make_random_splitting_instance(scale, scale,
+                                                          degree, seed)
+                         : make_window_splitting_instance(scale, scale,
+                                                          degree);
+      const CondExpSplittingResult r = conditional_expectation_splitting(h);
+      split.add_row({kind, fmt(degree), fmt_sci(r.initial_estimate),
+                     fmt(r.violations)});
+    }
+  }
+  split.print(std::cout);
+
+  // SLOCAL algorithms with measured locality.
+  std::cout << "\nSLOCAL executor (locality is measured, not assumed):\n";
+  Table slocal({"graph", "algorithm", "locality", "valid"});
+  const auto zoo = make_zoo(scale, seed);
+  for (const auto& entry : zoo) {
+    if (entry.name != "gnp_sparse" && entry.name != "grid" &&
+        entry.name != "binary_tree") {
+      continue;
+    }
+    const Graph& g = entry.graph;
+    std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      order[static_cast<std::size_t>(v)] = v;
+    }
+    const SlocalResult mis = slocal_greedy_mis(g, order);
+    std::vector<bool> in_mis(static_cast<std::size_t>(g.num_nodes()));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      in_mis[static_cast<std::size_t>(v)] =
+          mis.state[static_cast<std::size_t>(v)] == 1;
+    }
+    slocal.add_row({entry.name, "greedy MIS", fmt(mis.locality),
+                    is_maximal_independent_set(g, in_mis) ? "yes" : "NO"});
+
+    const SlocalResult coloring = slocal_greedy_coloring(g, order);
+    std::vector<int> colors(static_cast<std::size_t>(g.num_nodes()));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      colors[static_cast<std::size_t>(v)] = static_cast<int>(
+          coloring.state[static_cast<std::size_t>(v)]);
+    }
+    slocal.add_row({entry.name, "greedy coloring", fmt(coloring.locality),
+                    is_valid_coloring(g, colors, g.max_degree() + 1)
+                        ? "yes"
+                        : "NO"});
+  }
+  slocal.print(std::cout);
+
+  // Deterministic ball carving (the PS92/Gha19 stand-in), and the payoff:
+  // deterministic MIS / coloring driven by the decomposition.
+  std::cout << "\ndeterministic ball-carving decomposition, and the MIS / "
+               "coloring it derandomizes:\n";
+  Table carve({"graph", "n", "valid", "colors", "diam", "2 log n", "MIS ok",
+               "col ok", "app rounds"});
+  for (const auto& entry : zoo) {
+    const Graph& g = entry.graph;
+    const BallCarvingResult r = ball_carving_decomposition(g);
+    const ValidationReport report = validate_decomposition(g,
+                                                           r.decomposition);
+    const DecompositionMisResult mis =
+        mis_from_decomposition(g, r.decomposition);
+    const DecompositionColoringResult coloring =
+        coloring_from_decomposition(g, r.decomposition);
+    carve.add_row({entry.name, fmt(g.num_nodes()),
+                   report.valid ? "yes" : "NO", fmt(report.colors_used),
+                   fmt(report.max_tree_diameter),
+                   fmt(2 * ceil_log2(static_cast<std::uint64_t>(
+                           g.num_nodes()))),
+                   is_maximal_independent_set(g, mis.in_mis) ? "yes" : "NO",
+                   is_valid_coloring(g, coloring.color, g.max_degree() + 1)
+                       ? "yes"
+                       : "NO",
+                   fmt(mis.rounds_charged)});
+  }
+  carve.print(std::cout);
+  std::cout << "\nprediction: zero violations whenever initial E < 1; "
+               "locality exactly 1; ball carving within (log n, 2 log n); "
+               "every decomposition-driven MIS/coloring deterministic and "
+               "valid.\n";
+  return 0;
+}

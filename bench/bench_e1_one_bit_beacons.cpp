@@ -1,0 +1,78 @@
+// Experiment E1 (Theorem 3.1, Lemmas 3.2/3.3): network decomposition when
+// the only randomness is one private bit per beacon, a beacon within h hops
+// of every node.
+//
+// Paper prediction: a valid (O(log n), h * poly(log n)) decomposition with
+// congestion 1, built in poly(log n) CONGEST rounds; non-isolated Lemma 3.2
+// clusters hold enough beacon bits. The ruling-set separation h' uses a
+// bench-scale value (the paper's 10kh exceeds these graph sizes; see
+// EXPERIMENTS.md), so gathered-bit shortfalls are *measured* rather than
+// assumed away: `dry` counts draws served after a cluster's pool ran out.
+#include <iostream>
+
+#include "core/api.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rlocal;
+  const CliArgs args(argc, argv);
+  const NodeId scale =
+      static_cast<NodeId>(args.get_int("scale", args.quick() ? 96 : 256));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::cout << "=== E1: Theorem 3.1 -- one random bit per h hops ===\n\n";
+  Table table({"graph", "n", "h", "placement", "#beacons", "hyp", "valid",
+               "colors", "diam", "cong", "rounds", "clusters", "min bits",
+               "dry"});
+
+  const auto zoo = make_zoo(scale, seed);
+  for (const auto& entry : zoo) {
+    const Graph& g = entry.graph;
+    for (const int h : {2, 4}) {
+      // greedy / sparse / random25 stress the hypothesis (few bits per
+      // cluster); dense pairs one bit per node with a separation wide
+      // enough that Lemma 3.2's bit guarantee holds at this scale.
+      for (const char* placement_name :
+           {"greedy", "sparse", "random25", "dense"}) {
+        const bool dense = placement_name[0] == 'd';
+        const BeaconPlacement placement =
+            placement_name[0] == 'g'
+                ? place_beacons_greedy(g, h)
+                : (placement_name[0] == 's'
+                       ? place_beacons_sparse(g, h)
+                       : place_beacons_random(g, h, dense ? 1.0 : 0.25,
+                                              seed + 31));
+        PrngBitSource beacon_bits(seed + h);
+        OneBitOptions options;
+        options.h_prime = dense ? std::max(4 * h + 1, 41) : 4 * h + 1;
+        const OneBitResult r =
+            one_bit_decomposition(g, placement, beacon_bits, options);
+        ValidationReport report;
+        if (r.all_clustered) {
+          report = validate_decomposition(g, r.decomposition);
+        }
+        // Lemma 3.2's bit guarantee needs h' = 10kh; the bench-scale h'
+        // can leave clusters short of bits ("dry" draws). Such rows run
+        // with the theorem's hypothesis unmet, so failures there are the
+        // expected behaviour, not a repro gap.
+        const bool hypothesis_met = r.exhausted_draws == 0;
+        table.add_row({entry.name, fmt(g.num_nodes()), fmt(h),
+                       placement_name, fmt(placement.beacons.size()),
+                       hypothesis_met ? "met" : "UNMET",
+                       report.valid ? "yes" : "NO", fmt(report.colors_used),
+                       fmt(report.max_tree_diameter),
+                       fmt(report.max_congestion), fmt(r.rounds_charged),
+                       fmt(r.num_clusters), fmt(r.min_bits_gathered),
+                       fmt(r.exhausted_draws)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: colors = O(log n), diameter = h * poly(log n), "
+               "congestion 1, rounds = poly(log n).\n"
+               "hyp = whether each non-isolated cluster held enough beacon "
+               "bits (Lemma 3.2's guarantee under the paper's h' = 10kh); "
+               "every hyp-met row must be valid, UNMET rows may fail.\n";
+  return 0;
+}

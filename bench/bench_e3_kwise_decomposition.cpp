@@ -1,0 +1,109 @@
+// Experiment E3 (Theorem 3.5): network decomposition under limited
+// independence, plus the conflict-free multicoloring reduction machinery.
+//
+// Paper prediction: poly(log n)-wise independent bits reproduce the
+// fully-independent Elkin-Neiman quality (colors O(log n), radius O(log n),
+// all nodes clustered); in the CF-multicoloring pipeline, k-wise marking
+// leaves Theta(log n) marked vertices in every large hyperedge.
+#include <cmath>
+#include <iostream>
+
+#include "core/api.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rlocal;
+  const CliArgs args(argc, argv);
+  const NodeId scale =
+      static_cast<NodeId>(args.get_int("scale", args.quick() ? 128 : 512));
+  const int trials =
+      static_cast<int>(args.get_int("trials", args.quick() ? 5 : 20));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  const int logn = ceil_log2(static_cast<std::uint64_t>(scale));
+
+  std::cout << "=== E3: Theorem 3.5 -- poly(log n)-wise independence ===\n\n";
+
+  // Part 1: EN decomposition quality vs independence parameter k.
+  Table table({"graph", "regime", "ok/trials", "colors(max)", "diam(max)",
+               "max shift", "bits/node"});
+  const Graph graphs[] = {make_gnp(scale, 4.0 / scale, seed),
+                          make_grid(static_cast<NodeId>(std::sqrt(
+                                        static_cast<double>(scale))),
+                                    static_cast<NodeId>(std::sqrt(
+                                        static_cast<double>(scale)))),
+                          make_cycle(scale)};
+  const char* names[] = {"gnp", "grid", "cycle"};
+  for (int gi = 0; gi < 3; ++gi) {
+    const Graph& g = graphs[gi];
+    const Regime regimes[] = {
+        Regime::full(),
+        Regime::kwise(2),
+        Regime::kwise(logn),
+        Regime::kwise(2 * logn * logn),
+        Regime::shared_kwise(64 * 2 * logn * logn),
+    };
+    for (const Regime& regime : regimes) {
+      int ok = 0;
+      int max_colors = 0;
+      int max_diam = 0;
+      int max_shift = 0;
+      Summary bits_per_node;
+      for (int t = 0; t < trials; ++t) {
+        NodeRandomness rnd(regime, seed + 50 + static_cast<std::uint64_t>(t));
+        const EnResult r = elkin_neiman_decomposition(g, rnd);
+        if (r.all_clustered) {
+          const ValidationReport report =
+              validate_decomposition(g, r.decomposition);
+          if (report.valid) {
+            ++ok;
+            max_colors = std::max(max_colors, report.colors_used);
+            max_diam = std::max(max_diam, report.max_tree_diameter);
+          }
+        }
+        max_shift = std::max(max_shift, r.max_shift);
+        bits_per_node.add(static_cast<double>(r.shift_bits) /
+                          g.num_nodes());
+      }
+      table.add_row({names[gi], regime.name(),
+                     fmt(ok) + "/" + fmt(trials), fmt(max_colors),
+                     fmt(max_diam), fmt(max_shift),
+                     fmt(bits_per_node.mean(), 1)});
+    }
+  }
+  table.print(std::cout);
+
+  // Part 2: conflict-free multicoloring with k-wise marking.
+  std::cout << "\nconflict-free multicoloring (k-wise marking reduction):\n";
+  Table cf({"vertices", "edges", "max |e|", "regime", "valid", "colors",
+            "marked min/max", "empty restr."});
+  const int cf_n = scale;
+  const Hypergraph h = make_classed_hypergraph(
+      cf_n, args.quick() ? 8 : 24, ceil_log2(static_cast<std::uint64_t>(
+                                       cf_n)),
+      seed + 9);
+  // A small-edge threshold of 2 log n makes the marking step fire at bench
+  // scale (the paper's poly(log n) threshold exceeds every edge here).
+  const int small_threshold = 2 * logn;
+  for (const Regime& regime :
+       {Regime::full(), Regime::kwise(2 * logn * logn)}) {
+    NodeRandomness rnd(regime, seed + 10);
+    const CfKwiseResult r = cf_multicolor_kwise(h, rnd, small_threshold);
+    cf.add_row({fmt(h.num_vertices), fmt(h.edges.size()),
+                fmt(h.max_edge_size()), regime.name(),
+                r.valid ? "yes" : "NO", fmt(r.coloring.num_colors),
+                fmt(r.min_marked) + "/" + fmt(r.max_marked),
+                fmt(r.empty_restrictions)});
+  }
+  const CfDeterministicResult det = cf_multicolor_deterministic(h);
+  cf.add_row({fmt(h.num_vertices), fmt(h.edges.size()),
+              fmt(h.max_edge_size()), "deterministic base",
+              is_conflict_free(h, det.coloring) ? "yes" : "NO",
+              fmt(det.coloring.num_colors), "-", "-"});
+  cf.print(std::cout);
+  std::cout << "\npaper: k = Theta(log^2 n)-wise independence matches full "
+               "independence; marking leaves Theta(log n) vertices per "
+               "large edge.\n";
+  return 0;
+}

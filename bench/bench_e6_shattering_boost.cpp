@@ -1,0 +1,70 @@
+// Experiment E6 (Theorem 4.2): error boosting via shattering.
+//
+// Paper prediction: (a) the base EN stage leaves, w.h.p., only components
+// whose (2t+1)-separated subsets are far below K = 2^{eps log^2 T}; (b) the
+// boosted pipeline (base + deterministic finish) never fails; (c) its round
+// cost stays T * poly(log n).
+#include <iostream>
+
+#include "core/api.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rlocal;
+  const CliArgs args(argc, argv);
+  const NodeId n =
+      static_cast<NodeId>(args.get_int("n", args.quick() ? 192 : 512));
+  const int trials =
+      static_cast<int>(args.get_int("trials", args.quick() ? 20 : 100));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 6));
+
+  std::cout << "=== E6: Theorem 4.2 -- boosting via shattering ===\n"
+            << "per-phase clustering probability >= 1/2, so `phases` "
+               "controls the base failure rate.\n\n";
+
+  Table table({"graph", "base phases", "base fail rate", "leftover(max)",
+               "sep set(max)", "boosted fails", "colors(max)",
+               "rounds(max)"});
+  std::vector<std::pair<std::string, Graph>> workloads;
+  workloads.emplace_back("cycle", make_cycle(n));
+  workloads.emplace_back("caterpillar", make_caterpillar(n / 4, 3));
+  workloads.emplace_back("gnp", make_gnp(n, 3.0 / n, seed));
+  for (const auto& [name, g] : workloads) {
+    for (const int phases : {1, 2, 4, 8}) {
+      int base_failures = 0;
+      int boosted_failures = 0;
+      int max_leftover = 0;
+      int max_separated = 0;
+      int max_colors = 0;
+      int max_rounds = 0;
+      for (int t = 0; t < trials; ++t) {
+        NodeRandomness rnd(Regime::full(),
+                           seed + 100 + static_cast<std::uint64_t>(t));
+        ShatteringOptions options;
+        options.base_phases = phases;
+        options.en.shift_cap = 6;  // small t keeps stage 2 exercised
+        const ShatteringResult r = boosted_decomposition(g, rnd, options);
+        if (!r.base_complete) ++base_failures;
+        max_leftover = std::max(max_leftover, r.leftover_nodes);
+        max_separated = std::max(max_separated, r.separated_set_size);
+        const ValidationReport report =
+            validate_decomposition(g, r.decomposition);
+        if (!r.success || !report.valid) ++boosted_failures;
+        max_colors = std::max(max_colors, report.colors_used);
+        max_rounds = std::max(max_rounds, r.total_rounds);
+      }
+      table.add_row({name, fmt(phases),
+                     fmt(static_cast<double>(base_failures) / trials, 3),
+                     fmt(max_leftover), fmt(max_separated),
+                     fmt(boosted_failures) + "/" + fmt(trials),
+                     fmt(max_colors), fmt(max_rounds)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: base failure decays ~2^-phases per node; separated "
+               "leftover sets stay tiny; the boosted column must be all "
+               "zero.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Experiment E7 (Lemma 4.1): the union-bound derandomization, computed
+// exactly at the only scale where it is computable.
+//
+// Paper prediction: once the per-graph failure probability of the
+// randomized algorithm drops below 1/|G_n|, a perfect seed assignment must
+// exist -- and the enumeration finds (many of) them. With a too-small round
+// budget the mean failure rate is positive yet perfect seeds still exist,
+// illustrating that the argument needs only "not every seed fails
+// somewhere".
+#include <iostream>
+
+#include "core/api.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rlocal;
+  const CliArgs args(argc, argv);
+  const int max_n = static_cast<int>(args.get_int("max_n", 4));
+
+  std::cout << "=== E7: Lemma 4.1 -- brute-force derandomization ===\n"
+            << "algorithm: Luby MIS, priorities fixed per identifier\n\n";
+  Table table({"max n", "bits/id", "budget", "|family|", "|seeds|",
+               "perfect seeds", "mean fail", "worst fail", "derandomizable"});
+  for (const int bits : {1, 2, 3}) {
+    for (const int budget : {1, 2, 3}) {
+      BruteForceOptions options;
+      options.max_n = max_n;
+      options.bits_per_id = bits;
+      options.round_budget = budget;
+      if (options.bits_per_id * options.max_n > 16) continue;
+      const BruteForceResult r = brute_force_derandomize_mis(options);
+      table.add_row(
+          {fmt(options.max_n), fmt(bits), fmt(budget),
+           fmt(r.graphs_in_family), fmt(r.seed_assignments),
+           fmt(r.perfect_seeds), fmt(r.mean_failure_fraction, 4),
+           fmt(r.worst_failures), r.derandomizable ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+
+  // The Lemma 4.1 arithmetic at this scale.
+  std::cout << "\nLemma 4.1 counting: |G_n| < 2^{n^2}; an algorithm with "
+               "failure < 2^{-n^2} <= 1/|G_n| on every member leaves some "
+               "seed that fails nowhere (visible above: perfect seeds "
+               "exist whenever mean fail < 1/|family|... and in fact far "
+               "beyond).\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Microbenchmarks (google-benchmark): simulator throughput and randomness
+// generator costs. Performance baseline, not a paper claim.
+#include <benchmark/benchmark.h>
+
+#include "core/api.hpp"
+
+namespace {
+
+using namespace rlocal;
+
+void BM_EngineFloodGrid(benchmark::State& state) {
+  const auto side = static_cast<NodeId>(state.range(0));
+  const Graph g = make_grid(side, side);
+  for (auto _ : state) {
+    const FloodMinResult r = run_flood_min(g, 2 * side);
+    benchmark::DoNotOptimize(r.min_id.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_EngineFloodGrid)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EngineLubyMis(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = make_gnp(n, 6.0 / n, 7);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    NodeRandomness rnd(Regime::full(), ++seed);
+    const LubyMisResult r = run_luby_mis(g, rnd);
+    benchmark::DoNotOptimize(r.in_mis.size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_EngineLubyMis)->Arg(64)->Arg(256);
+
+void BM_ReferenceLubyMis(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = make_gnp(n, 6.0 / n, 7);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    NodeRandomness rnd(Regime::full(), ++seed);
+    const LubyMisResult r = reference_luby_mis(g, rnd);
+    benchmark::DoNotOptimize(r.in_mis.size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_ReferenceLubyMis)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_KWiseValue(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const KWiseGenerator gen = KWiseGenerator::from_seed(k, 64, 3);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.value(++x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KWiseValue)->Arg(2)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_EpsBiasBit(benchmark::State& state) {
+  const EpsBiasGenerator gen =
+      EpsBiasGenerator::from_seed(static_cast<int>(state.range(0)), 3);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.bit(++i));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpsBiasBit)->Arg(16)->Arg(32)->Arg(48);
+
+void BM_ElkinNeiman(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = make_gnp(n, 4.0 / n, 5);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    NodeRandomness rnd(Regime::full(), ++seed);
+    const EnResult r = elkin_neiman_decomposition(g, rnd);
+    benchmark::DoNotOptimize(r.phases_used);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_ElkinNeiman)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Quickstart: build a graph, compute a network decomposition three ways
+// (standard randomness, poly(log n)-wise independence, shared seed), and
+// validate each result.
+//
+//   ./quickstart [--n=1024] [--seed=7]
+#include <cmath>
+#include <iostream>
+
+#include "core/api.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rlocal;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<NodeId>(args.get_int("n", 1024));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  std::cout << "rlocal " << version() << " quickstart\n";
+  const auto side = static_cast<NodeId>(std::max(4.0, std::sqrt(double(n))));
+  const Graph g = make_grid(side, side);
+  std::cout << "graph: " << side << "x" << side << " grid, "
+            << g.num_nodes() << " nodes, " << g.num_edges() << " edges\n\n";
+
+  const int logn = ceil_log2(static_cast<std::uint64_t>(g.num_nodes()));
+  const Regime regimes[] = {
+      Regime::full(),
+      Regime::kwise(2 * logn * logn),
+      Regime::shared_kwise(64 * 2 * logn * logn),
+  };
+  for (const Regime& regime : regimes) {
+    const DecomposeSummary summary = decompose(g, regime, seed);
+    const ValidationReport report =
+        validate_decomposition(g, summary.decomposition);
+    std::cout << "regime " << regime.name() << ":\n"
+              << "  valid            = " << (report.valid ? "yes" : "NO")
+              << (report.valid ? "" : " (" + report.error + ")") << "\n"
+              << "  colors           = " << report.colors_used << "\n"
+              << "  max cluster diam = " << report.max_tree_diameter << "\n"
+              << "  congestion       = " << report.max_congestion << "\n"
+              << "  strong diameter  = "
+              << (report.strong_diameter ? "yes" : "no") << "\n"
+              << "  rounds (CONGEST) = " << summary.rounds_charged << "\n\n";
+    if (!report.valid) return 1;
+  }
+  std::cout << "All decompositions valid. The paper's point: the last two "
+               "used exponentially less randomness than the first.\n";
+  return 0;
+}

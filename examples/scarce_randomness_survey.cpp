@@ -1,0 +1,56 @@
+// Survey: classic local problems (MIS, (Delta+1)-coloring, splitting) run
+// under the paper's scarce-randomness regimes. The punchline of Section 3:
+// poly(log n)-wise independence or a poly(log n)-bit shared seed changes
+// essentially nothing.
+//
+//   ./scarce_randomness_survey [--n=512] [--seed=11]
+#include <cmath>
+#include <iostream>
+
+#include "core/api.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rlocal;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<NodeId>(args.get_int("n", 512));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+
+  const Graph g = make_gnp(n, 6.0 / static_cast<double>(n), seed);
+  const BipartiteGraph h =
+      make_random_splitting_instance(n, n, 4 * ceil_log2(
+                                               static_cast<std::uint64_t>(n)),
+                                     seed + 1);
+  const int logn = ceil_log2(static_cast<std::uint64_t>(n));
+
+  const Regime regimes[] = {
+      Regime::full(),
+      Regime::kwise(4),
+      Regime::kwise(2 * logn * logn),
+      Regime::shared_kwise(64 * 2 * logn * logn),
+      Regime::shared_epsbias(4 * logn),
+  };
+
+  Table table({"regime", "MIS ok", "MIS iters", "coloring ok",
+               "splitting violations"});
+  for (const Regime& regime : regimes) {
+    NodeRandomness rnd(regime, seed + 2);
+    const LubyMisResult mis = reference_luby_mis(g, rnd);
+    RLOCAL_CHECK(!mis.success || is_maximal_independent_set(g, mis.in_mis),
+                 "Luby produced a non-MIS");
+    NodeRandomness rnd2(regime, seed + 3);
+    const ColoringResult coloring = random_coloring(g, rnd2);
+    NodeRandomness rnd3(regime, seed + 4);
+    const SplittingResult split = random_splitting(h, rnd3);
+    table.add_row({regime.name(), mis.success ? "yes" : "NO",
+                   fmt(mis.iterations), coloring.success ? "yes" : "NO",
+                   fmt(split.violations)});
+  }
+  std::cout << "G(n, 6/n) with n = " << n << "; splitting: " << h.num_left()
+            << " constraints of degree " << h.min_left_degree() << "\n\n";
+  table.print(std::cout);
+  std::cout << "\nEvery regime below 'full' uses only poly(log n) seed "
+               "randomness -- the paper's Section 3 in action.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "core/api.hpp"
+
+namespace rlocal {
+
+const char* version() { return "1.0.0"; }
+
+DecomposeSummary decompose(const Graph& g, const Regime& regime,
+                           std::uint64_t seed) {
+  DecomposeSummary summary;
+  switch (regime.kind) {
+    case RegimeKind::kFull:
+    case RegimeKind::kKWise: {
+      NodeRandomness rnd(regime, seed);
+      EnResult result = elkin_neiman_decomposition(g, rnd);
+      summary.success = result.all_clustered;
+      summary.colors = result.decomposition.num_colors;
+      summary.rounds_charged = result.rounds_charged;
+      summary.decomposition = std::move(result.decomposition);
+      return summary;
+    }
+    case RegimeKind::kSharedKWise:
+    case RegimeKind::kSharedEpsBias: {
+      RLOCAL_CHECK(regime.kind == RegimeKind::kSharedKWise,
+                   "shared eps-bias seeds are too short to drive the "
+                   "Theorem 3.6 construction; use shared_kwise");
+      NodeRandomness rnd(regime, seed);
+      SharedCongestResult result =
+          shared_randomness_decomposition(g, rnd);
+      summary.success = result.all_clustered;
+      summary.colors = result.decomposition.num_colors;
+      summary.rounds_charged = result.rounds_charged;
+      summary.decomposition = std::move(result.decomposition);
+      return summary;
+    }
+    case RegimeKind::kAllZeros:
+    case RegimeKind::kAllOnes:
+      RLOCAL_CHECK(false,
+                   "adversarial constant regimes are for failure-injection "
+                   "tests, not decomposition");
+  }
+  RLOCAL_ASSERT(false);
+}
+
+}  // namespace rlocal

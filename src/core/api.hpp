@@ -1,0 +1,53 @@
+// Umbrella header: everything a library user needs.
+//
+//   #include "core/api.hpp"
+//
+//   rlocal::Graph g = rlocal::make_grid(32, 32);
+//   rlocal::NodeRandomness rnd(rlocal::Regime::kwise(128), /*seed=*/1);
+//   auto result = rlocal::elkin_neiman_decomposition(g, rnd);
+//   auto report = rlocal::validate_decomposition(g, result.decomposition);
+//
+// or, theorem-shaped:
+//
+//   auto nd = rlocal::theorems::theorem_3_6(g, /*seed=*/1);
+#pragma once
+
+#include "core/theorems.hpp"
+#include "decomp/ball_carving.hpp"
+#include "decomp/cluster_graph.hpp"
+#include "decomp/decomposition.hpp"
+#include "decomp/ruling_set.hpp"
+#include "derand/applications.hpp"
+#include "derand/cond_exp.hpp"
+#include "derand/slocal.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "problems/coloring.hpp"
+#include "problems/conflict_free.hpp"
+#include "problems/mis.hpp"
+#include "sim/engine.hpp"
+#include "sim/programs/bfs_tree.hpp"
+#include "sim/programs/flood.hpp"
+#include "sim/programs/luby.hpp"
+#include "sim/programs/top_two.hpp"
+#include "support/math.hpp"
+
+namespace rlocal {
+
+/// Library version, bumped with releases.
+const char* version();
+
+/// Convenience: decompose `g` under the given randomness regime with the
+/// algorithm matching the paper's setting for that regime
+/// (full/k-wise -> Elkin-Neiman; shared seeds -> Theorem 3.6's CONGEST
+/// construction). Throws InvariantError for the adversarial regimes.
+struct DecomposeSummary {
+  Decomposition decomposition;
+  bool success = false;
+  int colors = 0;
+  int rounds_charged = 0;
+};
+DecomposeSummary decompose(const Graph& g, const Regime& regime,
+                           std::uint64_t seed);
+
+}  // namespace rlocal

@@ -1,0 +1,75 @@
+#include "core/theorems.hpp"
+
+#include <algorithm>
+
+#include "support/math.hpp"
+
+namespace rlocal::theorems {
+
+namespace {
+int logn_of(const Graph& g) {
+  return log2n(static_cast<std::uint64_t>(std::max<NodeId>(2,
+                                                           g.num_nodes())));
+}
+}  // namespace
+
+OneBitResult theorem_3_1(const Graph& g, int h, std::uint64_t seed,
+                         int bits_per_cluster, int h_prime) {
+  const BeaconPlacement placement = place_beacons_greedy(g, h);
+  PrngBitSource beacon_bits(seed);
+  OneBitOptions options;
+  options.bits_per_cluster = bits_per_cluster;
+  options.h_prime = h_prime;
+  return one_bit_decomposition(g, placement, beacon_bits, options);
+}
+
+SplittingResult lemma_3_4(const BipartiteGraph& h, std::uint64_t seed,
+                          int shared_bits) {
+  const int bits =
+      shared_bits > 0
+          ? shared_bits
+          : 4 * log2n(static_cast<std::uint64_t>(std::max<std::int32_t>(
+                    2, h.num_left() + h.num_right())));
+  NodeRandomness rnd(Regime::shared_epsbias(bits), seed);
+  return random_splitting(h, rnd);
+}
+
+EnResult theorem_3_5(const Graph& g, std::uint64_t seed, int k) {
+  const int logn = logn_of(g);
+  const int kk = k > 0 ? k : 2 * logn * logn;
+  NodeRandomness rnd(Regime::kwise(kk), seed);
+  return elkin_neiman_decomposition(g, rnd);
+}
+
+SharedCongestResult theorem_3_6(const Graph& g, std::uint64_t seed,
+                                int shared_bits,
+                                const SharedCongestOptions& options) {
+  const int logn = logn_of(g);
+  const int bits = shared_bits > 0 ? shared_bits : 64 * 2 * logn * logn;
+  NodeRandomness rnd(Regime::shared_kwise(bits), seed);
+  return shared_randomness_decomposition(g, rnd, options);
+}
+
+OneBitResult theorem_3_7(const Graph& g, int h, std::uint64_t seed,
+                         int bits_per_cluster, int h_prime) {
+  const BeaconPlacement placement = place_beacons_greedy(g, h);
+  PrngBitSource beacon_bits(seed);
+  OneBitOptions options;
+  options.bits_per_cluster = bits_per_cluster;
+  options.h_prime = h_prime;
+  return one_bit_strong_decomposition(g, placement, beacon_bits, options);
+}
+
+ShatteringResult theorem_4_2(const Graph& g, std::uint64_t seed,
+                             int base_phases) {
+  NodeRandomness rnd(Regime::full(), seed);
+  ShatteringOptions options;
+  options.base_phases = base_phases;
+  return boosted_decomposition(g, rnd, options);
+}
+
+BruteForceResult lemma_4_1(const BruteForceOptions& options) {
+  return brute_force_derandomize_mis(options);
+}
+
+}  // namespace rlocal::theorems

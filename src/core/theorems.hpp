@@ -1,0 +1,60 @@
+// One-call pipelines named after the paper's results, wired with the
+// paper's default parameters (scaled as documented in EXPERIMENTS.md where
+// the asymptotic constants exceed bench-scale graphs). This is the
+// recommended entry point for users reproducing a specific theorem; the
+// underlying modules stay available for custom parameterizations.
+#pragma once
+
+#include <cstdint>
+
+#include "decomp/beacons.hpp"
+#include "decomp/elkin_neiman.hpp"
+#include "decomp/one_bit.hpp"
+#include "decomp/shared_congest.hpp"
+#include "derand/brute_force.hpp"
+#include "derand/lie.hpp"
+#include "derand/shattering.hpp"
+#include "graph/bipartite.hpp"
+#include "problems/splitting.hpp"
+
+namespace rlocal::theorems {
+
+/// Theorem 3.1: one private bit per beacon, beacons within h hops of every
+/// node => (O(log n), h poly(log n)) decomposition, congestion 1, CONGEST.
+/// `bits_per_cluster <= 0` uses the Lemma 3.3 default.
+OneBitResult theorem_3_1(const Graph& g, int h, std::uint64_t seed,
+                         int bits_per_cluster = 0, int h_prime = 0);
+
+/// Lemma 3.4: splitting with O(log n) bits of shared randomness, zero
+/// rounds (via the Naor-Naor-style small-bias space).
+SplittingResult lemma_3_4(const BipartiteGraph& h, std::uint64_t seed,
+                          int shared_bits = 0);
+
+/// Theorem 3.5: network decomposition with poly(log n) parameters using
+/// poly(log n)-wise independent bits (constructively: EN under the k-wise
+/// regime). `k <= 0` uses 2 * ceil(log2 n)^2.
+EnResult theorem_3_5(const Graph& g, std::uint64_t seed, int k = 0);
+
+/// Theorem 3.6: (O(log n), O(log^2 n)) decomposition, congestion 1,
+/// poly(log n) CONGEST rounds, poly(log n) shared bits, no private
+/// randomness. `shared_bits <= 0` uses 64 * 2 * ceil(log2 n)^2.
+SharedCongestResult theorem_3_6(const Graph& g, std::uint64_t seed,
+                                int shared_bits = 0,
+                                const SharedCongestOptions& options = {});
+
+/// Theorem 3.7: the beacon setting of Theorem 3.1, but with strong diameter
+/// O(log^2 n) (no h factor).
+OneBitResult theorem_3_7(const Graph& g, int h, std::uint64_t seed,
+                         int bits_per_cluster = 0, int h_prime = 0);
+
+/// Theorem 4.2: error-boosted decomposition via shattering.
+ShatteringResult theorem_4_2(const Graph& g, std::uint64_t seed,
+                             int base_phases = 0);
+
+/// Lemma 4.1: exhaustive derandomization over a full graph family.
+BruteForceResult lemma_4_1(const BruteForceOptions& options = {});
+
+/// Theorems 4.3 / 4.6 are bound calculators plus the inflated runner; see
+/// derand/lie.hpp (re-exported through this header).
+
+}  // namespace rlocal::theorems

@@ -1,0 +1,152 @@
+#include "decomp/ball_carving.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "support/math.hpp"
+
+namespace rlocal {
+
+BallCarvingResult ball_carving_decomposition(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  BallCarvingResult result;
+  std::vector<NodeId> owner(n, -1);
+  std::vector<int> color(n, -1);
+  std::vector<NodeId> parent(n, -1);
+
+  // Nodes still wanting a cluster, processed phase by phase.
+  std::vector<bool> active(n, g.num_nodes() > 0);
+  std::size_t remaining = n;
+
+  // Node processing order: ascending identifier (deterministic and
+  // independent of index layout).
+  std::vector<NodeId> id_order(n);
+  std::iota(id_order.begin(), id_order.end(), 0);
+  std::sort(id_order.begin(), id_order.end(),
+            [&g](NodeId a, NodeId b) { return g.id(a) < g.id(b); });
+
+  int phase = 0;
+  std::vector<bool> in_phase(n, false);
+  std::vector<std::int32_t> dist(n, -1);
+  while (remaining > 0) {
+    RLOCAL_ASSERT(phase <= 2 * log2n(static_cast<std::uint64_t>(n)) + 2);
+    // U := nodes available to this phase; D := nodes deferred to the next.
+    for (std::size_t v = 0; v < n; ++v) in_phase[v] = active[v];
+    for (const NodeId v : id_order) {
+      if (!in_phase[static_cast<std::size_t>(v)]) continue;
+      // Grow a ball around v inside G[in_phase] while the next layer at
+      // least doubles it.
+      std::vector<NodeId> ball{v};
+      std::vector<NodeId> boundary;
+      dist[static_cast<std::size_t>(v)] = 0;
+      parent[static_cast<std::size_t>(v)] = -1;
+      std::size_t interior_end = 1;  // prefix of `ball` that is interior
+      int radius = 0;
+      std::deque<NodeId> frontier{v};
+      while (true) {
+        // Expand one layer.
+        std::vector<NodeId> next_layer;
+        for (const NodeId x : frontier) {
+          for (const NodeId u : g.neighbors(x)) {
+            if (!in_phase[static_cast<std::size_t>(u)]) continue;
+            if (dist[static_cast<std::size_t>(u)] != -1) continue;
+            dist[static_cast<std::size_t>(u)] =
+                dist[static_cast<std::size_t>(x)] + 1;
+            parent[static_cast<std::size_t>(u)] = x;
+            next_layer.push_back(u);
+          }
+        }
+        if (next_layer.empty()) {
+          boundary.clear();
+          break;  // ball swallowed its whole in-phase component
+        }
+        if (ball.size() + next_layer.size() >= 2 * ball.size()) {
+          // Layer doubles the ball: absorb it and keep growing.
+          for (const NodeId u : next_layer) ball.push_back(u);
+          interior_end = ball.size();
+          frontier.assign(next_layer.begin(), next_layer.end());
+          ++radius;
+        } else {
+          boundary = std::move(next_layer);
+          break;
+        }
+      }
+      // Carve: interior becomes a cluster of this phase's color; boundary is
+      // deferred; both leave the phase.
+      result.max_ball_radius = std::max(result.max_ball_radius, radius);
+      for (std::size_t i = 0; i < interior_end; ++i) {
+        const NodeId u = ball[i];
+        owner[static_cast<std::size_t>(u)] = v;
+        color[static_cast<std::size_t>(u)] = phase;
+        in_phase[static_cast<std::size_t>(u)] = false;
+        active[static_cast<std::size_t>(u)] = false;
+        --remaining;
+      }
+      for (const NodeId u : boundary) {
+        in_phase[static_cast<std::size_t>(u)] = false;  // deferred
+      }
+      // Reset scratch distances for the touched nodes.
+      for (const NodeId u : ball) dist[static_cast<std::size_t>(u)] = -1;
+      for (const NodeId u : boundary) dist[static_cast<std::size_t>(u)] = -1;
+    }
+    ++phase;
+  }
+  result.phases = phase;
+  // Owner of a center must be itself; parents inside carved balls point one
+  // layer toward the center and never leave the ball (they were assigned
+  // during the ball's own BFS). Boundary nodes had parents assigned during
+  // some ball's BFS but were deferred; their labels get overwritten when
+  // they are carved later, so reset stale parents of centers only.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (owner[v] == static_cast<NodeId>(v)) parent[v] = -1;
+  }
+  result.decomposition =
+      decomposition_from_labels(g, owner, color, parent, false);
+  return result;
+}
+
+SmallComponentsResult decompose_components_by_gathering(const Graph& g) {
+  SmallComponentsResult result;
+  const Components comps = connected_components(g);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::vector<NodeId>> members(
+      static_cast<std::size_t>(comps.count));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    members[static_cast<std::size_t>(
+                comps.component[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+  std::vector<NodeId> owner(n, -1);
+  std::vector<int> color(n, -1);
+  std::vector<NodeId> parent(n, -1);
+  int colors = 0;
+  int max_diam = 0;
+  for (const auto& comp_nodes : members) {
+    const InducedSubgraph sub = induced_subgraph(g, comp_nodes);
+    max_diam = std::max(max_diam, diameter(sub.graph));
+    const BallCarvingResult carved = ball_carving_decomposition(sub.graph);
+    colors = std::max(colors, carved.phases);
+    for (const auto& cluster : carved.decomposition.clusters) {
+      for (const NodeId local : cluster.members) {
+        const NodeId global = sub.origin[static_cast<std::size_t>(local)];
+        owner[static_cast<std::size_t>(global)] =
+            sub.origin[static_cast<std::size_t>(cluster.center)];
+        color[static_cast<std::size_t>(global)] = cluster.color;
+      }
+      for (const auto& [child, par] : cluster.tree_edges) {
+        parent[static_cast<std::size_t>(
+            sub.origin[static_cast<std::size_t>(child)])] =
+            sub.origin[static_cast<std::size_t>(par)];
+      }
+    }
+  }
+  result.decomposition =
+      decomposition_from_labels(g, owner, color, parent, false);
+  result.colors = colors;
+  result.rounds_charged = max_diam + 2;
+  return result;
+}
+
+}  // namespace rlocal

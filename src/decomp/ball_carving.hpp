@@ -1,0 +1,46 @@
+// Deterministic sequential ball-carving network decomposition.
+//
+// This is the classic ball-growing argument (Awerbuch-Peleg / Linial-Saks
+// style): within a phase, repeatedly grow a ball from an arbitrary live node
+// until the next BFS layer would double it (possible for at most log2 n
+// steps), carve the interior as a cluster of this phase's color, and defer
+// the boundary layer to the next phase. Boundaries are at most half of a
+// phase's nodes, so O(log n) phases/colors suffice; carved balls have strong
+// radius <= log2 n. Same-phase clusters are non-adjacent because each carve
+// removes its boundary from the phase.
+//
+// Role in this library: it is the deterministic substrate standing in for
+// the Panconesi-Srinivasan [PS92] / Ghaffari [Gha19] deterministic
+// decompositions, used (a) on the poly(log n)-size leftover cluster graphs
+// of the Theorem 4.2 shattering pipeline after gathering them at a leader,
+// (b) as an SLOCAL algorithm with locality O(log n) (it reads only
+// O(log n)-radius balls), and (c) as a baseline in experiments.
+#pragma once
+
+#include "decomp/decomposition.hpp"
+#include "graph/graph.hpp"
+
+namespace rlocal {
+
+struct BallCarvingResult {
+  Decomposition decomposition;
+  int phases = 0;           ///< colors used
+  int max_ball_radius = 0;  ///< max carved-ball radius (<= log2 n)
+};
+
+/// Deterministic; node order inside phases follows ascending identifiers.
+BallCarvingResult ball_carving_decomposition(const Graph& g);
+
+/// Runs ball carving independently inside every connected component, then
+/// reuses one palette across components (components cannot conflict). As a
+/// LOCAL-model algorithm this costs O(max component diameter) rounds
+/// (gather + local computation + scatter) -- the gather-and-solve
+/// substitution documented in DESIGN.md.
+struct SmallComponentsResult {
+  Decomposition decomposition;
+  int colors = 0;
+  int rounds_charged = 0;  ///< max component diameter + 2
+};
+SmallComponentsResult decompose_components_by_gathering(const Graph& g);
+
+}  // namespace rlocal

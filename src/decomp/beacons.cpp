@@ -1,0 +1,184 @@
+#include "decomp/beacons.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "support/math.hpp"
+
+namespace rlocal {
+
+BeaconPlacement place_beacons_greedy(const Graph& g, int h) {
+  RLOCAL_CHECK(h >= 0, "covering radius must be non-negative");
+  BeaconPlacement placement;
+  placement.h = h;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<bool> covered(n, false);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&g](NodeId a, NodeId b) { return g.id(a) < g.id(b); });
+  for (const NodeId v : order) {
+    if (covered[static_cast<std::size_t>(v)]) continue;
+    placement.beacons.push_back(v);
+    const auto dist = bfs_distances(g, v);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (dist[static_cast<std::size_t>(u)] <= h) {
+        covered[static_cast<std::size_t>(u)] = true;
+      }
+    }
+  }
+  return placement;
+}
+
+BeaconPlacement place_beacons_sparse(const Graph& g, int h) {
+  RLOCAL_CHECK(h >= 0, "covering radius must be non-negative");
+  BeaconPlacement placement;
+  placement.h = h;
+  if (g.num_nodes() == 0) return placement;
+  // Farthest-first within each component until everything is covered.
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::int32_t> dist(n, kUnreachable);
+  while (true) {
+    // Node farthest from the current beacon set (per component: infinite
+    // distance nodes are uncovered components).
+    NodeId farthest = -1;
+    std::int32_t best = -1;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const std::int32_t d = dist[static_cast<std::size_t>(v)];
+      if (d > best) {
+        best = d;
+        farthest = v;
+      }
+    }
+    if (placement.beacons.empty()) {
+      farthest = 0;
+      best = kUnreachable;
+    }
+    if (best <= h) break;  // everything within h of a beacon
+    placement.beacons.push_back(farthest);
+    dist = multi_source_distances(g, placement.beacons);
+  }
+  return placement;
+}
+
+BeaconPlacement place_beacons_random(const Graph& g, int h, double density,
+                                     std::uint64_t seed) {
+  RLOCAL_CHECK(density >= 0.0 && density <= 1.0, "density is a probability");
+  BeaconPlacement placement;
+  placement.h = h;
+  Xoshiro256 rng(seed);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double u =
+        static_cast<double>(rng() >> 11) * 0x1.0p-53;  // uniform [0,1)
+    if (u < density) placement.beacons.push_back(v);
+  }
+  // Repair: greedily add beacons for uncovered nodes.
+  auto dist = placement.beacons.empty()
+                  ? std::vector<std::int32_t>(
+                        static_cast<std::size_t>(g.num_nodes()), kUnreachable)
+                  : multi_source_distances(g, placement.beacons);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[static_cast<std::size_t>(v)] > h) {
+      placement.beacons.push_back(v);
+      const auto fresh = bfs_distances(g, v);
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        dist[static_cast<std::size_t>(u)] = std::min(
+            dist[static_cast<std::size_t>(u)],
+            fresh[static_cast<std::size_t>(u)]);
+      }
+    }
+  }
+  std::sort(placement.beacons.begin(), placement.beacons.end());
+  placement.beacons.erase(
+      std::unique(placement.beacons.begin(), placement.beacons.end()),
+      placement.beacons.end());
+  return placement;
+}
+
+bool placement_covers(const Graph& g, const BeaconPlacement& placement) {
+  if (g.num_nodes() == 0) return true;
+  if (placement.beacons.empty()) return false;
+  const auto dist = multi_source_distances(g, placement.beacons);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[static_cast<std::size_t>(v)] > placement.h) return false;
+  }
+  return true;
+}
+
+BitGatheringResult gather_cluster_bits(const Graph& g,
+                                       const BeaconPlacement& placement,
+                                       int k, BitSource& beacon_bits,
+                                       int h_prime) {
+  RLOCAL_CHECK(k >= 1, "must gather at least one bit");
+  RLOCAL_CHECK(placement_covers(g, placement),
+               "beacon placement violates the h-hop promise");
+  BitGatheringResult result;
+  const int h = std::max(1, placement.h);
+  result.h_prime = h_prime > 0 ? h_prime : 10 * k * h;
+
+  // Step 1: (h', h' * B)-ruling set over all nodes (paper: Lemma 3.2).
+  std::vector<NodeId> all(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(all.begin(), all.end(), 0);
+  const RulingSetResult ruling = ruling_set(g, all, result.h_prime);
+  result.centers = ruling.set;
+  result.cluster_radius_bound = ruling.beta;
+  result.rounds_charged += ruling.rounds_charged;
+
+  // Step 2: Voronoi clusters around the centers (flooding, beta rounds).
+  const VoronoiResult voronoi = voronoi_clusters(g, ruling.set);
+  result.owner = voronoi.owner;
+  result.parent = voronoi.parent;
+  result.dist = voronoi.dist;
+  result.rounds_charged += ruling.beta;
+
+  // Step 3: each beacon's single private bit is drawn and up-cast to its
+  // cluster center (pipelined up-cast: radius + #bits rounds).
+  const auto num_clusters = result.centers.size();
+  std::vector<NodeId> cluster_index(static_cast<std::size_t>(g.num_nodes()),
+                                    -1);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    cluster_index[static_cast<std::size_t>(result.centers[c])] =
+        static_cast<NodeId>(c);
+  }
+  result.bits.assign(num_clusters, {});
+  for (const NodeId b : placement.beacons) {
+    const NodeId owner = result.owner[static_cast<std::size_t>(b)];
+    RLOCAL_ASSERT(owner != -1);
+    const NodeId c = cluster_index[static_cast<std::size_t>(owner)];
+    result.bits[static_cast<std::size_t>(c)].push_back(
+        beacon_bits.next_bit());
+  }
+  int max_gathered = 0;
+  for (const auto& bits : result.bits) {
+    max_gathered = std::max(max_gathered, static_cast<int>(bits.size()));
+  }
+  result.rounds_charged += ruling.beta + max_gathered;
+
+  // Step 4: isolation flags (a cluster with no neighboring cluster).
+  result.isolated.assign(num_clusters, true);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId ov = result.owner[static_cast<std::size_t>(v)];
+    for (const NodeId u : g.neighbors(v)) {
+      const NodeId ou = result.owner[static_cast<std::size_t>(u)];
+      if (ou != ov) {
+        result.isolated[static_cast<std::size_t>(
+            cluster_index[static_cast<std::size_t>(ov)])] = false;
+      }
+    }
+  }
+  result.rounds_charged += 1;
+
+  result.min_bits_non_isolated = -1;
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    if (result.isolated[c]) continue;
+    const int have = static_cast<int>(result.bits[c].size());
+    if (result.min_bits_non_isolated < 0 ||
+        have < result.min_bits_non_isolated) {
+      result.min_bits_non_isolated = have;
+    }
+  }
+  return result;
+}
+
+}  // namespace rlocal

@@ -1,0 +1,66 @@
+// Regime (A) of the paper: randomness exists only at a sparse set S of
+// "beacon" nodes, each holding a single private random bit, with the promise
+// that every node has a beacon within h = poly(log n) hops (Theorems 3.1,
+// 3.7; Lemmas 3.2, 3.3).
+//
+// This file provides beacon placements (the adversary's choice) and the
+// Lemma 3.2 construction: a deterministic CONGEST clustering via an
+// (h', h' log n)-ruling set, h' = 10kh, such that every non-isolated cluster
+// provably contains >= k beacons, whose bits are up-cast to the cluster
+// center.
+#pragma once
+
+#include <vector>
+
+#include "decomp/ruling_set.hpp"
+#include "graph/graph.hpp"
+#include "rnd/bitsource.hpp"
+#include "rnd/regime.hpp"
+
+namespace rlocal {
+
+struct BeaconPlacement {
+  std::vector<NodeId> beacons;
+  int h = 0;  ///< promised covering radius
+};
+
+/// Greedy h-dominating set in ascending-id order (dense placement).
+BeaconPlacement place_beacons_greedy(const Graph& g, int h);
+
+/// Farthest-first traversal: close to the sparsest placement that still
+/// honors the h-hop promise (the adversarial end of the spectrum).
+BeaconPlacement place_beacons_sparse(const Graph& g, int h);
+
+/// Random placement, repaired greedily to honor the promise.
+BeaconPlacement place_beacons_random(const Graph& g, int h, double density,
+                                     std::uint64_t seed);
+
+/// True iff every node has a beacon within h hops.
+bool placement_covers(const Graph& g, const BeaconPlacement& placement);
+
+/// Lemma 3.2 output: disjoint connected clusters, each either isolated
+/// (property A) or holding the gathered beacon bits at its center
+/// (property B).
+struct BitGatheringResult {
+  std::vector<NodeId> centers;            ///< ruling-set cluster centers
+  std::vector<NodeId> owner;              ///< per node: its cluster center
+  std::vector<NodeId> parent;             ///< BFS-tree parent toward center
+  std::vector<std::int32_t> dist;         ///< distance to own center
+  std::vector<std::vector<bool>> bits;    ///< per center: gathered bits
+  std::vector<bool> isolated;             ///< per center: no neighbor cluster
+  int h_prime = 0;                        ///< ruling-set separation used
+  int cluster_radius_bound = 0;           ///< h' * id-bits
+  int rounds_charged = 0;
+  int min_bits_non_isolated = 0;          ///< measured Lemma 3.2 property
+};
+
+/// Gathers beacon bits per Lemma 3.2. `k` is the number of bits each
+/// non-isolated cluster must hold; `h_prime` <= 0 selects the paper's
+/// 10 * k * h. Beacon bits are drawn i.i.d. from `beacon_bits` (one per
+/// beacon, honoring the model).
+BitGatheringResult gather_cluster_bits(const Graph& g,
+                                       const BeaconPlacement& placement,
+                                       int k, BitSource& beacon_bits,
+                                       int h_prime = 0);
+
+}  // namespace rlocal

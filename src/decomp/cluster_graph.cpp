@@ -1,0 +1,162 @@
+#include "decomp/cluster_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "graph/algorithms.hpp"
+
+namespace rlocal {
+
+ClusterGraph build_cluster_graph(const Graph& g,
+                                 const std::vector<NodeId>& owner) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  RLOCAL_CHECK(owner.size() == n, "owner size mismatch");
+  ClusterGraph cg;
+  cg.cluster_of.assign(n, -1);
+
+  // Enumerate centers in ascending base-node order for determinism.
+  std::map<NodeId, NodeId> index_of_center;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId o = owner[static_cast<std::size_t>(v)];
+    if (o == -1) continue;
+    RLOCAL_CHECK(o >= 0 && o < g.num_nodes(), "owner out of range");
+    RLOCAL_CHECK(owner[static_cast<std::size_t>(o)] == o,
+                 "center must own itself");
+    index_of_center.emplace(o, 0);
+  }
+  cg.center.reserve(index_of_center.size());
+  for (auto& [center, index] : index_of_center) {
+    index = static_cast<NodeId>(cg.center.size());
+    cg.center.push_back(center);
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId o = owner[static_cast<std::size_t>(v)];
+    if (o != -1) {
+      cg.cluster_of[static_cast<std::size_t>(v)] = index_of_center[o];
+    }
+  }
+
+  Graph::Builder builder(static_cast<NodeId>(cg.center.size()));
+  // Cluster vertex ids: the identifier of the center (unique by uniqueness
+  // of base ids), so cluster-level tie-breaks match center-id tie-breaks.
+  for (std::size_t c = 0; c < cg.center.size(); ++c) {
+    builder.set_id(static_cast<NodeId>(c), g.id(cg.center[c]));
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId cv = cg.cluster_of[static_cast<std::size_t>(v)];
+    if (cv == -1) continue;
+    for (const NodeId u : g.neighbors(v)) {
+      if (u <= v) continue;  // each base edge once; Builder dedupes pairs
+      const NodeId cu = cg.cluster_of[static_cast<std::size_t>(u)];
+      if (cu != -1 && cu != cv) builder.add_edge(cv, cu);
+    }
+  }
+  cg.graph = std::move(builder).build();
+
+  // Radii: distance from each member to its center, measured inside the
+  // cluster's node set (the Voronoi tree keeps clusters internally
+  // connected, so this is finite).
+  cg.radius.assign(cg.center.size(), 0);
+  for (std::size_t c = 0; c < cg.center.size(); ++c) {
+    std::vector<NodeId> members;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (cg.cluster_of[static_cast<std::size_t>(v)] ==
+          static_cast<NodeId>(c)) {
+        members.push_back(v);
+      }
+    }
+    const InducedSubgraph sub = induced_subgraph(g, members);
+    NodeId local_center = -1;
+    for (std::size_t i = 0; i < sub.origin.size(); ++i) {
+      if (sub.origin[i] == cg.center[c]) {
+        local_center = static_cast<NodeId>(i);
+      }
+    }
+    RLOCAL_ASSERT(local_center != -1);
+    const auto dist = bfs_distances(sub.graph, local_center);
+    std::int32_t r = 0;
+    for (const std::int32_t d : dist) {
+      RLOCAL_CHECK(d != kUnreachable,
+                   "cluster is not internally connected");
+      r = std::max(r, d);
+    }
+    cg.radius[c] = r;
+    cg.max_radius = std::max(cg.max_radius, static_cast<int>(r));
+  }
+  return cg;
+}
+
+Decomposition lift_decomposition(const Graph& g, const ClusterGraph& cg,
+                                 const Decomposition& cd) {
+  RLOCAL_CHECK(cd.cluster_of.size() ==
+                   static_cast<std::size_t>(cg.graph.num_nodes()),
+               "cluster decomposition does not match cluster graph");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  Decomposition lifted;
+  lifted.num_colors = cd.num_colors;
+  lifted.cluster_of.assign(n, -1);
+
+  // Reverse map: base members per cluster-graph vertex.
+  std::vector<std::vector<NodeId>> members_of(
+      static_cast<std::size_t>(cg.graph.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId cv = cg.cluster_of[static_cast<std::size_t>(v)];
+    if (cv != -1) members_of[static_cast<std::size_t>(cv)].push_back(v);
+  }
+
+  for (std::size_t lc = 0; lc < cd.clusters.size(); ++lc) {
+    const Cluster& logical = cd.clusters[lc];
+    Cluster base;
+    base.color = logical.color;
+    // Union of the base members of every cluster-graph vertex in `logical`.
+    std::vector<bool> in_union(n, false);
+    for (const NodeId cv : logical.members) {
+      for (const NodeId v : members_of[static_cast<std::size_t>(cv)]) {
+        in_union[static_cast<std::size_t>(v)] = true;
+      }
+    }
+    base.center = cg.center[static_cast<std::size_t>(logical.members[0])];
+    if (logical.center >= 0) {
+      base.center = cg.center[static_cast<std::size_t>(logical.center)];
+    }
+    // BFS inside the union from the base center to build the spanning tree.
+    std::deque<NodeId> queue{base.center};
+    std::vector<NodeId> parent(n, -1);
+    std::vector<bool> visited(n, false);
+    visited[static_cast<std::size_t>(base.center)] = true;
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      base.members.push_back(v);
+      base.tree_nodes.push_back(v);
+      if (v != base.center) {
+        base.tree_edges.emplace_back(v, parent[static_cast<std::size_t>(v)]);
+      }
+      for (const NodeId u : g.neighbors(v)) {
+        if (in_union[static_cast<std::size_t>(u)] &&
+            !visited[static_cast<std::size_t>(u)]) {
+          visited[static_cast<std::size_t>(u)] = true;
+          parent[static_cast<std::size_t>(u)] = v;
+          queue.push_back(u);
+        }
+      }
+    }
+    // The union must be internally connected (cluster-graph clusters are
+    // connected and their edges witness base adjacency through members).
+    std::size_t union_size = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_union[v]) ++union_size;
+    }
+    RLOCAL_CHECK(base.members.size() == union_size,
+                 "lifted cluster union is not connected");
+    const auto index = static_cast<NodeId>(lifted.clusters.size());
+    for (const NodeId v : base.members) {
+      lifted.cluster_of[static_cast<std::size_t>(v)] = index;
+    }
+    lifted.clusters.push_back(std::move(base));
+  }
+  return lifted;
+}
+
+}  // namespace rlocal

@@ -1,0 +1,46 @@
+// Cluster-graph contraction (Lemma 3.3, Theorem 4.2): given a Voronoi
+// partition around centers, build the logical graph with one vertex per
+// cluster, two clusters adjacent iff some of their members are G-adjacent.
+// One logical round dilates to O(cluster radius) base rounds; the paper's
+// constructions only ever aggregate (min / top-two) toward centers, which is
+// what keeps the simulation CONGEST-feasible.
+//
+// `lift_decomposition` maps a decomposition of the cluster graph back to the
+// base graph: a lifted cluster is the union of the member-sets of its
+// cluster-graph cluster, spanned by a BFS tree inside that union (valid
+// because Voronoi clusters are internally connected and cluster-graph edges
+// witness base adjacency).
+#pragma once
+
+#include <vector>
+
+#include "decomp/decomposition.hpp"
+#include "graph/graph.hpp"
+
+namespace rlocal {
+
+struct ClusterGraph {
+  Graph graph;                      ///< one vertex per cluster
+  std::vector<NodeId> cluster_of;   ///< base node -> cluster vertex, or -1
+  std::vector<NodeId> center;       ///< cluster vertex -> base center node
+  std::vector<std::int32_t> radius; ///< max dist(center, member) per cluster
+  int max_radius = 0;
+
+  /// Base-graph rounds needed to simulate one cluster-graph round
+  /// (down-cast + up-cast along cluster trees plus one boundary exchange).
+  int dilation() const { return 2 * max_radius + 1; }
+};
+
+/// `owner[v]` = center of v's cluster, or -1 for nodes outside all clusters
+/// (allowed; they do not witness adjacency). Centers must own themselves.
+ClusterGraph build_cluster_graph(const Graph& g,
+                                 const std::vector<NodeId>& owner);
+
+/// Lifts a decomposition `cd` of cg.graph to the base graph. Lifted cluster
+/// colors equal the cluster-graph colors; trees come from a BFS inside the
+/// union of member sets (so the lift preserves strong diameter and
+/// congestion 1). Base nodes outside every cluster stay unclustered.
+Decomposition lift_decomposition(const Graph& g, const ClusterGraph& cg,
+                                 const Decomposition& cd);
+
+}  // namespace rlocal

@@ -1,0 +1,237 @@
+#include "decomp/decomposition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace rlocal {
+
+namespace {
+
+/// Hop diameter of the tree given by `edges` on `nodes` (exact via double
+/// BFS, valid because the subgraph is a tree). Returns -1 if the edge set is
+/// not a tree spanning exactly `nodes`.
+int tree_diameter(const std::vector<NodeId>& nodes,
+                  const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  if (nodes.empty()) return -1;
+  if (edges.size() + 1 != nodes.size()) return -1;
+  std::map<NodeId, std::vector<NodeId>> adj;
+  for (const NodeId v : nodes) adj[v];
+  for (const auto& [a, b] : edges) {
+    if (adj.find(a) == adj.end() || adj.find(b) == adj.end()) return -1;
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  auto bfs_far = [&adj](NodeId start) -> std::pair<NodeId, int> {
+    std::map<NodeId, int> dist;
+    std::deque<NodeId> queue{start};
+    dist[start] = 0;
+    NodeId far = start;
+    int far_dist = 0;
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const NodeId u : adj[v]) {
+        if (dist.find(u) == dist.end()) {
+          dist[u] = dist[v] + 1;
+          if (dist[u] > far_dist) {
+            far_dist = dist[u];
+            far = u;
+          }
+          queue.push_back(u);
+        }
+      }
+    }
+    if (dist.size() != adj.size()) return {start, -1};  // disconnected
+    return {far, far_dist};
+  };
+  const auto [far, reach] = bfs_far(nodes.front());
+  if (reach < 0) return -1;
+  return bfs_far(far).second;
+}
+
+}  // namespace
+
+ValidationReport validate_decomposition(const Graph& g,
+                                        const Decomposition& d) {
+  ValidationReport report;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+
+  if (d.cluster_of.size() != n) {
+    report.error = "cluster_of size mismatch";
+    return report;
+  }
+  // Partition check: every node in exactly one cluster, consistent with
+  // cluster_of.
+  std::vector<int> seen(n, -1);
+  for (std::size_t c = 0; c < d.clusters.size(); ++c) {
+    const auto& cluster = d.clusters[c];
+    if (cluster.members.empty()) {
+      report.error = "empty cluster";
+      return report;
+    }
+    if (cluster.color < 0 || cluster.color >= d.num_colors) {
+      report.error = "cluster color out of range";
+      return report;
+    }
+    for (const NodeId v : cluster.members) {
+      if (v < 0 || v >= g.num_nodes()) {
+        report.error = "member out of range";
+        return report;
+      }
+      if (seen[static_cast<std::size_t>(v)] != -1) {
+        report.error = "node in two clusters";
+        return report;
+      }
+      seen[static_cast<std::size_t>(v)] = static_cast<int>(c);
+      if (d.cluster_of[static_cast<std::size_t>(v)] !=
+          static_cast<NodeId>(c)) {
+        report.error = "cluster_of inconsistent with members";
+        return report;
+      }
+    }
+    const bool center_is_member =
+        std::find(cluster.members.begin(), cluster.members.end(),
+                  cluster.center) != cluster.members.end();
+    if (!center_is_member) {
+      report.error = "center is not a member";
+      return report;
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (d.cluster_of[static_cast<std::size_t>(v)] == -1) {
+      report.error = "node " + std::to_string(v) + " unclustered";
+      return report;
+    }
+    if (seen[static_cast<std::size_t>(v)] == -1) {
+      report.error = "cluster_of points to cluster missing the node";
+      return report;
+    }
+  }
+
+  // Tree checks: edges must be G-edges, form a tree spanning tree_nodes,
+  // and tree_nodes must contain all members.
+  report.strong_diameter = true;
+  for (const auto& cluster : d.clusters) {
+    std::set<NodeId> tset(cluster.tree_nodes.begin(),
+                          cluster.tree_nodes.end());
+    if (tset.size() != cluster.tree_nodes.size()) {
+      report.error = "duplicate tree node";
+      return report;
+    }
+    for (const NodeId v : cluster.members) {
+      if (tset.find(v) == tset.end()) {
+        report.error = "tree does not span cluster members";
+        return report;
+      }
+    }
+    for (const auto& [a, b] : cluster.tree_edges) {
+      if (!g.has_edge(a, b)) {
+        report.error = "tree edge is not a graph edge";
+        return report;
+      }
+    }
+    const int diam = tree_diameter(cluster.tree_nodes, cluster.tree_edges);
+    if (diam < 0) {
+      report.error = "cluster tree is not a spanning tree of its nodes";
+      return report;
+    }
+    report.max_tree_diameter = std::max(report.max_tree_diameter, diam);
+    report.max_cluster_size = std::max(
+        report.max_cluster_size, static_cast<int>(cluster.members.size()));
+    if (cluster.tree_nodes.size() != cluster.members.size()) {
+      report.strong_diameter = false;
+    }
+  }
+
+  // Color check: adjacent clusters (an edge between members) differ.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId cv = d.cluster_of[static_cast<std::size_t>(v)];
+    for (const NodeId u : g.neighbors(v)) {
+      const NodeId cu = d.cluster_of[static_cast<std::size_t>(u)];
+      if (cu != cv && d.clusters[static_cast<std::size_t>(cu)].color ==
+                          d.clusters[static_cast<std::size_t>(cv)].color) {
+        report.error = "adjacent clusters share a color";
+        return report;
+      }
+    }
+  }
+
+  // Congestion: clusters-of-one-color whose tree touches a node.
+  {
+    std::map<std::pair<NodeId, int>, int> load;
+    for (const auto& cluster : d.clusters) {
+      for (const NodeId v : cluster.tree_nodes) {
+        report.max_congestion = std::max(
+            report.max_congestion, ++load[{v, cluster.color}]);
+      }
+    }
+  }
+
+  std::set<int> colors;
+  for (const auto& cluster : d.clusters) colors.insert(cluster.color);
+  report.colors_used = static_cast<int>(colors.size());
+  report.valid = true;
+  return report;
+}
+
+Decomposition decomposition_from_labels(const Graph& g,
+                                        const std::vector<NodeId>& owner,
+                                        const std::vector<int>& color,
+                                        const std::vector<NodeId>& parent,
+                                        bool allow_partial) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  RLOCAL_CHECK(owner.size() == n && color.size() == n && parent.size() == n,
+               "label vectors must cover all nodes");
+  Decomposition d;
+  d.cluster_of.assign(n, -1);
+  std::vector<NodeId> cluster_index(n, -1);  // per center
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId o = owner[static_cast<std::size_t>(v)];
+    if (o == -1) {
+      RLOCAL_CHECK(allow_partial, "unclustered node in a total labeling");
+      continue;
+    }
+    RLOCAL_CHECK(o >= 0 && o < g.num_nodes(), "owner out of range");
+    RLOCAL_CHECK(owner[static_cast<std::size_t>(o)] == o,
+                 "owner of a center must be itself");
+    if (cluster_index[static_cast<std::size_t>(o)] == -1) {
+      cluster_index[static_cast<std::size_t>(o)] =
+          static_cast<NodeId>(d.clusters.size());
+      Cluster c;
+      c.center = o;
+      c.color = color[static_cast<std::size_t>(o)];
+      d.clusters.push_back(std::move(c));
+    }
+    const NodeId ci = cluster_index[static_cast<std::size_t>(o)];
+    RLOCAL_CHECK(color[static_cast<std::size_t>(v)] ==
+                     d.clusters[static_cast<std::size_t>(ci)].color,
+                 "color disagrees within a cluster");
+    d.cluster_of[static_cast<std::size_t>(v)] = ci;
+    d.clusters[static_cast<std::size_t>(ci)].members.push_back(v);
+    d.clusters[static_cast<std::size_t>(ci)].tree_nodes.push_back(v);
+    if (v != o) {
+      const NodeId p = parent[static_cast<std::size_t>(v)];
+      RLOCAL_CHECK(p >= 0 && p < g.num_nodes(), "missing parent pointer");
+      RLOCAL_CHECK(owner[static_cast<std::size_t>(p)] == o,
+                   "parent escapes the cluster (labels build strong-diameter "
+                   "trees only)");
+      d.clusters[static_cast<std::size_t>(ci)].tree_edges.emplace_back(v, p);
+    }
+  }
+  int max_color = -1;
+  for (const auto& c : d.clusters) max_color = std::max(max_color, c.color);
+  d.num_colors = max_color + 1;
+  return d;
+}
+
+std::vector<NodeId> unclustered_nodes(const Decomposition& d) {
+  std::vector<NodeId> result;
+  for (std::size_t v = 0; v < d.cluster_of.size(); ++v) {
+    if (d.cluster_of[v] == -1) result.push_back(static_cast<NodeId>(v));
+  }
+  return result;
+}
+
+}  // namespace rlocal

@@ -1,0 +1,64 @@
+// Network decompositions (Section 2 of the paper): a partition of V into
+// clusters, each with a spanning subtree of G and a color, such that
+// same-color clusters are non-adjacent. The tree of a cluster may pass
+// through nodes outside the cluster (weak diameter); congestion counts how
+// many trees of one color touch a node. A strong-diameter decomposition has
+// every tree contained in its own cluster (congestion 1 is then immediate).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rlocal {
+
+struct Cluster {
+  NodeId center = -1;                ///< designated center (a member)
+  int color = -1;                    ///< 0-based cluster color
+  std::vector<NodeId> members;       ///< nodes owned by this cluster
+  std::vector<NodeId> tree_nodes;    ///< nodes of the spanning tree T_i
+  std::vector<std::pair<NodeId, NodeId>> tree_edges;  ///< edges of T_i
+};
+
+struct Decomposition {
+  std::vector<Cluster> clusters;
+  int num_colors = 0;
+  std::vector<NodeId> cluster_of;  ///< per node: cluster index, or -1
+};
+
+/// Result of checking every requirement of Definition "network
+/// decomposition" plus the measured parameters.
+struct ValidationReport {
+  bool valid = false;
+  std::string error;               ///< first violated requirement, if any
+  int colors_used = 0;
+  int max_tree_diameter = 0;       ///< max over clusters (hop diameter of T_i)
+  int max_cluster_size = 0;
+  int max_congestion = 0;          ///< max clusters-of-one-color per node
+  bool strong_diameter = false;    ///< every tree confined to its cluster
+};
+
+/// Validates that `d` is a proper (max_tree_diameter, colors_used)
+/// decomposition of `g` and measures its parameters.
+ValidationReport validate_decomposition(const Graph& g,
+                                        const Decomposition& d);
+
+/// Builds a Decomposition from per-node labels:
+///   owner[v]  -- center node of v's cluster (owner[center] == center), or
+///                -1 for "not clustered" (allowed only if allow_partial);
+///   color[v]  -- color of v's cluster (must agree across the cluster);
+///   parent[v] -- a neighbor one step toward the center along the cluster's
+///                tree (-1 at centers). Parents must stay inside the cluster
+///                (strong diameter construction).
+Decomposition decomposition_from_labels(const Graph& g,
+                                        const std::vector<NodeId>& owner,
+                                        const std::vector<int>& color,
+                                        const std::vector<NodeId>& parent,
+                                        bool allow_partial = false);
+
+/// Nodes with cluster_of == -1 (empty when the decomposition is total).
+std::vector<NodeId> unclustered_nodes(const Decomposition& d);
+
+}  // namespace rlocal

@@ -1,0 +1,121 @@
+#include "decomp/elkin_neiman.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/programs/top_two.hpp"
+#include "support/math.hpp"
+
+namespace rlocal {
+
+EnResult elkin_neiman_core(const Graph& g, const ShiftDrawer& draw,
+                           const EnOptions& options) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const int logn = log2n(static_cast<std::uint64_t>(
+      std::max<NodeId>(2, g.num_nodes())));
+  const int phases = options.phases > 0 ? options.phases : 10 * logn;
+  const int cap = options.shift_cap > 0 ? options.shift_cap : 10 * logn;
+  RLOCAL_CHECK(cap >= 1 && cap < (1 << 16), "shift cap out of range");
+
+  EnResult result;
+  result.shift_cap = cap;
+  std::vector<NodeId> owner(n, -1);
+  std::vector<int> color(n, -1);
+  std::vector<NodeId> parent(n, -1);
+  std::vector<bool> live(n, true);
+  std::size_t live_count = n;
+
+  // Origin identifiers -> node index, for decoding top-two results.
+  std::unordered_map<std::uint64_t, NodeId> node_of_id;
+  node_of_id.reserve(n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) node_of_id[g.id(v)] = v;
+
+  std::vector<std::int32_t> start(n);
+  for (int phase = 0; phase < phases && live_count > 0; ++phase) {
+    result.phases_used = phase + 1;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (live[static_cast<std::size_t>(v)]) {
+        const int shift = draw(v, phase, cap);
+        RLOCAL_CHECK(shift >= 1 && shift <= cap, "shift outside [1, cap]");
+        start[static_cast<std::size_t>(v)] = shift;
+        result.max_shift = std::max(result.max_shift, shift);
+        result.shift_bits += static_cast<std::uint64_t>(shift);
+      } else {
+        start[static_cast<std::size_t>(v)] = -1;
+      }
+    }
+
+    const TopTwoResult measures =
+        options.use_engine
+            ? run_top_two(g, start, live, cap + 1)
+            : reference_top_two(g, start, live);
+    result.rounds_charged += cap + 2;  // propagation + join decision
+
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!live[static_cast<std::size_t>(v)]) continue;
+      const MeasureEntry& best = measures.best[static_cast<std::size_t>(v)];
+      RLOCAL_ASSERT(best.present());  // own offer always reaches v
+      const std::int32_t m1 = best.value;
+      const MeasureEntry& sec = measures.second[static_cast<std::size_t>(v)];
+      const std::int32_t m2 = sec.present() ? sec.value : 0;
+      if (m1 - m2 > 1) {
+        const auto it = node_of_id.find(best.origin_id);
+        RLOCAL_ASSERT(it != node_of_id.end());
+        owner[static_cast<std::size_t>(v)] = it->second;
+        color[static_cast<std::size_t>(v)] = phase;
+      }
+    }
+    // Second pass: tree parents. For a clustered non-center v with measure
+    // m1 and origin o, some live neighbor u has best (o, m1 + 1) and is
+    // clustered with the same origin (see header); pick the smallest such.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!live[static_cast<std::size_t>(v)]) continue;
+      const NodeId o = owner[static_cast<std::size_t>(v)];
+      if (o == -1 || o == v) continue;
+      const std::int32_t m1 =
+          measures.best[static_cast<std::size_t>(v)].value;
+      NodeId chosen = -1;
+      for (const NodeId u : g.neighbors(v)) {
+        if (!live[static_cast<std::size_t>(u)]) continue;
+        const MeasureEntry& ub = measures.best[static_cast<std::size_t>(u)];
+        if (ub.present() && ub.origin_id == g.id(o) &&
+            ub.value == m1 + 1 && owner[static_cast<std::size_t>(u)] == o) {
+          chosen = u;
+          break;
+        }
+      }
+      RLOCAL_ASSERT(chosen != -1);
+      parent[static_cast<std::size_t>(v)] = chosen;
+    }
+    // Retire this phase's clustered nodes.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (live[static_cast<std::size_t>(v)] &&
+          owner[static_cast<std::size_t>(v)] != -1) {
+        live[static_cast<std::size_t>(v)] = false;
+        --live_count;
+      }
+    }
+  }
+
+  result.all_clustered = live_count == 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (live[static_cast<std::size_t>(v)]) result.unclustered.push_back(v);
+  }
+  result.decomposition = decomposition_from_labels(
+      g, owner, color, parent, /*allow_partial=*/!result.all_clustered);
+  result.decomposition.num_colors = result.phases_used;
+  return result;
+}
+
+EnResult elkin_neiman_decomposition(const Graph& g, NodeRandomness& rnd,
+                                    const EnOptions& options) {
+  auto drawer = [&rnd, &options](NodeId node, int phase, int cap) {
+    return rnd.geometric(static_cast<std::uint64_t>(node),
+                         options.stream_base +
+                             static_cast<std::uint64_t>(phase),
+                         cap);
+  };
+  return elkin_neiman_core(g, drawer, options);
+}
+
+}  // namespace rlocal

@@ -1,0 +1,64 @@
+// The Elkin-Neiman [EN16] random-shift network decomposition (inspired by
+// Miller-Peng-Xu [MPX13]), in the multi-phase form the paper uses in
+// Lemma 3.3 and Theorem 4.2:
+//
+//   for phase i = 1..O(log n):
+//     every still-live node v draws a geometric shift r_v (Pr[r=k] = 2^-k,
+//     truncated at O(log n));
+//     every live node u computes the top-two measures m1 >= m2 of
+//     r_v - dist_live(v, u) over live origins v (m2 := 0 if none);
+//     if m1 - m2 > 1, u joins the cluster of the argmax origin and is
+//     colored i; otherwise u stays for the next phase.
+//
+// Each phase clusters every live node with probability >= 1/2 [EN16 Claim 6]
+// and carved clusters are non-adjacent, connected, and of strong radius
+// <= max shift [EN16 Lemma 4]; the tree parent of u is the neighbor whose
+// best measure exceeds u's by one with the same origin (it provably exists
+// and lies in the same cluster).
+//
+// The shift drawer is pluggable: the standard wrapper draws through a
+// NodeRandomness regime (full / k-wise / shared), while Lemma 3.3 draws each
+// logical cluster's shifts from its own finite pool of gathered beacon bits.
+#pragma once
+
+#include <functional>
+
+#include "decomp/decomposition.hpp"
+#include "graph/graph.hpp"
+#include "rnd/regime.hpp"
+
+namespace rlocal {
+
+struct EnOptions {
+  int phases = 0;     ///< 0 means 10 * ceil(log2 n)
+  int shift_cap = 0;  ///< 0 means 10 * ceil(log2 n)
+  /// Randomness stream offset, so several EN runs can share one regime
+  /// instance without reusing streams.
+  std::uint64_t stream_base = 0;
+  /// Run the top-two primitive on the message-passing engine instead of the
+  /// centralized reference (slower; used for cross-validation).
+  bool use_engine = false;
+};
+
+/// Returns the shift for `node` in `phase`, in [1, cap].
+using ShiftDrawer = std::function<int(NodeId node, int phase, int cap)>;
+
+struct EnResult {
+  Decomposition decomposition;  ///< partial if !all_clustered
+  bool all_clustered = false;
+  std::vector<NodeId> unclustered;
+  int phases_used = 0;
+  int shift_cap = 0;
+  int max_shift = 0;          ///< largest shift drawn (w.h.p. O(log n))
+  int rounds_charged = 0;     ///< CONGEST rounds: (cap + 2) per phase
+  std::uint64_t shift_bits = 0;  ///< coin flips consumed by shift draws
+};
+
+EnResult elkin_neiman_core(const Graph& g, const ShiftDrawer& draw,
+                           const EnOptions& options);
+
+/// Standard wrapper drawing shifts through a randomness regime.
+EnResult elkin_neiman_decomposition(const Graph& g, NodeRandomness& rnd,
+                                    const EnOptions& options = {});
+
+}  // namespace rlocal

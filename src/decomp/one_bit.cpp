@@ -1,0 +1,305 @@
+#include "decomp/one_bit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "decomp/cluster_graph.hpp"
+#include "decomp/elkin_neiman.hpp"
+#include "support/math.hpp"
+
+namespace rlocal {
+
+namespace {
+
+int default_bits(NodeId n) {
+  const int logn = log2n(static_cast<std::uint64_t>(std::max<NodeId>(2, n)));
+  return 2 * logn * logn;
+}
+
+/// Appends the isolated Lemma 3.2 clusters (color 0 -- they have no
+/// neighbors, so any color is safe) to a lifted decomposition.
+void add_isolated_clusters(const Graph& g, const BitGatheringResult& gather,
+                           const std::vector<bool>& cluster_is_isolated,
+                           Decomposition* d) {
+  for (std::size_t c = 0; c < gather.centers.size(); ++c) {
+    if (!cluster_is_isolated[c]) continue;
+    Cluster cluster;
+    cluster.center = gather.centers[c];
+    cluster.color = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (gather.owner[static_cast<std::size_t>(v)] == gather.centers[c]) {
+        cluster.members.push_back(v);
+        cluster.tree_nodes.push_back(v);
+        if (v != gather.centers[c]) {
+          cluster.tree_edges.emplace_back(
+              v, gather.parent[static_cast<std::size_t>(v)]);
+        }
+      }
+    }
+    const auto index = static_cast<NodeId>(d->clusters.size());
+    for (const NodeId v : cluster.members) {
+      d->cluster_of[static_cast<std::size_t>(v)] = index;
+    }
+    d->clusters.push_back(std::move(cluster));
+  }
+  d->num_colors = std::max(d->num_colors, 1);
+}
+
+struct GatherSetup {
+  BitGatheringResult gather;
+  std::vector<bool> isolated;             // per Lemma 3.2 cluster
+  std::vector<NodeId> non_isolated_owner; // owner labels, isolated erased
+  int rounds = 0;
+};
+
+GatherSetup run_gathering(const Graph& g, const BeaconPlacement& placement,
+                          BitSource& beacon_bits,
+                          const OneBitOptions& options, OneBitResult* out) {
+  const int k = options.bits_per_cluster > 0 ? options.bits_per_cluster
+                                             : default_bits(g.num_nodes());
+  GatherSetup setup;
+  setup.gather =
+      gather_cluster_bits(g, placement, k, beacon_bits, options.h_prime);
+  setup.isolated = setup.gather.isolated;
+  setup.rounds = setup.gather.rounds_charged;
+
+  out->num_clusters = static_cast<int>(setup.gather.centers.size());
+  out->num_isolated = static_cast<int>(
+      std::count(setup.isolated.begin(), setup.isolated.end(), true));
+  out->min_bits_gathered = setup.gather.min_bits_non_isolated;
+  out->cluster_radius_bound = setup.gather.cluster_radius_bound;
+
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  setup.non_isolated_owner.assign(n, -1);
+  std::vector<NodeId> cluster_index(n, -1);
+  for (std::size_t c = 0; c < setup.gather.centers.size(); ++c) {
+    cluster_index[static_cast<std::size_t>(setup.gather.centers[c])] =
+        static_cast<NodeId>(c);
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId o = setup.gather.owner[static_cast<std::size_t>(v)];
+    const NodeId c = cluster_index[static_cast<std::size_t>(o)];
+    if (!setup.isolated[static_cast<std::size_t>(c)]) {
+      setup.non_isolated_owner[static_cast<std::size_t>(v)] = o;
+    }
+  }
+  return setup;
+}
+
+}  // namespace
+
+OneBitResult one_bit_decomposition(const Graph& g,
+                                   const BeaconPlacement& placement,
+                                   BitSource& beacon_bits,
+                                   const OneBitOptions& options) {
+  OneBitResult result;
+  GatherSetup setup =
+      run_gathering(g, placement, beacon_bits, options, &result);
+  result.rounds_charged += setup.rounds;
+
+  // Contract non-isolated clusters into the logical cluster graph.
+  const ClusterGraph cg = build_cluster_graph(g, setup.non_isolated_owner);
+
+  if (cg.graph.num_nodes() > 0) {
+    // Per-logical-vertex finite bit pools; draws past the pool fall back to
+    // a deterministic 1 and are counted (success then reports false).
+    std::vector<FixedBitSource> pools;
+    pools.reserve(static_cast<std::size_t>(cg.graph.num_nodes()));
+    std::vector<NodeId> gather_index_of;  // cg vertex -> Lemma 3.2 cluster
+    for (NodeId cv = 0; cv < cg.graph.num_nodes(); ++cv) {
+      const NodeId center = cg.center[static_cast<std::size_t>(cv)];
+      std::size_t gi = 0;
+      while (setup.gather.centers[gi] != center) ++gi;
+      gather_index_of.push_back(static_cast<NodeId>(gi));
+      pools.emplace_back(setup.gather.bits[gi]);
+    }
+    int exhausted = 0;
+    auto drawer = [&pools, &exhausted](NodeId cv, int /*phase*/, int cap) {
+      try {
+        return pools[static_cast<std::size_t>(cv)].geometric(cap);
+      } catch (const BitsExhausted&) {
+        ++exhausted;
+        return 1;
+      }
+    };
+    EnOptions en_options;
+    en_options.phases = options.en_phases;
+    // Economy shift cap: shifts cost their value in beacon bits, and
+    // 2 log(#clusters) + 4 keeps the truncation probability below
+    // 1/(16 * #clusters^2) while consuming ~2 bits per draw.
+    en_options.shift_cap =
+        2 * log2n(static_cast<std::uint64_t>(cg.graph.num_nodes() + 1)) + 4;
+    const EnResult en = elkin_neiman_core(cg.graph, drawer, en_options);
+    result.exhausted_draws = exhausted;
+    // Cluster-graph rounds dilate by the Lemma 3.2 cluster radius.
+    result.rounds_charged += en.rounds_charged * cg.dilation();
+
+    if (en.all_clustered) {
+      result.decomposition = lift_decomposition(g, cg, en.decomposition);
+      // EN colors shift up by one so color 0 stays free for isolated
+      // clusters (which are colorless bystanders with no neighbors; keeping
+      // a dedicated color makes the count explicit).
+      for (auto& cluster : result.decomposition.clusters) cluster.color += 1;
+      result.decomposition.num_colors = en.decomposition.num_colors + 1;
+      add_isolated_clusters(g, setup.gather, setup.isolated,
+                            &result.decomposition);
+      result.all_clustered = true;
+    }
+  } else {
+    // Every cluster is isolated: the Lemma 3.2 partition itself is the
+    // decomposition.
+    result.decomposition.cluster_of.assign(
+        static_cast<std::size_t>(g.num_nodes()), -1);
+    result.decomposition.num_colors = 1;
+    add_isolated_clusters(g, setup.gather, setup.isolated,
+                          &result.decomposition);
+    result.all_clustered = true;
+  }
+
+  result.colors = result.decomposition.num_colors;
+  result.success = result.all_clustered && result.exhausted_draws == 0;
+  return result;
+}
+
+namespace {
+
+/// Theorem 3.7 randomness: each node draws through its Lemma 3.2 cluster's
+/// k-wise generator; generators are seeded by the gathered beacon bits and
+/// independent across clusters. GF(2^32) keeps the seed cost per
+/// independence level at 32 bits (the evaluation domain then caps node and
+/// stream indices at 2^13, ample for simulated sizes).
+class ClusterSeededRandomness final : public EpochRandomness {
+ public:
+  static constexpr int kFieldBits = 32;
+
+  ClusterSeededRandomness(const Graph& g, const BitGatheringResult& gather)
+      : epochs_(shared_congest_epochs(g.num_nodes()) + 1),
+        cluster_of_(static_cast<std::size_t>(g.num_nodes()), -1) {
+    RLOCAL_CHECK(g.num_nodes() < (1 << 13),
+                 "GF(2^32) packing supports up to 2^13 nodes");
+    std::vector<NodeId> cluster_index(static_cast<std::size_t>(g.num_nodes()),
+                                      -1);
+    for (std::size_t c = 0; c < gather.centers.size(); ++c) {
+      cluster_index[static_cast<std::size_t>(gather.centers[c])] =
+          static_cast<NodeId>(c);
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      cluster_of_[static_cast<std::size_t>(v)] = cluster_index
+          [static_cast<std::size_t>(gather.owner[static_cast<std::size_t>(v)])];
+    }
+    generators_.reserve(gather.bits.size());
+    for (const auto& bits : gather.bits) {
+      // Coefficients straight from the gathered bits; a pool of B bits
+      // yields a floor(B/32)-wise generator. Short pools (possible when the
+      // caller shrinks h' below the paper's 10kh) are expanded *from the
+      // gathered bits themselves* -- deterministic pseudo-random stretching
+      // in the spirit of the paper's footnote on randomness extraction. No
+      // entropy is added; the k-wise guarantee is void for such clusters
+      // and the shortfall is reported via short_pools().
+      const int k = std::max(2, static_cast<int>(bits.size()) / kFieldBits);
+      FixedBitSource padded(
+          pad(bits, static_cast<std::size_t>(k) * kFieldBits));
+      generators_.emplace_back(k, kFieldBits, padded);
+      min_kwise_ = min_kwise_ < 0 ? k : std::min(min_kwise_, k);
+      if (static_cast<int>(bits.size()) < 2 * kFieldBits) ++short_pools_;
+    }
+  }
+
+  bool center_coin(NodeId node, int phase, int epoch, double q) override {
+    const KWiseGenerator& gen = generator_for(node);
+    const auto threshold = static_cast<std::uint64_t>(
+        std::ldexp(static_cast<long double>(q), kFieldBits));
+    return gen.value(point(node, stream(phase, epoch, 0), 0)) < threshold;
+  }
+  int radius_draw(NodeId node, int phase, int epoch, int cap) override {
+    const KWiseGenerator& gen = generator_for(node);
+    const std::uint64_t s = stream(phase, epoch, 1);
+    for (int k = 1; k <= cap; ++k) {
+      const std::uint64_t word =
+          gen.value(point(node, s, (k - 1) / kFieldBits));
+      if (((word >> ((k - 1) % kFieldBits)) & 1ULL) == 0) return k;
+    }
+    return cap;
+  }
+
+  int min_kwise() const { return min_kwise_; }
+  int short_pools() const { return short_pools_; }
+
+ private:
+  static std::vector<bool> pad(const std::vector<bool>& bits,
+                               std::size_t size) {
+    std::vector<bool> out = bits;
+    if (out.size() >= size) return out;
+    // Key a SplitMix64 stream with the gathered bits and stretch.
+    std::uint64_t key = 0x243F6A8885A308D3ULL;  // pi, nothing up the sleeve
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i]) key ^= 1ULL << (i % 64);
+      if (i % 64 == 63) key = mix3(key, i, 0);
+    }
+    std::uint64_t state = key;
+    std::uint64_t word = 0;
+    int available = 0;
+    while (out.size() < size) {
+      if (available == 0) {
+        word = splitmix64(state);
+        available = 64;
+      }
+      out.push_back((word & 1ULL) != 0);
+      word >>= 1;
+      --available;
+    }
+    return out;
+  }
+  const KWiseGenerator& generator_for(NodeId node) const {
+    return generators_[static_cast<std::size_t>(
+        cluster_of_[static_cast<std::size_t>(node)])];
+  }
+  /// Injective 32-bit packing: node (13) | stream (13) | chunk (6).
+  static std::uint64_t point(NodeId node, std::uint64_t stream, int chunk) {
+    RLOCAL_CHECK(stream < (1ULL << 13) && chunk < (1 << 6),
+                 "draw outside the GF(2^32) packing range");
+    return (static_cast<std::uint64_t>(node) << 19) | (stream << 6) |
+           static_cast<std::uint64_t>(chunk);
+  }
+  std::uint64_t stream(int phase, int epoch, int which) const {
+    return (static_cast<std::uint64_t>(phase) *
+                static_cast<std::uint64_t>(epochs_) +
+            static_cast<std::uint64_t>(epoch)) *
+               2 +
+           static_cast<std::uint64_t>(which);
+  }
+
+  int epochs_;
+  std::vector<NodeId> cluster_of_;
+  std::vector<KWiseGenerator> generators_;
+  int min_kwise_ = -1;
+  int short_pools_ = 0;
+};
+
+}  // namespace
+
+OneBitResult one_bit_strong_decomposition(const Graph& g,
+                                          const BeaconPlacement& placement,
+                                          BitSource& beacon_bits,
+                                          const OneBitOptions& options) {
+  OneBitResult result;
+  GatherSetup setup =
+      run_gathering(g, placement, beacon_bits, options, &result);
+  result.rounds_charged += setup.rounds;
+  // Sharing the gathered seed cluster-internally costs one down-cast.
+  result.rounds_charged += setup.gather.cluster_radius_bound;
+
+  ClusterSeededRandomness provider(g, setup.gather);
+  result.exhausted_draws = provider.short_pools();
+
+  const SharedCongestResult inner =
+      shared_congest_core(g, provider, options.congest);
+  result.rounds_charged += inner.rounds_charged;
+  result.decomposition = inner.decomposition;
+  result.all_clustered = inner.all_clustered;
+  result.colors = inner.decomposition.num_colors;
+  result.success = result.all_clustered && provider.short_pools() == 0;
+  return result;
+}
+
+}  // namespace rlocal

@@ -1,0 +1,68 @@
+// Theorem 3.1 and Theorem 3.7: network decomposition when the only
+// randomness is one private bit per beacon, with a beacon within h hops of
+// every node.
+//
+// Theorem 3.1 pipeline (Lemmas 3.2 + 3.3):
+//   1. gather_cluster_bits: deterministic ruling-set clustering; every
+//      non-isolated cluster center ends up holding its beacons' bits;
+//   2. contract clusters into the logical cluster graph CG;
+//   3. run the multi-phase Elkin-Neiman construction on CG, each logical
+//      vertex drawing its shifts from its own finite bit pool;
+//   4. lift the CG decomposition back to G (strong diameter, congestion 1);
+//      isolated clusters become their own color-0 clusters.
+//   => (O(log n), h * poly(log n)) decomposition.
+//
+// Theorem 3.7 pipeline (removes the h factor from the diameter):
+//   1. gather bits as above (O(log^4 n) per cluster in the paper);
+//   2. each cluster turns its pool into a k-wise generator and shares it
+//      cluster-internally (bits independent across clusters);
+//   3. run the Theorem 3.6 phase/epoch construction directly on G, nodes
+//      drawing through their cluster's generator.
+//   => strong-diameter (O(log n), O(log^2 n)) decomposition.
+#pragma once
+
+#include "decomp/beacons.hpp"
+#include "decomp/decomposition.hpp"
+#include "decomp/shared_congest.hpp"
+#include "graph/graph.hpp"
+
+namespace rlocal {
+
+struct OneBitOptions {
+  /// Bits each non-isolated cluster must gather; 0 -> 2 * ceil(log2 n)^2
+  /// (the Lemma 3.3 budget, with a bench-scale constant).
+  int bits_per_cluster = 0;
+  /// Ruling-set separation; 0 -> the paper's 10 * k * h (often larger than
+  /// bench graphs; experiments pass a smaller value and *measure* the
+  /// gathered-bit shortfall instead -- see EXPERIMENTS.md).
+  int h_prime = 0;
+  int en_phases = 0;  ///< phases for the cluster-graph EN; 0 -> default
+  SharedCongestOptions congest;  ///< Theorem 3.7 inner options
+};
+
+struct OneBitResult {
+  Decomposition decomposition;
+  bool all_clustered = false;
+  bool success = false;  ///< all clustered and no bit pool ran dry
+  int colors = 0;
+  int rounds_charged = 0;
+  int num_clusters = 0;          ///< Lemma 3.2 clusters
+  int num_isolated = 0;
+  int min_bits_gathered = -1;    ///< over non-isolated clusters
+  int exhausted_draws = 0;       ///< draws served after a pool ran dry
+  int cluster_radius_bound = 0;  ///< Lemma 3.2 radius bound
+};
+
+/// Theorem 3.1.
+OneBitResult one_bit_decomposition(const Graph& g,
+                                   const BeaconPlacement& placement,
+                                   BitSource& beacon_bits,
+                                   const OneBitOptions& options = {});
+
+/// Theorem 3.7.
+OneBitResult one_bit_strong_decomposition(const Graph& g,
+                                          const BeaconPlacement& placement,
+                                          BitSource& beacon_bits,
+                                          const OneBitOptions& options = {});
+
+}  // namespace rlocal

@@ -1,0 +1,121 @@
+#include "decomp/ruling_set.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "support/math.hpp"
+
+namespace rlocal {
+
+namespace {
+
+/// Keeps the nodes of `add` whose distance to `base` is >= alpha, then
+/// returns base + kept (the AGLP merge step).
+std::vector<NodeId> merge_level(const Graph& g, std::vector<NodeId> base,
+                                const std::vector<NodeId>& add, int alpha) {
+  if (base.empty()) return add;
+  if (add.empty()) return base;
+  // Bounded multi-source BFS from `base` to depth alpha - 1.
+  const auto dist = multi_source_distances(g, base);
+  for (const NodeId v : add) {
+    if (dist[static_cast<std::size_t>(v)] >= alpha) base.push_back(v);
+  }
+  return base;
+}
+
+std::vector<NodeId> ruling_recurse(const Graph& g,
+                                   const std::vector<NodeId>& candidates,
+                                   int alpha, int bit) {
+  if (candidates.empty()) return {};
+  if (bit < 0 || candidates.size() == 1) {
+    // All remaining candidates share every id bit examined so far; since ids
+    // are unique, at most one candidate can remain once all bits are split.
+    RLOCAL_ASSERT(candidates.size() == 1);
+    return candidates;
+  }
+  std::vector<NodeId> zeros;
+  std::vector<NodeId> ones;
+  for (const NodeId v : candidates) {
+    if ((g.id(v) >> bit) & 1ULL) {
+      ones.push_back(v);
+    } else {
+      zeros.push_back(v);
+    }
+  }
+  if (zeros.empty()) return ruling_recurse(g, ones, alpha, bit - 1);
+  if (ones.empty()) return ruling_recurse(g, zeros, alpha, bit - 1);
+  const auto s0 = ruling_recurse(g, zeros, alpha, bit - 1);
+  const auto s1 = ruling_recurse(g, ones, alpha, bit - 1);
+  return merge_level(g, s0, s1, alpha);
+}
+
+}  // namespace
+
+RulingSetResult ruling_set(const Graph& g,
+                           const std::vector<NodeId>& candidates, int alpha) {
+  RLOCAL_CHECK(alpha >= 1, "ruling set requires alpha >= 1");
+  RulingSetResult result;
+  result.alpha = alpha;
+  std::vector<NodeId> unique_candidates = candidates;
+  std::sort(unique_candidates.begin(), unique_candidates.end());
+  unique_candidates.erase(
+      std::unique(unique_candidates.begin(), unique_candidates.end()),
+      unique_candidates.end());
+  std::uint64_t max_id = 1;
+  for (const NodeId v : unique_candidates) {
+    RLOCAL_CHECK(v >= 0 && v < g.num_nodes(), "candidate out of range");
+    max_id = std::max(max_id, g.id(v));
+  }
+  const int bits = ceil_log2(max_id + 1);
+  result.set = ruling_recurse(g, unique_candidates, alpha, bits - 1);
+  std::sort(result.set.begin(), result.set.end());
+  result.set.erase(std::unique(result.set.begin(), result.set.end()),
+                   result.set.end());
+  result.beta = std::max(1, alpha * std::max(1, bits));
+  // The distributed algorithm runs the bit levels sequentially; every level
+  // floods to depth alpha (all same-level merges happen in parallel).
+  result.rounds_charged = alpha * std::max(1, bits);
+  return result;
+}
+
+std::string check_ruling_set(const Graph& g,
+                             const std::vector<NodeId>& candidates,
+                             const std::vector<NodeId>& set, int alpha,
+                             int beta) {
+  if (candidates.empty()) {
+    return set.empty() ? "" : "nonempty set for empty candidates";
+  }
+  if (set.empty()) return "empty ruling set for nonempty candidates";
+  std::vector<bool> in_set(static_cast<std::size_t>(g.num_nodes()), false);
+  std::vector<bool> is_candidate(static_cast<std::size_t>(g.num_nodes()),
+                                 false);
+  for (const NodeId v : candidates) {
+    is_candidate[static_cast<std::size_t>(v)] = true;
+  }
+  for (const NodeId v : set) {
+    if (!is_candidate[static_cast<std::size_t>(v)]) {
+      return "set member is not a candidate";
+    }
+    in_set[static_cast<std::size_t>(v)] = true;
+  }
+  // Pairwise separation: BFS from each set node to depth alpha - 1 must not
+  // meet another set node.
+  for (const NodeId s : set) {
+    const auto dist = bfs_distances(g, s);
+    for (const NodeId t : set) {
+      if (t != s && dist[static_cast<std::size_t>(t)] < alpha) {
+        return "two ruling-set nodes are closer than alpha";
+      }
+    }
+  }
+  // Coverage.
+  const auto dist = multi_source_distances(g, set);
+  for (const NodeId v : candidates) {
+    if (dist[static_cast<std::size_t>(v)] > beta) {
+      return "candidate farther than beta from the set";
+    }
+  }
+  return "";
+}
+
+}  // namespace rlocal

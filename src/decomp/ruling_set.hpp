@@ -1,0 +1,39 @@
+// Deterministic (alpha, alpha * ceil(log2 ID_MAX)) ruling sets, following
+// Awerbuch-Goldberg-Luby-Plotkin [AGLP89] (also [HKN16]): recurse on the
+// bits of the unique node identifiers; at each level, merge the ruling set
+// of the 1-side into the 0-side by keeping only 1-side nodes at distance
+// >= alpha from every kept 0-side node. Each level costs alpha rounds of
+// flooding in CONGEST and adds alpha to the covering radius beta.
+//
+// Guarantees, for S = ruling_set(G, U, alpha):
+//   * S is a subset of U;
+//   * any two nodes of S are at G-distance >= alpha;
+//   * every node of U has a node of S within distance beta <= alpha * B,
+//     where B = number of id bits.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/ledger.hpp"
+
+namespace rlocal {
+
+struct RulingSetResult {
+  std::vector<NodeId> set;
+  int alpha = 0;
+  int beta = 0;            ///< covering-radius guarantee alpha * id_bits
+  int rounds_charged = 0;  ///< CONGEST rounds: alpha per id-bit level
+};
+
+RulingSetResult ruling_set(const Graph& g,
+                           const std::vector<NodeId>& candidates, int alpha);
+
+/// Checks the two ruling-set properties (pairwise distance >= alpha; every
+/// candidate within `beta` of the set). Returns an empty string when valid.
+std::string check_ruling_set(const Graph& g,
+                             const std::vector<NodeId>& candidates,
+                             const std::vector<NodeId>& set, int alpha,
+                             int beta);
+
+}  // namespace rlocal

@@ -1,0 +1,238 @@
+#include "decomp/shared_congest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "graph/algorithms.hpp"
+#include "sim/programs/top_two.hpp"
+#include "support/math.hpp"
+
+namespace rlocal {
+
+namespace {
+
+/// Number of epochs so the sampling probability reaches 1: smallest p with
+/// 2^p * logn / n >= 1 (plus one warm-up epoch).
+int epochs_for(NodeId n, int logn) {
+  int p = 1;
+  while (std::ldexp(static_cast<double>(logn), p) <
+         static_cast<double>(n)) {
+    ++p;
+  }
+  return p + 1;
+}
+
+/// Counts, for every live node, how many centers reach it (analysis-only
+/// instrumentation for the paper's O(log n) reach bound).
+int measure_reach(const Graph& g, const std::vector<std::int32_t>& start,
+                  const std::vector<bool>& live) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<int> reach(n, 0);
+  std::vector<std::int32_t> dist(n, -1);
+  std::deque<NodeId> queue;
+  for (NodeId c = 0; c < g.num_nodes(); ++c) {
+    const std::int32_t budget = start[static_cast<std::size_t>(c)];
+    if (budget < 0) continue;
+    // BFS from c within the live subgraph, bounded by `budget` hops.
+    std::vector<NodeId> touched;
+    dist[static_cast<std::size_t>(c)] = 0;
+    touched.push_back(c);
+    queue.assign(1, c);
+    ++reach[static_cast<std::size_t>(c)];
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      if (dist[static_cast<std::size_t>(v)] == budget) continue;
+      for (const NodeId u : g.neighbors(v)) {
+        if (!live[static_cast<std::size_t>(u)] ||
+            dist[static_cast<std::size_t>(u)] != -1) {
+          continue;
+        }
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        touched.push_back(u);
+        ++reach[static_cast<std::size_t>(u)];
+        queue.push_back(u);
+      }
+    }
+    for (const NodeId t : touched) dist[static_cast<std::size_t>(t)] = -1;
+  }
+  int max_reach = 0;
+  for (const int r : reach) max_reach = std::max(max_reach, r);
+  return max_reach;
+}
+
+}  // namespace
+
+int shared_congest_epochs(NodeId n) {
+  return epochs_for(n, log2n(static_cast<std::uint64_t>(
+                            std::max<NodeId>(2, n))));
+}
+
+SharedCongestResult shared_congest_core(const Graph& g, EpochRandomness& rnd,
+                                        const SharedCongestOptions& options) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const int logn = log2n(static_cast<std::uint64_t>(
+      std::max<NodeId>(2, g.num_nodes())));
+  const int phases = options.phases > 0 ? options.phases : 8 * logn;
+  const int c = std::max(1, options.radius_scale);
+  const int epochs = epochs_for(g.num_nodes(), logn);
+  const int radius_cap = c * logn;  // w.h.p. bound on X_u
+
+  SharedCongestResult result;
+  result.epochs_per_phase = epochs;
+
+  std::vector<NodeId> owner(n, -1);
+  std::vector<int> color(n, -1);
+  std::vector<NodeId> parent(n, -1);
+  std::vector<bool> clustered(n, false);
+  std::size_t clustered_count = 0;
+
+  std::unordered_map<std::uint64_t, NodeId> node_of_id;
+  node_of_id.reserve(n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) node_of_id[g.id(v)] = v;
+
+  std::vector<bool> live(n);
+  std::vector<std::int32_t> start(n);
+  for (int phase = 0; phase < phases && clustered_count < n; ++phase) {
+    result.phases_used = phase + 1;
+    // Live = unclustered nodes; set-aside nodes leave `live` mid-phase.
+    for (std::size_t v = 0; v < n; ++v) live[v] = !clustered[v];
+
+    for (int epoch = 1; epoch <= epochs; ++epoch) {
+      const int base_radius = (epochs - epoch) * c * logn;
+      const double q = std::min(
+          1.0, std::ldexp(static_cast<double>(logn), epoch) /
+                   static_cast<double>(g.num_nodes()));
+      bool any_center = false;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        start[static_cast<std::size_t>(v)] = -1;
+        if (!live[static_cast<std::size_t>(v)]) continue;
+        if (!rnd.center_coin(v, phase, epoch, q)) continue;
+        const int x = rnd.radius_draw(v, phase, epoch, radius_cap);
+        RLOCAL_CHECK(x >= 1 && x <= radius_cap, "radius outside [1, cap]");
+        result.max_radius_drawn = std::max(result.max_radius_drawn, x);
+        start[static_cast<std::size_t>(v)] =
+            static_cast<std::int32_t>(base_radius + x);
+        RLOCAL_CHECK(start[static_cast<std::size_t>(v)] < (1 << 16),
+                     "measure exceeds wire format");
+        any_center = true;
+      }
+      result.rounds_charged += 1;  // the election round
+      if (!any_center) continue;
+
+      if (options.collect_reach_stats) {
+        result.max_centers_reaching = std::max(
+            result.max_centers_reaching, measure_reach(g, start, live));
+      }
+
+      const TopTwoResult measures = reference_top_two(g, start, live);
+      result.rounds_charged += base_radius + radius_cap + 2;
+
+      // Decide: join (remove from live + phase color), set aside (remove
+      // from live for this phase), or continue unreached.
+      std::vector<NodeId> joined;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (!live[static_cast<std::size_t>(v)]) continue;
+        const MeasureEntry& best =
+            measures.best[static_cast<std::size_t>(v)];
+        if (!best.present()) continue;  // unreached; next epoch
+        const MeasureEntry& sec =
+            measures.second[static_cast<std::size_t>(v)];
+        const std::int32_t m1 = best.value;
+        const std::int32_t m2 = sec.present() ? sec.value : 0;
+        if (m1 - m2 > 1) {
+          const auto it = node_of_id.find(best.origin_id);
+          RLOCAL_ASSERT(it != node_of_id.end());
+          owner[static_cast<std::size_t>(v)] = it->second;
+          color[static_cast<std::size_t>(v)] = phase;
+          joined.push_back(v);
+        } else {
+          live[static_cast<std::size_t>(v)] = false;  // set aside
+        }
+      }
+      // Tree parents within this epoch's live set (same argument as EN).
+      for (const NodeId v : joined) {
+        const NodeId o = owner[static_cast<std::size_t>(v)];
+        if (o == v) continue;
+        const std::int32_t m1 =
+            measures.best[static_cast<std::size_t>(v)].value;
+        NodeId chosen = -1;
+        for (const NodeId u : g.neighbors(v)) {
+          // Only nodes live in this epoch carry measures; the parent must
+          // have joined the same cluster in this epoch.
+          const MeasureEntry& ub =
+              measures.best[static_cast<std::size_t>(u)];
+          if (ub.present() && ub.origin_id == g.id(o) &&
+              ub.value == m1 + 1 &&
+              owner[static_cast<std::size_t>(u)] == o &&
+              color[static_cast<std::size_t>(u)] == phase) {
+            chosen = u;
+            break;
+          }
+        }
+        RLOCAL_ASSERT(chosen != -1);
+        parent[static_cast<std::size_t>(v)] = chosen;
+      }
+      for (const NodeId v : joined) {
+        live[static_cast<std::size_t>(v)] = false;
+        clustered[static_cast<std::size_t>(v)] = true;
+        ++clustered_count;
+      }
+    }
+  }
+
+  result.all_clustered = clustered_count == n;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!clustered[static_cast<std::size_t>(v)]) {
+      result.unclustered.push_back(v);
+    }
+  }
+  result.decomposition = decomposition_from_labels(
+      g, owner, color, parent, /*allow_partial=*/!result.all_clustered);
+  result.decomposition.num_colors = result.phases_used;
+  return result;
+}
+
+namespace {
+
+class RegimeEpochRandomness final : public EpochRandomness {
+ public:
+  explicit RegimeEpochRandomness(NodeRandomness& rnd, int epochs)
+      : rnd_(&rnd), epochs_(epochs) {}
+
+  bool center_coin(NodeId node, int phase, int epoch, double q) override {
+    return rnd_->bernoulli(static_cast<std::uint64_t>(node),
+                           stream(phase, epoch, 0), q);
+  }
+  int radius_draw(NodeId node, int phase, int epoch, int cap) override {
+    return rnd_->geometric(static_cast<std::uint64_t>(node),
+                           stream(phase, epoch, 1), cap);
+  }
+
+ private:
+  std::uint64_t stream(int phase, int epoch, int which) const {
+    return (static_cast<std::uint64_t>(phase) *
+                static_cast<std::uint64_t>(epochs_ + 1) +
+            static_cast<std::uint64_t>(epoch)) *
+               2 +
+           static_cast<std::uint64_t>(which);
+  }
+  NodeRandomness* rnd_;
+  int epochs_;
+};
+
+}  // namespace
+
+SharedCongestResult shared_randomness_decomposition(
+    const Graph& g, NodeRandomness& rnd,
+    const SharedCongestOptions& options) {
+  const int logn = log2n(static_cast<std::uint64_t>(
+      std::max<NodeId>(2, g.num_nodes())));
+  RegimeEpochRandomness provider(rnd, epochs_for(g.num_nodes(), logn));
+  return shared_congest_core(g, provider, options);
+}
+
+}  // namespace rlocal

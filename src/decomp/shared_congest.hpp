@@ -1,0 +1,72 @@
+// Theorem 3.6: a (O(log n), O(log^2 n)) strong-diameter network
+// decomposition in poly(log n) CONGEST rounds using only poly(log n) bits of
+// globally shared randomness (no private randomness).
+//
+// Construction (paper, Section 3.2): O(log n) phases; each phase consists of
+// p = O(log n) epochs with decreasing base radii R_i = (p - i) * c * log n.
+// In epoch i every still-live node becomes a center with probability
+// ~ 2^i * log(n) / n; each center u draws a geometric radius X_u <= c log n
+// and its cluster "reaches" v when (R_i + X_u) - d(u, v) >= 0. A reached
+// node joins the argmax center if the top measure beats the second by more
+// than 1 (then it is clustered with this phase's color); otherwise it is set
+// aside until the next phase. Unreached nodes continue to the next epoch.
+//
+// All randomness flows through the EpochRandomness interface:
+//   * Theorem 3.6 uses a shared-seed k-wise regime (NodeRandomness);
+//   * Theorem 3.7 plugs in per-cluster k-wise generators seeded by gathered
+//     beacon bits (independent across clusters).
+#pragma once
+
+#include <memory>
+
+#include "decomp/decomposition.hpp"
+#include "graph/graph.hpp"
+#include "rnd/regime.hpp"
+
+namespace rlocal {
+
+/// Randomness provider for the phase/epoch construction.
+class EpochRandomness {
+ public:
+  virtual ~EpochRandomness() = default;
+  /// Center-election coin for `node` in (phase, epoch), success prob. q.
+  virtual bool center_coin(NodeId node, int phase, int epoch, double q) = 0;
+  /// Truncated geometric radius draw (Pr[X=k] = 2^-k, k in [1, cap]).
+  virtual int radius_draw(NodeId node, int phase, int epoch, int cap) = 0;
+};
+
+struct SharedCongestOptions {
+  int phases = 0;        ///< 0 -> 8 * ceil(log2 n)
+  int radius_scale = 2;  ///< the paper's constant c (>= 10 asymptotically;
+                         ///< 2 keeps simulated radii sane at bench scales)
+  bool collect_reach_stats = false;  ///< measure #centers reaching nodes
+};
+
+struct SharedCongestResult {
+  Decomposition decomposition;
+  bool all_clustered = false;
+  std::vector<NodeId> unclustered;
+  int phases_used = 0;
+  int epochs_per_phase = 0;
+  int rounds_charged = 0;
+  int max_radius_drawn = 0;
+  /// Max over (epoch, live node) of the number of centers reaching the node
+  /// (paper's w.h.p. O(log n) claim); -1 when stats are disabled.
+  int max_centers_reaching = -1;
+};
+
+SharedCongestResult shared_congest_core(const Graph& g, EpochRandomness& rnd,
+                                        const SharedCongestOptions& options);
+
+/// Number of epochs per phase the construction uses for an n-node graph
+/// (the smallest p with sampling probability reaching 1, plus one); exposed
+/// so providers can bound their stream encodings.
+int shared_congest_epochs(NodeId n);
+
+/// Theorem 3.6 entry point: provider backed by a NodeRandomness regime
+/// (use Regime::shared_kwise(poly log n bits) for the theorem's setting).
+SharedCongestResult shared_randomness_decomposition(
+    const Graph& g, NodeRandomness& rnd,
+    const SharedCongestOptions& options = {});
+
+}  // namespace rlocal

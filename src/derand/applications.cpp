@@ -1,0 +1,108 @@
+#include "derand/applications.hpp"
+
+#include <algorithm>
+
+namespace rlocal {
+
+namespace {
+
+/// Cluster indices grouped by color, and the per-color max tree diameter
+/// (what the gather/scatter rounds cost).
+struct ColorSchedule {
+  std::vector<std::vector<std::size_t>> clusters_of_color;
+  std::vector<int> gather_rounds;  ///< per color
+};
+
+ColorSchedule make_schedule(const Graph& g, const Decomposition& d) {
+  RLOCAL_CHECK(d.cluster_of.size() == static_cast<std::size_t>(g.num_nodes()),
+               "decomposition does not match graph");
+  ColorSchedule schedule;
+  schedule.clusters_of_color.resize(static_cast<std::size_t>(d.num_colors));
+  schedule.gather_rounds.assign(static_cast<std::size_t>(d.num_colors), 0);
+  for (std::size_t c = 0; c < d.clusters.size(); ++c) {
+    const Cluster& cluster = d.clusters[c];
+    RLOCAL_CHECK(cluster.color >= 0 && cluster.color < d.num_colors,
+                 "cluster color out of range");
+    schedule.clusters_of_color[static_cast<std::size_t>(cluster.color)]
+        .push_back(c);
+    // The gather depth is bounded by the cluster tree size (a conservative
+    // stand-in for its diameter; exact diameters are available from
+    // validate_decomposition when callers want tight accounting).
+    schedule.gather_rounds[static_cast<std::size_t>(cluster.color)] =
+        std::max(schedule.gather_rounds[static_cast<std::size_t>(
+                     cluster.color)],
+                 static_cast<int>(cluster.tree_nodes.size()));
+  }
+  return schedule;
+}
+
+}  // namespace
+
+DecompositionMisResult mis_from_decomposition(const Graph& g,
+                                              const Decomposition& d) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const ColorSchedule schedule = make_schedule(g, d);
+  DecompositionMisResult result;
+  result.in_mis.assign(n, false);
+  std::vector<bool> decided(n, false);
+  for (int color = 0; color < d.num_colors; ++color) {
+    for (const std::size_t c :
+         schedule.clusters_of_color[static_cast<std::size_t>(color)]) {
+      // Each cluster solves locally, in ascending-id member order.
+      std::vector<NodeId> members = d.clusters[c].members;
+      std::sort(members.begin(), members.end(),
+                [&g](NodeId a, NodeId b) { return g.id(a) < g.id(b); });
+      for (const NodeId v : members) {
+        bool blocked = false;
+        for (const NodeId u : g.neighbors(v)) {
+          if (result.in_mis[static_cast<std::size_t>(u)]) {
+            blocked = true;
+            break;
+          }
+        }
+        if (!blocked) result.in_mis[static_cast<std::size_t>(v)] = true;
+        decided[static_cast<std::size_t>(v)] = true;
+      }
+    }
+    result.rounds_charged +=
+        2 * schedule.gather_rounds[static_cast<std::size_t>(color)] + 2;
+  }
+  for (const bool was_decided : decided) {
+    RLOCAL_CHECK(was_decided, "decomposition must cover every node");
+  }
+  return result;
+}
+
+DecompositionColoringResult coloring_from_decomposition(
+    const Graph& g, const Decomposition& d) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const ColorSchedule schedule = make_schedule(g, d);
+  DecompositionColoringResult result;
+  result.color.assign(n, -1);
+  std::vector<bool> used;
+  for (int color = 0; color < d.num_colors; ++color) {
+    for (const std::size_t c :
+         schedule.clusters_of_color[static_cast<std::size_t>(color)]) {
+      std::vector<NodeId> members = d.clusters[c].members;
+      std::sort(members.begin(), members.end(),
+                [&g](NodeId a, NodeId b) { return g.id(a) < g.id(b); });
+      for (const NodeId v : members) {
+        used.assign(static_cast<std::size_t>(g.degree(v)) + 2, false);
+        for (const NodeId u : g.neighbors(v)) {
+          const int cu = result.color[static_cast<std::size_t>(u)];
+          if (cu >= 0 && cu <= g.degree(v)) {
+            used[static_cast<std::size_t>(cu)] = true;
+          }
+        }
+        int pick = 0;
+        while (used[static_cast<std::size_t>(pick)]) ++pick;
+        result.color[static_cast<std::size_t>(v)] = pick;
+      }
+    }
+    result.rounds_charged +=
+        2 * schedule.gather_rounds[static_cast<std::size_t>(color)] + 2;
+  }
+  return result;
+}
+
+}  // namespace rlocal

@@ -1,0 +1,40 @@
+// The payoff the paper's framing rests on: given a network decomposition
+// with poly(log n) parameters, classic problems derandomize. Colors are
+// processed in order; same-color clusters are non-adjacent, so each cluster
+// decides its members locally (gathering its ball costs O(diameter) rounds)
+// knowing every earlier color's output -- the [AGLP89]/[GKM17] scheme.
+//
+// Round cost charged: per color, 2 * (max cluster tree diameter) + 2 (gather
+// + local solve + scatter), i.e. O(colors * diameter) total -- poly(log n)
+// whenever the decomposition has poly(log n) parameters, which is exactly
+// why P-RLOCAL problems land in deterministic poly(log n) time once a
+// decomposition exists.
+#pragma once
+
+#include <vector>
+
+#include "decomp/decomposition.hpp"
+#include "graph/graph.hpp"
+
+namespace rlocal {
+
+struct DecompositionMisResult {
+  std::vector<bool> in_mis;
+  int rounds_charged = 0;
+};
+
+/// Deterministic MIS driven by a (valid) decomposition: clusters decide in
+/// color order; members join unless a neighbor already joined.
+DecompositionMisResult mis_from_decomposition(const Graph& g,
+                                              const Decomposition& d);
+
+struct DecompositionColoringResult {
+  std::vector<int> color;  ///< proper (Delta+1)-coloring
+  int rounds_charged = 0;
+};
+
+/// Deterministic (Delta+1)-coloring by the same color-ordered scheme.
+DecompositionColoringResult coloring_from_decomposition(
+    const Graph& g, const Decomposition& d);
+
+}  // namespace rlocal

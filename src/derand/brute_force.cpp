@@ -1,0 +1,113 @@
+#include "derand/brute_force.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "support/math.hpp"
+
+namespace rlocal {
+
+bool fixed_priority_mis_succeeds(const Graph& g,
+                                 const std::vector<std::uint64_t>& phi,
+                                 int round_budget) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  enum class S { kUndecided, kIn, kOut };
+  std::vector<S> state(n, S::kUndecided);
+  for (int it = 0; it < round_budget; ++it) {
+    std::vector<NodeId> joiners;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (state[static_cast<std::size_t>(v)] != S::kUndecided) continue;
+      bool wins = true;
+      for (const NodeId u : g.neighbors(v)) {
+        if (state[static_cast<std::size_t>(u)] != S::kUndecided) continue;
+        const std::uint64_t pv = phi[static_cast<std::size_t>(g.id(v))];
+        const std::uint64_t pu = phi[static_cast<std::size_t>(g.id(u))];
+        if (pu > pv || (pu == pv && g.id(u) < g.id(v))) {
+          wins = false;
+          break;
+        }
+      }
+      if (wins) joiners.push_back(v);
+    }
+    for (const NodeId v : joiners) {
+      state[static_cast<std::size_t>(v)] = S::kIn;
+      for (const NodeId u : g.neighbors(v)) {
+        if (state[static_cast<std::size_t>(u)] == S::kUndecided) {
+          state[static_cast<std::size_t>(u)] = S::kOut;
+        }
+      }
+    }
+  }
+  std::vector<bool> in_mis(n, false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    in_mis[static_cast<std::size_t>(v)] =
+        state[static_cast<std::size_t>(v)] == S::kIn;
+  }
+  return is_maximal_independent_set(g, in_mis);
+}
+
+BruteForceResult brute_force_derandomize_mis(const BruteForceOptions& opt) {
+  RLOCAL_CHECK(opt.max_n >= 1 && opt.max_n <= 5,
+               "family enumeration is exponential; max_n <= 5");
+  RLOCAL_CHECK(opt.bits_per_id >= 1 && opt.bits_per_id <= 8,
+               "bits_per_id in [1, 8]");
+  RLOCAL_CHECK(
+      static_cast<std::uint64_t>(opt.bits_per_id) *
+              static_cast<std::uint64_t>(opt.max_n) <=
+          24,
+      "total seed space must stay enumerable");
+
+  // Family G_n: all labelled graphs on exactly j nodes (ids 0..j-1) for
+  // every j <= max_n, all edge subsets.
+  std::vector<Graph> family;
+  for (int j = 1; j <= opt.max_n; ++j) {
+    const int pairs = j * (j - 1) / 2;
+    for (std::uint64_t mask = 0; mask < (1ULL << pairs); ++mask) {
+      Graph::Builder b(j);
+      int bit = 0;
+      for (NodeId u = 0; u < j; ++u) {
+        for (NodeId v = u + 1; v < j; ++v) {
+          if ((mask >> bit) & 1ULL) b.add_edge(u, v);
+          ++bit;
+        }
+      }
+      family.push_back(std::move(b).build());
+    }
+  }
+
+  BruteForceResult result;
+  result.graphs_in_family = family.size();
+  const int total_bits = opt.bits_per_id * opt.max_n;
+  result.seed_assignments = 1ULL << total_bits;
+
+  std::uint64_t failure_sum = 0;
+  for (std::uint64_t seed = 0; seed < result.seed_assignments; ++seed) {
+    // Decode phi: bits_per_id bits per identifier.
+    std::vector<std::uint64_t> phi(static_cast<std::size_t>(opt.max_n));
+    for (int i = 0; i < opt.max_n; ++i) {
+      phi[static_cast<std::size_t>(i)] =
+          (seed >> (i * opt.bits_per_id)) &
+          ((1ULL << opt.bits_per_id) - 1);
+    }
+    std::uint64_t failures = 0;
+    for (const Graph& g : family) {
+      if (!fixed_priority_mis_succeeds(g, phi, opt.round_budget)) {
+        ++failures;
+      }
+    }
+    failure_sum += failures;
+    result.worst_failures = std::max(result.worst_failures, failures);
+    if (failures == 0) {
+      ++result.perfect_seeds;
+      if (result.witness_seed.empty()) result.witness_seed = phi;
+    }
+  }
+  result.mean_failure_fraction =
+      static_cast<double>(failure_sum) /
+      (static_cast<double>(result.seed_assignments) *
+       static_cast<double>(family.size()));
+  result.derandomizable = result.perfect_seeds > 0;
+  return result;
+}
+
+}  // namespace rlocal

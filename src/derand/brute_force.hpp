@@ -1,0 +1,45 @@
+// Lemma 4.1: a randomized algorithm that succeeds with probability
+// > 1 - 1/|G_n| on every graph in the family G_n admits a single random-seed
+// assignment phi(id) that works for the whole family -- a counting argument
+// over |G_n| < 2^{n^2} graphs. This module realizes the argument exactly, at
+// the only scale where it is computable: it enumerates every labelled graph
+// on <= max_n nodes and every assignment of `bits_per_id` random bits per
+// identifier, runs a budgeted Luby MIS driven by those bits, and reports
+// which assignments succeed everywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rlocal {
+
+struct BruteForceOptions {
+  int max_n = 4;        ///< enumerate graphs on 1..max_n labelled nodes
+  int bits_per_id = 2;  ///< random bits assigned to each identifier
+  int round_budget = 1; ///< Luby iterations allowed (1 makes failures real)
+};
+
+struct BruteForceResult {
+  std::uint64_t graphs_in_family = 0;
+  std::uint64_t seed_assignments = 0;
+  std::uint64_t perfect_seeds = 0;   ///< succeed on every family graph
+  std::uint64_t worst_failures = 0;  ///< max #failing graphs over seeds
+  double mean_failure_fraction = 0;  ///< avg over seeds of failing fraction
+  bool derandomizable = false;       ///< perfect_seeds > 0
+  std::vector<std::uint64_t> witness_seed;  ///< bits per id, if perfect
+};
+
+/// The algorithm being derandomized: Luby MIS where node with identifier i
+/// uses phi(i) as its priority for all `round_budget` iterations (a
+/// 2^bits-valued priority; ties break by identifier). Success on a graph =
+/// the result is a maximal independent set after the budget.
+BruteForceResult brute_force_derandomize_mis(const BruteForceOptions& opt);
+
+/// Runs the budgeted fixed-priority Luby on one graph; exposed for tests.
+bool fixed_priority_mis_succeeds(const Graph& g,
+                                 const std::vector<std::uint64_t>& phi,
+                                 int round_budget);
+
+}  // namespace rlocal

@@ -1,0 +1,85 @@
+#include "derand/cond_exp.hpp"
+
+#include <cmath>
+
+#include "problems/splitting.hpp"
+
+namespace rlocal {
+
+CondExpSplittingResult conditional_expectation_splitting(
+    const BipartiteGraph& h) {
+  CondExpSplittingResult result;
+  const auto num_left = static_cast<std::size_t>(h.num_left());
+  const auto num_right = static_cast<std::size_t>(h.num_right());
+
+  // Right-side incidence lists (the CSR is left-based).
+  std::vector<std::vector<std::int32_t>> lefts_of(num_right);
+  for (std::int32_t u = 0; u < h.num_left(); ++u) {
+    for (const std::int32_t v : h.left_neighbors(u)) {
+      lefts_of[static_cast<std::size_t>(v)].push_back(u);
+    }
+  }
+
+  // Per-left-node state under the partial coloring.
+  std::vector<int> undecided(num_left, 0);
+  std::vector<bool> saw_red(num_left, false);
+  std::vector<bool> saw_blue(num_left, false);
+  for (std::int32_t u = 0; u < h.num_left(); ++u) {
+    undecided[static_cast<std::size_t>(u)] =
+        static_cast<int>(h.left_neighbors(u).size());
+  }
+
+  auto estimate_of = [&](std::int32_t u) {
+    // P[all red] + P[all blue] given the current partial coloring.
+    const int k = undecided[static_cast<std::size_t>(u)];
+    const double p = std::pow(0.5, k);
+    double e = 0.0;
+    if (!saw_blue[static_cast<std::size_t>(u)]) e += p;  // all-red possible
+    if (!saw_red[static_cast<std::size_t>(u)]) e += p;   // all-blue possible
+    return e;
+  };
+
+  double estimate = 0.0;
+  for (std::int32_t u = 0; u < h.num_left(); ++u) estimate += estimate_of(u);
+  result.initial_estimate = estimate;
+
+  result.red.assign(num_right, false);
+  for (std::int32_t v = 0; v < h.num_right(); ++v) {
+    // Exact delta of the estimator for both choices of v's color.
+    double delta_red = 0.0;
+    double delta_blue = 0.0;
+    for (const std::int32_t u : lefts_of[static_cast<std::size_t>(v)]) {
+      const double before = estimate_of(u);
+      undecided[static_cast<std::size_t>(u)] -= 1;
+
+      const bool old_red = saw_red[static_cast<std::size_t>(u)];
+      saw_red[static_cast<std::size_t>(u)] = true;
+      delta_red += estimate_of(u) - before;
+      saw_red[static_cast<std::size_t>(u)] = old_red;
+
+      const bool old_blue = saw_blue[static_cast<std::size_t>(u)];
+      saw_blue[static_cast<std::size_t>(u)] = true;
+      delta_blue += estimate_of(u) - before;
+      saw_blue[static_cast<std::size_t>(u)] = old_blue;
+
+      undecided[static_cast<std::size_t>(u)] += 1;
+    }
+    const bool choose_red = delta_red <= delta_blue;
+    result.red[static_cast<std::size_t>(v)] = choose_red;
+    estimate += choose_red ? delta_red : delta_blue;
+    for (const std::int32_t u : lefts_of[static_cast<std::size_t>(v)]) {
+      undecided[static_cast<std::size_t>(u)] -= 1;
+      if (choose_red) {
+        saw_red[static_cast<std::size_t>(u)] = true;
+      } else {
+        saw_blue[static_cast<std::size_t>(u)] = true;
+      }
+    }
+  }
+
+  result.final_estimate = estimate;
+  result.violations = count_splitting_violations(h, result.red);
+  return result;
+}
+
+}  // namespace rlocal

@@ -1,0 +1,29 @@
+// Method of conditional expectations: the deterministic engine behind the
+// [GKM17]/[GHK18] derandomization framework the paper builds on (and behind
+// our conflict-free base case). Here: deterministic splitting.
+//
+// For the splitting instance H = (U, V, E) the pessimistic estimator is
+// exact: E[#monochromatic U-nodes] = sum_u (P[all red] + P[all blue] given
+// the partial coloring). Processing V in any order and picking the color
+// that does not increase the estimator keeps it non-increasing; when the
+// initial value is < 1 (min degree >= log2(2|U|) + 1), the final coloring
+// has zero violations -- a zero-randomness SLOCAL-style algorithm.
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite.hpp"
+
+namespace rlocal {
+
+struct CondExpSplittingResult {
+  std::vector<bool> red;
+  int violations = 0;
+  double initial_estimate = 0.0;  ///< E[#violations] before any choice
+  double final_estimate = 0.0;    ///< equals #violations (all decided)
+};
+
+CondExpSplittingResult conditional_expectation_splitting(
+    const BipartiteGraph& h);
+
+}  // namespace rlocal

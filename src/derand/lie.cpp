@@ -1,0 +1,43 @@
+#include "derand/lie.hpp"
+
+#include <cmath>
+
+#include "support/math.hpp"
+
+namespace rlocal {
+
+EnResult run_with_pretended_n(const Graph& g, std::uint64_t pretended_n,
+                              NodeRandomness& rnd) {
+  RLOCAL_CHECK(pretended_n >= static_cast<std::uint64_t>(g.num_nodes()),
+               "pretended N must be at least the actual size");
+  const int logN = log2n(pretended_n);
+  EnOptions options;
+  options.phases = 10 * logN;
+  options.shift_cap = 10 * logN;
+  return elkin_neiman_decomposition(g, rnd, options);
+}
+
+double en_failure_upper_bound(NodeId actual_n, std::uint64_t pretended_n) {
+  const int phases = 10 * log2n(pretended_n);
+  // P[node unclustered after all phases] <= 2^-phases (EN16 Claim 6 gives
+  // per-phase clustering probability >= 1/2); union bound over n nodes.
+  const double log2_bound =
+      std::log2(static_cast<double>(std::max<NodeId>(1, actual_n))) -
+      static_cast<double>(phases);
+  return std::pow(2.0, std::min(0.0, log2_bound));
+}
+
+double lie_required_log2_time(double n, double beta, double eps) {
+  RLOCAL_CHECK(n >= 2 && beta > 2 && eps > 0, "bad Theorem 4.3 parameters");
+  // Need 2^{eps log2^beta T(N)} >= n^2, i.e.
+  // log2 T(N) >= (2 log2 n / eps)^{1/beta}.
+  return std::pow(2.0 * std::log2(n) / eps, 1.0 / beta);
+}
+
+double lie_required_log2_n(double n, double eps) {
+  RLOCAL_CHECK(n >= 2 && eps > 0, "bad Theorem 4.6 parameters");
+  // Need 2^{log2^eps N} >= n^2, i.e. log2 N >= (2 log2 n)^{1/eps}.
+  return std::pow(2.0 * std::log2(n), 1.0 / eps);
+}
+
+}  // namespace rlocal

@@ -1,0 +1,40 @@
+// Theorems 4.3 / 4.6: derandomization by "lying about n".
+//
+// A non-uniform algorithm must succeed with probability 1 - delta(N) on
+// every graph with *at most* N nodes. Feeding it an inflated N makes its
+// failure probability collapse (delta(N) << delta(n)) at the cost of the
+// larger running time T(N); when delta(N) <= 2^{-n^2}, Lemma 4.1's counting
+// argument derandomizes it outright. This module provides (a) the inflated
+// runner for the Elkin-Neiman decomposition and (b) calculators for the
+// bound arithmetic of Theorems 4.3/4.6 (what N must be, what time results).
+#pragma once
+
+#include <cstdint>
+
+#include "decomp/elkin_neiman.hpp"
+#include "graph/graph.hpp"
+#include "rnd/regime.hpp"
+
+namespace rlocal {
+
+/// Runs EN with every parameter (phase count, shift cap) computed from
+/// `pretended_n` instead of the actual size, matching the non-uniform model
+/// where nodes are given N as input.
+EnResult run_with_pretended_n(const Graph& g, std::uint64_t pretended_n,
+                              NodeRandomness& rnd);
+
+/// Per-node failure bound for the multi-phase EN run with parameters from
+/// N: each phase leaves a node unclustered with probability <= 1/2, so
+/// P[some node of an n-node graph unclustered] <= n * 2^-phases(N).
+double en_failure_upper_bound(NodeId actual_n, std::uint64_t pretended_n);
+
+/// Theorem 4.3 arithmetic: given beta > 2 and the success bound
+/// 1 - 2^{-2^{eps * log^beta T}}, the N needed so the failure probability
+/// drops below 2^{-n^2}, expressed via log2: returns log2(T(N)).
+double lie_required_log2_time(double n, double beta, double eps);
+
+/// Theorem 4.6 arithmetic: success 1 - 2^{-2^{log^eps N}} forces
+/// log N >= (2 log n)^{1/eps}; returns that log2 N.
+double lie_required_log2_n(double n, double eps);
+
+}  // namespace rlocal

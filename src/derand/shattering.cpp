@@ -1,0 +1,253 @@
+#include "derand/shattering.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "decomp/ball_carving.hpp"
+#include "decomp/cluster_graph.hpp"
+#include "decomp/ruling_set.hpp"
+#include "graph/algorithms.hpp"
+#include "support/math.hpp"
+
+namespace rlocal {
+
+int greedy_separated_subset(const Graph& g, const std::vector<NodeId>& nodes,
+                            int d) {
+  RLOCAL_CHECK(d >= 1, "separation must be >= 1");
+  int count = 0;
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()),
+                                 kUnreachable);
+  std::vector<NodeId> chosen;
+  for (const NodeId v : nodes) {
+    if (dist[static_cast<std::size_t>(v)] < d) continue;
+    chosen.push_back(v);
+    ++count;
+    dist = multi_source_distances(g, chosen);
+  }
+  return count;
+}
+
+namespace {
+
+/// Builds the weak-diameter leftover clusters of Theorem 4.2's second stage
+/// and appends them to `merged` with a palette starting at `palette_offset`.
+/// Voronoi trees may pass through already-clustered nodes; each base node
+/// lies in at most one Voronoi cluster, so congestion per leftover color
+/// stays 1.
+void attach_leftover_clusters(const Graph& g,
+                              const std::vector<NodeId>& leftover,
+                              const VoronoiResult& voronoi,
+                              const std::vector<NodeId>& centers,
+                              const Decomposition& logical,
+                              int palette_offset, Decomposition* merged) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  // center -> logical vertex index.
+  std::map<NodeId, NodeId> logical_index;
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    logical_index[centers[c]] = static_cast<NodeId>(c);
+  }
+  // Leftover members per logical vertex.
+  std::vector<std::vector<NodeId>> members_of(centers.size());
+  for (const NodeId v : leftover) {
+    const NodeId o = voronoi.owner[static_cast<std::size_t>(v)];
+    RLOCAL_ASSERT(o != -1);
+    members_of[static_cast<std::size_t>(logical_index.at(o))].push_back(v);
+  }
+  // One witness (leftover-adjacent) base edge per logical edge.
+  std::map<std::pair<NodeId, NodeId>, std::pair<NodeId, NodeId>> witness;
+  std::vector<bool> is_leftover(n, false);
+  for (const NodeId v : leftover) is_leftover[static_cast<std::size_t>(v)] =
+      true;
+  for (const NodeId v : leftover) {
+    const NodeId cv = logical_index.at(
+        voronoi.owner[static_cast<std::size_t>(v)]);
+    for (const NodeId u : g.neighbors(v)) {
+      if (!is_leftover[static_cast<std::size_t>(u)]) continue;
+      const NodeId cu = logical_index.at(
+          voronoi.owner[static_cast<std::size_t>(u)]);
+      if (cu == cv) continue;
+      const auto key = std::minmax(cv, cu);
+      witness.emplace(std::pair<NodeId, NodeId>(key.first, key.second),
+                      std::pair<NodeId, NodeId>(v, u));
+    }
+  }
+
+  for (const Cluster& lc : logical.clusters) {
+    Cluster base;
+    base.color = palette_offset + lc.color;
+    base.center = centers[static_cast<std::size_t>(lc.center)];
+
+    // Subgraph H: Voronoi paths member -> center, plus one witness edge per
+    // logical tree edge (with the witnesses' own Voronoi paths).
+    std::set<NodeId> h_nodes;
+    std::set<std::pair<NodeId, NodeId>> h_edges;  // normalized (min,max)
+    auto add_edge = [&h_edges, &h_nodes](NodeId a, NodeId b) {
+      h_nodes.insert(a);
+      h_nodes.insert(b);
+      h_edges.insert({std::min(a, b), std::max(a, b)});
+    };
+    auto add_path_to_center = [&](NodeId x) {
+      h_nodes.insert(x);
+      NodeId cur = x;
+      while (voronoi.parent[static_cast<std::size_t>(cur)] != -1) {
+        const NodeId p = voronoi.parent[static_cast<std::size_t>(cur)];
+        add_edge(cur, p);
+        cur = p;
+      }
+    };
+    for (const NodeId lv : lc.members) {
+      for (const NodeId x : members_of[static_cast<std::size_t>(lv)]) {
+        base.members.push_back(x);
+        add_path_to_center(x);
+      }
+      // Include the Voronoi center itself even if it carries no members
+      // (it anchors the paths).
+      h_nodes.insert(centers[static_cast<std::size_t>(lv)]);
+    }
+    for (const auto& [a, b] : lc.tree_edges) {
+      const auto key = std::minmax(a, b);
+      const auto it =
+          witness.find({key.first, key.second});
+      RLOCAL_ASSERT(it != witness.end());
+      const auto [x, y] = it->second;
+      add_path_to_center(x);
+      add_path_to_center(y);
+      add_edge(x, y);
+    }
+
+    // Spanning tree of H from the base center (BFS over H's edges).
+    std::map<NodeId, std::vector<NodeId>> adj;
+    for (const auto& [a, b] : h_edges) {
+      adj[a].push_back(b);
+      adj[b].push_back(a);
+    }
+    for (const NodeId v : h_nodes) adj[v];
+    std::set<NodeId> visited{base.center};
+    std::deque<NodeId> queue{base.center};
+    base.tree_nodes.push_back(base.center);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const NodeId u : adj[v]) {
+        if (visited.insert(u).second) {
+          base.tree_nodes.push_back(u);
+          base.tree_edges.emplace_back(u, v);
+          queue.push_back(u);
+        }
+      }
+    }
+    RLOCAL_CHECK(visited.size() == h_nodes.size(),
+                 "leftover cluster subgraph is not connected");
+
+    const auto index = static_cast<NodeId>(merged->clusters.size());
+    for (const NodeId v : base.members) {
+      RLOCAL_ASSERT(merged->cluster_of[static_cast<std::size_t>(v)] == -1);
+      merged->cluster_of[static_cast<std::size_t>(v)] = index;
+    }
+    merged->clusters.push_back(std::move(base));
+  }
+  merged->num_colors = palette_offset + logical.num_colors;
+}
+
+}  // namespace
+
+ShatteringResult boosted_decomposition(const Graph& g, NodeRandomness& rnd,
+                                       const ShatteringOptions& options) {
+  ShatteringResult result;
+  EnOptions en_options = options.en;
+  en_options.phases = options.base_phases;
+  const EnResult base = elkin_neiman_decomposition(g, rnd, en_options);
+  result.base_rounds = base.rounds_charged;
+  result.total_rounds = base.rounds_charged;
+  result.leftover_nodes = static_cast<int>(base.unclustered.size());
+
+  if (base.all_clustered) {
+    result.decomposition = base.decomposition;
+    result.colors = base.decomposition.num_colors;
+    result.base_complete = true;
+    result.success = true;
+    return result;
+  }
+
+  // --- Stage 2: handle V-bar deterministically. ---
+  const std::vector<NodeId>& leftover = base.unclustered;
+  const int t = base.rounds_charged;  // the base algorithm's running time
+
+  // Shattering statistics (the quantities the Theorem 4.2 analysis bounds).
+  {
+    const InducedSubgraph sub = induced_subgraph(g, leftover);
+    const Components comps = connected_components(sub.graph);
+    result.leftover_components = comps.count;
+    std::vector<int> sizes(static_cast<std::size_t>(comps.count), 0);
+    for (const NodeId v : comps.component) {
+      ++sizes[static_cast<std::size_t>(v)];
+    }
+    for (const int s : sizes) {
+      result.max_leftover_component =
+          std::max(result.max_leftover_component, s);
+    }
+    result.separated_set_size =
+        greedy_separated_subset(g, leftover, 2 * t + 1);
+  }
+
+  // (2t+1, O(t log n))-ruling set of V-bar, in G.
+  const RulingSetResult ruling = ruling_set(g, leftover, 2 * t + 1);
+  result.ruling_set_size = static_cast<int>(ruling.set.size());
+  result.total_rounds += ruling.rounds_charged;
+
+  // Voronoi clusters around the ruling set over the whole graph; leftover
+  // nodes adopt their nearest ruling node, paths may cross clustered nodes.
+  const VoronoiResult voronoi = voronoi_clusters(g, ruling.set);
+  result.total_rounds += ruling.beta;
+
+  // Leftover cluster graph G_C: adjacency witnessed by leftover nodes.
+  std::vector<bool> is_leftover(static_cast<std::size_t>(g.num_nodes()),
+                                false);
+  for (const NodeId v : leftover) {
+    is_leftover[static_cast<std::size_t>(v)] = true;
+  }
+  std::map<NodeId, NodeId> logical_index;
+  for (std::size_t c = 0; c < ruling.set.size(); ++c) {
+    logical_index[ruling.set[c]] = static_cast<NodeId>(c);
+  }
+  Graph::Builder cg_builder(static_cast<NodeId>(ruling.set.size()));
+  for (std::size_t c = 0; c < ruling.set.size(); ++c) {
+    cg_builder.set_id(static_cast<NodeId>(c), g.id(ruling.set[c]));
+  }
+  int max_voronoi_radius = 0;
+  for (const NodeId v : leftover) {
+    max_voronoi_radius = std::max(
+        max_voronoi_radius,
+        static_cast<int>(voronoi.dist[static_cast<std::size_t>(v)]));
+    const NodeId cv =
+        logical_index.at(voronoi.owner[static_cast<std::size_t>(v)]);
+    for (const NodeId u : g.neighbors(v)) {
+      if (u > v || !is_leftover[static_cast<std::size_t>(u)]) continue;
+      const NodeId cu =
+          logical_index.at(voronoi.owner[static_cast<std::size_t>(u)]);
+      if (cu != cv) cg_builder.add_edge(cv, cu);
+    }
+  }
+  const Graph cluster_graph = std::move(cg_builder).build();
+
+  // Deterministic decomposition of the (small) cluster graph; a logical
+  // round dilates to O(max Voronoi radius) base rounds.
+  const SmallComponentsResult det =
+      decompose_components_by_gathering(cluster_graph);
+  result.total_rounds += det.rounds_charged * (2 * max_voronoi_radius + 1);
+
+  // Merge: base clusters keep colors [0, base colors); leftover clusters
+  // get a fresh palette above.
+  Decomposition merged = base.decomposition;
+  attach_leftover_clusters(g, leftover, voronoi, ruling.set,
+                           det.decomposition, base.decomposition.num_colors,
+                           &merged);
+  result.decomposition = std::move(merged);
+  result.colors = result.decomposition.num_colors;
+  result.success = unclustered_nodes(result.decomposition).empty();
+  return result;
+}
+
+}  // namespace rlocal

@@ -1,0 +1,56 @@
+// Theorem 4.2: boosting the success probability of network decomposition
+// far beyond 1 - 1/poly(n) via graph shattering.
+//
+// Pipeline (following the paper's proof):
+//   1. run the Elkin-Neiman decomposition (success 1 - 1/poly(n) per node);
+//   2. V-bar := nodes left unclustered. Any (2t+1)-separated subset of
+//      V-bar has independent failure events, so |separated subset| >= K
+//      happens with probability <= n^-K -- the boosted error bound with
+//      K = 2^{eps log^2 T};
+//   3. compute a (2t+1, O(t log n))-ruling set of V-bar, grow Voronoi
+//      clusters around it (these may pass through clustered nodes: weak
+//      diameter), contract to the leftover cluster graph;
+//   4. decompose the leftover cluster graph deterministically (here:
+//      gather-and-ball-carve per component, standing in for [Gha19] /
+//      [PS92]; see DESIGN.md) and lift, with a palette disjoint from
+//      phase 1's so congestion stays 1 per color.
+#pragma once
+
+#include "decomp/decomposition.hpp"
+#include "decomp/elkin_neiman.hpp"
+#include "graph/graph.hpp"
+#include "rnd/regime.hpp"
+
+namespace rlocal {
+
+struct ShatteringOptions {
+  /// Phases for the base EN run. Fewer phases force leftovers (useful for
+  /// exercising the second stage); 0 means the w.h.p. default.
+  int base_phases = 0;
+  EnOptions en;  ///< further EN options (shift cap, stream base)
+};
+
+struct ShatteringResult {
+  Decomposition decomposition;
+  bool success = false;        ///< final decomposition total and valid
+  bool base_complete = false;  ///< EN already clustered everything
+  int base_rounds = 0;
+  int total_rounds = 0;
+  int colors = 0;
+  // Shattering statistics (the quantities Theorem 4.2's analysis bounds):
+  int leftover_nodes = 0;
+  int leftover_components = 0;
+  int max_leftover_component = 0;
+  int separated_set_size = 0;  ///< greedy (2t+1)-separated subset of V-bar
+  int ruling_set_size = 0;
+};
+
+ShatteringResult boosted_decomposition(const Graph& g, NodeRandomness& rnd,
+                                       const ShatteringOptions& options = {});
+
+/// Size of a greedily-built d-separated subset of `nodes` (lower bound on
+/// the maximum; the quantity K bounds in Theorem 4.2's proof).
+int greedy_separated_subset(const Graph& g, const std::vector<NodeId>& nodes,
+                            int d);
+
+}  // namespace rlocal

@@ -1,0 +1,83 @@
+#include "derand/slocal.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace rlocal {
+
+std::vector<NodeId> SlocalView::ball(int radius) const {
+  RLOCAL_CHECK(radius >= 0, "radius must be non-negative");
+  *max_radius_seen_ = std::max(*max_radius_seen_, radius);
+  std::vector<NodeId> nodes{center_};
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g_->num_nodes()),
+                                 -1);
+  dist[static_cast<std::size_t>(center_)] = 0;
+  std::deque<NodeId> queue{center_};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    if (dist[static_cast<std::size_t>(v)] == radius) continue;
+    for (const NodeId u : g_->neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] == -1) {
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        nodes.push_back(u);
+        queue.push_back(u);
+      }
+    }
+  }
+  return nodes;
+}
+
+std::int64_t SlocalView::state(NodeId u, int radius) const {
+  RLOCAL_CHECK(radius >= 0, "radius must be non-negative");
+  *max_radius_seen_ = std::max(*max_radius_seen_, radius);
+  // Contract check: u must lie within the declared radius.
+  const auto dist = bfs_distances(*g_, center_);
+  RLOCAL_CHECK(dist[static_cast<std::size_t>(u)] <= radius,
+               "SLOCAL step read outside its declared locality");
+  return (*state_)[static_cast<std::size_t>(u)];
+}
+
+SlocalResult run_slocal(
+    const Graph& g, const std::vector<NodeId>& order,
+    const std::function<std::int64_t(const SlocalView&)>& step) {
+  RLOCAL_CHECK(order.size() == static_cast<std::size_t>(g.num_nodes()),
+               "order must cover all nodes");
+  SlocalResult result;
+  result.state.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (const NodeId v : order) {
+    SlocalView view(g, v, result.state, &result.locality);
+    result.state[static_cast<std::size_t>(v)] = step(view);
+  }
+  return result;
+}
+
+SlocalResult slocal_greedy_mis(const Graph& g,
+                               const std::vector<NodeId>& order) {
+  return run_slocal(g, order, [&g](const SlocalView& view) -> std::int64_t {
+    for (const NodeId u : g.neighbors(view.center())) {
+      if (view.state(u, 1) == 1) return 0;
+    }
+    return 1;
+  });
+}
+
+SlocalResult slocal_greedy_coloring(const Graph& g,
+                                    const std::vector<NodeId>& order) {
+  return run_slocal(g, order, [&g](const SlocalView& view) -> std::int64_t {
+    std::vector<bool> used(
+        static_cast<std::size_t>(g.degree(view.center())) + 2, false);
+    for (const NodeId u : g.neighbors(view.center())) {
+      const std::int64_t cu = view.state(u, 1);
+      if (cu >= 0 && cu < static_cast<std::int64_t>(used.size())) {
+        used[static_cast<std::size_t>(cu)] = true;
+      }
+    }
+    std::int64_t c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    return c;
+  });
+}
+
+}  // namespace rlocal

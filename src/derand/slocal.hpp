@@ -1,0 +1,65 @@
+// The SLOCAL model of Ghaffari-Kuhn-Maus [GKM17], which the paper leans on:
+// a sequential algorithm processes nodes in an arbitrary order; when node v
+// is processed it may read the current state within radius r of v (its
+// locality) and must commit v's output. P-RLOCAL = P-SLOCAL [GHK18], which
+// is why poly(log n)-locality SLOCAL algorithms are the derandomization
+// currency of the whole area.
+//
+// The executor measures the locality a given step function actually uses:
+// each step receives a restricted View and the executor records the largest
+// radius ever queried.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+
+namespace rlocal {
+
+/// Read access to the current state within a ball around the processed
+/// node; records the maximum radius queried.
+class SlocalView {
+ public:
+  SlocalView(const Graph& g, NodeId center,
+             const std::vector<std::int64_t>& state, int* max_radius_seen)
+      : g_(&g), center_(center), state_(&state),
+        max_radius_seen_(max_radius_seen) {}
+
+  NodeId center() const { return center_; }
+
+  /// Nodes at distance <= radius of the center (includes the center).
+  std::vector<NodeId> ball(int radius) const;
+
+  /// State of node u, provided dist(center, u) <= radius (the model's
+  /// locality contract; checked).
+  std::int64_t state(NodeId u, int radius) const;
+
+ private:
+  const Graph* g_;
+  NodeId center_;
+  const std::vector<std::int64_t>* state_;
+  int* max_radius_seen_;
+};
+
+struct SlocalResult {
+  std::vector<std::int64_t> state;  ///< final per-node outputs
+  int locality = 0;                 ///< max radius any step queried
+};
+
+/// Runs `step` on every node in `order`; `step` returns the node's output,
+/// which is immediately visible to later steps. Initial state is -1.
+SlocalResult run_slocal(
+    const Graph& g, const std::vector<NodeId>& order,
+    const std::function<std::int64_t(const SlocalView&)>& step);
+
+/// Greedy MIS as a locality-1 SLOCAL algorithm (output 1 = in MIS).
+SlocalResult slocal_greedy_mis(const Graph& g,
+                               const std::vector<NodeId>& order);
+
+/// Greedy (Delta+1)-coloring as a locality-1 SLOCAL algorithm.
+SlocalResult slocal_greedy_coloring(const Graph& g,
+                                    const std::vector<NodeId>& order);
+
+}  // namespace rlocal

@@ -1,0 +1,239 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace rlocal {
+
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source) {
+  return multi_source_distances(g, {source});
+}
+
+std::vector<std::int32_t> multi_source_distances(
+    const Graph& g, const std::vector<NodeId>& sources) {
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()),
+                                 kUnreachable);
+  std::deque<NodeId> queue;
+  for (const NodeId s : sources) {
+    RLOCAL_CHECK(s >= 0 && s < g.num_nodes(), "source out of range");
+    if (dist[static_cast<std::size_t>(s)] != 0) {
+      dist[static_cast<std::size_t>(s)] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    const std::int32_t dv = dist[static_cast<std::size_t>(v)];
+    for (const NodeId u : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] == kUnreachable) {
+        dist[static_cast<std::size_t>(u)] = dv + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+VoronoiResult voronoi_clusters(const Graph& g,
+                               const std::vector<NodeId>& sources) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  VoronoiResult result;
+  result.owner.assign(n, -1);
+  result.dist.assign(n, kUnreachable);
+  result.parent.assign(n, -1);
+
+  // BFS layer by layer; within a layer, a node adopts the owner whose source
+  // has the smallest identifier among all offers, which makes the result
+  // independent of the order neighbors are scanned (it equals what the
+  // distributed flooding with id-based tie-break computes).
+  std::vector<NodeId> frontier;
+  for (const NodeId s : sources) {
+    RLOCAL_CHECK(s >= 0 && s < g.num_nodes(), "source out of range");
+    result.owner[static_cast<std::size_t>(s)] = s;
+    result.dist[static_cast<std::size_t>(s)] = 0;
+    frontier.push_back(s);
+  }
+  std::int32_t layer = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    ++layer;
+    next.clear();
+    for (const NodeId v : frontier) {
+      const NodeId owner_v = result.owner[static_cast<std::size_t>(v)];
+      for (const NodeId u : g.neighbors(v)) {
+        auto& owner_u = result.owner[static_cast<std::size_t>(u)];
+        auto& dist_u = result.dist[static_cast<std::size_t>(u)];
+        if (dist_u == kUnreachable) {
+          owner_u = owner_v;
+          dist_u = layer;
+          result.parent[static_cast<std::size_t>(u)] = v;
+          next.push_back(u);
+        } else if (dist_u == layer &&
+                   g.id(owner_v) < g.id(owner_u)) {
+          owner_u = owner_v;
+          result.parent[static_cast<std::size_t>(u)] = v;
+        }
+      }
+    }
+    // Owners of layer-L nodes are final once the whole L-1 frontier has been
+    // scanned: every offer to a layer-L node originates one layer earlier,
+    // and an inductive argument shows each node's owner equals the minimum-id
+    // source at exactly its distance -- the distributed flooding result.
+    frontier = next;
+  }
+  return result;
+}
+
+Components connected_components(const Graph& g) {
+  Components result;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  result.component.assign(n, -1);
+  NodeId next_component = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (result.component[static_cast<std::size_t>(start)] != -1) continue;
+    stack.push_back(start);
+    result.component[static_cast<std::size_t>(start)] = next_component;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId u : g.neighbors(v)) {
+        if (result.component[static_cast<std::size_t>(u)] == -1) {
+          result.component[static_cast<std::size_t>(u)] = next_component;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++next_component;
+  }
+  result.count = next_component;
+  return result;
+}
+
+std::int32_t eccentricity(const Graph& g, NodeId v) {
+  const auto dist = bfs_distances(g, v);
+  std::int32_t ecc = 0;
+  for (const std::int32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::int32_t diameter(const Graph& g) {
+  std::int32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    best = std::max(best, eccentricity(g, v));
+  }
+  return best;
+}
+
+Graph power_graph(const Graph& g, int r) {
+  RLOCAL_CHECK(r >= 1, "graph power requires r >= 1");
+  Graph::Builder b(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) b.set_id(v, g.id(v));
+  // BFS to depth r from each node.
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::vector<NodeId> touched;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::deque<NodeId> queue{v};
+    dist[static_cast<std::size_t>(v)] = 0;
+    touched.assign(1, v);
+    while (!queue.empty()) {
+      const NodeId x = queue.front();
+      queue.pop_front();
+      const std::int32_t dx = dist[static_cast<std::size_t>(x)];
+      if (dx == r) continue;
+      for (const NodeId u : g.neighbors(x)) {
+        if (dist[static_cast<std::size_t>(u)] == -1) {
+          dist[static_cast<std::size_t>(u)] = dx + 1;
+          touched.push_back(u);
+          queue.push_back(u);
+          if (u > v) b.add_edge(v, u);
+        }
+      }
+    }
+    for (const NodeId t : touched) dist[static_cast<std::size_t>(t)] = -1;
+  }
+  return std::move(b).build();
+}
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<NodeId>& keep) {
+  InducedSubgraph result;
+  result.origin = keep;
+  std::sort(result.origin.begin(), result.origin.end());
+  result.origin.erase(
+      std::unique(result.origin.begin(), result.origin.end()),
+      result.origin.end());
+  std::vector<NodeId> index_of(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (std::size_t i = 0; i < result.origin.size(); ++i) {
+    index_of[static_cast<std::size_t>(result.origin[i])] =
+        static_cast<NodeId>(i);
+  }
+  Graph::Builder b(static_cast<NodeId>(result.origin.size()));
+  for (std::size_t i = 0; i < result.origin.size(); ++i) {
+    const NodeId v = result.origin[i];
+    b.set_id(static_cast<NodeId>(i), g.id(v));
+    for (const NodeId u : g.neighbors(v)) {
+      const NodeId j = index_of[static_cast<std::size_t>(u)];
+      if (j != -1 && j > static_cast<NodeId>(i)) {
+        b.add_edge(static_cast<NodeId>(i), j);
+      }
+    }
+  }
+  result.graph = std::move(b).build();
+  return result;
+}
+
+bool is_independent_set(const Graph& g, const std::vector<bool>& s) {
+  RLOCAL_CHECK(s.size() == static_cast<std::size_t>(g.num_nodes()),
+               "set size mismatch");
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!s[static_cast<std::size_t>(v)]) continue;
+    for (const NodeId u : g.neighbors(v)) {
+      if (s[static_cast<std::size_t>(u)]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g, const std::vector<bool>& s) {
+  if (!is_independent_set(g, s)) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (s[static_cast<std::size_t>(v)]) continue;
+    bool dominated = false;
+    for (const NodeId u : g.neighbors(v)) {
+      if (s[static_cast<std::size_t>(u)]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+std::vector<int> greedy_coloring(const Graph& g,
+                                 const std::vector<NodeId>& order) {
+  RLOCAL_CHECK(order.size() == static_cast<std::size_t>(g.num_nodes()),
+               "order must be a permutation of all nodes");
+  std::vector<int> color(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::vector<bool> used;
+  for (const NodeId v : order) {
+    used.assign(static_cast<std::size_t>(g.degree(v)) + 2, false);
+    for (const NodeId u : g.neighbors(v)) {
+      const int cu = color[static_cast<std::size_t>(u)];
+      if (cu >= 0 && cu < static_cast<int>(used.size())) {
+        used[static_cast<std::size_t>(cu)] = true;
+      }
+    }
+    int c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    color[static_cast<std::size_t>(v)] = c;
+  }
+  return color;
+}
+
+}  // namespace rlocal

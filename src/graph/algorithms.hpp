@@ -1,0 +1,73 @@
+// Fundamental graph algorithms used as building blocks everywhere:
+// BFS layers, multi-source BFS with owners (Voronoi clustering), connected
+// components, eccentricities/diameter, graph powers, induced subgraphs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rlocal {
+
+inline constexpr std::int32_t kUnreachable =
+    std::numeric_limits<std::int32_t>::max();
+
+/// Distances from `source`; kUnreachable where not connected.
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Distances from the nearest of `sources` (empty -> all kUnreachable).
+std::vector<std::int32_t> multi_source_distances(
+    const Graph& g, const std::vector<NodeId>& sources);
+
+/// Voronoi clustering: every node reachable from some source is assigned to
+/// its nearest source; ties broken by smaller *identifier* of the source
+/// (matching LOCAL-model tie-breaks). Unreachable nodes get owner -1.
+struct VoronoiResult {
+  std::vector<NodeId> owner;          ///< owning source per node, or -1
+  std::vector<std::int32_t> dist;     ///< distance to owner, or kUnreachable
+  std::vector<NodeId> parent;         ///< BFS-tree parent toward owner, or -1
+};
+VoronoiResult voronoi_clusters(const Graph& g,
+                               const std::vector<NodeId>& sources);
+
+/// Connected components; returns component index per node (0-based, dense).
+struct Components {
+  std::vector<NodeId> component;  ///< per node
+  NodeId count = 0;
+};
+Components connected_components(const Graph& g);
+
+/// Eccentricity of `v` within its component.
+std::int32_t eccentricity(const Graph& g, NodeId v);
+
+/// Exact diameter (max eccentricity over all nodes; O(n*m) -- use on small
+/// graphs or per-cluster subgraphs only). Disconnected graphs: max over
+/// components.
+std::int32_t diameter(const Graph& g);
+
+/// The r-th power graph: u~v iff 1 <= dist(u,v) <= r. Node ids preserved.
+Graph power_graph(const Graph& g, int r);
+
+/// Induced subgraph on `keep` (need not be sorted); `origin[i]` maps the new
+/// index i back to the original node.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> origin;
+};
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<NodeId>& keep);
+
+/// True iff `s` is an independent set.
+bool is_independent_set(const Graph& g, const std::vector<bool>& s);
+
+/// True iff `s` is a maximal independent set.
+bool is_maximal_independent_set(const Graph& g, const std::vector<bool>& s);
+
+/// Greedy sequential coloring (first-fit in the given order); returns colors
+/// 0-based. Used as baseline/validator fodder.
+std::vector<int> greedy_coloring(const Graph& g,
+                                 const std::vector<NodeId>& order);
+
+}  // namespace rlocal

@@ -1,0 +1,95 @@
+#include "graph/bipartite.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace rlocal {
+
+BipartiteGraph::Builder::Builder(std::int32_t num_left, std::int32_t num_right)
+    : num_left_(num_left), num_right_(num_right) {
+  RLOCAL_CHECK(num_left >= 0 && num_right >= 0, "sizes must be non-negative");
+}
+
+void BipartiteGraph::Builder::add_edge(std::int32_t u, std::int32_t v) {
+  RLOCAL_CHECK(u >= 0 && u < num_left_, "left endpoint out of range");
+  RLOCAL_CHECK(v >= 0 && v < num_right_, "right endpoint out of range");
+  edges_.emplace_back(u, v);
+}
+
+BipartiteGraph BipartiteGraph::Builder::build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  BipartiteGraph g;
+  g.num_left_ = num_left_;
+  g.num_right_ = num_right_;
+  g.offsets_.assign(static_cast<std::size_t>(num_left_) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    (void)v;
+    ++g.offsets_[static_cast<std::size_t>(u) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.reserve(edges_.size());
+  for (const auto& [u, v] : edges_) {
+    (void)u;
+    g.adjacency_.push_back(v);
+  }
+  return g;
+}
+
+std::int32_t BipartiteGraph::min_left_degree() const {
+  if (num_left_ == 0) return 0;
+  std::int64_t best = num_right_;
+  for (std::int32_t u = 0; u < num_left_; ++u) {
+    best = std::min<std::int64_t>(
+        best, offsets_[static_cast<std::size_t>(u) + 1] -
+                  offsets_[static_cast<std::size_t>(u)]);
+  }
+  return static_cast<std::int32_t>(best);
+}
+
+BipartiteGraph make_random_splitting_instance(std::int32_t num_left,
+                                              std::int32_t num_right,
+                                              std::int32_t degree,
+                                              std::uint64_t seed) {
+  RLOCAL_CHECK(degree <= num_right, "degree exceeds right-side size");
+  std::mt19937_64 rng(seed);
+  BipartiteGraph::Builder b(num_left, num_right);
+  std::vector<std::int32_t> pool(static_cast<std::size_t>(num_right));
+  for (std::int32_t v = 0; v < num_right; ++v) {
+    pool[static_cast<std::size_t>(v)] = v;
+  }
+  for (std::int32_t u = 0; u < num_left; ++u) {
+    // Partial Fisher-Yates: pick `degree` distinct right nodes.
+    for (std::int32_t i = 0; i < degree; ++i) {
+      const auto j = static_cast<std::size_t>(
+          i + static_cast<std::int64_t>(
+                  rng() % static_cast<std::uint64_t>(num_right - i)));
+      std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+      b.add_edge(u, pool[static_cast<std::size_t>(i)]);
+    }
+  }
+  return std::move(b).build();
+}
+
+BipartiteGraph make_window_splitting_instance(std::int32_t num_left,
+                                              std::int32_t num_right,
+                                              std::int32_t degree) {
+  RLOCAL_CHECK(degree <= num_right, "degree exceeds right-side size");
+  BipartiteGraph::Builder b(num_left, num_right);
+  for (std::int32_t u = 0; u < num_left; ++u) {
+    const std::int32_t start =
+        num_left <= 1
+            ? 0
+            : static_cast<std::int32_t>(
+                  (static_cast<std::int64_t>(u) * (num_right - degree)) /
+                  std::max(1, num_left - 1));
+    for (std::int32_t i = 0; i < degree; ++i) {
+      b.add_edge(u, start + i);
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace rlocal

@@ -1,0 +1,68 @@
+// Bipartite graphs H = (U, V, E) for the splitting problem of Ghaffari,
+// Kuhn, and Maus [GKM17] (Lemma 3.4 of the paper): color each node of V red
+// or blue such that every node of U has at least one neighbor of each color.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rlocal {
+
+/// Left nodes ("constraints") indexed 0..num_left-1, right nodes
+/// ("choosers") indexed 0..num_right-1. Edges stored CSR from the left side.
+class BipartiteGraph {
+ public:
+  class Builder {
+   public:
+    Builder(std::int32_t num_left, std::int32_t num_right);
+    void add_edge(std::int32_t u, std::int32_t v);
+    BipartiteGraph build() &&;
+
+   private:
+    std::int32_t num_left_;
+    std::int32_t num_right_;
+    std::vector<std::pair<std::int32_t, std::int32_t>> edges_;
+  };
+
+  std::int32_t num_left() const { return num_left_; }
+  std::int32_t num_right() const { return num_right_; }
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(adjacency_.size());
+  }
+
+  /// Right-side neighbors of left node u.
+  std::span<const std::int32_t> left_neighbors(std::int32_t u) const {
+    RLOCAL_CHECK(u >= 0 && u < num_left_, "left index out of range");
+    return std::span<const std::int32_t>(
+        adjacency_.data() + offsets_[static_cast<std::size_t>(u)],
+        adjacency_.data() + offsets_[static_cast<std::size_t>(u) + 1]);
+  }
+
+  std::int32_t min_left_degree() const;
+
+ private:
+  BipartiteGraph() = default;
+  std::int32_t num_left_ = 0;
+  std::int32_t num_right_ = 0;
+  std::vector<std::int64_t> offsets_;
+  std::vector<std::int32_t> adjacency_;
+};
+
+/// Random splitting instance: each of `num_left` constraint nodes picks
+/// exactly `degree` distinct right neighbors uniformly at random.
+BipartiteGraph make_random_splitting_instance(std::int32_t num_left,
+                                              std::int32_t num_right,
+                                              std::int32_t degree,
+                                              std::uint64_t seed);
+
+/// Structured instance: right nodes on a line, each left node connected to a
+/// contiguous window of `degree` right nodes (high overlap between
+/// constraints -- the hard regime for limited independence).
+BipartiteGraph make_window_splitting_instance(std::int32_t num_left,
+                                              std::int32_t num_right,
+                                              std::int32_t degree);
+
+}  // namespace rlocal

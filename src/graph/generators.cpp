@@ -1,0 +1,289 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "support/math.hpp"
+
+namespace rlocal {
+
+Graph make_path(NodeId n) {
+  Graph::Builder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+Graph make_cycle(NodeId n) {
+  RLOCAL_CHECK(n >= 3, "cycle requires n >= 3");
+  Graph::Builder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(n - 1, 0);
+  return std::move(b).build();
+}
+
+Graph make_complete(NodeId n) {
+  Graph::Builder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+Graph make_star(NodeId n) {
+  RLOCAL_CHECK(n >= 1, "star requires n >= 1");
+  Graph::Builder b(n);
+  for (NodeId v = 1; v < n; ++v) b.add_edge(0, v);
+  return std::move(b).build();
+}
+
+Graph make_grid(NodeId rows, NodeId cols) {
+  Graph::Builder b(rows * cols);
+  auto at = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) b.add_edge(at(r, c), at(r + 1, c));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph make_torus(NodeId rows, NodeId cols) {
+  RLOCAL_CHECK(rows >= 3 && cols >= 3, "torus requires both sides >= 3");
+  Graph::Builder b(rows * cols);
+  auto at = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      b.add_edge(at(r, c), at(r, (c + 1) % cols));
+      b.add_edge(at(r, c), at((r + 1) % rows, c));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph make_balanced_tree(int arity, int depth) {
+  RLOCAL_CHECK(arity >= 1 && depth >= 0, "bad tree parameters");
+  // Count nodes: sum_{i=0..depth} arity^i.
+  std::int64_t n = 0;
+  std::int64_t level = 1;
+  for (int i = 0; i <= depth; ++i) {
+    n += level;
+    level *= arity;
+  }
+  RLOCAL_CHECK(n < (1LL << 30), "tree too large");
+  Graph::Builder b(static_cast<NodeId>(n));
+  // Children of node v (BFS order) are arity*v + 1 .. arity*v + arity.
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    for (int c = 1; c <= arity; ++c) {
+      const std::int64_t child = static_cast<std::int64_t>(arity) * v + c;
+      if (child < n) b.add_edge(v, static_cast<NodeId>(child));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph make_hypercube(int dim) {
+  RLOCAL_CHECK(dim >= 0 && dim <= 20, "hypercube dim out of range");
+  const NodeId n = static_cast<NodeId>(1) << dim;
+  Graph::Builder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (int d = 0; d < dim; ++d) {
+      const NodeId u = v ^ (static_cast<NodeId>(1) << d);
+      if (u > v) b.add_edge(v, u);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph make_caterpillar(NodeId spine, NodeId legs) {
+  RLOCAL_CHECK(spine >= 1 && legs >= 0, "bad caterpillar parameters");
+  Graph::Builder b(spine * (1 + legs));
+  for (NodeId s = 0; s + 1 < spine; ++s) b.add_edge(s, s + 1);
+  NodeId next = spine;
+  for (NodeId s = 0; s < spine; ++s) {
+    for (NodeId l = 0; l < legs; ++l) b.add_edge(s, next++);
+  }
+  return std::move(b).build();
+}
+
+Graph make_ring_of_cliques(NodeId k, NodeId s) {
+  RLOCAL_CHECK(k >= 3 && s >= 1, "ring of cliques requires k >= 3, s >= 1");
+  Graph::Builder b(k * s);
+  auto at = [s](NodeId clique, NodeId member) { return clique * s + member; };
+  for (NodeId c = 0; c < k; ++c) {
+    for (NodeId i = 0; i < s; ++i) {
+      for (NodeId j = i + 1; j < s; ++j) b.add_edge(at(c, i), at(c, j));
+    }
+    b.add_edge(at(c, s - 1), at((c + 1) % k, 0));
+  }
+  return std::move(b).build();
+}
+
+Graph make_gnp(NodeId n, double p, std::uint64_t seed) {
+  RLOCAL_CHECK(p >= 0.0 && p <= 1.0, "p must be a probability");
+  std::mt19937_64 rng(seed);
+  std::geometric_distribution<std::int64_t> skip(p);
+  Graph::Builder b(n);
+  if (p > 0.0) {
+    // Skip-sampling over the n*(n-1)/2 potential edges.
+    const std::int64_t total =
+        static_cast<std::int64_t>(n) * (static_cast<std::int64_t>(n) - 1) / 2;
+    std::int64_t pos = -1;
+    while (true) {
+      pos += 1 + skip(rng);
+      if (pos >= total) break;
+      // Invert pair index: find u such that the edge block of u contains pos.
+      NodeId u = 0;
+      std::int64_t acc = 0;
+      std::int64_t remaining = pos;
+      // Block of u has size n-1-u.
+      while (true) {
+        const std::int64_t block = n - 1 - u;
+        if (remaining < block) break;
+        remaining -= block;
+        acc += block;
+        ++u;
+      }
+      (void)acc;
+      const NodeId v = static_cast<NodeId>(u + 1 + remaining);
+      b.add_edge(u, v);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph make_random_regular(NodeId n, int d, std::uint64_t seed) {
+  RLOCAL_CHECK(n >= d + 1, "random regular requires n > d");
+  RLOCAL_CHECK((static_cast<std::int64_t>(n) * d) % 2 == 0,
+               "n*d must be even");
+  std::mt19937_64 rng(seed);
+  // Configuration model with retry: pair up node stubs; reject self-loops
+  // and duplicate edges; after a bounded number of restarts, fall back to
+  // keeping the valid pairs only (near-regular).
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    stubs.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      for (int i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    std::shuffle(stubs.begin(), stubs.end(), rng);
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    bool ok = true;
+    std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      NodeId u = stubs[i];
+      NodeId v = stubs[i + 1];
+      if (u == v) {
+        ok = false;
+        break;
+      }
+      auto& au = adj[static_cast<std::size_t>(u)];
+      if (std::find(au.begin(), au.end(), v) != au.end()) {
+        ok = false;
+        break;
+      }
+      au.push_back(v);
+      adj[static_cast<std::size_t>(v)].push_back(u);
+      pairs.emplace_back(u, v);
+    }
+    if (ok || attempt == 63) {
+      Graph::Builder b(n);
+      for (const auto& [u, v] : pairs) b.add_edge(u, v);
+      return std::move(b).build();
+    }
+  }
+  RLOCAL_ASSERT(false);  // unreachable
+}
+
+Graph make_disjoint_union(const std::vector<const Graph*>& parts) {
+  std::int64_t total = 0;
+  for (const Graph* g : parts) {
+    RLOCAL_CHECK(g != nullptr, "null graph in union");
+    total += g->num_nodes();
+  }
+  RLOCAL_CHECK(total < (1LL << 30), "union too large");
+  Graph::Builder b(static_cast<NodeId>(total));
+  NodeId base = 0;
+  std::uint64_t id_base = 0;
+  for (const Graph* g : parts) {
+    for (NodeId v = 0; v < g->num_nodes(); ++v) {
+      b.set_id(base + v, id_base + g->id(v));
+      for (const NodeId u : g->neighbors(v)) {
+        if (u > v) b.add_edge(base + v, base + u);
+      }
+    }
+    base += g->num_nodes();
+    // Space id ranges far apart so uniqueness is preserved.
+    std::uint64_t max_id = 0;
+    for (NodeId v = 0; v < g->num_nodes(); ++v) {
+      max_id = std::max(max_id, g->id(v));
+    }
+    id_base += max_id + 1;
+  }
+  return std::move(b).build();
+}
+
+Graph with_scrambled_ids(const Graph& g, std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  std::mt19937_64 rng(seed);
+  // Sample n distinct ids from [0, n^3) -- the polynomial id range of the
+  // LOCAL model -- via a shuffled stratified draw.
+  const std::uint64_t range =
+      std::max<std::uint64_t>(8, static_cast<std::uint64_t>(n) *
+                                     static_cast<std::uint64_t>(n) *
+                                     static_cast<std::uint64_t>(n));
+  const std::uint64_t stride = range / std::max<NodeId>(n, 1);
+  std::vector<std::uint64_t> ids(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint64_t lo = static_cast<std::uint64_t>(v) * stride;
+    ids[static_cast<std::size_t>(v)] =
+        lo + rng() % std::max<std::uint64_t>(stride, 1);
+  }
+  std::shuffle(ids.begin(), ids.end(), rng);
+  Graph::Builder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    b.set_id(v, ids[static_cast<std::size_t>(v)]);
+    for (const NodeId u : g.neighbors(v)) {
+      if (u > v) b.add_edge(v, u);
+    }
+  }
+  return std::move(b).build();
+}
+
+std::vector<ZooEntry> make_zoo(NodeId scale, std::uint64_t seed) {
+  RLOCAL_CHECK(scale >= 16, "zoo scale must be >= 16");
+  std::vector<ZooEntry> zoo;
+  zoo.push_back({"path", make_path(scale)});
+  zoo.push_back({"cycle", make_cycle(scale)});
+  const auto side = static_cast<NodeId>(std::max(
+      4.0, std::sqrt(static_cast<double>(scale))));
+  zoo.push_back({"grid", make_grid(side, side)});
+  zoo.push_back({"torus", make_torus(side, side)});
+  int depth = 1;
+  while ((ipow(2, static_cast<unsigned>(depth + 1)) - 1) <
+         static_cast<std::uint64_t>(scale)) {
+    ++depth;
+  }
+  zoo.push_back({"binary_tree", make_balanced_tree(2, depth)});
+  zoo.push_back({"hypercube", make_hypercube(ceil_log2(
+                                  static_cast<std::uint64_t>(scale)))});
+  zoo.push_back({"caterpillar", make_caterpillar(scale / 4, 3)});
+  zoo.push_back(
+      {"ring_of_cliques",
+       make_ring_of_cliques(std::max<NodeId>(3, scale / 8), 8)});
+  zoo.push_back({"gnp_sparse",
+                 make_gnp(scale, 3.0 / static_cast<double>(scale), seed)});
+  zoo.push_back({"random_4regular", make_random_regular(
+                                        scale + (scale % 2), 4, seed + 1)});
+  // Scrambled-id variants of two of them, to exercise id-based tie breaks.
+  zoo.push_back({"path_scrambled",
+                 with_scrambled_ids(make_path(scale), seed + 2)});
+  zoo.push_back({"grid_scrambled",
+                 with_scrambled_ids(make_grid(side, side), seed + 3)});
+  return zoo;
+}
+
+}  // namespace rlocal

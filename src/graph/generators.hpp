@@ -1,0 +1,52 @@
+// Graph generators: the "workload zoo" used by tests and experiments.
+//
+// Theorems in the paper are for-all-graphs statements; the experiment suite
+// sweeps this diverse family. All randomized generators are deterministic
+// functions of their seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rlocal {
+
+Graph make_path(NodeId n);
+Graph make_cycle(NodeId n);
+Graph make_complete(NodeId n);
+Graph make_star(NodeId n);  ///< node 0 is the hub
+Graph make_grid(NodeId rows, NodeId cols);
+Graph make_torus(NodeId rows, NodeId cols);
+/// Balanced tree where every internal node has `arity` children.
+Graph make_balanced_tree(int arity, int depth);
+/// Hypercube on 2^dim nodes.
+Graph make_hypercube(int dim);
+/// Path of `spine` nodes where every spine node hangs `legs` leaves.
+Graph make_caterpillar(NodeId spine, NodeId legs);
+/// `k` cliques of size `s` arranged in a ring, joined by single edges.
+Graph make_ring_of_cliques(NodeId k, NodeId s);
+/// Erdos-Renyi G(n, p).
+Graph make_gnp(NodeId n, double p, std::uint64_t seed);
+/// Random d-regular (configuration model with rejection; falls back to a
+/// near-regular graph if a perfect matching is not found quickly).
+Graph make_random_regular(NodeId n, int d, std::uint64_t seed);
+/// Disjoint union of the given graphs (ids are re-spaced to stay unique).
+Graph make_disjoint_union(const std::vector<const Graph*>& parts);
+
+/// Shuffles node identifiers (not indices) pseudo-randomly within [0, n^3),
+/// modeling adversarial Theta(log n)-bit ids.
+Graph with_scrambled_ids(const Graph& g, std::uint64_t seed);
+
+/// Named zoo used by parameterized tests and benches.
+struct ZooEntry {
+  std::string name;
+  Graph graph;
+};
+
+/// Builds the standard zoo at roughly the given size scale. Every graph has
+/// between ~scale/2 and ~2*scale nodes.
+std::vector<ZooEntry> make_zoo(NodeId scale, std::uint64_t seed);
+
+}  // namespace rlocal

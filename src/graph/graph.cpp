@@ -1,0 +1,83 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rlocal {
+
+Graph::Builder::Builder(NodeId num_nodes) : num_nodes_(num_nodes) {
+  RLOCAL_CHECK(num_nodes >= 0, "graph size must be non-negative");
+  ids_.resize(static_cast<std::size_t>(num_nodes));
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    ids_[static_cast<std::size_t>(v)] = static_cast<std::uint64_t>(v);
+  }
+}
+
+void Graph::Builder::add_edge(NodeId u, NodeId v) {
+  RLOCAL_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_,
+               "edge endpoint out of range");
+  RLOCAL_CHECK(u != v, "self-loops are not allowed");
+  edges_.emplace_back(u, v);
+}
+
+void Graph::Builder::set_id(NodeId v, std::uint64_t id) {
+  RLOCAL_CHECK(v >= 0 && v < num_nodes_, "node index out of range");
+  ids_[static_cast<std::size_t>(v)] = id;
+}
+
+Graph Graph::Builder::build() && {
+  // Deduplicate edges as unordered pairs.
+  for (auto& [u, v] : edges_) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.ids_ = std::move(ids_);
+
+  {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(g.ids_.size());
+    for (const std::uint64_t id : g.ids_) {
+      RLOCAL_CHECK(seen.insert(id).second, "node identifiers must be unique");
+    }
+  }
+
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++counts[static_cast<std::size_t>(u) + 1];
+    ++counts[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  g.offsets_ = counts;
+
+  g.adjacency_.resize(static_cast<std::size_t>(edges_.size()) * 2);
+  std::vector<std::int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(u)]++)] = v;
+    g.adjacency_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(v)]++)] = u;
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    std::sort(g.adjacency_.begin() + g.offsets_[static_cast<std::size_t>(v)],
+              g.adjacency_.begin() +
+                  g.offsets_[static_cast<std::size_t>(v) + 1]);
+  }
+  return g;
+}
+
+NodeId Graph::max_degree() const {
+  NodeId best = 0;
+  for (NodeId v = 0; v < num_nodes_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace rlocal

@@ -1,0 +1,78 @@
+// Immutable undirected graph in CSR (compressed sparse row) form.
+//
+// Nodes are dense indices 0..n-1. Each node additionally carries a unique
+// identifier (`id`) drawn from a polynomial range {0..n^c}, matching the
+// LOCAL-model assumption of Theta(log n)-bit unique identifiers; generators
+// assign ids and algorithms that break ties do so by id, never by index.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rlocal {
+
+using NodeId = std::int32_t;  ///< dense node index in [0, n)
+
+class Graph {
+ public:
+  /// An empty graph (0 nodes); assign from a Builder to populate.
+  Graph() = default;
+
+  /// Builder accumulates edges, then `build()` freezes into CSR.
+  class Builder {
+   public:
+    explicit Builder(NodeId num_nodes);
+
+    /// Adds undirected edge {u, v}. Self-loops and duplicates are rejected
+    /// at build() time.
+    void add_edge(NodeId u, NodeId v);
+
+    /// Overrides the default identifier (which equals the index) of node v.
+    void set_id(NodeId v, std::uint64_t id);
+
+    Graph build() &&;
+
+   private:
+    NodeId num_nodes_;
+    std::vector<std::pair<NodeId, NodeId>> edges_;
+    std::vector<std::uint64_t> ids_;
+  };
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(adjacency_.size()) / 2;
+  }
+
+  /// Neighbors of v, sorted ascending by node index.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    RLOCAL_CHECK(v >= 0 && v < num_nodes_, "node index out of range");
+    return std::span<const NodeId>(adjacency_.data() + offsets_[v],
+                                   adjacency_.data() + offsets_[v + 1]);
+  }
+
+  NodeId degree(NodeId v) const {
+    RLOCAL_CHECK(v >= 0 && v < num_nodes_, "node index out of range");
+    return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  NodeId max_degree() const;
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Unique Theta(log n)-bit identifier of v.
+  std::uint64_t id(NodeId v) const {
+    RLOCAL_CHECK(v >= 0 && v < num_nodes_, "node index out of range");
+    return ids_[v];
+  }
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<std::int64_t> offsets_;  // size n+1
+  std::vector<NodeId> adjacency_;      // size 2m, sorted per node
+  std::vector<std::uint64_t> ids_;     // size n, unique
+};
+
+}  // namespace rlocal

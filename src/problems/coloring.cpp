@@ -1,0 +1,91 @@
+#include "problems/coloring.hpp"
+
+#include <algorithm>
+
+#include "support/math.hpp"
+
+namespace rlocal {
+
+ColoringResult random_coloring(const Graph& g, NodeRandomness& rnd,
+                               int max_iterations) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const int logn = log2n(static_cast<std::uint64_t>(
+      std::max<NodeId>(2, g.num_nodes())));
+  const int budget = max_iterations > 0 ? max_iterations : 16 * logn + 16;
+  const int palette = g.max_degree() + 1;
+
+  ColoringResult result;
+  result.color.assign(n, -1);
+  std::vector<int> proposal(n, -1);
+  std::vector<bool> taken;  // scratch: palette colors already owned nearby
+
+  for (int iteration = 1; iteration <= budget; ++iteration) {
+    bool any_uncolored = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      proposal[static_cast<std::size_t>(v)] = -1;
+      if (result.color[static_cast<std::size_t>(v)] != -1) continue;
+      any_uncolored = true;
+      // Remaining palette: colors in [0, deg(v)] not owned by neighbors.
+      taken.assign(static_cast<std::size_t>(g.degree(v)) + 1, false);
+      for (const NodeId u : g.neighbors(v)) {
+        const int cu = result.color[static_cast<std::size_t>(u)];
+        if (cu >= 0 && cu <= g.degree(v)) {
+          taken[static_cast<std::size_t>(cu)] = true;
+        }
+      }
+      std::vector<int> free_colors;
+      for (int col = 0; col <= g.degree(v); ++col) {
+        if (!taken[static_cast<std::size_t>(col)]) free_colors.push_back(col);
+      }
+      RLOCAL_ASSERT(!free_colors.empty());  // palette size deg+1 guarantees it
+      const std::uint64_t word = rnd.chunk(
+          static_cast<std::uint64_t>(v),
+          static_cast<std::uint64_t>(iteration));
+      proposal[static_cast<std::size_t>(v)] = free_colors[static_cast<
+          std::size_t>(word % free_colors.size())];
+    }
+    if (!any_uncolored) {
+      result.success = true;
+      result.iterations = iteration - 1;
+      result.rounds_charged = 2 * (iteration - 1);
+      RLOCAL_ASSERT(is_valid_coloring(g, result.color, palette));
+      return result;
+    }
+    // Conflict resolution: a proposal sticks unless an uncolored neighbor
+    // with smaller id proposed the same color.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const int pv = proposal[static_cast<std::size_t>(v)];
+      if (pv < 0) continue;
+      bool keep = true;
+      for (const NodeId u : g.neighbors(v)) {
+        if (proposal[static_cast<std::size_t>(u)] == pv &&
+            g.id(u) < g.id(v)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) result.color[static_cast<std::size_t>(v)] = pv;
+    }
+  }
+  result.iterations = budget;
+  result.rounds_charged = 2 * budget;
+  result.success =
+      std::find(result.color.begin(), result.color.end(), -1) ==
+      result.color.end();
+  return result;
+}
+
+bool is_valid_coloring(const Graph& g, const std::vector<int>& color,
+                       int max_colors) {
+  if (color.size() != static_cast<std::size_t>(g.num_nodes())) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int cv = color[static_cast<std::size_t>(v)];
+    if (cv < 0 || cv >= max_colors) return false;
+    for (const NodeId u : g.neighbors(v)) {
+      if (color[static_cast<std::size_t>(u)] == cv) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rlocal

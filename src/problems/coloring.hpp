@@ -1,0 +1,33 @@
+// (Delta+1)-vertex coloring: with MIS, the other classic problem the paper
+// cites as solvable in poly(log n) randomized rounds. The randomized
+// algorithm is the standard random-trial scheme, drawing through a
+// randomness regime so experiment E9 can compare regimes.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rnd/regime.hpp"
+
+namespace rlocal {
+
+struct ColoringResult {
+  std::vector<int> color;  ///< -1 where the budget ran out
+  bool success = false;
+  int iterations = 0;
+  int rounds_charged = 0;  ///< 2 CONGEST rounds per iteration
+};
+
+/// Random-trial (Delta+1)-coloring: every uncolored node proposes a uniform
+/// color from its remaining palette; a proposal sticks unless a neighbor
+/// with smaller identifier proposed the same color in the same iteration
+/// (or a colored neighbor already owns it). Terminates in O(log n)
+/// iterations w.h.p. `max_iterations <= 0` uses 16 * ceil(log2 n) + 16.
+ColoringResult random_coloring(const Graph& g, NodeRandomness& rnd,
+                               int max_iterations = 0);
+
+/// True iff `color` is a proper coloring with entries in [0, max_colors).
+bool is_valid_coloring(const Graph& g, const std::vector<int>& color,
+                       int max_colors);
+
+}  // namespace rlocal

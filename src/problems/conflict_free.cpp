@@ -1,0 +1,229 @@
+#include "problems/conflict_free.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/math.hpp"
+
+namespace rlocal {
+
+namespace {
+
+/// One size class of live edges, satisfied via conditional-expectation
+/// phases; assigns colors starting at *next_color and advances it.
+/// Edges are indices into h.edges.
+void solve_class(const Hypergraph& h, const std::vector<int>& edge_indices,
+                 double marking_prob, CfMulticoloring* out, int* next_color) {
+  if (edge_indices.empty()) return;
+  const double p = marking_prob;
+  RLOCAL_ASSERT(p > 0.0 && p < 1.0);
+
+  std::vector<int> live = edge_indices;
+  // Per-vertex incidence within this class.
+  std::vector<std::vector<int>> edges_of(
+      static_cast<std::size_t>(h.num_vertices));
+  std::vector<bool> touched(static_cast<std::size_t>(h.num_vertices), false);
+  std::vector<std::int32_t> vertices;
+  for (const int e : live) {
+    for (const std::int32_t v : h.edges[static_cast<std::size_t>(e)]) {
+      edges_of[static_cast<std::size_t>(v)].push_back(e);
+      if (!touched[static_cast<std::size_t>(v)]) {
+        touched[static_cast<std::size_t>(v)] = true;
+        vertices.push_back(v);
+      }
+    }
+  }
+  std::sort(vertices.begin(), vertices.end());
+
+  const int max_phases =
+      32 * log2n(static_cast<std::uint64_t>(live.size()) + 1) + 32;
+  // Per-edge state for the current phase.
+  std::vector<int> marked_count(h.edges.size(), 0);
+  std::vector<int> undecided_count(h.edges.size(), 0);
+  std::vector<bool> is_live(h.edges.size(), false);
+  for (const int e : live) is_live[static_cast<std::size_t>(e)] = true;
+
+  for (int phase = 0; phase < max_phases && !live.empty(); ++phase) {
+    const int color = (*next_color)++;
+    for (const int e : live) {
+      marked_count[static_cast<std::size_t>(e)] = 0;
+      undecided_count[static_cast<std::size_t>(e)] =
+          static_cast<int>(h.edges[static_cast<std::size_t>(e)].size());
+    }
+    // Exact P[e ends with exactly one marked | current state].
+    auto edge_probability = [&](int e, int extra_marked,
+                                int fewer_undecided) {
+      const int a = marked_count[static_cast<std::size_t>(e)] + extra_marked;
+      const int u =
+          undecided_count[static_cast<std::size_t>(e)] - fewer_undecided;
+      if (a >= 2) return 0.0;
+      if (a == 1) return std::pow(1.0 - p, u);
+      return u * p * std::pow(1.0 - p, u - 1);
+    };
+    // Greedy conditional expectations over the class's vertices.
+    std::vector<bool> picked(static_cast<std::size_t>(h.num_vertices), false);
+    for (const std::int32_t v : vertices) {
+      double delta = 0.0;  // E[mark v] - E[do not mark v]
+      for (const int e : edges_of[static_cast<std::size_t>(v)]) {
+        if (!is_live[static_cast<std::size_t>(e)]) continue;
+        delta += edge_probability(e, 1, 1) - edge_probability(e, 0, 1);
+      }
+      const bool mark = delta > 0.0;
+      picked[static_cast<std::size_t>(v)] = mark;
+      for (const int e : edges_of[static_cast<std::size_t>(v)]) {
+        if (!is_live[static_cast<std::size_t>(e)]) continue;
+        undecided_count[static_cast<std::size_t>(e)] -= 1;
+        if (mark) marked_count[static_cast<std::size_t>(e)] += 1;
+      }
+    }
+    // Commit: picked vertices receive the phase color; edges with exactly
+    // one picked vertex are satisfied.
+    for (const std::int32_t v : vertices) {
+      if (picked[static_cast<std::size_t>(v)]) {
+        out->colors_of[static_cast<std::size_t>(v)].push_back(color);
+      }
+    }
+    std::vector<int> still_live;
+    for (const int e : live) {
+      if (marked_count[static_cast<std::size_t>(e)] == 1) {
+        is_live[static_cast<std::size_t>(e)] = false;
+      } else {
+        still_live.push_back(e);
+      }
+    }
+    live = std::move(still_live);
+  }
+  RLOCAL_ASSERT(live.empty());  // conditional expectations guarantee progress
+}
+
+/// Groups edge indices by size class (size in [2^{j-1}, 2^j)).
+std::vector<std::vector<int>> group_by_size(
+    const Hypergraph& h, const std::vector<int>& edge_indices) {
+  std::vector<std::vector<int>> classes;
+  for (const int e : edge_indices) {
+    const auto size = h.edges[static_cast<std::size_t>(e)].size();
+    RLOCAL_ASSERT(size >= 1);
+    const int cls = floor_log2(static_cast<std::uint64_t>(size));
+    if (static_cast<std::size_t>(cls) >= classes.size()) {
+      classes.resize(static_cast<std::size_t>(cls) + 1);
+    }
+    classes[static_cast<std::size_t>(cls)].push_back(e);
+  }
+  return classes;
+}
+
+void solve_all_classes(const Hypergraph& h,
+                       const std::vector<int>& edge_indices,
+                       CfMulticoloring* out, int* next_color, int* phases) {
+  for (const auto& cls : group_by_size(h, edge_indices)) {
+    if (cls.empty()) continue;
+    const auto size =
+        h.edges[static_cast<std::size_t>(cls.front())].size();
+    // Marking probability ~ 1/size keeps P[exactly one] constant
+    // (class sizes vary by at most 2x around the representative).
+    const double p = std::min(0.5, 1.0 / static_cast<double>(size));
+    const int before = *next_color;
+    solve_class(h, cls, p, out, next_color);
+    *phases += *next_color - before;
+  }
+}
+
+}  // namespace
+
+CfDeterministicResult cf_multicolor_deterministic(const Hypergraph& h) {
+  h.check();
+  CfDeterministicResult result;
+  result.coloring.colors_of.assign(
+      static_cast<std::size_t>(h.num_vertices), {});
+  std::vector<int> all(h.edges.size());
+  for (std::size_t e = 0; e < h.edges.size(); ++e) {
+    all[e] = static_cast<int>(e);
+  }
+  int next_color = 0;
+  solve_all_classes(h, all, &result.coloring, &next_color, &result.phases);
+  result.coloring.num_colors = next_color;
+  return result;
+}
+
+CfKwiseResult cf_multicolor_kwise(const Hypergraph& h, NodeRandomness& rnd,
+                                  int small_threshold) {
+  h.check();
+  const int logn = log2n(static_cast<std::uint64_t>(
+      std::max<std::int32_t>(2, h.num_vertices)));
+  CfKwiseResult result;
+  result.small_threshold =
+      small_threshold > 0 ? small_threshold : 4 * logn * logn;
+  result.coloring.colors_of.assign(
+      static_cast<std::size_t>(h.num_vertices), {});
+
+  // Split edges into small (solved directly) and large size classes
+  // (restricted to their marked vertices first). Every class gets a
+  // disjoint palette because next_color only advances.
+  std::vector<int> small_edges;
+  std::vector<std::vector<int>> large_by_class;
+  for (std::size_t e = 0; e < h.edges.size(); ++e) {
+    const auto size = h.edges[e].size();
+    if (static_cast<int>(size) <= result.small_threshold) {
+      small_edges.push_back(static_cast<int>(e));
+    } else {
+      const int cls = floor_log2(static_cast<std::uint64_t>(size));
+      if (static_cast<std::size_t>(cls) >= large_by_class.size()) {
+        large_by_class.resize(static_cast<std::size_t>(cls) + 1);
+      }
+      large_by_class[static_cast<std::size_t>(cls)].push_back(
+          static_cast<int>(e));
+    }
+  }
+
+  int next_color = 0;
+  int phases = 0;
+  solve_all_classes(h, small_edges, &result.coloring, &next_color, &phases);
+
+  for (std::size_t cls = 0; cls < large_by_class.size(); ++cls) {
+    if (large_by_class[cls].empty()) continue;
+    ++result.classes_marked;
+    // Mark with probability Theta(log n) / 2^cls via the k-wise regime;
+    // stream = class index isolates classes from each other.
+    const double p = std::min(
+        0.5, 4.0 * static_cast<double>(logn) /
+                 std::ldexp(1.0, static_cast<int>(cls)));
+    std::vector<bool> marked(static_cast<std::size_t>(h.num_vertices));
+    for (std::int32_t v = 0; v < h.num_vertices; ++v) {
+      marked[static_cast<std::size_t>(v)] = rnd.bernoulli(
+          static_cast<std::uint64_t>(v), static_cast<std::uint64_t>(cls), p);
+    }
+    // Build the restricted hypergraph for this class.
+    Hypergraph restricted;
+    restricted.num_vertices = h.num_vertices;
+    for (const int e : large_by_class[cls]) {
+      std::vector<std::int32_t> sub;
+      for (const std::int32_t v : h.edges[static_cast<std::size_t>(e)]) {
+        if (marked[static_cast<std::size_t>(v)]) sub.push_back(v);
+      }
+      if (sub.empty()) {
+        // Marking failed for this edge (probability poly(log n)^{-Theta(1)}
+        // per the k-wise Chernoff bound); fall back to the full edge.
+        ++result.empty_restrictions;
+        sub = h.edges[static_cast<std::size_t>(e)];
+      } else {
+        const int m = static_cast<int>(sub.size());
+        result.min_marked =
+            result.min_marked < 0 ? m : std::min(result.min_marked, m);
+        result.max_marked = std::max(result.max_marked, m);
+      }
+      restricted.edges.push_back(std::move(sub));
+    }
+    std::vector<int> all(restricted.edges.size());
+    for (std::size_t e = 0; e < restricted.edges.size(); ++e) {
+      all[e] = static_cast<int>(e);
+    }
+    solve_all_classes(restricted, all, &result.coloring, &next_color,
+                      &phases);
+  }
+
+  result.coloring.num_colors = next_color;
+  result.valid = is_conflict_free(h, result.coloring);
+  return result;
+}
+
+}  // namespace rlocal

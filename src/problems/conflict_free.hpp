@@ -1,0 +1,51 @@
+// Conflict-free hypergraph multicoloring (Theorem 3.5).
+//
+// Two pieces, mirroring the paper's proof:
+//
+//  * cf_multicolor_deterministic -- the small-edges base case standing in
+//    for the deterministic algorithm of [GKM17]: edges are grouped in size
+//    classes; per class, phases pick a fresh color and a vertex subset by
+//    the method of conditional expectations, maximizing the exact expected
+//    number of live edges with exactly one picked vertex (marking prob.
+//    ~ 1/size keeps that expectation a constant fraction, so each phase
+//    deterministically satisfies >= max(1, Omega(live)) edges and
+//    O(log #edges) colors per class suffice).
+//
+//  * cf_multicolor_kwise -- the paper's reduction: per size class with
+//    edges larger than the small threshold, mark vertices with probability
+//    Theta(log n)/2^i using k-wise independent bits; each such edge keeps
+//    Theta(log n) marked vertices w.h.p., and the base case colors the
+//    restricted (now small) edges with a per-class palette. Per-class
+//    palettes make the restriction sound: a class-i color is only ever held
+//    by class-i-marked vertices, so "exactly one in the restriction" is
+//    "exactly one in the full edge".
+#pragma once
+
+#include "problems/hypergraph.hpp"
+#include "rnd/regime.hpp"
+
+namespace rlocal {
+
+struct CfDeterministicResult {
+  CfMulticoloring coloring;
+  int phases = 0;  ///< total color classes spent
+};
+
+CfDeterministicResult cf_multicolor_deterministic(const Hypergraph& h);
+
+struct CfKwiseResult {
+  CfMulticoloring coloring;
+  bool valid = false;
+  int small_threshold = 0;
+  int classes_marked = 0;      ///< classes that went through marking
+  int empty_restrictions = 0;  ///< edges whose marking came up empty
+                               ///< (fell back to the full edge)
+  int min_marked = -1;         ///< over marked (large) edges
+  int max_marked = 0;
+};
+
+/// `small_threshold <= 0` selects 4 * ceil(log2 n)^2 where n = #vertices.
+CfKwiseResult cf_multicolor_kwise(const Hypergraph& h, NodeRandomness& rnd,
+                                  int small_threshold = 0);
+
+}  // namespace rlocal

@@ -1,0 +1,88 @@
+#include "problems/hypergraph.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "support/math.hpp"
+
+namespace rlocal {
+
+void Hypergraph::check() const {
+  for (const auto& edge : edges) {
+    RLOCAL_CHECK(!edge.empty(), "empty hyperedge");
+    for (const std::int32_t v : edge) {
+      RLOCAL_CHECK(v >= 0 && v < num_vertices, "hyperedge vertex range");
+    }
+  }
+}
+
+std::size_t Hypergraph::max_edge_size() const {
+  std::size_t best = 0;
+  for (const auto& edge : edges) best = std::max(best, edge.size());
+  return best;
+}
+
+bool is_conflict_free(const Hypergraph& h, const CfMulticoloring& c) {
+  if (c.colors_of.size() != static_cast<std::size_t>(h.num_vertices)) {
+    return false;
+  }
+  std::vector<int> count(static_cast<std::size_t>(c.num_colors), 0);
+  for (const auto& edge : h.edges) {
+    std::fill(count.begin(), count.end(), 0);
+    for (const std::int32_t v : edge) {
+      for (const int col : c.colors_of[static_cast<std::size_t>(v)]) {
+        if (col < 0 || col >= c.num_colors) return false;
+        ++count[static_cast<std::size_t>(col)];
+      }
+    }
+    bool ok = false;
+    for (const int k : count) {
+      if (k == 1) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Hypergraph make_classed_hypergraph(std::int32_t num_vertices,
+                                   std::int32_t edges_per_class,
+                                   int num_classes, std::uint64_t seed) {
+  RLOCAL_CHECK(num_vertices >= 2, "need at least two vertices");
+  RLOCAL_CHECK(num_classes >= 1, "need at least one class");
+  std::mt19937_64 rng(seed);
+  Hypergraph h;
+  h.num_vertices = num_vertices;
+  std::vector<std::int32_t> pool(static_cast<std::size_t>(num_vertices));
+  for (std::int32_t v = 0; v < num_vertices; ++v) {
+    pool[static_cast<std::size_t>(v)] = v;
+  }
+  for (int cls = 1; cls <= num_classes; ++cls) {
+    const std::int64_t lo = std::int64_t{1} << (cls - 1);
+    const std::int64_t hi =
+        std::min<std::int64_t>(num_vertices, (std::int64_t{1} << cls) - 1);
+    if (lo > hi) break;
+    for (std::int32_t e = 0; e < edges_per_class; ++e) {
+      const auto size = static_cast<std::int32_t>(
+          lo + static_cast<std::int64_t>(
+                   rng() % static_cast<std::uint64_t>(hi - lo + 1)));
+      // Partial Fisher-Yates for a uniform size-subset.
+      std::vector<std::int32_t> edge;
+      edge.reserve(static_cast<std::size_t>(size));
+      for (std::int32_t i = 0; i < size; ++i) {
+        const auto j = static_cast<std::size_t>(
+            i + static_cast<std::int64_t>(
+                    rng() % static_cast<std::uint64_t>(num_vertices - i)));
+        std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+        edge.push_back(pool[static_cast<std::size_t>(i)]);
+      }
+      std::sort(edge.begin(), edge.end());
+      h.edges.push_back(std::move(edge));
+    }
+  }
+  return h;
+}
+
+}  // namespace rlocal

@@ -1,0 +1,39 @@
+// Hypergraphs and conflict-free multicolorings (Theorem 3.5).
+//
+// A multicoloring assigns each vertex a *set* of colors; it is conflict-free
+// when every hyperedge has some color held by exactly one of its vertices.
+// [GKM17] showed network decomposition reduces to conflict-free hypergraph
+// multicoloring; the paper's Theorem 3.5 contributes the k-wise-independent
+// marking step that shrinks all hyperedges to poly(log n) size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rlocal {
+
+struct Hypergraph {
+  std::int32_t num_vertices = 0;
+  std::vector<std::vector<std::int32_t>> edges;
+
+  void check() const;
+  std::size_t max_edge_size() const;
+};
+
+struct CfMulticoloring {
+  std::vector<std::vector<int>> colors_of;  ///< per vertex: held colors
+  int num_colors = 0;
+};
+
+/// True iff every hyperedge has a color held by exactly one of its vertices.
+bool is_conflict_free(const Hypergraph& h, const CfMulticoloring& c);
+
+/// Random hypergraph whose i-th size class has edges of size in
+/// [2^{i-1}, 2^i), mirroring the paper's class structure.
+Hypergraph make_classed_hypergraph(std::int32_t num_vertices,
+                                   std::int32_t edges_per_class,
+                                   int num_classes, std::uint64_t seed);
+
+}  // namespace rlocal

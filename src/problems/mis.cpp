@@ -1,0 +1,33 @@
+#include "problems/mis.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rlocal {
+
+std::vector<bool> greedy_mis(const Graph& g,
+                             const std::vector<NodeId>& order) {
+  RLOCAL_CHECK(order.size() == static_cast<std::size_t>(g.num_nodes()),
+               "order must cover all nodes");
+  std::vector<bool> in_mis(static_cast<std::size_t>(g.num_nodes()), false);
+  std::vector<bool> blocked(static_cast<std::size_t>(g.num_nodes()), false);
+  for (const NodeId v : order) {
+    if (blocked[static_cast<std::size_t>(v)]) continue;
+    in_mis[static_cast<std::size_t>(v)] = true;
+    blocked[static_cast<std::size_t>(v)] = true;
+    for (const NodeId u : g.neighbors(v)) {
+      blocked[static_cast<std::size_t>(u)] = true;
+    }
+  }
+  return in_mis;
+}
+
+std::vector<bool> greedy_mis_by_id(const Graph& g) {
+  std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&g](NodeId a, NodeId b) { return g.id(a) < g.id(b); });
+  return greedy_mis(g, order);
+}
+
+}  // namespace rlocal

@@ -1,0 +1,22 @@
+// Maximal independent set: the problem behind Linial's question that frames
+// the paper. The randomized algorithm (Luby) lives in sim/programs/luby.hpp;
+// this header adds the sequential-greedy baseline (the canonical locality-1
+// SLOCAL algorithm) and the problem checker used by the derandomization
+// machinery (MIS is O(1)-locally checkable).
+#pragma once
+
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "sim/programs/luby.hpp"
+
+namespace rlocal {
+
+/// Sequential greedy MIS in the given processing order (SLOCAL locality 1).
+std::vector<bool> greedy_mis(const Graph& g, const std::vector<NodeId>& order);
+
+/// Greedy MIS in ascending-identifier order.
+std::vector<bool> greedy_mis_by_id(const Graph& g);
+
+}  // namespace rlocal

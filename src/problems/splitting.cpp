@@ -1,0 +1,50 @@
+#include "problems/splitting.hpp"
+
+#include <cmath>
+
+namespace rlocal {
+
+SplittingResult random_splitting(const BipartiteGraph& h, NodeRandomness& rnd,
+                                 std::uint64_t stream) {
+  SplittingResult result;
+  const std::uint64_t before = rnd.derived_bits();
+  result.red.resize(static_cast<std::size_t>(h.num_right()));
+  for (std::int32_t v = 0; v < h.num_right(); ++v) {
+    result.red[static_cast<std::size_t>(v)] =
+        rnd.bit(static_cast<std::uint64_t>(v), stream);
+  }
+  result.violations = count_splitting_violations(h, result.red);
+  result.derived_bits = rnd.derived_bits() - before;
+  return result;
+}
+
+int count_splitting_violations(const BipartiteGraph& h,
+                               const std::vector<bool>& red) {
+  RLOCAL_CHECK(red.size() == static_cast<std::size_t>(h.num_right()),
+               "coloring size mismatch");
+  int violations = 0;
+  for (std::int32_t u = 0; u < h.num_left(); ++u) {
+    bool saw_red = false;
+    bool saw_blue = false;
+    for (const std::int32_t v : h.left_neighbors(u)) {
+      if (red[static_cast<std::size_t>(v)]) {
+        saw_red = true;
+      } else {
+        saw_blue = true;
+      }
+    }
+    if (!(saw_red && saw_blue)) ++violations;
+  }
+  return violations;
+}
+
+double splitting_failure_upper_bound(const BipartiteGraph& h) {
+  double bound = 0.0;
+  for (std::int32_t u = 0; u < h.num_left(); ++u) {
+    const auto deg = static_cast<double>(h.left_neighbors(u).size());
+    bound += std::pow(2.0, 1.0 - deg);
+  }
+  return std::min(1.0, bound);
+}
+
+}  // namespace rlocal

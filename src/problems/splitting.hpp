@@ -1,0 +1,38 @@
+// The splitting problem of Ghaffari-Kuhn-Maus [GKM17] (Lemma 3.4): given a
+// bipartite H = (U, V, E) where every u in U has at least Omega(log^c n)
+// neighbors in V, 2-color V red/blue so every u sees both colors.
+//
+// Randomized, this is a zero-round problem: each V-node flips a coin. It is
+// P-SLOCAL-complete to solve deterministically in poly(log n) rounds, which
+// is why the paper uses it to show O(log n) shared random bits already
+// separate the distributed question from the centralized P vs BPP analogy.
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "rnd/regime.hpp"
+
+namespace rlocal {
+
+struct SplittingResult {
+  std::vector<bool> red;  ///< color of each right node
+  int violations = 0;     ///< left nodes missing one of the colors
+  std::uint64_t derived_bits = 0;
+};
+
+/// Zero-round randomized splitting under any regime: right node v is colored
+/// by its own derived bit.
+SplittingResult random_splitting(const BipartiteGraph& h, NodeRandomness& rnd,
+                                 std::uint64_t stream = 0);
+
+/// Number of left nodes whose neighborhood is monochromatic (0 == valid).
+int count_splitting_violations(const BipartiteGraph& h,
+                               const std::vector<bool>& red);
+
+/// Union-bound estimate of the failure probability under fully independent
+/// coins: sum over u of 2^(1 - deg(u)) (the paper's Chernoff/union-bound
+/// argument specialized to exact monochromaticity).
+double splitting_failure_upper_bound(const BipartiteGraph& h);
+
+}  // namespace rlocal

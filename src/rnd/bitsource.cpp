@@ -1,0 +1,22 @@
+#include "rnd/bitsource.hpp"
+
+namespace rlocal {
+
+std::uint64_t BitSource::next_bits(int count) {
+  RLOCAL_CHECK(count >= 0 && count <= 64, "count must be in [0, 64]");
+  std::uint64_t word = 0;
+  for (int i = 0; i < count; ++i) {
+    if (next_bit()) word |= (1ULL << i);
+  }
+  return word;
+}
+
+int BitSource::geometric(int cap) {
+  RLOCAL_CHECK(cap >= 1, "geometric cap must be >= 1");
+  for (int k = 1; k <= cap; ++k) {
+    if (!next_bit()) return k;  // tail on flip k
+  }
+  return cap;
+}
+
+}  // namespace rlocal

@@ -1,0 +1,107 @@
+// Bit sources with consumption accounting. The paper treats randomness as a
+// scarce resource; every draw in the library flows through a BitSource (or
+// the NodeRandomness facade) so experiments can report exact bit counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rnd/prng.hpp"
+#include "support/assert.hpp"
+
+namespace rlocal {
+
+/// Thrown when a finite bit source (e.g. gathered beacon bits) runs dry.
+class BitsExhausted : public std::runtime_error {
+ public:
+  explicit BitsExhausted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Abstract stream of random bits; tracks how many bits were consumed.
+class BitSource {
+ public:
+  virtual ~BitSource() = default;
+
+  bool next_bit() {
+    ++consumed_;
+    return draw();
+  }
+
+  /// Next `count` bits packed little-endian into a word (count in [0, 64]).
+  std::uint64_t next_bits(int count);
+
+  /// Geometric sample with Pr[X = k] = 2^-k for k >= 1, truncated at `cap`
+  /// (flip coins until the first tail; if `cap` heads come up first, return
+  /// cap). Consumes min(X, cap) bits, mirroring Lemma 3.3's accounting.
+  int geometric(int cap);
+
+  std::uint64_t bits_consumed() const { return consumed_; }
+
+ protected:
+  virtual bool draw() = 0;
+
+ private:
+  std::uint64_t consumed_ = 0;
+};
+
+/// Unbounded pseudo-random bits (models the standard unbounded-randomness
+/// assumption).
+class PrngBitSource final : public BitSource {
+ public:
+  explicit PrngBitSource(std::uint64_t seed) : rng_(seed) {}
+
+ protected:
+  bool draw() override {
+    if (available_ == 0) {
+      buffer_ = rng_();
+      available_ = 64;
+    }
+    const bool bit = (buffer_ & 1ULL) != 0;
+    buffer_ >>= 1;
+    --available_;
+    return bit;
+  }
+
+ private:
+  Xoshiro256 rng_;
+  std::uint64_t buffer_ = 0;
+  int available_ = 0;
+};
+
+/// Finite supply of pre-gathered bits (e.g. a cluster's beacon bits in
+/// Lemma 3.2/3.3); throws BitsExhausted when over-drawn.
+class FixedBitSource final : public BitSource {
+ public:
+  explicit FixedBitSource(std::vector<bool> bits) : bits_(std::move(bits)) {}
+
+  std::uint64_t remaining() const { return bits_.size() - position_; }
+
+ protected:
+  bool draw() override {
+    if (position_ >= bits_.size()) {
+      throw BitsExhausted("FixedBitSource: out of bits after " +
+                          std::to_string(bits_.size()));
+    }
+    return bits_[position_++];
+  }
+
+ private:
+  std::vector<bool> bits_;
+  std::size_t position_ = 0;
+};
+
+/// Adversarial constant source for failure-injection tests.
+class ConstantBitSource final : public BitSource {
+ public:
+  explicit ConstantBitSource(bool value) : value_(value) {}
+
+ protected:
+  bool draw() override { return value_; }
+
+ private:
+  bool value_;
+};
+
+}  // namespace rlocal

@@ -1,0 +1,51 @@
+#include "rnd/epsbias.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace rlocal {
+
+GF2m EpsBiasGenerator::draw_field(int s, BitSource& seed_source) {
+  RLOCAL_CHECK(s >= 2 && s <= 63, "epsilon-bias degree must be in [2, 63]");
+  // Rejection sampling over monic degree-s polynomials with constant term 1.
+  // Irreducible density is ~1/s, so a generous attempt budget makes failure
+  // astronomically unlikely; fall back to the canonical polynomial then.
+  const int max_attempts = 64 * s;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const std::uint64_t low = seed_source.next_bits(s) | 1ULL;
+    if (is_irreducible(s, low)) return GF2m(s, low);
+  }
+  return GF2m(s);
+}
+
+EpsBiasGenerator::EpsBiasGenerator(int s, BitSource& seed_source)
+    : seed_bits_consumed_(seed_source.bits_consumed()),
+      field_(draw_field(s, seed_source)),
+      start_(0) {
+  // A zero start state would make every output bit zero; redraw (costs one
+  // bit of entropy in expectation, folded into the nominal 2s accounting).
+  do {
+    start_ = seed_source.next_bits(s);
+  } while (start_ == 0);
+  seed_bits_consumed_ = seed_source.bits_consumed() - seed_bits_consumed_;
+}
+
+EpsBiasGenerator EpsBiasGenerator::from_seed(int s,
+                                             std::uint64_t master_seed) {
+  PrngBitSource source(master_seed);
+  return EpsBiasGenerator(s, source);
+}
+
+bool EpsBiasGenerator::bit(std::uint64_t index) const {
+  // x^index mod f, then inner product with the start state.
+  const std::uint64_t u = field_.pow(2, index);
+  return (std::popcount(start_ & u) & 1) != 0;
+}
+
+double EpsBiasGenerator::bias_bound(std::uint64_t num_bits) const {
+  if (num_bits <= 1) return 0.0;
+  return static_cast<double>(num_bits - 1) *
+         std::pow(2.0, -static_cast<double>(field_.degree()));
+}
+
+}  // namespace rlocal

@@ -1,0 +1,50 @@
+// Small-bias (epsilon-biased) sample space in the style of Naor-Naor [NN93]
+// via the LFSR construction of Alon-Goldreich-Hastad-Peralta: the seed is a
+// random irreducible polynomial f of degree s over GF(2) plus a random start
+// state; bit i is the inner product <start, x^i mod f>.
+//
+// For N output bits the bias is at most (N-1)/2^s, so s = Theta(log n) seed
+// bits give an n^{-Theta(1)}-biased space of poly(n) bits -- exactly the
+// O(log n)-bits-of-shared-randomness regime of Lemma 3.4.
+#pragma once
+
+#include <cstdint>
+
+#include "rnd/bitsource.hpp"
+#include "rnd/gf2.hpp"
+
+namespace rlocal {
+
+class EpsBiasGenerator {
+ public:
+  /// Nominal seed entropy is 2s bits: s for the polynomial, s for the start
+  /// state. The polynomial is drawn by rejection from `seed_source` (actual
+  /// bits consumed may exceed s; see seed_bits_consumed()).
+  EpsBiasGenerator(int s, BitSource& seed_source);
+
+  static EpsBiasGenerator from_seed(int s, std::uint64_t master_seed);
+
+  /// The i-th bit of the sample-space point selected by the seed.
+  bool bit(std::uint64_t index) const;
+
+  int s() const { return field_.degree(); }
+  std::uint64_t nominal_seed_bits() const {
+    return 2 * static_cast<std::uint64_t>(s());
+  }
+  std::uint64_t seed_bits_consumed() const { return seed_bits_consumed_; }
+
+  /// Bias upper bound when using bits 0..num_bits-1.
+  double bias_bound(std::uint64_t num_bits) const;
+
+ private:
+  // Declaration order matters: seed_bits_consumed_ captures the source's
+  // counter before field_/start_ draw from it; the constructor body turns it
+  // into the delta.
+  std::uint64_t seed_bits_consumed_;
+  GF2m field_;
+  std::uint64_t start_;
+
+  static GF2m draw_field(int s, BitSource& seed_source);
+};
+
+}  // namespace rlocal

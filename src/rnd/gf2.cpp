@@ -1,0 +1,124 @@
+#include "rnd/gf2.hpp"
+
+#include <array>
+
+namespace rlocal {
+
+namespace {
+
+using Poly128 = unsigned __int128;
+
+int poly_degree(Poly128 p) {
+  int d = -1;
+  while (p != 0) {
+    ++d;
+    p >>= 1;
+  }
+  return d;
+}
+
+Poly128 poly_mod(Poly128 a, Poly128 b) {
+  RLOCAL_ASSERT(b != 0);
+  const int db = poly_degree(b);
+  int da = poly_degree(a);
+  while (da >= db) {
+    a ^= b << (da - db);
+    da = poly_degree(a);
+  }
+  return a;
+}
+
+Poly128 poly_gcd(Poly128 a, Poly128 b) {
+  while (b != 0) {
+    const Poly128 r = poly_mod(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+std::array<int, 6> prime_divisors(int m) {
+  std::array<int, 6> primes{};
+  int count = 0;
+  int x = m;
+  for (int p = 2; p * p <= x; ++p) {
+    if (x % p == 0) {
+      primes[static_cast<std::size_t>(count++)] = p;
+      while (x % p == 0) x /= p;
+    }
+  }
+  if (x > 1) primes[static_cast<std::size_t>(count++)] = x;
+  for (int i = count; i < 6; ++i) primes[static_cast<std::size_t>(i)] = 0;
+  return primes;
+}
+
+}  // namespace
+
+GF2m::GF2m(int m) : GF2m(m, smallest_irreducible_low(m)) {}
+
+GF2m::GF2m(int m, std::uint64_t low_poly) : m_(m), low_(low_poly) {
+  RLOCAL_CHECK(m >= 2 && m <= 64, "GF2m degree must be in [2, 64]");
+  mask_ = (m == 64) ? ~0ULL : ((1ULL << m) - 1);
+  RLOCAL_CHECK((low_poly & ~mask_) == 0, "low polynomial exceeds degree");
+  RLOCAL_CHECK((low_poly & 1ULL) == 1ULL,
+               "reduction polynomial needs constant term 1");
+}
+
+std::uint64_t GF2m::mul(std::uint64_t a, std::uint64_t b) const {
+  std::uint64_t result = 0;
+  while (b != 0) {
+    if (b & 1ULL) result ^= a;
+    b >>= 1;
+    a = mulx(a);
+  }
+  return result;
+}
+
+std::uint64_t GF2m::pow(std::uint64_t base, std::uint64_t exp) const {
+  std::uint64_t result = 1;
+  while (exp != 0) {
+    if (exp & 1ULL) result = mul(result, base);
+    base = mul(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t GF2m::x_pow_pow2(int log2_exp) const {
+  RLOCAL_CHECK(log2_exp >= 0, "exponent log must be non-negative");
+  std::uint64_t s = 2;  // the polynomial "x"
+  for (int i = 0; i < log2_exp; ++i) s = mul(s, s);
+  return s;
+}
+
+bool is_irreducible(int m, std::uint64_t low) {
+  if ((low & 1ULL) == 0) return false;  // divisible by x
+  const GF2m field(m, low);
+  // Rabin: x^(2^m) == x mod f, and for each prime q | m,
+  // gcd(x^(2^(m/q)) - x, f) == 1.
+  if (field.x_pow_pow2(m) != 2) return false;
+  const Poly128 f =
+      (static_cast<Poly128>(1) << m) | static_cast<Poly128>(low);
+  for (const int q : prime_divisors(m)) {
+    if (q == 0) break;
+    const std::uint64_t h = field.x_pow_pow2(m / q) ^ 2ULL;
+    if (h == 0) return false;  // x^(2^(m/q)) == x -> nontrivial factor
+    if (poly_gcd(f, static_cast<Poly128>(h)) != 1) return false;
+  }
+  return true;
+}
+
+std::uint64_t smallest_irreducible_low(int m) {
+  RLOCAL_CHECK(m >= 2 && m <= 64, "degree must be in [2, 64]");
+  static std::array<std::uint64_t, 65> cache{};  // 0 = not yet computed
+  auto& slot = cache[static_cast<std::size_t>(m)];
+  if (slot != 0) return slot;
+  for (std::uint64_t low = 1;; low += 2) {
+    if (is_irreducible(m, low)) {
+      slot = low;
+      return low;
+    }
+  }
+}
+
+}  // namespace rlocal

@@ -1,0 +1,59 @@
+// Arithmetic in GF(2^m) for m in [2, 64], used by the k-wise independent
+// generator (polynomial evaluation over the field) and the AGHP small-bias
+// generator (LFSR over GF(2)[x]).
+//
+// Field elements are packed into uint64_t; the reduction polynomial is
+// f(x) = x^m + low(x) where `low` stores the coefficients below x^m.
+#pragma once
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace rlocal {
+
+class GF2m {
+ public:
+  /// Constructs the field with the lexicographically-smallest irreducible
+  /// reduction polynomial of degree m (found once and cached per m).
+  explicit GF2m(int m);
+
+  /// Constructs with an explicit reduction polynomial low part; the caller
+  /// asserts irreducibility (used by the small-bias generator, which draws
+  /// a random irreducible polynomial as part of its seed).
+  GF2m(int m, std::uint64_t low_poly);
+
+  int degree() const { return m_; }
+  std::uint64_t low_poly() const { return low_; }
+  std::uint64_t mask() const { return mask_; }
+
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const { return a ^ b; }
+
+  /// Carryless multiplication mod the reduction polynomial.
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const;
+
+  /// Multiplication by x (one LFSR step).
+  std::uint64_t mulx(std::uint64_t a) const {
+    const bool carry = (a >> (m_ - 1)) & 1ULL;
+    a = (a << 1) & mask_;
+    return carry ? (a ^ low_) : a;
+  }
+
+  std::uint64_t pow(std::uint64_t base, std::uint64_t exp) const;
+
+  /// x^exp mod f, supporting huge exponents given as 2^`log2_exp`.
+  std::uint64_t x_pow_pow2(int log2_exp) const;
+
+ private:
+  int m_;
+  std::uint64_t low_;
+  std::uint64_t mask_;
+};
+
+/// True iff x^m + low is irreducible over GF(2) (Rabin's test).
+bool is_irreducible(int m, std::uint64_t low);
+
+/// The cached lexicographically-smallest irreducible low part for degree m.
+std::uint64_t smallest_irreducible_low(int m);
+
+}  // namespace rlocal

@@ -1,0 +1,43 @@
+#include "rnd/kwise.hpp"
+
+#include <cmath>
+
+namespace rlocal {
+
+KWiseGenerator::KWiseGenerator(int k, int m, BitSource& seed_source)
+    : field_(m) {
+  RLOCAL_CHECK(k >= 1, "k must be >= 1");
+  coefficients_.resize(static_cast<std::size_t>(k));
+  for (auto& c : coefficients_) c = seed_source.next_bits(m);
+}
+
+KWiseGenerator KWiseGenerator::from_seed(int k, int m,
+                                         std::uint64_t master_seed) {
+  PrngBitSource source(master_seed);
+  return KWiseGenerator(k, m, source);
+}
+
+std::uint64_t KWiseGenerator::value(std::uint64_t point) const {
+  RLOCAL_CHECK((point & ~field_.mask()) == 0,
+               "evaluation point exceeds field size");
+  // Horner evaluation: a_{k-1} x^{k-1} + ... + a_0.
+  std::uint64_t acc = coefficients_.back();
+  for (std::size_t i = coefficients_.size() - 1; i-- > 0;) {
+    acc = field_.mul(acc, point) ^ coefficients_[i];
+  }
+  return acc;
+}
+
+bool KWiseGenerator::bernoulli(std::uint64_t point, double p) const {
+  RLOCAL_CHECK(p >= 0.0 && p <= 1.0, "p must be a probability");
+  if (p >= 1.0) return true;
+  if (p <= 0.0) return false;
+  const int m = field_.degree();
+  // threshold = floor(p * 2^m), computed in long double to stay exact for
+  // m = 64.
+  const long double scaled = std::ldexp(static_cast<long double>(p), m);
+  const auto threshold = static_cast<std::uint64_t>(scaled);
+  return value(point) < threshold;
+}
+
+}  // namespace rlocal

@@ -1,0 +1,47 @@
+// Exactly k-wise independent random values via a uniformly random
+// degree-(k-1) polynomial over GF(2^m): evaluations at distinct points are
+// jointly uniform for any k points [AS04, standard construction].
+//
+// Seed size is k*m bits, matching the paper's "O(k log n) fully independent
+// bits yield poly(n) k-wise independent bits" accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rnd/bitsource.hpp"
+#include "rnd/gf2.hpp"
+
+namespace rlocal {
+
+class KWiseGenerator {
+ public:
+  /// Draws the k coefficients (k*m bits) from `seed_source`.
+  KWiseGenerator(int k, int m, BitSource& seed_source);
+
+  /// Convenience: coefficients from a PRNG keyed by `master_seed`.
+  static KWiseGenerator from_seed(int k, int m, std::uint64_t master_seed);
+
+  /// Uniform m-bit value at evaluation point `point` (< 2^m). Any k distinct
+  /// points give jointly independent uniform values.
+  std::uint64_t value(std::uint64_t point) const;
+
+  bool bit(std::uint64_t point) const { return (value(point) & 1ULL) != 0; }
+
+  /// Bernoulli(p) derived by thresholding the m-bit value; quantization
+  /// error of p is at most 2^-m.
+  bool bernoulli(std::uint64_t point, double p) const;
+
+  int k() const { return static_cast<int>(coefficients_.size()); }
+  int m() const { return field_.degree(); }
+  std::uint64_t seed_bits() const {
+    return static_cast<std::uint64_t>(k()) *
+           static_cast<std::uint64_t>(m());
+  }
+
+ private:
+  GF2m field_;
+  std::vector<std::uint64_t> coefficients_;  // a_0 .. a_{k-1}
+};
+
+}  // namespace rlocal

@@ -1,0 +1,70 @@
+// Deterministic PRNGs: SplitMix64 (seeding / hashing) and xoshiro256**
+// (bulk generation). Both are standard public-domain designs, reimplemented
+// here so the library has zero external dependencies and fully reproducible
+// streams across platforms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rlocal {
+
+/// One SplitMix64 step: returns the mixed value and advances the state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1E3567B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless strong mix of up to three words -- used as a PRF to model
+/// "fresh independent bits at (node, stream)" in the full-independence
+/// regime, keyed by a master seed.
+constexpr std::uint64_t mix3(std::uint64_t a, std::uint64_t b,
+                             std::uint64_t c) {
+  std::uint64_t s = a;
+  std::uint64_t x = splitmix64(s);
+  s ^= b + 0x9E3779B97F4A7C15ULL;
+  x ^= splitmix64(s);
+  s ^= c + 0xD1B54A32D192ED03ULL;
+  x ^= splitmix64(s);
+  // Final avalanche.
+  x = (x ^ (x >> 33)) * 0xFF51AFD7ED558CCDULL;
+  x = (x ^ (x >> 33)) * 0xC4CEB9FE1A85EC53ULL;
+  return x ^ (x >> 33);
+}
+
+/// xoshiro256** generator; satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace rlocal

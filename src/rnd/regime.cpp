@@ -1,0 +1,180 @@
+#include "rnd/regime.hpp"
+
+#include <cmath>
+
+#include "support/math.hpp"
+
+namespace rlocal {
+
+std::string Regime::name() const {
+  switch (kind) {
+    case RegimeKind::kFull:
+      return "full";
+    case RegimeKind::kKWise:
+      return "kwise(" + std::to_string(k) + ")";
+    case RegimeKind::kSharedKWise:
+      return "shared_kwise(" + std::to_string(shared_bits) + "b)";
+    case RegimeKind::kSharedEpsBias:
+      return "shared_epsbias(" + std::to_string(shared_bits) + "b)";
+    case RegimeKind::kAllZeros:
+      return "all_zeros";
+    case RegimeKind::kAllOnes:
+      return "all_ones";
+  }
+  return "?";
+}
+
+NodeRandomness::NodeRandomness(const Regime& regime, std::uint64_t master_seed)
+    : regime_(regime), master_seed_(master_seed) {
+  switch (regime_.kind) {
+    case RegimeKind::kFull:
+    case RegimeKind::kAllZeros:
+    case RegimeKind::kAllOnes:
+      break;
+    case RegimeKind::kKWise: {
+      RLOCAL_CHECK(regime_.k >= 1, "k-wise regime requires k >= 1");
+      kwise_.emplace(KWiseGenerator::from_seed(regime_.k, 64, master_seed));
+      break;
+    }
+    case RegimeKind::kSharedKWise: {
+      RLOCAL_CHECK(regime_.shared_bits >= 128,
+                   "shared k-wise regime requires >= 128 bits (2 GF(2^64) "
+                   "coefficients); use shared_epsbias below that");
+      const int k = regime_.shared_bits / 64;
+      PrngBitSource seed(master_seed);
+      kwise_.emplace(k, 64, seed);
+      shared_seed_bits_ = seed.bits_consumed();
+      break;
+    }
+    case RegimeKind::kSharedEpsBias: {
+      RLOCAL_CHECK(regime_.shared_bits >= 4,
+                   "shared eps-bias regime requires >= 4 bits");
+      const int s = std::min(63, regime_.shared_bits / 2);
+      PrngBitSource seed(master_seed);
+      epsbias_.emplace(s, seed);
+      // Nominal entropy is 2s; rejection consumes more raw PRNG bits but no
+      // extra entropy is attributed to the regime.
+      shared_seed_bits_ = epsbias_->nominal_seed_bits();
+      break;
+    }
+  }
+}
+
+std::uint64_t NodeRandomness::pack(std::uint64_t node, std::uint64_t stream,
+                                   int c) {
+  RLOCAL_CHECK(node < kMaxNode, "node exceeds randomness packing range");
+  RLOCAL_CHECK(stream < kMaxStream, "stream exceeds randomness packing range");
+  RLOCAL_CHECK(c >= 0 && c < (kMaxBitsPerDraw >> 6),
+               "chunk exceeds randomness packing range");
+  return (node << 32) | (stream << 6) | static_cast<std::uint64_t>(c);
+}
+
+std::uint64_t NodeRandomness::chunk_impl(std::uint64_t node,
+                                         std::uint64_t stream, int c) {
+  const std::uint64_t point = pack(node, stream, c);
+  switch (regime_.kind) {
+    case RegimeKind::kFull:
+      return mix3(master_seed_, point, 0x72616E646F6D6E65ULL);
+    case RegimeKind::kKWise:
+    case RegimeKind::kSharedKWise:
+      return kwise_->value(point);
+    case RegimeKind::kSharedEpsBias: {
+      // Assemble 64 bits one LFSR index at a time (indices are the bit-level
+      // packing (point << 6) | j, injective because point < 2^58).
+      std::uint64_t word = 0;
+      for (int j = 0; j < 64; ++j) {
+        if (epsbias_->bit((point << 6) | static_cast<std::uint64_t>(j))) {
+          word |= (1ULL << j);
+        }
+      }
+      return word;
+    }
+    case RegimeKind::kAllZeros:
+      return 0;
+    case RegimeKind::kAllOnes:
+      return ~0ULL;
+  }
+  RLOCAL_ASSERT(false);
+}
+
+std::uint64_t NodeRandomness::chunk(std::uint64_t node, std::uint64_t stream,
+                                    int c) {
+  derived_bits_ += 64;
+  return chunk_impl(node, stream, c);
+}
+
+bool NodeRandomness::bit(std::uint64_t node, std::uint64_t stream, int j) {
+  RLOCAL_CHECK(j >= 0 && j < kMaxBitsPerDraw, "bit index out of range");
+  derived_bits_ += 1;
+  if (regime_.kind == RegimeKind::kSharedEpsBias) {
+    const std::uint64_t point = pack(node, stream, j >> 6);
+    return epsbias_->bit((point << 6) | static_cast<std::uint64_t>(j & 63));
+  }
+  return ((chunk_impl(node, stream, j >> 6) >> (j & 63)) & 1ULL) != 0;
+}
+
+bool NodeRandomness::bernoulli(std::uint64_t node, std::uint64_t stream,
+                               double p) {
+  RLOCAL_CHECK(p >= 0.0 && p <= 1.0, "p must be a probability");
+  if (p >= 1.0) return true;
+  if (p <= 0.0) return false;
+  if (regime_.kind == RegimeKind::kSharedEpsBias) {
+    // 20 assembled bits; quantization error 2^-20.
+    std::uint64_t value = 0;
+    for (int j = 0; j < 20; ++j) {
+      if (bit(node, stream, j)) value |= (1ULL << j);
+    }
+    const auto threshold = static_cast<std::uint64_t>(
+        std::ldexp(static_cast<long double>(p), 20));
+    return value < threshold;
+  }
+  derived_bits_ += 64;
+  const std::uint64_t word = chunk_impl(node, stream, 0);
+  const auto threshold = static_cast<std::uint64_t>(
+      std::ldexp(static_cast<long double>(p), 64));
+  return word < threshold;
+}
+
+int NodeRandomness::geometric(std::uint64_t node, std::uint64_t stream,
+                              int cap) {
+  RLOCAL_CHECK(cap >= 1 && cap <= kMaxBitsPerDraw, "geometric cap invalid");
+  for (int k = 1; k <= cap; ++k) {
+    // Heads continue the run, the first tail stops it: Pr[X=k] = 2^-k.
+    if (!bit(node, stream, k - 1)) return k;
+  }
+  return cap;
+}
+
+std::uint64_t pack_draw(std::uint64_t node, std::uint64_t stream, int chunk) {
+  RLOCAL_CHECK(node < NodeRandomness::kMaxNode, "node exceeds packing range");
+  RLOCAL_CHECK(stream < NodeRandomness::kMaxStream,
+               "stream exceeds packing range");
+  RLOCAL_CHECK(chunk >= 0 &&
+                   chunk < (NodeRandomness::kMaxBitsPerDraw >> 6),
+               "chunk exceeds packing range");
+  return (node << 32) | (stream << 6) | static_cast<std::uint64_t>(chunk);
+}
+
+bool kwise_bernoulli_at(const KWiseGenerator& gen, std::uint64_t node,
+                        std::uint64_t stream, double p) {
+  RLOCAL_CHECK(p >= 0.0 && p <= 1.0, "p must be a probability");
+  if (p >= 1.0) return true;
+  if (p <= 0.0) return false;
+  const auto threshold = static_cast<std::uint64_t>(
+      std::ldexp(static_cast<long double>(p), gen.m()));
+  return gen.value(pack_draw(node, stream, 0)) < threshold;
+}
+
+int kwise_geometric_at(const KWiseGenerator& gen, std::uint64_t node,
+                       std::uint64_t stream, int cap) {
+  RLOCAL_CHECK(cap >= 1 && cap <= NodeRandomness::kMaxBitsPerDraw,
+               "geometric cap invalid");
+  for (int k = 1; k <= cap; ++k) {
+    const std::uint64_t word =
+        gen.value(pack_draw(node, stream, (k - 1) >> 6));
+    if (((word >> ((k - 1) & 63)) & 1ULL) == 0) return k;
+  }
+  return cap;
+}
+
+}  // namespace rlocal

@@ -1,0 +1,114 @@
+// Randomness regimes: the paper's three ways of making randomness scarce,
+// plus the standard model and adversarial sources for failure injection.
+//
+//   kFull          -- unbounded fresh independent bits per node (standard)
+//   kKWise         -- all bits in the network are exactly k-wise independent
+//   kSharedKWise   -- `shared_bits` globally shared bits, expanded into a
+//                     floor(bits/64)-wise independent family (AS04-style)
+//   kSharedEpsBias -- `shared_bits` shared bits feeding an AGHP small-bias
+//                     space (the NN93 route of Lemma 3.4)
+//   kAllZeros/kAllOnes -- adversarial constants for failure injection
+//
+// NodeRandomness is the facade all algorithms draw through: a deterministic
+// function of (regime, master_seed, node, stream, bit index), so identical
+// runs are bit-for-bit reproducible and engine-vs-reference cross-checks can
+// share one stream. A ledger tracks derived bits so experiments can report
+// exact randomness consumption.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "rnd/epsbias.hpp"
+#include "rnd/kwise.hpp"
+
+namespace rlocal {
+
+enum class RegimeKind {
+  kFull,
+  kKWise,
+  kSharedKWise,
+  kSharedEpsBias,
+  kAllZeros,
+  kAllOnes,
+};
+
+struct Regime {
+  RegimeKind kind = RegimeKind::kFull;
+  int k = 0;            ///< independence parameter (kKWise)
+  int shared_bits = 0;  ///< global seed budget (shared regimes)
+
+  static Regime full() { return {RegimeKind::kFull, 0, 0}; }
+  static Regime kwise(int k) { return {RegimeKind::kKWise, k, 0}; }
+  static Regime shared_kwise(int bits) {
+    return {RegimeKind::kSharedKWise, 0, bits};
+  }
+  static Regime shared_epsbias(int bits) {
+    return {RegimeKind::kSharedEpsBias, 0, bits};
+  }
+  static Regime all_zeros() { return {RegimeKind::kAllZeros, 0, 0}; }
+  static Regime all_ones() { return {RegimeKind::kAllOnes, 0, 0}; }
+
+  std::string name() const;
+};
+
+class NodeRandomness {
+ public:
+  /// Limits of the injective (node, stream, bit) packing.
+  static constexpr std::uint64_t kMaxNode = 1ULL << 26;
+  static constexpr std::uint64_t kMaxStream = 1ULL << 26;
+  static constexpr int kMaxBitsPerDraw = 1 << 12;
+
+  NodeRandomness(const Regime& regime, std::uint64_t master_seed);
+
+  /// The j-th random bit of draw `stream` at `node`.
+  bool bit(std::uint64_t node, std::uint64_t stream, int j = 0);
+
+  /// 64 random bits (chunk c of the draw).
+  std::uint64_t chunk(std::uint64_t node, std::uint64_t stream, int c = 0);
+
+  /// Bernoulli(p); resolution 2^-52 (2^-20 for the eps-bias regime, whose
+  /// bits are assembled one field exponentiation at a time).
+  bool bernoulli(std::uint64_t node, std::uint64_t stream, double p);
+
+  /// Geometric with Pr[X=k] = 2^-k truncated at cap (<= kMaxBitsPerDraw).
+  int geometric(std::uint64_t node, std::uint64_t stream, int cap);
+
+  const Regime& regime() const { return regime_; }
+
+  /// Bits of true (seed) randomness the regime consumed; 0 for kFull/kKWise
+  /// means "unbounded model" (per-node fresh bits / an abstract k-wise
+  /// family) -- see derived_bits() for usage counts.
+  std::uint64_t shared_seed_bits() const { return shared_seed_bits_; }
+
+  /// Number of derived bits handed to algorithms so far.
+  std::uint64_t derived_bits() const { return derived_bits_; }
+
+ private:
+  Regime regime_;
+  std::uint64_t master_seed_;
+  std::uint64_t shared_seed_bits_ = 0;
+  std::uint64_t derived_bits_ = 0;
+  std::optional<KWiseGenerator> kwise_;
+  std::optional<EpsBiasGenerator> epsbias_;
+
+  static std::uint64_t pack(std::uint64_t node, std::uint64_t stream, int c);
+  std::uint64_t chunk_impl(std::uint64_t node, std::uint64_t stream, int c);
+};
+
+/// The injective (node, stream, chunk) -> evaluation-point packing used by
+/// NodeRandomness, exposed so per-cluster generators (Theorem 3.7) can
+/// address the same draw space.
+std::uint64_t pack_draw(std::uint64_t node, std::uint64_t stream, int chunk);
+
+/// Bernoulli(p) / truncated-geometric draws addressed by (node, stream) on
+/// an explicit k-wise generator (used when each cluster holds its own
+/// generator instead of one global regime).
+bool kwise_bernoulli_at(const KWiseGenerator& gen, std::uint64_t node,
+                        std::uint64_t stream, double p);
+int kwise_geometric_at(const KWiseGenerator& gen, std::uint64_t node,
+                       std::uint64_t stream, int cap);
+
+}  // namespace rlocal

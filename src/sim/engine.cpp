@@ -1,0 +1,146 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "support/math.hpp"
+
+namespace rlocal {
+
+void Context::send(int port, Message message) {
+  RLOCAL_CHECK(port >= 0 && port < static_cast<int>(neighbor_count_),
+               "send: port out of range");
+  engine_->submit(self_, port, std::move(message));
+}
+
+void Context::broadcast(const Message& message) {
+  for (int p = 0; p < static_cast<int>(neighbor_count_); ++p) {
+    send(p, message);
+  }
+}
+
+Engine::Engine(const Graph& g, EngineOptions options)
+    : graph_(&g), options_(options) {
+  bandwidth_bits_ =
+      options_.bandwidth_bits > 0
+          ? options_.bandwidth_bits
+          : 32 * log2n(static_cast<std::uint64_t>(std::max<NodeId>(
+                    2, g.num_nodes())));
+  // Build reverse port map: port p of u points to neighbor v; find the port
+  // q of v that points back to u (neighbor lists are sorted, so binary
+  // search works).
+  reverse_port_.resize(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    auto& rev = reverse_port_[static_cast<std::size_t>(u)];
+    rev.resize(nbrs.size());
+    for (std::size_t p = 0; p < nbrs.size(); ++p) {
+      const NodeId v = nbrs[p];
+      const auto back = g.neighbors(v);
+      const auto it = std::lower_bound(back.begin(), back.end(), u);
+      RLOCAL_ASSERT(it != back.end() && *it == u);
+      rev[p] = static_cast<int>(it - back.begin());
+    }
+  }
+}
+
+void Engine::submit(NodeId from, int port, Message message) {
+  // The declared bit count is the semantic on-the-wire size (fields are
+  // conceptually bit-packed); the payload words are a convenience encoding.
+  // Only the declared size is bandwidth-checked -- programs are first-party.
+  if (options_.model == CommModel::kCongest &&
+      message.bits > bandwidth_bits_) {
+    throw CongestViolation(
+        "message of " + std::to_string(message.bits) + " bits exceeds " +
+        std::to_string(bandwidth_bits_) + "-bit CONGEST bandwidth");
+  }
+  auto& used = port_used_[static_cast<std::size_t>(from)];
+  RLOCAL_CHECK(!used[static_cast<std::size_t>(port)],
+               "a node may send at most one message per port per round");
+  used[static_cast<std::size_t>(port)] = true;
+
+  stats_.messages += 1;
+  stats_.total_bits += message.bits;
+  stats_.max_message_bits = std::max(stats_.max_message_bits, message.bits);
+
+  const NodeId to = graph_->neighbors(from)[static_cast<std::size_t>(port)];
+  const int to_port = reverse_port_[static_cast<std::size_t>(from)]
+                                   [static_cast<std::size_t>(port)];
+  pending_.push_back(Pending{to, to_port, std::move(message)});
+}
+
+EngineStats Engine::run(const ProgramFactory& factory) {
+  const NodeId n = graph_->num_nodes();
+  programs_.clear();
+  programs_.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) programs_.push_back(factory(v));
+
+  stats_ = EngineStats{};
+  pending_.clear();
+  port_used_.assign(static_cast<std::size_t>(n), {});
+  for (NodeId v = 0; v < n; ++v) {
+    port_used_[static_cast<std::size_t>(v)].assign(
+        static_cast<std::size_t>(graph_->degree(v)), false);
+  }
+
+  std::vector<std::vector<Incoming>> inboxes(static_cast<std::size_t>(n));
+  auto make_context = [&](NodeId v, int round) {
+    Context ctx;
+    ctx.engine_ = this;
+    ctx.self_ = v;
+    ctx.self_id_ = graph_->id(v);
+    ctx.round_ = round;
+    ctx.num_nodes_ = n;
+    ctx.neighbor_count_ = graph_->neighbors(v).size();
+    ctx.inbox_ = &inboxes[static_cast<std::size_t>(v)];
+    return ctx;
+  };
+
+  // Round 0: on_start (may send).
+  for (NodeId v = 0; v < n; ++v) {
+    Context ctx = make_context(v, 0);
+    programs_[static_cast<std::size_t>(v)]->on_start(ctx);
+  }
+
+  for (int round = 1; round <= options_.max_rounds; ++round) {
+    // Check halting before delivering: if everyone halted we are done.
+    bool all_halted = true;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!programs_[static_cast<std::size_t>(v)]->halted()) {
+        all_halted = false;
+        break;
+      }
+    }
+    if (all_halted) {
+      stats_.completed = true;
+      return stats_;
+    }
+
+    // Deliver messages sent in the previous round.
+    for (auto& box : inboxes) box.clear();
+    for (auto& p : pending_) {
+      inboxes[static_cast<std::size_t>(p.to)].push_back(
+          Incoming{p.to_port, std::move(p.message)});
+    }
+    pending_.clear();
+    for (auto& used : port_used_) {
+      std::fill(used.begin(), used.end(), false);
+    }
+
+    stats_.rounds = round;
+    for (NodeId v = 0; v < n; ++v) {
+      auto& program = *programs_[static_cast<std::size_t>(v)];
+      if (program.halted()) continue;
+      Context ctx = make_context(v, round);
+      program.on_round(ctx);
+    }
+  }
+
+  stats_.completed = false;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!programs_[static_cast<std::size_t>(v)]->halted()) return stats_;
+  }
+  stats_.completed = true;
+  return stats_;
+}
+
+}  // namespace rlocal

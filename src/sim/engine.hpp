@@ -1,0 +1,149 @@
+// Synchronous message-passing engine: the LOCAL / CONGEST model.
+//
+// Execution follows the standard definition (Section 2 of the paper):
+// computation proceeds in synchronous rounds; per round each node may send
+// one message to each neighbor; messages sent in round r are delivered at
+// the beginning of round r+1. In the CONGEST model each message is limited
+// to `bandwidth_bits` (default 32 * ceil(log2 n)); the engine enforces the
+// limit and throws CongestViolation on overflow, so algorithms cannot cheat.
+//
+// Programs are per-node objects; the engine owns them for the duration of a
+// run. Nodes know n (non-uniform algorithms), their own unique identifier,
+// and their neighbor ports -- they do NOT know neighbor identities beyond
+// what messages tell them, matching the KT0 knowledge assumption.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rlocal {
+
+class CongestViolation : public std::runtime_error {
+ public:
+  explicit CongestViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A message: up to a few words of payload with a declared bit size (the
+/// declared size is what the bandwidth check uses; it must cover the words).
+struct Message {
+  std::vector<std::uint64_t> words;
+  int bits = 0;
+
+  static Message single(std::uint64_t word, int bits = 64) {
+    Message m;
+    m.words = {word};
+    m.bits = bits;
+    return m;
+  }
+};
+
+struct Incoming {
+  int port;  ///< which neighbor port delivered it
+  Message message;
+};
+
+class Engine;
+
+/// Per-round view handed to a node program.
+class Context {
+ public:
+  NodeId self() const { return self_; }
+  std::uint64_t self_id() const { return self_id_; }
+  int round() const { return round_; }
+  NodeId num_nodes() const { return num_nodes_; }
+  int degree() const { return static_cast<int>(neighbor_count_); }
+  const std::vector<Incoming>& inbox() const { return *inbox_; }
+
+  /// Sends to neighbor port p in [0, degree). At most one message per port
+  /// per round.
+  void send(int port, Message message);
+  /// Sends the same message to every neighbor.
+  void broadcast(const Message& message);
+
+ private:
+  friend class Engine;
+  Engine* engine_ = nullptr;
+  NodeId self_ = 0;
+  std::uint64_t self_id_ = 0;
+  int round_ = 0;
+  NodeId num_nodes_ = 0;
+  std::size_t neighbor_count_ = 0;
+  const std::vector<Incoming>* inbox_ = nullptr;
+};
+
+/// A node's program. The engine calls on_start once (round 0, may send),
+/// then on_round every round with the delivered inbox, until every program
+/// reports halted() or the round limit is hit.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+  virtual void on_start(Context& ctx) { (void)ctx; }
+  virtual void on_round(Context& ctx) = 0;
+  virtual bool halted() const = 0;
+};
+
+enum class CommModel { kLocal, kCongest };
+
+struct EngineOptions {
+  CommModel model = CommModel::kCongest;
+  /// 0 means "use the default 32 * ceil(log2 n) bits".
+  int bandwidth_bits = 0;
+  int max_rounds = 1 << 16;
+};
+
+struct EngineStats {
+  int rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t total_bits = 0;
+  int max_message_bits = 0;
+  bool completed = false;  ///< all programs halted within max_rounds
+};
+
+class Engine {
+ public:
+  Engine(const Graph& g, EngineOptions options);
+
+  using ProgramFactory =
+      std::function<std::unique_ptr<NodeProgram>(NodeId node)>;
+
+  /// Runs the protocol to completion; programs are created fresh per run.
+  /// After the run, `programs()` exposes final states for result extraction.
+  EngineStats run(const ProgramFactory& factory);
+
+  const std::vector<std::unique_ptr<NodeProgram>>& programs() const {
+    return programs_;
+  }
+
+  int bandwidth_bits() const { return bandwidth_bits_; }
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  friend class Context;
+  void submit(NodeId from, int port, Message message);
+
+  const Graph* graph_;
+  EngineOptions options_;
+  int bandwidth_bits_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+
+  // Per-round outboxes: (destination node, destination port, message).
+  struct Pending {
+    NodeId to;
+    int to_port;
+    Message message;
+  };
+  std::vector<Pending> pending_;
+  std::vector<std::vector<bool>> port_used_;  // per node, per port, this round
+  EngineStats stats_;
+  // Reverse port map: for edge (u -> v) at u's port p, the port of u at v.
+  std::vector<std::vector<int>> reverse_port_;
+};
+
+}  // namespace rlocal

@@ -1,0 +1,34 @@
+#include "sim/ledger.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace rlocal {
+
+void RoundLedger::charge(const std::string& label, std::int64_t rounds) {
+  RLOCAL_CHECK(rounds >= 0, "cannot charge negative rounds");
+  total_ += rounds;
+  for (auto& e : entries_) {
+    if (e.label == label) {
+      e.rounds += rounds;
+      return;
+    }
+  }
+  entries_.push_back(Entry{label, rounds});
+}
+
+void RoundLedger::merge(const RoundLedger& other) {
+  for (const auto& e : other.entries_) charge(e.label, e.rounds);
+}
+
+std::string RoundLedger::breakdown() const {
+  std::ostringstream out;
+  out << "total=" << total_;
+  for (const auto& e : entries_) {
+    out << " " << e.label << "=" << e.rounds;
+  }
+  return out.str();
+}
+
+}  // namespace rlocal

@@ -1,0 +1,35 @@
+// Round accounting for composed pipelines.
+//
+// The theorem pipelines (Thm 3.1, 3.6, 3.7, 4.2) compose graph primitives
+// (ruling sets, floods, cluster-graph rounds) whose CONGEST round costs are
+// known and engine-validated; the ledger charges those costs explicitly so
+// every result can report its simulated round complexity with a breakdown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlocal {
+
+class RoundLedger {
+ public:
+  void charge(const std::string& label, std::int64_t rounds);
+  void merge(const RoundLedger& other);
+
+  std::int64_t total() const { return total_; }
+
+  struct Entry {
+    std::string label;
+    std::int64_t rounds;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  std::string breakdown() const;
+
+ private:
+  std::int64_t total_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rlocal

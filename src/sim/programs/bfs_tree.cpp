@@ -1,0 +1,75 @@
+#include "sim/programs/bfs_tree.hpp"
+
+#include <algorithm>
+
+#include "support/math.hpp"
+
+namespace rlocal {
+
+namespace {
+int id_bits(NodeId n) { return 3 * log2n(static_cast<std::uint64_t>(n)) + 2; }
+}  // namespace
+
+void BfsTreeProgram::on_start(Context& ctx) {
+  if (is_source_) {
+    owner_id_ = own_id_;
+    dist_ = 0;
+    ctx.broadcast(Message::single(owner_id_, id_bits(ctx.num_nodes())));
+    announced_ = true;
+  }
+  if (depth_ <= 0) done_ = true;
+}
+
+void BfsTreeProgram::on_round(Context& ctx) {
+  if (!announced_) {
+    // First round in which any offer arrives fixes the distance; the best
+    // (smallest) owner id among this round's offers wins.
+    std::uint64_t best = kNoOwner;
+    int best_port = -1;
+    for (const auto& in : ctx.inbox()) {
+      RLOCAL_ASSERT(!in.message.words.empty());
+      if (in.message.words[0] < best) {
+        best = in.message.words[0];
+        best_port = in.port;
+      }
+    }
+    if (best != kNoOwner) {
+      owner_id_ = best;
+      dist_ = ctx.round();
+      parent_port_ = best_port;
+      ctx.broadcast(Message::single(owner_id_, id_bits(ctx.num_nodes())));
+      announced_ = true;
+    }
+  }
+  if (ctx.round() >= depth_) done_ = true;
+}
+
+BfsTreeResult run_bfs_tree(const Graph& g, const std::vector<NodeId>& sources,
+                           int depth, const EngineOptions& options) {
+  const int effective_depth = depth > 0 ? depth : g.num_nodes();
+  std::vector<bool> is_source(static_cast<std::size_t>(g.num_nodes()), false);
+  for (const NodeId s : sources) {
+    RLOCAL_CHECK(s >= 0 && s < g.num_nodes(), "source out of range");
+    is_source[static_cast<std::size_t>(s)] = true;
+  }
+  Engine engine(g, options);
+  BfsTreeResult result;
+  result.stats = engine.run([&](NodeId v) {
+    return std::make_unique<BfsTreeProgram>(
+        is_source[static_cast<std::size_t>(v)], g.id(v), effective_depth);
+  });
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  result.owner_id.resize(n);
+  result.dist.resize(n);
+  result.parent_port.resize(n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& p = static_cast<const BfsTreeProgram&>(
+        *engine.programs()[static_cast<std::size_t>(v)]);
+    result.owner_id[static_cast<std::size_t>(v)] = p.owner_id();
+    result.dist[static_cast<std::size_t>(v)] = p.dist();
+    result.parent_port[static_cast<std::size_t>(v)] = p.parent_port();
+  }
+  return result;
+}
+
+}  // namespace rlocal

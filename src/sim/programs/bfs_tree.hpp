@@ -1,0 +1,53 @@
+// Multi-source BFS / Voronoi clustering as a message-passing program:
+// sources announce themselves; every node adopts the nearest source, ties
+// broken by smaller source identifier, and remembers the port that delivered
+// the winning offer (its tree parent). Message = source id (O(log n) bits).
+//
+// This is the distributed counterpart of voronoi_clusters(); tests assert
+// the two agree exactly.
+#pragma once
+
+#include "graph/algorithms.hpp"
+#include "sim/engine.hpp"
+
+namespace rlocal {
+
+class BfsTreeProgram final : public NodeProgram {
+ public:
+  BfsTreeProgram(bool is_source, std::uint64_t own_id, int depth)
+      : is_source_(is_source), own_id_(own_id), depth_(depth) {}
+
+  void on_start(Context& ctx) override;
+  void on_round(Context& ctx) override;
+  bool halted() const override { return done_; }
+
+  bool reached() const { return owner_id_ != kNoOwner; }
+  std::uint64_t owner_id() const { return owner_id_; }
+  std::int32_t dist() const { return dist_; }
+  int parent_port() const { return parent_port_; }
+
+  static constexpr std::uint64_t kNoOwner = ~0ULL;
+
+ private:
+  bool is_source_;
+  std::uint64_t own_id_;
+  int depth_;
+  std::uint64_t owner_id_ = kNoOwner;
+  std::int32_t dist_ = kUnreachable;
+  int parent_port_ = -1;
+  bool announced_ = false;
+  bool done_ = false;
+};
+
+struct BfsTreeResult {
+  std::vector<std::uint64_t> owner_id;  ///< kNoOwner where unreached
+  std::vector<std::int32_t> dist;       ///< kUnreachable where unreached
+  std::vector<int> parent_port;         ///< -1 at sources / unreached
+  EngineStats stats;
+};
+
+/// Runs for `depth` rounds (covering radius); depth <= 0 means n rounds.
+BfsTreeResult run_bfs_tree(const Graph& g, const std::vector<NodeId>& sources,
+                           int depth, const EngineOptions& options = {});
+
+}  // namespace rlocal

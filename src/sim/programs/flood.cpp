@@ -1,0 +1,54 @@
+#include "sim/programs/flood.hpp"
+
+#include "support/math.hpp"
+
+namespace rlocal {
+
+namespace {
+int id_bits(NodeId n) { return 3 * log2n(static_cast<std::uint64_t>(n)) + 2; }
+}  // namespace
+
+void FloodMinProgram::on_start(Context& ctx) {
+  if (depth_ <= 0) {
+    done_ = true;
+    return;
+  }
+  ctx.broadcast(Message::single(best_, id_bits(ctx.num_nodes())));
+}
+
+void FloodMinProgram::on_round(Context& ctx) {
+  bool improved = false;
+  for (const auto& in : ctx.inbox()) {
+    RLOCAL_ASSERT(!in.message.words.empty());
+    if (in.message.words[0] < best_) {
+      best_ = in.message.words[0];
+      improved = true;
+    }
+  }
+  if (ctx.round() >= depth_) {
+    done_ = true;
+    return;
+  }
+  if (improved) {
+    ctx.broadcast(Message::single(best_, id_bits(ctx.num_nodes())));
+  }
+}
+
+FloodMinResult run_flood_min(const Graph& g, int depth,
+                             const EngineOptions& options) {
+  Engine engine(g, options);
+  FloodMinResult result;
+  result.stats = engine.run([&](NodeId v) {
+    return std::make_unique<FloodMinProgram>(g.id(v), depth);
+  });
+  result.min_id.resize(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    result.min_id[static_cast<std::size_t>(v)] =
+        static_cast<const FloodMinProgram&>(
+            *engine.programs()[static_cast<std::size_t>(v)])
+            .best();
+  }
+  return result;
+}
+
+}  // namespace rlocal

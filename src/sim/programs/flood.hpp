@@ -1,0 +1,38 @@
+// FloodMin: every node learns the minimum identifier within `depth` hops.
+// Runs exactly `depth` rounds; message = one identifier (O(log n) bits).
+// Used to cross-validate the engine against centralized BFS, and as the
+// primitive behind leader election within clusters.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sim/engine.hpp"
+
+namespace rlocal {
+
+class FloodMinProgram final : public NodeProgram {
+ public:
+  FloodMinProgram(std::uint64_t own_id, int depth)
+      : best_(own_id), depth_(depth) {}
+
+  void on_start(Context& ctx) override;
+  void on_round(Context& ctx) override;
+  bool halted() const override { return done_; }
+
+  std::uint64_t best() const { return best_; }
+
+ private:
+  std::uint64_t best_;
+  int depth_;
+  bool done_ = false;
+};
+
+/// Convenience runner: returns the min id within `depth` hops of every node,
+/// plus engine stats.
+struct FloodMinResult {
+  std::vector<std::uint64_t> min_id;
+  EngineStats stats;
+};
+FloodMinResult run_flood_min(const Graph& g, int depth,
+                             const EngineOptions& options = {});
+
+}  // namespace rlocal

@@ -1,0 +1,171 @@
+#include "sim/programs/luby.hpp"
+
+#include "support/math.hpp"
+
+namespace rlocal {
+
+namespace {
+
+constexpr int kPriorityBits = 24;
+
+int priority_message_bits(NodeId n) {
+  return kPriorityBits + 3 * log2n(static_cast<std::uint64_t>(n)) + 2;
+}
+
+int default_iterations(NodeId n) {
+  return 8 * log2n(static_cast<std::uint64_t>(std::max<NodeId>(2, n))) + 8;
+}
+
+std::uint64_t draw_priority(NodeRandomness& rnd, NodeId node, int iteration) {
+  return rnd.chunk(static_cast<std::uint64_t>(node),
+                   static_cast<std::uint64_t>(iteration)) >>
+         (64 - kPriorityBits);
+}
+
+/// True when (p_a, id_a) beats (p_b, id_b): higher priority, ties to the
+/// smaller identifier.
+bool beats(std::uint64_t p_a, std::uint64_t id_a, std::uint64_t p_b,
+           std::uint64_t id_b) {
+  if (p_a != p_b) return p_a > p_b;
+  return id_a < id_b;
+}
+
+}  // namespace
+
+void LubyMisProgram::draw_and_announce(Context& ctx) {
+  ++iteration_;
+  if (iteration_ > max_iterations_) {
+    halted_ = true;  // budget exhausted; stays kUndecided (failure)
+    return;
+  }
+  priority_ = draw_priority(*rnd_, node_, iteration_);
+  Message m;
+  m.words = {priority_, own_id_};
+  m.bits = priority_message_bits(ctx.num_nodes());
+  ctx.broadcast(m);
+}
+
+void LubyMisProgram::on_start(Context& ctx) { draw_and_announce(ctx); }
+
+void LubyMisProgram::on_round(Context& ctx) {
+  const int phase = (ctx.round() - 1) % 2;
+  if (phase == 0) {
+    // Offers from undecided neighbors arrived; JOIN messages cannot arrive
+    // in this phase because joins are announced in phase 1... except the
+    // very message we are processing is from the previous phase 0, so the
+    // inbox holds (priority, id) pairs only.
+    bool wins = true;
+    for (const auto& in : ctx.inbox()) {
+      const auto& w = in.message.words;
+      RLOCAL_ASSERT(w.size() == 2);
+      if (!beats(priority_, own_id_, w[0], w[1])) {
+        wins = false;
+        break;
+      }
+    }
+    if (wins) {
+      state_ = State::kInMis;
+      ctx.broadcast(Message{{}, 1});  // JOIN
+      halted_ = true;
+    }
+  } else {
+    // Phase 1 delivered JOIN announcements (empty payloads).
+    for (const auto& in : ctx.inbox()) {
+      if (in.message.words.empty()) {
+        state_ = State::kOut;
+        halted_ = true;
+        return;
+      }
+    }
+    draw_and_announce(ctx);
+  }
+}
+
+LubyMisResult run_luby_mis(const Graph& g, NodeRandomness& rnd,
+                           int max_iterations, const EngineOptions& options) {
+  const int budget =
+      max_iterations > 0 ? max_iterations : default_iterations(g.num_nodes());
+  const std::uint64_t bits_before = rnd.derived_bits();
+  Engine engine(g, options);
+  LubyMisResult result;
+  result.stats = engine.run([&](NodeId v) {
+    return std::make_unique<LubyMisProgram>(g.id(v), v, &rnd, budget);
+  });
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  result.in_mis.assign(n, false);
+  result.success = true;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& p = static_cast<const LubyMisProgram&>(
+        *engine.programs()[static_cast<std::size_t>(v)]);
+    result.in_mis[static_cast<std::size_t>(v)] =
+        p.state() == LubyMisProgram::State::kInMis;
+    if (p.state() == LubyMisProgram::State::kUndecided) {
+      result.success = false;
+    }
+    result.iterations = std::max(result.iterations, p.iterations_used());
+  }
+  result.random_bits = rnd.derived_bits() - bits_before;
+  return result;
+}
+
+LubyMisResult reference_luby_mis(const Graph& g, NodeRandomness& rnd,
+                                 int max_iterations) {
+  const int budget =
+      max_iterations > 0 ? max_iterations : default_iterations(g.num_nodes());
+  const std::uint64_t bits_before = rnd.derived_bits();
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  enum class S { kUndecided, kIn, kOut };
+  std::vector<S> state(n, S::kUndecided);
+  LubyMisResult result;
+  result.in_mis.assign(n, false);
+
+  std::vector<std::uint64_t> priority(n, 0);
+  for (int iteration = 1; iteration <= budget; ++iteration) {
+    bool any_undecided = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (state[static_cast<std::size_t>(v)] == S::kUndecided) {
+        any_undecided = true;
+        priority[static_cast<std::size_t>(v)] =
+            draw_priority(rnd, v, iteration);
+      }
+    }
+    if (!any_undecided) {
+      result.success = true;
+      result.iterations = iteration - 1;
+      result.random_bits = rnd.derived_bits() - bits_before;
+      return result;
+    }
+    result.iterations = iteration;
+    std::vector<NodeId> joiners;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (state[static_cast<std::size_t>(v)] != S::kUndecided) continue;
+      bool wins = true;
+      for (const NodeId u : g.neighbors(v)) {
+        if (state[static_cast<std::size_t>(u)] != S::kUndecided) continue;
+        if (!beats(priority[static_cast<std::size_t>(v)], g.id(v),
+                   priority[static_cast<std::size_t>(u)], g.id(u))) {
+          wins = false;
+          break;
+        }
+      }
+      if (wins) joiners.push_back(v);
+    }
+    for (const NodeId v : joiners) {
+      state[static_cast<std::size_t>(v)] = S::kIn;
+      result.in_mis[static_cast<std::size_t>(v)] = true;
+      for (const NodeId u : g.neighbors(v)) {
+        if (state[static_cast<std::size_t>(u)] == S::kUndecided) {
+          state[static_cast<std::size_t>(u)] = S::kOut;
+        }
+      }
+    }
+  }
+  result.success = true;
+  for (const S s : state) {
+    if (s == S::kUndecided) result.success = false;
+  }
+  result.random_bits = rnd.derived_bits() - bits_before;
+  return result;
+}
+
+}  // namespace rlocal

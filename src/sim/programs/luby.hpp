@@ -1,0 +1,68 @@
+// Luby's maximal independent set algorithm [Lub86, ABI86] as a
+// message-passing CONGEST program, with the randomness regime injected via
+// the NodeRandomness facade (so the same protocol runs under full
+// independence, k-wise independence, or shared seeds -- experiment E9).
+//
+// Each iteration takes two rounds:
+//   phase 0: undecided nodes draw a priority for this iteration and
+//            broadcast (priority, id);
+//   phase 1: a node whose (priority, id) beats every offer it received
+//            joins the MIS and broadcasts JOIN (an empty-payload message);
+//            undecided nodes seeing a JOIN retire at the next phase 0.
+// Decided nodes fall silent, which is how neighbors learn to ignore them.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "rnd/regime.hpp"
+#include "sim/engine.hpp"
+
+namespace rlocal {
+
+class LubyMisProgram final : public NodeProgram {
+ public:
+  enum class State { kUndecided, kInMis, kOut };
+
+  LubyMisProgram(std::uint64_t own_id, NodeId node, NodeRandomness* rnd,
+                 int max_iterations)
+      : own_id_(own_id), node_(node), rnd_(rnd),
+        max_iterations_(max_iterations) {}
+
+  void on_start(Context& ctx) override;
+  void on_round(Context& ctx) override;
+  bool halted() const override { return halted_; }
+
+  State state() const { return state_; }
+  int iterations_used() const { return iteration_; }
+
+ private:
+  void draw_and_announce(Context& ctx);
+
+  std::uint64_t own_id_;
+  NodeId node_;
+  NodeRandomness* rnd_;
+  int max_iterations_;
+  State state_ = State::kUndecided;
+  std::uint64_t priority_ = 0;
+  int iteration_ = 0;
+  bool halted_ = false;
+};
+
+struct LubyMisResult {
+  std::vector<bool> in_mis;
+  bool success = false;  ///< every node decided within the iteration budget
+  int iterations = 0;
+  EngineStats stats;
+  std::uint64_t random_bits = 0;
+};
+
+/// `max_iterations <= 0` uses the default 8 * ceil(log2 n) + 8.
+LubyMisResult run_luby_mis(const Graph& g, NodeRandomness& rnd,
+                           int max_iterations = 0,
+                           const EngineOptions& options = {});
+
+/// Centralized reference with identical randomness consumption; tests assert
+/// it agrees with the engine run bit-for-bit.
+LubyMisResult reference_luby_mis(const Graph& g, NodeRandomness& rnd,
+                                 int max_iterations = 0);
+
+}  // namespace rlocal

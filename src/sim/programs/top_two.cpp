@@ -1,0 +1,190 @@
+#include "sim/programs/top_two.hpp"
+
+#include <queue>
+#include <tuple>
+
+#include "support/math.hpp"
+
+namespace rlocal {
+
+namespace {
+
+int entry_bits(NodeId n) {
+  return 3 * log2n(static_cast<std::uint64_t>(n)) + 2 + 16;
+}
+
+Message encode(const MeasureEntry& a, const MeasureEntry& b, NodeId n) {
+  Message m;
+  int entries = 0;
+  for (const MeasureEntry* e : {&a, &b}) {
+    if (!e->present()) continue;
+    m.words.push_back(e->origin_id);
+    m.words.push_back(static_cast<std::uint64_t>(e->value));
+    ++entries;
+  }
+  m.bits = entries * entry_bits(n);
+  return m;
+}
+
+}  // namespace
+
+void TopTwoProgram::offer(const MeasureEntry& entry) {
+  if (!entry.present() || !participates_) return;
+  if (entry.origin_id == best_.origin_id && best_.present()) {
+    if (entry.beats(best_)) {
+      best_ = entry;
+      dirty_ = true;
+    }
+    return;
+  }
+  if (entry.beats(best_)) {
+    second_ = best_;
+    best_ = entry;
+    dirty_ = true;
+    return;
+  }
+  if (second_.present() && entry.origin_id == second_.origin_id) {
+    if (entry.beats(second_)) {
+      second_ = entry;
+      dirty_ = true;
+    }
+    return;
+  }
+  if (entry.beats(second_)) {
+    second_ = entry;
+    dirty_ = true;
+  }
+}
+
+void TopTwoProgram::maybe_broadcast(Context& ctx) {
+  if (!dirty_ || !participates_) return;
+  dirty_ = false;
+  // Forward decayed values; entries that would go negative die here.
+  MeasureEntry a = best_;
+  MeasureEntry b = second_;
+  if (a.present()) a.value -= 1;
+  if (b.present()) b.value -= 1;
+  if (a.present() && a.value < 0) a = MeasureEntry{};
+  if (b.present() && b.value < 0) b = MeasureEntry{};
+  if (!a.present() && !b.present()) return;
+  ctx.broadcast(encode(a, b, ctx.num_nodes()));
+}
+
+void TopTwoProgram::on_start(Context& ctx) {
+  if (participates_ && start_value_ >= 0) {
+    RLOCAL_CHECK(start_value_ < (1 << 16), "start value exceeds wire format");
+    best_ = MeasureEntry{own_id_, start_value_};
+    dirty_ = true;
+  }
+  maybe_broadcast(ctx);
+  if (rounds_ <= 0) done_ = true;
+}
+
+void TopTwoProgram::on_round(Context& ctx) {
+  for (const auto& in : ctx.inbox()) {
+    const auto& w = in.message.words;
+    RLOCAL_ASSERT(w.size() % 2 == 0);
+    for (std::size_t i = 0; i + 1 < w.size(); i += 2) {
+      offer(MeasureEntry{w[i], static_cast<std::int32_t>(w[i + 1])});
+    }
+  }
+  if (ctx.round() >= rounds_) {
+    done_ = true;
+    return;
+  }
+  maybe_broadcast(ctx);
+}
+
+TopTwoResult run_top_two(const Graph& g,
+                         const std::vector<std::int32_t>& start_value,
+                         const std::vector<bool>& participates, int rounds,
+                         const EngineOptions& options) {
+  RLOCAL_CHECK(start_value.size() == static_cast<std::size_t>(g.num_nodes()),
+               "start_value size mismatch");
+  RLOCAL_CHECK(participates.size() == static_cast<std::size_t>(g.num_nodes()),
+               "participates size mismatch");
+  Engine engine(g, options);
+  TopTwoResult result;
+  result.stats = engine.run([&](NodeId v) {
+    return std::make_unique<TopTwoProgram>(
+        participates[static_cast<std::size_t>(v)], g.id(v),
+        start_value[static_cast<std::size_t>(v)], rounds);
+  });
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  result.best.resize(n);
+  result.second.resize(n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& p = static_cast<const TopTwoProgram&>(
+        *engine.programs()[static_cast<std::size_t>(v)]);
+    result.best[static_cast<std::size_t>(v)] = p.best();
+    result.second[static_cast<std::size_t>(v)] = p.second();
+  }
+  return result;
+}
+
+TopTwoResult reference_top_two(const Graph& g,
+                               const std::vector<std::int32_t>& start_value,
+                               const std::vector<bool>& participates) {
+  RLOCAL_CHECK(start_value.size() == static_cast<std::size_t>(g.num_nodes()),
+               "start_value size mismatch");
+  RLOCAL_CHECK(participates.size() == static_cast<std::size_t>(g.num_nodes()),
+               "participates size mismatch");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  TopTwoResult result;
+  result.best.resize(n);
+  result.second.resize(n);
+
+  // Monotone relaxation: process offers in decreasing (value, -id) order, so
+  // each node's best fills first, then its second; only entries that enter a
+  // node's top-two are relayed (exact, see header).
+  struct QueueEntry {
+    std::int32_t value;
+    std::uint64_t origin_id;
+    NodeId node;
+  };
+  auto cmp = [](const QueueEntry& a, const QueueEntry& b) {
+    if (a.value != b.value) return a.value < b.value;       // max-heap
+    return a.origin_id > b.origin_id;                       // smaller id first
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, decltype(cmp)>
+      heap(cmp);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (participates[static_cast<std::size_t>(v)] &&
+        start_value[static_cast<std::size_t>(v)] >= 0) {
+      heap.push(QueueEntry{start_value[static_cast<std::size_t>(v)], g.id(v),
+                           v});
+    }
+  }
+  auto try_insert = [&](NodeId v, const MeasureEntry& e) -> bool {
+    auto& best = result.best[static_cast<std::size_t>(v)];
+    auto& second = result.second[static_cast<std::size_t>(v)];
+    if (best.present() && best.origin_id == e.origin_id) return false;
+    if (!best.present()) {
+      best = e;
+      return true;
+    }
+    if (second.present() && second.origin_id == e.origin_id) return false;
+    if (!second.present()) {
+      second = e;
+      return true;
+    }
+    return false;  // monotone order: later offers never beat filled slots
+  };
+  while (!heap.empty()) {
+    const QueueEntry top = heap.top();
+    heap.pop();
+    if (!participates[static_cast<std::size_t>(top.node)]) continue;
+    if (!try_insert(top.node, MeasureEntry{top.origin_id, top.value})) {
+      continue;
+    }
+    if (top.value == 0) continue;
+    for (const NodeId u : g.neighbors(top.node)) {
+      if (participates[static_cast<std::size_t>(u)]) {
+        heap.push(QueueEntry{top.value - 1, top.origin_id, u});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rlocal

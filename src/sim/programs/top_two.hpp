@@ -1,0 +1,88 @@
+// Top-two measure propagation: the communication primitive of the
+// Elkin-Neiman / MPX decomposition (Lemma 3.3, Theorem 3.6).
+//
+// Some nodes start as origins with an initial value r (their random shift).
+// The measure of origin o at node v is r_o - dist(o, v), and every node must
+// learn the two largest measures over *distinct* origins (plus the argmax
+// origin id). Measures decay uniformly per hop, so propagating only the
+// current top-two entries per node is exact -- which is precisely why the
+// paper notes that clusters need only forward "the top two cluster names and
+// radii" and the construction fits CONGEST.
+//
+// Each entry on the wire is (origin id, value <= 2^16); a message holds at
+// most two entries. Non-participating nodes (already clustered / set aside)
+// neither relay nor accumulate.
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "sim/engine.hpp"
+
+namespace rlocal {
+
+struct MeasureEntry {
+  std::uint64_t origin_id = 0;
+  std::int32_t value = -1;  ///< -1 means "absent"
+
+  bool present() const { return value >= 0; }
+
+  /// Ordering used everywhere: higher value wins, ties go to smaller id.
+  bool beats(const MeasureEntry& other) const {
+    if (!present()) return false;
+    if (!other.present()) return true;
+    if (value != other.value) return value > other.value;
+    return origin_id < other.origin_id;
+  }
+};
+
+class TopTwoProgram final : public NodeProgram {
+ public:
+  /// `start_value < 0` means the node is not an origin. Runs `rounds` rounds.
+  TopTwoProgram(bool participates, std::uint64_t own_id,
+                std::int32_t start_value, int rounds)
+      : participates_(participates),
+        own_id_(own_id),
+        start_value_(start_value),
+        rounds_(rounds) {}
+
+  void on_start(Context& ctx) override;
+  void on_round(Context& ctx) override;
+  bool halted() const override { return done_; }
+
+  const MeasureEntry& best() const { return best_; }
+  const MeasureEntry& second() const { return second_; }
+
+ private:
+  void offer(const MeasureEntry& entry);
+  void maybe_broadcast(Context& ctx);
+
+  bool participates_;
+  std::uint64_t own_id_;
+  std::int32_t start_value_;
+  int rounds_;
+  MeasureEntry best_;
+  MeasureEntry second_;
+  bool dirty_ = false;
+  bool done_ = false;
+};
+
+struct TopTwoResult {
+  std::vector<MeasureEntry> best;
+  std::vector<MeasureEntry> second;
+  EngineStats stats;
+};
+
+/// `start_value[v] < 0` for non-origins; `participates[v]` gates relaying.
+TopTwoResult run_top_two(const Graph& g,
+                         const std::vector<std::int32_t>& start_value,
+                         const std::vector<bool>& participates, int rounds,
+                         const EngineOptions& options = {});
+
+/// Centralized reference (multi-source relaxation); used by tests to verify
+/// the program and by large-scale experiments for speed.
+TopTwoResult reference_top_two(const Graph& g,
+                               const std::vector<std::int32_t>& start_value,
+                               const std::vector<bool>& participates);
+
+}  // namespace rlocal

@@ -1,0 +1,30 @@
+#include "support/assert.hpp"
+
+#include <sstream>
+
+namespace rlocal::detail {
+
+namespace {
+std::string format_location(const char* kind, const char* expr,
+                            const std::string& msg,
+                            const std::source_location& loc) {
+  std::ostringstream out;
+  out << kind << " failed: (" << expr << ") at " << loc.file_name() << ":"
+      << loc.line() << " in " << loc.function_name();
+  if (!msg.empty()) {
+    out << " -- " << msg;
+  }
+  return out.str();
+}
+}  // namespace
+
+void check_failed(const char* expr, const std::string& msg,
+                  std::source_location loc) {
+  throw InvariantError(format_location("RLOCAL_CHECK", expr, msg, loc));
+}
+
+void assert_failed(const char* expr, std::source_location loc) {
+  throw InternalError(format_location("RLOCAL_ASSERT", expr, "", loc));
+}
+
+}  // namespace rlocal::detail

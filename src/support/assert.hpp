@@ -1,0 +1,51 @@
+// Assertion and error-handling primitives for the rlocal library.
+//
+// Two families:
+//  * RLOCAL_CHECK(cond, msg)  -- always-on validation of caller-supplied data;
+//    throws rlocal::InvariantError (the library's failure-to-meet-contract
+//    exception). Use for preconditions on public API boundaries.
+//  * RLOCAL_ASSERT(cond)      -- internal invariant; also always-on (the
+//    library is correctness-first, simulation-scale), throws InternalError.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace rlocal {
+
+/// Thrown when a caller violates a documented precondition.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant of the library fails (a library bug).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const std::string& msg,
+                               std::source_location loc);
+[[noreturn]] void assert_failed(const char* expr, std::source_location loc);
+}  // namespace detail
+
+}  // namespace rlocal
+
+#define RLOCAL_CHECK(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::rlocal::detail::check_failed(#cond, (msg),                    \
+                                     std::source_location::current()); \
+    }                                                                 \
+  } while (false)
+
+#define RLOCAL_ASSERT(cond)                                            \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::rlocal::detail::assert_failed(#cond,                           \
+                                      std::source_location::current()); \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,27 @@
+// Tiny command-line flag parser for bench/example binaries.
+// Supports `--name=value`, `--name value`, and boolean `--flag`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rlocal {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  /// True when --quick was passed; benches shrink their sweeps accordingly.
+  bool quick() const { return has("quick"); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace rlocal

@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr. Not thread-safe by design: the library
+// is single-threaded (the simulator is deterministic and sequential).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rlocal {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarn so
+/// that library users are not spammed; benches raise it to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace rlocal
+
+#define RLOCAL_LOG(level) ::rlocal::detail::LogLine(level)
+#define RLOCAL_DEBUG() RLOCAL_LOG(::rlocal::LogLevel::kDebug)
+#define RLOCAL_INFO() RLOCAL_LOG(::rlocal::LogLevel::kInfo)
+#define RLOCAL_WARN() RLOCAL_LOG(::rlocal::LogLevel::kWarn)

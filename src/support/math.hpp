@@ -1,0 +1,47 @@
+// Small integer-math helpers used throughout the library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace rlocal {
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x == 1.
+constexpr int ceil_log2(std::uint64_t x) {
+  RLOCAL_CHECK(x >= 1, "ceil_log2 requires x >= 1");
+  return x == 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr int floor_log2(std::uint64_t x) {
+  RLOCAL_CHECK(x >= 1, "floor_log2 requires x >= 1");
+  return 63 - std::countl_zero(x);
+}
+
+/// ceil(a / b) for b >= 1.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  RLOCAL_CHECK(b >= 1, "ceil_div requires b >= 1");
+  return (a + b - 1) / b;
+}
+
+/// Integer power with 64-bit result; caller is responsible for non-overflow.
+constexpr std::uint64_t ipow(std::uint64_t base, unsigned exp) {
+  std::uint64_t result = 1;
+  while (exp > 0) {
+    if (exp & 1U) result *= base;
+    base *= base;
+    exp >>= 1U;
+  }
+  return result;
+}
+
+/// log2(n) rounded up, but at least 1 -- the ubiquitous "log n" of the paper,
+/// guarded so that tiny graphs (n <= 2) still get a positive parameter.
+constexpr int log2n(std::uint64_t n) {
+  const int l = ceil_log2(n < 2 ? 2 : n);
+  return l < 1 ? 1 : l;
+}
+
+}  // namespace rlocal

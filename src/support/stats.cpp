@@ -1,0 +1,80 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace rlocal {
+
+void Summary::add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::mean() const {
+  RLOCAL_CHECK(!values_.empty(), "mean of empty Summary");
+  double sum = 0.0;
+  for (const double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Summary::stddev() const {
+  RLOCAL_CHECK(!values_.empty(), "stddev of empty Summary");
+  if (values_.size() == 1) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Summary::min() const {
+  RLOCAL_CHECK(!values_.empty(), "min of empty Summary");
+  ensure_sorted();
+  return values_.front();
+}
+
+double Summary::max() const {
+  RLOCAL_CHECK(!values_.empty(), "max of empty Summary");
+  ensure_sorted();
+  return values_.back();
+}
+
+double Summary::quantile(double q) const {
+  RLOCAL_CHECK(!values_.empty(), "quantile of empty Summary");
+  RLOCAL_CHECK(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(values_.size() - 1) + 0.5);
+  return values_[std::min(rank, values_.size() - 1)];
+}
+
+WilsonInterval wilson_interval(std::size_t successes, std::size_t trials) {
+  RLOCAL_CHECK(trials > 0, "wilson_interval requires trials > 0");
+  RLOCAL_CHECK(successes <= trials, "successes exceed trials");
+  const double z = 2.0;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double spread = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  WilsonInterval w;
+  w.low = std::max(0.0, (center - spread) / denom);
+  w.high = std::min(1.0, (center + spread) / denom);
+  return w;
+}
+
+double zero_failure_upper_bound(std::size_t trials) {
+  RLOCAL_CHECK(trials > 0, "zero_failure_upper_bound requires trials > 0");
+  return 3.0 / static_cast<double>(trials);
+}
+
+}  // namespace rlocal

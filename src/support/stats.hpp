@@ -1,0 +1,44 @@
+// Summary statistics and binomial confidence intervals for the experiment
+// harness. Success probabilities in the paper are of the form 1 - n^{-c};
+// benches estimate them over trials and report Wilson intervals.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rlocal {
+
+/// Streaming accumulator for scalar samples.
+class Summary {
+ public:
+  void add(double value);
+
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Quantile in [0,1] via nearest-rank on the sorted samples.
+  double quantile(double q) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+/// Wilson score interval for a Bernoulli parameter.
+struct WilsonInterval {
+  double low = 0.0;
+  double high = 1.0;
+};
+
+/// 1-alpha Wilson interval given `successes` out of `trials` (z ~ 1.96 for
+/// alpha = 0.05; we use z = 2.0 which is slightly conservative).
+WilsonInterval wilson_interval(std::size_t successes, std::size_t trials);
+
+/// Upper confidence bound on a failure probability when zero failures were
+/// observed over `trials` runs (the "rule of three"-style bound 3/n).
+double zero_failure_upper_bound(std::size_t trials);
+
+}  // namespace rlocal

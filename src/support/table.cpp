@@ -1,0 +1,69 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace rlocal {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  RLOCAL_CHECK(!headers_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  RLOCAL_CHECK(cells.size() == headers_.size(),
+               "row arity does not match headers");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << " " << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+    }
+    out << "\n";
+  };
+  auto print_rule = [&] {
+    out << "+";
+    for (const std::size_t w : widths) {
+      out << std::string(w + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string fmt(std::uint64_t value) { return std::to_string(value); }
+std::string fmt(std::int64_t value) { return std::to_string(value); }
+std::string fmt(int value) { return std::to_string(value); }
+
+std::string fmt_sci(double value) {
+  std::ostringstream out;
+  out << std::scientific << std::setprecision(1) << value;
+  return out.str();
+}
+
+}  // namespace rlocal

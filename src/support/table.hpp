@@ -1,0 +1,37 @@
+// ASCII table printer used by the bench binaries to emit the experiment
+// tables (the paper-shaped "rows/series").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rlocal {
+
+/// Column-aligned ASCII table. Cells are strings; helpers format numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (default 3 significant-ish).
+std::string fmt(double value, int precision = 3);
+std::string fmt(std::uint64_t value);
+std::string fmt(std::int64_t value);
+std::string fmt(int value);
+/// Scientific formatting for probabilities (e.g. "1.2e-04").
+std::string fmt_sci(double value);
+
+}  // namespace rlocal

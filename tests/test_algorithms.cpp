@@ -1,0 +1,236 @@
+// Unit + property tests for graph/algorithms.hpp: BFS against brute force,
+// Voronoi clustering invariants, components, powers, induced subgraphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace rlocal {
+namespace {
+
+/// O(n^3) all-pairs reference via repeated BFS-free relaxation.
+std::vector<std::vector<std::int32_t>> floyd_warshall(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::vector<std::int32_t>> d(
+      n, std::vector<std::int32_t>(n, kUnreachable));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    d[static_cast<std::size_t>(v)][static_cast<std::size_t>(v)] = 0;
+    for (const NodeId u : g.neighbors(v)) {
+      d[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)] = 1;
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (d[i][k] != kUnreachable && d[k][j] != kUnreachable &&
+            d[i][k] + d[k][j] < d[i][j]) {
+          d[i][j] = d[i][k] + d[k][j];
+        }
+      }
+    }
+  }
+  return d;
+}
+
+TEST(Bfs, MatchesFloydWarshallOnGnp) {
+  const Graph g = make_gnp(40, 0.1, 3);
+  const auto apsp = floyd_warshall(g);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const auto dist = bfs_distances(g, s);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(dist[static_cast<std::size_t>(v)],
+                apsp[static_cast<std::size_t>(s)][static_cast<std::size_t>(
+                    v)]);
+    }
+  }
+}
+
+TEST(Bfs, MultiSourceIsMinOverSources) {
+  const Graph g = make_grid(6, 6);
+  const std::vector<NodeId> sources{0, 35, 17};
+  const auto multi = multi_source_distances(g, sources);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::int32_t best = kUnreachable;
+    for (const NodeId s : sources) {
+      best = std::min(best, bfs_distances(g, s)[static_cast<std::size_t>(v)]);
+    }
+    EXPECT_EQ(multi[static_cast<std::size_t>(v)], best);
+  }
+}
+
+TEST(Bfs, EmptySourcesAllUnreachable) {
+  const Graph g = make_path(4);
+  const auto dist = multi_source_distances(g, {});
+  for (const auto d : dist) EXPECT_EQ(d, kUnreachable);
+}
+
+TEST(Voronoi, OwnerIsNearestSourceMinId) {
+  const Graph g = with_scrambled_ids(make_grid(7, 7), 11);
+  const std::vector<NodeId> sources{3, 20, 44};
+  const VoronoiResult v = voronoi_clusters(g, sources);
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    // Distance matches the multi-source BFS.
+    const auto multi = multi_source_distances(g, sources);
+    ASSERT_EQ(v.dist[static_cast<std::size_t>(x)],
+              multi[static_cast<std::size_t>(x)]);
+    // Owner is a nearest source, and among nearest it has the least id.
+    const NodeId owner = v.owner[static_cast<std::size_t>(x)];
+    ASSERT_NE(owner, -1);
+    const auto from_owner = bfs_distances(g, owner);
+    EXPECT_EQ(from_owner[static_cast<std::size_t>(x)],
+              v.dist[static_cast<std::size_t>(x)]);
+    for (const NodeId s : sources) {
+      const auto from_s = bfs_distances(g, s);
+      if (from_s[static_cast<std::size_t>(x)] ==
+          v.dist[static_cast<std::size_t>(x)]) {
+        EXPECT_LE(g.id(owner), g.id(s));
+      }
+    }
+  }
+}
+
+TEST(Voronoi, ParentChainsLeadToOwner) {
+  const Graph g = make_gnp(60, 0.08, 4);
+  std::vector<NodeId> sources{1, 13, 42};
+  const VoronoiResult v = voronoi_clusters(g, sources);
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    if (v.owner[static_cast<std::size_t>(x)] == -1) continue;
+    NodeId cur = x;
+    int steps = 0;
+    while (v.parent[static_cast<std::size_t>(cur)] != -1) {
+      const NodeId p = v.parent[static_cast<std::size_t>(cur)];
+      // Parent is one step closer and in the same cluster.
+      EXPECT_EQ(v.dist[static_cast<std::size_t>(p)],
+                v.dist[static_cast<std::size_t>(cur)] - 1);
+      EXPECT_EQ(v.owner[static_cast<std::size_t>(p)],
+                v.owner[static_cast<std::size_t>(cur)]);
+      cur = p;
+      ASSERT_LT(++steps, g.num_nodes());
+    }
+    EXPECT_EQ(cur, v.owner[static_cast<std::size_t>(x)]);
+  }
+}
+
+TEST(Components, CountsDisjointUnion) {
+  const Graph a = make_path(5);
+  const Graph b = make_cycle(4);
+  const Graph c = make_complete(3);
+  const Graph u = make_disjoint_union({&a, &b, &c});
+  const Components comps = connected_components(u);
+  EXPECT_EQ(comps.count, 3);
+}
+
+TEST(Components, SingleComponentOnConnected) {
+  EXPECT_EQ(connected_components(make_grid(5, 5)).count, 1);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(make_path(10)), 9);
+  EXPECT_EQ(diameter(make_cycle(10)), 5);
+  EXPECT_EQ(diameter(make_complete(7)), 1);
+  EXPECT_EQ(diameter(make_grid(4, 6)), 3 + 5);
+  EXPECT_EQ(diameter(make_hypercube(5)), 5);
+}
+
+TEST(Eccentricity, CenterOfPath) {
+  const Graph g = make_path(9);
+  EXPECT_EQ(eccentricity(g, 4), 4);
+  EXPECT_EQ(eccentricity(g, 0), 8);
+}
+
+TEST(PowerGraph, SquareOfPath) {
+  const Graph g2 = power_graph(make_path(6), 2);
+  EXPECT_TRUE(g2.has_edge(0, 2));
+  EXPECT_TRUE(g2.has_edge(0, 1));
+  EXPECT_FALSE(g2.has_edge(0, 3));
+  EXPECT_EQ(g2.num_edges(), 5 + 4);
+}
+
+TEST(PowerGraph, LargeRadiusIsClique) {
+  const Graph g = power_graph(make_path(5), 10);
+  EXPECT_EQ(g.num_edges(), 10);
+}
+
+TEST(PowerGraph, DistancePreserved) {
+  const Graph g = make_gnp(30, 0.1, 9);
+  const Graph g3 = power_graph(g, 3);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto d = bfs_distances(g, v);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (u == v) continue;
+      const bool expect_edge =
+          d[static_cast<std::size_t>(u)] != kUnreachable &&
+          d[static_cast<std::size_t>(u)] <= 3;
+      EXPECT_EQ(g3.has_edge(v, u), expect_edge);
+    }
+  }
+}
+
+TEST(InducedSubgraph, KeepsEdgesAndIds) {
+  const Graph g = with_scrambled_ids(make_complete(6), 2);
+  const InducedSubgraph sub = induced_subgraph(g, {1, 3, 5});
+  EXPECT_EQ(sub.graph.num_nodes(), 3);
+  EXPECT_EQ(sub.graph.num_edges(), 3);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(sub.graph.id(v), g.id(sub.origin[static_cast<std::size_t>(v)]));
+  }
+}
+
+TEST(InducedSubgraph, DeduplicatesKeepList) {
+  const Graph g = make_path(5);
+  const InducedSubgraph sub = induced_subgraph(g, {2, 2, 3, 3});
+  EXPECT_EQ(sub.graph.num_nodes(), 2);
+  EXPECT_EQ(sub.graph.num_edges(), 1);
+}
+
+TEST(IndependentSet, Checkers) {
+  const Graph g = make_path(4);
+  EXPECT_TRUE(is_independent_set(g, {true, false, true, false}));
+  EXPECT_FALSE(is_independent_set(g, {true, true, false, false}));
+  EXPECT_TRUE(is_maximal_independent_set(g, {true, false, true, false}));
+  // Independent but not maximal: node 3 is undominated.
+  EXPECT_FALSE(is_maximal_independent_set(g, {true, false, false, false}));
+}
+
+TEST(GreedyColoring, ProperAndWithinDegreeBound) {
+  const Graph g = make_gnp(50, 0.15, 6);
+  std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(order.begin(), order.end(), 0);
+  const auto colors = greedy_coloring(g, order);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(colors[static_cast<std::size_t>(v)], g.max_degree());
+    for (const NodeId u : g.neighbors(v)) {
+      EXPECT_NE(colors[static_cast<std::size_t>(v)],
+                colors[static_cast<std::size_t>(u)]);
+    }
+  }
+}
+
+class ZooAlgorithms : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooAlgorithms, VoronoiPartitionsReachableNodes) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  const std::vector<NodeId> sources{0, g.num_nodes() / 2,
+                                    g.num_nodes() - 1};
+  const VoronoiResult v = voronoi_clusters(g, sources);
+  const auto dist = multi_source_distances(g, sources);
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    EXPECT_EQ(v.owner[static_cast<std::size_t>(x)] != -1,
+              dist[static_cast<std::size_t>(x)] != kUnreachable);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooAlgorithms,
+    ::testing::Range(0, static_cast<int>(testing::small_zoo().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return rlocal::testing::zoo_name(info.param);
+    });
+
+}  // namespace
+}  // namespace rlocal

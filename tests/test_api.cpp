@@ -1,0 +1,68 @@
+// Public API surface: decompose() under each regime, version string, and
+// the one_bit pipelines' options handling.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+
+namespace rlocal {
+namespace {
+
+TEST(Api, VersionIsSemver) {
+  const std::string v = version();
+  EXPECT_EQ(std::count(v.begin(), v.end(), '.'), 2);
+}
+
+TEST(Api, DecomposeFullRegime) {
+  const Graph g = make_grid(8, 8);
+  const DecomposeSummary s = decompose(g, Regime::full(), 3);
+  EXPECT_TRUE(s.success);
+  EXPECT_TRUE(validate_decomposition(g, s.decomposition).valid);
+  EXPECT_GT(s.rounds_charged, 0);
+}
+
+TEST(Api, DecomposeKwiseRegime) {
+  const Graph g = make_cycle(48);
+  const DecomposeSummary s = decompose(g, Regime::kwise(64), 4);
+  EXPECT_TRUE(s.success);
+  EXPECT_TRUE(validate_decomposition(g, s.decomposition).valid);
+}
+
+TEST(Api, DecomposeSharedKwiseUsesCongestConstruction) {
+  const Graph g = make_grid(7, 7);
+  const DecomposeSummary s = decompose(g, Regime::shared_kwise(4096), 5);
+  EXPECT_TRUE(s.success);
+  const ValidationReport report = validate_decomposition(g,
+                                                         s.decomposition);
+  EXPECT_TRUE(report.valid);
+  EXPECT_TRUE(report.strong_diameter);
+}
+
+TEST(Api, DecomposeRejectsUnsupportedRegimes) {
+  const Graph g = make_path(8);
+  EXPECT_THROW(decompose(g, Regime::all_zeros(), 1), InvariantError);
+  EXPECT_THROW(decompose(g, Regime::shared_epsbias(16), 1), InvariantError);
+}
+
+TEST(Api, TheoremWrappersProduceValidResults) {
+  const Graph g = make_gnp(64, 5.0 / 64, 9);
+  const EnResult en = theorems::theorem_3_5(g, 2);
+  EXPECT_TRUE(en.all_clustered);
+  const SharedCongestResult sc = theorems::theorem_3_6(g, 2);
+  EXPECT_TRUE(sc.all_clustered);
+  const ShatteringResult sh = theorems::theorem_4_2(g, 2);
+  EXPECT_TRUE(sh.success);
+}
+
+TEST(Api, Lemma41WrapperMatchesDirectCall) {
+  BruteForceOptions options;
+  options.max_n = 3;
+  options.bits_per_id = 1;
+  options.round_budget = 2;
+  const BruteForceResult a = theorems::lemma_4_1(options);
+  const BruteForceResult b = brute_force_derandomize_mis(options);
+  EXPECT_EQ(a.perfect_seeds, b.perfect_seeds);
+  EXPECT_EQ(a.graphs_in_family, b.graphs_in_family);
+}
+
+}  // namespace
+}  // namespace rlocal

@@ -1,0 +1,92 @@
+// Decomposition-driven derandomization (the paper's motivating payoff):
+// deterministic MIS and coloring from any valid network decomposition.
+#include <gtest/gtest.h>
+
+#include "decomp/ball_carving.hpp"
+#include "decomp/elkin_neiman.hpp"
+#include "decomp/shared_congest.hpp"
+#include "derand/applications.hpp"
+#include "graph/algorithms.hpp"
+#include "problems/coloring.hpp"
+#include "test_util.hpp"
+
+namespace rlocal {
+namespace {
+
+class ZooApplications : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooApplications, MisFromBallCarving) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  const BallCarvingResult carved = ball_carving_decomposition(g);
+  const DecompositionMisResult r =
+      mis_from_decomposition(g, carved.decomposition);
+  EXPECT_TRUE(is_maximal_independent_set(g, r.in_mis));
+  EXPECT_GT(r.rounds_charged, 0);
+}
+
+TEST_P(ZooApplications, ColoringFromBallCarving) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  const BallCarvingResult carved = ball_carving_decomposition(g);
+  const DecompositionColoringResult r =
+      coloring_from_decomposition(g, carved.decomposition);
+  EXPECT_TRUE(is_valid_coloring(g, r.color, g.max_degree() + 1));
+}
+
+TEST_P(ZooApplications, MisFromElkinNeiman) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  NodeRandomness rnd(Regime::full(), 41);
+  const EnResult en = elkin_neiman_decomposition(g, rnd);
+  ASSERT_TRUE(en.all_clustered);
+  const DecompositionMisResult r =
+      mis_from_decomposition(g, en.decomposition);
+  EXPECT_TRUE(is_maximal_independent_set(g, r.in_mis));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooApplications,
+    ::testing::Range(0, static_cast<int>(testing::small_zoo().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return rlocal::testing::zoo_name(info.param);
+    });
+
+TEST(Applications, DeterministicAcrossRuns) {
+  const Graph g = make_gnp(80, 0.06, 13);
+  const BallCarvingResult carved = ball_carving_decomposition(g);
+  const auto a = mis_from_decomposition(g, carved.decomposition);
+  const auto b = mis_from_decomposition(g, carved.decomposition);
+  EXPECT_EQ(a.in_mis, b.in_mis);
+}
+
+TEST(Applications, MisFromSharedRandomnessDecomposition) {
+  // End-to-end Theorem 3.6 -> deterministic MIS: the full "poly(log n)
+  // shared bits solve every P-RLOCAL problem" story on one graph.
+  const Graph g = make_grid(8, 8);
+  NodeRandomness rnd(Regime::shared_kwise(4096), 19);
+  const SharedCongestResult nd =
+      shared_randomness_decomposition(g, rnd, {});
+  ASSERT_TRUE(nd.all_clustered);
+  const DecompositionMisResult r =
+      mis_from_decomposition(g, nd.decomposition);
+  EXPECT_TRUE(is_maximal_independent_set(g, r.in_mis));
+}
+
+TEST(Applications, RequiresTotalDecomposition) {
+  const Graph g = make_path(4);
+  Decomposition partial;
+  partial.num_colors = 1;
+  partial.cluster_of = {0, 0, -1, -1};
+  Cluster c;
+  c.center = 0;
+  c.color = 0;
+  c.members = {0, 1};
+  c.tree_nodes = {0, 1};
+  c.tree_edges = {{0, 1}};
+  partial.clusters = {c};
+  EXPECT_THROW(mis_from_decomposition(g, partial), InvariantError);
+}
+
+}  // namespace
+}  // namespace rlocal

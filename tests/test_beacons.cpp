@@ -1,0 +1,132 @@
+// Beacon placements and the Lemma 3.2 bit-gathering construction,
+// including the lemma's bit-count property under the paper's own h'.
+#include <gtest/gtest.h>
+
+#include "decomp/beacons.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace rlocal {
+namespace {
+
+class ZooPlacements : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooPlacements, AllPlacementsHonorThePromise) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  for (const int h : {1, 2, 4}) {
+    EXPECT_TRUE(placement_covers(g, place_beacons_greedy(g, h))) << h;
+    EXPECT_TRUE(placement_covers(g, place_beacons_sparse(g, h))) << h;
+    EXPECT_TRUE(placement_covers(g, place_beacons_random(g, h, 0.1, 3)))
+        << h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooPlacements,
+    ::testing::Range(0, static_cast<int>(testing::small_zoo().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return rlocal::testing::zoo_name(info.param);
+    });
+
+TEST(Placements, SparseIsNoDenserThanGreedy) {
+  const Graph g = make_grid(10, 10);
+  for (const int h : {2, 3}) {
+    EXPECT_LE(place_beacons_sparse(g, h).beacons.size(),
+              place_beacons_greedy(g, h).beacons.size() + 2u)
+        << h;
+  }
+}
+
+TEST(Placements, CoverageCheckerCatchesGaps) {
+  const Graph g = make_path(20);
+  BeaconPlacement sparse;
+  sparse.h = 2;
+  sparse.beacons = {0};  // node 19 is 19 hops away
+  EXPECT_FALSE(placement_covers(g, sparse));
+}
+
+TEST(Placements, DensityOneIsEveryNode) {
+  const Graph g = make_cycle(12);
+  const BeaconPlacement p = place_beacons_random(g, 1, 1.0, 5);
+  EXPECT_EQ(p.beacons.size(), 12u);
+}
+
+// Lemma 3.2's property, tested with the paper's own parameters at a scale
+// where they fit: h' = 10kh with small k. Every non-isolated cluster must
+// gather at least k bits.
+TEST(BitGathering, Lemma32PropertyWithPaperParameters) {
+  const Graph g = make_path(400);
+  const int h = 1;
+  const int k = 3;
+  const BeaconPlacement placement = place_beacons_greedy(g, h);
+  PrngBitSource bits(2);
+  const BitGatheringResult r =
+      gather_cluster_bits(g, placement, k, bits, /*h_prime=*/10 * k * h);
+  bool any_non_isolated = false;
+  for (std::size_t c = 0; c < r.centers.size(); ++c) {
+    if (r.isolated[c]) continue;
+    any_non_isolated = true;
+    EXPECT_GE(static_cast<int>(r.bits[c].size()), k);
+  }
+  EXPECT_TRUE(any_non_isolated);
+  EXPECT_GE(r.min_bits_non_isolated, k);
+}
+
+TEST(BitGathering, ClustersPartitionAndAreConnected) {
+  const Graph g = make_grid(9, 9);
+  const BeaconPlacement placement = place_beacons_greedy(g, 2);
+  PrngBitSource bits(3);
+  const BitGatheringResult r = gather_cluster_bits(g, placement, 2, bits, 9);
+  // Every node owned; parent chains reach the center inside the cluster.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId owner = r.owner[static_cast<std::size_t>(v)];
+    ASSERT_NE(owner, -1);
+    NodeId cur = v;
+    int steps = 0;
+    while (cur != owner) {
+      EXPECT_EQ(r.owner[static_cast<std::size_t>(cur)], owner);
+      cur = r.parent[static_cast<std::size_t>(cur)];
+      ASSERT_NE(cur, -1);
+      ASSERT_LT(++steps, g.num_nodes());
+    }
+  }
+}
+
+TEST(BitGathering, TotalBitsEqualBeaconCount) {
+  const Graph g = make_cycle(30);
+  const BeaconPlacement placement = place_beacons_greedy(g, 2);
+  PrngBitSource bits(4);
+  const BitGatheringResult r = gather_cluster_bits(g, placement, 2, bits, 7);
+  std::size_t total = 0;
+  for (const auto& pool : r.bits) total += pool.size();
+  EXPECT_EQ(total, placement.beacons.size());
+  EXPECT_EQ(bits.bits_consumed(), placement.beacons.size());
+}
+
+TEST(BitGathering, IsolatedDetection) {
+  // Two far-apart components: each becomes one isolated cluster.
+  const Graph a = make_path(6);
+  const Graph b = make_path(6);
+  const Graph g = make_disjoint_union({&a, &b});
+  const BeaconPlacement placement = place_beacons_greedy(g, 2);
+  PrngBitSource bits(5);
+  const BitGatheringResult r =
+      gather_cluster_bits(g, placement, 2, bits, 20);
+  ASSERT_EQ(r.centers.size(), 2u);
+  EXPECT_TRUE(r.isolated[0]);
+  EXPECT_TRUE(r.isolated[1]);
+}
+
+TEST(BitGathering, RejectsBrokenPromise) {
+  const Graph g = make_path(30);
+  BeaconPlacement bad;
+  bad.h = 1;
+  bad.beacons = {0};
+  PrngBitSource bits(6);
+  EXPECT_THROW(gather_cluster_bits(g, bad, 2, bits, 5), InvariantError);
+}
+
+}  // namespace
+}  // namespace rlocal

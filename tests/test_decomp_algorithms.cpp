@@ -1,0 +1,177 @@
+// Ball carving, ruling sets, and cluster graphs: the deterministic
+// substrates of the theorem pipelines.
+#include <gtest/gtest.h>
+
+#include "decomp/ball_carving.hpp"
+#include "decomp/cluster_graph.hpp"
+#include "decomp/ruling_set.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "support/math.hpp"
+#include "test_util.hpp"
+
+namespace rlocal {
+namespace {
+
+class ZooBallCarving : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooBallCarving, ProducesBoundedValidDecomposition) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  const BallCarvingResult r = ball_carving_decomposition(g);
+  const ValidationReport report = validate_decomposition(g,
+                                                         r.decomposition);
+  ASSERT_TRUE(report.valid) << report.error;
+  const int logn = ceil_log2(static_cast<std::uint64_t>(g.num_nodes()));
+  EXPECT_LE(r.max_ball_radius, logn);
+  EXPECT_LE(report.colors_used, 2 * logn + 2);
+  EXPECT_LE(report.max_tree_diameter, 2 * logn);
+  EXPECT_TRUE(report.strong_diameter);
+  EXPECT_EQ(report.max_congestion, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooBallCarving,
+    ::testing::Range(0, static_cast<int>(testing::small_zoo().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return rlocal::testing::zoo_name(info.param);
+    });
+
+TEST(BallCarving, SingleNodeAndEmpty) {
+  const Graph one = make_path(1);
+  const BallCarvingResult r = ball_carving_decomposition(one);
+  EXPECT_TRUE(validate_decomposition(one, r.decomposition).valid);
+  EXPECT_EQ(r.phases, 1);
+}
+
+TEST(BallCarving, CliqueIsOneCluster) {
+  const Graph g = make_complete(10);
+  const BallCarvingResult r = ball_carving_decomposition(g);
+  EXPECT_EQ(r.decomposition.clusters.size(), 1u);
+  EXPECT_EQ(r.phases, 1);
+}
+
+TEST(BallCarving, DeterministicAcrossRuns) {
+  const Graph g = make_gnp(60, 0.08, 12);
+  const BallCarvingResult a = ball_carving_decomposition(g);
+  const BallCarvingResult b = ball_carving_decomposition(g);
+  EXPECT_EQ(a.decomposition.cluster_of, b.decomposition.cluster_of);
+}
+
+TEST(GatheringDecomposition, HandlesDisjointComponents) {
+  const Graph p = make_path(20);
+  const Graph c = make_cycle(15);
+  const Graph k = make_complete(6);
+  const Graph g = make_disjoint_union({&p, &c, &k});
+  const SmallComponentsResult r = decompose_components_by_gathering(g);
+  const ValidationReport report = validate_decomposition(g,
+                                                         r.decomposition);
+  EXPECT_TRUE(report.valid) << report.error;
+  EXPECT_EQ(r.rounds_charged, diameter(g) + 2);
+}
+
+class ZooRulingSet : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooRulingSet, SatisfiesAlphaBetaForSeveralAlphas) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  std::vector<NodeId> all(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    all[static_cast<std::size_t>(v)] = v;
+  }
+  for (const int alpha : {2, 3, 5}) {
+    const RulingSetResult r = ruling_set(g, all, alpha);
+    EXPECT_EQ(check_ruling_set(g, all, r.set, alpha, r.beta), "")
+        << "alpha=" << alpha;
+  }
+}
+
+TEST_P(ZooRulingSet, WorksOnSubsets) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < g.num_nodes(); v += 3) candidates.push_back(v);
+  const RulingSetResult r = ruling_set(g, candidates, 3);
+  EXPECT_EQ(check_ruling_set(g, candidates, r.set, 3, r.beta), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooRulingSet,
+    ::testing::Range(0, static_cast<int>(testing::small_zoo().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return rlocal::testing::zoo_name(info.param);
+    });
+
+TEST(RulingSet, EmptyCandidates) {
+  const Graph g = make_path(5);
+  const RulingSetResult r = ruling_set(g, {}, 3);
+  EXPECT_TRUE(r.set.empty());
+}
+
+TEST(RulingSet, SingleCandidate) {
+  const Graph g = make_path(5);
+  const RulingSetResult r = ruling_set(g, {2}, 4);
+  EXPECT_EQ(r.set, std::vector<NodeId>{2});
+}
+
+TEST(RulingSet, AlphaOneKeepsEveryone) {
+  const Graph g = make_path(6);
+  std::vector<NodeId> all{0, 1, 2, 3, 4, 5};
+  const RulingSetResult r = ruling_set(g, all, 1);
+  EXPECT_EQ(r.set.size(), all.size());
+}
+
+TEST(RulingSet, CheckerCatchesViolations) {
+  const Graph g = make_path(8);
+  const std::vector<NodeId> candidates{0, 1, 2, 3, 4, 5, 6, 7};
+  // Adjacent set members violate alpha=3.
+  EXPECT_NE(check_ruling_set(g, candidates, {0, 1}, 3, 24), "");
+  // A set far from candidate 7 violates beta=2.
+  EXPECT_NE(check_ruling_set(g, candidates, {0}, 3, 2), "");
+  // Non-candidate member.
+  EXPECT_NE(check_ruling_set(g, {0, 1}, {5}, 2, 10), "");
+}
+
+TEST(ClusterGraph, ContractsVoronoiPartition) {
+  const Graph g = make_grid(6, 6);
+  const std::vector<NodeId> centers{0, 35};
+  const VoronoiResult v = voronoi_clusters(g, centers);
+  const ClusterGraph cg = build_cluster_graph(g, v.owner);
+  EXPECT_EQ(cg.graph.num_nodes(), 2);
+  EXPECT_EQ(cg.graph.num_edges(), 1);
+  EXPECT_EQ(cg.center.size(), 2u);
+  EXPECT_GT(cg.max_radius, 0);
+  EXPECT_EQ(cg.dilation(), 2 * cg.max_radius + 1);
+}
+
+TEST(ClusterGraph, IgnoresUnownedNodes) {
+  const Graph g = make_path(5);
+  std::vector<NodeId> owner{0, 0, -1, 4, 4};
+  const ClusterGraph cg = build_cluster_graph(g, owner);
+  EXPECT_EQ(cg.graph.num_nodes(), 2);
+  EXPECT_EQ(cg.graph.num_edges(), 0);  // separated by the unowned node
+}
+
+TEST(ClusterGraph, LiftPreservesValidity) {
+  const Graph g = make_grid(8, 8);
+  const std::vector<NodeId> centers{0, 7, 56, 63};
+  const VoronoiResult v = voronoi_clusters(g, centers);
+  const ClusterGraph cg = build_cluster_graph(g, v.owner);
+  // Decompose the 4-vertex cluster graph by ball carving and lift.
+  const BallCarvingResult carved = ball_carving_decomposition(cg.graph);
+  const Decomposition lifted =
+      lift_decomposition(g, cg, carved.decomposition);
+  const ValidationReport report = validate_decomposition(g, lifted);
+  EXPECT_TRUE(report.valid) << report.error;
+  EXPECT_TRUE(report.strong_diameter);
+  EXPECT_EQ(report.max_congestion, 1);
+}
+
+TEST(ClusterGraph, CenterMustOwnItself) {
+  const Graph g = make_path(3);
+  std::vector<NodeId> owner{1, 0, 0};  // 0's owner is 1 but 1's owner is 0
+  EXPECT_THROW(build_cluster_graph(g, owner), InvariantError);
+}
+
+}  // namespace
+}  // namespace rlocal

@@ -1,0 +1,191 @@
+// Decomposition type + validator: positive cases and systematic negative
+// mutations (the validator is itself load-bearing for every experiment).
+#include <gtest/gtest.h>
+
+#include "decomp/decomposition.hpp"
+#include "graph/generators.hpp"
+
+namespace rlocal {
+namespace {
+
+/// A hand-built valid decomposition of a 6-path: clusters {0,1,2} and
+/// {3,4,5} with colors 0 and 1.
+Decomposition valid_path_decomposition() {
+  Decomposition d;
+  d.num_colors = 2;
+  d.cluster_of = {0, 0, 0, 1, 1, 1};
+  Cluster a;
+  a.center = 1;
+  a.color = 0;
+  a.members = {0, 1, 2};
+  a.tree_nodes = {0, 1, 2};
+  a.tree_edges = {{0, 1}, {2, 1}};
+  Cluster b;
+  b.center = 4;
+  b.color = 1;
+  b.members = {3, 4, 5};
+  b.tree_nodes = {3, 4, 5};
+  b.tree_edges = {{3, 4}, {5, 4}};
+  d.clusters = {a, b};
+  return d;
+}
+
+TEST(Validator, AcceptsValidDecomposition) {
+  const Graph g = make_path(6);
+  const ValidationReport r =
+      validate_decomposition(g, valid_path_decomposition());
+  EXPECT_TRUE(r.valid) << r.error;
+  EXPECT_EQ(r.colors_used, 2);
+  EXPECT_EQ(r.max_tree_diameter, 2);
+  EXPECT_EQ(r.max_congestion, 1);
+  EXPECT_TRUE(r.strong_diameter);
+  EXPECT_EQ(r.max_cluster_size, 3);
+}
+
+TEST(Validator, RejectsAdjacentSameColor) {
+  const Graph g = make_path(6);
+  Decomposition d = valid_path_decomposition();
+  d.clusters[1].color = 0;  // clusters are adjacent via edge (2,3)
+  const ValidationReport r = validate_decomposition(g, d);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("share a color"), std::string::npos);
+}
+
+TEST(Validator, RejectsUnclusteredNode) {
+  const Graph g = make_path(6);
+  Decomposition d = valid_path_decomposition();
+  d.cluster_of[5] = -1;
+  d.clusters[1].members = {3, 4};
+  d.clusters[1].tree_nodes = {3, 4};
+  d.clusters[1].tree_edges = {{3, 4}};
+  const ValidationReport r = validate_decomposition(g, d);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("unclustered"), std::string::npos);
+}
+
+TEST(Validator, RejectsNodeInTwoClusters) {
+  const Graph g = make_path(6);
+  Decomposition d = valid_path_decomposition();
+  d.clusters[1].members.push_back(2);
+  const ValidationReport r = validate_decomposition(g, d);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Validator, RejectsNonEdgeInTree) {
+  const Graph g = make_path(6);
+  Decomposition d = valid_path_decomposition();
+  d.clusters[0].tree_edges = {{0, 1}, {0, 2}};  // (0,2) is not a path edge
+  const ValidationReport r = validate_decomposition(g, d);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("not a graph edge"), std::string::npos);
+}
+
+TEST(Validator, RejectsDisconnectedTree) {
+  const Graph g = make_cycle(6);
+  Decomposition d = valid_path_decomposition();
+  // Tree edges that do not span: {0,1,2} with a single edge.
+  d.clusters[0].tree_edges = {{0, 1}};
+  const ValidationReport r = validate_decomposition(g, d);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Validator, RejectsTreeMissingMember) {
+  const Graph g = make_path(6);
+  Decomposition d = valid_path_decomposition();
+  d.clusters[0].tree_nodes = {0, 1};
+  d.clusters[0].tree_edges = {{0, 1}};
+  const ValidationReport r = validate_decomposition(g, d);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("does not span"), std::string::npos);
+}
+
+TEST(Validator, RejectsCenterOutsideCluster) {
+  const Graph g = make_path(6);
+  Decomposition d = valid_path_decomposition();
+  d.clusters[0].center = 4;
+  const ValidationReport r = validate_decomposition(g, d);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("center"), std::string::npos);
+}
+
+TEST(Validator, RejectsColorOutOfRange) {
+  const Graph g = make_path(6);
+  Decomposition d = valid_path_decomposition();
+  d.clusters[1].color = 7;
+  const ValidationReport r = validate_decomposition(g, d);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Validator, MeasuresCongestionOfWeakTrees) {
+  // Cluster {0,2} on a path 0-1-2 must route its tree through node 1,
+  // which belongs to the other cluster: congestion stays 1 per color but
+  // the decomposition is weak-diameter.
+  const Graph g = make_path(3);
+  Decomposition d;
+  d.num_colors = 2;
+  d.cluster_of = {0, 1, 0};
+  Cluster a;
+  a.center = 0;
+  a.color = 0;
+  a.members = {0, 2};
+  a.tree_nodes = {0, 1, 2};
+  a.tree_edges = {{0, 1}, {1, 2}};
+  Cluster b;
+  b.center = 1;
+  b.color = 1;
+  b.members = {1};
+  b.tree_nodes = {1};
+  d.clusters = {a, b};
+  const ValidationReport r = validate_decomposition(g, d);
+  EXPECT_TRUE(r.valid) << r.error;
+  EXPECT_FALSE(r.strong_diameter);
+  EXPECT_EQ(r.max_congestion, 1);
+  EXPECT_EQ(r.max_tree_diameter, 2);
+}
+
+TEST(FromLabels, BuildsValidDecomposition) {
+  const Graph g = make_path(4);
+  const std::vector<NodeId> owner{0, 0, 3, 3};
+  const std::vector<int> color{0, 0, 1, 1};
+  const std::vector<NodeId> parent{-1, 0, 3, -1};
+  const Decomposition d = decomposition_from_labels(g, owner, color, parent);
+  const ValidationReport r = validate_decomposition(g, d);
+  EXPECT_TRUE(r.valid) << r.error;
+  EXPECT_TRUE(r.strong_diameter);
+}
+
+TEST(FromLabels, RejectsParentOutsideCluster) {
+  const Graph g = make_path(4);
+  const std::vector<NodeId> owner{0, 0, 3, 3};
+  const std::vector<int> color{0, 0, 1, 1};
+  const std::vector<NodeId> parent{-1, 0, 1, -1};  // 2's parent in cluster 0
+  EXPECT_THROW(decomposition_from_labels(g, owner, color, parent),
+               InvariantError);
+}
+
+TEST(FromLabels, RejectsPartialWithoutFlag) {
+  const Graph g = make_path(2);
+  EXPECT_THROW(
+      decomposition_from_labels(g, {0, -1}, {0, -1}, {-1, -1}, false),
+      InvariantError);
+  const Decomposition d =
+      decomposition_from_labels(g, {0, -1}, {0, -1}, {-1, -1}, true);
+  EXPECT_EQ(unclustered_nodes(d), std::vector<NodeId>{1});
+}
+
+TEST(FromLabels, RejectsCenterNotOwningItself) {
+  const Graph g = make_path(3);
+  EXPECT_THROW(
+      decomposition_from_labels(g, {1, 2, 2}, {0, 0, 0}, {-1, 2, -1}),
+      InvariantError);
+}
+
+TEST(FromLabels, RejectsInconsistentColors) {
+  const Graph g = make_path(3);
+  EXPECT_THROW(
+      decomposition_from_labels(g, {0, 0, 0}, {0, 1, 0}, {-1, 0, 1}),
+      InvariantError);
+}
+
+}  // namespace
+}  // namespace rlocal

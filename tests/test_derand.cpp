@@ -1,0 +1,241 @@
+// Derandomization machinery: Lemma 4.1 brute force, Theorems 4.3/4.6
+// calculators, conditional expectations, SLOCAL executor.
+#include <gtest/gtest.h>
+
+#include "derand/brute_force.hpp"
+#include "derand/cond_exp.hpp"
+#include "derand/lie.hpp"
+#include "derand/shattering.hpp"
+#include "derand/slocal.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "problems/coloring.hpp"
+#include "test_util.hpp"
+
+namespace rlocal {
+namespace {
+
+// ------------------------------------------------------------- Lemma 4.1
+
+TEST(BruteForce, FamilySizesAreExact) {
+  BruteForceOptions options;
+  options.max_n = 3;
+  options.bits_per_id = 1;
+  options.round_budget = 2;
+  const BruteForceResult r = brute_force_derandomize_mis(options);
+  // Graphs on 1, 2, 3 labelled nodes: 1 + 2 + 8.
+  EXPECT_EQ(r.graphs_in_family, 11u);
+  EXPECT_EQ(r.seed_assignments, 8u);
+}
+
+TEST(BruteForce, SufficientBudgetDerandomizes) {
+  BruteForceOptions options;
+  options.max_n = 4;
+  options.bits_per_id = 2;
+  options.round_budget = 3;
+  const BruteForceResult r = brute_force_derandomize_mis(options);
+  EXPECT_TRUE(r.derandomizable);
+  EXPECT_EQ(r.worst_failures, 0u);
+}
+
+TEST(BruteForce, TightBudgetHasNoPerfectSeed) {
+  BruteForceOptions options;
+  options.max_n = 4;
+  options.bits_per_id = 2;
+  options.round_budget = 1;
+  const BruteForceResult r = brute_force_derandomize_mis(options);
+  // One Luby iteration cannot finish e.g. a 4-path for any priority map.
+  EXPECT_FALSE(r.derandomizable);
+  EXPECT_GT(r.mean_failure_fraction, 0.0);
+}
+
+TEST(BruteForce, WitnessSeedVerifies) {
+  BruteForceOptions options;
+  options.max_n = 3;
+  options.bits_per_id = 2;
+  options.round_budget = 2;
+  const BruteForceResult r = brute_force_derandomize_mis(options);
+  ASSERT_TRUE(r.derandomizable);
+  ASSERT_EQ(r.witness_seed.size(), 3u);
+  // Re-run the witness on a specific family member.
+  Graph::Builder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  EXPECT_TRUE(fixed_priority_mis_succeeds(std::move(b).build(),
+                                          r.witness_seed, 2));
+}
+
+TEST(BruteForce, FixedPriorityBehaviour) {
+  // Path 0-1-2 with priorities 1,0,1: nodes 0 and 2 join in round one.
+  const Graph g = make_path(3);
+  EXPECT_TRUE(fixed_priority_mis_succeeds(g, {1, 0, 1}, 1));
+  // Equal priorities fall back to id order: 0 joins, 1 blocked, 2 needs a
+  // second iteration.
+  EXPECT_FALSE(fixed_priority_mis_succeeds(g, {0, 0, 0}, 1));
+  EXPECT_TRUE(fixed_priority_mis_succeeds(g, {0, 0, 0}, 2));
+}
+
+TEST(BruteForce, GuardsAgainstExplosion) {
+  BruteForceOptions options;
+  options.max_n = 5;
+  options.bits_per_id = 8;
+  EXPECT_THROW(brute_force_derandomize_mis(options), InvariantError);
+}
+
+// -------------------------------------------------------- Theorems 4.3/4.6
+
+TEST(Lie, PretendedNImprovesCompletion) {
+  const Graph g = make_cycle(64);
+  int failures_small = 0;
+  int failures_large = 0;
+  for (int t = 0; t < 30; ++t) {
+    {
+      NodeRandomness rnd(Regime::full(), 100 + static_cast<std::uint64_t>(
+                                                   t));
+      EnOptions options;
+      options.phases = 2;  // handicapped baseline
+      options.shift_cap = 8;
+      if (!elkin_neiman_decomposition(g, rnd, options).all_clustered) {
+        ++failures_small;
+      }
+    }
+    {
+      NodeRandomness rnd(Regime::full(), 100 + static_cast<std::uint64_t>(
+                                                   t));
+      if (!run_with_pretended_n(g, 1 << 20, rnd).all_clustered) {
+        ++failures_large;
+      }
+    }
+  }
+  EXPECT_EQ(failures_large, 0);
+  EXPECT_GE(failures_small, failures_large);
+}
+
+TEST(Lie, RequiresNAtLeastActual) {
+  const Graph g = make_cycle(16);
+  NodeRandomness rnd(Regime::full(), 1);
+  EXPECT_THROW(run_with_pretended_n(g, 8, rnd), InvariantError);
+}
+
+TEST(Lie, BoundCalculatorsMonotone) {
+  // Larger beta -> smaller required time exponent.
+  EXPECT_GT(lie_required_log2_time(1e6, 2.5, 0.5),
+            lie_required_log2_time(1e6, 3.5, 0.5));
+  // Larger n -> larger exponent.
+  EXPECT_LT(lie_required_log2_time(1e4, 3.0, 0.5),
+            lie_required_log2_time(1e8, 3.0, 0.5));
+  // Theorem 4.6: smaller eps -> much larger required log N.
+  EXPECT_GT(lie_required_log2_n(1e6, 0.3), lie_required_log2_n(1e6, 0.7));
+  EXPECT_THROW(lie_required_log2_time(1e6, 2.0, 0.5), InvariantError);
+}
+
+TEST(Lie, FailureBoundShrinksWithN) {
+  EXPECT_GT(en_failure_upper_bound(1024, 1024),
+            en_failure_upper_bound(1024, 1 << 20));
+  EXPECT_LE(en_failure_upper_bound(4, 1 << 30), 1e-60);
+}
+
+// ------------------------------------------------- conditional expectations
+
+TEST(CondExp, ZeroViolationsWhenEstimatorBelowOne) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const BipartiteGraph h =
+        make_random_splitting_instance(128, 128, 24, seed);
+    const CondExpSplittingResult r = conditional_expectation_splitting(h);
+    ASSERT_LT(r.initial_estimate, 1.0);
+    EXPECT_EQ(r.violations, 0) << seed;
+    EXPECT_DOUBLE_EQ(r.final_estimate, 0.0);
+  }
+}
+
+TEST(CondExp, EstimatorNeverIncreases) {
+  const BipartiteGraph h = make_window_splitting_instance(64, 64, 16);
+  const CondExpSplittingResult r = conditional_expectation_splitting(h);
+  EXPECT_LE(r.final_estimate, r.initial_estimate);
+  EXPECT_EQ(r.violations, static_cast<int>(r.final_estimate + 0.5));
+}
+
+TEST(CondExp, DegreeOneIsAlwaysViolated) {
+  // A constraint with a single neighbor can never see both colors; the
+  // estimator starts at 1 and the violation is unavoidable.
+  BipartiteGraph::Builder b(1, 1);
+  b.add_edge(0, 0);
+  const CondExpSplittingResult r =
+      conditional_expectation_splitting(std::move(b).build());
+  EXPECT_EQ(r.violations, 1);
+  EXPECT_DOUBLE_EQ(r.initial_estimate, 1.0);
+}
+
+// --------------------------------------------------------------- SLOCAL
+
+TEST(Slocal, GreedyMisLocalityOneAndValid) {
+  for (const auto& entry : testing::small_zoo()) {
+    const Graph& g = entry.graph;
+    std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      order[static_cast<std::size_t>(v)] = v;
+    }
+    const SlocalResult r = slocal_greedy_mis(g, order);
+    EXPECT_EQ(r.locality, 1) << entry.name;
+    std::vector<bool> in_mis(static_cast<std::size_t>(g.num_nodes()));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      in_mis[static_cast<std::size_t>(v)] =
+          r.state[static_cast<std::size_t>(v)] == 1;
+    }
+    EXPECT_TRUE(is_maximal_independent_set(g, in_mis)) << entry.name;
+  }
+}
+
+TEST(Slocal, GreedyColoringLocalityOneAndProper) {
+  const Graph g = make_gnp(64, 0.1, 9);
+  std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    order[static_cast<std::size_t>(v)] = v;
+  }
+  const SlocalResult r = slocal_greedy_coloring(g, order);
+  EXPECT_EQ(r.locality, 1);
+  std::vector<int> colors(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    colors[static_cast<std::size_t>(v)] =
+        static_cast<int>(r.state[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_TRUE(is_valid_coloring(g, colors, g.max_degree() + 1));
+}
+
+TEST(Slocal, ViewEnforcesLocalityContract) {
+  const Graph g = make_path(5);
+  std::vector<NodeId> order{0, 1, 2, 3, 4};
+  EXPECT_THROW(
+      run_slocal(g, order,
+                 [](const SlocalView& view) -> std::int64_t {
+                   // Reading distance-4 state while declaring radius 1.
+                   return view.state(
+                       view.center() == 0 ? 4 : 0, 1);
+                 }),
+      InvariantError);
+}
+
+TEST(Slocal, BallQueriesRecordLocality) {
+  const Graph g = make_path(9);
+  std::vector<NodeId> order{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  const SlocalResult r = run_slocal(
+      g, order, [](const SlocalView& view) -> std::int64_t {
+        return static_cast<std::int64_t>(view.ball(3).size());
+      });
+  EXPECT_EQ(r.locality, 3);
+  EXPECT_EQ(r.state[4], 7);  // ball of radius 3 around the middle of a path
+}
+
+TEST(Slocal, OrderDependence) {
+  // Greedy MIS depends on the processing order: on a path, processing the
+  // middle first yields a different MIS than left-to-right.
+  const Graph g = make_path(3);
+  const SlocalResult a = slocal_greedy_mis(g, {0, 1, 2});
+  const SlocalResult b = slocal_greedy_mis(g, {1, 0, 2});
+  EXPECT_EQ(a.state[0], 1);
+  EXPECT_EQ(b.state[1], 1);
+  EXPECT_NE(a.state, b.state);
+}
+
+}  // namespace
+}  // namespace rlocal

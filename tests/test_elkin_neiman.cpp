@@ -1,0 +1,163 @@
+// Elkin-Neiman decomposition: validity across the zoo and regimes,
+// parameter bounds, partial runs, engine cross-check, bit accounting.
+#include <gtest/gtest.h>
+
+#include "decomp/elkin_neiman.hpp"
+#include "graph/generators.hpp"
+#include "support/math.hpp"
+#include "test_util.hpp"
+
+namespace rlocal {
+namespace {
+
+class ZooElkinNeiman : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooElkinNeiman, ValidStrongDecompositionUnderRegimes) {
+  // Note: kwise(2) is deliberately absent -- pairwise independence can
+  // stall the construction (see PairwiseIndependenceMayStall below), which
+  // is exactly why Theorem 3.5 asks for poly(log n)-wise independence.
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  for (const Regime& regime :
+       {Regime::full(), Regime::kwise(64), Regime::shared_kwise(256)}) {
+    NodeRandomness rnd(regime, 5);
+    const EnResult r = elkin_neiman_decomposition(g, rnd);
+    ASSERT_TRUE(r.all_clustered) << regime.name();
+    const ValidationReport report =
+        validate_decomposition(g, r.decomposition);
+    ASSERT_TRUE(report.valid) << regime.name() << ": " << report.error;
+    EXPECT_TRUE(report.strong_diameter);
+    EXPECT_EQ(report.max_congestion, 1);
+    // Radius <= max shift per phase; diameter <= 2 * cap.
+    EXPECT_LE(report.max_tree_diameter, 2 * r.shift_cap);
+    EXPECT_LE(r.max_shift, r.shift_cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooElkinNeiman,
+    ::testing::Range(0, static_cast<int>(testing::small_zoo().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return rlocal::testing::zoo_name(info.param);
+    });
+
+TEST(ElkinNeiman, PairwiseIndependenceMayStall) {
+  // A negative control backing the paper's quantitative choice: with only
+  // pairwise-independent shifts, the construction can fail to cluster the
+  // path within its phase budget (correlated shifts keep margins <= 1).
+  // Whatever happens, the partial output must stay structurally sound.
+  const Graph g = make_path(48);
+  NodeRandomness rnd(Regime::kwise(2), 5);
+  const EnResult r = elkin_neiman_decomposition(g, rnd);
+  if (!r.all_clustered) {
+    EXPECT_FALSE(r.unclustered.empty());
+    EXPECT_EQ(unclustered_nodes(r.decomposition).size(),
+              r.unclustered.size());
+  }
+}
+
+TEST(ElkinNeiman, PhaseBudgetRespected) {
+  const Graph g = make_cycle(32);
+  NodeRandomness rnd(Regime::full(), 1);
+  EnOptions options;
+  options.phases = 1;
+  const EnResult r = elkin_neiman_decomposition(g, rnd, options);
+  EXPECT_EQ(r.phases_used, 1);
+  // A single phase typically leaves leftovers on a cycle.
+  if (!r.all_clustered) {
+    EXPECT_FALSE(r.unclustered.empty());
+    EXPECT_EQ(unclustered_nodes(r.decomposition).size(),
+              r.unclustered.size());
+  }
+}
+
+TEST(ElkinNeiman, BitsMatchDrawnShifts) {
+  const Graph g = make_grid(6, 6);
+  std::uint64_t drawn = 0;
+  auto drawer = [&drawn](NodeId, int, int cap) {
+    (void)cap;
+    drawn += 3;
+    return 3;  // deterministic shift of 3, "costing" 3 flips
+  };
+  const EnResult r = elkin_neiman_core(g, drawer, {});
+  EXPECT_EQ(r.shift_bits, drawn);
+  EXPECT_EQ(r.max_shift, 3);
+}
+
+TEST(ElkinNeiman, ConstantShiftsStallWithoutMargin) {
+  // All-equal shifts of 1 never give margin > 1 on a connected graph with
+  // >= 2 nodes at equal distance... on a path they tie; the run must stop
+  // at the phase budget without crashing and report leftovers.
+  const Graph g = make_path(8);
+  auto drawer = [](NodeId, int, int) { return 1; };
+  EnOptions options;
+  options.phases = 5;
+  const EnResult r = elkin_neiman_core(g, drawer, options);
+  EXPECT_FALSE(r.all_clustered);
+  EXPECT_EQ(r.phases_used, 5);
+}
+
+TEST(ElkinNeiman, SingletonAndTinyGraphs) {
+  for (const NodeId n : {1, 2, 3}) {
+    const Graph g = make_path(n);
+    NodeRandomness rnd(Regime::full(), 7);
+    const EnResult r = elkin_neiman_decomposition(g, rnd);
+    EXPECT_TRUE(r.all_clustered) << n;
+    EXPECT_TRUE(validate_decomposition(g, r.decomposition).valid) << n;
+  }
+}
+
+TEST(ElkinNeiman, EngineMatchesReferenceExactly) {
+  const Graph g = make_grid(5, 5);
+  NodeRandomness rnd_a(Regime::full(), 21);
+  NodeRandomness rnd_b(Regime::full(), 21);
+  EnOptions engine_options;
+  engine_options.use_engine = true;
+  const EnResult by_engine =
+      elkin_neiman_decomposition(g, rnd_a, engine_options);
+  const EnResult by_reference = elkin_neiman_decomposition(g, rnd_b, {});
+  EXPECT_EQ(by_engine.all_clustered, by_reference.all_clustered);
+  EXPECT_EQ(by_engine.decomposition.cluster_of,
+            by_reference.decomposition.cluster_of);
+  EXPECT_EQ(by_engine.phases_used, by_reference.phases_used);
+}
+
+TEST(ElkinNeiman, StreamBaseSeparatesRuns) {
+  const Graph g = make_cycle(24);
+  NodeRandomness rnd(Regime::full(), 3);
+  EnOptions first;
+  const EnResult a = elkin_neiman_decomposition(g, rnd, first);
+  EnOptions second;
+  second.stream_base = 1000;
+  const EnResult b = elkin_neiman_decomposition(g, rnd, second);
+  // Different streams: almost surely different clusterings.
+  EXPECT_NE(a.decomposition.cluster_of, b.decomposition.cluster_of);
+}
+
+TEST(ElkinNeiman, RoundsChargedScaleWithPhases) {
+  const Graph g = make_cycle(24);
+  NodeRandomness rnd(Regime::full(), 3);
+  const EnResult r = elkin_neiman_decomposition(g, rnd);
+  EXPECT_EQ(r.rounds_charged, r.phases_used * (r.shift_cap + 2));
+}
+
+TEST(ElkinNeiman, DisconnectedGraphsClusterPerComponent) {
+  const Graph a = make_path(10);
+  const Graph b = make_cycle(8);
+  const Graph g = make_disjoint_union({&a, &b});
+  NodeRandomness rnd(Regime::full(), 9);
+  const EnResult r = elkin_neiman_decomposition(g, rnd);
+  ASSERT_TRUE(r.all_clustered);
+  EXPECT_TRUE(validate_decomposition(g, r.decomposition).valid);
+}
+
+TEST(ElkinNeiman, ShiftCapValidation) {
+  const Graph g = make_path(4);
+  auto drawer = [](NodeId, int, int) { return 99; };  // over any small cap
+  EnOptions options;
+  options.shift_cap = 4;
+  EXPECT_THROW(elkin_neiman_core(g, drawer, options), InvariantError);
+}
+
+}  // namespace
+}  // namespace rlocal

@@ -1,0 +1,214 @@
+// Engine semantics: synchronous delivery, CONGEST bandwidth enforcement,
+// per-port send limits, halting; message-passing programs cross-checked
+// against centralized references.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/ledger.hpp"
+#include "sim/programs/bfs_tree.hpp"
+#include "sim/programs/flood.hpp"
+#include "test_util.hpp"
+
+namespace rlocal {
+namespace {
+
+/// Sends its id once, records the round each message arrives.
+class ProbeProgram final : public NodeProgram {
+ public:
+  explicit ProbeProgram(std::uint64_t id) : id_(id) {}
+  void on_start(Context& ctx) override {
+    ctx.broadcast(Message::single(id_, 32));
+  }
+  void on_round(Context& ctx) override {
+    for (const auto& in : ctx.inbox()) {
+      received_.emplace_back(ctx.round(), in.message.words[0]);
+    }
+    if (ctx.round() >= 2) done_ = true;
+  }
+  bool halted() const override { return done_; }
+  const std::vector<std::pair<int, std::uint64_t>>& received() const {
+    return received_;
+  }
+
+ private:
+  std::uint64_t id_;
+  bool done_ = false;
+  std::vector<std::pair<int, std::uint64_t>> received_;
+};
+
+TEST(Engine, MessagesArriveExactlyNextRound) {
+  const Graph g = make_path(3);
+  Engine engine(g, {});
+  engine.run([&](NodeId v) {
+    return std::make_unique<ProbeProgram>(g.id(v));
+  });
+  const auto& mid = static_cast<const ProbeProgram&>(*engine.programs()[1]);
+  ASSERT_EQ(mid.received().size(), 2u);
+  for (const auto& [round, id] : mid.received()) {
+    EXPECT_EQ(round, 1);  // sent in round 0, delivered in round 1
+    EXPECT_TRUE(id == 0 || id == 2);
+  }
+}
+
+TEST(Engine, StatsCountMessagesAndBits) {
+  const Graph g = make_cycle(4);
+  Engine engine(g, {});
+  const EngineStats stats = engine.run([&](NodeId v) {
+    return std::make_unique<ProbeProgram>(g.id(v));
+  });
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.messages, 8);  // each of 4 nodes broadcasts to 2
+  EXPECT_EQ(stats.total_bits, 8 * 32);
+  EXPECT_EQ(stats.max_message_bits, 32);
+}
+
+class OversizeProgram final : public NodeProgram {
+ public:
+  void on_start(Context& ctx) override {
+    Message m;
+    m.words = {1, 2, 3, 4};
+    m.bits = 100000;  // way over any CONGEST budget
+    ctx.broadcast(m);
+  }
+  void on_round(Context&) override { done_ = true; }
+  bool halted() const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+TEST(Engine, CongestBandwidthEnforced) {
+  const Graph g = make_path(2);
+  Engine congest(g, {});
+  EXPECT_THROW(congest.run([](NodeId) {
+    return std::make_unique<OversizeProgram>();
+  }),
+               CongestViolation);
+  EngineOptions local_options;
+  local_options.model = CommModel::kLocal;
+  Engine local(g, local_options);
+  EXPECT_NO_THROW(local.run(
+      [](NodeId) { return std::make_unique<OversizeProgram>(); }));
+}
+
+class DoubleSendProgram final : public NodeProgram {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.degree() > 0) {
+      ctx.send(0, Message::single(1, 8));
+      ctx.send(0, Message::single(2, 8));  // second send on the same port
+    }
+  }
+  void on_round(Context&) override { done_ = true; }
+  bool halted() const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+TEST(Engine, OneMessagePerPortPerRound) {
+  const Graph g = make_path(2);
+  Engine engine(g, {});
+  EXPECT_THROW(engine.run([](NodeId) {
+    return std::make_unique<DoubleSendProgram>();
+  }),
+               InvariantError);
+}
+
+class NeverHaltProgram final : public NodeProgram {
+ public:
+  void on_round(Context&) override {}
+  bool halted() const override { return false; }
+};
+
+TEST(Engine, MaxRoundsTerminates) {
+  const Graph g = make_path(2);
+  EngineOptions options;
+  options.max_rounds = 10;
+  Engine engine(g, options);
+  const EngineStats stats = engine.run(
+      [](NodeId) { return std::make_unique<NeverHaltProgram>(); });
+  EXPECT_FALSE(stats.completed);
+  EXPECT_EQ(stats.rounds, 10);
+}
+
+TEST(Engine, DefaultBandwidthScalesWithN) {
+  const Graph small = make_path(4);
+  const Graph large = make_path(4000);
+  EXPECT_LT(Engine(small, {}).bandwidth_bits(),
+            Engine(large, {}).bandwidth_bits());
+}
+
+TEST(FloodMin, ComputesMinWithinDepth) {
+  const Graph g = with_scrambled_ids(make_path(9), 3);
+  const FloodMinResult r = run_flood_min(g, 2);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::uint64_t expected = ~0ULL;
+    const auto dist = bfs_distances(g, v);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (dist[static_cast<std::size_t>(u)] <= 2) {
+        expected = std::min(expected, g.id(u));
+      }
+    }
+    EXPECT_EQ(r.min_id[static_cast<std::size_t>(v)], expected);
+  }
+}
+
+TEST(FloodMin, FullDepthElectsGlobalLeader) {
+  const Graph g = with_scrambled_ids(make_cycle(12), 4);
+  std::uint64_t global_min = ~0ULL;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    global_min = std::min(global_min, g.id(v));
+  }
+  const FloodMinResult r = run_flood_min(g, g.num_nodes());
+  for (const std::uint64_t m : r.min_id) EXPECT_EQ(m, global_min);
+}
+
+class ZooBfsTree : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooBfsTree, AgreesWithCentralizedVoronoi) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  const std::vector<NodeId> sources{0, g.num_nodes() / 3,
+                                    2 * g.num_nodes() / 3};
+  const BfsTreeResult engine_result = run_bfs_tree(g, sources, 0);
+  const VoronoiResult reference = voronoi_clusters(g, sources);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId ref_owner = reference.owner[static_cast<std::size_t>(v)];
+    if (ref_owner == -1) {
+      EXPECT_EQ(engine_result.owner_id[static_cast<std::size_t>(v)],
+                BfsTreeProgram::kNoOwner);
+    } else {
+      EXPECT_EQ(engine_result.owner_id[static_cast<std::size_t>(v)],
+                g.id(ref_owner));
+      EXPECT_EQ(engine_result.dist[static_cast<std::size_t>(v)],
+                reference.dist[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooBfsTree,
+    ::testing::Range(0, static_cast<int>(testing::small_zoo().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return rlocal::testing::zoo_name(info.param);
+    });
+
+TEST(RoundLedger, AccumulatesAndMerges) {
+  RoundLedger a;
+  a.charge("ruling_set", 10);
+  a.charge("flood", 5);
+  a.charge("ruling_set", 3);
+  EXPECT_EQ(a.total(), 18);
+  RoundLedger b;
+  b.charge("flood", 2);
+  b.merge(a);
+  EXPECT_EQ(b.total(), 20);
+  EXPECT_NE(b.breakdown().find("ruling_set=13"), std::string::npos);
+  EXPECT_THROW(a.charge("bad", -1), InvariantError);
+}
+
+}  // namespace
+}  // namespace rlocal

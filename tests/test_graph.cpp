@@ -1,0 +1,170 @@
+// Unit tests: CSR graph, builders, generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace rlocal {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Graph, BuilderDeduplicatesEdges) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, RejectsSelfLoops) {
+  Graph::Builder b(2);
+  EXPECT_THROW(b.add_edge(1, 1), InvariantError);
+}
+
+TEST(Graph, RejectsOutOfRangeEdges) {
+  Graph::Builder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), InvariantError);
+  EXPECT_THROW(b.add_edge(-1, 0), InvariantError);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  Graph::Builder b(5);
+  b.add_edge(2, 4);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_EQ(nbrs[1], 3);
+  EXPECT_EQ(nbrs[2], 4);
+}
+
+TEST(Graph, DuplicateIdsRejected) {
+  Graph::Builder b(2);
+  b.set_id(0, 7);
+  b.set_id(1, 7);
+  EXPECT_THROW(std::move(b).build(), InvariantError);
+}
+
+TEST(Generators, PathShape) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = make_cycle(6);
+  EXPECT_EQ(g.num_edges(), 6);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2);
+}
+
+TEST(Generators, CompleteShape) {
+  const Graph g = make_complete(5);
+  EXPECT_EQ(g.num_edges(), 10);
+  EXPECT_EQ(g.max_degree(), 4);
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_EQ(g.max_degree(), 4);
+}
+
+TEST(Generators, TorusIsFourRegular) {
+  const Graph g = make_torus(4, 5);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(Generators, BalancedTreeCounts) {
+  const Graph g = make_balanced_tree(2, 3);
+  EXPECT_EQ(g.num_nodes(), 15);
+  EXPECT_EQ(g.num_edges(), 14);
+}
+
+TEST(Generators, HypercubeShape) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(Generators, CaterpillarShape) {
+  const Graph g = make_caterpillar(4, 2);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.num_edges(), 3 + 8);
+}
+
+TEST(Generators, RingOfCliques) {
+  const Graph g = make_ring_of_cliques(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 6 + 3);
+}
+
+TEST(Generators, GnpIsDeterministicPerSeed) {
+  const Graph a = make_gnp(64, 0.1, 42);
+  const Graph b = make_gnp(64, 0.1, 42);
+  const Graph c = make_gnp(64, 0.1, 43);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  // Different seeds almost surely differ at this density.
+  EXPECT_NE(a.num_edges() * 1000 + a.degree(0), c.num_edges() * 1000 +
+                                                    c.degree(0));
+}
+
+TEST(Generators, GnpExtremes) {
+  EXPECT_EQ(make_gnp(16, 0.0, 1).num_edges(), 0);
+  EXPECT_EQ(make_gnp(16, 1.0, 1).num_edges(), 16 * 15 / 2);
+}
+
+TEST(Generators, RandomRegularDegrees) {
+  const Graph g = make_random_regular(32, 4, 9);
+  // Configuration model can fall back to near-regular; most nodes exact.
+  int exact = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(g.degree(v), 4);
+    if (g.degree(v) == 4) ++exact;
+  }
+  EXPECT_GE(exact, 28);
+}
+
+TEST(Generators, DisjointUnionKeepsStructure) {
+  const Graph a = make_path(3);
+  const Graph b = make_cycle(4);
+  const Graph u = make_disjoint_union({&a, &b});
+  EXPECT_EQ(u.num_nodes(), 7);
+  EXPECT_EQ(u.num_edges(), 2 + 4);
+}
+
+TEST(Generators, ScrambledIdsAreUniqueAndLarge) {
+  const Graph g = with_scrambled_ids(make_path(50), 5);
+  std::set<std::uint64_t> ids;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ids.insert(g.id(v));
+  EXPECT_EQ(ids.size(), 50u);
+  EXPECT_EQ(g.num_edges(), 49);
+}
+
+TEST(Generators, ZooCoversFamilies) {
+  const auto zoo = make_zoo(64, 1);
+  EXPECT_GE(zoo.size(), 10u);
+  for (const auto& entry : zoo) {
+    EXPECT_GE(entry.graph.num_nodes(), 16) << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace rlocal

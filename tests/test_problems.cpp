@@ -1,0 +1,195 @@
+// Problem modules: splitting, coloring, hypergraphs, conflict-free
+// multicoloring.
+#include <gtest/gtest.h>
+
+#include "problems/coloring.hpp"
+#include "problems/conflict_free.hpp"
+#include "problems/hypergraph.hpp"
+#include "problems/splitting.hpp"
+#include "support/math.hpp"
+#include "test_util.hpp"
+
+namespace rlocal {
+namespace {
+
+// ---------------------------------------------------------------- splitting
+
+TEST(Splitting, CheckerCountsExactly) {
+  BipartiteGraph::Builder b(2, 3);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(1, 1);
+  b.add_edge(1, 2);
+  const BipartiteGraph h = std::move(b).build();
+  EXPECT_EQ(count_splitting_violations(h, {true, false, true}), 0);
+  EXPECT_EQ(count_splitting_violations(h, {true, true, true}), 2);
+  EXPECT_EQ(count_splitting_violations(h, {true, true, false}), 1);
+}
+
+TEST(Splitting, GeneratorsRespectDegree) {
+  const BipartiteGraph random = make_random_splitting_instance(50, 80, 12,
+                                                               4);
+  EXPECT_EQ(random.min_left_degree(), 12);
+  EXPECT_EQ(random.num_edges(), 50 * 12);
+  const BipartiteGraph window = make_window_splitting_instance(40, 60, 10);
+  EXPECT_EQ(window.min_left_degree(), 10);
+}
+
+TEST(Splitting, RandomSplittingSucceedsAtHighDegree) {
+  const BipartiteGraph h = make_random_splitting_instance(200, 200, 30, 2);
+  NodeRandomness rnd(Regime::full(), 3);
+  const SplittingResult r = random_splitting(h, rnd);
+  EXPECT_EQ(r.violations, 0);
+  EXPECT_EQ(r.derived_bits, 200u);
+}
+
+TEST(Splitting, AdversarialZerosAlwaysMonochromatic) {
+  const BipartiteGraph h = make_random_splitting_instance(20, 20, 5, 2);
+  NodeRandomness rnd(Regime::all_zeros(), 1);
+  const SplittingResult r = random_splitting(h, rnd);
+  EXPECT_EQ(r.violations, 20);
+}
+
+TEST(Splitting, FailureBoundDecreasesWithDegree) {
+  const BipartiteGraph low = make_random_splitting_instance(50, 50, 4, 1);
+  const BipartiteGraph high = make_random_splitting_instance(50, 50, 16, 1);
+  EXPECT_GT(splitting_failure_upper_bound(low),
+            splitting_failure_upper_bound(high));
+}
+
+TEST(Splitting, EpsBiasSeedSolvesInstance) {
+  const BipartiteGraph h = make_random_splitting_instance(256, 256, 32, 9);
+  NodeRandomness rnd(Regime::shared_epsbias(32), 4);
+  EXPECT_EQ(random_splitting(h, rnd).violations, 0);
+}
+
+// ----------------------------------------------------------------- coloring
+
+class ZooColoring : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooColoring, RandomColoringProperUnderRegimes) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  for (const Regime& regime :
+       {Regime::full(), Regime::kwise(16), Regime::shared_kwise(512)}) {
+    NodeRandomness rnd(regime, 6);
+    const ColoringResult r = random_coloring(g, rnd);
+    ASSERT_TRUE(r.success) << regime.name();
+    EXPECT_TRUE(is_valid_coloring(g, r.color, g.max_degree() + 1))
+        << regime.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooColoring,
+    ::testing::Range(0, static_cast<int>(testing::small_zoo().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return rlocal::testing::zoo_name(info.param);
+    });
+
+TEST(Coloring, ValidatorRejectsBadColorings) {
+  const Graph g = make_path(3);
+  EXPECT_FALSE(is_valid_coloring(g, {0, 0, 1}, 2));   // conflict
+  EXPECT_FALSE(is_valid_coloring(g, {0, 1, 5}, 2));   // out of range
+  EXPECT_FALSE(is_valid_coloring(g, {0, -1, 0}, 2));  // uncolored
+  EXPECT_TRUE(is_valid_coloring(g, {0, 1, 0}, 2));
+}
+
+TEST(Coloring, BudgetExhaustionReported) {
+  const Graph g = make_complete(12);
+  NodeRandomness rnd(Regime::all_zeros(), 1);
+  // Constant randomness: everyone proposes the same free color; only the
+  // smallest id keeps it, so K12 needs 12 iterations. Budget 3 must fail.
+  const ColoringResult r = random_coloring(g, rnd, 3);
+  EXPECT_FALSE(r.success);
+}
+
+// --------------------------------------------------------------- hypergraph
+
+TEST(Hypergraph, CheckRejectsBadEdges) {
+  Hypergraph h;
+  h.num_vertices = 3;
+  h.edges = {{0, 5}};
+  EXPECT_THROW(h.check(), InvariantError);
+  h.edges = {{}};
+  EXPECT_THROW(h.check(), InvariantError);
+}
+
+TEST(Hypergraph, ClassedGeneratorShapes) {
+  const Hypergraph h = make_classed_hypergraph(100, 5, 5, 3);
+  h.check();
+  EXPECT_EQ(h.edges.size(), 25u);
+  for (const auto& edge : h.edges) {
+    EXPECT_GE(edge.size(), 1u);
+    EXPECT_LT(edge.size(), 32u);
+  }
+}
+
+TEST(ConflictFree, CheckerSemantics) {
+  Hypergraph h;
+  h.num_vertices = 3;
+  h.edges = {{0, 1, 2}};
+  CfMulticoloring good;
+  good.num_colors = 2;
+  good.colors_of = {{0}, {0}, {1}};  // color 1 held exactly once
+  EXPECT_TRUE(is_conflict_free(h, good));
+  CfMulticoloring bad;
+  bad.num_colors = 1;
+  bad.colors_of = {{0}, {0}, {0}};  // color 0 held three times
+  EXPECT_FALSE(is_conflict_free(h, bad));
+  CfMulticoloring empty;
+  empty.num_colors = 1;
+  empty.colors_of = {{}, {}, {}};
+  EXPECT_FALSE(is_conflict_free(h, empty));
+}
+
+TEST(ConflictFree, DeterministicBaseAlwaysValid) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const Hypergraph h = make_classed_hypergraph(80, 10, 4, seed);
+    const CfDeterministicResult r = cf_multicolor_deterministic(h);
+    EXPECT_TRUE(is_conflict_free(h, r.coloring)) << seed;
+    EXPECT_GT(r.coloring.num_colors, 0);
+  }
+}
+
+TEST(ConflictFree, SizeOneEdgesHandled) {
+  Hypergraph h;
+  h.num_vertices = 4;
+  h.edges = {{0}, {1}, {2, 3}};
+  const CfDeterministicResult r = cf_multicolor_deterministic(h);
+  EXPECT_TRUE(is_conflict_free(h, r.coloring));
+}
+
+TEST(ConflictFree, KwisePipelineValidWithMarking) {
+  const Hypergraph h = make_classed_hypergraph(200, 8, 7, 5);
+  NodeRandomness rnd(Regime::kwise(64), 8);
+  const CfKwiseResult r = cf_multicolor_kwise(h, rnd, /*small_threshold=*/8);
+  EXPECT_TRUE(r.valid);
+  EXPECT_GT(r.classes_marked, 0);
+  // Marked counts concentrate around 4 log n per edge.
+  if (r.min_marked >= 0) {
+    EXPECT_GT(r.max_marked, 0);
+  }
+}
+
+TEST(ConflictFree, ColorBudgetPolylog) {
+  const Hypergraph h = make_classed_hypergraph(300, 12, 8, 6);
+  const CfDeterministicResult r = cf_multicolor_deterministic(h);
+  // O(log m) colors per size class, log(max size) classes.
+  const int bound = 64 * log2n(static_cast<std::uint64_t>(h.edges.size())) *
+                    log2n(h.max_edge_size());
+  EXPECT_LE(r.coloring.num_colors, bound);
+}
+
+TEST(ConflictFree, DisjointPalettesPerClass) {
+  // Vertices shared by a small and a large edge: the large class's color
+  // must not be double-held within the small edge (the soundness argument
+  // of the per-class palettes).
+  const Hypergraph h = make_classed_hypergraph(150, 10, 7, 9);
+  NodeRandomness rnd(Regime::full(), 10);
+  const CfKwiseResult r = cf_multicolor_kwise(h, rnd, 8);
+  EXPECT_TRUE(r.valid);  // is_conflict_free already checks exactly this
+}
+
+}  // namespace
+}  // namespace rlocal

@@ -1,0 +1,381 @@
+// Tests for the randomness substrate: GF(2^m) field axioms, exact k-wise
+// independence (exhaustively verified on small fields), epsilon-bias
+// measurement over the full seed space, bit sources, and the regime facade.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <map>
+
+#include "rnd/bitsource.hpp"
+#include "rnd/epsbias.hpp"
+#include "rnd/gf2.hpp"
+#include "rnd/kwise.hpp"
+#include "rnd/regime.hpp"
+
+namespace rlocal {
+namespace {
+
+// ---------------------------------------------------------------- GF(2^m)
+
+TEST(GF2m, KnownIrreducibles) {
+  // x^2+x+1, x^3+x+1, x^8+x^4+x^3+x+1 (AES).
+  EXPECT_TRUE(is_irreducible(2, 0b11));
+  EXPECT_TRUE(is_irreducible(3, 0b011));
+  EXPECT_TRUE(is_irreducible(8, 0x1B));
+  // x^2+1 = (x+1)^2 and x^4+x^2+1 = (x^2+x+1)^2 are reducible.
+  EXPECT_FALSE(is_irreducible(2, 0b01));
+  EXPECT_FALSE(is_irreducible(4, 0b0101));
+}
+
+TEST(GF2m, SmallestIrreducibleIsIrreducible) {
+  for (const int m : {2, 3, 4, 5, 8, 13, 16, 24, 32, 48, 61, 64}) {
+    EXPECT_TRUE(is_irreducible(m, smallest_irreducible_low(m))) << m;
+  }
+}
+
+TEST(GF2m, FieldAxiomsExhaustiveGF16) {
+  const GF2m f(4);
+  const std::uint64_t q = 16;
+  for (std::uint64_t a = 0; a < q; ++a) {
+    for (std::uint64_t b = 0; b < q; ++b) {
+      EXPECT_EQ(f.mul(a, b), f.mul(b, a));  // commutative
+      for (std::uint64_t c = 0; c < q; ++c) {
+        EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+      }
+    }
+    EXPECT_EQ(f.mul(a, 1), a);  // identity
+    EXPECT_EQ(f.mul(a, 0), 0u);
+  }
+}
+
+TEST(GF2m, MultiplicativeInversesExistGF16) {
+  const GF2m f(4);
+  for (std::uint64_t a = 1; a < 16; ++a) {
+    // a^(q-2) is the inverse in GF(q).
+    const std::uint64_t inv = f.pow(a, 14);
+    EXPECT_EQ(f.mul(a, inv), 1u) << a;
+  }
+}
+
+TEST(GF2m, PowMatchesRepeatedMul) {
+  const GF2m f(8);
+  std::uint64_t acc = 1;
+  for (int e = 0; e < 20; ++e) {
+    EXPECT_EQ(f.pow(3, static_cast<std::uint64_t>(e)), acc);
+    acc = f.mul(acc, 3);
+  }
+}
+
+TEST(GF2m, XPowPow2) {
+  const GF2m f(8);
+  // x^(2^3) = x^8 computed directly.
+  EXPECT_EQ(f.x_pow_pow2(3), f.pow(2, 8));
+}
+
+TEST(GF2m, MulxAgreesWithMul) {
+  const GF2m f(16);
+  for (std::uint64_t a : {1ULL, 0x8000ULL, 0x1234ULL, 0xFFFFULL}) {
+    EXPECT_EQ(f.mulx(a), f.mul(a, 2));
+  }
+}
+
+TEST(GF2m, RejectsBadParameters) {
+  EXPECT_THROW(GF2m(1), InvariantError);
+  EXPECT_THROW(GF2m(65), InvariantError);
+  EXPECT_THROW(GF2m(4, 0b0110), InvariantError);  // even constant term
+}
+
+// ------------------------------------------------------------------ k-wise
+
+// Exhaustive exact pairwise-independence check: over ALL degree-1
+// polynomials on GF(2^m) (the k=2 family), the joint distribution of
+// (value(p1), value(p2)) for distinct points must be uniform on q^2 pairs.
+TEST(KWise, ExactPairwiseIndependenceGF8) {
+  const int m = 3;
+  const std::uint64_t q = 8;
+  const GF2m field(m);
+  for (const auto& [p1, p2] :
+       {std::pair<std::uint64_t, std::uint64_t>{0, 1},
+        std::pair<std::uint64_t, std::uint64_t>{2, 5},
+        std::pair<std::uint64_t, std::uint64_t>{6, 7}}) {
+    std::map<std::pair<std::uint64_t, std::uint64_t>, int> counts;
+    for (std::uint64_t a0 = 0; a0 < q; ++a0) {
+      for (std::uint64_t a1 = 0; a1 < q; ++a1) {
+        const std::uint64_t v1 = field.add(field.mul(a1, p1), a0);
+        const std::uint64_t v2 = field.add(field.mul(a1, p2), a0);
+        ++counts[{v1, v2}];
+      }
+    }
+    EXPECT_EQ(counts.size(), q * q);
+    for (const auto& [pair, count] : counts) {
+      (void)pair;
+      EXPECT_EQ(count, 1);  // exactly uniform
+    }
+  }
+}
+
+// The library generator realizes the same family: sweep all seeds of a tiny
+// field and check three-point triples under k=3 are exactly uniform.
+TEST(KWise, ExactTriplewiseIndependenceGF4) {
+  const int m = 2;
+  const std::uint64_t q = 4;
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>, int>
+      counts;
+  // Enumerate all q^3 coefficient vectors via a deterministic bit source.
+  for (std::uint64_t a0 = 0; a0 < q; ++a0) {
+    for (std::uint64_t a1 = 0; a1 < q; ++a1) {
+      for (std::uint64_t a2 = 0; a2 < q; ++a2) {
+        std::vector<bool> bits;
+        for (const std::uint64_t coeff : {a0, a1, a2}) {
+          bits.push_back(coeff & 1);
+          bits.push_back((coeff >> 1) & 1);
+        }
+        FixedBitSource source(bits);
+        const KWiseGenerator gen(3, m, source);
+        ++counts[{gen.value(0), gen.value(1), gen.value(2)}];
+      }
+    }
+  }
+  EXPECT_EQ(counts.size(), q * q * q);
+  for (const auto& [t, count] : counts) {
+    (void)t;
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(KWise, DeterministicPerSeed) {
+  const KWiseGenerator a = KWiseGenerator::from_seed(8, 64, 42);
+  const KWiseGenerator b = KWiseGenerator::from_seed(8, 64, 42);
+  const KWiseGenerator c = KWiseGenerator::from_seed(8, 64, 43);
+  EXPECT_EQ(a.value(123), b.value(123));
+  EXPECT_NE(a.value(123), c.value(123));  // astronomically unlikely to tie
+}
+
+TEST(KWise, SeedBitsAccounting) {
+  PrngBitSource source(1);
+  const KWiseGenerator gen(5, 32, source);
+  EXPECT_EQ(gen.seed_bits(), 5u * 32u);
+  EXPECT_EQ(source.bits_consumed(), 5u * 32u);
+}
+
+TEST(KWise, BernoulliFrequency) {
+  const KWiseGenerator gen = KWiseGenerator::from_seed(64, 64, 7);
+  int hits = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    if (gen.bernoulli(static_cast<std::uint64_t>(i), 0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.04);
+}
+
+TEST(KWise, RejectsOutOfFieldPoint) {
+  const KWiseGenerator gen = KWiseGenerator::from_seed(2, 8, 1);
+  EXPECT_THROW(gen.value(256), InvariantError);
+}
+
+// --------------------------------------------------------------- eps-bias
+
+// Measure the worst parity bias over every nonempty subset of the first 6
+// output bits, averaged over the entire seed space of a small generator.
+TEST(EpsBias, MeasuredBiasWithinBound) {
+  const int s = 10;
+  const int num_bits = 6;
+  const int num_seeds = 256;
+  std::vector<double> parity_sum(1 << num_bits, 0.0);
+  for (int seed = 0; seed < num_seeds; ++seed) {
+    const EpsBiasGenerator gen =
+        EpsBiasGenerator::from_seed(s, static_cast<std::uint64_t>(seed));
+    std::uint64_t word = 0;
+    for (int j = 0; j < num_bits; ++j) {
+      if (gen.bit(static_cast<std::uint64_t>(j))) word |= 1ULL << j;
+    }
+    for (int mask = 1; mask < (1 << num_bits); ++mask) {
+      parity_sum[static_cast<std::size_t>(mask)] +=
+          (std::popcount(word & static_cast<std::uint64_t>(mask)) % 2 == 0)
+              ? 1.0
+              : 0.0;
+    }
+  }
+  // Sampled seeds: allow sampling noise on top of the structural bias.
+  for (int mask = 1; mask < (1 << num_bits); ++mask) {
+    const double bias = std::abs(
+        parity_sum[static_cast<std::size_t>(mask)] / num_seeds - 0.5);
+    EXPECT_LT(bias, 0.12) << "mask " << mask;
+  }
+}
+
+TEST(EpsBias, BiasBoundFormula) {
+  const EpsBiasGenerator gen = EpsBiasGenerator::from_seed(20, 1);
+  EXPECT_DOUBLE_EQ(gen.bias_bound(1), 0.0);
+  EXPECT_NEAR(gen.bias_bound(1 << 10), (1024.0 - 1) / (1 << 20), 1e-12);
+}
+
+TEST(EpsBias, DeterministicPerSeed) {
+  const EpsBiasGenerator a = EpsBiasGenerator::from_seed(16, 5);
+  const EpsBiasGenerator b = EpsBiasGenerator::from_seed(16, 5);
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(a.bit(i), b.bit(i));
+}
+
+TEST(EpsBias, NotConstant) {
+  const EpsBiasGenerator gen = EpsBiasGenerator::from_seed(16, 9);
+  int ones = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) ones += gen.bit(i) ? 1 : 0;
+  EXPECT_GT(ones, 64);
+  EXPECT_LT(ones, 192);
+}
+
+// ------------------------------------------------------------- bit sources
+
+TEST(BitSource, CountsConsumption) {
+  PrngBitSource source(3);
+  source.next_bits(10);
+  source.next_bit();
+  EXPECT_EQ(source.bits_consumed(), 11u);
+}
+
+TEST(BitSource, FixedSourceExhausts) {
+  FixedBitSource source({true, false, true});
+  EXPECT_TRUE(source.next_bit());
+  EXPECT_FALSE(source.next_bit());
+  EXPECT_EQ(source.remaining(), 1u);
+  EXPECT_TRUE(source.next_bit());
+  EXPECT_THROW(source.next_bit(), BitsExhausted);
+}
+
+TEST(BitSource, GeometricDistributionShape) {
+  PrngBitSource source(11);
+  std::map<int, int> histogram;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) ++histogram[source.geometric(30)];
+  // Pr[X=1] = 1/2, Pr[X=2] = 1/4.
+  EXPECT_NEAR(static_cast<double>(histogram[1]) / trials, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(histogram[2]) / trials, 0.25, 0.02);
+}
+
+TEST(BitSource, GeometricRespectsCap) {
+  ConstantBitSource heads(true);  // never a tail
+  EXPECT_EQ(heads.geometric(7), 7);
+  ConstantBitSource tails(false);
+  EXPECT_EQ(tails.geometric(7), 1);
+}
+
+TEST(BitSource, NextBitsLittleEndian) {
+  FixedBitSource source({true, false, false, true});
+  EXPECT_EQ(source.next_bits(4), 0b1001u);
+}
+
+// ------------------------------------------------------------ regime facade
+
+TEST(Regime, Names) {
+  EXPECT_EQ(Regime::full().name(), "full");
+  EXPECT_EQ(Regime::kwise(5).name(), "kwise(5)");
+  EXPECT_EQ(Regime::shared_kwise(256).name(), "shared_kwise(256b)");
+  EXPECT_EQ(Regime::shared_epsbias(20).name(), "shared_epsbias(20b)");
+}
+
+TEST(NodeRandomness, DeterministicPerSeed) {
+  NodeRandomness a(Regime::full(), 9);
+  NodeRandomness b(Regime::full(), 9);
+  for (std::uint64_t node = 0; node < 8; ++node) {
+    EXPECT_EQ(a.chunk(node, 3), b.chunk(node, 3));
+  }
+}
+
+TEST(NodeRandomness, RegimesDisagree) {
+  NodeRandomness full(Regime::full(), 9);
+  NodeRandomness kwise(Regime::kwise(4), 9);
+  int differences = 0;
+  for (std::uint64_t node = 0; node < 32; ++node) {
+    if (full.chunk(node, 0) != kwise.chunk(node, 0)) ++differences;
+  }
+  EXPECT_GT(differences, 16);
+}
+
+TEST(NodeRandomness, SharedSeedBitsReported) {
+  NodeRandomness shared(Regime::shared_kwise(256), 1);
+  EXPECT_EQ(shared.shared_seed_bits(), 256u);
+  NodeRandomness eps(Regime::shared_epsbias(32), 1);
+  EXPECT_EQ(eps.shared_seed_bits(), 32u);
+  NodeRandomness full(Regime::full(), 1);
+  EXPECT_EQ(full.shared_seed_bits(), 0u);
+}
+
+TEST(NodeRandomness, SharedKWiseRequiresMinimumBits) {
+  EXPECT_THROW(NodeRandomness(Regime::shared_kwise(64), 1), InvariantError);
+}
+
+TEST(NodeRandomness, DerivedBitsLedger) {
+  NodeRandomness rnd(Regime::full(), 2);
+  rnd.chunk(0, 0);
+  rnd.bit(0, 1);
+  EXPECT_EQ(rnd.derived_bits(), 65u);
+}
+
+TEST(NodeRandomness, GeometricMeanNearTwo) {
+  NodeRandomness rnd(Regime::full(), 5);
+  double sum = 0;
+  const int trials = 8000;
+  for (int i = 0; i < trials; ++i) {
+    sum += rnd.geometric(static_cast<std::uint64_t>(i % 1024),
+                         static_cast<std::uint64_t>(i / 1024), 40);
+  }
+  EXPECT_NEAR(sum / trials, 2.0, 0.1);
+}
+
+TEST(NodeRandomness, BernoulliExtremes) {
+  NodeRandomness rnd(Regime::full(), 5);
+  EXPECT_TRUE(rnd.bernoulli(1, 1, 1.0));
+  EXPECT_FALSE(rnd.bernoulli(1, 1, 0.0));
+}
+
+TEST(NodeRandomness, AdversarialConstants) {
+  NodeRandomness zeros(Regime::all_zeros(), 1);
+  EXPECT_EQ(zeros.chunk(5, 5), 0u);
+  EXPECT_EQ(zeros.geometric(1, 1, 9), 1);  // first flip is a tail
+  NodeRandomness ones(Regime::all_ones(), 1);
+  EXPECT_EQ(ones.chunk(5, 5), ~0ULL);
+  EXPECT_EQ(ones.geometric(1, 1, 9), 9);  // all heads -> cap
+}
+
+TEST(NodeRandomness, PackingRangeEnforced) {
+  NodeRandomness rnd(Regime::full(), 1);
+  EXPECT_THROW(rnd.chunk(NodeRandomness::kMaxNode, 0), InvariantError);
+  EXPECT_THROW(rnd.chunk(0, NodeRandomness::kMaxStream), InvariantError);
+  EXPECT_THROW(rnd.bit(0, 0, NodeRandomness::kMaxBitsPerDraw),
+               InvariantError);
+}
+
+TEST(NodeRandomness, EpsBiasRegimeBitsWork) {
+  NodeRandomness rnd(Regime::shared_epsbias(32), 3);
+  int ones = 0;
+  for (std::uint64_t node = 0; node < 256; ++node) {
+    if (rnd.bit(node, 0)) ++ones;
+  }
+  EXPECT_GT(ones, 64);
+  EXPECT_LT(ones, 192);
+}
+
+TEST(KWiseHelpers, PackDrawInjective) {
+  EXPECT_NE(pack_draw(1, 0, 0), pack_draw(0, 1, 0));
+  EXPECT_NE(pack_draw(1, 2, 3), pack_draw(1, 2, 4));
+  EXPECT_NE(pack_draw(1, 2, 3), pack_draw(1, 3, 3));
+}
+
+TEST(KWiseHelpers, GeometricAtCapsAndDistributes) {
+  const KWiseGenerator gen = KWiseGenerator::from_seed(32, 64, 11);
+  double sum = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    const int x = kwise_geometric_at(gen, static_cast<std::uint64_t>(i), 0,
+                                     40);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 40);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / trials, 2.0, 0.15);
+}
+
+}  // namespace
+}  // namespace rlocal

@@ -1,0 +1,149 @@
+// Unit tests for the support layer: math, stats, table, cli, assertions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/cli.hpp"
+#include "support/math.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace rlocal {
+namespace {
+
+TEST(Math, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+  EXPECT_THROW(ceil_log2(0), InvariantError);
+}
+
+TEST(Math, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+}
+
+TEST(Math, Ipow) {
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(3, 4), 81u);
+  EXPECT_EQ(ipow(7, 0), 1u);
+}
+
+TEST(Math, Log2nGuards) {
+  EXPECT_EQ(log2n(0), 1);
+  EXPECT_EQ(log2n(1), 1);
+  EXPECT_EQ(log2n(2), 1);
+  EXPECT_EQ(log2n(1000), 10);
+}
+
+TEST(Stats, SummaryBasics) {
+  Summary s;
+  for (const double v : {3.0, 1.0, 2.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.29, 0.01);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 4.0);
+}
+
+TEST(Stats, SummaryEmptyThrows) {
+  Summary s;
+  EXPECT_THROW(s.mean(), InvariantError);
+}
+
+TEST(Stats, WilsonIntervalSanity) {
+  const WilsonInterval w = wilson_interval(50, 100);
+  EXPECT_LT(w.low, 0.5);
+  EXPECT_GT(w.high, 0.5);
+  EXPECT_GT(w.low, 0.35);
+  EXPECT_LT(w.high, 0.65);
+  const WilsonInterval zero = wilson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(zero.low, 0.0);
+  EXPECT_LT(zero.high, 0.1);
+}
+
+TEST(Stats, WilsonRejectsBadInput) {
+  EXPECT_THROW(wilson_interval(5, 0), InvariantError);
+  EXPECT_THROW(wilson_interval(5, 4), InvariantError);
+}
+
+TEST(Stats, ZeroFailureBound) {
+  EXPECT_DOUBLE_EQ(zero_failure_upper_bound(100), 0.03);
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"a", "long header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("long header"), std::string::npos);
+  EXPECT_NE(text.find("333"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvariantError);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(42), "42");
+  EXPECT_EQ(fmt_sci(0.00012), "1.2e-04");
+}
+
+TEST(Cli, ParsesAllForms) {
+  const char* argv[] = {"prog", "--n=100", "--name", "foo", "--quick"};
+  const CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("n", 0), 100);
+  EXPECT_EQ(args.get_string("name", ""), "foo");
+  EXPECT_TRUE(args.quick());
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Cli, DoubleValues) {
+  const char* argv[] = {"prog", "--p=0.25"};
+  const CliArgs args(2, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.25);
+}
+
+TEST(Assertions, CheckThrowsInvariant) {
+  EXPECT_THROW(RLOCAL_CHECK(false, "boom"), InvariantError);
+  EXPECT_NO_THROW(RLOCAL_CHECK(true, "fine"));
+}
+
+TEST(Assertions, AssertThrowsInternal) {
+  EXPECT_THROW(RLOCAL_ASSERT(false), InternalError);
+}
+
+TEST(Assertions, MessagesCarryContext) {
+  try {
+    RLOCAL_CHECK(1 == 2, "context message");
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rlocal

@@ -1,0 +1,163 @@
+// End-to-end tests for the theorem pipelines: Theorems 3.1, 3.5, 3.6, 3.7
+// and 4.2, on the zoo, with validity + parameter assertions.
+#include <gtest/gtest.h>
+
+#include "core/theorems.hpp"
+#include "decomp/one_bit.hpp"
+#include "decomp/shared_congest.hpp"
+#include "derand/shattering.hpp"
+#include "graph/generators.hpp"
+#include "support/math.hpp"
+#include "test_util.hpp"
+
+namespace rlocal {
+namespace {
+
+class ZooTheorems : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooTheorems, Theorem31DenseBeacons) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  const int h = 2;
+  const BeaconPlacement placement = place_beacons_random(g, h, 1.0, 7);
+  PrngBitSource bits(13);
+  OneBitOptions options;
+  options.h_prime = 21;  // deep pools at this scale
+  const OneBitResult r =
+      one_bit_decomposition(g, placement, bits, options);
+  ASSERT_TRUE(r.all_clustered);
+  EXPECT_EQ(r.exhausted_draws, 0);
+  const ValidationReport report = validate_decomposition(g,
+                                                         r.decomposition);
+  ASSERT_TRUE(report.valid) << report.error;
+  EXPECT_EQ(report.max_congestion, 1);
+  EXPECT_TRUE(r.success);
+}
+
+TEST_P(ZooTheorems, Theorem35KwiseDecomposition) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  const EnResult r = theorems::theorem_3_5(g, 3);
+  ASSERT_TRUE(r.all_clustered);
+  const ValidationReport report = validate_decomposition(g,
+                                                         r.decomposition);
+  EXPECT_TRUE(report.valid) << report.error;
+}
+
+TEST_P(ZooTheorems, Theorem36SharedRandomness) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  const SharedCongestResult r = theorems::theorem_3_6(g, 5);
+  ASSERT_TRUE(r.all_clustered);
+  const ValidationReport report = validate_decomposition(g,
+                                                         r.decomposition);
+  ASSERT_TRUE(report.valid) << report.error;
+  EXPECT_TRUE(report.strong_diameter);
+  EXPECT_EQ(report.max_congestion, 1);
+  const int logn = ceil_log2(static_cast<std::uint64_t>(g.num_nodes()));
+  // Diameter O(log^2 n) with the bench constant c=2 (radius <= 2 * cap).
+  EXPECT_LE(report.max_tree_diameter, 8 * logn * logn + 8 * logn);
+}
+
+TEST_P(ZooTheorems, Theorem37StrongDiameterFromBeacons) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  const int h = 2;
+  const BeaconPlacement placement = place_beacons_random(g, h, 1.0, 9);
+  PrngBitSource bits(17);
+  OneBitOptions options;
+  options.h_prime = 21;
+  const OneBitResult r =
+      one_bit_strong_decomposition(g, placement, bits, options);
+  ASSERT_TRUE(r.all_clustered);
+  const ValidationReport report = validate_decomposition(g,
+                                                         r.decomposition);
+  ASSERT_TRUE(report.valid) << report.error;
+  EXPECT_TRUE(report.strong_diameter);
+}
+
+TEST_P(ZooTheorems, Theorem42BoostedNeverFails) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  for (const int base_phases : {1, 3}) {
+    NodeRandomness rnd(Regime::full(), 23 + base_phases);
+    ShatteringOptions options;
+    options.base_phases = base_phases;
+    options.en.shift_cap = 5;
+    const ShatteringResult r = boosted_decomposition(g, rnd, options);
+    ASSERT_TRUE(r.success) << base_phases;
+    const ValidationReport report =
+        validate_decomposition(g, r.decomposition);
+    ASSERT_TRUE(report.valid) << report.error;
+    EXPECT_EQ(report.max_congestion, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooTheorems,
+    ::testing::Range(0, static_cast<int>(testing::small_zoo().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return rlocal::testing::zoo_name(info.param);
+    });
+
+TEST(Theorem31, DryPoolsAreReportedNotHidden) {
+  // A barely-provisioned path: tiny pools must be reported as exhausted
+  // draws and the run marked unsuccessful rather than silently passing.
+  const Graph g = make_path(200);
+  const BeaconPlacement placement = place_beacons_sparse(g, 2);
+  PrngBitSource bits(1);
+  OneBitOptions options;
+  options.h_prime = 9;
+  const OneBitResult r = one_bit_decomposition(g, placement, bits, options);
+  if (!r.success) {
+    EXPECT_TRUE(r.exhausted_draws > 0 || !r.all_clustered);
+  }
+}
+
+TEST(Theorem36, ReachStatisticStaysLogarithmic) {
+  const Graph g = make_gnp(128, 4.0 / 128, 3);
+  NodeRandomness rnd(Regime::shared_kwise(64 * 98), 7);
+  SharedCongestOptions options;
+  options.collect_reach_stats = true;
+  const SharedCongestResult r =
+      shared_randomness_decomposition(g, rnd, options);
+  ASSERT_TRUE(r.all_clustered);
+  // Paper: O(log n) centers reach any node per epoch, w.h.p.
+  EXPECT_LE(r.max_centers_reaching,
+            8 * ceil_log2(static_cast<std::uint64_t>(g.num_nodes())));
+}
+
+TEST(Theorem42, CompleteBaseSkipsStageTwo) {
+  const Graph g = make_grid(7, 7);
+  NodeRandomness rnd(Regime::full(), 2);
+  const ShatteringResult r = boosted_decomposition(g, rnd, {});
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.base_complete);  // default phases cluster everything w.h.p.
+  EXPECT_EQ(r.leftover_nodes, 0);
+}
+
+TEST(Theorem42, SeparatedSetBoundedByLeftover) {
+  const Graph g = make_cycle(96);
+  NodeRandomness rnd(Regime::full(), 11);
+  ShatteringOptions options;
+  options.base_phases = 1;
+  options.en.shift_cap = 4;
+  const ShatteringResult r = boosted_decomposition(g, rnd, options);
+  EXPECT_LE(r.separated_set_size, r.leftover_nodes);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(TheoremsApi, Lemma34SplitsWithFewSharedBits) {
+  const BipartiteGraph h = make_random_splitting_instance(256, 256, 32, 3);
+  const SplittingResult r = theorems::lemma_3_4(h, 5);
+  EXPECT_EQ(r.violations, 0);
+}
+
+TEST(TheoremsApi, Theorem31WrapperRuns) {
+  const Graph g = make_grid(8, 8);
+  const OneBitResult r = theorems::theorem_3_1(g, 2, 7, 0, 21);
+  EXPECT_TRUE(r.all_clustered);
+}
+
+}  // namespace
+}  // namespace rlocal

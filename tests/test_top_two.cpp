@@ -1,0 +1,170 @@
+// Top-two measure propagation: engine program vs centralized reference vs
+// brute force (per-origin BFS), across the zoo with random start values.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/programs/top_two.hpp"
+#include "test_util.hpp"
+
+namespace rlocal {
+namespace {
+
+/// Brute-force top-two: per-origin BFS computes every measure exactly.
+TopTwoResult brute_force_top_two(const Graph& g,
+                                 const std::vector<std::int32_t>& start,
+                                 const std::vector<bool>& participates) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  TopTwoResult result;
+  result.best.resize(n);
+  result.second.resize(n);
+  // Distances within the participating subgraph.
+  std::vector<NodeId> keep;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (participates[static_cast<std::size_t>(v)]) keep.push_back(v);
+  }
+  const InducedSubgraph sub = induced_subgraph(g, keep);
+  std::vector<NodeId> local_of(n, -1);
+  for (std::size_t i = 0; i < sub.origin.size(); ++i) {
+    local_of[static_cast<std::size_t>(sub.origin[i])] =
+        static_cast<NodeId>(i);
+  }
+  for (NodeId origin = 0; origin < g.num_nodes(); ++origin) {
+    if (!participates[static_cast<std::size_t>(origin)] ||
+        start[static_cast<std::size_t>(origin)] < 0) {
+      continue;
+    }
+    const auto dist =
+        bfs_distances(sub.graph, local_of[static_cast<std::size_t>(origin)]);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const NodeId lv = local_of[static_cast<std::size_t>(v)];
+      if (lv == -1 || dist[static_cast<std::size_t>(lv)] == kUnreachable) {
+        continue;
+      }
+      const std::int32_t measure =
+          start[static_cast<std::size_t>(origin)] -
+          dist[static_cast<std::size_t>(lv)];
+      if (measure < 0) continue;
+      const MeasureEntry entry{g.id(origin), measure};
+      auto& best = result.best[static_cast<std::size_t>(v)];
+      auto& second = result.second[static_cast<std::size_t>(v)];
+      if (entry.beats(best)) {
+        second = best;
+        best = entry;
+      } else if (entry.beats(second)) {
+        second = entry;
+      }
+    }
+  }
+  return result;
+}
+
+class ZooTopTwo : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooTopTwo, ReferenceMatchesBruteForce) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  std::mt19937_64 rng(99);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<std::int32_t> start(n, -1);
+    std::vector<bool> participates(n, true);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (rng() % 3 == 0) {
+        start[static_cast<std::size_t>(v)] =
+            static_cast<std::int32_t>(rng() % 9);
+      }
+      participates[static_cast<std::size_t>(v)] = rng() % 4 != 0;
+    }
+    const TopTwoResult expected = brute_force_top_two(g, start,
+                                                      participates);
+    const TopTwoResult actual = reference_top_two(g, start, participates);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!participates[static_cast<std::size_t>(v)]) continue;
+      const auto i = static_cast<std::size_t>(v);
+      EXPECT_EQ(actual.best[i].value, expected.best[i].value) << v;
+      if (expected.best[i].present()) {
+        EXPECT_EQ(actual.best[i].origin_id, expected.best[i].origin_id) << v;
+      }
+      EXPECT_EQ(actual.second[i].value, expected.second[i].value) << v;
+    }
+  }
+}
+
+TEST_P(ZooTopTwo, EngineMatchesReference) {
+  const Graph& g = testing::small_zoo()[static_cast<std::size_t>(
+                                            GetParam())].graph;
+  std::mt19937_64 rng(7);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::int32_t> start(n, -1);
+  std::vector<bool> participates(n, true);
+  std::int32_t max_start = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (rng() % 2 == 0) {
+      start[static_cast<std::size_t>(v)] =
+          static_cast<std::int32_t>(rng() % 7);
+      max_start = std::max(max_start, start[static_cast<std::size_t>(v)]);
+    }
+  }
+  const TopTwoResult expected = reference_top_two(g, start, participates);
+  const TopTwoResult actual = run_top_two(g, start, participates,
+                                          max_start + 1);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    EXPECT_EQ(actual.best[i].value, expected.best[i].value) << v;
+    EXPECT_EQ(actual.second[i].value, expected.second[i].value) << v;
+    if (expected.best[i].present()) {
+      EXPECT_EQ(actual.best[i].origin_id, expected.best[i].origin_id) << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooTopTwo,
+    ::testing::Range(0, static_cast<int>(testing::small_zoo().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return rlocal::testing::zoo_name(info.param);
+    });
+
+TEST(TopTwo, EntryOrdering) {
+  const MeasureEntry high{5, 10};
+  const MeasureEntry low{3, 2};
+  const MeasureEntry tie_small_id{1, 10};
+  const MeasureEntry absent{};
+  EXPECT_TRUE(high.beats(low));
+  EXPECT_FALSE(low.beats(high));
+  EXPECT_TRUE(tie_small_id.beats(high));  // tie -> smaller id wins
+  EXPECT_TRUE(high.beats(absent));
+  EXPECT_FALSE(absent.beats(high));
+}
+
+TEST(TopTwo, NonParticipantsStayEmpty) {
+  const Graph g = make_path(5);
+  std::vector<std::int32_t> start(5, -1);
+  start[0] = 4;
+  std::vector<bool> participates(5, true);
+  participates[2] = false;  // cuts the path
+  const TopTwoResult r = reference_top_two(g, start, participates);
+  EXPECT_FALSE(r.best[2].present());
+  EXPECT_TRUE(r.best[1].present());
+  // Node 3 is unreachable through the non-participant.
+  EXPECT_FALSE(r.best[3].present());
+}
+
+TEST(TopTwo, SecondTracksDistinctOriginOnly) {
+  // Two origins at the ends of a path; the middle node sees both, and its
+  // second entry must be the other origin, never a duplicate.
+  const Graph g = make_path(3);
+  std::vector<std::int32_t> start{5, -1, 3};
+  std::vector<bool> participates(3, true);
+  const TopTwoResult r = reference_top_two(g, start, participates);
+  EXPECT_EQ(r.best[1].origin_id, g.id(0));
+  EXPECT_EQ(r.best[1].value, 4);
+  EXPECT_EQ(r.second[1].origin_id, g.id(2));
+  EXPECT_EQ(r.second[1].value, 2);
+}
+
+}  // namespace
+}  // namespace rlocal

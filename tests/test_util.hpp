@@ -1,0 +1,23 @@
+// Shared helpers for the rlocal test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace rlocal::testing {
+
+/// Small deterministic zoo for parameterized sweeps (scale ~48 keeps each
+/// TEST_P instance fast while covering all families).
+inline const std::vector<ZooEntry>& small_zoo() {
+  static const std::vector<ZooEntry> zoo = make_zoo(48, /*seed=*/77);
+  return zoo;
+}
+
+/// Names for parameterized test instantiation (gtest requires [A-Za-z0-9_]).
+inline std::string zoo_name(int index) {
+  return small_zoo()[static_cast<std::size_t>(index)].name;
+}
+
+}  // namespace rlocal::testing
