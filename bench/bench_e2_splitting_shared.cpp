@@ -5,11 +5,15 @@
 // seed, splitting succeeds with probability >= 1 - 1/n; fully independent
 // coins and poly(log n)-wise independence behave identically; k-wise
 // independence with tiny k may start failing on overlapping constraints.
+//
+// Ported to the lab API: one Sweep per instance shape (the instance knobs
+// ride in the param map); the Wilson-interval table is computed from the
+// returned RunRecords.
 #include <iostream>
 
 #include "core/api.hpp"
 #include "derand/cond_exp.hpp"
-#include "problems/splitting.hpp"
+#include "graph/bipartite.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -28,13 +32,11 @@ int main(int argc, char** argv) {
 
   Table table({"instance", "degree", "regime", "seed bits", "fail rate",
                "95% upper", "union bound"});
-  for (const char* kind : {"random", "window"}) {
+  for (const bool window : {false, true}) {
     for (const int degree : {2 * logn, 4 * logn, 8 * logn}) {
-      const BipartiteGraph h =
-          kind[0] == 'r'
-              ? make_random_splitting_instance(n, n, degree, seed)
-              : make_window_splitting_instance(n, n, degree);
-      const Regime regimes[] = {
+      lab::SweepSpec spec;
+      spec.graphs = {{window ? "window" : "random", make_path(n)}};
+      spec.regimes = {
           Regime::full(),
           Regime::kwise(2),
           Regime::kwise(2 * logn),
@@ -42,23 +44,50 @@ int main(int argc, char** argv) {
           Regime::shared_epsbias(4 * logn),
           Regime::shared_kwise(64 * logn),
       };
-      for (const Regime& regime : regimes) {
+      for (int t = 0; t < trials; ++t) {
+        spec.seeds.push_back(seed + 1000 + static_cast<std::uint64_t>(t));
+      }
+      spec.solvers = {"splitting/random"};
+      spec.params = {{"degree", static_cast<double>(degree)},
+                     {"window", window ? 1.0 : 0.0}};
+      spec.threads = static_cast<int>(args.get_int("threads", 0));
+      const lab::SweepResult result = sweep(spec);
+
+      // One row per regime: failure statistics over the seed sweep. Cells
+      // that threw are infrastructure errors, not splitting failures --
+      // they are reported separately and excluded from the statistic.
+      for (const Regime& regime : spec.regimes) {
         int failures = 0;
+        int cells = 0;
+        int errors = 0;
         std::uint64_t seed_bits = 0;
-        for (int t = 0; t < trials; ++t) {
-          NodeRandomness rnd(regime,
-                             seed + 1000 + static_cast<std::uint64_t>(t));
-          const SplittingResult r = random_splitting(h, rnd);
-          if (r.violations > 0) ++failures;
-          seed_bits = rnd.shared_seed_bits();
+        double union_bound = 0;
+        for (const lab::RunRecord& r : result.records) {
+          if (r.regime != regime.name()) continue;
+          if (!r.error.empty()) {
+            if (++errors == 1) {
+              std::cout << "cell error (" << r.regime << "): " << r.error
+                        << "\n";
+            }
+            continue;
+          }
+          ++cells;
+          if (!r.success) ++failures;
+          seed_bits = r.shared_seed_bits;
+          union_bound = r.metrics.at("union_bound");
         }
-        const WilsonInterval wilson = wilson_interval(
-            static_cast<std::size_t>(failures),
-            static_cast<std::size_t>(trials));
-        table.add_row({kind, fmt(degree), regime.name(), fmt(seed_bits),
-                       fmt(static_cast<double>(failures) / trials, 4),
-                       fmt(wilson.high, 4),
-                       fmt_sci(splitting_failure_upper_bound(h))});
+        if (cells == 0) {
+          table.add_row({window ? "window" : "random", fmt(degree),
+                         regime.name(), "-", "-", "-", "-"});
+          continue;
+        }
+        const WilsonInterval wilson =
+            wilson_interval(static_cast<std::size_t>(failures),
+                            static_cast<std::size_t>(cells));
+        table.add_row({window ? "window" : "random", fmt(degree),
+                       regime.name(), fmt(seed_bits),
+                       fmt(static_cast<double>(failures) / cells, 4),
+                       fmt(wilson.high, 4), fmt_sci(union_bound)});
       }
     }
   }

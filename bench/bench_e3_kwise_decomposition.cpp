@@ -5,13 +5,14 @@
 // fully-independent Elkin-Neiman quality (colors O(log n), radius O(log n),
 // all nodes clustered); in the CF-multicoloring pipeline, k-wise marking
 // leaves Theta(log n) marked vertices in every large hyperedge.
+//
+// Ported to the lab API: both parts are Sweep grids ("decomp/elkin_neiman"
+// and the two conflict_free solvers).
 #include <cmath>
 #include <iostream>
 
 #include "core/api.hpp"
 #include "support/cli.hpp"
-#include "support/stats.hpp"
-#include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace rlocal;
@@ -22,86 +23,66 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("trials", args.quick() ? 5 : 20));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
   const int logn = ceil_log2(static_cast<std::uint64_t>(scale));
+  const int threads = static_cast<int>(args.get_int("threads", 0));
 
   std::cout << "=== E3: Theorem 3.5 -- poly(log n)-wise independence ===\n\n";
 
   // Part 1: EN decomposition quality vs independence parameter k.
-  Table table({"graph", "regime", "ok/trials", "colors(max)", "diam(max)",
-               "max shift", "bits/node"});
-  const Graph graphs[] = {make_gnp(scale, 4.0 / scale, seed),
-                          make_grid(static_cast<NodeId>(std::sqrt(
-                                        static_cast<double>(scale))),
-                                    static_cast<NodeId>(std::sqrt(
-                                        static_cast<double>(scale)))),
-                          make_cycle(scale)};
-  const char* names[] = {"gnp", "grid", "cycle"};
-  for (int gi = 0; gi < 3; ++gi) {
-    const Graph& g = graphs[gi];
-    const Regime regimes[] = {
-        Regime::full(),
-        Regime::kwise(2),
-        Regime::kwise(logn),
-        Regime::kwise(2 * logn * logn),
-        Regime::shared_kwise(64 * 2 * logn * logn),
-    };
-    for (const Regime& regime : regimes) {
-      int ok = 0;
-      int max_colors = 0;
-      int max_diam = 0;
-      int max_shift = 0;
-      Summary bits_per_node;
-      for (int t = 0; t < trials; ++t) {
-        NodeRandomness rnd(regime, seed + 50 + static_cast<std::uint64_t>(t));
-        const EnResult r = elkin_neiman_decomposition(g, rnd);
-        if (r.all_clustered) {
-          const ValidationReport report =
-              validate_decomposition(g, r.decomposition);
-          if (report.valid) {
-            ++ok;
-            max_colors = std::max(max_colors, report.colors_used);
-            max_diam = std::max(max_diam, report.max_tree_diameter);
-          }
-        }
-        max_shift = std::max(max_shift, r.max_shift);
-        bits_per_node.add(static_cast<double>(r.shift_bits) /
-                          g.num_nodes());
-      }
-      table.add_row({names[gi], regime.name(),
-                     fmt(ok) + "/" + fmt(trials), fmt(max_colors),
-                     fmt(max_diam), fmt(max_shift),
-                     fmt(bits_per_node.mean(), 1)});
-    }
+  const auto side =
+      static_cast<NodeId>(std::sqrt(static_cast<double>(scale)));
+  lab::SweepSpec en;
+  en.graphs = {{"gnp", make_gnp(scale, 4.0 / scale, seed)},
+               {"grid", make_grid(side, side)},
+               {"cycle", make_cycle(scale)}};
+  en.regimes = {
+      Regime::full(),
+      Regime::kwise(2),
+      Regime::kwise(logn),
+      Regime::kwise(2 * logn * logn),
+      Regime::shared_kwise(64 * 2 * logn * logn),
+  };
+  for (int t = 0; t < trials; ++t) {
+    en.seeds.push_back(seed + 50 + static_cast<std::uint64_t>(t));
   }
-  table.print(std::cout);
+  en.solvers = {"decomp/elkin_neiman"};
+  en.threads = threads;
+  const lab::SweepResult en_result = sweep(en);
+  lab::summary_table(en_result).print(std::cout);
 
-  // Part 2: conflict-free multicoloring with k-wise marking.
+  // Part 2: conflict-free multicoloring with k-wise marking. A small-edge
+  // threshold of 2 log n makes the marking step fire at bench scale (the
+  // paper's poly(log n) threshold exceeds every edge here).
   std::cout << "\nconflict-free multicoloring (k-wise marking reduction):\n";
-  Table cf({"vertices", "edges", "max |e|", "regime", "valid", "colors",
-            "marked min/max", "empty restr."});
-  const int cf_n = scale;
-  const Hypergraph h = make_classed_hypergraph(
-      cf_n, args.quick() ? 8 : 24, ceil_log2(static_cast<std::uint64_t>(
-                                       cf_n)),
-      seed + 9);
-  // A small-edge threshold of 2 log n makes the marking step fire at bench
-  // scale (the paper's poly(log n) threshold exceeds every edge here).
-  const int small_threshold = 2 * logn;
-  for (const Regime& regime :
-       {Regime::full(), Regime::kwise(2 * logn * logn)}) {
-    NodeRandomness rnd(regime, seed + 10);
-    const CfKwiseResult r = cf_multicolor_kwise(h, rnd, small_threshold);
-    cf.add_row({fmt(h.num_vertices), fmt(h.edges.size()),
-                fmt(h.max_edge_size()), regime.name(),
-                r.valid ? "yes" : "NO", fmt(r.coloring.num_colors),
-                fmt(r.min_marked) + "/" + fmt(r.max_marked),
-                fmt(r.empty_restrictions)});
+  lab::SweepSpec cf;
+  cf.graphs = {{"n" + std::to_string(scale), make_path(scale)}};
+  cf.regimes = {Regime::full(), Regime::kwise(2 * logn * logn)};
+  cf.seeds = {seed + 10};
+  cf.solvers = {"conflict_free/kwise"};
+  cf.params = {{"edges_per_class", args.quick() ? 8.0 : 24.0},
+               {"small_threshold", 2.0 * logn}};
+  cf.threads = threads;
+  lab::SweepResult cf_result = sweep(cf);
+  // The deterministic base case consumes no randomness -- one regime is
+  // enough; merge its record into the table.
+  lab::SweepSpec det = cf;
+  det.regimes = {Regime::full()};
+  det.solvers = {"conflict_free/deterministic"};
+  const lab::SweepResult det_result = sweep(det);
+  cf_result.records.insert(cf_result.records.end(),
+                           det_result.records.begin(),
+                           det_result.records.end());
+  lab::summary_table(cf_result).print(std::cout);
+  for (const lab::RunRecord& r : cf_result.records) {
+    if (r.solver != "conflict_free/kwise") continue;
+    if (!r.error.empty()) {
+      std::cout << "  " << r.regime << ": cell error: " << r.error << "\n";
+      continue;
+    }
+    std::cout << "  " << r.regime << ": marked min/max "
+              << fmt(r.metrics.at("min_marked"), 0) << "/"
+              << fmt(r.metrics.at("max_marked"), 0) << ", empty restrictions "
+              << fmt(r.metrics.at("empty_restrictions"), 0) << "\n";
   }
-  const CfDeterministicResult det = cf_multicolor_deterministic(h);
-  cf.add_row({fmt(h.num_vertices), fmt(h.edges.size()),
-              fmt(h.max_edge_size()), "deterministic base",
-              is_conflict_free(h, det.coloring) ? "yes" : "NO",
-              fmt(det.coloring.num_colors), "-", "-"});
-  cf.print(std::cout);
   std::cout << "\npaper: k = Theta(log^2 n)-wise independence matches full "
                "independence; marking leaves Theta(log n) vertices per "
                "large edge.\n";

@@ -6,12 +6,13 @@
 // identical under full independence, poly(log n)-wise independence, and
 // poly(log n) shared bits; adversarial constant "randomness" breaks the
 // algorithms (failure injection sanity check).
+//
+// Ported to the lab API: the regime x graph x seed grid is one Sweep call;
+// the failure injection forces an unsupported cell through the registry.
 #include <iostream>
 
 #include "core/api.hpp"
 #include "support/cli.hpp"
-#include "support/stats.hpp"
-#include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace rlocal;
@@ -24,63 +25,44 @@ int main(int argc, char** argv) {
   const int logn = ceil_log2(static_cast<std::uint64_t>(scale));
 
   std::cout << "=== E9: classic algorithms under scarce randomness ===\n\n";
-  Table table({"graph", "regime", "MIS ok", "MIS iters(avg)",
-               "coloring ok", "coloring iters(avg)"});
-  const auto zoo = make_zoo(scale, seed);
-  const Regime regimes[] = {
+  lab::SweepSpec spec;
+  for (auto& entry : make_zoo(scale, seed)) {
+    if (entry.name == "gnp_sparse" || entry.name == "grid" ||
+        entry.name == "random_4regular" || entry.name == "ring_of_cliques") {
+      spec.graphs.push_back(std::move(entry));
+    }
+  }
+  spec.regimes = {
       Regime::full(),
       Regime::kwise(logn),
       Regime::kwise(2 * logn * logn),
       Regime::shared_kwise(64 * 2 * logn * logn),
   };
-  for (const auto& entry : zoo) {
-    if (entry.name != "gnp_sparse" && entry.name != "grid" &&
-        entry.name != "random_4regular" && entry.name != "ring_of_cliques") {
-      continue;
-    }
-    const Graph& g = entry.graph;
-    for (const Regime& regime : regimes) {
-      int mis_ok = 0;
-      int col_ok = 0;
-      Summary mis_iters;
-      Summary col_iters;
-      for (int t = 0; t < trials; ++t) {
-        NodeRandomness rnd(regime,
-                           seed + 100 + static_cast<std::uint64_t>(t));
-        const LubyMisResult mis = reference_luby_mis(g, rnd);
-        if (mis.success && is_maximal_independent_set(g, mis.in_mis)) {
-          ++mis_ok;
-        }
-        mis_iters.add(mis.iterations);
-        NodeRandomness rnd2(regime,
-                            seed + 500 + static_cast<std::uint64_t>(t));
-        const ColoringResult col = random_coloring(g, rnd2);
-        if (col.success &&
-            is_valid_coloring(g, col.color, g.max_degree() + 1)) {
-          ++col_ok;
-        }
-        col_iters.add(col.iterations);
-      }
-      table.add_row({entry.name, regime.name(),
-                     fmt(mis_ok) + "/" + fmt(trials),
-                     fmt(mis_iters.mean(), 1),
-                     fmt(col_ok) + "/" + fmt(trials),
-                     fmt(col_iters.mean(), 1)});
-    }
+  for (int t = 0; t < trials; ++t) {
+    spec.seeds.push_back(seed + static_cast<std::uint64_t>(t));
   }
-  table.print(std::cout);
+  spec.solvers = {"mis/luby", "mis/greedy", "coloring/random_trial"};
+  spec.threads = static_cast<int>(args.get_int("threads", 0));
 
-  // Failure injection: constant "randomness" must not silently pass.
-  {
-    const Graph g = make_complete(16);
-    NodeRandomness rnd(Regime::all_zeros(), seed);
-    const LubyMisResult mis = reference_luby_mis(g, rnd, 4);
-    std::cout << "\nfailure injection (all-zero bits, K16, 4 iters): "
-              << (mis.success ? "MIS completed via id tie-breaks"
-                              : "MIS incomplete")
-              << " -- ties fall back to identifiers, so Luby degrades to "
-                 "the sequential greedy order instead of failing.\n";
-  }
+  const lab::SweepResult result = sweep(spec);
+  lab::summary_table(result).print(std::cout);
+  std::cout << "\ncells: " << result.cells_run << " run, "
+            << result.cells_failed << " failed, on "
+            << result.threads_used << " thread(s) in "
+            << fmt(result.wall_ms, 1) << " ms\n";
+
+  // Failure injection: constant "randomness" must not silently pass. The
+  // all-zeros regime is outside mis/luby's supported set, so a sweep would
+  // skip it; run_cell forces the cell.
+  const Graph k16 = make_complete(16);
+  const lab::RunRecord broken = registry().run_cell(
+      "mis/luby", k16, "K16", Regime::all_zeros(), seed,
+      {{"max_iterations", 4}});
+  std::cout << "\nfailure injection (all-zero bits, K16, 4 iters): "
+            << (broken.success ? "MIS completed via id tie-breaks"
+                               : "MIS incomplete")
+            << " -- ties fall back to identifiers, so Luby degrades to "
+               "the sequential greedy order instead of failing.\n";
   std::cout << "paper: scarce-randomness columns match the full column; "
                "O(log n) iterations throughout.\n";
   return 0;

@@ -1,0 +1,79 @@
+// The lab's flagship bench: every registered solver swept over a graph zoo
+// x regime x seed grid in one call, with the parallel runner timed against
+// the single-threaded baseline, and the full record set emitted as
+// BENCH_sweep.json for trend tracking.
+//
+//   ./bench_sweep [--scale=256] [--seeds=8] [--threads=0] [--quick]
+//                 [--out=BENCH_sweep.json]
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "core/api.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rlocal;
+  const CliArgs args(argc, argv);
+  const NodeId scale =
+      static_cast<NodeId>(args.get_int("scale", args.quick() ? 96 : 256));
+  const int num_seeds = std::max(
+      1, static_cast<int>(args.get_int("seeds", args.quick() ? 4 : 8)));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int logn = ceil_log2(static_cast<std::uint64_t>(scale));
+  const std::string out_path =
+      args.get_string("out", "BENCH_sweep.json");
+
+  std::cout << "=== lab sweep: " << registry().size() << " solvers, "
+            << registry().problems().size() << " problems ===\n";
+  for (const lab::Solver* solver : registry().solvers()) {
+    std::cout << "  " << solver->name() << " -- " << solver->description()
+              << "\n";
+  }
+
+  lab::SweepSpec spec;
+  for (auto& entry : make_zoo(scale, seed)) {
+    if (entry.name == "gnp_sparse" || entry.name == "grid" ||
+        entry.name == "random_4regular") {
+      spec.graphs.push_back(std::move(entry));
+    }
+  }
+  spec.regimes = {
+      Regime::full(),
+      Regime::kwise(2 * logn * logn),
+      Regime::shared_kwise(64 * 2 * logn * logn),
+      Regime::shared_epsbias(4 * logn),
+  };
+  for (int t = 0; t < num_seeds; ++t) {
+    spec.seeds.push_back(seed + static_cast<std::uint64_t>(t));
+  }
+
+  // Single-threaded baseline vs the pool (speedup needs >= 2 real cores;
+  // the records themselves are identical either way).
+  spec.threads = 1;
+  const lab::SweepResult base = sweep(spec);
+  spec.threads = static_cast<int>(args.get_int("threads", 0));
+  const lab::SweepResult result = sweep(spec);
+
+  std::cout << "\n";
+  lab::summary_table(result).print(std::cout);
+  const double speedup = result.wall_ms > 0 ? base.wall_ms / result.wall_ms
+                                            : 1.0;
+  std::cout << "\ncells: " << result.cells_run << " run, "
+            << result.cells_skipped << " regime-skipped, "
+            << result.cells_failed << " failed\n"
+            << "wall: " << fmt(base.wall_ms, 1) << " ms on 1 thread, "
+            << fmt(result.wall_ms, 1) << " ms on " << result.threads_used
+            << " threads (" << fmt(speedup, 2) << "x, "
+            << std::thread::hardware_concurrency() << " hw threads)\n";
+
+  std::ofstream out(out_path);
+  lab::emit_json(result, out);
+  if (!out) {
+    std::cerr << "error: could not write " << out_path << "\n";
+    return 2;
+  }
+  std::cout << "wrote " << result.records.size() << " records to "
+            << out_path << "\n";
+  return result.cells_failed == 0 ? 0 : 1;
+}

@@ -1,44 +1,54 @@
 #include "core/api.hpp"
 
-namespace rlocal {
+#include <any>
 
-const char* version() { return "1.0.0"; }
+namespace rlocal {
+inline namespace v2 {
+
+const char* version() { return "2.0.0"; }
+
+lab::Registry& registry() { return lab::Registry::global(); }
+
+lab::SweepResult sweep(const lab::SweepSpec& spec) {
+  return lab::run_sweep(registry(), spec);
+}
 
 DecomposeSummary decompose(const Graph& g, const Regime& regime,
                            std::uint64_t seed) {
-  DecomposeSummary summary;
+  const char* solver = nullptr;
   switch (regime.kind) {
     case RegimeKind::kFull:
-    case RegimeKind::kKWise: {
-      NodeRandomness rnd(regime, seed);
-      EnResult result = elkin_neiman_decomposition(g, rnd);
-      summary.success = result.all_clustered;
-      summary.colors = result.decomposition.num_colors;
-      summary.rounds_charged = result.rounds_charged;
-      summary.decomposition = std::move(result.decomposition);
-      return summary;
-    }
+    case RegimeKind::kKWise:
+      solver = "decomp/elkin_neiman";
+      break;
     case RegimeKind::kSharedKWise:
-    case RegimeKind::kSharedEpsBias: {
-      RLOCAL_CHECK(regime.kind == RegimeKind::kSharedKWise,
+      solver = "decomp/shared_congest";
+      break;
+    case RegimeKind::kSharedEpsBias:
+      RLOCAL_CHECK(false,
                    "shared eps-bias seeds are too short to drive the "
                    "Theorem 3.6 construction; use shared_kwise");
-      NodeRandomness rnd(regime, seed);
-      SharedCongestResult result =
-          shared_randomness_decomposition(g, rnd);
-      summary.success = result.all_clustered;
-      summary.colors = result.decomposition.num_colors;
-      summary.rounds_charged = result.rounds_charged;
-      summary.decomposition = std::move(result.decomposition);
-      return summary;
-    }
     case RegimeKind::kAllZeros:
     case RegimeKind::kAllOnes:
       RLOCAL_CHECK(false,
                    "adversarial constant regimes are for failure-injection "
                    "tests, not decomposition");
   }
-  RLOCAL_ASSERT(false);
+  RLOCAL_ASSERT(solver != nullptr);
+  // Call the solver directly (not run_cell) so precondition violations keep
+  // propagating as exceptions; the seed is passed through unmixed, making
+  // the shim bit-for-bit compatible with the pre-lab implementation.
+  lab::RunRecord record =
+      registry().at(solver).run(g, regime, seed, /*params=*/{});
+  DecomposeSummary summary;
+  summary.success = record.success;
+  summary.rounds_charged = record.rounds;
+  auto* decomposition = std::any_cast<Decomposition>(&record.artifact);
+  RLOCAL_ASSERT(decomposition != nullptr);
+  summary.colors = decomposition->num_colors;
+  summary.decomposition = std::move(*decomposition);
+  return summary;
 }
 
+}  // namespace v2
 }  // namespace rlocal

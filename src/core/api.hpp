@@ -1,15 +1,28 @@
-// Umbrella header: everything a library user needs.
+// Umbrella header and versioned facade: everything a library user needs.
+//
+// Since API v2 the primary surface is the experiment lab -- a registry of
+// solvers (problem x algorithm) swept over graph x regime x seed grids:
 //
 //   #include "core/api.hpp"
 //
-//   rlocal::Graph g = rlocal::make_grid(32, 32);
-//   rlocal::NodeRandomness rnd(rlocal::Regime::kwise(128), /*seed=*/1);
-//   auto result = rlocal::elkin_neiman_decomposition(g, rnd);
-//   auto report = rlocal::validate_decomposition(g, result.decomposition);
+//   rlocal::lab::SweepSpec spec;
+//   spec.graphs = {{"grid", rlocal::make_grid(32, 32)}};
+//   spec.regimes = {rlocal::Regime::full(), rlocal::Regime::kwise(128)};
+//   spec.seeds = {1, 2, 3, 4};
+//   auto result = rlocal::sweep(spec);            // every registered solver
+//   rlocal::lab::summary_table(result).print(std::cout);
 //
-// or, theorem-shaped:
+// One-off cells go through the registry directly:
+//
+//   auto rec = rlocal::registry().run_cell("decomp/elkin_neiman", g, "g",
+//                                          rlocal::Regime::kwise(128), 1);
+//
+// and theorem-shaped pipelines remain available:
 //
 //   auto nd = rlocal::theorems::theorem_3_6(g, /*seed=*/1);
+//
+// The pre-lab decompose() convenience survives as a deprecated shim over
+// the registry and will be removed in a future major version.
 #pragma once
 
 #include "core/theorems.hpp"
@@ -22,6 +35,7 @@
 #include "derand/slocal.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "lab/lab.hpp"
 #include "problems/coloring.hpp"
 #include "problems/conflict_free.hpp"
 #include "problems/mis.hpp"
@@ -34,20 +48,40 @@
 
 namespace rlocal {
 
+/// API generations. v2 introduced the lab (registry + sweeps); symbols live
+/// in the inline namespace so existing `rlocal::` spellings keep working
+/// while `rlocal::v2::` pins the generation explicitly.
+inline namespace v2 {
+
 /// Library version, bumped with releases.
 const char* version();
 
-/// Convenience: decompose `g` under the given randomness regime with the
-/// algorithm matching the paper's setting for that regime
+/// Major API generation (mirrors the inline namespace).
+inline constexpr int kApiVersionMajor = 2;
+
+/// The process-wide solver registry, preloaded with every built-in solver.
+lab::Registry& registry();
+
+/// Runs a sweep against the global registry (see lab/sweep.hpp).
+lab::SweepResult sweep(const lab::SweepSpec& spec);
+
+/// Pre-lab convenience: decompose `g` under the given randomness regime
+/// with the algorithm matching the paper's setting for that regime
 /// (full/k-wise -> Elkin-Neiman; shared seeds -> Theorem 3.6's CONGEST
-/// construction). Throws InvariantError for the adversarial regimes.
+/// construction). Throws InvariantError for the adversarial regimes. Now a
+/// thin shim over the registry's "decomp/*" solvers.
 struct DecomposeSummary {
   Decomposition decomposition;
   bool success = false;
   int colors = 0;
   int rounds_charged = 0;
 };
+[[deprecated(
+    "use registry().run_cell(\"decomp/elkin_neiman\" or "
+    "\"decomp/shared_congest\", ...) or lab::run_sweep; decompose() will be "
+    "removed in API v3")]]
 DecomposeSummary decompose(const Graph& g, const Regime& regime,
                            std::uint64_t seed);
 
+}  // namespace v2
 }  // namespace rlocal

@@ -1,0 +1,120 @@
+#include "lab/emit.hpp"
+
+#include <map>
+#include <ostream>
+#include <tuple>
+
+#include "support/json.hpp"
+
+namespace rlocal::lab {
+
+void emit_json(const SweepResult& result, std::ostream& out) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", "rlocal.sweep/1");
+  w.key("summary");
+  w.begin_object();
+  w.field("cells_run", result.cells_run);
+  w.field("cells_skipped", result.cells_skipped);
+  w.field("cells_failed", result.cells_failed);
+  w.field("threads_used", result.threads_used);
+  w.field("wall_ms", result.wall_ms);
+  w.end_object();
+  w.key("records");
+  w.begin_array();
+  for (const RunRecord& r : result.records) {
+    w.begin_object();
+    w.field("solver", r.solver);
+    w.field("problem", r.problem);
+    w.field("graph", r.graph);
+    w.field("regime", r.regime);
+    w.field("seed", r.seed);
+    if (r.skipped) {
+      w.field("skipped", true);
+      w.end_object();
+      continue;
+    }
+    w.field("success", r.success);
+    w.field("checker_passed", r.checker_passed);
+    if (!r.error.empty()) w.field("error", r.error);
+    if (r.colors >= 0) w.field("colors", r.colors);
+    if (r.rounds >= 0) w.field("rounds", r.rounds);
+    if (r.iterations >= 0) w.field("iterations", r.iterations);
+    if (r.diameter >= 0) w.field("diameter", r.diameter);
+    w.field("objective", r.objective);
+    w.field("shared_seed_bits", r.shared_seed_bits);
+    w.field("derived_bits", r.derived_bits);
+    w.field("wall_ms", r.wall_ms);
+    if (!r.metrics.empty()) {
+      w.key("metrics");
+      w.begin_object();
+      for (const auto& [key, value] : r.metrics) w.field(key, value);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+Table summary_table(const SweepResult& result) {
+  struct Agg {
+    int trials = 0;
+    int ok = 0;
+    int successes = 0;
+    int completed = 0;  ///< trials that did not throw (ledger is valid)
+    int skipped = 0;
+    double objective = 0;  ///< summed over successful runs only
+    double rounds = 0;
+    double wall_ms = 0;
+    double derived_bits = 0;
+    std::uint64_t shared_seed_bits = 0;
+  };
+  std::map<std::tuple<std::string, std::string, std::string>, Agg> groups;
+  for (const RunRecord& r : result.records) {
+    Agg& agg = groups[{r.solver, r.graph, r.regime}];
+    if (r.skipped) {
+      ++agg.skipped;
+      continue;
+    }
+    ++agg.trials;
+    if (r.checker_passed) ++agg.ok;
+    agg.wall_ms += r.wall_ms;
+    // Errored cells are reset to a default record, so their observables
+    // and ledger are meaningless; exclude them from the columns.
+    if (!r.error.empty() && !r.success) continue;
+    ++agg.completed;
+    if (r.success) {
+      // Failed cells stamp sentinel observables (objective -1 on
+      // decompositions); averaging them in would skew the column.
+      ++agg.successes;
+      agg.objective += r.objective;
+    }
+    agg.rounds += r.rounds > 0 ? r.rounds : 0;
+    agg.derived_bits += static_cast<double>(r.derived_bits);
+    agg.shared_seed_bits = r.shared_seed_bits;
+  }
+  Table table({"solver", "graph", "regime", "ok/trials", "objective(avg)",
+               "rounds(avg)", "seed bits", "derived bits(avg)", "ms(avg)"});
+  for (const auto& [key, agg] : groups) {
+    const auto& [solver, graph, regime] = key;
+    if (agg.trials == 0) {
+      table.add_row({solver, graph, regime, "skipped", "-", "-", "-", "-",
+                     "-"});
+      continue;
+    }
+    const double n = agg.completed;
+    table.add_row({solver, graph, regime,
+                   fmt(agg.ok) + "/" + fmt(agg.trials),
+                   agg.successes > 0 ? fmt(agg.objective / agg.successes, 1)
+                                     : "-",
+                   agg.completed > 0 ? fmt(agg.rounds / n, 1) : "-",
+                   agg.completed > 0 ? fmt(agg.shared_seed_bits) : "-",
+                   agg.completed > 0 ? fmt(agg.derived_bits / n, 0) : "-",
+                   fmt(agg.wall_ms / agg.trials, 2)});
+  }
+  return table;
+}
+
+}  // namespace rlocal::lab

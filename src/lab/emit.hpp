@@ -1,0 +1,26 @@
+// Emitters turning sweep results into artifacts:
+//
+//  * emit_json  -- full-fidelity machine-readable dump ("rlocal.sweep/1"
+//                  schema) for trend tracking (BENCH_*.json) and offline
+//                  analysis; built on support/json.hpp.
+//  * summary_table -- per-(solver, graph, regime) aggregate ASCII table,
+//                  the human-facing "paper table" view benches print.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lab/sweep.hpp"
+#include "support/table.hpp"
+
+namespace rlocal::lab {
+
+/// Writes the whole sweep (spec echo + per-cell records) as JSON.
+void emit_json(const SweepResult& result, std::ostream& out);
+
+/// One row per (solver, graph, regime): trials, checker pass rate, means of
+/// the scalar observables and the randomness ledger. Skipped cells are
+/// collapsed into a "skipped" marker row.
+Table summary_table(const SweepResult& result);
+
+}  // namespace rlocal::lab

@@ -1,0 +1,18 @@
+// Umbrella header for the experiment lab: solver registry, sweep runner,
+// emitters.
+//
+//   #include "lab/lab.hpp"
+//
+//   rlocal::lab::SweepSpec spec;
+//   spec.graphs = rlocal::make_zoo(256, /*seed=*/1);
+//   spec.regimes = {rlocal::Regime::full(), rlocal::Regime::kwise(64)};
+//   spec.seeds = {1, 2, 3, 4};
+//   auto result = rlocal::lab::run_sweep(spec);   // all registered solvers
+//   rlocal::lab::summary_table(result).print(std::cout);
+#pragma once
+
+#include "lab/emit.hpp"
+#include "lab/record.hpp"
+#include "lab/registry.hpp"
+#include "lab/solver.hpp"
+#include "lab/sweep.hpp"

@@ -1,0 +1,64 @@
+// RunRecord: the structured outcome of running one solver on one
+// (graph, regime, seed) cell. This is the unit of data every experiment in
+// the library produces; sweeps collect vectors of them and the emitters in
+// lab/emit.hpp turn those into JSON artifacts and ASCII tables.
+//
+// Fields split into three groups:
+//  * identity    -- which cell this is (stamped by the registry/sweep);
+//  * outcome     -- success, checker verdict, error text;
+//  * observables -- the paper's quantities (colors, rounds, diameter) plus
+//    the randomness ledger (shared seed bits consumed, derived bits drawn)
+//    and wall time. Solver-specific extras go into `metrics`; a typed
+//    artifact (e.g. the Decomposition itself) rides in `artifact` for
+//    callers that need more than numbers.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rlocal::lab {
+
+/// Free-form solver parameters (iteration budgets, thresholds, instance
+/// shape knobs). Doubles keep the grid spec uniform; solvers round as
+/// documented.
+using ParamMap = std::map<std::string, double>;
+
+/// `params[key]`, or `fallback` when absent.
+double param(const ParamMap& params, const std::string& key, double fallback);
+/// Integer-valued parameter (rounded toward zero).
+int param_int(const ParamMap& params, const std::string& key, int fallback);
+
+struct RunRecord {
+  // Identity (stamped by Registry::run_cell / run_sweep).
+  std::string solver;
+  std::string problem;
+  std::string graph;
+  std::string regime;
+  std::uint64_t seed = 0;
+
+  // Outcome.
+  bool success = false;         ///< the algorithm reported completion
+  bool checker_passed = false;  ///< independent validity check of the output
+  bool skipped = false;         ///< regime not supported; nothing was run
+  std::string error;            ///< exception text if the cell threw
+
+  // Observables (-1 where the problem has no such quantity).
+  int colors = -1;      ///< decomposition/coloring colors used
+  int rounds = -1;      ///< CONGEST rounds charged
+  int iterations = -1;  ///< iterations of the iterative schemes
+  int diameter = -1;    ///< max cluster tree diameter (decompositions)
+  double objective = 0.0;  ///< problem-specific scalar (violations, size, ...)
+
+  // Randomness ledger (from NodeRandomness).
+  std::uint64_t shared_seed_bits = 0;  ///< true seed entropy consumed
+  std::uint64_t derived_bits = 0;      ///< bits handed to the algorithm
+
+  double wall_ms = 0.0;
+
+  std::map<std::string, double> metrics;  ///< solver-specific extras
+  std::any artifact;  ///< typed payload (e.g. Decomposition); may be empty
+};
+
+}  // namespace rlocal::lab

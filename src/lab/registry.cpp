@@ -1,0 +1,103 @@
+#include "lab/registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "support/assert.hpp"
+
+namespace rlocal::lab {
+
+double param(const ParamMap& params, const std::string& key, double fallback) {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+int param_int(const ParamMap& params, const std::string& key, int fallback) {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : static_cast<int>(it->second);
+}
+
+bool Solver::supports(const Regime& regime) const {
+  const std::vector<RegimeKind> kinds = supported_regimes();
+  return std::find(kinds.begin(), kinds.end(), regime.kind) != kinds.end();
+}
+
+void Registry::add(std::unique_ptr<Solver> solver) {
+  RLOCAL_CHECK(solver != nullptr, "cannot register a null solver");
+  RLOCAL_CHECK(find(solver->name()) == nullptr,
+               "solver '" + solver->name() + "' is already registered");
+  solvers_.push_back(std::move(solver));
+}
+
+Registry& Registry::global() {
+  static Registry registry = with_builtins();
+  return registry;
+}
+
+const Solver* Registry::find(const std::string& name) const {
+  for (const auto& solver : solvers_) {
+    if (solver->name() == name) return solver.get();
+  }
+  return nullptr;
+}
+
+const Solver& Registry::at(const std::string& name) const {
+  const Solver* solver = find(name);
+  RLOCAL_CHECK(solver != nullptr, "no solver named '" + name + "'");
+  return *solver;
+}
+
+std::vector<const Solver*> Registry::solvers() const {
+  std::vector<const Solver*> out;
+  out.reserve(solvers_.size());
+  for (const auto& solver : solvers_) out.push_back(solver.get());
+  return out;
+}
+
+std::vector<std::string> Registry::solver_names() const {
+  std::vector<std::string> out;
+  out.reserve(solvers_.size());
+  for (const auto& solver : solvers_) out.push_back(solver->name());
+  return out;
+}
+
+std::vector<std::string> Registry::problems() const {
+  std::set<std::string> unique;
+  for (const auto& solver : solvers_) unique.insert(solver->problem());
+  return {unique.begin(), unique.end()};
+}
+
+RunRecord Registry::run_cell(const Solver& solver, const Graph& g,
+                             const std::string& graph_name,
+                             const Regime& regime, std::uint64_t seed,
+                             const ParamMap& params) const {
+  const auto start = std::chrono::steady_clock::now();
+  RunRecord record;
+  try {
+    record = solver.run(g, regime, seed, params);
+  } catch (const std::exception& e) {
+    record = RunRecord{};
+    record.error = e.what();
+    record.success = false;
+    record.checker_passed = false;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  record.solver = solver.name();
+  record.problem = solver.problem();
+  record.graph = graph_name;
+  record.regime = regime.name();
+  record.seed = seed;
+  record.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  return record;
+}
+
+RunRecord Registry::run_cell(const std::string& solver_name, const Graph& g,
+                             const std::string& graph_name,
+                             const Regime& regime, std::uint64_t seed,
+                             const ParamMap& params) const {
+  return run_cell(at(solver_name), g, graph_name, regime, seed, params);
+}
+
+}  // namespace rlocal::lab

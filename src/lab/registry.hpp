@@ -1,0 +1,63 @@
+// Registry: the catalog of solvers the lab can sweep.
+//
+// `Registry::with_builtins()` (and the process-wide `global()`) wraps every
+// entry point the library grew before the lab existed -- Elkin-Neiman and
+// Theorem 3.6 decomposition, Luby MIS on the message-passing engine, the
+// greedy baselines, random-trial coloring, splitting, and conflict-free
+// multicoloring -- so "add a scenario" means registering a solver, not
+// writing a new binary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lab/solver.hpp"
+
+namespace rlocal::lab {
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(Registry&&) = default;
+  Registry& operator=(Registry&&) = default;
+
+  /// Registers a solver; duplicate names throw InvariantError.
+  void add(std::unique_ptr<Solver> solver);
+
+  /// All built-in solvers (see lab/solvers_builtin.cpp).
+  static Registry with_builtins();
+
+  /// Process-wide registry preloaded with the builtins. Mutating it from
+  /// concurrent threads is the caller's responsibility; sweeps only read.
+  static Registry& global();
+
+  /// Lookup by name; null when absent / throwing variant.
+  const Solver* find(const std::string& name) const;
+  const Solver& at(const std::string& name) const;
+
+  std::vector<const Solver*> solvers() const;
+  std::vector<std::string> solver_names() const;
+  /// Distinct problem families, sorted.
+  std::vector<std::string> problems() const;
+
+  std::size_t size() const { return solvers_.size(); }
+
+  /// Runs one cell through `solver`, stamping identity fields and wall time
+  /// and converting exceptions into RunRecord::error. Does NOT check regime
+  /// support -- that is sweep policy; forcing a cell (failure injection) is
+  /// legitimate here.
+  RunRecord run_cell(const Solver& solver, const Graph& g,
+                     const std::string& graph_name, const Regime& regime,
+                     std::uint64_t seed, const ParamMap& params = {}) const;
+
+  /// Convenience: lookup + run_cell.
+  RunRecord run_cell(const std::string& solver_name, const Graph& g,
+                     const std::string& graph_name, const Regime& regime,
+                     std::uint64_t seed, const ParamMap& params = {}) const;
+
+ private:
+  std::vector<std::unique_ptr<Solver>> solvers_;
+};
+
+}  // namespace rlocal::lab

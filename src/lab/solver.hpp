@@ -1,0 +1,50 @@
+// Solver: the lab's uniform view of one algorithm for one problem.
+//
+// The paper's experiments all share a shape -- run algorithm A on graph G
+// under randomness regime R with seed s, check the output, report the
+// paper's observables and the randomness ledger. A Solver packages exactly
+// that: it declares which regimes its algorithm is defined for (Luby's MIS
+// makes sense under every scarce regime but degrades to a sequential order
+// under adversarial constants; Theorem 3.6's construction is pointless
+// without a shared seed but still well-defined under private coins), runs
+// one cell, and fills a RunRecord including the built-in checker's verdict.
+//
+// Problems whose input is not a plain graph (splitting's bipartite
+// instances, conflict-free multicoloring's hypergraphs) derive their
+// instance deterministically from the cell's base graph size, so one grid
+// spec drives every problem; the derivation is documented per solver and
+// its knobs ride in the ParamMap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lab/record.hpp"
+#include "rnd/regime.hpp"
+
+namespace rlocal::lab {
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Registry key, conventionally "problem/algorithm" (e.g. "mis/luby").
+  virtual std::string name() const = 0;
+  /// Problem family ("decomposition", "mis", "coloring", "splitting", ...).
+  virtual std::string problem() const = 0;
+  virtual std::string description() const = 0;
+
+  /// Regime kinds the algorithm is meaningfully defined for. Sweeps skip
+  /// unsupported cells; direct run_cell() calls may still force one (e.g.
+  /// failure injection under adversarial constants).
+  virtual std::vector<RegimeKind> supported_regimes() const = 0;
+  bool supports(const Regime& regime) const;
+
+  /// Runs one cell and fills outcome/observable/ledger fields. Identity
+  /// fields and wall time are stamped by the caller (Registry::run_cell).
+  virtual RunRecord run(const Graph& g, const Regime& regime,
+                        std::uint64_t seed, const ParamMap& params) const = 0;
+};
+
+}  // namespace rlocal::lab

@@ -1,0 +1,360 @@
+// Built-in solvers: every pre-lab entry point of the library wrapped in the
+// Solver interface. Five problem families:
+//
+//   decomposition -- Elkin-Neiman (Lemma 3.3 / Theorem 3.5 setting) and the
+//                    Theorem 3.6 shared-randomness CONGEST construction;
+//   mis           -- Luby via the simulation engine / centralized reference,
+//                    plus the sequential greedy SLOCAL baseline;
+//   coloring      -- random-trial (Delta+1)-coloring;
+//   splitting     -- the [GKM17] splitting problem (Lemma 3.4);
+//   conflict_free -- conflict-free hypergraph multicoloring (Theorem 3.5).
+//
+// Splitting and conflict-free inputs are not plain graphs; those solvers
+// derive their instance deterministically from the cell graph's node count
+// (constants below), so one sweep grid drives every problem family. The
+// instance depends only on (n, shape params), never on the run seed: seeds
+// sweep the algorithm's coins on a fixed instance, which is what the
+// paper's success-probability statements quantify over.
+#include <memory>
+#include <utility>
+
+#include "decomp/elkin_neiman.hpp"
+#include "decomp/shared_congest.hpp"
+#include "graph/bipartite.hpp"
+#include "lab/registry.hpp"
+#include "problems/coloring.hpp"
+#include "problems/conflict_free.hpp"
+#include "problems/mis.hpp"
+#include "problems/splitting.hpp"
+#include "rnd/prng.hpp"
+#include "sim/programs/luby.hpp"
+#include "support/math.hpp"
+
+namespace rlocal::lab {
+namespace {
+
+const std::vector<RegimeKind> kScarceRegimes = {
+    RegimeKind::kFull, RegimeKind::kKWise, RegimeKind::kSharedKWise,
+    RegimeKind::kSharedEpsBias};
+
+const std::vector<RegimeKind> kAllRegimes = {
+    RegimeKind::kFull,         RegimeKind::kKWise,
+    RegimeKind::kSharedKWise,  RegimeKind::kSharedEpsBias,
+    RegimeKind::kAllZeros,     RegimeKind::kAllOnes};
+
+void fill_decomposition_fields(const Graph& g, Decomposition decomposition,
+                               bool all_clustered, RunRecord& record) {
+  record.success = all_clustered;
+  if (all_clustered) {
+    const ValidationReport report = validate_decomposition(g, decomposition);
+    record.checker_passed = report.valid;
+    if (!report.valid) record.error = "checker: " + report.error;
+    record.colors = report.colors_used;
+    record.diameter = report.max_tree_diameter;
+    record.metrics["max_congestion"] = report.max_congestion;
+    record.metrics["strong_diameter"] = report.strong_diameter ? 1.0 : 0.0;
+  }
+  record.objective = record.colors;
+  record.artifact = std::move(decomposition);
+}
+
+class ElkinNeimanSolver final : public Solver {
+ public:
+  std::string name() const override { return "decomp/elkin_neiman"; }
+  std::string problem() const override { return "decomposition"; }
+  std::string description() const override {
+    return "Elkin-Neiman random-shift network decomposition (Thm 3.5 under "
+           "k-wise independence)";
+  }
+  std::vector<RegimeKind> supported_regimes() const override {
+    return kScarceRegimes;
+  }
+  RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
+                const ParamMap& params) const override {
+    NodeRandomness rnd(regime, seed);
+    EnOptions options;
+    options.phases = param_int(params, "phases", 0);
+    options.shift_cap = param_int(params, "shift_cap", 0);
+    EnResult result = elkin_neiman_decomposition(g, rnd, options);
+    RunRecord record;
+    record.rounds = result.rounds_charged;
+    record.iterations = result.phases_used;
+    record.metrics["max_shift"] = result.max_shift;
+    record.metrics["shift_bits"] = static_cast<double>(result.shift_bits);
+    record.metrics["unclustered"] =
+        static_cast<double>(result.unclustered.size());
+    record.shared_seed_bits = rnd.shared_seed_bits();
+    record.derived_bits = rnd.derived_bits();
+    fill_decomposition_fields(g, std::move(result.decomposition),
+                              result.all_clustered, record);
+    return record;
+  }
+};
+
+class SharedCongestSolver final : public Solver {
+ public:
+  std::string name() const override { return "decomp/shared_congest"; }
+  std::string problem() const override { return "decomposition"; }
+  std::string description() const override {
+    return "Theorem 3.6 strong-diameter decomposition from a poly(log n) "
+           "shared seed in CONGEST";
+  }
+  std::vector<RegimeKind> supported_regimes() const override {
+    // Runs under private coins too (the shared seed is then simulated), but
+    // the eps-bias seeds are statistically too short for the construction.
+    return {RegimeKind::kFull, RegimeKind::kKWise, RegimeKind::kSharedKWise};
+  }
+  RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
+                const ParamMap& params) const override {
+    NodeRandomness rnd(regime, seed);
+    SharedCongestOptions options;
+    options.phases = param_int(params, "phases", 0);
+    options.radius_scale = param_int(params, "radius_scale", 2);
+    options.collect_reach_stats =
+        param_int(params, "reach_stats", 0) != 0;
+    SharedCongestResult result =
+        shared_randomness_decomposition(g, rnd, options);
+    RunRecord record;
+    record.rounds = result.rounds_charged;
+    record.iterations = result.phases_used;
+    record.metrics["epochs_per_phase"] = result.epochs_per_phase;
+    record.metrics["max_radius_drawn"] = result.max_radius_drawn;
+    if (options.collect_reach_stats) {
+      record.metrics["max_centers_reaching"] = result.max_centers_reaching;
+    }
+    record.shared_seed_bits = rnd.shared_seed_bits();
+    record.derived_bits = rnd.derived_bits();
+    fill_decomposition_fields(g, std::move(result.decomposition),
+                              result.all_clustered, record);
+    return record;
+  }
+};
+
+class LubyMisSolver final : public Solver {
+ public:
+  std::string name() const override { return "mis/luby"; }
+  std::string problem() const override { return "mis"; }
+  std::string description() const override {
+    return "Luby's MIS with regime-injected priorities; params: "
+           "max_iterations, engine=1 for the message-passing engine";
+  }
+  std::vector<RegimeKind> supported_regimes() const override {
+    // Adversarial constants degrade Luby to the sequential id order, whose
+    // round count is not O(log n); force such cells via run_cell directly.
+    return kScarceRegimes;
+  }
+  RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
+                const ParamMap& params) const override {
+    NodeRandomness rnd(regime, seed);
+    const int max_iterations = param_int(params, "max_iterations", 0);
+    const LubyMisResult result =
+        param_int(params, "engine", 0) != 0
+            ? run_luby_mis(g, rnd, max_iterations)
+            : reference_luby_mis(g, rnd, max_iterations);
+    RunRecord record;
+    record.success = result.success;
+    record.checker_passed =
+        result.success && is_maximal_independent_set(g, result.in_mis);
+    record.iterations = result.iterations;
+    record.rounds = 2 * result.iterations;
+    int mis_size = 0;
+    for (const bool b : result.in_mis) mis_size += b ? 1 : 0;
+    record.objective = mis_size;
+    record.metrics["mis_size"] = mis_size;
+    record.shared_seed_bits = rnd.shared_seed_bits();
+    record.derived_bits = rnd.derived_bits();
+    record.artifact = result.in_mis;
+    return record;
+  }
+};
+
+class GreedyMisSolver final : public Solver {
+ public:
+  std::string name() const override { return "mis/greedy"; }
+  std::string problem() const override { return "mis"; }
+  std::string description() const override {
+    return "Sequential greedy MIS by ascending identifier (SLOCAL locality-1 "
+           "baseline; consumes no randomness)";
+  }
+  std::vector<RegimeKind> supported_regimes() const override {
+    return kAllRegimes;  // deterministic: every regime is trivially fine
+  }
+  RunRecord run(const Graph& g, const Regime&, std::uint64_t,
+                const ParamMap&) const override {
+    const std::vector<bool> in_mis = greedy_mis_by_id(g);
+    RunRecord record;
+    record.success = true;
+    record.checker_passed = is_maximal_independent_set(g, in_mis);
+    int mis_size = 0;
+    for (const bool b : in_mis) mis_size += b ? 1 : 0;
+    record.objective = mis_size;
+    record.metrics["mis_size"] = mis_size;
+    record.artifact = in_mis;
+    return record;
+  }
+};
+
+class RandomColoringSolver final : public Solver {
+ public:
+  std::string name() const override { return "coloring/random_trial"; }
+  std::string problem() const override { return "coloring"; }
+  std::string description() const override {
+    return "(Delta+1)-coloring by random palette trials; params: "
+           "max_iterations";
+  }
+  std::vector<RegimeKind> supported_regimes() const override {
+    return kScarceRegimes;
+  }
+  RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
+                const ParamMap& params) const override {
+    NodeRandomness rnd(regime, seed);
+    const ColoringResult result =
+        random_coloring(g, rnd, param_int(params, "max_iterations", 0));
+    RunRecord record;
+    record.success = result.success;
+    record.checker_passed =
+        result.success &&
+        is_valid_coloring(g, result.color, g.max_degree() + 1);
+    record.iterations = result.iterations;
+    record.rounds = result.rounds_charged;
+    int used = 0;
+    for (const int c : result.color) used = std::max(used, c + 1);
+    record.colors = used;
+    record.objective = used;
+    record.shared_seed_bits = rnd.shared_seed_bits();
+    record.derived_bits = rnd.derived_bits();
+    record.artifact = result.color;
+    return record;
+  }
+};
+
+class RandomSplittingSolver final : public Solver {
+ public:
+  std::string name() const override { return "splitting/random"; }
+  std::string problem() const override { return "splitting"; }
+  std::string description() const override {
+    return "[GKM17] splitting in zero rounds (Lemma 3.4); instance derived "
+           "from n: params degree (default 4 log n), window=1 for the "
+           "overlapping-window instance";
+  }
+  std::vector<RegimeKind> supported_regimes() const override {
+    return kScarceRegimes;
+  }
+  RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
+                const ParamMap& params) const override {
+    const auto n = static_cast<std::int32_t>(g.num_nodes());
+    const int degree = param_int(params, "degree",
+                                 4 * log2n(static_cast<std::uint64_t>(n)));
+    // Instance depends on (n, shape) only -- seeds sweep the coins, not the
+    // instance (see file comment).
+    const BipartiteGraph h =
+        param_int(params, "window", 0) != 0
+            ? make_window_splitting_instance(n, n, degree)
+            : make_random_splitting_instance(
+                  n, n, degree,
+                  mix3(0x5EEDu, static_cast<std::uint64_t>(n),
+                       static_cast<std::uint64_t>(degree)));
+    NodeRandomness rnd(regime, seed);
+    const SplittingResult result = random_splitting(h, rnd);
+    RunRecord record;
+    record.success = result.violations == 0;
+    record.checker_passed =
+        count_splitting_violations(h, result.red) == 0;
+    record.rounds = 0;  // the point of Lemma 3.4
+    record.objective = result.violations;
+    record.metrics["violations"] = result.violations;
+    record.metrics["constraint_degree"] = h.min_left_degree();
+    record.metrics["union_bound"] = splitting_failure_upper_bound(h);
+    record.shared_seed_bits = rnd.shared_seed_bits();
+    record.derived_bits = rnd.derived_bits();
+    record.artifact = result.red;
+    return record;
+  }
+};
+
+class CfMulticolorSolver final : public Solver {
+ public:
+  std::string name() const override { return "conflict_free/kwise"; }
+  std::string problem() const override { return "conflict_free"; }
+  std::string description() const override {
+    return "Conflict-free hypergraph multicoloring via k-wise marking "
+           "(Thm 3.5); instance derived from n: params edges_per_class, "
+           "small_threshold";
+  }
+  std::vector<RegimeKind> supported_regimes() const override {
+    return kScarceRegimes;
+  }
+  RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
+                const ParamMap& params) const override {
+    const auto n = static_cast<std::int32_t>(g.num_nodes());
+    const int logn = log2n(static_cast<std::uint64_t>(n));
+    const int edges_per_class = param_int(params, "edges_per_class", 8);
+    const Hypergraph h = make_classed_hypergraph(
+        n, edges_per_class, logn,
+        mix3(0xCFu, static_cast<std::uint64_t>(n),
+             static_cast<std::uint64_t>(edges_per_class)));
+    NodeRandomness rnd(regime, seed);
+    const CfKwiseResult result = cf_multicolor_kwise(
+        h, rnd, param_int(params, "small_threshold", 0));
+    RunRecord record;
+    record.success = result.valid;
+    record.checker_passed = is_conflict_free(h, result.coloring);
+    record.colors = result.coloring.num_colors;
+    record.objective = result.coloring.num_colors;
+    record.metrics["classes_marked"] = result.classes_marked;
+    record.metrics["empty_restrictions"] = result.empty_restrictions;
+    record.metrics["min_marked"] = result.min_marked;
+    record.metrics["max_marked"] = result.max_marked;
+    record.shared_seed_bits = rnd.shared_seed_bits();
+    record.derived_bits = rnd.derived_bits();
+    return record;
+  }
+};
+
+class CfDeterministicSolver final : public Solver {
+ public:
+  std::string name() const override { return "conflict_free/deterministic"; }
+  std::string problem() const override { return "conflict_free"; }
+  std::string description() const override {
+    return "Deterministic conflict-free multicoloring by conditional "
+           "expectations (the [GKM17] base case; consumes no randomness); "
+           "instance derived from n as in conflict_free/kwise";
+  }
+  std::vector<RegimeKind> supported_regimes() const override {
+    return kAllRegimes;  // deterministic: every regime is trivially fine
+  }
+  RunRecord run(const Graph& g, const Regime&, std::uint64_t,
+                const ParamMap& params) const override {
+    const auto n = static_cast<std::int32_t>(g.num_nodes());
+    const int edges_per_class = param_int(params, "edges_per_class", 8);
+    const Hypergraph h = make_classed_hypergraph(
+        n, edges_per_class, log2n(static_cast<std::uint64_t>(n)),
+        mix3(0xCFu, static_cast<std::uint64_t>(n),
+             static_cast<std::uint64_t>(edges_per_class)));
+    const CfDeterministicResult result = cf_multicolor_deterministic(h);
+    RunRecord record;
+    record.success = true;
+    record.checker_passed = is_conflict_free(h, result.coloring);
+    record.colors = result.coloring.num_colors;
+    record.objective = result.coloring.num_colors;
+    record.metrics["phases"] = result.phases;
+    return record;
+  }
+};
+
+}  // namespace
+
+Registry Registry::with_builtins() {
+  Registry registry;
+  registry.add(std::make_unique<ElkinNeimanSolver>());
+  registry.add(std::make_unique<SharedCongestSolver>());
+  registry.add(std::make_unique<LubyMisSolver>());
+  registry.add(std::make_unique<GreedyMisSolver>());
+  registry.add(std::make_unique<RandomColoringSolver>());
+  registry.add(std::make_unique<RandomSplittingSolver>());
+  registry.add(std::make_unique<CfMulticolorSolver>());
+  registry.add(std::make_unique<CfDeterministicSolver>());
+  return registry;
+}
+
+}  // namespace rlocal::lab

@@ -1,0 +1,137 @@
+#include "lab/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "rnd/prng.hpp"
+#include "support/assert.hpp"
+
+namespace rlocal::lab {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char ch : s) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+struct Cell {
+  const Solver* solver = nullptr;
+  const ZooEntry* graph = nullptr;
+  const Regime* regime = nullptr;
+  std::uint64_t user_seed = 0;
+  bool skipped = false;
+};
+
+}  // namespace
+
+std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
+                        const std::string& graph, const std::string& regime) {
+  return mix3(user_seed, fnv1a(solver) ^ fnv1a(graph), fnv1a(regime));
+}
+
+SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {
+  RLOCAL_CHECK(!spec.graphs.empty(), "sweep spec needs at least one graph");
+  RLOCAL_CHECK(!spec.regimes.empty(), "sweep spec needs at least one regime");
+  RLOCAL_CHECK(!spec.seeds.empty(), "sweep spec needs at least one seed");
+
+  std::vector<const Solver*> solvers;
+  if (spec.solvers.empty()) {
+    solvers = registry.solvers();
+  } else {
+    for (const std::string& name : spec.solvers) {
+      solvers.push_back(&registry.at(name));  // throws on unknown names
+    }
+  }
+  RLOCAL_CHECK(!solvers.empty(), "sweep spec resolved to zero solvers");
+
+  std::vector<Cell> cells;
+  int cells_skipped = 0;
+  for (const Solver* solver : solvers) {
+    for (const ZooEntry& entry : spec.graphs) {
+      for (const Regime& regime : spec.regimes) {
+        const bool supported = solver->supports(regime);
+        if (!supported) {
+          // Same unit as cells_run: one per (solver, graph, regime, seed).
+          cells_skipped += static_cast<int>(spec.seeds.size());
+          if (!spec.keep_unsupported) continue;
+        }
+        for (const std::uint64_t seed : spec.seeds) {
+          cells.push_back({solver, &entry, &regime, seed, !supported});
+        }
+      }
+    }
+  }
+
+  SweepResult result;
+  result.cells_skipped = cells_skipped;
+  result.records.resize(cells.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  int threads = spec.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min<int>(threads, std::max<std::size_t>(cells.size(), 1));
+
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1);
+      if (i >= cells.size()) return;
+      const Cell& cell = cells[i];
+      if (cell.skipped) {
+        RunRecord& record = result.records[i];
+        record.solver = cell.solver->name();
+        record.problem = cell.solver->problem();
+        record.graph = cell.graph->name;
+        record.regime = cell.regime->name();
+        record.seed = cell.user_seed;
+        record.skipped = true;
+        continue;
+      }
+      const std::uint64_t master =
+          cell_seed(cell.user_seed, cell.solver->name(), cell.graph->name,
+                    cell.regime->name());
+      RunRecord record =
+          registry.run_cell(*cell.solver, cell.graph->graph, cell.graph->name,
+                            *cell.regime, master, spec.params);
+      record.seed = cell.user_seed;  // report the user's seed, not the mix
+      result.records[i] = std::move(record);
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+    result.threads_used = 1;
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    result.threads_used = threads;
+  }
+
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  for (const RunRecord& record : result.records) {
+    if (record.skipped) continue;
+    ++result.cells_run;
+    if (!record.error.empty() || !record.checker_passed) {
+      ++result.cells_failed;
+    }
+  }
+  return result;
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  return run_sweep(Registry::global(), spec);
+}
+
+}  // namespace rlocal::lab

@@ -1,0 +1,60 @@
+// Sweep: run a problem x regime x graph x seed grid through the registry on
+// a thread pool, producing one RunRecord per cell.
+//
+// Determinism: every cell derives its own master seed from
+// (user seed, solver name, graph name, regime name) with an FNV-1a/mix3
+// chain, so results are a pure function of the spec -- independent of
+// thread count, scheduling, and cell order. Records come back in grid
+// order (solver-major, then graph, regime, seed).
+//
+// Parallelism: cells are independent (each builds its own NodeRandomness),
+// so the pool is a simple shared atomic cursor over the cell list.
+// `threads <= 0` uses std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "lab/registry.hpp"
+
+namespace rlocal::lab {
+
+struct SweepSpec {
+  /// Named graphs (reuses the generator zoo's entry type).
+  std::vector<ZooEntry> graphs;
+  std::vector<Regime> regimes;
+  std::vector<std::uint64_t> seeds;
+  /// Registry names to run; empty means every registered solver. Unknown
+  /// names throw InvariantError before anything runs.
+  std::vector<std::string> solvers;
+  ParamMap params;
+  int threads = 0;  ///< worker count; <= 0 -> hardware_concurrency
+  /// Unsupported (solver, regime) cells: false drops them (counted in
+  /// cells_skipped), true keeps a RunRecord with skipped = true.
+  bool keep_unsupported = false;
+};
+
+struct SweepResult {
+  std::vector<RunRecord> records;  ///< grid order, deterministic
+  int cells_run = 0;
+  /// Cells dropped because the solver does not support the regime; same
+  /// unit as cells_run (one per grid cell including the seed axis).
+  int cells_skipped = 0;
+  int cells_failed = 0;  ///< ran but threw or failed the checker
+  int threads_used = 0;
+  double wall_ms = 0.0;
+};
+
+SweepResult run_sweep(const Registry& registry, const SweepSpec& spec);
+
+/// Sweep over the process-global registry.
+SweepResult run_sweep(const SweepSpec& spec);
+
+/// The per-cell master seed derivation (exposed for tests / reproducing a
+/// single cell outside a sweep).
+std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
+                        const std::string& graph, const std::string& regime);
+
+}  // namespace rlocal::lab

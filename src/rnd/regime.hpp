@@ -23,6 +23,7 @@
 
 #include "rnd/epsbias.hpp"
 #include "rnd/kwise.hpp"
+#include "support/assert.hpp"
 
 namespace rlocal {
 
@@ -41,11 +42,16 @@ struct Regime {
   int shared_bits = 0;  ///< global seed budget (shared regimes)
 
   static Regime full() { return {RegimeKind::kFull, 0, 0}; }
-  static Regime kwise(int k) { return {RegimeKind::kKWise, k, 0}; }
+  static Regime kwise(int k) {
+    RLOCAL_CHECK(k >= 1, "kwise(k) requires k >= 1");
+    return {RegimeKind::kKWise, k, 0};
+  }
   static Regime shared_kwise(int bits) {
+    RLOCAL_CHECK(bits >= 1, "shared_kwise(bits) requires bits >= 1");
     return {RegimeKind::kSharedKWise, 0, bits};
   }
   static Regime shared_epsbias(int bits) {
+    RLOCAL_CHECK(bits >= 1, "shared_epsbias(bits) requires bits >= 1");
     return {RegimeKind::kSharedEpsBias, 0, bits};
   }
   static Regime all_zeros() { return {RegimeKind::kAllZeros, 0, 0}; }

@@ -1,0 +1,150 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace rlocal {
+
+JsonWriter::JsonWriter(std::ostream& out, int indent)
+    : out_(out), indent_(indent) {
+  RLOCAL_CHECK(indent >= 0, "indent must be non-negative");
+}
+
+JsonWriter::~JsonWriter() = default;
+
+std::string JsonWriter::escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char ch : raw) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ == 0) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i) {
+    out_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    RLOCAL_ASSERT(!wrote_top_level_);
+    wrote_top_level_ = true;
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    RLOCAL_ASSERT(key_pending_);
+    key_pending_ = false;
+    return;
+  }
+  if (scope_has_items_.back()) out_ << ',';
+  scope_has_items_.back() = true;
+  newline_indent();
+}
+
+void JsonWriter::key(std::string_view name) {
+  RLOCAL_ASSERT(!stack_.empty() && stack_.back() == Scope::kObject);
+  RLOCAL_ASSERT(!key_pending_);
+  if (scope_has_items_.back()) out_ << ',';
+  scope_has_items_.back() = true;
+  newline_indent();
+  out_ << '"' << escape(name) << "\":" << (indent_ > 0 ? " " : "");
+  key_pending_ = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  scope_has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  RLOCAL_ASSERT(!stack_.empty() && stack_.back() == Scope::kObject);
+  RLOCAL_ASSERT(!key_pending_);
+  const bool had_items = scope_has_items_.back();
+  stack_.pop_back();
+  scope_has_items_.pop_back();
+  if (had_items) newline_indent();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  scope_has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  RLOCAL_ASSERT(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool had_items = scope_has_items_.back();
+  stack_.pop_back();
+  scope_has_items_.pop_back();
+  if (had_items) newline_indent();
+  out_ << ']';
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ << '"' << escape(v) << '"';
+}
+
+void JsonWriter::value(const char* v) { value(std::string_view(v)); }
+
+void JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ << buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ << v;
+}
+
+void JsonWriter::value(int v) { value(static_cast<std::int64_t>(v)); }
+
+void JsonWriter::null() {
+  before_value();
+  out_ << "null";
+}
+
+}  // namespace rlocal

@@ -1,0 +1,73 @@
+// Minimal streaming JSON writer for experiment artifacts (no external
+// dependencies, mirroring the zero-dependency policy of rnd/prng.hpp).
+//
+// The writer tracks nesting and emits commas/indentation itself, so emitters
+// can be written as straight-line code:
+//
+//   JsonWriter w(out);
+//   w.begin_object();
+//   w.key("schema"); w.value("rlocal.sweep/1");
+//   w.key("records"); w.begin_array();
+//   ... w.end_array();
+//   w.end_object();
+//
+// Mismatched begin/end or a value without a pending key inside an object
+// throw InternalError (emitter bugs, not user errors).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlocal {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, int indent = 2);
+  ~JsonWriter();
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Next value becomes this key's value (only inside an object).
+  void key(std::string_view name);
+
+  void value(std::string_view v);
+  void value(const char* v);
+  void value(bool v);
+  void value(double v);  ///< non-finite values are emitted as null
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v);
+  void null();
+
+  /// Shorthand for key(name); value(v).
+  template <typename T>
+  void field(std::string_view name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// True once every opened scope has been closed.
+  bool done() const { return stack_.empty() && wrote_top_level_; }
+
+  static std::string escape(std::string_view raw);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();
+  void newline_indent();
+
+  std::ostream& out_;
+  int indent_;
+  std::vector<Scope> stack_;
+  std::vector<bool> scope_has_items_;
+  bool key_pending_ = false;
+  bool wrote_top_level_ = false;
+};
+
+}  // namespace rlocal

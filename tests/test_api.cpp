@@ -1,8 +1,13 @@
 // Public API surface: decompose() under each regime, version string, and
 // the one_bit pipelines' options handling.
+//
+// decompose() is deprecated since API v2 (use the lab registry); these
+// tests exercise the shim on purpose until its removal.
 #include <gtest/gtest.h>
 
 #include "core/api.hpp"
+
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace rlocal {
 namespace {

@@ -1,0 +1,269 @@
+// The lab experiment API: registry contents, the full solver x regime
+// smoke matrix, sweep determinism across thread counts, per-cell seeding,
+// param validation, and the emitters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/api.hpp"
+
+namespace rlocal {
+namespace {
+
+// Regimes every randomized solver should be able to run under at n ~ 50:
+// full independence, modest k-wise, a shared k-wise seed, and (where
+// supported) a shared eps-bias seed.
+Regime regime_for(RegimeKind kind) {
+  switch (kind) {
+    case RegimeKind::kFull: return Regime::full();
+    case RegimeKind::kKWise: return Regime::kwise(64);
+    case RegimeKind::kSharedKWise: return Regime::shared_kwise(4096);
+    case RegimeKind::kSharedEpsBias: return Regime::shared_epsbias(24);
+    case RegimeKind::kAllZeros: return Regime::all_zeros();
+    case RegimeKind::kAllOnes: return Regime::all_ones();
+  }
+  return Regime::full();
+}
+
+TEST(LabRegistry, EnumeratesBuiltinProblems) {
+  const lab::Registry& registry = lab::Registry::global();
+  EXPECT_GE(registry.size(), 5u);
+  const std::vector<std::string> problems = registry.problems();
+  EXPECT_GE(problems.size(), 5u);
+  for (const char* expected :
+       {"decomposition", "mis", "coloring", "splitting", "conflict_free"}) {
+    EXPECT_NE(std::find(problems.begin(), problems.end(), expected),
+              problems.end())
+        << expected;
+  }
+  // Every problem family is runnable under >= 3 regimes through its
+  // solvers.
+  for (const lab::Solver* solver : registry.solvers()) {
+    EXPECT_GE(solver->supported_regimes().size(), 3u) << solver->name();
+  }
+}
+
+TEST(LabRegistry, FindAndAtAgree) {
+  const lab::Registry& registry = lab::Registry::global();
+  EXPECT_NE(registry.find("mis/luby"), nullptr);
+  EXPECT_EQ(registry.find("no/such"), nullptr);
+  EXPECT_THROW(registry.at("no/such"), InvariantError);
+  EXPECT_EQ(&registry.at("mis/luby"), registry.find("mis/luby"));
+}
+
+TEST(LabRegistry, RejectsDuplicateAndNullSolvers) {
+  class Clone final : public lab::Solver {
+   public:
+    std::string name() const override { return "mis/luby"; }
+    std::string problem() const override { return "mis"; }
+    std::string description() const override { return "dup"; }
+    std::vector<RegimeKind> supported_regimes() const override {
+      return {RegimeKind::kFull};
+    }
+    lab::RunRecord run(const Graph&, const Regime&, std::uint64_t,
+                       const lab::ParamMap&) const override {
+      return {};
+    }
+  };
+  lab::Registry registry = lab::Registry::with_builtins();
+  EXPECT_THROW(registry.add(std::make_unique<Clone>()), InvariantError);
+  EXPECT_THROW(registry.add(nullptr), InvariantError);
+}
+
+// The smoke matrix: every solver under every regime it declares, on a grid
+// and a GNP graph. Checkers must pass and the randomness ledger must be
+// populated (positive derived bits for randomized solvers, zero for the
+// deterministic baselines).
+TEST(LabSmokeMatrix, AllSolversAllRegimes) {
+  const lab::Registry& registry = lab::Registry::global();
+  const std::vector<ZooEntry> graphs = {
+      {"grid", make_grid(7, 7)},
+      {"gnp", make_gnp(50, 4.0 / 50, 123)},
+  };
+  for (const lab::Solver* solver : registry.solvers()) {
+    for (const RegimeKind kind : solver->supported_regimes()) {
+      const Regime regime = regime_for(kind);
+      for (const ZooEntry& entry : graphs) {
+        SCOPED_TRACE(solver->name() + " / " + regime.name() + " / " +
+                     entry.name);
+        // At n ~ 50 the CF default small-edge threshold exceeds every
+        // hyperedge, which would skip the randomized marking entirely;
+        // lower it so the k-wise path actually draws bits.
+        const lab::ParamMap params =
+            solver->name() == "conflict_free/kwise"
+                ? lab::ParamMap{{"small_threshold", 8.0}}
+                : lab::ParamMap{};
+        const lab::RunRecord record = registry.run_cell(
+            *solver, entry.graph, entry.name, regime, /*seed=*/7, params);
+        EXPECT_EQ(record.error, "");
+        EXPECT_FALSE(record.skipped);
+        EXPECT_TRUE(record.success);
+        EXPECT_TRUE(record.checker_passed);
+        EXPECT_EQ(record.solver, solver->name());
+        EXPECT_EQ(record.problem, solver->problem());
+        EXPECT_EQ(record.graph, entry.name);
+        EXPECT_EQ(record.regime, regime.name());
+        EXPECT_GE(record.wall_ms, 0.0);
+        // Ledger: randomized solvers must report consumption; the shared
+        // regimes must report their true seed entropy.
+        const bool deterministic = solver->name() == "mis/greedy" ||
+                                   solver->name() ==
+                                       "conflict_free/deterministic";
+        if (deterministic) {
+          EXPECT_EQ(record.derived_bits, 0u);
+        } else {
+          EXPECT_GT(record.derived_bits, 0u);
+          if (kind == RegimeKind::kSharedKWise ||
+              kind == RegimeKind::kSharedEpsBias) {
+            EXPECT_GT(record.shared_seed_bits, 0u);
+          } else {
+            EXPECT_EQ(record.shared_seed_bits, 0u);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LabSweep, GridShapeAndCounts) {
+  lab::SweepSpec spec;
+  spec.graphs = {{"grid", make_grid(6, 6)}};
+  spec.regimes = {Regime::full(), Regime::shared_epsbias(24)};
+  spec.seeds = {1, 2, 3};
+  spec.solvers = {"mis/luby", "decomp/shared_congest"};
+  spec.threads = 1;
+  const lab::SweepResult result = lab::run_sweep(spec);
+  // mis/luby runs both regimes; decomp/shared_congest skips eps-bias for
+  // all 3 seeds (cells_skipped shares cells_run's per-seed unit).
+  EXPECT_EQ(result.records.size(), 9u);
+  EXPECT_EQ(result.cells_run, 9);
+  EXPECT_EQ(result.cells_skipped, 3);
+  EXPECT_EQ(result.cells_failed, 0);
+
+  // keep_unsupported materializes the skipped cells.
+  spec.keep_unsupported = true;
+  const lab::SweepResult kept = lab::run_sweep(spec);
+  EXPECT_EQ(kept.records.size(), 12u);
+  int skipped_records = 0;
+  for (const lab::RunRecord& r : kept.records) {
+    if (r.skipped) ++skipped_records;
+  }
+  EXPECT_EQ(skipped_records, 3);
+}
+
+TEST(LabSweep, RejectsBadSpecs) {
+  lab::SweepSpec spec;
+  EXPECT_THROW(lab::run_sweep(spec), InvariantError);  // no graphs
+  spec.graphs = {{"grid", make_grid(4, 4)}};
+  spec.regimes = {Regime::full()};
+  spec.seeds = {1};
+  spec.solvers = {"no/such"};
+  EXPECT_THROW(lab::run_sweep(spec), InvariantError);
+}
+
+TEST(LabSweep, DeterministicAcrossThreadCounts) {
+  lab::SweepSpec spec;
+  spec.graphs = {{"grid", make_grid(6, 6)}, {"cycle", make_cycle(40)}};
+  spec.regimes = {Regime::full(), Regime::kwise(64)};
+  spec.seeds = {5, 6};
+  spec.solvers = {"mis/luby", "coloring/random_trial", "splitting/random"};
+  spec.threads = 1;
+  const lab::SweepResult a = lab::run_sweep(spec);
+  spec.threads = 4;
+  const lab::SweepResult b = lab::run_sweep(spec);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  EXPECT_EQ(b.threads_used, 4);
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const lab::RunRecord& x = a.records[i];
+    const lab::RunRecord& y = b.records[i];
+    EXPECT_EQ(x.solver, y.solver);
+    EXPECT_EQ(x.graph, y.graph);
+    EXPECT_EQ(x.regime, y.regime);
+    EXPECT_EQ(x.seed, y.seed);
+    EXPECT_EQ(x.success, y.success);
+    EXPECT_EQ(x.checker_passed, y.checker_passed);
+    EXPECT_EQ(x.objective, y.objective);
+    EXPECT_EQ(x.iterations, y.iterations);
+    EXPECT_EQ(x.derived_bits, y.derived_bits);
+    EXPECT_EQ(x.metrics, y.metrics);  // wall_ms may differ; metrics not
+  }
+}
+
+TEST(LabSweep, CellSeedSeparatesCoordinates) {
+  const std::uint64_t base = lab::cell_seed(1, "mis/luby", "grid", "full");
+  EXPECT_NE(base, lab::cell_seed(2, "mis/luby", "grid", "full"));
+  EXPECT_NE(base, lab::cell_seed(1, "mis/greedy", "grid", "full"));
+  EXPECT_NE(base, lab::cell_seed(1, "mis/luby", "gnp", "full"));
+  EXPECT_NE(base, lab::cell_seed(1, "mis/luby", "grid", "kwise(64)"));
+  EXPECT_EQ(base, lab::cell_seed(1, "mis/luby", "grid", "full"));
+}
+
+TEST(LabSweep, ExceptionsBecomeRecordErrors) {
+  // shared_kwise(64) passes the factory but NodeRandomness requires >= 128
+  // bits, so every cell throws inside the solver; the sweep must survive
+  // and report the error text instead of crashing.
+  lab::SweepSpec spec;
+  spec.graphs = {{"grid", make_grid(4, 4)}};
+  spec.regimes = {Regime::shared_kwise(64)};
+  spec.seeds = {1};
+  spec.solvers = {"mis/luby"};
+  spec.threads = 1;
+  const lab::SweepResult result = lab::run_sweep(spec);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_FALSE(result.records[0].error.empty());
+  EXPECT_FALSE(result.records[0].success);
+  EXPECT_EQ(result.cells_failed, 1);
+}
+
+TEST(LabEmit, JsonIsWellFormedAndTableHasGroups) {
+  lab::SweepSpec spec;
+  spec.graphs = {{"grid", make_grid(5, 5)}};
+  spec.regimes = {Regime::full(), Regime::kwise(64)};
+  spec.seeds = {1, 2};
+  spec.solvers = {"mis/luby", "mis/greedy"};
+  spec.threads = 1;
+  const lab::SweepResult result = lab::run_sweep(spec);
+
+  std::ostringstream json;
+  lab::emit_json(result, json);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"schema\": \"rlocal.sweep/1\""), std::string::npos);
+  EXPECT_NE(text.find("\"records\""), std::string::npos);
+  EXPECT_NE(text.find("\"derived_bits\""), std::string::npos);
+  // Balanced braces/brackets (structural well-formedness proxy).
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+  EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+            std::count(text.begin(), text.end(), ']'));
+
+  const Table table = lab::summary_table(result);
+  EXPECT_EQ(table.rows(), 4u);  // 2 solvers x 1 graph x 2 regimes
+}
+
+TEST(LabApi, FacadeAccessorsWork) {
+  EXPECT_EQ(&registry(), &lab::Registry::global());
+  EXPECT_GE(kApiVersionMajor, 2);
+  lab::SweepSpec spec;
+  spec.graphs = {{"grid", make_grid(5, 5)}};
+  spec.regimes = {Regime::full()};
+  spec.seeds = {1};
+  spec.solvers = {"mis/greedy"};
+  spec.threads = 1;
+  EXPECT_EQ(sweep(spec).cells_run, 1);
+}
+
+TEST(LabApi, DeprecatedDecomposeShimMatchesSolvers) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const Graph g = make_grid(7, 7);
+  const DecomposeSummary en = decompose(g, Regime::kwise(64), 5);
+  EXPECT_TRUE(en.success);
+  EXPECT_TRUE(validate_decomposition(g, en.decomposition).valid);
+  const DecomposeSummary sc = decompose(g, Regime::shared_kwise(4096), 5);
+  EXPECT_TRUE(sc.success);
+  EXPECT_TRUE(validate_decomposition(g, sc.decomposition).valid);
+#pragma GCC diagnostic pop
+}
+
+}  // namespace
+}  // namespace rlocal

@@ -275,6 +275,20 @@ TEST(Regime, Names) {
   EXPECT_EQ(Regime::shared_epsbias(20).name(), "shared_epsbias(20b)");
 }
 
+TEST(Regime, FactoriesValidateArguments) {
+  EXPECT_THROW(Regime::kwise(0), InvariantError);
+  EXPECT_THROW(Regime::kwise(-3), InvariantError);
+  EXPECT_THROW(Regime::shared_kwise(0), InvariantError);
+  EXPECT_THROW(Regime::shared_kwise(-128), InvariantError);
+  EXPECT_THROW(Regime::shared_epsbias(0), InvariantError);
+  EXPECT_THROW(Regime::shared_epsbias(-1), InvariantError);
+  // Boundary values construct (further minimums are enforced when the
+  // generator is instantiated, see NodeRandomness).
+  EXPECT_EQ(Regime::kwise(1).k, 1);
+  EXPECT_EQ(Regime::shared_kwise(1).shared_bits, 1);
+  EXPECT_EQ(Regime::shared_epsbias(1).shared_bits, 1);
+}
+
 TEST(NodeRandomness, DeterministicPerSeed) {
   NodeRandomness a(Regime::full(), 9);
   NodeRandomness b(Regime::full(), 9);
