@@ -8,7 +8,15 @@
 // (c) Engine-vs-ledger cross-check: the message-passing EN phase on the
 //     engine agrees with the centralized reference bit-for-bit, and its
 //     true message complexity is reported.
+//
+// Ported to the lab API: (a) and (b) are one run_sweep call over
+// decomp/elkin_neiman (the shift-cap ablation is the variant axis, trials
+// the seed axis); (c) forces two registry cells onto the same coins and
+// compares their artifacts.
+#include <algorithm>
+#include <any>
 #include <iostream>
+#include <map>
 
 #include "core/api.hpp"
 #include "support/cli.hpp"
@@ -26,20 +34,40 @@ int main(int argc, char** argv) {
   const int logn = ceil_log2(static_cast<std::uint64_t>(n));
 
   std::cout << "=== E10: randomness accounting & ablations ===\n\n";
-  const Graph g = make_gnp(n, 4.0 / n, seed);
 
-  // (a) bits per node vs the Lemma 3.3 budget.
+  lab::SweepSpec spec;
+  spec.graphs = {{"gnp", make_gnp(n, 4.0 / n, seed)}};
+  spec.regimes = {Regime::full()};
+  spec.solvers = {"decomp/elkin_neiman"};
+  spec.variants.push_back({"default", {}});  // (a): the untruncated run
+  // Dedupe: small n collapses the cap ladder (e.g. logn == 4), and
+  // duplicate variant names are a spec error.
+  std::vector<int> caps;
+  for (const int cap : {1, 2, 4, logn, 2 * logn, 10 * logn}) {
+    if (std::find(caps.begin(), caps.end(), cap) == caps.end()) {
+      caps.push_back(cap);
+    }
+  }
+  for (const int cap : caps) {
+    spec.variants.push_back({"cap" + std::to_string(cap),
+                             {{"shift_cap", static_cast<double>(cap)}}});
+  }
+  for (int t = 0; t < trials; ++t) {
+    spec.seeds.push_back(seed + static_cast<std::uint64_t>(t));
+  }
+  spec.threads = static_cast<int>(args.get_int("threads", 0));
+  const lab::SweepResult result = sweep(spec);
+
+  // (a) bits per node vs the Lemma 3.3 budget (the "default" variant).
   {
     Summary bits;
     Summary phases;
     Summary max_shift;
-    for (int t = 0; t < trials; ++t) {
-      NodeRandomness rnd(Regime::full(),
-                         seed + static_cast<std::uint64_t>(t));
-      const EnResult r = elkin_neiman_decomposition(g, rnd);
-      bits.add(static_cast<double>(r.shift_bits) / g.num_nodes());
-      phases.add(r.phases_used);
-      max_shift.add(r.max_shift);
+    for (const lab::RunRecord& r : result.records) {
+      if (r.variant != "default") continue;
+      bits.add(r.metric_or("shift_bits", 0) / n);
+      phases.add(r.iterations);
+      max_shift.add(r.metric_or("max_shift", 0));
     }
     std::cout << "(a) Lemma 3.3 accounting on G(n,4/n), n=" << n << ":\n"
               << "    bits/node: mean " << fmt(bits.mean(), 2) << ", max "
@@ -56,49 +84,51 @@ int main(int argc, char** argv) {
   {
     std::cout << "(b) geometric truncation ablation (cap in phases "
                  "needed):\n";
-    Table table({"shift cap", "all clustered", "phases(avg)",
-                 "colors(max)", "diam(max)"});
-    for (const int cap : {1, 2, 4, logn, 2 * logn, 10 * logn}) {
+    struct Agg {
       int complete = 0;
       Summary phases;
       int max_colors = 0;
       int max_diam = 0;
-      for (int t = 0; t < trials; ++t) {
-        NodeRandomness rnd(Regime::full(),
-                           seed + 100 + static_cast<std::uint64_t>(t));
-        EnOptions options;
-        options.shift_cap = cap;
-        const EnResult r = elkin_neiman_decomposition(g, rnd, options);
-        if (r.all_clustered) {
-          ++complete;
-          const ValidationReport report =
-              validate_decomposition(g, r.decomposition);
-          max_colors = std::max(max_colors, report.colors_used);
-          max_diam = std::max(max_diam, report.max_tree_diameter);
-        }
-        phases.add(r.phases_used);
+    };
+    std::map<std::string, Agg> groups;
+    for (const lab::RunRecord& r : result.records) {
+      if (r.variant == "default") continue;
+      Agg& agg = groups[r.variant];
+      if (r.success && r.checker_passed) {
+        ++agg.complete;
+        agg.max_colors = std::max(agg.max_colors, r.colors);
+        agg.max_diam = std::max(agg.max_diam, r.diameter);
       }
-      table.add_row({fmt(cap), fmt(complete) + "/" + fmt(trials),
-                     fmt(phases.mean(), 1), fmt(max_colors),
-                     fmt(max_diam)});
+      agg.phases.add(r.iterations);
+    }
+    Table table({"shift cap", "all clustered", "phases(avg)",
+                 "colors(max)", "diam(max)"});
+    // Map order is lexicographic; re-emit in the swept cap order instead.
+    for (const int cap : caps) {
+      const Agg& agg = groups["cap" + std::to_string(cap)];
+      table.add_row({fmt(cap), fmt(agg.complete) + "/" + fmt(trials),
+                     fmt(agg.phases.mean(), 1), fmt(agg.max_colors),
+                     fmt(agg.max_diam)});
     }
     table.print(std::cout);
   }
 
-  // (c) engine vs reference cross-check + true message complexity.
+  // (c) engine vs reference cross-check + true message complexity. The two
+  // registry cells share one master seed, so they draw identical coins.
   {
     const Graph small = make_grid(8, 8);
-    NodeRandomness rnd_a(Regime::full(), seed + 1);
-    NodeRandomness rnd_b(Regime::full(), seed + 1);
-    EnOptions engine_options;
-    engine_options.use_engine = true;
-    const EnResult by_engine =
-        elkin_neiman_decomposition(small, rnd_a, engine_options);
-    const EnResult by_reference =
-        elkin_neiman_decomposition(small, rnd_b, {});
-    bool agree = by_engine.all_clustered == by_reference.all_clustered &&
-                 by_engine.decomposition.cluster_of ==
-                     by_reference.decomposition.cluster_of;
+    const lab::RunRecord by_engine = registry().run_cell(
+        "decomp/elkin_neiman", small, "grid8", Regime::full(), seed + 1,
+        {{"engine", 1}});
+    const lab::RunRecord by_reference = registry().run_cell(
+        "decomp/elkin_neiman", small, "grid8", Regime::full(), seed + 1);
+    const auto* engine_d =
+        std::any_cast<Decomposition>(&by_engine.artifact);
+    const auto* reference_d =
+        std::any_cast<Decomposition>(&by_reference.artifact);
+    const bool agree = engine_d != nullptr && reference_d != nullptr &&
+                       by_engine.success == by_reference.success &&
+                       engine_d->cluster_of == reference_d->cluster_of;
     std::cout << "\n(c) engine vs centralized reference on an 8x8 grid: "
               << (agree ? "identical clustering" : "MISMATCH") << "\n";
 

@@ -6,6 +6,11 @@
 // initial estimator is < 1 (min degree >= log2(2|U|) + 1); SLOCAL greedy
 // MIS/coloring run at locality exactly 1 and the deterministic ball-carving
 // decomposition achieves (O(log n), O(log n)).
+//
+// Ported to the lab API: every tool is a registered solver now, so the
+// whole experiment is two run_sweep calls (instance degrees on the variant
+// axis) plus record formatting.
+#include <algorithm>
 #include <iostream>
 
 #include "core/api.hpp"
@@ -19,60 +24,69 @@ int main(int argc, char** argv) {
       static_cast<NodeId>(args.get_int("scale", args.quick() ? 128 : 512));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
   const int logn = ceil_log2(static_cast<std::uint64_t>(scale));
+  const int threads = static_cast<int>(args.get_int("threads", 0));
 
   std::cout << "=== E11: derandomization tools (GKM17/GHK18 machinery) "
                "===\n\n";
 
-  // Deterministic splitting.
+  // Deterministic splitting: (instance kind x degree) on the variant axis.
   std::cout << "conditional-expectation splitting:\n";
-  Table split({"instance", "degree", "initial E", "violations"});
-  for (const char* kind : {"random", "window"}) {
-    for (const int degree : {logn, 2 * logn, 4 * logn}) {
-      const BipartiteGraph h =
-          kind[0] == 'r' ? make_random_splitting_instance(scale, scale,
-                                                          degree, seed)
-                         : make_window_splitting_instance(scale, scale,
-                                                          degree);
-      const CondExpSplittingResult r = conditional_expectation_splitting(h);
-      split.add_row({kind, fmt(degree), fmt_sci(r.initial_estimate),
-                     fmt(r.violations)});
+  {
+    lab::SweepSpec spec;
+    spec.graphs = {{"n" + std::to_string(scale),
+                    make_path(scale)}};  // instance derived from n only
+    spec.regimes = {Regime::full()};
+    spec.seeds = {seed};
+    spec.solvers = {"splitting/cond_exp"};
+    for (const char* kind : {"random", "window"}) {
+      for (const int degree : {logn, 2 * logn, 4 * logn}) {
+        spec.variants.push_back(
+            {std::string(kind) + "/d" + std::to_string(degree),
+             {{"window", kind[0] == 'w' ? 1.0 : 0.0},
+              {"degree", static_cast<double>(degree)}}});
+      }
     }
+    spec.threads = threads;
+    const lab::SweepResult result = sweep(spec);
+    Table split({"instance", "degree", "initial E", "violations"});
+    for (const lab::RunRecord& r : result.records) {
+      const auto slash = r.variant.find('/');
+      split.add_row({r.variant.substr(0, slash),
+                     r.variant.substr(slash + 2),
+                     fmt_sci(r.metric_or("initial_estimate", 0)),
+                     fmt(r.metric_or("violations", 0), 0)});
+    }
+    split.print(std::cout);
   }
-  split.print(std::cout);
 
-  // SLOCAL algorithms with measured locality.
+  // SLOCAL executors, ball carving, and the decomposition-driven MIS and
+  // coloring: one sweep of the deterministic solvers over the zoo.
+  lab::SweepSpec spec;
+  spec.graphs = make_zoo(scale, seed);
+  spec.regimes = {Regime::full()};
+  spec.seeds = {seed};
+  spec.solvers = {"mis/slocal_greedy", "coloring/slocal_greedy",
+                  "decomp/ball_carving", "mis/from_decomposition",
+                  "coloring/from_decomposition"};
+  spec.threads = threads;
+  const lab::SweepResult result = sweep(spec);
+
   std::cout << "\nSLOCAL executor (locality is measured, not assumed):\n";
   Table slocal({"graph", "algorithm", "locality", "valid"});
-  const auto zoo = make_zoo(scale, seed);
-  for (const auto& entry : zoo) {
-    if (entry.name != "gnp_sparse" && entry.name != "grid" &&
-        entry.name != "binary_tree") {
+  for (const lab::RunRecord& r : result.records) {
+    if (r.solver != "mis/slocal_greedy" &&
+        r.solver != "coloring/slocal_greedy") {
       continue;
     }
-    const Graph& g = entry.graph;
-    std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      order[static_cast<std::size_t>(v)] = v;
+    if (r.graph != "gnp_sparse" && r.graph != "grid" &&
+        r.graph != "binary_tree") {
+      continue;
     }
-    const SlocalResult mis = slocal_greedy_mis(g, order);
-    std::vector<bool> in_mis(static_cast<std::size_t>(g.num_nodes()));
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      in_mis[static_cast<std::size_t>(v)] =
-          mis.state[static_cast<std::size_t>(v)] == 1;
-    }
-    slocal.add_row({entry.name, "greedy MIS", fmt(mis.locality),
-                    is_maximal_independent_set(g, in_mis) ? "yes" : "NO"});
-
-    const SlocalResult coloring = slocal_greedy_coloring(g, order);
-    std::vector<int> colors(static_cast<std::size_t>(g.num_nodes()));
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      colors[static_cast<std::size_t>(v)] = static_cast<int>(
-          coloring.state[static_cast<std::size_t>(v)]);
-    }
-    slocal.add_row({entry.name, "greedy coloring", fmt(coloring.locality),
-                    is_valid_coloring(g, colors, g.max_degree() + 1)
-                        ? "yes"
-                        : "NO"});
+    slocal.add_row({r.graph,
+                    r.solver == "mis/slocal_greedy" ? "greedy MIS"
+                                                    : "greedy coloring",
+                    fmt(r.metric_or("locality", 0), 0),
+                    r.checker_passed ? "yes" : "NO"});
   }
   slocal.print(std::cout);
 
@@ -82,25 +96,27 @@ int main(int argc, char** argv) {
                "coloring it derandomizes:\n";
   Table carve({"graph", "n", "valid", "colors", "diam", "2 log n", "MIS ok",
                "col ok", "app rounds"});
-  for (const auto& entry : zoo) {
-    const Graph& g = entry.graph;
-    const BallCarvingResult r = ball_carving_decomposition(g);
-    const ValidationReport report = validate_decomposition(g,
-                                                           r.decomposition);
-    const DecompositionMisResult mis =
-        mis_from_decomposition(g, r.decomposition);
-    const DecompositionColoringResult coloring =
-        coloring_from_decomposition(g, r.decomposition);
-    carve.add_row({entry.name, fmt(g.num_nodes()),
-                   report.valid ? "yes" : "NO", fmt(report.colors_used),
-                   fmt(report.max_tree_diameter),
+  for (const lab::RunRecord& r : result.records) {
+    if (r.solver != "decomp/ball_carving") continue;
+    const lab::RunRecord* mis = nullptr;
+    const lab::RunRecord* coloring = nullptr;
+    for (const lab::RunRecord& other : result.records) {
+      if (other.graph != r.graph) continue;
+      if (other.solver == "mis/from_decomposition") mis = &other;
+      if (other.solver == "coloring/from_decomposition") coloring = &other;
+    }
+    NodeId graph_n = 0;
+    for (const ZooEntry& entry : spec.graphs) {
+      if (entry.name == r.graph) graph_n = entry.graph.num_nodes();
+    }
+    carve.add_row({r.graph, fmt(graph_n), r.checker_passed ? "yes" : "NO",
+                   fmt(r.colors), fmt(r.diameter),
                    fmt(2 * ceil_log2(static_cast<std::uint64_t>(
-                           g.num_nodes()))),
-                   is_maximal_independent_set(g, mis.in_mis) ? "yes" : "NO",
-                   is_valid_coloring(g, coloring.color, g.max_degree() + 1)
-                       ? "yes"
-                       : "NO",
-                   fmt(mis.rounds_charged)});
+                           std::max<NodeId>(2, graph_n)))),
+                   mis != nullptr && mis->checker_passed ? "yes" : "NO",
+                   coloring != nullptr && coloring->checker_passed ? "yes"
+                                                                   : "NO",
+                   mis != nullptr ? fmt(mis->rounds) : "-"});
   }
   carve.print(std::cout);
   std::cout << "\nprediction: zero violations whenever initial E < 1; "

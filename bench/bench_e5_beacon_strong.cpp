@@ -4,7 +4,11 @@
 // Paper prediction: strong-diameter (O(log n), O(log^2 n)) decomposition --
 // the h factor of Theorem 3.1 disappears from the diameter; only the round
 // count pays for the gathering.
+//
+// Ported to the lab API: both pipelines sweep the same zoo x (h variant)
+// grid in one run_sweep call; the diameter comparison pairs their records.
 #include <iostream>
+#include <map>
 
 #include "core/api.hpp"
 #include "support/cli.hpp"
@@ -18,47 +22,49 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
 
   std::cout << "=== E5: Theorem 3.7 -- strong diameter from beacons ===\n\n";
-  Table table({"graph", "n", "h", "hyp", "valid", "colors", "diam(3.7)",
-               "diam(3.1)", "strong", "rounds", "short pools"});
-  const auto zoo = make_zoo(scale, seed);
-  for (const auto& entry : zoo) {
-    const Graph& g = entry.graph;
-    for (const int h : {2, 4}) {
-      // Dense-but-single-bit beacons: every second node carries one random
-      // bit; a larger separation deepens each cluster's seed pool.
-      const BeaconPlacement placement =
-          place_beacons_random(g, h, 0.5, seed + h);
-      OneBitOptions options;
-      options.h_prime = 8 * h + 1;
 
-      PrngBitSource bits_strong(seed + h);
-      const OneBitResult strong =
-          one_bit_strong_decomposition(g, placement, bits_strong, options);
-      ValidationReport strong_report;
-      if (strong.all_clustered) {
-        strong_report = validate_decomposition(g, strong.decomposition);
-      }
+  lab::SweepSpec spec;
+  spec.graphs = make_zoo(scale, seed);
+  spec.regimes = {Regime::full()};
+  spec.seeds = {seed};
+  spec.solvers = {"decomp/one_bit_strong", "decomp/one_bit"};
+  for (const int h : {2, 4}) {
+    // Dense-but-single-bit beacons: every second node carries one random
+    // bit; a larger separation deepens each cluster's seed pool.
+    spec.variants.push_back(
+        {"h" + std::to_string(h),
+         {{"h", static_cast<double>(h)},
+          {"placement", 2},
+          {"density", 0.5},
+          {"h_prime", static_cast<double>(8 * h + 1)}}});
+  }
+  spec.threads = static_cast<int>(args.get_int("threads", 0));
+  const lab::SweepResult result = sweep(spec);
 
-      PrngBitSource bits_weak(seed + h);
-      const OneBitResult weak =
-          one_bit_decomposition(g, placement, bits_weak, options);
-      ValidationReport weak_report;
-      if (weak.all_clustered) {
-        weak_report = validate_decomposition(g, weak.decomposition);
-      }
-
-      table.add_row(
-          {entry.name, fmt(g.num_nodes()), fmt(h),
-           strong.exhausted_draws == 0 ? "met" : "UNMET",
-           strong.all_clustered && strong_report.valid ? "yes" : "NO",
-           fmt(strong_report.colors_used),
-           fmt(strong_report.max_tree_diameter),
-           fmt(weak_report.max_tree_diameter),
-           strong_report.strong_diameter ? "yes" : "no",
-           fmt(strong.rounds_charged), fmt(strong.exhausted_draws)});
+  // Pair the weak (Thm 3.1) diameter with the strong (Thm 3.7) rows.
+  std::map<std::pair<std::string, std::string>, int> weak_diameter;
+  for (const lab::RunRecord& r : result.records) {
+    if (r.solver == "decomp/one_bit") {
+      weak_diameter[{r.graph, r.variant}] = r.diameter;
     }
   }
+  Table table({"graph", "variant", "hyp", "valid", "colors", "diam(3.7)",
+               "diam(3.1)", "strong", "rounds", "short pools"});
+  for (const lab::RunRecord& r : result.records) {
+    if (r.solver != "decomp/one_bit_strong") continue;
+    table.add_row({r.graph, r.variant,
+                   r.metric_or("hypothesis_met", 0) > 0 ? "met" : "UNMET",
+                   r.success && r.checker_passed ? "yes" : "NO",
+                   fmt(r.colors), fmt(r.diameter),
+                   fmt(weak_diameter[{r.graph, r.variant}]),
+                   r.metric_or("strong_diameter", 0) > 0 ? "yes" : "no",
+                   fmt(r.rounds), fmt(r.metric_or("exhausted_draws", 0), 0)});
+  }
   table.print(std::cout);
+  std::cout << "\ncells: " << result.cells_run << " run, "
+            << result.cells_failed << " failed, on "
+            << result.threads_used << " thread(s) in "
+            << fmt(result.wall_ms, 1) << " ms\n";
   std::cout << "\npaper: Theorem 3.7's diameter is O(log^2 n) with no h "
                "factor (compare the two diameter columns as h grows).\n"
                "hyp = every cluster gathered >= 64 bits (short pools run "

@@ -7,6 +7,10 @@
 // budget the mean failure rate is positive yet perfect seeds still exist,
 // illustrating that the argument needs only "not every seed fails
 // somewhere".
+//
+// Ported to the lab API: the (bits/id x budget) grid is the variant axis of
+// one run_sweep call over the derand/brute_force solver (the enumeration is
+// the instance; the cell graph and seed are inert).
 #include <iostream>
 
 #include "core/api.hpp"
@@ -20,22 +24,41 @@ int main(int argc, char** argv) {
 
   std::cout << "=== E7: Lemma 4.1 -- brute-force derandomization ===\n"
             << "algorithm: Luby MIS, priorities fixed per identifier\n\n";
-  Table table({"max n", "bits/id", "budget", "|family|", "|seeds|",
-               "perfect seeds", "mean fail", "worst fail", "derandomizable"});
+
+  lab::SweepSpec spec;
+  spec.graphs = {{"family", make_path(2)}};  // inert: the family is derived
+  spec.regimes = {Regime::full()};
+  spec.seeds = {1};
+  spec.solvers = {"derand/brute_force"};
+  spec.params = {{"max_n", static_cast<double>(max_n)}};
   for (const int bits : {1, 2, 3}) {
     for (const int budget : {1, 2, 3}) {
-      BruteForceOptions options;
-      options.max_n = max_n;
-      options.bits_per_id = bits;
-      options.round_budget = budget;
-      if (options.bits_per_id * options.max_n > 16) continue;
-      const BruteForceResult r = brute_force_derandomize_mis(options);
-      table.add_row(
-          {fmt(options.max_n), fmt(bits), fmt(budget),
-           fmt(r.graphs_in_family), fmt(r.seed_assignments),
-           fmt(r.perfect_seeds), fmt(r.mean_failure_fraction, 4),
-           fmt(r.worst_failures), r.derandomizable ? "yes" : "NO"});
+      if (bits * max_n > 16) continue;
+      spec.variants.push_back(
+          {"b" + std::to_string(bits) + "/r" + std::to_string(budget),
+           {{"bits_per_id", static_cast<double>(bits)},
+            {"round_budget", static_cast<double>(budget)}}});
     }
+  }
+  if (spec.variants.empty()) {
+    std::cout << "every (bits/id, budget) combination exceeds the 2^16 "
+                 "seed-space cap at max_n=" << max_n << "; nothing to run.\n";
+    return 0;
+  }
+  spec.threads = static_cast<int>(args.get_int("threads", 0));
+  const lab::SweepResult result = sweep(spec);
+
+  Table table({"max n", "bits/id", "budget", "|family|", "|seeds|",
+               "perfect seeds", "mean fail", "worst fail", "derandomizable"});
+  for (const lab::RunRecord& r : result.records) {
+    table.add_row({fmt(max_n), r.variant.substr(1, r.variant.find('/') - 1),
+                   r.variant.substr(r.variant.find("/r") + 2),
+                   fmt(r.metric_or("graphs_in_family", 0), 0),
+                   fmt(r.metric_or("seed_assignments", 0), 0),
+                   fmt(r.metric_or("perfect_seeds", 0), 0),
+                   fmt(r.metric_or("mean_failure_fraction", 0), 4),
+                   fmt(r.metric_or("worst_failures", 0), 0),
+                   r.success ? "yes" : "NO"});
   }
   table.print(std::cout);
 

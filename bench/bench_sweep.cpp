@@ -43,10 +43,18 @@ int main(int argc, char** argv) {
       Regime::kwise(2 * logn * logn),
       Regime::shared_kwise(64 * 2 * logn * logn),
       Regime::shared_epsbias(4 * logn),
+      // Per-cluster pooled randomness (Lemma 3.3 beacons): log n pools of
+      // 128 log n bits each.
+      Regime::pooled(logn, std::max(128, 128 * logn)),
   };
   for (int t = 0; t < num_seeds; ++t) {
     spec.seeds.push_back(seed + static_cast<std::uint64_t>(t));
   }
+  // At bench scales the CF default small-edge threshold exceeds every
+  // hyperedge, which would skip the randomized marking entirely; lower it
+  // so the k-wise path actually draws bits (only conflict_free/kwise reads
+  // this knob).
+  spec.params = {{"small_threshold", 8.0}};
 
   // Single-threaded baseline vs the pool (speedup needs >= 2 real cores;
   // the records themselves are identical either way).

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Regression gate over BENCH_sweep.json artifacts.
+
+Compares per-solver wall time between a baseline sweep (the previous CI
+run's artifact) and the current one, and fails when any solver regresses by
+more than --max-ratio. Pure stdlib; schema rlocal.sweep/1.
+
+Usage:
+    compare_sweep.py BASELINE CURRENT [--max-ratio 2.0] [--min-ms 5.0]
+
+Exit codes: 0 ok (including "no baseline available"), 1 regression,
+2 malformed input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def per_solver_wall_ms(path):
+    """Total wall_ms per solver over all non-skipped records."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("schema") != "rlocal.sweep/1":
+        raise ValueError(f"{path}: unknown schema {data.get('schema')!r}")
+    totals = {}
+    counts = {}
+    for record in data.get("records", []):
+        if record.get("skipped"):
+            continue
+        solver = record["solver"]
+        totals[solver] = totals.get(solver, 0.0) + float(
+            record.get("wall_ms", 0.0))
+        counts[solver] = counts.get(solver, 0) + 1
+    return totals, counts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when current/baseline exceeds this")
+    parser.add_argument("--min-ms", type=float, default=5.0,
+                        help="ignore solvers below this total (noise floor)")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; first run passes trivially")
+        return 0
+
+    try:
+        base, base_counts = per_solver_wall_ms(args.baseline)
+        curr, curr_counts = per_solver_wall_ms(args.current)
+    except (ValueError, KeyError, json.JSONDecodeError) as error:
+        print(f"malformed sweep artifact: {error}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max((len(s) for s in curr), default=10)
+    print(f"{'solver':<{width}}  {'base ms':>10}  {'curr ms':>10}  "
+          f"{'ratio':>6}")
+    for solver in sorted(curr):
+        curr_ms = curr[solver]
+        if solver not in base:
+            print(f"{solver:<{width}}  {'new':>10}  {curr_ms:>10.1f}  "
+                  f"{'-':>6}")
+            continue
+        base_ms = base[solver]
+        # Normalize by cell count so a grown grid is not read as a slowdown.
+        base_per = base_ms / max(1, base_counts[solver])
+        curr_per = curr_ms / max(1, curr_counts[solver])
+        ratio = curr_per / base_per if base_per > 0 else float("inf")
+        flag = ""
+        if curr_ms >= args.min_ms and base_ms >= args.min_ms \
+                and ratio > args.max_ratio:
+            regressions.append((solver, ratio))
+            flag = "  << REGRESSION"
+        print(f"{solver:<{width}}  {base_ms:>10.1f}  {curr_ms:>10.1f}  "
+              f"{ratio:>6.2f}{flag}")
+
+    if regressions:
+        names = ", ".join(f"{s} ({r:.2f}x)" for s, r in regressions)
+        print(f"\nFAIL: wall-time regression > {args.max_ratio}x in: {names}",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: no solver regressed beyond {args.max_ratio}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,9 @@ DecomposeSummary decompose(const Graph& g, const Regime& regime,
       RLOCAL_CHECK(false,
                    "shared eps-bias seeds are too short to drive the "
                    "Theorem 3.6 construction; use shared_kwise");
+    case RegimeKind::kPooled:
+      solver = "decomp/shared_congest";
+      break;
     case RegimeKind::kAllZeros:
     case RegimeKind::kAllOnes:
       RLOCAL_CHECK(false,

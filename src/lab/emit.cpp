@@ -1,5 +1,6 @@
 #include "lab/emit.hpp"
 
+#include <algorithm>
 #include <map>
 #include <ostream>
 #include <tuple>
@@ -27,7 +28,10 @@ void emit_json(const SweepResult& result, std::ostream& out) {
     w.field("solver", r.solver);
     w.field("problem", r.problem);
     w.field("graph", r.graph);
+    // Regime names are emitted verbatim (escaped by JsonWriter); every
+    // RegimeKind -- including pooled -- round-trips as an opaque string key.
     w.field("regime", r.regime);
+    if (!r.variant.empty()) w.field("variant", r.variant);
     w.field("seed", r.seed);
     if (r.skipped) {
       w.field("skipped", true);
@@ -71,9 +75,13 @@ Table summary_table(const SweepResult& result) {
     double derived_bits = 0;
     std::uint64_t shared_seed_bits = 0;
   };
-  std::map<std::tuple<std::string, std::string, std::string>, Agg> groups;
+  std::map<std::tuple<std::string, std::string, std::string, std::string>,
+           Agg>
+      groups;
+  bool any_variant = false;
   for (const RunRecord& r : result.records) {
-    Agg& agg = groups[{r.solver, r.graph, r.regime}];
+    if (!r.variant.empty()) any_variant = true;
+    Agg& agg = groups[{r.solver, r.graph, r.regime, r.variant}];
     if (r.skipped) {
       ++agg.skipped;
       continue;
@@ -93,26 +101,38 @@ Table summary_table(const SweepResult& result) {
     }
     agg.rounds += r.rounds > 0 ? r.rounds : 0;
     agg.derived_bits += static_cast<double>(r.derived_bits);
-    agg.shared_seed_bits = r.shared_seed_bits;
+    // Max, not last-wins: pooled regimes charge per pool actually touched,
+    // so the ledger varies across a group's runs; report the worst case.
+    agg.shared_seed_bits = std::max(agg.shared_seed_bits,
+                                    r.shared_seed_bits);
   }
-  Table table({"solver", "graph", "regime", "ok/trials", "objective(avg)",
-               "rounds(avg)", "seed bits", "derived bits(avg)", "ms(avg)"});
+  std::vector<std::string> header = {"solver", "graph", "regime"};
+  if (any_variant) header.push_back("variant");
+  for (const char* column : {"ok/trials", "objective(avg)", "rounds(avg)",
+                             "seed bits", "derived bits(avg)", "ms(avg)"}) {
+    header.emplace_back(column);
+  }
+  Table table(header);
   for (const auto& [key, agg] : groups) {
-    const auto& [solver, graph, regime] = key;
+    const auto& [solver, graph, regime, variant] = key;
+    std::vector<std::string> row = {solver, graph, regime};
+    if (any_variant) row.push_back(variant.empty() ? "-" : variant);
     if (agg.trials == 0) {
-      table.add_row({solver, graph, regime, "skipped", "-", "-", "-", "-",
-                     "-"});
+      for (const char* cell : {"skipped", "-", "-", "-", "-", "-"}) {
+        row.emplace_back(cell);
+      }
+      table.add_row(row);
       continue;
     }
     const double n = agg.completed;
-    table.add_row({solver, graph, regime,
-                   fmt(agg.ok) + "/" + fmt(agg.trials),
-                   agg.successes > 0 ? fmt(agg.objective / agg.successes, 1)
-                                     : "-",
-                   agg.completed > 0 ? fmt(agg.rounds / n, 1) : "-",
-                   agg.completed > 0 ? fmt(agg.shared_seed_bits) : "-",
-                   agg.completed > 0 ? fmt(agg.derived_bits / n, 0) : "-",
-                   fmt(agg.wall_ms / agg.trials, 2)});
+    row.push_back(fmt(agg.ok) + "/" + fmt(agg.trials));
+    row.push_back(agg.successes > 0 ? fmt(agg.objective / agg.successes, 1)
+                                    : "-");
+    row.push_back(agg.completed > 0 ? fmt(agg.rounds / n, 1) : "-");
+    row.push_back(agg.completed > 0 ? fmt(agg.shared_seed_bits) : "-");
+    row.push_back(agg.completed > 0 ? fmt(agg.derived_bits / n, 0) : "-");
+    row.push_back(fmt(agg.wall_ms / agg.trials, 2));
+    table.add_row(row);
   }
   return table;
 }

@@ -36,6 +36,9 @@ struct RunRecord {
   std::string problem;
   std::string graph;
   std::string regime;
+  /// Named parameter set this cell ran under (sweep variant axis); empty
+  /// when the sweep used a single implicit parameter set.
+  std::string variant;
   std::uint64_t seed = 0;
 
   // Outcome.
@@ -59,6 +62,12 @@ struct RunRecord {
 
   std::map<std::string, double> metrics;  ///< solver-specific extras
   std::any artifact;  ///< typed payload (e.g. Decomposition); may be empty
+
+  /// `metrics[key]`, or `fallback` when the solver did not report it.
+  double metric_or(const std::string& key, double fallback) const {
+    const auto it = metrics.find(key);
+    return it == metrics.end() ? fallback : it->second;
+  }
 };
 
 }  // namespace rlocal::lab

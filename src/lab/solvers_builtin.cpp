@@ -1,5 +1,6 @@
 // Built-in solvers: every pre-lab entry point of the library wrapped in the
-// Solver interface. Five problem families:
+// Solver interface (the theorem pipelines live in solvers_pipelines.cpp;
+// shared helpers in solvers_common.hpp). Five problem families here:
 //
 //   decomposition -- Elkin-Neiman (Lemma 3.3 / Theorem 3.5 setting) and the
 //                    Theorem 3.6 shared-randomness CONGEST construction;
@@ -22,6 +23,7 @@
 #include "decomp/shared_congest.hpp"
 #include "graph/bipartite.hpp"
 #include "lab/registry.hpp"
+#include "lab/solvers_common.hpp"
 #include "problems/coloring.hpp"
 #include "problems/conflict_free.hpp"
 #include "problems/mis.hpp"
@@ -33,38 +35,14 @@
 namespace rlocal::lab {
 namespace {
 
-const std::vector<RegimeKind> kScarceRegimes = {
-    RegimeKind::kFull, RegimeKind::kKWise, RegimeKind::kSharedKWise,
-    RegimeKind::kSharedEpsBias};
-
-const std::vector<RegimeKind> kAllRegimes = {
-    RegimeKind::kFull,         RegimeKind::kKWise,
-    RegimeKind::kSharedKWise,  RegimeKind::kSharedEpsBias,
-    RegimeKind::kAllZeros,     RegimeKind::kAllOnes};
-
-void fill_decomposition_fields(const Graph& g, Decomposition decomposition,
-                               bool all_clustered, RunRecord& record) {
-  record.success = all_clustered;
-  if (all_clustered) {
-    const ValidationReport report = validate_decomposition(g, decomposition);
-    record.checker_passed = report.valid;
-    if (!report.valid) record.error = "checker: " + report.error;
-    record.colors = report.colors_used;
-    record.diameter = report.max_tree_diameter;
-    record.metrics["max_congestion"] = report.max_congestion;
-    record.metrics["strong_diameter"] = report.strong_diameter ? 1.0 : 0.0;
-  }
-  record.objective = record.colors;
-  record.artifact = std::move(decomposition);
-}
-
 class ElkinNeimanSolver final : public Solver {
  public:
   std::string name() const override { return "decomp/elkin_neiman"; }
   std::string problem() const override { return "decomposition"; }
   std::string description() const override {
     return "Elkin-Neiman random-shift network decomposition (Thm 3.5 under "
-           "k-wise independence)";
+           "k-wise independence); params: phases, shift_cap, engine=1 for "
+           "the message-passing engine";
   }
   std::vector<RegimeKind> supported_regimes() const override {
     return kScarceRegimes;
@@ -75,6 +53,7 @@ class ElkinNeimanSolver final : public Solver {
     EnOptions options;
     options.phases = param_int(params, "phases", 0);
     options.shift_cap = param_int(params, "shift_cap", 0);
+    options.use_engine = param_int(params, "engine", 0) != 0;
     EnResult result = elkin_neiman_decomposition(g, rnd, options);
     RunRecord record;
     record.rounds = result.rounds_charged;
@@ -102,7 +81,9 @@ class SharedCongestSolver final : public Solver {
   std::vector<RegimeKind> supported_regimes() const override {
     // Runs under private coins too (the shared seed is then simulated), but
     // the eps-bias seeds are statistically too short for the construction.
-    return {RegimeKind::kFull, RegimeKind::kKWise, RegimeKind::kSharedKWise};
+    // Pooled randomness is the Theorem 3.7 reading: clusters of nodes share
+    // one finite stream.
+    return kScarceNoEpsBias;
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
                 const ParamMap& params) const override {
@@ -354,6 +335,7 @@ Registry Registry::with_builtins() {
   registry.add(std::make_unique<RandomSplittingSolver>());
   registry.add(std::make_unique<CfMulticolorSolver>());
   registry.add(std::make_unique<CfDeterministicSolver>());
+  register_pipeline_solvers(registry);
   return registry;
 }
 

@@ -1,0 +1,59 @@
+// Shared pieces of the built-in solver files (solvers_builtin.cpp wraps the
+// pre-lab entry points, solvers_pipelines.cpp the theorem pipelines): the
+// canonical supported-regime lists and the decomposition record filler.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "decomp/decomposition.hpp"
+#include "lab/record.hpp"
+#include "rnd/regime.hpp"
+
+namespace rlocal::lab {
+
+/// Every regime the paper treats as a legitimate (if scarce) randomness
+/// source; the adversarial constants are excluded (forced via run_cell).
+inline const std::vector<RegimeKind> kScarceRegimes = {
+    RegimeKind::kFull, RegimeKind::kKWise, RegimeKind::kSharedKWise,
+    RegimeKind::kSharedEpsBias, RegimeKind::kPooled};
+
+/// Scarce regimes minus eps-bias, for constructions whose seeds the AGHP
+/// expansion is statistically too short to drive (Theorem 3.6 and friends).
+inline const std::vector<RegimeKind> kScarceNoEpsBias = {
+    RegimeKind::kFull, RegimeKind::kKWise, RegimeKind::kSharedKWise,
+    RegimeKind::kPooled};
+
+inline const std::vector<RegimeKind> kAllRegimes = {
+    RegimeKind::kFull,           RegimeKind::kKWise,
+    RegimeKind::kSharedKWise,    RegimeKind::kSharedEpsBias,
+    RegimeKind::kPooled,         RegimeKind::kAllZeros,
+    RegimeKind::kAllOnes};
+
+/// Fills the outcome/observable fields shared by every decomposition-shaped
+/// solver: runs the independent checker when the decomposition is total,
+/// stamps colors/diameter/congestion, and parks the artifact.
+inline void fill_decomposition_fields(const Graph& g,
+                                      Decomposition decomposition,
+                                      bool all_clustered, RunRecord& record) {
+  record.success = all_clustered;
+  if (all_clustered) {
+    const ValidationReport report = validate_decomposition(g, decomposition);
+    record.checker_passed = report.valid;
+    if (!report.valid) record.error = "checker: " + report.error;
+    record.colors = report.colors_used;
+    record.diameter = report.max_tree_diameter;
+    record.metrics["max_congestion"] = report.max_congestion;
+    record.metrics["strong_diameter"] = report.strong_diameter ? 1.0 : 0.0;
+  }
+  record.objective = record.colors;
+  record.artifact = std::move(decomposition);
+}
+
+/// Registers the theorem-pipeline solvers (beacon/one-bit decompositions,
+/// shattering, the derandomization toolkit); called by
+/// Registry::with_builtins after the pre-lab wrappers.
+class Registry;
+void register_pipeline_solvers(Registry& registry);
+
+}  // namespace rlocal::lab

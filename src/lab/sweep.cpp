@@ -23,6 +23,8 @@ struct Cell {
   const Solver* solver = nullptr;
   const ZooEntry* graph = nullptr;
   const Regime* regime = nullptr;
+  const ParamVariant* variant = nullptr;
+  const ParamMap* params = nullptr;  ///< spec params overlaid with variant's
   std::uint64_t user_seed = 0;
   bool skipped = false;
 };
@@ -31,7 +33,20 @@ struct Cell {
 
 std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
                         const std::string& graph, const std::string& regime) {
-  return mix3(user_seed, fnv1a(solver) ^ fnv1a(graph), fnv1a(regime));
+  return cell_seed(user_seed, solver, graph, regime, "");
+}
+
+std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
+                        const std::string& graph, const std::string& regime,
+                        const std::string& variant) {
+  // The empty variant contributes nothing, so pre-variant sweeps keep their
+  // exact per-cell seeds. Non-empty variants chain a second mix stage (not
+  // an XOR into the regime word, which would alias swapped (regime,
+  // variant) name pairs).
+  const std::uint64_t base =
+      mix3(user_seed, fnv1a(solver) ^ fnv1a(graph), fnv1a(regime));
+  if (variant.empty()) return base;
+  return mix3(base, fnv1a(variant), 0x76617269616E74ULL);  // "variant"
 }
 
 SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {
@@ -49,6 +64,27 @@ SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {
   }
   RLOCAL_CHECK(!solvers.empty(), "sweep spec resolved to zero solvers");
 
+  // Resolve the variant axis: one implicit ("", spec.params) variant when
+  // none are given; otherwise overlay each variant's params on the spec's.
+  static const ParamVariant kImplicitVariant{};
+  std::vector<const ParamVariant*> variants;
+  std::vector<ParamMap> variant_params;
+  if (spec.variants.empty()) {
+    variants.push_back(&kImplicitVariant);
+    variant_params.push_back(spec.params);
+  } else {
+    for (const ParamVariant& variant : spec.variants) {
+      for (const ParamVariant* seen : variants) {
+        RLOCAL_CHECK(seen->name != variant.name,
+                     "duplicate sweep variant '" + variant.name + "'");
+      }
+      variants.push_back(&variant);
+      ParamMap merged = spec.params;
+      for (const auto& [key, value] : variant.params) merged[key] = value;
+      variant_params.push_back(std::move(merged));
+    }
+  }
+
   std::vector<Cell> cells;
   int cells_skipped = 0;
   for (const Solver* solver : solvers) {
@@ -56,12 +92,17 @@ SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {
       for (const Regime& regime : spec.regimes) {
         const bool supported = solver->supports(regime);
         if (!supported) {
-          // Same unit as cells_run: one per (solver, graph, regime, seed).
-          cells_skipped += static_cast<int>(spec.seeds.size());
+          // Same unit as cells_run: one per grid cell incl. the variant and
+          // seed axes.
+          cells_skipped += static_cast<int>(variants.size()) *
+                           static_cast<int>(spec.seeds.size());
           if (!spec.keep_unsupported) continue;
         }
-        for (const std::uint64_t seed : spec.seeds) {
-          cells.push_back({solver, &entry, &regime, seed, !supported});
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+          for (const std::uint64_t seed : spec.seeds) {
+            cells.push_back({solver, &entry, &regime, variants[v],
+                             &variant_params[v], seed, !supported});
+          }
         }
       }
     }
@@ -91,16 +132,18 @@ SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {
         record.problem = cell.solver->problem();
         record.graph = cell.graph->name;
         record.regime = cell.regime->name();
+        record.variant = cell.variant->name;
         record.seed = cell.user_seed;
         record.skipped = true;
         continue;
       }
       const std::uint64_t master =
           cell_seed(cell.user_seed, cell.solver->name(), cell.graph->name,
-                    cell.regime->name());
+                    cell.regime->name(), cell.variant->name);
       RunRecord record =
           registry.run_cell(*cell.solver, cell.graph->graph, cell.graph->name,
-                            *cell.regime, master, spec.params);
+                            *cell.regime, master, *cell.params);
+      record.variant = cell.variant->name;
       record.seed = cell.user_seed;  // report the user's seed, not the mix
       result.records[i] = std::move(record);
     }

@@ -1,11 +1,11 @@
-// Sweep: run a problem x regime x graph x seed grid through the registry on
-// a thread pool, producing one RunRecord per cell.
+// Sweep: run a solver x graph x regime x variant x seed grid through the
+// registry on a thread pool, producing one RunRecord per cell.
 //
 // Determinism: every cell derives its own master seed from
-// (user seed, solver name, graph name, regime name) with an FNV-1a/mix3
-// chain, so results are a pure function of the spec -- independent of
-// thread count, scheduling, and cell order. Records come back in grid
-// order (solver-major, then graph, regime, seed).
+// (user seed, solver name, graph name, regime name, variant name) with an
+// FNV-1a/mix3 chain, so results are a pure function of the spec --
+// independent of thread count, scheduling, and cell order. Records come
+// back in grid order (solver-major, then graph, regime, variant, seed).
 //
 // Parallelism: cells are independent (each builds its own NodeRandomness),
 // so the pool is a simple shared atomic cursor over the cell list.
@@ -21,6 +21,15 @@
 
 namespace rlocal::lab {
 
+/// One named parameter set of the sweep's variant axis. Variant params are
+/// laid over SweepSpec::params (variant wins on key collisions), so the
+/// spec-level map carries the shared defaults and each variant the knob it
+/// varies -- the paper's "same grid, one knob swept" experiment shape.
+struct ParamVariant {
+  std::string name;
+  ParamMap params;
+};
+
 struct SweepSpec {
   /// Named graphs (reuses the generator zoo's entry type).
   std::vector<ZooEntry> graphs;
@@ -30,6 +39,9 @@ struct SweepSpec {
   /// names throw InvariantError before anything runs.
   std::vector<std::string> solvers;
   ParamMap params;
+  /// Parameter-set axis; empty means one implicit variant ("", params).
+  /// Duplicate variant names throw InvariantError before anything runs.
+  std::vector<ParamVariant> variants;
   int threads = 0;  ///< worker count; <= 0 -> hardware_concurrency
   /// Unsupported (solver, regime) cells: false drops them (counted in
   /// cells_skipped), true keeps a RunRecord with skipped = true.
@@ -53,8 +65,12 @@ SweepResult run_sweep(const Registry& registry, const SweepSpec& spec);
 SweepResult run_sweep(const SweepSpec& spec);
 
 /// The per-cell master seed derivation (exposed for tests / reproducing a
-/// single cell outside a sweep).
+/// single cell outside a sweep). The 4-argument form is the empty-variant
+/// cell.
 std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
                         const std::string& graph, const std::string& regime);
+std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
+                        const std::string& graph, const std::string& regime,
+                        const std::string& variant);
 
 }  // namespace rlocal::lab

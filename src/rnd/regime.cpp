@@ -1,10 +1,36 @@
 #include "rnd/regime.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "support/math.hpp"
 
 namespace rlocal {
+
+Regime Regime::pooled(std::vector<std::int32_t> table, int bits_per_pool) {
+  RLOCAL_CHECK(!table.empty(), "pooled(table, bits) requires a non-empty "
+                               "cluster-assignment table");
+  RLOCAL_CHECK(bits_per_pool >= 1, "pooled(table, bits) requires bits >= 1");
+  std::int32_t max_pool = -1;
+  for (const std::int32_t p : table) {
+    RLOCAL_CHECK(p >= 0, "pool table entries must be non-negative");
+    max_pool = std::max(max_pool, p);
+  }
+  Regime regime;
+  regime.kind = RegimeKind::kPooled;
+  regime.num_pools = max_pool + 1;
+  regime.pool_bits = bits_per_pool;
+  regime.pool_table =
+      std::make_shared<const std::vector<std::int32_t>>(std::move(table));
+  return regime;
+}
+
+Regime Regime::with_pool_table(std::vector<std::int32_t> table) const {
+  RLOCAL_CHECK(kind == RegimeKind::kPooled,
+               "with_pool_table only applies to the pooled regime");
+  return pooled(std::move(table), pool_bits);
+}
 
 std::string Regime::name() const {
   switch (kind) {
@@ -16,6 +42,27 @@ std::string Regime::name() const {
       return "shared_kwise(" + std::to_string(shared_bits) + "b)";
     case RegimeKind::kSharedEpsBias:
       return "shared_epsbias(" + std::to_string(shared_bits) + "b)";
+    case RegimeKind::kPooled: {
+      if (!pool_table) {
+        return "pooled(" + std::to_string(num_pools) + "x" +
+               std::to_string(pool_bits) + "b)";
+      }
+      // Table-bound regimes fold a content hash into the name: record keys
+      // and per-cell sweep seeds are derived from name(), so two different
+      // assignment tables must never alias (nor alias the round-robin
+      // spelling).
+      std::uint64_t hash = 0xCBF29CE484222325ULL;
+      for (const std::int32_t pool : *pool_table) {
+        hash ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(pool));
+        hash *= 0x100000001B3ULL;
+      }
+      char hex[17];
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(hash));
+      return "pooled(table#" + std::string(hex) + "," +
+             std::to_string(num_pools) + "x" + std::to_string(pool_bits) +
+             "b)";
+    }
     case RegimeKind::kAllZeros:
       return "all_zeros";
     case RegimeKind::kAllOnes:
@@ -57,7 +104,46 @@ NodeRandomness::NodeRandomness(const Regime& regime, std::uint64_t master_seed)
       shared_seed_bits_ = epsbias_->nominal_seed_bits();
       break;
     }
+    case RegimeKind::kPooled: {
+      RLOCAL_CHECK(regime_.pool_bits >= 128,
+                   "pooled regime requires >= 128 bits per pool (2 GF(2^64) "
+                   "coefficients)");
+      RLOCAL_CHECK(regime_.num_pools >= 1,
+                   "pooled regime requires at least one pool");
+      // Generators are created lazily per pool (see pool_generator), so the
+      // seed ledger charges only the pools a run actually draws from.
+      break;
+    }
   }
+}
+
+std::int32_t NodeRandomness::pool_of(std::uint64_t node) const {
+  RLOCAL_CHECK(regime_.kind == RegimeKind::kPooled,
+               "pool_of is only defined for the pooled regime");
+  if (regime_.pool_table) {
+    const std::vector<std::int32_t>& table = *regime_.pool_table;
+    RLOCAL_CHECK(node < table.size(),
+                 "node outside the pooled regime's assignment table");
+    return table[static_cast<std::size_t>(node)];
+  }
+  return static_cast<std::int32_t>(
+      node % static_cast<std::uint64_t>(regime_.num_pools));
+}
+
+const KWiseGenerator& NodeRandomness::pool_generator(std::int32_t pool) {
+  const auto it = pools_.find(pool);
+  if (it != pools_.end()) return it->second;
+  // One finite stream per pool: k*64 seed bits keyed by (master seed, pool),
+  // independent across pools -- the Lemma 3.3 "whole cluster draws from one
+  // gathered pool" model.
+  const int k = regime_.pool_bits / 64;
+  PrngBitSource seed(
+      mix3(master_seed_, static_cast<std::uint64_t>(pool),
+           0x706F6F6C65645FULL));
+  const auto [inserted, ok] = pools_.emplace(pool, KWiseGenerator(k, 64, seed));
+  RLOCAL_ASSERT(ok);
+  shared_seed_bits_ += seed.bits_consumed();
+  return inserted->second;
 }
 
 std::uint64_t NodeRandomness::pack(std::uint64_t node, std::uint64_t stream,
@@ -78,6 +164,11 @@ std::uint64_t NodeRandomness::chunk_impl(std::uint64_t node,
     case RegimeKind::kKWise:
     case RegimeKind::kSharedKWise:
       return kwise_->value(point);
+    case RegimeKind::kPooled:
+      // All of a pool's nodes share one generator; the packing keeps their
+      // evaluation points distinct, so draws inside a pool are spread over
+      // the pool's single k-wise stream.
+      return pool_generator(pool_of(node)).value(point);
     case RegimeKind::kSharedEpsBias: {
       // Assemble 64 bits one LFSR index at a time (indices are the bit-level
       // packing (point << 6) | j, injective because point < 2^58).

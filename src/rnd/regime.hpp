@@ -7,6 +7,12 @@
 //                     floor(bits/64)-wise independent family (AS04-style)
 //   kSharedEpsBias -- `shared_bits` shared bits feeding an AGHP small-bias
 //                     space (the NN93 route of Lemma 3.4)
+//   kPooled        -- per-cluster pooled randomness (the Lemma 3.3 beacon
+//                     setting): nodes map through a cluster-assignment table
+//                     (or round-robin when none is given) and every node of
+//                     a pool draws from that pool's single `pool_bits`-bit
+//                     stream, expanded floor(pool_bits/64)-wise; pools are
+//                     independent of each other
 //   kAllZeros/kAllOnes -- adversarial constants for failure injection
 //
 // NodeRandomness is the facade all algorithms draw through: a deterministic
@@ -17,9 +23,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "rnd/epsbias.hpp"
 #include "rnd/kwise.hpp"
@@ -32,30 +40,58 @@ enum class RegimeKind {
   kKWise,
   kSharedKWise,
   kSharedEpsBias,
+  kPooled,
   kAllZeros,
   kAllOnes,
 };
+
+/// Cluster-assignment table for the pooled regime: entry v is the pool id of
+/// node v (ids in [0, num_pools)). Shared so Regime stays cheap to copy
+/// across sweep cells.
+using PoolTable = std::shared_ptr<const std::vector<std::int32_t>>;
 
 struct Regime {
   RegimeKind kind = RegimeKind::kFull;
   int k = 0;            ///< independence parameter (kKWise)
   int shared_bits = 0;  ///< global seed budget (shared regimes)
+  int num_pools = 0;    ///< pool count (kPooled)
+  int pool_bits = 0;    ///< seed bits per pool (kPooled)
+  PoolTable pool_table;  ///< per-node pool id; empty -> node % num_pools
 
-  static Regime full() { return {RegimeKind::kFull, 0, 0}; }
+  static Regime full() { return {RegimeKind::kFull, 0, 0, 0, 0, nullptr}; }
   static Regime kwise(int k) {
     RLOCAL_CHECK(k >= 1, "kwise(k) requires k >= 1");
-    return {RegimeKind::kKWise, k, 0};
+    return {RegimeKind::kKWise, k, 0, 0, 0, nullptr};
   }
   static Regime shared_kwise(int bits) {
     RLOCAL_CHECK(bits >= 1, "shared_kwise(bits) requires bits >= 1");
-    return {RegimeKind::kSharedKWise, 0, bits};
+    return {RegimeKind::kSharedKWise, 0, bits, 0, 0, nullptr};
   }
   static Regime shared_epsbias(int bits) {
     RLOCAL_CHECK(bits >= 1, "shared_epsbias(bits) requires bits >= 1");
-    return {RegimeKind::kSharedEpsBias, 0, bits};
+    return {RegimeKind::kSharedEpsBias, 0, bits, 0, 0, nullptr};
   }
-  static Regime all_zeros() { return {RegimeKind::kAllZeros, 0, 0}; }
-  static Regime all_ones() { return {RegimeKind::kAllOnes, 0, 0}; }
+  /// Pooled randomness with the round-robin assignment node % num_pools
+  /// (graph-size agnostic, so pooled cells can ride generic sweep grids).
+  static Regime pooled(int num_pools, int bits_per_pool) {
+    RLOCAL_CHECK(num_pools >= 1, "pooled(p, bits) requires p >= 1");
+    RLOCAL_CHECK(bits_per_pool >= 1, "pooled(p, bits) requires bits >= 1");
+    return {RegimeKind::kPooled, 0, 0, num_pools, bits_per_pool, nullptr};
+  }
+  /// Pooled randomness with an explicit cluster-assignment table (e.g. the
+  /// Lemma 3.2 owner map); entries must lie in [0, max+1).
+  static Regime pooled(std::vector<std::int32_t> table, int bits_per_pool);
+  /// Copy of this pooled regime with the assignment table replaced,
+  /// keeping its bit budget -- a convenience for binding a generic pooled
+  /// regime to clusters computed for one concrete graph (e.g. a Lemma 3.2
+  /// owner map). Throws for non-pooled regimes.
+  Regime with_pool_table(std::vector<std::int32_t> table) const;
+  static Regime all_zeros() {
+    return {RegimeKind::kAllZeros, 0, 0, 0, 0, nullptr};
+  }
+  static Regime all_ones() {
+    return {RegimeKind::kAllOnes, 0, 0, 0, 0, nullptr};
+  }
 
   std::string name() const;
 };
@@ -86,11 +122,22 @@ class NodeRandomness {
 
   /// Bits of true (seed) randomness the regime consumed; 0 for kFull/kKWise
   /// means "unbounded model" (per-node fresh bits / an abstract k-wise
-  /// family) -- see derived_bits() for usage counts.
+  /// family) -- see derived_bits() for usage counts. For the pooled regime
+  /// this grows the first time each pool is drawn from, by the bits its
+  /// generator actually consumes (floor(pool_bits/64) GF(2^64)
+  /// coefficients, i.e. pool_bits rounded down to a multiple of 64 --
+  /// the same bits-actually-consumed convention as the shared regimes), so
+  /// the ledger charges exactly the pools a run touched.
   std::uint64_t shared_seed_bits() const { return shared_seed_bits_; }
 
   /// Number of derived bits handed to algorithms so far.
   std::uint64_t derived_bits() const { return derived_bits_; }
+
+  /// Pooled-regime accounting: pools drawn from so far (0 otherwise).
+  int pools_touched() const { return static_cast<int>(pools_.size()); }
+
+  /// The pool `node` draws through (kPooled only; checked).
+  std::int32_t pool_of(std::uint64_t node) const;
 
  private:
   Regime regime_;
@@ -99,9 +146,12 @@ class NodeRandomness {
   std::uint64_t derived_bits_ = 0;
   std::optional<KWiseGenerator> kwise_;
   std::optional<EpsBiasGenerator> epsbias_;
+  /// Lazily instantiated per-pool generators (kPooled).
+  std::map<std::int32_t, KWiseGenerator> pools_;
 
   static std::uint64_t pack(std::uint64_t node, std::uint64_t stream, int c);
   std::uint64_t chunk_impl(std::uint64_t node, std::uint64_t stream, int c);
+  const KWiseGenerator& pool_generator(std::int32_t pool);
 };
 
 /// The injective (node, stream, chunk) -> evaluation-point packing used by

@@ -273,6 +273,15 @@ TEST(Regime, Names) {
   EXPECT_EQ(Regime::kwise(5).name(), "kwise(5)");
   EXPECT_EQ(Regime::shared_kwise(256).name(), "shared_kwise(256b)");
   EXPECT_EQ(Regime::shared_epsbias(20).name(), "shared_epsbias(20b)");
+  EXPECT_EQ(Regime::pooled(4, 256).name(), "pooled(4x256b)");
+  // Table-bound pooled regimes fold a content hash into the name: record
+  // keys and per-cell sweep seeds derive from name(), so two different
+  // assignment tables must never alias (nor alias round-robin).
+  const std::string table_name = Regime::pooled({0, 0, 1}, 128).name();
+  EXPECT_EQ(table_name.rfind("pooled(table#", 0), 0u) << table_name;
+  EXPECT_NE(table_name.find(",2x128b)"), std::string::npos) << table_name;
+  EXPECT_EQ(table_name, Regime::pooled({0, 0, 1}, 128).name());
+  EXPECT_NE(table_name, Regime::pooled({1, 1, 0}, 128).name());
 }
 
 TEST(Regime, FactoriesValidateArguments) {
@@ -282,11 +291,19 @@ TEST(Regime, FactoriesValidateArguments) {
   EXPECT_THROW(Regime::shared_kwise(-128), InvariantError);
   EXPECT_THROW(Regime::shared_epsbias(0), InvariantError);
   EXPECT_THROW(Regime::shared_epsbias(-1), InvariantError);
+  EXPECT_THROW(Regime::pooled(0, 256), InvariantError);
+  EXPECT_THROW(Regime::pooled(4, 0), InvariantError);
+  EXPECT_THROW(Regime::pooled(std::vector<std::int32_t>{}, 256),
+               InvariantError);
+  EXPECT_THROW(Regime::pooled({0, -1}, 256), InvariantError);
+  EXPECT_THROW(Regime::full().with_pool_table({0, 1}), InvariantError);
   // Boundary values construct (further minimums are enforced when the
   // generator is instantiated, see NodeRandomness).
   EXPECT_EQ(Regime::kwise(1).k, 1);
   EXPECT_EQ(Regime::shared_kwise(1).shared_bits, 1);
   EXPECT_EQ(Regime::shared_epsbias(1).shared_bits, 1);
+  EXPECT_EQ(Regime::pooled(1, 1).num_pools, 1);
+  EXPECT_EQ(Regime::pooled({0, 0, 2}, 64).num_pools, 3);
 }
 
 TEST(NodeRandomness, DeterministicPerSeed) {
@@ -369,6 +386,80 @@ TEST(NodeRandomness, EpsBiasRegimeBitsWork) {
   }
   EXPECT_GT(ones, 64);
   EXPECT_LT(ones, 192);
+}
+
+// ---------------------------------------------------------- pooled regime
+
+TEST(PooledRegime, RequiresMinimumPoolBits) {
+  EXPECT_THROW(NodeRandomness(Regime::pooled(2, 64), 1), InvariantError);
+  NodeRandomness ok(Regime::pooled(2, 128), 1);
+  EXPECT_EQ(ok.pools_touched(), 0);
+}
+
+TEST(PooledRegime, DeterministicPerSeedAndPool) {
+  NodeRandomness a(Regime::pooled(4, 256), 9);
+  NodeRandomness b(Regime::pooled(4, 256), 9);
+  NodeRandomness c(Regime::pooled(4, 256), 10);
+  int differences = 0;
+  for (std::uint64_t node = 0; node < 16; ++node) {
+    EXPECT_EQ(a.chunk(node, 0), b.chunk(node, 0));
+    if (a.chunk(node, 1) != c.chunk(node, 1)) ++differences;
+  }
+  EXPECT_GT(differences, 8);  // different master seed, different streams
+}
+
+TEST(PooledRegime, TableMapsWholeClustersToOneStream) {
+  // All nodes in one pool must see exactly the stream of that pool: the
+  // 3-node table {0,0,0} agrees with the single-pool round-robin regime.
+  NodeRandomness table(Regime::pooled({0, 0, 0}, 256), 5);
+  NodeRandomness single(Regime::pooled(1, 256), 5);
+  for (std::uint64_t node = 0; node < 3; ++node) {
+    EXPECT_EQ(table.chunk(node, 2), single.chunk(node, 2));
+    EXPECT_EQ(table.pool_of(node), 0);
+  }
+  // Nodes outside the table are a model violation.
+  EXPECT_THROW(table.chunk(3, 0), InvariantError);
+
+  // Distinct pools get independent streams: rebinding node 1 to pool 1
+  // changes its draws but not node 0's.
+  NodeRandomness split(Regime::pooled({0, 1}, 256), 5);
+  EXPECT_EQ(split.chunk(0, 2), single.chunk(0, 2));
+  EXPECT_NE(split.chunk(1, 2), single.chunk(1, 2));
+}
+
+TEST(PooledRegime, LedgerChargesTouchedPoolsOnly) {
+  NodeRandomness rnd(Regime::pooled(4, 256), 3);
+  EXPECT_EQ(rnd.shared_seed_bits(), 0u);
+  rnd.chunk(0, 0);  // pool 0
+  EXPECT_EQ(rnd.pools_touched(), 1);
+  EXPECT_EQ(rnd.shared_seed_bits(), 256u);
+  rnd.chunk(4, 0);  // node 4 -> pool 0 again: no new charge
+  EXPECT_EQ(rnd.shared_seed_bits(), 256u);
+  rnd.chunk(1, 0);  // pool 1
+  rnd.chunk(2, 0);  // pool 2
+  EXPECT_EQ(rnd.pools_touched(), 3);
+  EXPECT_EQ(rnd.shared_seed_bits(), 3u * 256u);
+  EXPECT_EQ(rnd.derived_bits(), 4u * 64u);
+}
+
+TEST(PooledRegime, PoolOfOnlyDefinedForPooled) {
+  NodeRandomness full(Regime::full(), 1);
+  EXPECT_THROW(full.pool_of(0), InvariantError);
+  NodeRandomness pooled(Regime::pooled(3, 128), 1);
+  EXPECT_EQ(pooled.pool_of(7), 1);  // 7 % 3
+}
+
+TEST(PooledRegime, BernoulliFrequencyReasonable) {
+  NodeRandomness rnd(Regime::pooled(4, 512), 11);
+  int hits = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    if (rnd.bernoulli(static_cast<std::uint64_t>(i % 64),
+                      static_cast<std::uint64_t>(i / 64), 0.25)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.04);
 }
 
 TEST(KWiseHelpers, PackDrawInjective) {
