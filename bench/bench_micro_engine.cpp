@@ -56,6 +56,35 @@ void BM_KWiseValue(benchmark::State& state) {
 }
 BENCHMARK(BM_KWiseValue)->Arg(2)->Arg(16)->Arg(128)->Arg(512);
 
+// Before/after case for the last-point memo: algorithms draw bit-by-bit at
+// one (node, stream) packing (geometric shifts, bit assembly), re-evaluating
+// the same polynomial point up to 64 times. Arg(1) = memo enabled (the
+// default, "after"), Arg(0) = disabled ("before", full Horner per draw).
+void BM_KWiseRepeatedPointDraws(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  KWiseGenerator gen = KWiseGenerator::from_seed(k, 64, 3);
+  gen.set_memo_enabled(state.range(1) != 0);
+  std::uint64_t point = 0;
+  for (auto _ : state) {
+    // 64 bit-draws off one point (what NodeRandomness::bit/geometric do per
+    // chunk); each is a full Horner chain without the memo.
+    ++point;
+    std::uint64_t word = 0;
+    for (int j = 0; j < 64; ++j) {
+      word |= ((gen.value(point) >> j) & 1ULL) << j;
+    }
+    benchmark::DoNotOptimize(word);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_KWiseRepeatedPointDraws)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
 void BM_EpsBiasBit(benchmark::State& state) {
   const EpsBiasGenerator gen =
       EpsBiasGenerator::from_seed(static_cast<int>(state.range(0)), 3);

@@ -5,6 +5,20 @@
 //
 //   ./bench_sweep [--scale=256] [--seeds=8] [--threads=0] [--quick]
 //                 [--out=BENCH_sweep.json]
+//
+// Durable mode (the sweep store's first client; see docs/store_format.md):
+//
+//   --store=DIR       stream records into a sharded on-disk store
+//   --resume          restore completed cells from DIR instead of re-running
+//   --cell-limit=N    stop after N executed cells (crash injection for the
+//                     CI resume smoke test; the store stays resumable)
+//   --deadline-ms=MS  per-cell wall-clock budget; overruns are recorded as
+//                     failed with reason "deadline"
+//   --lazy-graphs     build each zoo graph per cell from its factory
+//                     (bounds memory on huge grids)
+//
+// With --store the 1-thread timing baseline is skipped: the store's frames
+// are the artifact and a second full run would double every record's cost.
 #include <fstream>
 #include <iostream>
 #include <thread>
@@ -23,6 +37,12 @@ int main(int argc, char** argv) {
   const int logn = ceil_log2(static_cast<std::uint64_t>(scale));
   const std::string out_path =
       args.get_string("out", "BENCH_sweep.json");
+  const std::string store_dir = args.get_string("store", "");
+  const bool resume = args.has("resume");
+  if (resume && store_dir.empty()) {
+    std::cerr << "error: --resume requires --store=DIR\n";
+    return 2;
+  }
 
   std::cout << "=== lab sweep: " << registry().size() << " solvers, "
             << registry().problems().size() << " problems ===\n";
@@ -32,7 +52,8 @@ int main(int argc, char** argv) {
   }
 
   lab::SweepSpec spec;
-  for (auto& entry : make_zoo(scale, seed)) {
+  for (auto& entry : args.has("lazy-graphs") ? make_zoo_lazy(scale, seed)
+                                             : make_zoo(scale, seed)) {
     if (entry.name == "gnp_sparse" || entry.name == "grid" ||
         entry.name == "random_4regular") {
       spec.graphs.push_back(std::move(entry));
@@ -55,25 +76,47 @@ int main(int argc, char** argv) {
   // so the k-wise path actually draws bits (only conflict_free/kwise reads
   // this knob).
   spec.params = {{"small_threshold", 8.0}};
-
-  // Single-threaded baseline vs the pool (speedup needs >= 2 real cores;
-  // the records themselves are identical either way).
-  spec.threads = 1;
-  const lab::SweepResult base = sweep(spec);
+  spec.cell_deadline_ms = args.get_double("deadline-ms", 0.0);
+  spec.max_cells = static_cast<int>(args.get_int("cell-limit", 0));
   spec.threads = static_cast<int>(args.get_int("threads", 0));
-  const lab::SweepResult result = sweep(spec);
+
+  lab::SweepResult result;
+  double baseline_ms = 0.0;
+  try {
+    if (store_dir.empty()) {
+      // Single-threaded baseline vs the pool (speedup needs >= 2 real
+      // cores; the records themselves are identical either way).
+      lab::SweepSpec baseline = spec;
+      baseline.threads = 1;
+      baseline_ms = sweep(baseline).wall_ms;
+      result = sweep(spec);
+    } else {
+      result = lab::run_sweep(spec, lab::StoreOptions{store_dir, resume});
+    }
+  } catch (const std::exception& e) {
+    // Store/spec problems (missing manifest, fingerprint mismatch, corrupt
+    // shards) are user-facing errors, not crashes.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 
   std::cout << "\n";
   lab::summary_table(result).print(std::cout);
-  const double speedup = result.wall_ms > 0 ? base.wall_ms / result.wall_ms
-                                            : 1.0;
   std::cout << "\ncells: " << result.cells_run << " run, "
-            << result.cells_skipped << " regime-skipped, "
-            << result.cells_failed << " failed\n"
-            << "wall: " << fmt(base.wall_ms, 1) << " ms on 1 thread, "
-            << fmt(result.wall_ms, 1) << " ms on " << result.threads_used
-            << " threads (" << fmt(speedup, 2) << "x, "
-            << std::thread::hardware_concurrency() << " hw threads)\n";
+            << result.cells_resumed << " resumed, " << result.cells_skipped
+            << " regime-skipped, " << result.cells_failed << " failed\n";
+  if (store_dir.empty()) {
+    const double speedup =
+        result.wall_ms > 0 ? baseline_ms / result.wall_ms : 1.0;
+    std::cout << "wall: " << fmt(baseline_ms, 1) << " ms on 1 thread, "
+              << fmt(result.wall_ms, 1) << " ms on " << result.threads_used
+              << " threads (" << fmt(speedup, 2) << "x, "
+              << std::thread::hardware_concurrency() << " hw threads)\n";
+  } else {
+    std::cout << "wall: " << fmt(result.wall_ms, 1) << " ms on "
+              << result.threads_used << " threads; store: " << store_dir
+              << (resume ? " (resumed)" : "") << "\n";
+  }
 
   std::ofstream out(out_path);
   lab::emit_json(result, out);

@@ -1,15 +1,32 @@
 #!/usr/bin/env python3
-"""Regression gate over BENCH_sweep.json artifacts.
+"""Regression gate and record-set diff over sweep artifacts.
 
-Compares per-solver wall time between a baseline sweep (the previous CI
-run's artifact) and the current one, and fails when any solver regresses by
-more than --max-ratio. Pure stdlib; schema rlocal.sweep/1.
+Both positional inputs may be either
+
+  * a sweep store directory (``manifest.json`` + ``shard-*.jsonl``, schema
+    ``rlocal.store/1`` -- see docs/store_format.md), or
+  * a legacy whole-run JSON artifact (schema ``rlocal.sweep/1`` or ``/2``),
+
+so the gate survives the store migration: the previous CI artifact may
+still be a ``BENCH_sweep.json`` while the current run uploads a store
+directory.
+
+Gate mode (default) compares per-solver wall time between a baseline sweep
+and the current one, normalized per cell, and fails when any solver
+regresses by more than ``--max-ratio``. Records restored by a resume
+(``"resumed": true``) carry another process's wall time and are excluded
+from the aggregates, as are skipped cells.
+
+Diff mode (``--diff``) compares two record sets field-by-field with wall
+time excluded (the only legitimately nondeterministic field) -- the CI
+resume smoke test's "kill + resume == uninterrupted run" check.
 
 Usage:
     compare_sweep.py BASELINE CURRENT [--max-ratio 2.0] [--min-ms 5.0]
+    compare_sweep.py --diff A B
 
-Exit codes: 0 ok (including "no baseline available"), 1 regression,
-2 malformed input.
+Exit codes: 0 ok (including "no baseline available" in gate mode),
+1 regression / record mismatch, 2 malformed input.
 """
 
 import argparse
@@ -17,17 +34,74 @@ import json
 import os
 import sys
 
+LEGACY_SCHEMAS = ("rlocal.sweep/1", "rlocal.sweep/2")
+STORE_SCHEMA = "rlocal.store/1"
+# Nondeterministic / provenance fields excluded from record identity.
+VOLATILE_FIELDS = ("wall_ms", "resumed")
+# Store-only coordinates, excluded so a store directory diffs cleanly
+# against a legacy whole-run artifact of the same sweep; record order pins
+# grid position in both formats (stores merge sorted by cell_index).
+POSITION_FIELDS = ("cell_index", "cell_seed")
 
-def per_solver_wall_ms(path):
-    """Total wall_ms per solver over all non-skipped records."""
+
+def load_store_records(path):
+    """Records from a store directory, merged into grid order.
+
+    Mirrors the C++ reader's tolerance rule: undecodable lines are allowed
+    only as a shard's tail (a torn final frame); a valid frame after an
+    invalid line is corruption.
+    """
+    manifest_path = os.path.join(path, "manifest.json")
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    if manifest.get("schema") != STORE_SCHEMA:
+        raise ValueError(
+            f"{manifest_path}: unknown schema {manifest.get('schema')!r}")
+    merged = {}
+    for name in sorted(os.listdir(path)):
+        if not (name.startswith("shard-") and name.endswith(".jsonl")):
+            continue
+        shard = os.path.join(path, name)
+        torn = False
+        with open(shard, "rb") as fh:
+            data = fh.read()
+        for line in data.split(b"\n"):
+            if not line:
+                continue
+            try:
+                frame = json.loads(line.decode("utf-8"))
+                if "cell_index" not in frame:
+                    raise ValueError("frame without cell_index")
+            except (ValueError, UnicodeDecodeError):
+                torn = True
+                continue
+            if torn:
+                raise ValueError(f"{shard}: valid frame after a corrupt one")
+            merged[frame["cell_index"]] = frame
+    return [merged[index] for index in sorted(merged)]
+
+
+def load_legacy_records(path):
     with open(path, "r", encoding="utf-8") as fh:
         data = json.load(fh)
-    if data.get("schema") != "rlocal.sweep/1":
+    if data.get("schema") not in LEGACY_SCHEMAS:
         raise ValueError(f"{path}: unknown schema {data.get('schema')!r}")
+    return data.get("records", [])
+
+
+def load_records(path):
+    """Store directory or legacy whole-run artifact, auto-detected."""
+    if os.path.isdir(path):
+        return load_store_records(path)
+    return load_legacy_records(path)
+
+
+def per_solver_wall_ms(path):
+    """Total wall_ms per solver over all non-skipped, non-resumed records."""
     totals = {}
     counts = {}
-    for record in data.get("records", []):
-        if record.get("skipped"):
+    for record in load_records(path):
+        if record.get("skipped") or record.get("resumed"):
             continue
         solver = record["solver"]
         totals[solver] = totals.get(solver, 0.0) + float(
@@ -36,16 +110,35 @@ def per_solver_wall_ms(path):
     return totals, counts
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--max-ratio", type=float, default=2.0,
-                        help="fail when current/baseline exceeds this")
-    parser.add_argument("--min-ms", type=float, default=5.0,
-                        help="ignore solvers below this total (noise floor)")
-    args = parser.parse_args()
+def canonical(record):
+    """Record identity for diff mode: every field except the volatile and
+    store-coordinate ones, so both artifact formats compare equal."""
+    excluded = VOLATILE_FIELDS + POSITION_FIELDS
+    return json.dumps(
+        {k: v for k, v in record.items() if k not in excluded},
+        sort_keys=True)
 
+
+def run_diff(a_path, b_path):
+    a = [canonical(r) for r in load_records(a_path)]
+    b = [canonical(r) for r in load_records(b_path)]
+    if a == b:
+        print(f"OK: {len(a)} records identical (wall time excluded)")
+        return 0
+    print(f"MISMATCH: {a_path} has {len(a)} records, {b_path} has {len(b)}",
+          file=sys.stderr)
+    only_a = sorted(set(a) - set(b))
+    only_b = sorted(set(b) - set(a))
+    for label, items in ((f"only in {a_path}", only_a),
+                         (f"only in {b_path}", only_b)):
+        for item in items[:3]:
+            print(f"  {label}: {item[:200]}", file=sys.stderr)
+    if not only_a and not only_b:
+        print("  same record sets in a different order", file=sys.stderr)
+    return 1
+
+
+def run_gate(args):
     if not os.path.exists(args.baseline):
         print(f"no baseline at {args.baseline}; first run passes trivially")
         return 0
@@ -53,7 +146,7 @@ def main():
     try:
         base, base_counts = per_solver_wall_ms(args.baseline)
         curr, curr_counts = per_solver_wall_ms(args.current)
-    except (ValueError, KeyError, json.JSONDecodeError) as error:
+    except (ValueError, KeyError, OSError, json.JSONDecodeError) as error:
         print(f"malformed sweep artifact: {error}", file=sys.stderr)
         return 2
 
@@ -87,6 +180,31 @@ def main():
         return 1
     print(f"\nOK: no solver regressed beyond {args.max_ratio}x")
     return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline",
+                        help="store directory or legacy sweep JSON")
+    parser.add_argument("current",
+                        help="store directory or legacy sweep JSON")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when current/baseline exceeds this")
+    parser.add_argument("--min-ms", type=float, default=5.0,
+                        help="ignore solvers below this total (noise floor)")
+    parser.add_argument("--diff", action="store_true",
+                        help="compare record sets byte-for-byte "
+                             "(wall time excluded) instead of gating")
+    args = parser.parse_args()
+
+    if args.diff:
+        try:
+            return run_diff(args.baseline, args.current)
+        except (ValueError, KeyError, OSError,
+                json.JSONDecodeError) as error:
+            print(f"malformed sweep artifact: {error}", file=sys.stderr)
+            return 2
+    return run_gate(args)
 
 
 if __name__ == "__main__":

@@ -253,37 +253,61 @@ Graph with_scrambled_ids(const Graph& g, std::uint64_t seed) {
   return std::move(b).build();
 }
 
-std::vector<ZooEntry> make_zoo(NodeId scale, std::uint64_t seed) {
+namespace {
+
+/// The single definition of the zoo, as (name, pure factory) pairs; the
+/// eager and lazy spellings below differ only in when the factories run.
+std::vector<ZooEntry> zoo_entries(NodeId scale, std::uint64_t seed) {
   RLOCAL_CHECK(scale >= 16, "zoo scale must be >= 16");
-  std::vector<ZooEntry> zoo;
-  zoo.push_back({"path", make_path(scale)});
-  zoo.push_back({"cycle", make_cycle(scale)});
   const auto side = static_cast<NodeId>(std::max(
       4.0, std::sqrt(static_cast<double>(scale))));
-  zoo.push_back({"grid", make_grid(side, side)});
-  zoo.push_back({"torus", make_torus(side, side)});
   int depth = 1;
   while ((ipow(2, static_cast<unsigned>(depth + 1)) - 1) <
          static_cast<std::uint64_t>(scale)) {
     ++depth;
   }
-  zoo.push_back({"binary_tree", make_balanced_tree(2, depth)});
-  zoo.push_back({"hypercube", make_hypercube(ceil_log2(
-                                  static_cast<std::uint64_t>(scale)))});
-  zoo.push_back({"caterpillar", make_caterpillar(scale / 4, 3)});
-  zoo.push_back(
-      {"ring_of_cliques",
-       make_ring_of_cliques(std::max<NodeId>(3, scale / 8), 8)});
-  zoo.push_back({"gnp_sparse",
-                 make_gnp(scale, 3.0 / static_cast<double>(scale), seed)});
-  zoo.push_back({"random_4regular", make_random_regular(
-                                        scale + (scale % 2), 4, seed + 1)});
+  std::vector<ZooEntry> zoo;
+  const auto add = [&zoo](std::string name, std::function<Graph()> factory) {
+    zoo.push_back({std::move(name), Graph{}, std::move(factory)});
+  };
+  add("path", [scale] { return make_path(scale); });
+  add("cycle", [scale] { return make_cycle(scale); });
+  add("grid", [side] { return make_grid(side, side); });
+  add("torus", [side] { return make_torus(side, side); });
+  add("binary_tree", [depth] { return make_balanced_tree(2, depth); });
+  add("hypercube", [scale] {
+    return make_hypercube(ceil_log2(static_cast<std::uint64_t>(scale)));
+  });
+  add("caterpillar", [scale] { return make_caterpillar(scale / 4, 3); });
+  add("ring_of_cliques", [scale] {
+    return make_ring_of_cliques(std::max<NodeId>(3, scale / 8), 8);
+  });
+  add("gnp_sparse", [scale, seed] {
+    return make_gnp(scale, 3.0 / static_cast<double>(scale), seed);
+  });
+  add("random_4regular", [scale, seed] {
+    return make_random_regular(scale + (scale % 2), 4, seed + 1);
+  });
   // Scrambled-id variants of two of them, to exercise id-based tie breaks.
-  zoo.push_back({"path_scrambled",
-                 with_scrambled_ids(make_path(scale), seed + 2)});
-  zoo.push_back({"grid_scrambled",
-                 with_scrambled_ids(make_grid(side, side), seed + 3)});
+  add("path_scrambled", [scale, seed] {
+    return with_scrambled_ids(make_path(scale), seed + 2);
+  });
+  add("grid_scrambled", [side, seed] {
+    return with_scrambled_ids(make_grid(side, side), seed + 3);
+  });
   return zoo;
+}
+
+}  // namespace
+
+std::vector<ZooEntry> make_zoo(NodeId scale, std::uint64_t seed) {
+  std::vector<ZooEntry> zoo = zoo_entries(scale, seed);
+  for (ZooEntry& entry : zoo) entry.graph = entry.factory();
+  return zoo;
+}
+
+std::vector<ZooEntry> make_zoo_lazy(NodeId scale, std::uint64_t seed) {
+  return zoo_entries(scale, seed);
 }
 
 }  // namespace rlocal

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -39,14 +40,33 @@ Graph make_disjoint_union(const std::vector<const Graph*>& parts);
 /// modeling adversarial Theta(log n)-bit ids.
 Graph with_scrambled_ids(const Graph& g, std::uint64_t seed);
 
-/// Named zoo used by parameterized tests and benches.
+/// Named zoo used by parameterized tests and benches. An entry either holds
+/// a materialized `graph`, or an empty graph plus a `factory` that rebuilds
+/// it on demand -- the streaming form sweeps use to run n >> 10^6 grids
+/// without holding every instance in RAM (lab::run_sweep builds such a
+/// graph per cell and drops it before the cell's record is made durable).
+/// The factory must be a pure function (same graph every call): per-cell
+/// rebuilds and the sweep-store fingerprint both rely on it.
 struct ZooEntry {
   std::string name;
   Graph graph;
+  // NSDMI keeps two-field aggregate spellings ({"grid", make_grid(...)})
+  // warning-free under -Wextra.
+  std::function<Graph()> factory = nullptr;
+
+  /// True when sweeps should build this entry per cell instead of reading
+  /// `graph` (an empty graph with no factory is a spec error upstream).
+  bool lazy() const { return factory != nullptr && graph.num_nodes() == 0; }
 };
 
 /// Builds the standard zoo at roughly the given size scale. Every graph has
-/// between ~scale/2 and ~2*scale nodes.
+/// between ~scale/2 and ~2*scale nodes. Entries carry both the built graph
+/// and the rebuild factory.
 std::vector<ZooEntry> make_zoo(NodeId scale, std::uint64_t seed);
+
+/// The same zoo with construction deferred: every entry holds only its
+/// factory (empty graph), so a sweep's resident set is one graph per worker
+/// instead of the whole zoo.
+std::vector<ZooEntry> make_zoo_lazy(NodeId scale, std::uint64_t seed);
 
 }  // namespace rlocal

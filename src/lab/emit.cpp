@@ -12,11 +12,15 @@ namespace rlocal::lab {
 void emit_json(const SweepResult& result, std::ostream& out) {
   JsonWriter w(out);
   w.begin_object();
-  w.field("schema", "rlocal.sweep/1");
+  // /2 adds summary.cells_resumed and the per-record "resumed" marker;
+  // readers of /1 artifacts keep working (bench/compare_sweep.py accepts
+  // both).
+  w.field("schema", "rlocal.sweep/2");
   w.key("summary");
   w.begin_object();
   w.field("cells_run", result.cells_run);
   w.field("cells_skipped", result.cells_skipped);
+  w.field("cells_resumed", result.cells_resumed);
   w.field("cells_failed", result.cells_failed);
   w.field("threads_used", result.threads_used);
   w.field("wall_ms", result.wall_ms);
@@ -38,6 +42,10 @@ void emit_json(const SweepResult& result, std::ostream& out) {
       w.end_object();
       continue;
     }
+    // Restored-from-store cells carry their original run's observables and
+    // wall time; the marker lets downstream aggregation (the CI regression
+    // gate) exclude them from per-process timing totals.
+    if (r.resumed) w.field("resumed", true);
     w.field("success", r.success);
     w.field("checker_passed", r.checker_passed);
     if (!r.error.empty()) w.field("error", r.error);

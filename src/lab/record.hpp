@@ -45,7 +45,12 @@ struct RunRecord {
   bool success = false;         ///< the algorithm reported completion
   bool checker_passed = false;  ///< independent validity check of the output
   bool skipped = false;         ///< regime not supported; nothing was run
-  std::string error;            ///< exception text if the cell threw
+  /// Restored from a sweep store instead of run in this process (resume
+  /// path); wall_ms is then the *original* run's time. Not persisted in
+  /// store frames -- it describes how this process obtained the record.
+  bool resumed = false;
+  std::string error;  ///< exception text if the cell threw ("deadline" when
+                      ///< the per-cell wall-clock budget expired)
 
   // Observables (-1 where the problem has no such quantity).
   int colors = -1;      ///< decomposition/coloring colors used

@@ -71,11 +71,19 @@ std::vector<std::string> Registry::problems() const {
 RunRecord Registry::run_cell(const Solver& solver, const Graph& g,
                              const std::string& graph_name,
                              const Regime& regime, std::uint64_t seed,
-                             const ParamMap& params) const {
+                             const ParamMap& params,
+                             const RunContext& ctx) const {
   const auto start = std::chrono::steady_clock::now();
   RunRecord record;
   try {
-    record = solver.run(g, regime, seed, params);
+    record = solver.run(g, regime, seed, params, ctx);
+  } catch (const DeadlineExpired&) {
+    // The cell overran its wall-clock budget; a failed record with the
+    // canonical "deadline" reason keeps the surrounding sweep alive.
+    record = RunRecord{};
+    record.error = "deadline";
+    record.success = false;
+    record.checker_passed = false;
   } catch (const std::exception& e) {
     record = RunRecord{};
     record.error = e.what();
@@ -96,8 +104,9 @@ RunRecord Registry::run_cell(const Solver& solver, const Graph& g,
 RunRecord Registry::run_cell(const std::string& solver_name, const Graph& g,
                              const std::string& graph_name,
                              const Regime& regime, std::uint64_t seed,
-                             const ParamMap& params) const {
-  return run_cell(at(solver_name), g, graph_name, regime, seed, params);
+                             const ParamMap& params,
+                             const RunContext& ctx) const {
+  return run_cell(at(solver_name), g, graph_name, regime, seed, params, ctx);
 }
 
 }  // namespace rlocal::lab

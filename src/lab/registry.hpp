@@ -46,15 +46,18 @@ class Registry {
   /// Runs one cell through `solver`, stamping identity fields and wall time
   /// and converting exceptions into RunRecord::error. Does NOT check regime
   /// support -- that is sweep policy; forcing a cell (failure injection) is
-  /// legitimate here.
+  /// legitimate here. A RunContext with a deadline makes the cell fail with
+  /// reason "deadline" once the solver's next cooperative check fires.
   RunRecord run_cell(const Solver& solver, const Graph& g,
                      const std::string& graph_name, const Regime& regime,
-                     std::uint64_t seed, const ParamMap& params = {}) const;
+                     std::uint64_t seed, const ParamMap& params = {},
+                     const RunContext& ctx = {}) const;
 
   /// Convenience: lookup + run_cell.
   RunRecord run_cell(const std::string& solver_name, const Graph& g,
                      const std::string& graph_name, const Regime& regime,
-                     std::uint64_t seed, const ParamMap& params = {}) const;
+                     std::uint64_t seed, const ParamMap& params = {},
+                     const RunContext& ctx = {}) const;
 
  private:
   std::vector<std::unique_ptr<Solver>> solvers_;

@@ -14,8 +14,18 @@
 // instance deterministically from the cell's base graph size, so one grid
 // spec drives every problem; the derivation is documented per solver and
 // its knobs ride in the ParamMap.
+//
+// RunContext is the cell's cooperative cancellation token: sweeps with a
+// per-cell deadline (SweepSpec::cell_deadline_ms) hand each run a context
+// whose check_deadline() throws DeadlineExpired once the wall clock passes
+// the budget. Solvers call it at natural checkpoints (between pipeline
+// stages, per retry/phase); Registry::run_cell converts the throw into a
+// RunRecord failed with reason "deadline" instead of aborting the sweep.
 #pragma once
 
+#include <chrono>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,6 +34,45 @@
 #include "rnd/regime.hpp"
 
 namespace rlocal::lab {
+
+/// Thrown by RunContext::check_deadline when the cell's wall-clock budget is
+/// spent; caught by Registry::run_cell and recorded, never user-facing.
+class DeadlineExpired : public std::runtime_error {
+ public:
+  DeadlineExpired() : std::runtime_error("deadline") {}
+};
+
+class RunContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RunContext() = default;  ///< no deadline: check_deadline() never throws
+
+  static RunContext with_deadline(Clock::time_point deadline) {
+    RunContext ctx;
+    ctx.deadline_ = deadline;
+    return ctx;
+  }
+  /// Deadline `ms` milliseconds from now; ms <= 0 means no deadline.
+  static RunContext with_deadline_ms(double ms) {
+    if (ms <= 0) return RunContext{};
+    return with_deadline(Clock::now() +
+                         std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(ms)));
+  }
+
+  bool has_deadline() const { return deadline_.has_value(); }
+  bool expired() const {
+    return deadline_.has_value() && Clock::now() >= *deadline_;
+  }
+  /// The cooperative cancellation point: cheap when no deadline is set.
+  void check_deadline() const {
+    if (expired()) throw DeadlineExpired();
+  }
+
+ private:
+  std::optional<Clock::time_point> deadline_;
+};
 
 class Solver {
  public:
@@ -43,8 +92,17 @@ class Solver {
 
   /// Runs one cell and fills outcome/observable/ledger fields. Identity
   /// fields and wall time are stamped by the caller (Registry::run_cell).
+  /// Implementations should call ctx.check_deadline() at checkpoints.
   virtual RunRecord run(const Graph& g, const Regime& regime,
-                        std::uint64_t seed, const ParamMap& params) const = 0;
+                        std::uint64_t seed, const ParamMap& params,
+                        const RunContext& ctx) const = 0;
+
+  /// Convenience: run without a deadline. (Calls through a derived type see
+  /// this hidden by the override; call through Solver& / run_cell instead.)
+  RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
+                const ParamMap& params) const {
+    return run(g, regime, seed, params, RunContext{});
+  }
 };
 
 }  // namespace rlocal::lab

@@ -48,8 +48,10 @@ class ElkinNeimanSolver final : public Solver {
     return kScarceRegimes;
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
-                const ParamMap& params) const override {
-    NodeRandomness rnd(regime, seed);
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
+    NodeRandomness rnd = cell_randomness(regime, seed, ctx);
     EnOptions options;
     options.phases = param_int(params, "phases", 0);
     options.shift_cap = param_int(params, "shift_cap", 0);
@@ -86,8 +88,10 @@ class SharedCongestSolver final : public Solver {
     return kScarceNoEpsBias;
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
-                const ParamMap& params) const override {
-    NodeRandomness rnd(regime, seed);
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
+    NodeRandomness rnd = cell_randomness(regime, seed, ctx);
     SharedCongestOptions options;
     options.phases = param_int(params, "phases", 0);
     options.radius_scale = param_int(params, "radius_scale", 2);
@@ -125,8 +129,10 @@ class LubyMisSolver final : public Solver {
     return kScarceRegimes;
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
-                const ParamMap& params) const override {
-    NodeRandomness rnd(regime, seed);
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
+    NodeRandomness rnd = cell_randomness(regime, seed, ctx);
     const int max_iterations = param_int(params, "max_iterations", 0);
     const LubyMisResult result =
         param_int(params, "engine", 0) != 0
@@ -161,7 +167,9 @@ class GreedyMisSolver final : public Solver {
     return kAllRegimes;  // deterministic: every regime is trivially fine
   }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
-                const ParamMap&) const override {
+                const ParamMap&,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
     const std::vector<bool> in_mis = greedy_mis_by_id(g);
     RunRecord record;
     record.success = true;
@@ -187,8 +195,10 @@ class RandomColoringSolver final : public Solver {
     return kScarceRegimes;
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
-                const ParamMap& params) const override {
-    NodeRandomness rnd(regime, seed);
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
+    NodeRandomness rnd = cell_randomness(regime, seed, ctx);
     const ColoringResult result =
         random_coloring(g, rnd, param_int(params, "max_iterations", 0));
     RunRecord record;
@@ -222,7 +232,9 @@ class RandomSplittingSolver final : public Solver {
     return kScarceRegimes;
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
-                const ParamMap& params) const override {
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
     const auto n = static_cast<std::int32_t>(g.num_nodes());
     const int degree = param_int(params, "degree",
                                  4 * log2n(static_cast<std::uint64_t>(n)));
@@ -235,7 +247,7 @@ class RandomSplittingSolver final : public Solver {
                   n, n, degree,
                   mix3(0x5EEDu, static_cast<std::uint64_t>(n),
                        static_cast<std::uint64_t>(degree)));
-    NodeRandomness rnd(regime, seed);
+    NodeRandomness rnd = cell_randomness(regime, seed, ctx);
     const SplittingResult result = random_splitting(h, rnd);
     RunRecord record;
     record.success = result.violations == 0;
@@ -266,7 +278,9 @@ class CfMulticolorSolver final : public Solver {
     return kScarceRegimes;
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
-                const ParamMap& params) const override {
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
     const auto n = static_cast<std::int32_t>(g.num_nodes());
     const int logn = log2n(static_cast<std::uint64_t>(n));
     const int edges_per_class = param_int(params, "edges_per_class", 8);
@@ -274,7 +288,7 @@ class CfMulticolorSolver final : public Solver {
         n, edges_per_class, logn,
         mix3(0xCFu, static_cast<std::uint64_t>(n),
              static_cast<std::uint64_t>(edges_per_class)));
-    NodeRandomness rnd(regime, seed);
+    NodeRandomness rnd = cell_randomness(regime, seed, ctx);
     const CfKwiseResult result = cf_multicolor_kwise(
         h, rnd, param_int(params, "small_threshold", 0));
     RunRecord record;
@@ -305,7 +319,9 @@ class CfDeterministicSolver final : public Solver {
     return kAllRegimes;  // deterministic: every regime is trivially fine
   }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
-                const ParamMap& params) const override {
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
     const auto n = static_cast<std::int32_t>(g.num_nodes());
     const int edges_per_class = param_int(params, "edges_per_class", 8);
     const Hypergraph h = make_classed_hypergraph(

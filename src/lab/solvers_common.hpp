@@ -8,9 +8,26 @@
 
 #include "decomp/decomposition.hpp"
 #include "lab/record.hpp"
+#include "lab/solver.hpp"
 #include "rnd/regime.hpp"
 
 namespace rlocal::lab {
+
+/// Cell-scoped NodeRandomness with the cell's deadline token armed as a
+/// draw-level checkpoint: every randomized algorithm's inner loop passes
+/// through a draw, so a long-running cell expires at its next draw (within
+/// NodeRandomness::kCheckpointInterval calls) instead of only at solver
+/// stage boundaries. The caller must keep `ctx` alive for the generator's
+/// lifetime (Solver::run's parameter always is).
+inline NodeRandomness cell_randomness(const Regime& regime,
+                                      std::uint64_t seed,
+                                      const RunContext& ctx) {
+  NodeRandomness rnd(regime, seed);
+  if (ctx.has_deadline()) {
+    rnd.set_checkpoint([&ctx] { ctx.check_deadline(); });
+  }
+  return rnd;
+}
 
 /// Every regime the paper treats as a legitimate (if scarce) randomness
 /// source; the adversarial constants are excluded (forced via run_cell).

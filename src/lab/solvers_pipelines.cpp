@@ -117,15 +117,19 @@ std::vector<NodeId> identity_order(const Graph& g) {
   return order;
 }
 
-/// Shared run body of the two one-bit solvers.
+/// Shared run body of the two one-bit solvers. The deadline token is
+/// checked between pipeline stages (placement -> beacon draws -> clustering)
+/// so an expiring cell bails at the next stage boundary.
 template <typename Pipeline>
 RunRecord run_one_bit(const Graph& g, const Regime& regime,
                       std::uint64_t seed, const ParamMap& params,
-                      const Pipeline& pipeline) {
+                      const RunContext& ctx, const Pipeline& pipeline) {
   const int h = param_int(params, "h", 2);
   const BeaconPlacement placement = placement_from_params(g, h, params);
-  NodeRandomness rnd(regime, seed);
+  ctx.check_deadline();
+  NodeRandomness rnd = cell_randomness(regime, seed, ctx);
   FixedBitSource beacon_bits = beacon_bits_from_regime(placement, rnd);
+  ctx.check_deadline();
   OneBitResult result =
       pipeline(g, placement, beacon_bits, one_bit_options_from_params(params));
   RunRecord record;
@@ -160,8 +164,10 @@ class OneBitSolver final : public Solver {
     return kScarceRegimes;  // the regime only supplies the beacons' bits
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
-                const ParamMap& params) const override {
-    return run_one_bit(g, regime, seed, params,
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
+    return run_one_bit(g, regime, seed, params, ctx,
                        [](const Graph& graph, const BeaconPlacement& p,
                           BitSource& bits, const OneBitOptions& options) {
                          return one_bit_decomposition(graph, p, bits,
@@ -182,8 +188,10 @@ class OneBitStrongSolver final : public Solver {
     return kScarceRegimes;
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
-                const ParamMap& params) const override {
-    return run_one_bit(g, regime, seed, params,
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
+    return run_one_bit(g, regime, seed, params, ctx,
                        [](const Graph& graph, const BeaconPlacement& p,
                           BitSource& bits, const OneBitOptions& options) {
                          return one_bit_strong_decomposition(graph, p, bits,
@@ -205,13 +213,15 @@ class BeaconClusterSolver final : public Solver {
     return kScarceRegimes;
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
-                const ParamMap& params) const override {
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
     const int h = param_int(params, "h", 2);
     const BeaconPlacement placement = placement_from_params(g, h, params);
     const int logn =
         log2n(static_cast<std::uint64_t>(std::max<NodeId>(2, g.num_nodes())));
     const int k = param_int(params, "bits_per_cluster", 2 * logn * logn);
-    NodeRandomness rnd(regime, seed);
+    NodeRandomness rnd = cell_randomness(regime, seed, ctx);
     FixedBitSource beacon_bits = beacon_bits_from_regime(placement, rnd);
     const BitGatheringResult gather = gather_cluster_bits(
         g, placement, k, beacon_bits, param_int(params, "h_prime", 0));
@@ -277,8 +287,10 @@ class ShatteringSolver final : public Solver {
     return kScarceRegimes;
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
-                const ParamMap& params) const override {
-    NodeRandomness rnd(regime, seed);
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
+    NodeRandomness rnd = cell_randomness(regime, seed, ctx);
     ShatteringOptions options;
     options.base_phases = param_int(params, "base_phases", 0);
     options.en.shift_cap = param_int(params, "shift_cap", 0);
@@ -314,7 +326,9 @@ class PretendNSolver final : public Solver {
     return kScarceRegimes;
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
-                const ParamMap& params) const override {
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
     const double factor = param(params, "pretend_factor", 16.0);
     RLOCAL_CHECK(factor >= 1.0, "pretend_factor must be >= 1");
     const auto n = static_cast<std::uint64_t>(std::max<NodeId>(2,
@@ -323,7 +337,7 @@ class PretendNSolver final : public Solver {
         std::llround(static_cast<double>(n) * factor));
     const int logN = ceil_log2(pretended);
     const double per_logn = param(params, "phases_per_logn", 10.0);
-    NodeRandomness rnd(regime, seed);
+    NodeRandomness rnd = cell_randomness(regime, seed, ctx);
     EnOptions options;
     options.phases = std::max(
         1, static_cast<int>(std::llround(per_logn * logN)));
@@ -359,7 +373,9 @@ class BallCarvingSolver final : public Solver {
     return kAllRegimes;  // deterministic
   }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
-                const ParamMap&) const override {
+                const ParamMap&,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
     BallCarvingResult result = ball_carving_decomposition(g);
     RunRecord record;
     record.metrics["phases"] = result.phases;
@@ -384,7 +400,9 @@ class BruteForceSolver final : public Solver {
     return kAllRegimes;  // exhaustive enumeration: no coins at all
   }
   RunRecord run(const Graph&, const Regime&, std::uint64_t,
-                const ParamMap& params) const override {
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
     BruteForceOptions options;
     options.max_n = param_int(params, "max_n", 3);
     options.bits_per_id = param_int(params, "bits_per_id", 2);
@@ -438,7 +456,9 @@ class MisFromDecompositionSolver final : public Solver {
     return kAllRegimes;  // deterministic
   }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
-                const ParamMap&) const override {
+                const ParamMap&,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
     const BallCarvingResult carving = ball_carving_decomposition(g);
     const DecompositionMisResult result =
         mis_from_decomposition(g, carving.decomposition);
@@ -469,7 +489,9 @@ class ColoringFromDecompositionSolver final : public Solver {
     return kAllRegimes;  // deterministic
   }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
-                const ParamMap&) const override {
+                const ParamMap&,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
     const BallCarvingResult carving = ball_carving_decomposition(g);
     const DecompositionColoringResult result =
         coloring_from_decomposition(g, carving.decomposition);
@@ -499,7 +521,9 @@ class SlocalMisSolver final : public Solver {
     return kAllRegimes;  // deterministic
   }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
-                const ParamMap&) const override {
+                const ParamMap&,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
     const SlocalResult result = slocal_greedy_mis(g, identity_order(g));
     std::vector<bool> in_mis(static_cast<std::size_t>(g.num_nodes()));
     int mis_size = 0;
@@ -532,7 +556,9 @@ class SlocalColoringSolver final : public Solver {
     return kAllRegimes;  // deterministic
   }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
-                const ParamMap&) const override {
+                const ParamMap&,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
     const SlocalResult result = slocal_greedy_coloring(g, identity_order(g));
     std::vector<int> color(static_cast<std::size_t>(g.num_nodes()));
     int used = 0;
@@ -567,7 +593,9 @@ class CondExpSplittingSolver final : public Solver {
     return kAllRegimes;  // deterministic
   }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
-                const ParamMap& params) const override {
+                const ParamMap& params,
+                const RunContext& ctx) const override {
+    ctx.check_deadline();
     const auto n = static_cast<std::int32_t>(g.num_nodes());
     const int degree = param_int(params, "degree",
                                  4 * log2n(static_cast<std::uint64_t>(n)));

@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "rnd/prng.hpp"
+#include "store/store.hpp"
 #include "support/assert.hpp"
 
 namespace rlocal::lab {
@@ -29,30 +31,39 @@ struct Cell {
   bool skipped = false;
 };
 
-}  // namespace
-
-std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
-                        const std::string& graph, const std::string& regime) {
-  return cell_seed(user_seed, solver, graph, regime, "");
+store::StoreManifest manifest_from_spec(
+    const std::vector<const Solver*>& solvers, const SweepSpec& spec,
+    std::uint64_t fingerprint, std::uint64_t total_cells) {
+  store::StoreManifest manifest;
+  manifest.fingerprint = store::fingerprint_hex(fingerprint);
+  manifest.total_cells = total_cells;
+  for (const Solver* solver : solvers) {
+    manifest.solvers.push_back(solver->name());
+  }
+  for (const ZooEntry& entry : spec.graphs) {
+    manifest.graphs.push_back(entry.name);
+  }
+  for (const Regime& regime : spec.regimes) {
+    manifest.regimes.push_back(regime.name());
+  }
+  for (const ParamVariant& variant : spec.variants) {
+    manifest.variants.push_back(variant.name);
+  }
+  manifest.seeds = spec.seeds;
+  manifest.cell_deadline_ms = spec.cell_deadline_ms;
+  return manifest;
 }
 
-std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
-                        const std::string& graph, const std::string& regime,
-                        const std::string& variant) {
-  // The empty variant contributes nothing, so pre-variant sweeps keep their
-  // exact per-cell seeds. Non-empty variants chain a second mix stage (not
-  // an XOR into the regime word, which would alias swapped (regime,
-  // variant) name pairs).
-  const std::uint64_t base =
-      mix3(user_seed, fnv1a(solver) ^ fnv1a(graph), fnv1a(regime));
-  if (variant.empty()) return base;
-  return mix3(base, fnv1a(variant), 0x76617269616E74ULL);  // "variant"
-}
-
-SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {
+SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
+                           const StoreOptions* store_options) {
   RLOCAL_CHECK(!spec.graphs.empty(), "sweep spec needs at least one graph");
   RLOCAL_CHECK(!spec.regimes.empty(), "sweep spec needs at least one regime");
   RLOCAL_CHECK(!spec.seeds.empty(), "sweep spec needs at least one seed");
+  for (const ZooEntry& entry : spec.graphs) {
+    RLOCAL_CHECK(entry.graph.num_nodes() > 0 || entry.factory != nullptr,
+                 "sweep graph '" + entry.name +
+                     "' is empty and has no factory");
+  }
 
   std::vector<const Solver*> solvers;
   if (spec.solvers.empty()) {
@@ -87,6 +98,7 @@ SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {
 
   std::vector<Cell> cells;
   int cells_skipped = 0;
+  std::uint64_t storable_cells = 0;
   for (const Solver* solver : solvers) {
     for (const ZooEntry& entry : spec.graphs) {
       for (const Regime& regime : spec.regimes) {
@@ -102,6 +114,7 @@ SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {
           for (const std::uint64_t seed : spec.seeds) {
             cells.push_back({solver, &entry, &regime, variants[v],
                              &variant_params[v], seed, !supported});
+            if (supported) ++storable_cells;
           }
         }
       }
@@ -111,6 +124,58 @@ SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {
   SweepResult result;
   result.cells_skipped = cells_skipped;
   result.records.resize(cells.size());
+  // Cells materialized into result.records (run, resumed, or kept-skipped);
+  // under max_cells truncation the rest are compacted away at the end.
+  std::vector<char> done(cells.size(), 0);
+
+  // --- Store attachment: open/create, fingerprint gate, restore. ---------
+  std::optional<store::RecordStore> record_store;
+  if (store_options != nullptr) {
+    RLOCAL_CHECK(!store_options->dir.empty(),
+                 "sweep store options need a directory");
+    const std::uint64_t fingerprint =
+        store::sweep_fingerprint(registry, spec);
+    const std::string fingerprint_hex = store::fingerprint_hex(fingerprint);
+    if (store_options->resume) {
+      record_store.emplace(store::RecordStore::open(store_options->dir));
+      RLOCAL_CHECK(
+          record_store->manifest().fingerprint == fingerprint_hex,
+          "sweep store '" + store_options->dir +
+              "' was written by a different spec (fingerprint " +
+              record_store->manifest().fingerprint + ", this spec is " +
+              fingerprint_hex + "); refusing to mix records");
+      for (store::StoredRecord& stored : record_store->read_all()) {
+        RLOCAL_CHECK(stored.cell_index < cells.size(),
+                     "sweep store '" + store_options->dir +
+                         "' holds a cell outside this grid (corrupt store)");
+        const std::size_t i = static_cast<std::size_t>(stored.cell_index);
+        const Cell& cell = cells[i];
+        const std::uint64_t master =
+            cell_seed(cell.user_seed, cell.solver->name(), cell.graph->name,
+                      cell.regime->name(), cell.variant->name);
+        // The fingerprint already pins the grid; these per-frame checks
+        // catch a store whose shards were edited or mixed by hand.
+        RLOCAL_CHECK(!cell.skipped && stored.cell_seed == master &&
+                         stored.record.solver == cell.solver->name() &&
+                         stored.record.graph == cell.graph->name &&
+                         stored.record.regime == cell.regime->name() &&
+                         stored.record.variant == cell.variant->name &&
+                         stored.record.seed == cell.user_seed,
+                     "sweep store '" + store_options->dir +
+                         "' frame does not match its grid cell " +
+                         std::to_string(stored.cell_index) +
+                         " (corrupt store)");
+        stored.record.resumed = true;
+        result.records[i] = std::move(stored.record);
+        done[i] = 1;
+        ++result.cells_resumed;
+      }
+    } else {
+      record_store.emplace(store::RecordStore::create(
+          store_options->dir,
+          manifest_from_spec(solvers, spec, fingerprint, storable_cells)));
+    }
+  }
 
   const auto start = std::chrono::steady_clock::now();
   int threads = spec.threads;
@@ -121,10 +186,16 @@ SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {
   threads = std::min<int>(threads, std::max<std::size_t>(cells.size(), 1));
 
   std::atomic<std::size_t> cursor{0};
-  const auto worker = [&]() {
+  std::atomic<int> executed{0};
+  std::atomic<bool> truncated{false};
+  const auto worker = [&](int worker_index) {
+    // One shard per worker, opened lazily so workers that only materialize
+    // skipped/resumed cells do not create empty shard files.
+    std::optional<store::RecordStore::ShardWriter> shard;
     while (true) {
       const std::size_t i = cursor.fetch_add(1);
       if (i >= cells.size()) return;
+      if (done[i]) continue;  // restored from the store
       const Cell& cell = cells[i];
       if (cell.skipped) {
         RunRecord& record = result.records[i];
@@ -135,27 +206,56 @@ SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {
         record.variant = cell.variant->name;
         record.seed = cell.user_seed;
         record.skipped = true;
+        done[i] = 1;
+        continue;
+      }
+      if (spec.max_cells > 0 && executed.fetch_add(1) >= spec.max_cells) {
+        // Budget spent: leave the cell unclaimed on disk and in the result
+        // (a later resume picks it up); keep scanning so cheap skipped
+        // cells still materialize.
+        truncated.store(true, std::memory_order_relaxed);
         continue;
       }
       const std::uint64_t master =
           cell_seed(cell.user_seed, cell.solver->name(), cell.graph->name,
                     cell.regime->name(), cell.variant->name);
-      RunRecord record =
-          registry.run_cell(*cell.solver, cell.graph->graph, cell.graph->name,
-                            *cell.regime, master, *cell.params);
-      record.variant = cell.variant->name;
-      record.seed = cell.user_seed;  // report the user's seed, not the mix
-      result.records[i] = std::move(record);
+      const RunContext ctx =
+          RunContext::with_deadline_ms(spec.cell_deadline_ms);
+      {
+        // Lazy zoo entries are built here and destroyed at scope exit --
+        // before the record is appended to the store -- so peak memory is
+        // one instance per worker even on n >> 10^6 grids.
+        Graph built;
+        const Graph* graph = &cell.graph->graph;
+        if (cell.graph->lazy()) {
+          built = cell.graph->factory();
+          graph = &built;
+        }
+        RunRecord record = registry.run_cell(*cell.solver, *graph,
+                                             cell.graph->name, *cell.regime,
+                                             master, *cell.params, ctx);
+        record.variant = cell.variant->name;
+        record.seed = cell.user_seed;  // report the user's seed, not the mix
+        result.records[i] = std::move(record);
+      }
+      if (record_store.has_value()) {
+        if (!shard.has_value()) {
+          shard.emplace(record_store->shard_writer(worker_index));
+        }
+        shard->append({static_cast<std::uint64_t>(i), master,
+                       result.records[i]});
+      }
+      done[i] = 1;
     }
   };
 
   if (threads <= 1) {
-    worker();
+    worker(0);
     result.threads_used = 1;
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
     result.threads_used = threads;
   }
@@ -163,18 +263,72 @@ SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {
   const auto stop = std::chrono::steady_clock::now();
   result.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
+
+  // Compact a truncated run: grid order is preserved, unmaterialized cells
+  // (max_cells budget) drop out.
+  if (truncated.load(std::memory_order_relaxed)) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (!done[i]) continue;
+      if (kept != i) result.records[kept] = std::move(result.records[i]);
+      ++kept;
+    }
+    result.records.resize(kept);
+  }
+
   for (const RunRecord& record : result.records) {
     if (record.skipped) continue;
-    ++result.cells_run;
+    // Resumed cells count toward cells_resumed (stamped during restore) and
+    // toward failures -- they are part of the record set -- but never toward
+    // cells_run, so per-process throughput and the regression gate's
+    // aggregates reflect only work actually done here.
+    if (!record.resumed) ++result.cells_run;
     if (!record.error.empty() || !record.checker_passed) {
       ++result.cells_failed;
     }
   }
+  if (record_store.has_value()) {
+    record_store->finalize(static_cast<std::uint64_t>(result.cells_run) +
+                           static_cast<std::uint64_t>(result.cells_resumed));
+  }
   return result;
+}
+
+}  // namespace
+
+std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
+                        const std::string& graph, const std::string& regime) {
+  return cell_seed(user_seed, solver, graph, regime, "");
+}
+
+std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
+                        const std::string& graph, const std::string& regime,
+                        const std::string& variant) {
+  // The empty variant contributes nothing, so pre-variant sweeps keep their
+  // exact per-cell seeds. Non-empty variants chain a second mix stage (not
+  // an XOR into the regime word, which would alias swapped (regime,
+  // variant) name pairs).
+  const std::uint64_t base =
+      mix3(user_seed, fnv1a(solver) ^ fnv1a(graph), fnv1a(regime));
+  if (variant.empty()) return base;
+  return mix3(base, fnv1a(variant), 0x76617269616E74ULL);  // "variant"
+}
+
+SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {
+  return run_sweep_impl(registry, spec, nullptr);
 }
 
 SweepResult run_sweep(const SweepSpec& spec) {
   return run_sweep(Registry::global(), spec);
+}
+
+SweepResult run_sweep(const Registry& registry, const SweepSpec& spec,
+                      const StoreOptions& store) {
+  return run_sweep_impl(registry, spec, &store);
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const StoreOptions& store) {
+  return run_sweep(Registry::global(), spec, store);
 }
 
 }  // namespace rlocal::lab

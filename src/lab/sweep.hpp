@@ -31,7 +31,10 @@ struct ParamVariant {
 };
 
 struct SweepSpec {
-  /// Named graphs (reuses the generator zoo's entry type).
+  /// Named graphs (reuses the generator zoo's entry type). Entries whose
+  /// `lazy()` is true are rebuilt from their factory once per cell and
+  /// dropped as soon as the cell's record is produced, so huge grids never
+  /// hold more than one instance per worker in RAM.
   std::vector<ZooEntry> graphs;
   std::vector<Regime> regimes;
   std::vector<std::uint64_t> seeds;
@@ -46,23 +49,57 @@ struct SweepSpec {
   /// Unsupported (solver, regime) cells: false drops them (counted in
   /// cells_skipped), true keeps a RunRecord with skipped = true.
   bool keep_unsupported = false;
+  /// Per-cell wall-clock budget in milliseconds; <= 0 means none. The
+  /// budget is cooperative: Solver::run receives a RunContext whose
+  /// check_deadline() throws at the solver's next checkpoint, and the cell
+  /// is recorded as failed with reason "deadline" (the sweep continues).
+  /// Part of the spec fingerprint -- it can change which records exist.
+  double cell_deadline_ms = 0;
+  /// Stop claiming new cells after this many have been *executed* in this
+  /// process (resumed and skipped cells are free); 0 means unlimited. The
+  /// crash-injection knob behind `bench_sweep --cell-limit` and the CI
+  /// resume smoke test: a truncated sweep plus a store is resumable.
+  int max_cells = 0;
+};
+
+/// Attaches a durable on-disk record store (src/store/) to a sweep.
+struct StoreOptions {
+  std::string dir;  ///< store directory (created if absent)
+  /// false: start fresh (existing shards in `dir` are truncated);
+  /// true: verify the manifest's spec fingerprint, restore every completed
+  /// cell from the shards (RunRecord::resumed), and run only the rest.
+  bool resume = false;
 };
 
 struct SweepResult {
-  std::vector<RunRecord> records;  ///< grid order, deterministic
-  int cells_run = 0;
+  /// Grid order, deterministic. A truncated run (SweepSpec::max_cells)
+  /// contains only the materialized prefix of each worker's claims; a
+  /// resumed run contains restored records (resumed = true) in place.
+  std::vector<RunRecord> records;
+  int cells_run = 0;  ///< executed in this process; resumed cells excluded
   /// Cells dropped because the solver does not support the regime; same
   /// unit as cells_run (one per grid cell including the seed axis).
   int cells_skipped = 0;
-  int cells_failed = 0;  ///< ran but threw or failed the checker
+  /// Records restored from the store instead of executed (resume path).
+  int cells_resumed = 0;
+  int cells_failed = 0;  ///< ran but threw or failed the checker (any origin)
   int threads_used = 0;
-  double wall_ms = 0.0;
+  double wall_ms = 0.0;  ///< this process's wall time only
 };
 
 SweepResult run_sweep(const Registry& registry, const SweepSpec& spec);
 
 /// Sweep over the process-global registry.
 SweepResult run_sweep(const SweepSpec& spec);
+
+/// Durable sweep: records stream into a sharded on-disk store as workers
+/// finish them (fsync'd frames; see docs/store_format.md), and with
+/// `store.resume` already-completed cells are restored instead of re-run.
+/// Throws InvariantError when resuming against a store whose manifest
+/// fingerprint does not match the spec.
+SweepResult run_sweep(const Registry& registry, const SweepSpec& spec,
+                      const StoreOptions& store);
+SweepResult run_sweep(const SweepSpec& spec, const StoreOptions& store);
 
 /// The per-cell master seed derivation (exposed for tests / reproducing a
 /// single cell outside a sweep). The 4-argument form is the empty-variant

@@ -20,10 +20,18 @@ KWiseGenerator KWiseGenerator::from_seed(int k, int m,
 std::uint64_t KWiseGenerator::value(std::uint64_t point) const {
   RLOCAL_CHECK((point & ~field_.mask()) == 0,
                "evaluation point exceeds field size");
+  if (memo_enabled_ && memo_valid_ && memo_point_ == point) {
+    return memo_value_;
+  }
   // Horner evaluation: a_{k-1} x^{k-1} + ... + a_0.
   std::uint64_t acc = coefficients_.back();
   for (std::size_t i = coefficients_.size() - 1; i-- > 0;) {
     acc = field_.mul(acc, point) ^ coefficients_[i];
+  }
+  if (memo_enabled_) {
+    memo_point_ = point;
+    memo_value_ = acc;
+    memo_valid_ = true;
   }
   return acc;
 }

@@ -4,6 +4,17 @@
 //
 // Seed size is k*m bits, matching the paper's "O(k log n) fully independent
 // bits yield poly(n) k-wise independent bits" accounting.
+//
+// Perf: value() memoizes the last evaluation point. Algorithms address
+// draws as (node, stream, chunk) packings, and a node's bit/geometric draws
+// hit the *same* point up to 64 times in a row (one Horner chain per bit
+// without the memo) -- the dominant cost of k-wise sweep cells at large k.
+// Since the coefficients are fixed at construction, caching the final value
+// subsumes caching the point's power table. The memo makes concurrent
+// value() calls on ONE instance racy; every call site owns its generator
+// per cell/thread (NodeRandomness is per-cell), and set_memo_enabled(false)
+// restores the stateless behavior (used by bench_micro_engine's
+// before/after case).
 #pragma once
 
 #include <cstdint>
@@ -23,8 +34,17 @@ class KWiseGenerator {
   static KWiseGenerator from_seed(int k, int m, std::uint64_t master_seed);
 
   /// Uniform m-bit value at evaluation point `point` (< 2^m). Any k distinct
-  /// points give jointly independent uniform values.
+  /// points give jointly independent uniform values. Repeated evaluation at
+  /// the most recent point is O(1) (see the memo note in the file comment).
   std::uint64_t value(std::uint64_t point) const;
+
+  /// Disables/enables the last-point memo (default: enabled). The produced
+  /// values are identical either way; this only exists so benchmarks can
+  /// measure the un-memoized cost.
+  void set_memo_enabled(bool enabled) {
+    memo_enabled_ = enabled;
+    memo_valid_ = false;
+  }
 
   bool bit(std::uint64_t point) const { return (value(point) & 1ULL) != 0; }
 
@@ -42,6 +62,12 @@ class KWiseGenerator {
  private:
   GF2m field_;
   std::vector<std::uint64_t> coefficients_;  // a_0 .. a_{k-1}
+  // Last-point memo (mutable: value() is logically const -- a pure function
+  // of (coefficients, point) -- and the memo never changes what it returns).
+  bool memo_enabled_ = true;
+  mutable bool memo_valid_ = false;
+  mutable std::uint64_t memo_point_ = 0;
+  mutable std::uint64_t memo_value_ = 0;
 };
 
 }  // namespace rlocal

@@ -190,12 +190,14 @@ std::uint64_t NodeRandomness::chunk_impl(std::uint64_t node,
 
 std::uint64_t NodeRandomness::chunk(std::uint64_t node, std::uint64_t stream,
                                     int c) {
+  maybe_checkpoint();
   derived_bits_ += 64;
   return chunk_impl(node, stream, c);
 }
 
 bool NodeRandomness::bit(std::uint64_t node, std::uint64_t stream, int j) {
   RLOCAL_CHECK(j >= 0 && j < kMaxBitsPerDraw, "bit index out of range");
+  maybe_checkpoint();
   derived_bits_ += 1;
   if (regime_.kind == RegimeKind::kSharedEpsBias) {
     const std::uint64_t point = pack(node, stream, j >> 6);
@@ -207,6 +209,7 @@ bool NodeRandomness::bit(std::uint64_t node, std::uint64_t stream, int j) {
 bool NodeRandomness::bernoulli(std::uint64_t node, std::uint64_t stream,
                                double p) {
   RLOCAL_CHECK(p >= 0.0 && p <= 1.0, "p must be a probability");
+  maybe_checkpoint();
   if (p >= 1.0) return true;
   if (p <= 0.0) return false;
   if (regime_.kind == RegimeKind::kSharedEpsBias) {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -139,11 +140,32 @@ class NodeRandomness {
   /// The pool `node` draws through (kPooled only; checked).
   std::int32_t pool_of(std::uint64_t node) const;
 
+  /// Installs a cooperative checkpoint invoked once every
+  /// kCheckpointInterval draw calls. Every randomized algorithm's inner
+  /// loop passes through a draw, so this is where a sweep's per-cell
+  /// deadline (lab::RunContext) reaches long-running library code without
+  /// the rnd layer knowing about the lab: the hook may throw (e.g.
+  /// DeadlineExpired) and the draw never happens. The hook cannot observe
+  /// or change drawn values, so determinism is untouched.
+  void set_checkpoint(std::function<void()> checkpoint) {
+    checkpoint_ = std::move(checkpoint);
+  }
+  static constexpr std::uint64_t kCheckpointInterval = 64;
+
  private:
   Regime regime_;
   std::uint64_t master_seed_;
   std::uint64_t shared_seed_bits_ = 0;
   std::uint64_t derived_bits_ = 0;
+  std::function<void()> checkpoint_;
+  std::uint64_t draw_calls_ = 0;
+
+  /// Called at every public draw entry point, before the draw.
+  void maybe_checkpoint() {
+    if (checkpoint_ && (++draw_calls_ % kCheckpointInterval) == 0) {
+      checkpoint_();
+    }
+  }
   std::optional<KWiseGenerator> kwise_;
   std::optional<EpsBiasGenerator> epsbias_;
   /// Lazily instantiated per-pool generators (kPooled).

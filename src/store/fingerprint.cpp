@@ -1,0 +1,112 @@
+#include "store/fingerprint.hpp"
+
+#include <cstdio>
+
+namespace rlocal::store {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/// Running FNV-1a digest. Word feeds are byte-decomposed little-endian so
+/// the digest is platform-independent.
+class Digest {
+ public:
+  void feed_byte(unsigned char b) {
+    hash_ ^= b;
+    hash_ *= kFnvPrime;
+  }
+  void feed(std::string_view text) {
+    for (const char ch : text) feed_byte(static_cast<unsigned char>(ch));
+    feed_byte(0xFF);  // separator: feed("ab"),feed("c") != feed("a"),feed("bc")
+  }
+  void feed(std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      feed_byte(static_cast<unsigned char>(word >> (8 * i)));
+    }
+  }
+  void feed(double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    feed(std::string_view(buf));
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+}  // namespace
+
+std::uint64_t graph_fingerprint(const Graph& g) {
+  Digest digest;
+  digest.feed(static_cast<std::uint64_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    digest.feed(g.id(v));
+    for (const NodeId u : g.neighbors(v)) {
+      digest.feed(static_cast<std::uint64_t>(u));
+    }
+    digest.feed_byte(0xFE);  // row separator
+  }
+  return digest.value();
+}
+
+std::uint64_t sweep_fingerprint(const lab::Registry& registry,
+                                const lab::SweepSpec& spec) {
+  Digest digest;
+  digest.feed("rlocal.sweep_fingerprint/1");
+
+  digest.feed("solvers");
+  if (spec.solvers.empty()) {
+    for (const std::string& name : registry.solver_names()) digest.feed(name);
+  } else {
+    for (const std::string& name : spec.solvers) digest.feed(name);
+  }
+
+  digest.feed("graphs");
+  for (const ZooEntry& entry : spec.graphs) {
+    digest.feed(entry.name);
+    if (entry.factory && entry.graph.num_nodes() == 0) {
+      const Graph built = entry.factory();
+      digest.feed(graph_fingerprint(built));
+    } else {
+      digest.feed(graph_fingerprint(entry.graph));
+    }
+  }
+
+  digest.feed("regimes");
+  for (const Regime& regime : spec.regimes) digest.feed(regime.name());
+
+  digest.feed("seeds");
+  for (const std::uint64_t seed : spec.seeds) digest.feed(seed);
+
+  digest.feed("params");
+  for (const auto& [key, value] : spec.params) {  // std::map: sorted
+    digest.feed(key);
+    digest.feed(value);
+  }
+
+  digest.feed("variants");
+  for (const lab::ParamVariant& variant : spec.variants) {
+    digest.feed(variant.name);
+    for (const auto& [key, value] : variant.params) {
+      digest.feed(key);
+      digest.feed(value);
+    }
+  }
+
+  digest.feed("policy");
+  digest.feed(static_cast<std::uint64_t>(spec.keep_unsupported ? 1 : 0));
+  digest.feed(spec.cell_deadline_ms);
+
+  return digest.value();
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buf);
+}
+
+}  // namespace rlocal::store

@@ -1,0 +1,37 @@
+// Canonical SweepSpec fingerprint: a 64-bit digest of everything that
+// determines a sweep's record set -- the resolved solver list, each graph's
+// full structure (not just its name), regime names (pool-table regimes
+// already fold their table into the name), seeds, params, the variant axis,
+// keep_unsupported, and the per-cell deadline. Execution knobs that cannot
+// change the records (threads, max_cells) are deliberately excluded, so a
+// run may be resumed with a different worker count.
+//
+// The fingerprint gates resume: a store written under one spec refuses to
+// accept records for another (see store/record_store.hpp). It is the
+// content-addressing rule documented in docs/store_format.md -- change the
+// serialization here and every existing store becomes unreadable on
+// purpose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lab/registry.hpp"
+#include "lab/sweep.hpp"
+
+namespace rlocal::store {
+
+/// Digest of one graph's structure: node count, adjacency, identifiers.
+std::uint64_t graph_fingerprint(const Graph& g);
+
+/// Digest of the whole sweep grid. Empty spec.solvers resolves to every
+/// solver in `registry` (the same rule run_sweep applies), so the
+/// fingerprint is stable across registry growth only when solvers are
+/// pinned explicitly. Lazy zoo entries are built once here and dropped.
+std::uint64_t sweep_fingerprint(const lab::Registry& registry,
+                                const lab::SweepSpec& spec);
+
+/// Canonical 16-digit lower-case hex spelling used inside manifests.
+std::string fingerprint_hex(std::uint64_t fingerprint);
+
+}  // namespace rlocal::store

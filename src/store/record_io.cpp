@@ -1,0 +1,128 @@
+#include "store/record_io.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/json.hpp"
+
+namespace rlocal::store {
+namespace {
+
+/// The one definition of the frame's record fields (fixed order; see file
+/// comment of record_io.hpp). emit_json in lab/emit.cpp mirrors this shape
+/// for whole-run artifacts.
+void write_record_fields(JsonWriter& w, const lab::RunRecord& r,
+                         bool include_wall_ms) {
+  w.field("solver", r.solver);
+  w.field("problem", r.problem);
+  w.field("graph", r.graph);
+  w.field("regime", r.regime);
+  if (!r.variant.empty()) w.field("variant", r.variant);
+  w.field("seed", r.seed);
+  if (r.skipped) {
+    w.field("skipped", true);
+    return;
+  }
+  w.field("success", r.success);
+  w.field("checker_passed", r.checker_passed);
+  if (!r.error.empty()) w.field("error", r.error);
+  if (r.colors >= 0) w.field("colors", r.colors);
+  if (r.rounds >= 0) w.field("rounds", r.rounds);
+  if (r.iterations >= 0) w.field("iterations", r.iterations);
+  if (r.diameter >= 0) w.field("diameter", r.diameter);
+  w.field("objective", r.objective);
+  w.field("shared_seed_bits", r.shared_seed_bits);
+  w.field("derived_bits", r.derived_bits);
+  if (include_wall_ms) w.field("wall_ms", r.wall_ms);
+  if (!r.metrics.empty()) {
+    w.key("metrics");
+    w.begin_object();
+    for (const auto& [key, value] : r.metrics) w.field(key, value);
+    w.end_object();
+  }
+}
+
+}  // namespace
+
+std::string encode_frame(const StoredRecord& stored) {
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  w.field("cell_index", stored.cell_index);
+  w.field("cell_seed", stored.cell_seed);
+  write_record_fields(w, stored.record, /*include_wall_ms=*/true);
+  w.end_object();
+  return out.str();
+}
+
+std::optional<StoredRecord> decode_frame(std::string_view line) {
+  const std::optional<JsonValue> parsed = json_try_parse(line);
+  if (!parsed || !parsed->is_object()) return std::nullopt;
+  const JsonValue& v = *parsed;
+  const JsonValue* cell_index = v.find("cell_index");
+  const JsonValue* cell_seed = v.find("cell_seed");
+  const JsonValue* seed = v.find("seed");
+  if (cell_index == nullptr || !cell_index->is_number() ||
+      cell_seed == nullptr || !cell_seed->is_number() || seed == nullptr ||
+      !seed->is_number()) {
+    return std::nullopt;
+  }
+  StoredRecord stored;
+  lab::RunRecord& r = stored.record;
+  try {
+    stored.cell_index = cell_index->as_uint64();
+    stored.cell_seed = cell_seed->as_uint64();
+    r.seed = seed->as_uint64();
+    r.solver = v.string_or("solver", "");
+    r.problem = v.string_or("problem", "");
+    r.graph = v.string_or("graph", "");
+    r.regime = v.string_or("regime", "");
+    r.variant = v.string_or("variant", "");
+    if (r.solver.empty() || r.graph.empty() || r.regime.empty()) {
+      return std::nullopt;
+    }
+    r.skipped = v.bool_or("skipped", false);
+    if (r.skipped) return stored;
+    r.success = v.bool_or("success", false);
+    r.checker_passed = v.bool_or("checker_passed", false);
+    r.error = v.string_or("error", "");
+    r.colors = static_cast<int>(v.number_or("colors", -1));
+    r.rounds = static_cast<int>(v.number_or("rounds", -1));
+    r.iterations = static_cast<int>(v.number_or("iterations", -1));
+    r.diameter = static_cast<int>(v.number_or("diameter", -1));
+    r.objective = v.number_or("objective", 0.0);
+    const JsonValue* shared_bits = v.find("shared_seed_bits");
+    const JsonValue* derived_bits = v.find("derived_bits");
+    if (shared_bits == nullptr || !shared_bits->is_number() ||
+        derived_bits == nullptr || !derived_bits->is_number()) {
+      return std::nullopt;
+    }
+    r.shared_seed_bits = shared_bits->as_uint64();
+    r.derived_bits = derived_bits->as_uint64();
+    r.wall_ms = v.number_or("wall_ms", 0.0);
+    if (const JsonValue* metrics = v.find("metrics");
+        metrics != nullptr && metrics->is_object()) {
+      for (const auto& [key, value] : metrics->as_object()) {
+        if (!value.is_number()) return std::nullopt;
+        r.metrics[key] = value.as_double();
+      }
+    }
+  } catch (const InvariantError&) {
+    // A field present with the wrong shape (e.g. fractional cell_index):
+    // treat as a torn/corrupt frame, not a crash.
+    return std::nullopt;
+  }
+  return stored;
+}
+
+std::string canonical_record_json(const lab::RunRecord& record,
+                                  bool include_wall_ms) {
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  write_record_fields(w, record, include_wall_ms);
+  w.end_object();
+  return out.str();
+}
+
+}  // namespace rlocal::store

@@ -1,0 +1,47 @@
+// Frame codec for the sweep store: one RunRecord per JSONL line.
+//
+// A frame is a single compact JSON object terminated by '\n', written with
+// a fixed key order and %.17g doubles so that encode(decode(frame)) is
+// byte-identical -- the property the crash-resume tests and the CI smoke
+// diff rely on. Optional fields follow lab::emit_json's conventions (empty
+// variant/error and negative observables are omitted). The typed
+// `RunRecord::artifact` payload does NOT survive the store (it is an
+// in-process convenience); `resumed` is a read-side annotation and is never
+// written.
+//
+// Each frame carries two store-level coordinates ahead of the record:
+//   cell_index -- the cell's position in the sweep's deterministic grid
+//                 enumeration (the merge key);
+//   cell_seed  -- the 5-coordinate mixed master seed (lab::cell_seed), a
+//                 redundant integrity check against grid drift.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "lab/record.hpp"
+
+namespace rlocal::store {
+
+struct StoredRecord {
+  std::uint64_t cell_index = 0;
+  std::uint64_t cell_seed = 0;
+  lab::RunRecord record;
+};
+
+/// Serializes one frame, without the trailing newline.
+std::string encode_frame(const StoredRecord& stored);
+
+/// Parses one frame line (newline already stripped); nullopt on any
+/// malformed input -- the torn-final-frame tolerance hook.
+std::optional<StoredRecord> decode_frame(std::string_view line);
+
+/// Canonical record spelling for comparisons: the frame body with the
+/// store coordinates and, when `include_wall_ms` is false, the wall-clock
+/// field dropped (wall time is the one legitimately nondeterministic
+/// field, so byte-identity checks exclude it).
+std::string canonical_record_json(const lab::RunRecord& record,
+                                  bool include_wall_ms = false);
+
+}  // namespace rlocal::store

@@ -1,0 +1,300 @@
+#include "store/record_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/json.hpp"
+
+namespace rlocal::store {
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "manifest.json";
+constexpr const char* kShardPrefix = "shard-";
+constexpr const char* kShardSuffix = ".jsonl";
+
+[[noreturn]] void fail_errno(const std::string& what, const std::string& path) {
+  throw InvariantError("sweep store: " + what + " '" + path +
+                       "': " + std::strerror(errno));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RLOCAL_CHECK(in.good(), "sweep store: cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void fsync_path(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY
+                                                : O_RDONLY);
+  if (fd < 0) fail_errno("open for fsync", path);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail_errno("fsync", path);
+  }
+  ::close(fd);
+}
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("write", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+/// Splits a shard's bytes into decoded frames. Only a torn *tail* is
+/// tolerated: the valid prefix ends at the first line that is incomplete
+/// (no trailing '\n') or undecodable; a decodable frame after that point
+/// means the shard was corrupted some other way and throws.
+struct ShardScan {
+  std::vector<StoredRecord> frames;
+  std::size_t valid_prefix_bytes = 0;  ///< offset a writer may append at
+};
+
+ShardScan scan_shard(const std::string& path, const std::string& bytes) {
+  ShardScan scan;
+  std::size_t line_start = 0;
+  bool tail_torn = false;
+  while (line_start < bytes.size()) {
+    const std::size_t newline = bytes.find('\n', line_start);
+    const bool complete = newline != std::string::npos;
+    const std::string_view line(bytes.data() + line_start,
+                                (complete ? newline : bytes.size()) -
+                                    line_start);
+    std::optional<StoredRecord> frame =
+        complete ? decode_frame(line) : std::nullopt;
+    if (frame.has_value()) {
+      RLOCAL_CHECK(!tail_torn, "sweep store: valid frame after a corrupt "
+                               "one in '" + path + "'");
+      scan.frames.push_back(std::move(*frame));
+      scan.valid_prefix_bytes = newline + 1;
+    } else if (!line.empty()) {
+      tail_torn = true;  // dropped; the cell will simply be re-run
+    }
+    if (!complete) break;
+    line_start = newline + 1;
+  }
+  return scan;
+}
+
+std::vector<std::string> shard_paths(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kShardPrefix, 0) == 0 &&
+        name.size() > std::strlen(kShardSuffix) &&
+        name.compare(name.size() - std::strlen(kShardSuffix),
+                     std::strlen(kShardSuffix), kShardSuffix) == 0) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+void write_manifest_json(std::ostream& out, const StoreManifest& manifest) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", kStoreSchema);
+  w.field("fingerprint", manifest.fingerprint);
+  w.field("total_cells", manifest.total_cells);
+  w.field("completed_cells", manifest.completed_cells);
+  w.key("spec");
+  w.begin_object();
+  const auto string_array = [&w](const char* key,
+                                 const std::vector<std::string>& items) {
+    w.key(key);
+    w.begin_array();
+    for (const std::string& item : items) w.value(item);
+    w.end_array();
+  };
+  string_array("solvers", manifest.solvers);
+  string_array("graphs", manifest.graphs);
+  string_array("regimes", manifest.regimes);
+  string_array("variants", manifest.variants);
+  w.key("seeds");
+  w.begin_array();
+  for (const std::uint64_t seed : manifest.seeds) w.value(seed);
+  w.end_array();
+  w.field("cell_deadline_ms", manifest.cell_deadline_ms);
+  w.end_object();
+  w.end_object();
+  out << '\n';
+}
+
+StoreManifest parse_manifest(const std::string& path, const std::string& text) {
+  const JsonValue root = json_parse(text);  // throws with offset info
+  RLOCAL_CHECK(root.is_object(), "sweep store: manifest '" + path +
+                                     "' is not a JSON object");
+  RLOCAL_CHECK(root.string_or("schema", "") == kStoreSchema,
+               "sweep store: manifest '" + path + "' has schema '" +
+                   root.string_or("schema", "<missing>") + "', expected '" +
+                   kStoreSchema + "'");
+  StoreManifest manifest;
+  manifest.fingerprint = root.string_or("fingerprint", "");
+  RLOCAL_CHECK(!manifest.fingerprint.empty(),
+               "sweep store: manifest '" + path + "' has no fingerprint");
+  const JsonValue* total = root.find("total_cells");
+  if (total != nullptr && total->is_number()) {
+    manifest.total_cells = total->as_uint64();
+  }
+  const JsonValue* completed = root.find("completed_cells");
+  if (completed != nullptr && completed->is_number()) {
+    manifest.completed_cells = completed->as_uint64();
+  }
+  if (const JsonValue* spec = root.find("spec");
+      spec != nullptr && spec->is_object()) {
+    const auto strings = [spec](const char* key) {
+      std::vector<std::string> out;
+      if (const JsonValue* array = spec->find(key);
+          array != nullptr && array->is_array()) {
+        for (const JsonValue& item : array->as_array()) {
+          if (item.is_string()) out.push_back(item.as_string());
+        }
+      }
+      return out;
+    };
+    manifest.solvers = strings("solvers");
+    manifest.graphs = strings("graphs");
+    manifest.regimes = strings("regimes");
+    manifest.variants = strings("variants");
+    if (const JsonValue* seeds = spec->find("seeds");
+        seeds != nullptr && seeds->is_array()) {
+      for (const JsonValue& seed : seeds->as_array()) {
+        if (seed.is_number()) manifest.seeds.push_back(seed.as_uint64());
+      }
+    }
+    manifest.cell_deadline_ms = spec->number_or("cell_deadline_ms", 0.0);
+  }
+  return manifest;
+}
+
+}  // namespace
+
+RecordStore::ShardWriter::ShardWriter(ShardWriter&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+RecordStore::ShardWriter& RecordStore::ShardWriter::operator=(
+    ShardWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+RecordStore::ShardWriter::~ShardWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void RecordStore::ShardWriter::append(const StoredRecord& stored) {
+  RLOCAL_CHECK(fd_ >= 0, "sweep store: append on a moved-from ShardWriter");
+  const std::string line = encode_frame(stored) + '\n';
+  write_all(fd_, line.data(), line.size(), path_);
+  if (::fsync(fd_) != 0) fail_errno("fsync", path_);
+}
+
+RecordStore RecordStore::create(const std::string& dir,
+                                StoreManifest manifest) {
+  RLOCAL_CHECK(!dir.empty(), "sweep store: directory must not be empty");
+  fs::create_directories(dir);
+  // Fresh start: a previous run's shards in this directory would otherwise
+  // be merged into the new run's record set.
+  for (const std::string& shard : shard_paths(dir)) fs::remove(shard);
+  RecordStore store(dir, std::move(manifest));
+  store.write_manifest();
+  return store;
+}
+
+RecordStore RecordStore::open(const std::string& dir) {
+  const std::string path = (fs::path(dir) / kManifestName).string();
+  RLOCAL_CHECK(fs::exists(path), "sweep store: no manifest at '" + path +
+                                     "' (nothing to resume)");
+  return RecordStore(dir, parse_manifest(path, read_file(path)));
+}
+
+bool RecordStore::exists(const std::string& dir) {
+  return fs::exists(fs::path(dir) / kManifestName);
+}
+
+std::vector<StoredRecord> RecordStore::read_all() const {
+  std::map<std::uint64_t, StoredRecord> merged;  // grid order
+  for (const std::string& path : shard_paths(dir_)) {
+    ShardScan scan = scan_shard(path, read_file(path));
+    for (StoredRecord& frame : scan.frames) {
+      merged[frame.cell_index] = std::move(frame);  // last-write-wins
+    }
+  }
+  std::vector<StoredRecord> out;
+  out.reserve(merged.size());
+  for (auto& [index, frame] : merged) out.push_back(std::move(frame));
+  return out;
+}
+
+RecordStore::ShardWriter RecordStore::shard_writer(int index) const {
+  RLOCAL_CHECK(index >= 0, "sweep store: shard index must be >= 0");
+  const std::string path =
+      (fs::path(dir_) / (kShardPrefix + std::to_string(index) + kShardSuffix))
+          .string();
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) fail_errno("open", path);
+  // Truncate a torn tail so appended frames never fuse with partial bytes.
+  std::size_t keep = 0;
+  if (fs::exists(path)) {
+    keep = scan_shard(path, read_file(path)).valid_prefix_bytes;
+  }
+  if (::ftruncate(fd, static_cast<off_t>(keep)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    fail_errno("truncate", path);
+  }
+  return ShardWriter(path, fd);
+}
+
+void RecordStore::finalize(std::uint64_t completed_cells) {
+  manifest_.completed_cells = completed_cells;
+  write_manifest();
+}
+
+void RecordStore::write_manifest() const {
+  const std::string path = (fs::path(dir_) / kManifestName).string();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    RLOCAL_CHECK(out.good(), "sweep store: cannot write '" + tmp + "'");
+    write_manifest_json(out, manifest_);
+    out.flush();
+    RLOCAL_CHECK(out.good(), "sweep store: short write to '" + tmp + "'");
+  }
+  fsync_path(tmp, /*directory=*/false);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  RLOCAL_CHECK(!ec, "sweep store: rename '" + tmp + "' -> '" + path +
+                        "': " + ec.message());
+  fsync_path(dir_, /*directory=*/true);
+}
+
+}  // namespace rlocal::store

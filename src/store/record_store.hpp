@@ -1,0 +1,108 @@
+// RecordStore: the sweep lab's durable, resumable record persistence.
+//
+// Layout of a store directory (full spec in docs/store_format.md):
+//
+//   manifest.json   -- store identity: schema tag, the canonical SweepSpec
+//                      fingerprint (store/fingerprint.hpp), total storable
+//                      cell count, advisory completion count, and a
+//                      human-facing spec echo. Rewritten atomically
+//                      (tmp + rename) on finalize.
+//   shard-<k>.jsonl -- append-only record frames (store/record_io.hpp),
+//                      one shard per worker thread, fsync'd per frame so a
+//                      crash loses at most the frames in flight.
+//
+// Crash tolerance: a torn final frame (partial line, or a complete line
+// that does not decode) is silently dropped on read and truncated away
+// before appending -- the affected cell is simply re-run on resume. A valid
+// frame *after* an invalid one is real corruption and throws.
+//
+// Concurrency: each ShardWriter owns its file and must be used by a single
+// thread (the sweep gives one shard per worker); readers never lock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/record_io.hpp"
+
+namespace rlocal::store {
+
+inline constexpr const char* kStoreSchema = "rlocal.store/1";
+
+struct StoreManifest {
+  std::string fingerprint;  ///< 16-hex canonical spec fingerprint
+  /// Storable cells in the grid (non-skipped; skipped cells are free to
+  /// recompute and are never persisted).
+  std::uint64_t total_cells = 0;
+  /// Advisory: updated on finalize only. After a crash the truth is the
+  /// shards themselves (read_all), never this count.
+  std::uint64_t completed_cells = 0;
+  // Human-facing spec echo (the fingerprint is authoritative).
+  std::vector<std::string> solvers;
+  std::vector<std::string> graphs;
+  std::vector<std::string> regimes;
+  std::vector<std::string> variants;
+  std::vector<std::uint64_t> seeds;
+  double cell_deadline_ms = 0;
+};
+
+class RecordStore {
+ public:
+  /// Single-thread append handle for one shard file. Opens in append mode
+  /// after truncating any torn tail; every append is written and fsync'd
+  /// before returning, so a frame that append() returned from survives any
+  /// later crash.
+  class ShardWriter {
+   public:
+    ShardWriter(ShardWriter&& other) noexcept;
+    ShardWriter& operator=(ShardWriter&& other) noexcept;
+    ShardWriter(const ShardWriter&) = delete;
+    ShardWriter& operator=(const ShardWriter&) = delete;
+    ~ShardWriter();
+
+    void append(const StoredRecord& stored);
+
+   private:
+    friend class RecordStore;
+    ShardWriter(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+    std::string path_;
+    int fd_ = -1;
+  };
+
+  /// Creates `dir` (recursively) as a fresh store: existing shard files are
+  /// removed and a new manifest written. Destroys any previous run's
+  /// records in that directory -- resuming instead is StoreOptions::resume.
+  static RecordStore create(const std::string& dir, StoreManifest manifest);
+
+  /// Opens an existing store; throws InvariantError when the directory has
+  /// no parseable manifest.
+  static RecordStore open(const std::string& dir);
+
+  /// True when `dir` contains a store manifest.
+  static bool exists(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+  const StoreManifest& manifest() const { return manifest_; }
+
+  /// Merges every shard back into grid order (sorted by cell_index,
+  /// deduplicated last-write-wins). Tolerates one torn tail per shard.
+  std::vector<StoredRecord> read_all() const;
+
+  /// Opens shard `index` ("shard-<index>.jsonl") for appending.
+  ShardWriter shard_writer(int index) const;
+
+  /// Rewrites the manifest with the final completion count (atomic).
+  void finalize(std::uint64_t completed_cells);
+
+ private:
+  RecordStore(std::string dir, StoreManifest manifest)
+      : dir_(std::move(dir)), manifest_(std::move(manifest)) {}
+
+  void write_manifest() const;
+
+  std::string dir_;
+  StoreManifest manifest_;
+};
+
+}  // namespace rlocal::store

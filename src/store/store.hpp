@@ -1,0 +1,17 @@
+// Umbrella header for the sweep persistence subsystem: the sharded JSONL
+// RecordStore, the frame codec, and the canonical SweepSpec fingerprint.
+//
+//   #include "store/store.hpp"
+//
+//   rlocal::lab::StoreOptions store{"out/sweep_store", /*resume=*/true};
+//   auto result = rlocal::lab::run_sweep(spec, store);  // durable + resumed
+//
+//   auto records = rlocal::store::RecordStore::open("out/sweep_store")
+//                      .read_all();                     // merged grid order
+//
+// Format specification: docs/store_format.md.
+#pragma once
+
+#include "store/fingerprint.hpp"
+#include "store/record_io.hpp"
+#include "store/record_store.hpp"

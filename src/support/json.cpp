@@ -1,7 +1,10 @@
 #include "support/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <ostream>
 
 #include "support/assert.hpp"
@@ -145,6 +148,365 @@ void JsonWriter::value(int v) { value(static_cast<std::int64_t>(v)); }
 void JsonWriter::null() {
   before_value();
   out_ << "null";
+}
+
+JsonValue& JsonValue::operator=(const JsonValue& other) {
+  if (this == &other) return *this;
+  type_ = other.type_;
+  bool_ = other.bool_;
+  number_ = other.number_;
+  uint_ = other.uint_;
+  int_ = other.int_;
+  string_ = other.string_;
+  array_ = other.array_ ? std::make_unique<Array>(*other.array_) : nullptr;
+  object_ = other.object_ ? std::make_unique<Object>(*other.object_) : nullptr;
+  return *this;
+}
+
+bool JsonValue::as_bool() const {
+  RLOCAL_CHECK(type_ == Type::kBool, "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  RLOCAL_CHECK(type_ == Type::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  RLOCAL_CHECK(type_ == Type::kNumber && uint_.has_value(),
+               "JSON value is not an exact uint64");
+  return *uint_;
+}
+
+std::int64_t JsonValue::as_int64() const {
+  RLOCAL_CHECK(type_ == Type::kNumber && int_.has_value(),
+               "JSON value is not an exact int64");
+  return *int_;
+}
+
+const std::string& JsonValue::as_string() const {
+  RLOCAL_CHECK(type_ == Type::kString, "JSON value is not a string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  RLOCAL_CHECK(type_ == Type::kArray && array_ != nullptr,
+               "JSON value is not an array");
+  return *array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  RLOCAL_CHECK(type_ == Type::kObject && object_ != nullptr,
+               "JSON value is not an object");
+  return *object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject || object_ == nullptr) return nullptr;
+  for (const Member& member : *object_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->number_ : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->string_ : std::move(fallback);
+}
+
+bool JsonValue::bool_or(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_bool()) ? v->bool_ : fallback;
+}
+
+/// Strict recursive-descent parser over a string_view. Depth is bounded so a
+/// corrupt frame of nothing but '[' cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_ws();
+    RLOCAL_CHECK(pos_ == text_.size(),
+                 "JSON parse error at offset " + std::to_string(pos_) +
+                     ": trailing characters");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvariantError("JSON parse error at offset " +
+                         std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (ch != ' ' && ch != '\t' && ch != '\n' && ch != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    if (pos_ >= text_.size() || text_[pos_] != ch) {
+      fail(std::string("expected '") + ch + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char ch = peek();
+    switch (ch) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        JsonValue value;
+        value.type_ = JsonValue::Type::kString;
+        value.string_ = parse_string();
+        return value;
+      }
+      case 't':
+      case 'f': {
+        JsonValue value;
+        value.type_ = JsonValue::Type::kBool;
+        value.bool_ = ch == 't';
+        if (!consume_literal(ch == 't' ? "true" : "false")) {
+          fail("invalid literal");
+        }
+        return value;
+      }
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return JsonValue{};
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue value;
+    value.type_ = JsonValue::Type::kObject;
+    value.object_ = std::make_unique<JsonValue::Object>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      value.object_->emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == '}') {
+        ++pos_;
+        return value;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue value;
+    value.type_ = JsonValue::Type::kArray;
+    value.array_ = std::make_unique<JsonValue::Array>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array_->push_back(parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == ']') {
+        ++pos_;
+        return value;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char hex = text_[pos_++];
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') {
+              code |= static_cast<unsigned>(hex - '0');
+            } else if (hex >= 'a' && hex <= 'f') {
+              code |= static_cast<unsigned>(hex - 'a' + 10);
+            } else if (hex >= 'A' && hex <= 'F') {
+              code |= static_cast<unsigned>(hex - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (the writer only escapes
+          // control characters, so surrogate pairs never occur in our own
+          // artifacts; lone surrogates are passed through encoded).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t digits_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == digits_start) fail("invalid number");
+    // RFC 8259: no leading zeros ("01"). Strictness matters to the store:
+    // a damaged frame must fail to decode, not decode differently.
+    if (text_[digits_start] == '0' && pos_ - digits_start > 1) {
+      fail("leading zero in number");
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      const std::size_t frac_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == frac_start) fail("invalid number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const std::size_t exp_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == exp_start) fail("invalid number");
+    }
+    const std::string_view lexeme = text_.substr(start, pos_ - start);
+    JsonValue value;
+    value.type_ = JsonValue::Type::kNumber;
+    // strtod needs a NUL-terminated buffer; the lexeme is short.
+    const std::string buffer(lexeme);
+    value.number_ = std::strtod(buffer.c_str(), nullptr);
+    if (integral) {
+      // Exact readings where the lexeme fits (uint64 for non-negative,
+      // int64 always when in range); from_chars fails quietly on overflow.
+      if (lexeme.front() != '-') {
+        std::uint64_t u = 0;
+        const auto [ptr, ec] =
+            std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), u);
+        if (ec == std::errc() && ptr == lexeme.data() + lexeme.size()) {
+          value.uint_ = u;
+          if (u <= static_cast<std::uint64_t>(
+                       std::numeric_limits<std::int64_t>::max())) {
+            value.int_ = static_cast<std::int64_t>(u);
+          }
+        }
+      } else {
+        std::int64_t i = 0;
+        const auto [ptr, ec] =
+            std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), i);
+        if (ec == std::errc() && ptr == lexeme.data() + lexeme.size()) {
+          value.int_ = i;
+        }
+      }
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue json_parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+std::optional<JsonValue> json_try_parse(std::string_view text) {
+  try {
+    return JsonParser(text).parse_document();
+  } catch (const InvariantError&) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace rlocal

@@ -1,5 +1,6 @@
-// Minimal streaming JSON writer for experiment artifacts (no external
-// dependencies, mirroring the zero-dependency policy of rnd/prng.hpp).
+// Minimal streaming JSON writer + recursive-descent parser for experiment
+// artifacts (no external dependencies, mirroring the zero-dependency policy
+// of rnd/prng.hpp).
 //
 // The writer tracks nesting and emits commas/indentation itself, so emitters
 // can be written as straight-line code:
@@ -13,12 +14,21 @@
 //
 // Mismatched begin/end or a value without a pending key inside an object
 // throw InternalError (emitter bugs, not user errors).
+//
+// The parser (json_parse / json_try_parse) reads one document into a
+// JsonValue tree. It exists for the sweep store's read path (manifest +
+// shard frames, see src/store/), so it is strict -- no comments, no trailing
+// commas -- and it preserves exact 64-bit integers alongside the double
+// reading (cell seeds do not survive a double round-trip).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace rlocal {
@@ -69,5 +79,73 @@ class JsonWriter {
   bool key_pending_ = false;
   bool wrote_top_level_ = false;
 };
+
+/// One parsed JSON value. Objects keep their members in document order (the
+/// store's frames are written with a fixed key order, and keeping it makes
+/// re-serialization canonical); lookup is linear, which is fine at frame
+/// sizes.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() = default;  ///< null
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Typed accessors; throw InvariantError on a type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  /// Exact integer reading; throws when the lexeme was not an integer that
+  /// fits the requested width (doubles cannot carry 64-bit cell seeds).
+  std::uint64_t as_uint64() const;
+  std::int64_t as_int64() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member by key; null when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Convenience lookups with fallbacks (absent key or type mismatch).
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  // Exact integer readings of the number lexeme, when representable.
+  std::optional<std::uint64_t> uint_;
+  std::optional<std::int64_t> int_;
+  std::string string_;
+  // unique_ptr keeps the recursive type sized; copied deeply on demand.
+  std::unique_ptr<Array> array_;
+  std::unique_ptr<Object> object_;
+
+ public:
+  JsonValue(const JsonValue& other) { *this = other; }
+  JsonValue& operator=(const JsonValue& other);
+  JsonValue(JsonValue&&) = default;
+  JsonValue& operator=(JsonValue&&) = default;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed); throws
+/// InvariantError with position information on malformed input.
+JsonValue json_parse(std::string_view text);
+
+/// Non-throwing variant for inputs that are *expected* to sometimes be
+/// malformed (the store's torn final frames): nullopt on any parse error.
+std::optional<JsonValue> json_try_parse(std::string_view text);
 
 }  // namespace rlocal

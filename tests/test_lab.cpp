@@ -85,7 +85,8 @@ TEST(LabRegistry, RejectsDuplicateAndNullSolvers) {
       return {RegimeKind::kFull};
     }
     lab::RunRecord run(const Graph&, const Regime&, std::uint64_t,
-                       const lab::ParamMap&) const override {
+                       const lab::ParamMap&,
+                       const lab::RunContext&) const override {
       return {};
     }
   };
@@ -330,7 +331,7 @@ TEST(LabEmit, JsonIsWellFormedAndTableHasGroups) {
   std::ostringstream json;
   lab::emit_json(result, json);
   const std::string text = json.str();
-  EXPECT_NE(text.find("\"schema\": \"rlocal.sweep/1\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\": \"rlocal.sweep/2\""), std::string::npos);
   EXPECT_NE(text.find("\"records\""), std::string::npos);
   EXPECT_NE(text.find("\"derived_bits\""), std::string::npos);
   // Balanced braces/brackets (structural well-formedness proxy).

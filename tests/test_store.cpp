@@ -1,0 +1,436 @@
+// The sweep store subsystem: frame codec round-trips, sharded write +
+// merged read, crash-resume (torn final frame) byte-identity, the
+// fingerprint gate, per-cell deadlines, and the max_cells crash-injection
+// knob.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "core/api.hpp"
+#include "store/store.hpp"
+
+namespace rlocal {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("rlocal_store_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+/// A small real grid: 2 solvers x 1 graph x 2 regimes x 2 seeds = 8 cells,
+/// none skipped (both solvers support full and k-wise).
+lab::SweepSpec small_spec() {
+  lab::SweepSpec spec;
+  spec.graphs = {{"grid", make_grid(5, 5)}};
+  spec.regimes = {Regime::full(), Regime::kwise(64)};
+  spec.seeds = {1, 2};
+  spec.solvers = {"mis/luby", "mis/greedy"};
+  spec.threads = 2;
+  return spec;
+}
+
+/// Canonical byte spelling of a merged record set, wall time excluded (the
+/// only legitimately nondeterministic field).
+std::string canonical(const std::vector<store::StoredRecord>& records) {
+  std::ostringstream out;
+  for (const store::StoredRecord& stored : records) {
+    out << stored.cell_index << ' ' << stored.cell_seed << ' '
+        << store::canonical_record_json(stored.record) << '\n';
+  }
+  return out.str();
+}
+
+std::string store_bytes(const std::string& dir) {
+  return canonical(store::RecordStore::open(dir).read_all());
+}
+
+TEST(StoreFrame, EncodeDecodeRoundTripsBytes) {
+  store::StoredRecord stored;
+  stored.cell_index = 42;
+  stored.cell_seed = 0xDEADBEEFCAFEF00DULL;
+  lab::RunRecord& r = stored.record;
+  r.solver = "mis/luby";
+  r.problem = "mis";
+  r.graph = "grid";
+  r.regime = "kwise(64)";
+  r.variant = "warm";
+  r.seed = 7;
+  r.success = true;
+  r.checker_passed = true;
+  r.colors = 3;
+  r.rounds = 12;
+  r.objective = 9.5;
+  r.shared_seed_bits = 18446744073709551615ULL;  // full 64-bit width
+  r.derived_bits = 1234;
+  r.wall_ms = 0.125;
+  r.metrics = {{"mis_size", 9.0}, {"ratio", 0.30000000000000004}};
+
+  const std::string frame = store::encode_frame(stored);
+  const auto decoded = store::decode_frame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(store::encode_frame(*decoded), frame);  // byte-identical
+  EXPECT_EQ(decoded->record.shared_seed_bits, r.shared_seed_bits);
+  EXPECT_EQ(decoded->record.metrics, r.metrics);
+
+  // Every strict prefix is a torn frame, never a crash or a wrong record.
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    EXPECT_FALSE(store::decode_frame(frame.substr(0, cut)).has_value())
+        << "prefix length " << cut;
+  }
+}
+
+TEST(StoreFrame, ErrorAndSkippedRecordsSurvive) {
+  store::StoredRecord stored;
+  stored.record.solver = "s";
+  stored.record.problem = "p";
+  stored.record.graph = "g";
+  stored.record.regime = "full";
+  stored.record.error = "deadline";
+  const auto decoded = store::decode_frame(store::encode_frame(stored));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->record.error, "deadline");
+
+  stored.record.error.clear();
+  stored.record.skipped = true;
+  const auto skipped = store::decode_frame(store::encode_frame(stored));
+  ASSERT_TRUE(skipped.has_value());
+  EXPECT_TRUE(skipped->record.skipped);
+}
+
+TEST(StoreFingerprint, SensitiveToGridNotExecutionKnobs) {
+  const lab::Registry& registry = lab::Registry::global();
+  lab::SweepSpec spec = small_spec();
+  const std::uint64_t base = store::sweep_fingerprint(registry, spec);
+
+  lab::SweepSpec threads = spec;
+  threads.threads = 7;
+  threads.max_cells = 3;  // execution knobs must not change identity
+  EXPECT_EQ(store::sweep_fingerprint(registry, threads), base);
+
+  lab::SweepSpec seeds = spec;
+  seeds.seeds.push_back(3);
+  EXPECT_NE(store::sweep_fingerprint(registry, seeds), base);
+
+  lab::SweepSpec solvers = spec;
+  solvers.solvers.pop_back();
+  EXPECT_NE(store::sweep_fingerprint(registry, solvers), base);
+
+  lab::SweepSpec deadline = spec;
+  deadline.cell_deadline_ms = 100;  // can change which records exist
+  EXPECT_NE(store::sweep_fingerprint(registry, deadline), base);
+
+  // Same graph *name*, different structure: the fingerprint reads edges.
+  lab::SweepSpec graph = spec;
+  graph.graphs = {{"grid", make_grid(5, 6)}};
+  EXPECT_NE(store::sweep_fingerprint(registry, graph), base);
+
+  // A lazy entry fingerprints identically to its materialized twin.
+  lab::SweepSpec lazy = spec;
+  lazy.graphs = {{"grid", Graph{}, [] { return make_grid(5, 5); }}};
+  EXPECT_EQ(store::sweep_fingerprint(registry, lazy), base);
+}
+
+TEST_F(StoreTest, CleanRunPersistsEveryCellInGridOrder) {
+  const lab::SweepSpec spec = small_spec();
+  const lab::SweepResult result =
+      lab::run_sweep(spec, lab::StoreOptions{dir_, /*resume=*/false});
+  EXPECT_EQ(result.cells_run, 8);
+  EXPECT_EQ(result.cells_resumed, 0);
+  EXPECT_EQ(result.cells_failed, 0);
+
+  store::RecordStore opened = store::RecordStore::open(dir_);
+  EXPECT_EQ(opened.manifest().total_cells, 8u);
+  EXPECT_EQ(opened.manifest().completed_cells, 8u);
+  const std::vector<store::StoredRecord> stored = opened.read_all();
+  ASSERT_EQ(stored.size(), 8u);
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    EXPECT_EQ(stored[i].cell_index, i);  // merged back into grid order
+    EXPECT_EQ(store::canonical_record_json(stored[i].record),
+              store::canonical_record_json(result.records[i]));
+  }
+}
+
+TEST_F(StoreTest, ResumeRestoresCompletedCellsAndRunsTheRest) {
+  lab::SweepSpec spec = small_spec();
+  spec.max_cells = 3;  // simulate a killed run after 3 cells
+  const lab::SweepResult partial =
+      lab::run_sweep(spec, lab::StoreOptions{dir_, /*resume=*/false});
+  EXPECT_EQ(partial.cells_run, 3);
+  EXPECT_EQ(partial.records.size(), 3u);  // truncated runs compact
+
+  spec.max_cells = 0;
+  const lab::SweepResult resumed =
+      lab::run_sweep(spec, lab::StoreOptions{dir_, /*resume=*/true});
+  EXPECT_EQ(resumed.cells_resumed, 3);
+  EXPECT_EQ(resumed.cells_run, 5);  // resumed cells do not inflate cells_run
+  ASSERT_EQ(resumed.records.size(), 8u);
+  int resumed_records = 0;
+  for (const lab::RunRecord& r : resumed.records) {
+    if (r.resumed) ++resumed_records;
+  }
+  EXPECT_EQ(resumed_records, 3);
+
+  // The acceptance bar: the merged store equals an uninterrupted run's,
+  // byte for byte (wall time excluded).
+  const std::string clean_dir = dir_ + "_clean";
+  fs::remove_all(clean_dir);
+  lab::run_sweep(small_spec(),
+                 lab::StoreOptions{clean_dir, /*resume=*/false});
+  EXPECT_EQ(store_bytes(dir_), store_bytes(clean_dir));
+  fs::remove_all(clean_dir);
+}
+
+TEST_F(StoreTest, TornFinalFrameIsDroppedAndRerunByteIdentically) {
+  // Complete run, then tear the tail of one shard mid-record -- the
+  // canonical crash: fsync'd frames survive, the in-flight one is garbage.
+  lab::run_sweep(small_spec(), lab::StoreOptions{dir_, /*resume=*/false});
+  std::string victim;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("shard-", 0) == 0 && entry.file_size() > 0) {
+      victim = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  const auto size = static_cast<std::uintmax_t>(fs::file_size(victim));
+  fs::resize_file(victim, size - 10);  // mid-record cut
+
+  // The torn frame's cell is re-run on resume, everything else restored.
+  const lab::SweepResult resumed = lab::run_sweep(
+      small_spec(), lab::StoreOptions{dir_, /*resume=*/true});
+  EXPECT_EQ(resumed.cells_resumed, 7);
+  EXPECT_EQ(resumed.cells_run, 1);
+
+  const std::string clean_dir = dir_ + "_clean";
+  fs::remove_all(clean_dir);
+  lab::run_sweep(small_spec(),
+                 lab::StoreOptions{clean_dir, /*resume=*/false});
+  EXPECT_EQ(store_bytes(dir_), store_bytes(clean_dir));
+  fs::remove_all(clean_dir);
+}
+
+TEST_F(StoreTest, ResumeAcrossThreadCountsIsEquivalent) {
+  lab::SweepSpec spec = small_spec();
+  spec.max_cells = 4;
+  lab::run_sweep(spec, lab::StoreOptions{dir_, /*resume=*/false});
+  spec.max_cells = 0;
+  spec.threads = 1;  // fewer workers than shards on disk
+  const lab::SweepResult resumed =
+      lab::run_sweep(spec, lab::StoreOptions{dir_, /*resume=*/true});
+  EXPECT_EQ(resumed.cells_resumed + resumed.cells_run, 8);
+
+  const std::string clean_dir = dir_ + "_clean";
+  fs::remove_all(clean_dir);
+  lab::run_sweep(small_spec(),
+                 lab::StoreOptions{clean_dir, /*resume=*/false});
+  EXPECT_EQ(store_bytes(dir_), store_bytes(clean_dir));
+  fs::remove_all(clean_dir);
+}
+
+TEST_F(StoreTest, FingerprintMismatchRefusesToResume) {
+  lab::run_sweep(small_spec(), lab::StoreOptions{dir_, /*resume=*/false});
+  lab::SweepSpec other = small_spec();
+  other.seeds = {9, 10};  // different grid, same shape
+  EXPECT_THROW(
+      lab::run_sweep(other, lab::StoreOptions{dir_, /*resume=*/true}),
+      InvariantError);
+  // And resuming from nothing at all is an error, not a silent fresh run.
+  const std::string empty_dir = dir_ + "_empty";
+  fs::remove_all(empty_dir);
+  EXPECT_THROW(
+      lab::run_sweep(small_spec(),
+                     lab::StoreOptions{empty_dir, /*resume=*/true}),
+      InvariantError);
+}
+
+TEST_F(StoreTest, FreshCreateDiscardsPreviousShards) {
+  lab::SweepSpec spec = small_spec();
+  spec.max_cells = 2;
+  lab::run_sweep(spec, lab::StoreOptions{dir_, /*resume=*/false});
+  // A non-resume run over the same directory starts from zero...
+  spec.max_cells = 0;
+  const lab::SweepResult fresh =
+      lab::run_sweep(spec, lab::StoreOptions{dir_, /*resume=*/false});
+  EXPECT_EQ(fresh.cells_resumed, 0);
+  EXPECT_EQ(fresh.cells_run, 8);
+  // ...and leaves exactly one frame per cell behind.
+  EXPECT_EQ(store::RecordStore::open(dir_).read_all().size(), 8u);
+}
+
+TEST_F(StoreTest, LazyGraphEntriesProduceIdenticalRecords) {
+  lab::SweepSpec lazy = small_spec();
+  lazy.graphs = {{"grid", Graph{}, [] { return make_grid(5, 5); }}};
+  lab::run_sweep(lazy, lab::StoreOptions{dir_, /*resume=*/false});
+
+  const std::string eager_dir = dir_ + "_eager";
+  fs::remove_all(eager_dir);
+  lab::run_sweep(small_spec(),
+                 lab::StoreOptions{eager_dir, /*resume=*/false});
+  EXPECT_EQ(store_bytes(dir_), store_bytes(eager_dir));
+  fs::remove_all(eager_dir);
+}
+
+// ---- Per-cell deadlines ---------------------------------------------------
+
+/// Spins on the cooperative token until the deadline fires; succeeds
+/// instantly when the cell has no deadline (so it is sweep-safe).
+class SpinSolver final : public lab::Solver {
+ public:
+  std::string name() const override { return "test/spin"; }
+  std::string problem() const override { return "test"; }
+  std::string description() const override {
+    return "spins until the deadline token fires";
+  }
+  std::vector<RegimeKind> supported_regimes() const override {
+    return {RegimeKind::kFull};
+  }
+  lab::RunRecord run(const Graph&, const Regime&, std::uint64_t,
+                     const lab::ParamMap&,
+                     const lab::RunContext& ctx) const override {
+    lab::RunRecord record;
+    if (!ctx.has_deadline()) {
+      record.success = true;
+      record.checker_passed = true;
+      return record;
+    }
+    while (true) ctx.check_deadline();  // must throw DeadlineExpired
+  }
+};
+
+lab::Registry spin_registry() {
+  lab::Registry registry;
+  registry.add(std::make_unique<SpinSolver>());
+  return registry;
+}
+
+TEST(Deadline, ExpiredCellIsRecordedAsFailedWithoutAbortingTheSweep) {
+  const lab::Registry registry = spin_registry();
+  lab::SweepSpec spec;
+  spec.graphs = {{"grid", make_grid(4, 4)}};
+  spec.regimes = {Regime::full()};
+  spec.seeds = {1, 2, 3};
+  spec.threads = 2;
+  spec.cell_deadline_ms = 10;
+  const lab::SweepResult result = lab::run_sweep(registry, spec);
+  ASSERT_EQ(result.records.size(), 3u);  // the sweep survived every expiry
+  EXPECT_EQ(result.cells_failed, 3);
+  for (const lab::RunRecord& r : result.records) {
+    EXPECT_EQ(r.error, "deadline");
+    EXPECT_FALSE(r.success);
+    EXPECT_FALSE(r.checker_passed);
+  }
+  // Without a deadline the same solver completes.
+  spec.cell_deadline_ms = 0;
+  EXPECT_EQ(lab::run_sweep(registry, spec).cells_failed, 0);
+}
+
+TEST(Deadline, ReachesRealSolversThroughDrawCheckpoints) {
+  // Not just the synthetic spinner: an already-expired deadline must stop a
+  // *registered* randomized solver mid-algorithm, via the NodeRandomness
+  // draw checkpoint (cell_randomness in solvers_common.hpp). Luby on a
+  // 400-node GNP draws far more than kCheckpointInterval times.
+  const lab::Registry& registry = lab::Registry::global();
+  const Graph g = make_gnp(400, 8.0 / 400, 11);
+  const lab::RunRecord expired = registry.run_cell(
+      "mis/luby", g, "gnp", Regime::full(), 1, {},
+      lab::RunContext::with_deadline(lab::RunContext::Clock::now() -
+                                     std::chrono::milliseconds(1)));
+  EXPECT_EQ(expired.error, "deadline");
+  EXPECT_FALSE(expired.success);
+  // The same cell completes with room to breathe.
+  const lab::RunRecord fine = registry.run_cell(
+      "mis/luby", g, "gnp", Regime::full(), 1, {},
+      lab::RunContext::with_deadline_ms(60000));
+  EXPECT_EQ(fine.error, "");
+  EXPECT_TRUE(fine.checker_passed);
+}
+
+TEST(Deadline, CheckpointDoesNotChangeDrawnValues) {
+  // Arming the checkpoint must be observationally invisible to the
+  // algorithm: identical records with and without a (generous) deadline.
+  const lab::Registry& registry = lab::Registry::global();
+  const Graph g = make_gnp(120, 6.0 / 120, 5);
+  const lab::RunRecord with_deadline = registry.run_cell(
+      "mis/luby", g, "gnp", Regime::kwise(64), 3, {},
+      lab::RunContext::with_deadline_ms(60000));
+  const lab::RunRecord without = registry.run_cell(
+      "mis/luby", g, "gnp", Regime::kwise(64), 3, {});
+  EXPECT_EQ(with_deadline.objective, without.objective);
+  EXPECT_EQ(with_deadline.iterations, without.iterations);
+  EXPECT_EQ(with_deadline.derived_bits, without.derived_bits);
+}
+
+TEST(Deadline, RunCellHonorsExplicitContext) {
+  const lab::Registry registry = spin_registry();
+  const Graph g = make_grid(3, 3);
+  const lab::RunRecord expired = registry.run_cell(
+      registry.at("test/spin"), g, "g", Regime::full(), 1, {},
+      lab::RunContext::with_deadline_ms(5));
+  EXPECT_EQ(expired.error, "deadline");
+  const lab::RunRecord fine = registry.run_cell(
+      registry.at("test/spin"), g, "g", Regime::full(), 1, {});
+  EXPECT_TRUE(fine.success);
+}
+
+TEST(Deadline, DeadlineFailuresPersistAndResume) {
+  // A deadline cell is a *record*, not a hole: it lands in the store and is
+  // restored on resume instead of burning the budget again.
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string dir =
+      (fs::temp_directory_path() /
+       (std::string("rlocal_store_") + info->name()))
+          .string();
+  fs::remove_all(dir);
+  const lab::Registry registry = spin_registry();
+  lab::SweepSpec spec;
+  spec.graphs = {{"grid", make_grid(4, 4)}};
+  spec.regimes = {Regime::full()};
+  spec.seeds = {1, 2};
+  spec.threads = 1;
+  spec.cell_deadline_ms = 10;
+  const lab::SweepResult first =
+      lab::run_sweep(registry, spec, lab::StoreOptions{dir, false});
+  EXPECT_EQ(first.cells_failed, 2);
+  const lab::SweepResult again =
+      lab::run_sweep(registry, spec, lab::StoreOptions{dir, true});
+  EXPECT_EQ(again.cells_resumed, 2);
+  EXPECT_EQ(again.cells_run, 0);
+  EXPECT_EQ(again.cells_failed, 2);  // failures are part of the record set
+  for (const lab::RunRecord& r : again.records) {
+    EXPECT_EQ(r.error, "deadline");
+    EXPECT_TRUE(r.resumed);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Deadline, ContextBasics) {
+  const lab::RunContext none;
+  EXPECT_FALSE(none.has_deadline());
+  EXPECT_FALSE(none.expired());
+  EXPECT_NO_THROW(none.check_deadline());
+  EXPECT_FALSE(lab::RunContext::with_deadline_ms(0).has_deadline());
+  EXPECT_FALSE(lab::RunContext::with_deadline_ms(-5).has_deadline());
+  const lab::RunContext past = lab::RunContext::with_deadline(
+      lab::RunContext::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(past.expired());
+  EXPECT_THROW(past.check_deadline(), lab::DeadlineExpired);
+}
+
+}  // namespace
+}  // namespace rlocal

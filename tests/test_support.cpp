@@ -1,10 +1,12 @@
-// Unit tests for the support layer: math, stats, table, cli, assertions.
+// Unit tests for the support layer: math, stats, table, cli, assertions,
+// and the JSON parser backing the sweep store's read path.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
 #include "support/assert.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/math.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -143,6 +145,94 @@ TEST(Assertions, MessagesCarryContext) {
               std::string::npos);
     EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
   }
+}
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const JsonValue v = json_parse(
+      R"({"s": "a\"b\n", "t": true, "f": false, "z": null,)"
+      R"( "n": -2.5, "arr": [1, 2, 3], "obj": {"k": 7}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("s")->as_string(), "a\"b\n");
+  EXPECT_TRUE(v.find("t")->as_bool());
+  EXPECT_FALSE(v.find("f")->as_bool());
+  EXPECT_TRUE(v.find("z")->is_null());
+  EXPECT_DOUBLE_EQ(v.find("n")->as_double(), -2.5);
+  ASSERT_TRUE(v.find("arr")->is_array());
+  EXPECT_EQ(v.find("arr")->as_array().size(), 3u);
+  EXPECT_EQ(v.find("arr")->as_array()[2].as_int64(), 3);
+  EXPECT_EQ(v.find("obj")->find("k")->as_int64(), 7);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  // Fallback helpers.
+  EXPECT_DOUBLE_EQ(v.number_or("n", 0.0), -2.5);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 9.0), 9.0);
+  EXPECT_EQ(v.string_or("missing", "d"), "d");
+  EXPECT_TRUE(v.bool_or("t", false));
+}
+
+TEST(Json, PreservesExact64BitIntegers) {
+  // Cell seeds are full 64-bit words; a double round-trip would corrupt
+  // them. The parser keeps the exact integer reading alongside the double.
+  const JsonValue v =
+      json_parse(R"({"seed": 18446744073709551615, "neg": -9000000000})");
+  EXPECT_EQ(v.find("seed")->as_uint64(), 18446744073709551615ULL);
+  EXPECT_EQ(v.find("neg")->as_int64(), -9000000000LL);
+  EXPECT_THROW(v.find("neg")->as_uint64(), InvariantError);
+  // Fractional numbers have no exact integer reading.
+  EXPECT_THROW(json_parse("2.5").as_int64(), InvariantError);
+}
+
+TEST(Json, WriterOutputRoundTrips) {
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  w.field("name", "sweep \"x\"\t");
+  w.field("count", std::uint64_t{18446744073709551615ULL});
+  w.field("ratio", 0.1);
+  w.key("list");
+  w.begin_array();
+  w.value(1);
+  w.null();
+  w.end_array();
+  w.end_object();
+  const JsonValue v = json_parse(out.str());
+  EXPECT_EQ(v.find("name")->as_string(), "sweep \"x\"\t");
+  EXPECT_EQ(v.find("count")->as_uint64(), 18446744073709551615ULL);
+  EXPECT_DOUBLE_EQ(v.find("ratio")->as_double(), 0.1);
+  EXPECT_TRUE(v.find("list")->as_array()[1].is_null());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "{\"a\":}", "tru", "01x", "\"unterm",
+        "{\"a\":1,}", "[1] trailing", "{\"a\":1 \"b\":2}", "-", "1.",
+        "\"bad\\qescape\"",
+        // RFC 8259 forbids leading zeros; a store frame damaged into one
+        // must read as torn, not as a different number.
+        "01", "-012", "[01]", "00"}) {
+    EXPECT_THROW(json_parse(bad), InvariantError) << bad;
+    EXPECT_FALSE(json_try_parse(bad).has_value()) << bad;
+  }
+  // try-parse succeeds exactly where parse does; lone and fractional zeros
+  // are still fine.
+  EXPECT_TRUE(json_try_parse("{\"a\": [1, 2]}").has_value());
+  EXPECT_EQ(json_parse("0").as_int64(), 0);
+  EXPECT_DOUBLE_EQ(json_parse("0.5").as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(json_parse("-0.25").as_double(), -0.25);
+}
+
+TEST(Json, ParseErrorsCarryOffsets) {
+  try {
+    json_parse("{\"a\": 1, }");
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Json, DepthIsBounded) {
+  // A corrupt frame of pure '[' must fail cleanly, not overflow the stack.
+  const std::string deep(1000, '[');
+  EXPECT_THROW(json_parse(deep), InvariantError);
 }
 
 }  // namespace
