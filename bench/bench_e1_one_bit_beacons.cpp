@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "core/api.hpp"
+#include "decomp/beacons.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -52,6 +53,12 @@ int main(int argc, char** argv) {
          {{"h", static_cast<double>(h)},
           {"placement", 2},
           {"density", 0.25},
+          {"h_prime", static_cast<double>(4 * h + 1)}}});
+    spec.variants.push_back(
+        {"h" + std::to_string(h) + "/clustered",
+         {{"h", static_cast<double>(h)},
+          {"placement",
+           static_cast<double>(beacon_placement_id("adversarial_clustered"))},
           {"h_prime", static_cast<double>(4 * h + 1)}}});
     spec.variants.push_back(
         {"h" + std::to_string(h) + "/dense",

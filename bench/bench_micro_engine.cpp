@@ -85,6 +85,44 @@ BENCHMARK(BM_KWiseRepeatedPointDraws)
     ->Args({512, 0})
     ->Args({512, 1});
 
+// Before/after case for batched multi-point Horner: *distinct* points (one
+// priority per node per iteration, the Luby/EN access pattern) defeat the
+// last-point memo entirely. Arg(1) = values() batch (the "after": four
+// interleaved branchless chains), Arg(0) = a value() loop (the "before":
+// one dependent GF(2^m) chain at a time).
+void BM_KWiseDistinctPointDraws(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const KWiseGenerator gen = KWiseGenerator::from_seed(k, 64, 3);
+  constexpr std::size_t kBatch = 256;
+  std::vector<std::uint64_t> points(kBatch);
+  std::vector<std::uint64_t> out(kBatch);
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      // Distinct pack_draw-shaped points (node << 32 | stream << 6): the
+      // access pattern of one priority draw per node -- the memo never
+      // hits.
+      points[i] = ((base + i) << 32) | ((i & 63u) << 6);
+    }
+    base += kBatch;
+    if (state.range(1) != 0) {
+      gen.values(points, out);
+    } else {
+      for (std::size_t i = 0; i < kBatch; ++i) out[i] = gen.value(points[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_KWiseDistinctPointDraws)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
 void BM_EpsBiasBit(benchmark::State& state) {
   const EpsBiasGenerator gen =
       EpsBiasGenerator::from_seed(static_cast<int>(state.range(0)), 3);

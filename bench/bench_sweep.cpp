@@ -16,6 +16,10 @@
 //                     failed with reason "deadline"
 //   --lazy-graphs     build each zoo graph per cell from its factory
 //                     (bounds memory on huge grids)
+//   --bandwidths=A,B  sweep the per-message bandwidth cap as a grid axis
+//                     (bits; 0 = the model default). Non-zero caps bind
+//                     only CONGEST-model solvers; other solvers' cells are
+//                     regime-style skipped.
 //
 // With --store the 1-thread timing baseline is skipped: the store's frames
 // are the artifact and a second full run would double every record's cost.
@@ -76,6 +80,38 @@ int main(int argc, char** argv) {
   // so the k-wise path actually draws bits (only conflict_free/kwise reads
   // this knob).
   spec.params = {{"small_threshold", 8.0}};
+  // Comma-separated bandwidth axis, e.g. --bandwidths=0,64,16. Bad tokens
+  // are a user error, not a crash (the other flags go through CliArgs).
+  if (const std::string raw = args.get_string("bandwidths", "");
+      !raw.empty()) {
+    std::size_t start = 0;
+    while (start <= raw.size()) {
+      const std::size_t comma = raw.find(',', start);
+      const std::string token =
+          raw.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+      if (!token.empty()) {
+        int bandwidth = 0;
+        std::size_t parsed = 0;
+        try {
+          bandwidth = std::stoi(token, &parsed);
+        } catch (const std::exception&) {
+          parsed = 0;  // reported below, with the token text
+        }
+        // Reject trailing garbage ("128kb") and negatives here with a
+        // clean message; run_sweep's own checks (duplicates) are already
+        // routed to exit 2 by the catch around the sweep call.
+        if (parsed != token.size() || bandwidth < 0) {
+          std::cerr << "error: --bandwidths token '" << token
+                    << "' is not a non-negative int\n";
+          return 2;
+        }
+        spec.bandwidths.push_back(bandwidth);
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
   spec.cell_deadline_ms = args.get_double("deadline-ms", 0.0);
   spec.max_cells = static_cast<int>(args.get_int("cell-limit", 0));
   spec.threads = static_cast<int>(args.get_int("threads", 0));

@@ -4,29 +4,39 @@
 Both positional inputs may be either
 
   * a sweep store directory (``manifest.json`` + ``shard-*.jsonl``, schema
-    ``rlocal.store/1`` -- see docs/store_format.md), or
-  * a legacy whole-run JSON artifact (schema ``rlocal.sweep/1`` or ``/2``),
+    ``rlocal.store/1`` or ``/2`` -- see docs/store_format.md), or
+  * a whole-run JSON artifact (schema ``rlocal.sweep/1`` .. ``/3``),
 
-so the gate survives the store migration: the previous CI artifact may
-still be a ``BENCH_sweep.json`` while the current run uploads a store
-directory.
+so the gate survives schema migrations: the previous CI artifact may still
+be an older format while the current run uploads a ``/2`` store.
 
-Gate mode (default) compares per-solver wall time between a baseline sweep
-and the current one, normalized per cell, and fails when any solver
-regresses by more than ``--max-ratio``. Records restored by a resume
-(``"resumed": true``) carry another process's wall time and are excluded
-from the aggregates, as are skipped cells.
+Gate mode (default):
 
-Diff mode (``--diff``) compares two record sets field-by-field with wall
-time excluded (the only legitimately nondeterministic field) -- the CI
-resume smoke test's "kill + resume == uninterrupted run" check.
+  * compares per-solver wall time between a baseline sweep and the current
+    one, normalized per cell, failing when any solver regresses by more
+    than ``--max-ratio``. Records restored by a resume (``"resumed":
+    true``) carry another process's wall time and are excluded from the
+    wall-time aggregates, as are skipped cells;
+  * compares per-solver *message counts* from the records' cost blocks the
+    same way (messages are deterministic, so resumed records count) --
+    a >``--max-ratio`` blow-up in communication fails like a slowdown;
+  * validates that every non-skipped record of a cost-capable CURRENT
+    artifact (store ``/2`` or sweep ``/3``) carries a populated cost block
+    (``cost.model`` present). Missing blocks fail the gate.
+
+Diff mode (``--diff``) compares two record sets field-by-field with the
+legitimately nondeterministic parts excluded: wall time always, and the
+partial cost block of ``error="deadline"`` records (how far a cell got
+before expiry is wall-clock-dependent) -- the CI resume smoke test's
+"kill + resume == uninterrupted run" check.
 
 Usage:
     compare_sweep.py BASELINE CURRENT [--max-ratio 2.0] [--min-ms 5.0]
+                     [--min-msgs 100]
     compare_sweep.py --diff A B
 
 Exit codes: 0 ok (including "no baseline available" in gate mode),
-1 regression / record mismatch, 2 malformed input.
+1 regression / record mismatch / missing cost block, 2 malformed input.
 """
 
 import argparse
@@ -34,8 +44,10 @@ import json
 import os
 import sys
 
-LEGACY_SCHEMAS = ("rlocal.sweep/1", "rlocal.sweep/2")
-STORE_SCHEMA = "rlocal.store/1"
+LEGACY_SCHEMAS = ("rlocal.sweep/1", "rlocal.sweep/2", "rlocal.sweep/3")
+STORE_SCHEMAS = ("rlocal.store/1", "rlocal.store/2")
+# Formats whose records carry typed cost blocks on every executed cell.
+COST_CAPABLE_SCHEMAS = ("rlocal.store/2", "rlocal.sweep/3")
 # Nondeterministic / provenance fields excluded from record identity.
 VOLATILE_FIELDS = ("wall_ms", "resumed")
 # Store-only coordinates, excluded so a store directory diffs cleanly
@@ -44,8 +56,8 @@ VOLATILE_FIELDS = ("wall_ms", "resumed")
 POSITION_FIELDS = ("cell_index", "cell_seed")
 
 
-def load_store_records(path):
-    """Records from a store directory, merged into grid order.
+def load_store_artifact(path):
+    """(schema, records) from a store directory, merged into grid order.
 
     Mirrors the C++ reader's tolerance rule: undecodable lines are allowed
     only as a shard's tail (a torn final frame); a valid frame after an
@@ -54,7 +66,7 @@ def load_store_records(path):
     manifest_path = os.path.join(path, "manifest.json")
     with open(manifest_path, "r", encoding="utf-8") as fh:
         manifest = json.load(fh)
-    if manifest.get("schema") != STORE_SCHEMA:
+    if manifest.get("schema") not in STORE_SCHEMAS:
         raise ValueError(
             f"{manifest_path}: unknown schema {manifest.get('schema')!r}")
     merged = {}
@@ -78,29 +90,34 @@ def load_store_records(path):
             if torn:
                 raise ValueError(f"{shard}: valid frame after a corrupt one")
             merged[frame["cell_index"]] = frame
-    return [merged[index] for index in sorted(merged)]
+    return manifest["schema"], [merged[index] for index in sorted(merged)]
 
 
-def load_legacy_records(path):
+def load_legacy_artifact(path):
     with open(path, "r", encoding="utf-8") as fh:
         data = json.load(fh)
     if data.get("schema") not in LEGACY_SCHEMAS:
         raise ValueError(f"{path}: unknown schema {data.get('schema')!r}")
-    return data.get("records", [])
+    return data["schema"], data.get("records", [])
+
+
+def load_artifact(path):
+    """(schema, records) from a store directory or whole-run artifact,
+    auto-detected; each artifact is parsed exactly once."""
+    if os.path.isdir(path):
+        return load_store_artifact(path)
+    return load_legacy_artifact(path)
 
 
 def load_records(path):
-    """Store directory or legacy whole-run artifact, auto-detected."""
-    if os.path.isdir(path):
-        return load_store_records(path)
-    return load_legacy_records(path)
+    return load_artifact(path)[1]
 
 
-def per_solver_wall_ms(path):
+def per_solver_wall_ms(records):
     """Total wall_ms per solver over all non-skipped, non-resumed records."""
     totals = {}
     counts = {}
-    for record in load_records(path):
+    for record in records:
         if record.get("skipped") or record.get("resumed"):
             continue
         solver = record["solver"]
@@ -110,10 +127,60 @@ def per_solver_wall_ms(path):
     return totals, counts
 
 
+def per_solver_messages(records):
+    """Total cost-block messages per solver over records that metered them.
+
+    Messages are deterministic (engine-metered or explicitly charged), so
+    resumed records count; records without a measured message total (e.g.
+    reference-executed solvers) are excluded rather than read as zero.
+    """
+    totals = {}
+    counts = {}
+    for record in records:
+        if record.get("skipped"):
+            continue
+        messages = record.get("cost", {}).get("messages")
+        if messages is None:
+            continue
+        solver = record["solver"]
+        totals[solver] = totals.get(solver, 0) + int(messages)
+        counts[solver] = counts.get(solver, 0) + 1
+    return totals, counts
+
+
+def validate_cost_blocks(path, schema, records):
+    """Every non-skipped record of a cost-capable artifact must carry a
+    populated cost block; returns the number of offending records (0 for
+    artifacts predating the cost schema, which cannot carry blocks)."""
+    if schema not in COST_CAPABLE_SCHEMAS:
+        print(f"{path}: pre-cost schema; cost-block validation skipped")
+        return 0
+    missing = 0
+    for record in records:
+        if record.get("skipped"):
+            continue
+        if not record.get("cost", {}).get("model"):
+            missing += 1
+            if missing <= 3:
+                print(f"  record without a cost block: "
+                      f"{record.get('solver')}/{record.get('graph')}/"
+                      f"{record.get('regime')} seed {record.get('seed')}",
+                      file=sys.stderr)
+    return missing
+
+
 def canonical(record):
     """Record identity for diff mode: every field except the volatile and
-    store-coordinate ones, so both artifact formats compare equal."""
+    store-coordinate ones, so both artifact formats compare equal.
+
+    A deadline record's cost block is the *partial* cost observed up to
+    expiry -- a wall-clock-dependent quantity, like wall_ms -- so it is
+    excluded from identity for error="deadline" records (resume restores
+    such records instead of re-running them, so stores stay internally
+    consistent either way)."""
     excluded = VOLATILE_FIELDS + POSITION_FIELDS
+    if record.get("error") == "deadline":
+        excluded = excluded + ("cost",)
     return json.dumps(
         {k: v for k, v in record.items() if k not in excluded},
         sort_keys=True)
@@ -138,47 +205,80 @@ def run_diff(a_path, b_path):
     return 1
 
 
+def gate_ratios(metric, unit, base, base_counts, curr, curr_counts,
+                min_total, max_ratio):
+    """Prints the per-solver comparison table for one metric and returns
+    the list of (solver, ratio) regressions beyond max_ratio. Totals are
+    normalized per cell so a grown grid is not read as a regression; totals
+    below min_total on either side are noise-floored."""
+    regressions = []
+    width = max((len(s) for s in curr), default=10)
+    print(f"[{metric}]")
+    print(f"{'solver':<{width}}  {'base ' + unit:>12}  "
+          f"{'curr ' + unit:>12}  {'ratio':>6}")
+    for solver in sorted(curr):
+        curr_total = curr[solver]
+        if solver not in base:
+            print(f"{solver:<{width}}  {'new':>12}  {curr_total:>12.1f}  "
+                  f"{'-':>6}")
+            continue
+        base_total = base[solver]
+        base_per = base_total / max(1, base_counts[solver])
+        curr_per = curr_total / max(1, curr_counts[solver])
+        ratio = curr_per / base_per if base_per > 0 else float("inf")
+        flag = ""
+        if curr_total >= min_total and base_total >= min_total \
+                and ratio > max_ratio:
+            regressions.append((solver, ratio))
+            flag = "  << REGRESSION"
+        print(f"{solver:<{width}}  {base_total:>12.1f}  "
+              f"{curr_total:>12.1f}  {ratio:>6.2f}{flag}")
+    print()
+    return regressions
+
+
 def run_gate(args):
+    try:
+        curr_schema, curr_records = load_artifact(args.current)
+        missing = validate_cost_blocks(args.current, curr_schema,
+                                       curr_records)
+    except (ValueError, KeyError, OSError, json.JSONDecodeError) as error:
+        print(f"malformed sweep artifact: {error}", file=sys.stderr)
+        return 2
+    if missing:
+        print(f"FAIL: {missing} non-skipped record(s) without a populated "
+              f"cost block in {args.current}", file=sys.stderr)
+        return 1
+
     if not os.path.exists(args.baseline):
         print(f"no baseline at {args.baseline}; first run passes trivially")
         return 0
 
     try:
-        base, base_counts = per_solver_wall_ms(args.baseline)
-        curr, curr_counts = per_solver_wall_ms(args.current)
+        base_records = load_records(args.baseline)
+        wall_regressions = gate_ratios(
+            "wall time", "ms", *per_solver_wall_ms(base_records),
+            *per_solver_wall_ms(curr_records), args.min_ms, args.max_ratio)
+        msg_regressions = gate_ratios(
+            "messages", "msgs", *per_solver_messages(base_records),
+            *per_solver_messages(curr_records), args.min_msgs,
+            args.max_ratio)
     except (ValueError, KeyError, OSError, json.JSONDecodeError) as error:
         print(f"malformed sweep artifact: {error}", file=sys.stderr)
         return 2
 
-    regressions = []
-    width = max((len(s) for s in curr), default=10)
-    print(f"{'solver':<{width}}  {'base ms':>10}  {'curr ms':>10}  "
-          f"{'ratio':>6}")
-    for solver in sorted(curr):
-        curr_ms = curr[solver]
-        if solver not in base:
-            print(f"{solver:<{width}}  {'new':>10}  {curr_ms:>10.1f}  "
-                  f"{'-':>6}")
-            continue
-        base_ms = base[solver]
-        # Normalize by cell count so a grown grid is not read as a slowdown.
-        base_per = base_ms / max(1, base_counts[solver])
-        curr_per = curr_ms / max(1, curr_counts[solver])
-        ratio = curr_per / base_per if base_per > 0 else float("inf")
-        flag = ""
-        if curr_ms >= args.min_ms and base_ms >= args.min_ms \
-                and ratio > args.max_ratio:
-            regressions.append((solver, ratio))
-            flag = "  << REGRESSION"
-        print(f"{solver:<{width}}  {base_ms:>10.1f}  {curr_ms:>10.1f}  "
-              f"{ratio:>6.2f}{flag}")
-
-    if regressions:
-        names = ", ".join(f"{s} ({r:.2f}x)" for s, r in regressions)
-        print(f"\nFAIL: wall-time regression > {args.max_ratio}x in: {names}",
-              file=sys.stderr)
+    failed = False
+    for metric, regressions in (("wall-time", wall_regressions),
+                                ("message-count", msg_regressions)):
+        if regressions:
+            names = ", ".join(f"{s} ({r:.2f}x)" for s, r in regressions)
+            print(f"FAIL: {metric} regression > {args.max_ratio}x in: "
+                  f"{names}", file=sys.stderr)
+            failed = True
+    if failed:
         return 1
-    print(f"\nOK: no solver regressed beyond {args.max_ratio}x")
+    print(f"OK: no solver regressed beyond {args.max_ratio}x "
+          f"(wall time or messages)")
     return 0
 
 
@@ -191,7 +291,11 @@ def main():
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="fail when current/baseline exceeds this")
     parser.add_argument("--min-ms", type=float, default=5.0,
-                        help="ignore solvers below this total (noise floor)")
+                        help="ignore solvers below this wall-time total "
+                             "(noise floor)")
+    parser.add_argument("--min-msgs", type=int, default=100,
+                        help="ignore solvers below this message total "
+                             "(noise floor)")
     parser.add_argument("--diff", action="store_true",
                         help="compare record sets byte-for-byte "
                              "(wall time excluded) instead of gating")

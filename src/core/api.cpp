@@ -45,7 +45,9 @@ DecomposeSummary decompose(const Graph& g, const Regime& regime,
       registry().at(solver).run(g, regime, seed, /*params=*/{});
   DecomposeSummary summary;
   summary.success = record.success;
-  summary.rounds_charged = record.rounds;
+  // The shim bypasses run_cell (see above), so the record's cost block is
+  // unfinalized; the decomposition solvers charge their rounds explicitly.
+  summary.rounds_charged = static_cast<int>(record.cost.charged_rounds());
   auto* decomposition = std::any_cast<Decomposition>(&record.artifact);
   RLOCAL_ASSERT(decomposition != nullptr);
   summary.colors = decomposition->num_colors;

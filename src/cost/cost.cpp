@@ -1,0 +1,116 @@
+#include "cost/cost.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace rlocal::cost {
+
+const std::vector<CostModelSpec>& cost_model_registry() {
+  static const std::vector<CostModelSpec> kRegistry = {
+      {CostModel::kLocal, "local",
+       "synchronous rounds, unbounded message size", true, false},
+      {CostModel::kCongest, "congest",
+       "synchronous rounds, bandwidth-capped messages", true, true},
+      {CostModel::kSequentialSLocal, "slocal",
+       "sequential / SLOCAL-style pass; rounds undefined", false, false},
+      {CostModel::kOracle, "oracle",
+       "centralized computation (enumeration, checking)", false, false},
+  };
+  return kRegistry;
+}
+
+const CostModelSpec& cost_model_spec(CostModel model) {
+  for (const CostModelSpec& spec : cost_model_registry()) {
+    if (spec.model == model) return spec;
+  }
+  RLOCAL_CHECK(false, "unknown cost model");
+  return cost_model_registry().front();  // unreachable
+}
+
+std::string cost_model_name(CostModel model) {
+  return cost_model_spec(model).name;
+}
+
+CostModel cost_model_from_name(const std::string& name) {
+  for (const CostModelSpec& spec : cost_model_registry()) {
+    if (name == spec.name) return spec.model;
+  }
+  RLOCAL_CHECK(false, "unknown cost model '" + name + "'");
+  return CostModel::kOracle;  // unreachable
+}
+
+void CostLedger::charge_rounds(std::int64_t n) {
+  RLOCAL_CHECK(n >= 0, "cannot charge negative rounds");
+  charged_rounds_ = (charged_rounds_ < 0 ? 0 : charged_rounds_) + n;
+}
+
+void CostLedger::charge_messages(std::int64_t count, std::int64_t bits) {
+  RLOCAL_CHECK(count >= 0 && bits >= 0, "cannot charge negative messages");
+  messages = (messages < 0 ? 0 : messages) + count;
+  total_bits = (total_bits < 0 ? 0 : total_bits) + bits;
+}
+
+void CostLedger::observe_engine(
+    std::int64_t engine_rounds, std::int64_t engine_messages,
+    std::int64_t engine_bits, int engine_max_message_bits,
+    int enforced_bandwidth_bits,
+    const std::vector<std::int64_t>& per_round_messages) {
+  ++engine_runs;
+  engine_rounds_ += engine_rounds;
+  messages = (messages < 0 ? 0 : messages) + engine_messages;
+  total_bits = (total_bits < 0 ? 0 : total_bits) + engine_bits;
+  max_message_bits = std::max(max_message_bits, engine_max_message_bits);
+  bandwidth_bits = std::max(bandwidth_bits, enforced_bandwidth_bits);
+  per_round_messages_.insert(per_round_messages_.end(),
+                             per_round_messages.begin(),
+                             per_round_messages.end());
+}
+
+void CostLedger::merge_observations(const CostLedger& engine_side) {
+  if (engine_side.engine_runs == 0) return;
+  engine_runs += engine_side.engine_runs;
+  engine_rounds_ += engine_side.engine_rounds_;
+  if (engine_side.messages >= 0) {
+    messages = (messages < 0 ? 0 : messages) + engine_side.messages;
+  }
+  if (engine_side.total_bits >= 0) {
+    total_bits = (total_bits < 0 ? 0 : total_bits) + engine_side.total_bits;
+  }
+  max_message_bits =
+      std::max(max_message_bits, engine_side.max_message_bits);
+  bandwidth_bits = std::max(bandwidth_bits, engine_side.bandwidth_bits);
+  per_round_messages_.insert(per_round_messages_.end(),
+                             engine_side.per_round_messages_.begin(),
+                             engine_side.per_round_messages_.end());
+}
+
+void CostLedger::finalize() {
+  if (!per_round_messages_.empty()) {
+    std::vector<std::int64_t> sorted = per_round_messages_;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    msgs_per_round_p50 = sorted[(n - 1) / 2];  // lower median
+    msgs_per_round_p95 = sorted[(n * 95 + 99) / 100 - 1];  // ceil rank
+    msgs_per_round_max = sorted.back();
+    per_round_messages_.clear();
+  }
+  // Explicit charges are the model cost and win; engine rounds fill in for
+  // solvers that only ever ran on the wire. A sequential/oracle solver that
+  // charged nothing and ran no engine keeps rounds = -1 ("no round cost").
+  if (charged_rounds_ >= 0) {
+    rounds = charged_rounds_;
+  } else if (engine_runs > 0) {
+    rounds = engine_rounds_;
+  }
+  mischarge = engine_runs > 0 && charged_rounds_ >= 0 &&
+              charged_rounds_ < engine_rounds_;
+}
+
+std::string CostLedger::mischarge_reason() const {
+  if (!mischarge) return "";
+  return "cost: solver charged " + std::to_string(charged_rounds_) +
+         " rounds but the engine executed " + std::to_string(engine_rounds_);
+}
+
+}  // namespace rlocal::cost

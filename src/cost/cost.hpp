@@ -1,0 +1,125 @@
+// Cost accounting: the communication-model ledger every lab solver reports
+// against (ROADMAP "cost-model plug point").
+//
+// The paper states its results against explicit models -- LOCAL vs CONGEST
+// rounds, per-message bandwidth, seed-bit budgets (Section 2; Theorems
+// 3.1/3.7 trade rounds against shared randomness) -- so the lab meters cost
+// uniformly instead of letting each solver charge whatever it likes:
+//
+//   * every `lab::Solver` declares a CostModel (kLocal, kCongest,
+//     kSequentialSLocal, kOracle);
+//   * one CostLedger per cell collects rounds, messages, bits, the
+//     per-round message histogram, and the enforced bandwidth cap;
+//   * solvers that run on `sim::Engine` get messages/bits/rounds recorded
+//     automatically (cost/meter.hpp -- the engine reports into the active
+//     scope, the solver never hand-copies stats);
+//   * pipeline/derand solvers charge rounds explicitly
+//     (CostLedger::charge_rounds), exactly as their theorems account them.
+//
+// Mischarging is a checker failure, not silent drift: when the engine ran
+// during a cell, the solver's explicitly charged rounds must cover the
+// rounds the engine actually executed (charging *more* is legal -- theorem
+// pipelines charge the model cost, e.g. (cap + 2) rounds per phase where
+// the simulated primitive used cap + 1 -- but charging less means the
+// record under-reports real communication). Registry::run_cell enforces
+// this and stamps the verdict into the record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlocal::cost {
+
+/// The communication model a solver's cost is stated in.
+enum class CostModel {
+  kLocal,             ///< synchronous rounds, unbounded message size
+  kCongest,           ///< synchronous rounds, bandwidth-capped messages
+  kSequentialSLocal,  ///< sequential/SLOCAL-style pass; rounds undefined
+  kOracle,            ///< centralized computation (enumeration, checking)
+};
+
+/// Static per-model semantics (see docs/cost_model.md).
+struct CostModelSpec {
+  CostModel model;
+  const char* name;      ///< canonical short name ("local", "congest", ...)
+  const char* summary;   ///< one-line human description
+  bool synchronous;      ///< round counts are meaningful in this model
+  bool bandwidth_bound;  ///< per-message bit caps apply (CONGEST only)
+};
+
+const CostModelSpec& cost_model_spec(CostModel model);
+const std::vector<CostModelSpec>& cost_model_registry();
+
+/// Canonical name ("local", "congest", "slocal", "oracle").
+std::string cost_model_name(CostModel model);
+/// Inverse of cost_model_name; throws InvariantError on unknown names.
+CostModel cost_model_from_name(const std::string& name);
+
+/// One cell's communication cost. Scalar fields use -1 for "not measured"
+/// (a sequential solver has no rounds; a reference-executed CONGEST solver
+/// charges rounds but its messages were never on a simulated wire).
+struct CostLedger {
+  /// True once Registry::run_cell stamped and finalized the block; records
+  /// produced outside the lab runner (or skipped cells) carry none.
+  bool populated = false;
+  CostModel model = CostModel::kOracle;
+
+  // Resolved cost (after finalize()).
+  std::int64_t rounds = -1;       ///< charged rounds, or engine rounds
+  std::int64_t messages = -1;     ///< total messages (engine + explicit)
+  std::int64_t total_bits = -1;   ///< total on-the-wire bits
+  int max_message_bits = 0;       ///< largest single message observed
+  /// Largest bandwidth cap actually *enforced* on a simulated wire during
+  /// the cell (0 = no cap was enforced). LOCAL/sequential/oracle runs keep
+  /// 0 -- the invariant tests/test_cost.cpp pins down. The cell's bandwidth
+  /// *coordinate* is RunRecord::bandwidth_bits; this field says what the
+  /// engine really enforced.
+  int bandwidth_bits = 0;
+  int engine_runs = 0;  ///< sim::Engine executions metered into this ledger
+
+  // Per-round message histogram over all engine rounds (p50 = lower
+  // median, p95 = ceil-rank; -1 until an engine run is metered).
+  std::int64_t msgs_per_round_p50 = -1;
+  std::int64_t msgs_per_round_p95 = -1;
+  std::int64_t msgs_per_round_max = -1;
+
+  /// Set by finalize(): the solver under-charged rounds relative to what
+  /// the engine executed. run_cell turns this into a checker failure.
+  bool mischarge = false;
+
+  // --- Charging API (solvers; see file comment) -------------------------
+  /// Explicitly charge `n` synchronous rounds (accumulates).
+  void charge_rounds(std::int64_t n);
+  /// Explicitly charge messages sent outside the engine (accumulates).
+  void charge_messages(std::int64_t count, std::int64_t bits);
+
+  // --- Metering API (cost/meter.hpp; engine-side) -----------------------
+  /// Folds one engine execution into the ledger.
+  void observe_engine(std::int64_t engine_rounds, std::int64_t engine_messages,
+                      std::int64_t engine_bits, int engine_max_message_bits,
+                      int enforced_bandwidth_bits,
+                      const std::vector<std::int64_t>& per_round_messages);
+  /// Folds another ledger's engine observations into this one (run_cell
+  /// merges the meter's engine-side ledger into the solver's record).
+  void merge_observations(const CostLedger& engine_side);
+
+  /// Resolves `rounds` (explicit charges win; engine rounds otherwise),
+  /// computes the histogram quantiles, sets `mischarge`, and drops the
+  /// per-round working buffer. Idempotent on an already-final ledger.
+  void finalize();
+
+  /// Human-facing mischarge diagnosis ("cost: solver charged R rounds but
+  /// the engine executed E"); empty when !mischarge.
+  std::string mischarge_reason() const;
+
+  std::int64_t charged_rounds() const { return charged_rounds_; }
+  std::int64_t engine_rounds() const { return engine_rounds_; }
+
+ private:
+  std::int64_t charged_rounds_ = -1;  ///< -1: never explicitly charged
+  std::int64_t engine_rounds_ = 0;    ///< summed over engine runs
+  std::vector<std::int64_t> per_round_messages_;  ///< working buffer
+};
+
+}  // namespace rlocal::cost

@@ -1,0 +1,41 @@
+#include "cost/meter.hpp"
+
+namespace rlocal::cost {
+namespace {
+
+// One active scope per thread: sweep workers run one cell at a time, and a
+// cell's engine executions all happen on the worker's own thread.
+thread_local CostLedger* tl_ledger = nullptr;
+thread_local const std::function<void()>* tl_checkpoint = nullptr;
+
+}  // namespace
+
+MeterScope::MeterScope(CostLedger* ledger, std::function<void()> checkpoint)
+    : prev_ledger_(tl_ledger),
+      checkpoint_(std::move(checkpoint)),
+      prev_checkpoint_(tl_checkpoint) {
+  tl_ledger = ledger;
+  tl_checkpoint = checkpoint_ ? &checkpoint_ : nullptr;
+}
+
+MeterScope::~MeterScope() {
+  tl_ledger = prev_ledger_;
+  tl_checkpoint = prev_checkpoint_;
+}
+
+void record_engine_run(std::int64_t rounds, std::int64_t messages,
+                       std::int64_t total_bits, int max_message_bits,
+                       int enforced_bandwidth_bits,
+                       const std::vector<std::int64_t>& per_round_messages) {
+  if (tl_ledger == nullptr) return;
+  tl_ledger->observe_engine(rounds, messages, total_bits, max_message_bits,
+                            enforced_bandwidth_bits, per_round_messages);
+}
+
+void checkpoint() {
+  if (tl_checkpoint != nullptr) (*tl_checkpoint)();
+}
+
+bool meter_active() { return tl_ledger != nullptr; }
+
+}  // namespace rlocal::cost

@@ -1,0 +1,63 @@
+// The run-scope meter: how engine executions and long-running library loops
+// reach the current cell's cost ledger and cancellation token without
+// threading either through every call signature.
+//
+// Registry::run_cell opens a MeterScope around Solver::run. While the scope
+// is active (per thread -- sweep cells are one-per-worker):
+//
+//   * sim::Engine::run reports its EngineStats into the scope's ledger via
+//     record_engine_run() (this is what makes engine-backed solvers'
+//     messages/bits come from the engine, never hand-copied);
+//   * checkpoint() invokes the scope's cancellation hook (the cell's
+//     deadline token) -- the engine calls it once per round, and the
+//     deterministic pipelines (ball carving, conditional expectations,
+//     brute force) call it in their outer loops, so `cell_deadline_ms`
+//     reaches code that draws no randomness at all.
+//
+// Outside a scope both entry points are no-ops, so direct engine/pipeline
+// use (tests, examples) is unaffected. The hook may throw (DeadlineExpired)
+// and must not observe or alter any computed values -- cancellation is
+// deterministic-result-preserving, exactly like the NodeRandomness draw
+// checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cost/cost.hpp"
+
+namespace rlocal::cost {
+
+class MeterScope {
+ public:
+  /// Arms `ledger` (and optionally `checkpoint`) as this thread's active
+  /// meter; restores the previous scope on destruction (scopes nest).
+  explicit MeterScope(CostLedger* ledger,
+                      std::function<void()> checkpoint = nullptr);
+  ~MeterScope();
+
+  MeterScope(const MeterScope&) = delete;
+  MeterScope& operator=(const MeterScope&) = delete;
+
+ private:
+  CostLedger* prev_ledger_;
+  std::function<void()> checkpoint_;
+  const std::function<void()>* prev_checkpoint_;
+};
+
+/// Folds one finished engine execution into the active ledger; no-op when
+/// no scope is armed. `enforced_bandwidth_bits` is 0 when the run enforced
+/// no cap (the LOCAL model).
+void record_engine_run(std::int64_t rounds, std::int64_t messages,
+                       std::int64_t total_bits, int max_message_bits,
+                       int enforced_bandwidth_bits,
+                       const std::vector<std::int64_t>& per_round_messages);
+
+/// Cooperative cancellation point; cheap no-op without an armed hook.
+void checkpoint();
+
+/// True while a MeterScope is armed on this thread (tests).
+bool meter_active();
+
+}  // namespace rlocal::cost

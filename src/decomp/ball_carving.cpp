@@ -4,6 +4,7 @@
 #include <deque>
 #include <numeric>
 
+#include "cost/meter.hpp"
 #include "graph/algorithms.hpp"
 #include "support/math.hpp"
 
@@ -36,6 +37,10 @@ BallCarvingResult ball_carving_decomposition(const Graph& g) {
     for (std::size_t v = 0; v < n; ++v) in_phase[v] = active[v];
     for (const NodeId v : id_order) {
       if (!in_phase[static_cast<std::size_t>(v)]) continue;
+      // This algorithm draws no randomness, so the sweep's per-cell
+      // deadline reaches it here (per carve) instead of via the
+      // NodeRandomness draw checkpoint.
+      cost::checkpoint();
       // Grow a ball around v inside G[in_phase] while the next layer at
       // least doubles it.
       std::vector<NodeId> ball{v};

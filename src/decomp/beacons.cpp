@@ -96,6 +96,91 @@ BeaconPlacement place_beacons_random(const Graph& g, int h, double density,
   return placement;
 }
 
+BeaconPlacement place_beacons_clustered(const Graph& g, int h) {
+  RLOCAL_CHECK(h >= 0, "covering radius must be non-negative");
+  BeaconPlacement placement;
+  placement.h = h;
+  if (g.num_nodes() == 0) return placement;
+  // The clump: every node within h hops of the smallest-identifier node --
+  // about as many beacons as one beacon's worth of coverage can hold.
+  NodeId start = 0;
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (g.id(v) < g.id(start)) start = v;
+  }
+  const auto clump_dist = bfs_distances(g, start);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (clump_dist[static_cast<std::size_t>(v)] >= 0 &&
+        clump_dist[static_cast<std::size_t>(v)] <= h) {
+      placement.beacons.push_back(v);
+    }
+  }
+  // Repair: greedily add beacons for nodes the clump leaves uncovered
+  // (identical discipline to the random strategy's repair).
+  auto dist = multi_source_distances(g, placement.beacons);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[static_cast<std::size_t>(v)] > h) {
+      placement.beacons.push_back(v);
+      const auto fresh = bfs_distances(g, v);
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        dist[static_cast<std::size_t>(u)] = std::min(
+            dist[static_cast<std::size_t>(u)],
+            fresh[static_cast<std::size_t>(u)]);
+      }
+    }
+  }
+  std::sort(placement.beacons.begin(), placement.beacons.end());
+  return placement;
+}
+
+const std::vector<PlacementStrategyInfo>& beacon_placement_registry() {
+  static const std::vector<PlacementStrategyInfo> kRegistry = {
+      {0, "deterministic", "greedy h-dominating set (dense, id order)",
+       [](const Graph& g, int h, double, std::uint64_t) {
+         return place_beacons_greedy(g, h);
+       }},
+      {1, "adversarial_far", "farthest-first traversal (sparsest legal)",
+       [](const Graph& g, int h, double, std::uint64_t) {
+         return place_beacons_sparse(g, h);
+       }},
+      {2, "random", "i.i.d. density + greedy repair",
+       [](const Graph& g, int h, double density, std::uint64_t seed) {
+         return place_beacons_random(g, h, density, seed);
+       }},
+      {3, "adversarial_clustered", "one tight ball + greedy repair",
+       [](const Graph& g, int h, double, std::uint64_t) {
+         return place_beacons_clustered(g, h);
+       }},
+  };
+  return kRegistry;
+}
+
+int beacon_placement_id(const std::string& name) {
+  for (const PlacementStrategyInfo& info : beacon_placement_registry()) {
+    if (name == info.name) return info.id;
+  }
+  RLOCAL_CHECK(false, "unknown beacon placement strategy '" + name + "'");
+  return -1;  // unreachable
+}
+
+const char* beacon_placement_name(int id) {
+  for (const PlacementStrategyInfo& info : beacon_placement_registry()) {
+    if (id == info.id) return info.name;
+  }
+  RLOCAL_CHECK(false, "unknown beacon placement strategy id " +
+                          std::to_string(id));
+  return "";  // unreachable
+}
+
+BeaconPlacement place_beacons(int id, const Graph& g, int h, double density,
+                              std::uint64_t seed) {
+  for (const PlacementStrategyInfo& info : beacon_placement_registry()) {
+    if (id == info.id) return info.place(g, h, density, seed);
+  }
+  RLOCAL_CHECK(false, "unknown beacon placement strategy id " +
+                          std::to_string(id));
+  return {};
+}
+
 bool placement_covers(const Graph& g, const BeaconPlacement& placement) {
   if (g.num_nodes() == 0) return true;
   if (placement.beacons.empty()) return false;

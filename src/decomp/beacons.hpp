@@ -10,6 +10,7 @@
 // center.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "decomp/ruling_set.hpp"
@@ -35,8 +36,48 @@ BeaconPlacement place_beacons_sparse(const Graph& g, int h);
 BeaconPlacement place_beacons_random(const Graph& g, int h, double density,
                                      std::uint64_t seed);
 
+/// Adversarially *clustered* placement: the whole beacon budget is dumped
+/// into one tight ball (around the smallest-identifier node), then repaired
+/// greedily so the h-hop promise still holds -- the "many wasted bits in
+/// one region, bare minimum elsewhere" end of the spectrum, complementing
+/// the farthest-first adversary. Deterministic in (graph, h).
+BeaconPlacement place_beacons_clustered(const Graph& g, int h);
+
 /// True iff every node has a beacon within h hops.
 bool placement_covers(const Graph& g, const BeaconPlacement& placement);
+
+// ---- Placement registry ---------------------------------------------------
+//
+// Named strategies, so adversarial placements are a first-class sweep axis
+// (ROADMAP open item): solver params carry the numeric id (ParamMaps are
+// numeric), benches and docs use the names. `random` additionally reads a
+// `density` knob.
+
+struct PlacementStrategyInfo {
+  int id;
+  const char* name;
+  const char* summary;
+  /// The strategy itself; `density`/`seed` are read by `random` only. The
+  /// registry table is the single id -> strategy source of truth.
+  BeaconPlacement (*place)(const Graph& g, int h, double density,
+                           std::uint64_t seed);
+};
+
+/// All registered strategies, in id order:
+///   0 deterministic          greedy h-dominating set (dense, id order)
+///   1 adversarial_far        farthest-first traversal (sparsest legal)
+///   2 random                 i.i.d. density + greedy repair
+///   3 adversarial_clustered  one tight ball + greedy repair
+const std::vector<PlacementStrategyInfo>& beacon_placement_registry();
+
+/// Name -> id; throws InvariantError on unknown names.
+int beacon_placement_id(const std::string& name);
+/// Id -> name; throws InvariantError on unknown ids.
+const char* beacon_placement_name(int id);
+
+/// Runs strategy `id`. `density` and `seed` are read by `random` only.
+BeaconPlacement place_beacons(int id, const Graph& g, int h, double density,
+                              std::uint64_t seed);
 
 /// Lemma 3.2 output: disjoint connected clusters, each either isolated
 /// (property A) or holding the gathered beacon bits at its center

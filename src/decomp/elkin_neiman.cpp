@@ -45,9 +45,11 @@ EnResult elkin_neiman_core(const Graph& g, const ShiftDrawer& draw,
       }
     }
 
+    EngineOptions engine_options;
+    engine_options.bandwidth_bits = options.bandwidth_bits;
     const TopTwoResult measures =
         options.use_engine
-            ? run_top_two(g, start, live, cap + 1)
+            ? run_top_two(g, start, live, cap + 1, engine_options)
             : reference_top_two(g, start, live);
     result.rounds_charged += cap + 2;  // propagation + join decision
 

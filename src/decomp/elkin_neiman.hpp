@@ -38,6 +38,9 @@ struct EnOptions {
   /// Run the top-two primitive on the message-passing engine instead of the
   /// centralized reference (slower; used for cross-validation).
   bool use_engine = false;
+  /// Per-message cap handed to the engine (0 = CONGEST default); only read
+  /// when use_engine is set.
+  int bandwidth_bits = 0;
 };
 
 /// Returns the shift for `node` in `phase`, in [1, cap].

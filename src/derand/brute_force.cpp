@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cost/meter.hpp"
 #include "graph/algorithms.hpp"
 #include "support/math.hpp"
 
@@ -82,6 +83,9 @@ BruteForceResult brute_force_derandomize_mis(const BruteForceOptions& opt) {
 
   std::uint64_t failure_sum = 0;
   for (std::uint64_t seed = 0; seed < result.seed_assignments; ++seed) {
+    // Exhaustive enumeration draws no coins; the sweep deadline reaches it
+    // once per seed assignment through the run-scope checkpoint.
+    cost::checkpoint();
     // Decode phi: bits_per_id bits per identifier.
     std::vector<std::uint64_t> phi(static_cast<std::size_t>(opt.max_n));
     for (int i = 0; i < opt.max_n; ++i) {

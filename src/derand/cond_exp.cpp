@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cost/meter.hpp"
 #include "problems/splitting.hpp"
 
 namespace rlocal {
@@ -45,6 +46,9 @@ CondExpSplittingResult conditional_expectation_splitting(
 
   result.red.assign(num_right, false);
   for (std::int32_t v = 0; v < h.num_right(); ++v) {
+    // Deterministic long-runner: the sweep deadline reaches the
+    // derandomization loop through the run-scope checkpoint.
+    cost::checkpoint();
     // Exact delta of the estimator for both choices of v's color.
     double delta_red = 0.0;
     double delta_blue = 0.0;

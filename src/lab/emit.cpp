@@ -5,6 +5,7 @@
 #include <ostream>
 #include <tuple>
 
+#include "store/record_io.hpp"
 #include "support/json.hpp"
 
 namespace rlocal::lab {
@@ -12,10 +13,13 @@ namespace rlocal::lab {
 void emit_json(const SweepResult& result, std::ostream& out) {
   JsonWriter w(out);
   w.begin_object();
-  // /2 adds summary.cells_resumed and the per-record "resumed" marker;
-  // readers of /1 artifacts keep working (bench/compare_sweep.py accepts
-  // both).
-  w.field("schema", "rlocal.sweep/2");
+  // /3 replaces the top-level per-record "rounds" with the typed "cost"
+  // block (model, rounds, engine-metered messages/bits, per-round message
+  // histogram) and adds the bandwidth-axis coordinate "bandwidth_bits";
+  // bench/compare_sweep.py reads /1 through /3. Record fields are written
+  // by the store's canonical writer, so a whole-run artifact diffs cleanly
+  // against a store directory of the same sweep.
+  w.field("schema", "rlocal.sweep/3");
   w.key("summary");
   w.begin_object();
   w.field("cells_run", result.cells_run);
@@ -29,40 +33,10 @@ void emit_json(const SweepResult& result, std::ostream& out) {
   w.begin_array();
   for (const RunRecord& r : result.records) {
     w.begin_object();
-    w.field("solver", r.solver);
-    w.field("problem", r.problem);
-    w.field("graph", r.graph);
     // Regime names are emitted verbatim (escaped by JsonWriter); every
     // RegimeKind -- including pooled -- round-trips as an opaque string key.
-    w.field("regime", r.regime);
-    if (!r.variant.empty()) w.field("variant", r.variant);
-    w.field("seed", r.seed);
-    if (r.skipped) {
-      w.field("skipped", true);
-      w.end_object();
-      continue;
-    }
-    // Restored-from-store cells carry their original run's observables and
-    // wall time; the marker lets downstream aggregation (the CI regression
-    // gate) exclude them from per-process timing totals.
-    if (r.resumed) w.field("resumed", true);
-    w.field("success", r.success);
-    w.field("checker_passed", r.checker_passed);
-    if (!r.error.empty()) w.field("error", r.error);
-    if (r.colors >= 0) w.field("colors", r.colors);
-    if (r.rounds >= 0) w.field("rounds", r.rounds);
-    if (r.iterations >= 0) w.field("iterations", r.iterations);
-    if (r.diameter >= 0) w.field("diameter", r.diameter);
-    w.field("objective", r.objective);
-    w.field("shared_seed_bits", r.shared_seed_bits);
-    w.field("derived_bits", r.derived_bits);
-    w.field("wall_ms", r.wall_ms);
-    if (!r.metrics.empty()) {
-      w.key("metrics");
-      w.begin_object();
-      for (const auto& [key, value] : r.metrics) w.field(key, value);
-      w.end_object();
-    }
+    store::write_record_fields(w, r, /*include_wall_ms=*/true,
+                               /*include_resumed=*/true);
     w.end_object();
   }
   w.end_array();
@@ -82,14 +56,23 @@ Table summary_table(const SweepResult& result) {
     double wall_ms = 0;
     double derived_bits = 0;
     std::uint64_t shared_seed_bits = 0;
+    // Cost-ledger message/bit totals over the runs that measured them
+    // (engine-metered or explicitly charged); `metered` is their count.
+    int metered = 0;
+    double messages = 0;
+    double total_bits = 0;
   };
-  std::map<std::tuple<std::string, std::string, std::string, std::string>,
+  std::map<std::tuple<std::string, std::string, std::string, std::string,
+                      int>,
            Agg>
       groups;
   bool any_variant = false;
+  bool any_bandwidth = false;
   for (const RunRecord& r : result.records) {
     if (!r.variant.empty()) any_variant = true;
-    Agg& agg = groups[{r.solver, r.graph, r.regime, r.variant}];
+    if (r.bandwidth_bits > 0) any_bandwidth = true;
+    Agg& agg =
+        groups[{r.solver, r.graph, r.regime, r.variant, r.bandwidth_bits}];
     if (r.skipped) {
       ++agg.skipped;
       continue;
@@ -108,6 +91,12 @@ Table summary_table(const SweepResult& result) {
       agg.objective += r.objective;
     }
     agg.rounds += r.rounds > 0 ? r.rounds : 0;
+    if (r.cost.populated && r.cost.messages >= 0) {
+      ++agg.metered;
+      agg.messages += static_cast<double>(r.cost.messages);
+      agg.total_bits += static_cast<double>(
+          r.cost.total_bits >= 0 ? r.cost.total_bits : 0);
+    }
     agg.derived_bits += static_cast<double>(r.derived_bits);
     // Max, not last-wins: pooled regimes charge per pool actually touched,
     // so the ledger varies across a group's runs; report the worst case.
@@ -116,17 +105,23 @@ Table summary_table(const SweepResult& result) {
   }
   std::vector<std::string> header = {"solver", "graph", "regime"};
   if (any_variant) header.push_back("variant");
-  for (const char* column : {"ok/trials", "objective(avg)", "rounds(avg)",
-                             "seed bits", "derived bits(avg)", "ms(avg)"}) {
+  if (any_bandwidth) header.push_back("bw");
+  for (const char* column :
+       {"ok/trials", "objective(avg)", "rounds(avg)", "msgs(avg)",
+        "bits(avg)", "seed bits", "derived bits(avg)", "ms(avg)"}) {
     header.emplace_back(column);
   }
   Table table(header);
   for (const auto& [key, agg] : groups) {
-    const auto& [solver, graph, regime, variant] = key;
+    const auto& [solver, graph, regime, variant, bandwidth] = key;
     std::vector<std::string> row = {solver, graph, regime};
     if (any_variant) row.push_back(variant.empty() ? "-" : variant);
+    if (any_bandwidth) {
+      row.push_back(bandwidth > 0 ? fmt(bandwidth) : "-");
+    }
     if (agg.trials == 0) {
-      for (const char* cell : {"skipped", "-", "-", "-", "-", "-"}) {
+      for (const char* cell :
+           {"skipped", "-", "-", "-", "-", "-", "-", "-"}) {
         row.emplace_back(cell);
       }
       table.add_row(row);
@@ -137,6 +132,13 @@ Table summary_table(const SweepResult& result) {
     row.push_back(agg.successes > 0 ? fmt(agg.objective / agg.successes, 1)
                                     : "-");
     row.push_back(agg.completed > 0 ? fmt(agg.rounds / n, 1) : "-");
+    // "-" means no run in the group measured messages (reference-executed
+    // or sequential solvers); engine-backed groups average over metered
+    // runs only.
+    row.push_back(agg.metered > 0 ? fmt(agg.messages / agg.metered, 0)
+                                  : "-");
+    row.push_back(agg.metered > 0 ? fmt(agg.total_bits / agg.metered, 0)
+                                  : "-");
     row.push_back(agg.completed > 0 ? fmt(agg.shared_seed_bits) : "-");
     row.push_back(agg.completed > 0 ? fmt(agg.derived_bits / n, 0) : "-");
     row.push_back(fmt(agg.wall_ms / agg.trials, 2));

@@ -1,10 +1,13 @@
 // Emitters turning sweep results into artifacts:
 //
-//  * emit_json  -- full-fidelity machine-readable dump ("rlocal.sweep/1"
-//                  schema) for trend tracking (BENCH_*.json) and offline
-//                  analysis; built on support/json.hpp.
-//  * summary_table -- per-(solver, graph, regime) aggregate ASCII table,
-//                  the human-facing "paper table" view benches print.
+//  * emit_json  -- full-fidelity machine-readable dump ("rlocal.sweep/3"
+//                  schema: typed per-record cost blocks, bandwidth axis)
+//                  for trend tracking (BENCH_*.json) and offline analysis;
+//                  record fields come from the store's canonical writer.
+//  * summary_table -- per-(solver, graph, regime, variant, bandwidth)
+//                  aggregate ASCII table -- observables, the randomness
+//                  ledger, and metered msgs/bits -- the human-facing
+//                  "paper table" view benches print.
 #pragma once
 
 #include <iosfwd>

@@ -18,6 +18,8 @@
 #include <map>
 #include <string>
 
+#include "cost/cost.hpp"
+
 namespace rlocal::lab {
 
 /// Free-form solver parameters (iteration budgets, thresholds, instance
@@ -39,6 +41,10 @@ struct RunRecord {
   /// Named parameter set this cell ran under (sweep variant axis); empty
   /// when the sweep used a single implicit parameter set.
   std::string variant;
+  /// The sweep's bandwidth-axis coordinate: bits per message for
+  /// engine-backed CONGEST runs; 0 = the model's default cap (the implicit
+  /// pre-bandwidth-axis grid). The *enforced* cap lives in cost.
+  int bandwidth_bits = 0;
   std::uint64_t seed = 0;
 
   // Outcome.
@@ -54,7 +60,10 @@ struct RunRecord {
 
   // Observables (-1 where the problem has no such quantity).
   int colors = -1;      ///< decomposition/coloring colors used
-  int rounds = -1;      ///< CONGEST rounds charged
+  /// Convenience mirror of cost.rounds (stamped by Registry::run_cell);
+  /// the authoritative value -- with messages, bits, and the per-round
+  /// histogram -- is the typed `cost` block below.
+  int rounds = -1;
   int iterations = -1;  ///< iterations of the iterative schemes
   int diameter = -1;    ///< max cluster tree diameter (decompositions)
   double objective = 0.0;  ///< problem-specific scalar (violations, size, ...)
@@ -62,6 +71,13 @@ struct RunRecord {
   // Randomness ledger (from NodeRandomness).
   std::uint64_t shared_seed_bits = 0;  ///< true seed entropy consumed
   std::uint64_t derived_bits = 0;      ///< bits handed to the algorithm
+
+  /// Communication cost (src/cost/): the solver's declared model, rounds
+  /// (explicitly charged, or engine-observed), engine-metered
+  /// messages/bits, and the per-round message histogram. Solvers charge
+  /// into it during run(); Registry::run_cell merges the engine meter,
+  /// finalizes, and flags mischarges as checker failures.
+  cost::CostLedger cost;
 
   double wall_ms = 0.0;
 

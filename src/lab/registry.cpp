@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <set>
 
+#include "cost/meter.hpp"
 #include "support/assert.hpp"
 
 namespace rlocal::lab {
@@ -21,6 +23,11 @@ int param_int(const ParamMap& params, const std::string& key, int fallback) {
 bool Solver::supports(const Regime& regime) const {
   const std::vector<RegimeKind> kinds = supported_regimes();
   return std::find(kinds.begin(), kinds.end(), regime.kind) != kinds.end();
+}
+
+bool Solver::supports_bandwidth(int bandwidth_bits) const {
+  return bandwidth_bits <= 0 ||
+         cost::cost_model_spec(cost_model()).bandwidth_bound;
 }
 
 void Registry::add(std::unique_ptr<Solver> solver) {
@@ -75,11 +82,22 @@ RunRecord Registry::run_cell(const Solver& solver, const Graph& g,
                              const RunContext& ctx) const {
   const auto start = std::chrono::steady_clock::now();
   RunRecord record;
+  // Engine executions report into this ledger through the thread-local
+  // meter (cost/meter.hpp) -- solvers never hand-copy EngineStats. The same
+  // scope carries the deadline token into the engine's per-round check and
+  // the deterministic pipelines' cost::checkpoint() calls.
+  cost::CostLedger engine_meter;
   try {
+    cost::MeterScope meter(
+        &engine_meter,
+        ctx.has_deadline()
+            ? std::function<void()>([&ctx] { ctx.check_deadline(); })
+            : std::function<void()>{});
     record = solver.run(g, regime, seed, params, ctx);
   } catch (const DeadlineExpired&) {
     // The cell overran its wall-clock budget; a failed record with the
-    // canonical "deadline" reason keeps the surrounding sweep alive.
+    // canonical "deadline" reason keeps the surrounding sweep alive. The
+    // engine-metered cost observed so far survives as a partial block.
     record = RunRecord{};
     record.error = "deadline";
     record.success = false;
@@ -91,10 +109,27 @@ RunRecord Registry::run_cell(const Solver& solver, const Graph& g,
     record.checker_passed = false;
   }
   const auto stop = std::chrono::steady_clock::now();
+  record.cost.merge_observations(engine_meter);
+  record.cost.model = solver.cost_model();
+  record.cost.finalize();
+  record.cost.populated = true;
+  // Mischarging -- the engine ran more rounds than the solver charged -- is
+  // a checker failure, not silent drift. Only completed runs are judged: an
+  // errored cell's charges are legitimately partial.
+  if (record.error.empty() && record.cost.mischarge) {
+    record.checker_passed = false;
+    record.error = record.cost.mischarge_reason();
+  }
+  record.rounds =
+      record.cost.rounds < 0
+          ? -1
+          : static_cast<int>(std::min<std::int64_t>(
+                record.cost.rounds, std::numeric_limits<int>::max()));
   record.solver = solver.name();
   record.problem = solver.problem();
   record.graph = graph_name;
   record.regime = regime.name();
+  record.bandwidth_bits = ctx.bandwidth_bits();
   record.seed = seed;
   record.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();

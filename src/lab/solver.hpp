@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "cost/cost.hpp"
 #include "graph/graph.hpp"
 #include "lab/record.hpp"
 #include "rnd/regime.hpp"
@@ -61,6 +62,17 @@ class RunContext {
                              std::chrono::duration<double, std::milli>(ms)));
   }
 
+  /// Copy of this context with the cell's bandwidth coordinate attached
+  /// (bits per message for engine-backed CONGEST runs; 0 = model default).
+  RunContext with_bandwidth_bits(int bits) const {
+    RunContext ctx = *this;
+    ctx.bandwidth_bits_ = bits > 0 ? bits : 0;
+    return ctx;
+  }
+  /// The sweep's bandwidth-axis coordinate for this cell; 0 means "the
+  /// model's default cap" (32 ceil(log2 n) in CONGEST, unbounded in LOCAL).
+  int bandwidth_bits() const { return bandwidth_bits_; }
+
   bool has_deadline() const { return deadline_.has_value(); }
   bool expired() const {
     return deadline_.has_value() && Clock::now() >= *deadline_;
@@ -72,6 +84,7 @@ class RunContext {
 
  private:
   std::optional<Clock::time_point> deadline_;
+  int bandwidth_bits_ = 0;
 };
 
 class Solver {
@@ -89,6 +102,16 @@ class Solver {
   /// failure injection under adversarial constants).
   virtual std::vector<RegimeKind> supported_regimes() const = 0;
   bool supports(const Regime& regime) const;
+
+  /// The communication model this algorithm's cost is stated in (see
+  /// src/cost/). Registry::run_cell stamps it into every record's cost
+  /// block; sweeps use it to decide which solvers a non-default bandwidth
+  /// coordinate applies to.
+  virtual cost::CostModel cost_model() const = 0;
+  /// A non-default bandwidth cap only binds bandwidth-bound (CONGEST)
+  /// models; sweeps skip other solvers' non-zero-bandwidth cells exactly
+  /// like unsupported regimes.
+  bool supports_bandwidth(int bandwidth_bits) const;
 
   /// Runs one cell and fills outcome/observable/ledger fields. Identity
   /// fields and wall time are stamped by the caller (Registry::run_cell).

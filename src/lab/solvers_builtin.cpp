@@ -47,6 +47,9 @@ class ElkinNeimanSolver final : public Solver {
   std::vector<RegimeKind> supported_regimes() const override {
     return kScarceRegimes;
   }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kCongest;
+  }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
                 const ParamMap& params,
                 const RunContext& ctx) const override {
@@ -56,9 +59,10 @@ class ElkinNeimanSolver final : public Solver {
     options.phases = param_int(params, "phases", 0);
     options.shift_cap = param_int(params, "shift_cap", 0);
     options.use_engine = param_int(params, "engine", 0) != 0;
+    options.bandwidth_bits = ctx.bandwidth_bits();
     EnResult result = elkin_neiman_decomposition(g, rnd, options);
     RunRecord record;
-    record.rounds = result.rounds_charged;
+    record.cost.charge_rounds(result.rounds_charged);
     record.iterations = result.phases_used;
     record.metrics["max_shift"] = result.max_shift;
     record.metrics["shift_bits"] = static_cast<double>(result.shift_bits);
@@ -87,6 +91,9 @@ class SharedCongestSolver final : public Solver {
     // one finite stream.
     return kScarceNoEpsBias;
   }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kCongest;
+  }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
                 const ParamMap& params,
                 const RunContext& ctx) const override {
@@ -100,7 +107,7 @@ class SharedCongestSolver final : public Solver {
     SharedCongestResult result =
         shared_randomness_decomposition(g, rnd, options);
     RunRecord record;
-    record.rounds = result.rounds_charged;
+    record.cost.charge_rounds(result.rounds_charged);
     record.iterations = result.phases_used;
     record.metrics["epochs_per_phase"] = result.epochs_per_phase;
     record.metrics["max_radius_drawn"] = result.max_radius_drawn;
@@ -128,22 +135,29 @@ class LubyMisSolver final : public Solver {
     // round count is not O(log n); force such cells via run_cell directly.
     return kScarceRegimes;
   }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kCongest;
+  }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
                 const ParamMap& params,
                 const RunContext& ctx) const override {
     ctx.check_deadline();
     NodeRandomness rnd = cell_randomness(regime, seed, ctx);
     const int max_iterations = param_int(params, "max_iterations", 0);
+    const bool on_engine = param_int(params, "engine", 0) != 0;
+    EngineOptions engine_options;
+    engine_options.bandwidth_bits = ctx.bandwidth_bits();
     const LubyMisResult result =
-        param_int(params, "engine", 0) != 0
-            ? run_luby_mis(g, rnd, max_iterations)
-            : reference_luby_mis(g, rnd, max_iterations);
+        on_engine ? run_luby_mis(g, rnd, max_iterations, engine_options)
+                  : reference_luby_mis(g, rnd, max_iterations);
     RunRecord record;
     record.success = result.success;
     record.checker_passed =
         result.success && is_maximal_independent_set(g, result.in_mis);
     record.iterations = result.iterations;
-    record.rounds = 2 * result.iterations;
+    // The engine path's rounds/messages/bits are metered automatically
+    // (cost/meter.hpp); only the reference path charges the model cost.
+    if (!on_engine) record.cost.charge_rounds(2 * result.iterations);
     int mis_size = 0;
     for (const bool b : result.in_mis) mis_size += b ? 1 : 0;
     record.objective = mis_size;
@@ -165,6 +179,9 @@ class GreedyMisSolver final : public Solver {
   }
   std::vector<RegimeKind> supported_regimes() const override {
     return kAllRegimes;  // deterministic: every regime is trivially fine
+  }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kSequentialSLocal;
   }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
                 const ParamMap&,
@@ -194,6 +211,9 @@ class RandomColoringSolver final : public Solver {
   std::vector<RegimeKind> supported_regimes() const override {
     return kScarceRegimes;
   }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kCongest;
+  }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
                 const ParamMap& params,
                 const RunContext& ctx) const override {
@@ -207,7 +227,7 @@ class RandomColoringSolver final : public Solver {
         result.success &&
         is_valid_coloring(g, result.color, g.max_degree() + 1);
     record.iterations = result.iterations;
-    record.rounds = result.rounds_charged;
+    record.cost.charge_rounds(result.rounds_charged);
     int used = 0;
     for (const int c : result.color) used = std::max(used, c + 1);
     record.colors = used;
@@ -231,6 +251,10 @@ class RandomSplittingSolver final : public Solver {
   std::vector<RegimeKind> supported_regimes() const override {
     return kScarceRegimes;
   }
+  cost::CostModel cost_model() const override {
+    // Zero communication at all (Lemma 3.4's point): LOCAL, zero rounds.
+    return cost::CostModel::kLocal;
+  }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
                 const ParamMap& params,
                 const RunContext& ctx) const override {
@@ -253,7 +277,8 @@ class RandomSplittingSolver final : public Solver {
     record.success = result.violations == 0;
     record.checker_passed =
         count_splitting_violations(h, result.red) == 0;
-    record.rounds = 0;  // the point of Lemma 3.4
+    record.cost.charge_rounds(0);  // the point of Lemma 3.4
+    record.cost.charge_messages(0, 0);
     record.objective = result.violations;
     record.metrics["violations"] = result.violations;
     record.metrics["constraint_degree"] = h.min_left_degree();
@@ -276,6 +301,10 @@ class CfMulticolorSolver final : public Solver {
   }
   std::vector<RegimeKind> supported_regimes() const override {
     return kScarceRegimes;
+  }
+  cost::CostModel cost_model() const override {
+    // Zero-round k-wise marking; the small-edge base case is local too.
+    return cost::CostModel::kLocal;
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
                 const ParamMap& params,
@@ -317,6 +346,9 @@ class CfDeterministicSolver final : public Solver {
   }
   std::vector<RegimeKind> supported_regimes() const override {
     return kAllRegimes;  // deterministic: every regime is trivially fine
+  }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kSequentialSLocal;
   }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
                 const ParamMap& params,

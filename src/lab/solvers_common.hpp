@@ -3,12 +3,14 @@
 // canonical supported-regime lists and the decomposition record filler.
 #pragma once
 
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "decomp/decomposition.hpp"
 #include "lab/record.hpp"
 #include "lab/solver.hpp"
+#include "lab/sweep.hpp"
 #include "rnd/regime.hpp"
 
 namespace rlocal::lab {
@@ -72,5 +74,14 @@ inline void fill_decomposition_fields(const Graph& g,
 /// Registry::with_builtins after the pre-lab wrappers.
 class Registry;
 void register_pipeline_solvers(Registry& registry);
+
+/// One sweep variant per named beacon placement strategy
+/// (decomp/beacons.hpp registry: deterministic, adversarial_far, random,
+/// adversarial_clustered), each carrying its numeric `placement` id plus
+/// `extra` overlay params (e.g. the h / h_prime of a stress matrix) -- the
+/// "placement as a first-class axis" helper for the Lemma 3.2/3.3
+/// pipelines. Variant names are the strategy names, optionally prefixed.
+std::vector<ParamVariant> beacon_placement_variants(
+    const ParamMap& extra = {}, const std::string& name_prefix = "");
 
 }  // namespace rlocal::lab

@@ -71,30 +71,20 @@ FixedBitSource beacon_bits_from_regime(const BeaconPlacement& placement,
   return FixedBitSource(std::move(bits));
 }
 
-/// Beacon placement from shape params: placement = 0 greedy h-dominating,
-/// 1 sparse (farthest-first), 2 random with `density` (repaired to cover).
-/// Deterministic in (graph size, params): the placement is the instance.
-/// The default is the dense one-bit-per-node setting (placement=2,
-/// density=1), which honors the theorems' bit-supply hypothesis at bench
-/// scales; benches sweep the adversarial placements explicitly.
+/// Beacon placement from shape params: `placement` is a strategy id of the
+/// placement registry (decomp/beacons.hpp) -- 0 deterministic greedy,
+/// 1 adversarial_far, 2 random with `density` (repaired to cover),
+/// 3 adversarial_clustered. Deterministic in (graph size, params): the
+/// placement is the instance. The default is the dense one-bit-per-node
+/// setting (random, density=1), which honors the theorems' bit-supply
+/// hypothesis at bench scales; benches sweep the adversarial placements
+/// explicitly (see beacon_placement_variants()).
 BeaconPlacement placement_from_params(const Graph& g, int h,
                                       const ParamMap& params) {
-  const int placement = param_int(params, "placement", 2);
-  switch (placement) {
-    case 0:
-      return place_beacons_greedy(g, h);
-    case 1:
-      return place_beacons_sparse(g, h);
-    case 2:
-      return place_beacons_random(
-          g, h, param(params, "density", 1.0),
-          mix3(0xBEAC0Bu, static_cast<std::uint64_t>(g.num_nodes()),
-               static_cast<std::uint64_t>(h)));
-    default:
-      RLOCAL_CHECK(false, "placement must be 0 (greedy), 1 (sparse) or "
-                          "2 (random)");
-      return {};
-  }
+  return place_beacons(
+      param_int(params, "placement", 2), g, h, param(params, "density", 1.0),
+      mix3(0xBEAC0Bu, static_cast<std::uint64_t>(g.num_nodes()),
+           static_cast<std::uint64_t>(h)));
 }
 
 OneBitOptions one_bit_options_from_params(const ParamMap& params) {
@@ -133,7 +123,7 @@ RunRecord run_one_bit(const Graph& g, const Regime& regime,
   OneBitResult result =
       pipeline(g, placement, beacon_bits, one_bit_options_from_params(params));
   RunRecord record;
-  record.rounds = result.rounds_charged;
+  record.cost.charge_rounds(result.rounds_charged);
   // The theorem's promise is conditional on Lemma 3.2's bit guarantee;
   // success reports "produced a total decomposition" and the hypothesis
   // shortfall is an observable of its own (E1/E5 tabulate it).
@@ -163,6 +153,9 @@ class OneBitSolver final : public Solver {
   std::vector<RegimeKind> supported_regimes() const override {
     return kScarceRegimes;  // the regime only supplies the beacons' bits
   }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kCongest;
+  }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
                 const ParamMap& params,
                 const RunContext& ctx) const override {
@@ -186,6 +179,9 @@ class OneBitStrongSolver final : public Solver {
   }
   std::vector<RegimeKind> supported_regimes() const override {
     return kScarceRegimes;
+  }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kCongest;
   }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
                 const ParamMap& params,
@@ -212,6 +208,9 @@ class BeaconClusterSolver final : public Solver {
   std::vector<RegimeKind> supported_regimes() const override {
     return kScarceRegimes;
   }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kCongest;
+  }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
                 const ParamMap& params,
                 const RunContext& ctx) const override {
@@ -235,7 +234,7 @@ class BeaconClusterSolver final : public Solver {
         !has_non_isolated || gather.min_bits_non_isolated >= k;
     record.checker_passed = check_partition(g, gather) &&
                             placement_covers(g, placement);
-    record.rounds = gather.rounds_charged;
+    record.cost.charge_rounds(gather.rounds_charged);
     record.objective = static_cast<double>(gather.centers.size());
     record.metrics["hypothesis_met"] = record.success ? 1.0 : 0.0;
     record.metrics["beacons"] = static_cast<double>(placement.beacons.size());
@@ -286,6 +285,9 @@ class ShatteringSolver final : public Solver {
   std::vector<RegimeKind> supported_regimes() const override {
     return kScarceRegimes;
   }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kCongest;
+  }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
                 const ParamMap& params,
                 const RunContext& ctx) const override {
@@ -296,7 +298,7 @@ class ShatteringSolver final : public Solver {
     options.en.shift_cap = param_int(params, "shift_cap", 0);
     ShatteringResult result = boosted_decomposition(g, rnd, options);
     RunRecord record;
-    record.rounds = result.total_rounds;
+    record.cost.charge_rounds(result.total_rounds);
     record.metrics["base_complete"] = result.base_complete ? 1.0 : 0.0;
     record.metrics["base_rounds"] = result.base_rounds;
     record.metrics["leftover_nodes"] = result.leftover_nodes;
@@ -325,6 +327,9 @@ class PretendNSolver final : public Solver {
   std::vector<RegimeKind> supported_regimes() const override {
     return kScarceRegimes;
   }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kCongest;
+  }
   RunRecord run(const Graph& g, const Regime& regime, std::uint64_t seed,
                 const ParamMap& params,
                 const RunContext& ctx) const override {
@@ -344,7 +349,7 @@ class PretendNSolver final : public Solver {
     options.shift_cap = param_int(params, "shift_cap", 2 * logN + 16);
     EnResult result = elkin_neiman_decomposition(g, rnd, options);
     RunRecord record;
-    record.rounds = result.rounds_charged;
+    record.cost.charge_rounds(result.rounds_charged);
     record.iterations = result.phases_used;
     record.metrics["pretended_n"] = static_cast<double>(pretended);
     record.metrics["phases"] = options.phases;
@@ -372,6 +377,9 @@ class BallCarvingSolver final : public Solver {
   std::vector<RegimeKind> supported_regimes() const override {
     return kAllRegimes;  // deterministic
   }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kSequentialSLocal;
+  }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
                 const ParamMap&,
                 const RunContext& ctx) const override {
@@ -398,6 +406,9 @@ class BruteForceSolver final : public Solver {
   }
   std::vector<RegimeKind> supported_regimes() const override {
     return kAllRegimes;  // exhaustive enumeration: no coins at all
+  }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kOracle;
   }
   RunRecord run(const Graph&, const Regime&, std::uint64_t,
                 const ParamMap& params,
@@ -455,6 +466,10 @@ class MisFromDecompositionSolver final : public Solver {
   std::vector<RegimeKind> supported_regimes() const override {
     return kAllRegimes;  // deterministic
   }
+  cost::CostModel cost_model() const override {
+    // Color-by-color with whole-cluster gathers: LOCAL-size messages.
+    return cost::CostModel::kLocal;
+  }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
                 const ParamMap&,
                 const RunContext& ctx) const override {
@@ -465,7 +480,7 @@ class MisFromDecompositionSolver final : public Solver {
     RunRecord record;
     record.success = true;
     record.checker_passed = is_maximal_independent_set(g, result.in_mis);
-    record.rounds = result.rounds_charged;
+    record.cost.charge_rounds(result.rounds_charged);
     int mis_size = 0;
     for (const bool b : result.in_mis) mis_size += b ? 1 : 0;
     record.objective = mis_size;
@@ -488,6 +503,9 @@ class ColoringFromDecompositionSolver final : public Solver {
   std::vector<RegimeKind> supported_regimes() const override {
     return kAllRegimes;  // deterministic
   }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kLocal;
+  }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
                 const ParamMap&,
                 const RunContext& ctx) const override {
@@ -499,7 +517,7 @@ class ColoringFromDecompositionSolver final : public Solver {
     record.success = true;
     record.checker_passed =
         is_valid_coloring(g, result.color, g.max_degree() + 1);
-    record.rounds = result.rounds_charged;
+    record.cost.charge_rounds(result.rounds_charged);
     int used = 0;
     for (const int c : result.color) used = std::max(used, c + 1);
     record.colors = used;
@@ -519,6 +537,9 @@ class SlocalMisSolver final : public Solver {
   }
   std::vector<RegimeKind> supported_regimes() const override {
     return kAllRegimes;  // deterministic
+  }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kSequentialSLocal;
   }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
                 const ParamMap&,
@@ -554,6 +575,9 @@ class SlocalColoringSolver final : public Solver {
   }
   std::vector<RegimeKind> supported_regimes() const override {
     return kAllRegimes;  // deterministic
+  }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kSequentialSLocal;
   }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
                 const ParamMap&,
@@ -592,6 +616,9 @@ class CondExpSplittingSolver final : public Solver {
   std::vector<RegimeKind> supported_regimes() const override {
     return kAllRegimes;  // deterministic
   }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kSequentialSLocal;
+  }
   RunRecord run(const Graph& g, const Regime&, std::uint64_t,
                 const ParamMap& params,
                 const RunContext& ctx) const override {
@@ -629,6 +656,19 @@ class CondExpSplittingSolver final : public Solver {
 };
 
 }  // namespace
+
+std::vector<ParamVariant> beacon_placement_variants(
+    const ParamMap& extra, const std::string& name_prefix) {
+  std::vector<ParamVariant> variants;
+  for (const PlacementStrategyInfo& info : beacon_placement_registry()) {
+    ParamVariant variant;
+    variant.name = name_prefix + info.name;
+    variant.params = extra;
+    variant.params["placement"] = static_cast<double>(info.id);
+    variants.push_back(std::move(variant));
+  }
+  return variants;
+}
 
 void register_pipeline_solvers(Registry& registry) {
   registry.add(std::make_unique<OneBitSolver>());

@@ -27,6 +27,7 @@ struct Cell {
   const Regime* regime = nullptr;
   const ParamVariant* variant = nullptr;
   const ParamMap* params = nullptr;  ///< spec params overlaid with variant's
+  int bandwidth_bits = 0;            ///< bandwidth-axis coordinate
   std::uint64_t user_seed = 0;
   bool skipped = false;
 };
@@ -49,6 +50,7 @@ store::StoreManifest manifest_from_spec(
   for (const ParamVariant& variant : spec.variants) {
     manifest.variants.push_back(variant.name);
   }
+  manifest.bandwidths = spec.bandwidths;
   manifest.seeds = spec.seeds;
   manifest.cell_deadline_ms = spec.cell_deadline_ms;
   return manifest;
@@ -96,25 +98,44 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
     }
   }
 
+  // Resolve the bandwidth axis: one implicit 0 ("model default") when none
+  // are given. A non-zero cap only binds CONGEST-model solvers; the rest of
+  // the grid is skipped per-solver below, like unsupported regimes.
+  std::vector<int> bandwidths = spec.bandwidths;
+  if (bandwidths.empty()) bandwidths.push_back(0);
+  for (std::size_t i = 0; i < bandwidths.size(); ++i) {
+    RLOCAL_CHECK(bandwidths[i] >= 0,
+                 "sweep bandwidth coordinates must be >= 0 (0 = default)");
+    for (std::size_t j = 0; j < i; ++j) {
+      RLOCAL_CHECK(bandwidths[j] != bandwidths[i],
+                   "duplicate sweep bandwidth coordinate " +
+                       std::to_string(bandwidths[i]));
+    }
+  }
+
   std::vector<Cell> cells;
   int cells_skipped = 0;
   std::uint64_t storable_cells = 0;
   for (const Solver* solver : solvers) {
     for (const ZooEntry& entry : spec.graphs) {
       for (const Regime& regime : spec.regimes) {
-        const bool supported = solver->supports(regime);
-        if (!supported) {
-          // Same unit as cells_run: one per grid cell incl. the variant and
-          // seed axes.
-          cells_skipped += static_cast<int>(variants.size()) *
-                           static_cast<int>(spec.seeds.size());
-          if (!spec.keep_unsupported) continue;
-        }
+        const bool regime_ok = solver->supports(regime);
         for (std::size_t v = 0; v < variants.size(); ++v) {
-          for (const std::uint64_t seed : spec.seeds) {
-            cells.push_back({solver, &entry, &regime, variants[v],
-                             &variant_params[v], seed, !supported});
-            if (supported) ++storable_cells;
+          for (const int bandwidth : bandwidths) {
+            const bool supported =
+                regime_ok && solver->supports_bandwidth(bandwidth);
+            if (!supported) {
+              // Same unit as cells_run: one per grid cell incl. the seed
+              // axis.
+              cells_skipped += static_cast<int>(spec.seeds.size());
+              if (!spec.keep_unsupported) continue;
+            }
+            for (const std::uint64_t seed : spec.seeds) {
+              cells.push_back({solver, &entry, &regime, variants[v],
+                               &variant_params[v], bandwidth, seed,
+                               !supported});
+              if (supported) ++storable_cells;
+            }
           }
         }
       }
@@ -152,7 +173,8 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
         const Cell& cell = cells[i];
         const std::uint64_t master =
             cell_seed(cell.user_seed, cell.solver->name(), cell.graph->name,
-                      cell.regime->name(), cell.variant->name);
+                      cell.regime->name(), cell.variant->name,
+                      cell.bandwidth_bits);
         // The fingerprint already pins the grid; these per-frame checks
         // catch a store whose shards were edited or mixed by hand.
         RLOCAL_CHECK(!cell.skipped && stored.cell_seed == master &&
@@ -160,6 +182,7 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
                          stored.record.graph == cell.graph->name &&
                          stored.record.regime == cell.regime->name() &&
                          stored.record.variant == cell.variant->name &&
+                         stored.record.bandwidth_bits == cell.bandwidth_bits &&
                          stored.record.seed == cell.user_seed,
                      "sweep store '" + store_options->dir +
                          "' frame does not match its grid cell " +
@@ -204,6 +227,7 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
         record.graph = cell.graph->name;
         record.regime = cell.regime->name();
         record.variant = cell.variant->name;
+        record.bandwidth_bits = cell.bandwidth_bits;
         record.seed = cell.user_seed;
         record.skipped = true;
         done[i] = 1;
@@ -218,9 +242,11 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
       }
       const std::uint64_t master =
           cell_seed(cell.user_seed, cell.solver->name(), cell.graph->name,
-                    cell.regime->name(), cell.variant->name);
+                    cell.regime->name(), cell.variant->name,
+                    cell.bandwidth_bits);
       const RunContext ctx =
-          RunContext::with_deadline_ms(spec.cell_deadline_ms);
+          RunContext::with_deadline_ms(spec.cell_deadline_ms)
+              .with_bandwidth_bits(cell.bandwidth_bits);
       {
         // Lazy zoo entries are built here and destroyed at scope exit --
         // before the record is appended to the store -- so peak memory is
@@ -312,6 +338,19 @@ std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
       mix3(user_seed, fnv1a(solver) ^ fnv1a(graph), fnv1a(regime));
   if (variant.empty()) return base;
   return mix3(base, fnv1a(variant), 0x76617269616E74ULL);  // "variant"
+}
+
+std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
+                        const std::string& graph, const std::string& regime,
+                        const std::string& variant, int bandwidth_bits) {
+  // Coordinate 0 (the model-default cap) contributes nothing, exactly like
+  // the empty variant: pre-bandwidth-axis grids keep their cell seeds, so
+  // old stores remain reproducible cell-for-cell.
+  const std::uint64_t base =
+      cell_seed(user_seed, solver, graph, regime, variant);
+  if (bandwidth_bits <= 0) return base;
+  return mix3(base, static_cast<std::uint64_t>(bandwidth_bits),
+              0x62616E647769ULL);  // "bandwi"
 }
 
 SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {

@@ -45,6 +45,12 @@ struct SweepSpec {
   /// Parameter-set axis; empty means one implicit variant ("", params).
   /// Duplicate variant names throw InvariantError before anything runs.
   std::vector<ParamVariant> variants;
+  /// Bandwidth axis (bits per message handed to engine-backed CONGEST
+  /// runs); empty means one implicit coordinate 0 = "the model's default
+  /// cap". Non-zero coordinates bind only bandwidth-bound (CONGEST-model)
+  /// solvers -- other solvers' non-zero cells are skipped exactly like
+  /// unsupported regimes. Negative or duplicate entries throw.
+  std::vector<int> bandwidths;
   int threads = 0;  ///< worker count; <= 0 -> hardware_concurrency
   /// Unsupported (solver, regime) cells: false drops them (counted in
   /// cells_skipped), true keeps a RunRecord with skipped = true.
@@ -103,11 +109,16 @@ SweepResult run_sweep(const SweepSpec& spec, const StoreOptions& store);
 
 /// The per-cell master seed derivation (exposed for tests / reproducing a
 /// single cell outside a sweep). The 4-argument form is the empty-variant
-/// cell.
+/// cell; the 6-argument form adds the bandwidth coordinate (0 -- the
+/// default cap -- contributes nothing, so pre-bandwidth-axis grids keep
+/// their exact seeds, like the empty variant before it).
 std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
                         const std::string& graph, const std::string& regime);
 std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
                         const std::string& graph, const std::string& regime,
                         const std::string& variant);
+std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
+                        const std::string& graph, const std::string& regime,
+                        const std::string& variant, int bandwidth_bits);
 
 }  // namespace rlocal::lab

@@ -1,5 +1,6 @@
 #include "rnd/kwise.hpp"
 
+#include <bit>
 #include <cmath>
 
 namespace rlocal {
@@ -34,6 +35,76 @@ std::uint64_t KWiseGenerator::value(std::uint64_t point) const {
     memo_valid_ = true;
   }
   return acc;
+}
+
+void KWiseGenerator::values(std::span<const std::uint64_t> points,
+                            std::span<std::uint64_t> out) const {
+  RLOCAL_CHECK(out.size() >= points.size(),
+               "values() output span is shorter than the point span");
+  const std::size_t count = points.size();
+  const std::size_t k = coefficients_.size();
+  std::size_t i = 0;
+  // Four interleaved Horner chains. A single GF(2^m) product is a long
+  // *dependent* shift/xor chain (GF2m::mul), so evaluating one point at a
+  // time leaves the core mostly stalled on it; here each multiply step is
+  // a branchless fixed-trip loop over four independent accumulators, so
+  // the four chains overlap. The arithmetic is identical to value().
+  for (; i + 4 <= count; i += 4) {
+    const std::uint64_t x0 = points[i], x1 = points[i + 1];
+    const std::uint64_t x2 = points[i + 2], x3 = points[i + 3];
+    RLOCAL_CHECK(((x0 | x1 | x2 | x3) & ~field_.mask()) == 0,
+                 "evaluation point exceeds field size");
+    // Bits above the widest point of the block contribute nothing to any
+    // lane, so the multiply loop stops there -- matching GF2m::mul's
+    // early exit (draw points pack (node, stream, chunk) into the low
+    // bits, so this is the common case, not an edge case).
+    const int significant_bits = std::bit_width(x0 | x1 | x2 | x3);
+    const std::uint64_t low = field_.low_poly();
+    const std::uint64_t mask = field_.mask();
+    const int msb = field_.degree() - 1;
+    std::uint64_t a0 = coefficients_.back(), a1 = a0, a2 = a0, a3 = a0;
+    for (std::size_t c = k - 1; c-- > 0;) {
+      std::uint64_t r0 = 0, r1 = 0, r2 = 0, r3 = 0;
+      std::uint64_t b0 = x0, b1 = x1, b2 = x2, b3 = x3;
+      for (int j = 0; j < significant_bits; ++j) {
+        // (0 - bit) is all-ones when the bit is set: both the "xor the
+        // current a * x^j term" and the reduction step of x-multiplication
+        // are masks, never branches -- point and carry bits are ~uniform,
+        // so a branch here would mispredict half the time.
+        r0 ^= (0 - (b0 & 1ULL)) & a0;
+        r1 ^= (0 - (b1 & 1ULL)) & a1;
+        r2 ^= (0 - (b2 & 1ULL)) & a2;
+        r3 ^= (0 - (b3 & 1ULL)) & a3;
+        b0 >>= 1;
+        b1 >>= 1;
+        b2 >>= 1;
+        b3 >>= 1;
+        a0 = ((a0 << 1) & mask) ^ (low & (0 - ((a0 >> msb) & 1ULL)));
+        a1 = ((a1 << 1) & mask) ^ (low & (0 - ((a1 >> msb) & 1ULL)));
+        a2 = ((a2 << 1) & mask) ^ (low & (0 - ((a2 >> msb) & 1ULL)));
+        a3 = ((a3 << 1) & mask) ^ (low & (0 - ((a3 >> msb) & 1ULL)));
+      }
+      const std::uint64_t coeff = coefficients_[c];
+      a0 = r0 ^ coeff;
+      a1 = r1 ^ coeff;
+      a2 = r2 ^ coeff;
+      a3 = r3 ^ coeff;
+    }
+    out[i] = a0;
+    out[i + 1] = a1;
+    out[i + 2] = a2;
+    out[i + 3] = a3;
+  }
+  for (; i < count; ++i) {
+    const std::uint64_t x = points[i];
+    RLOCAL_CHECK((x & ~field_.mask()) == 0,
+                 "evaluation point exceeds field size");
+    std::uint64_t acc = coefficients_.back();
+    for (std::size_t c = k - 1; c-- > 0;) {
+      acc = field_.mul(acc, x) ^ coefficients_[c];
+    }
+    out[i] = acc;
+  }
 }
 
 bool KWiseGenerator::bernoulli(std::uint64_t point, double p) const {

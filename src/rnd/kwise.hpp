@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "rnd/bitsource.hpp"
@@ -37,6 +38,17 @@ class KWiseGenerator {
   /// points give jointly independent uniform values. Repeated evaluation at
   /// the most recent point is O(1) (see the memo note in the file comment).
   std::uint64_t value(std::uint64_t point) const;
+
+  /// Batch evaluation at many (typically *distinct*) points --
+  /// `out[i] = value(points[i])`, but the Horner recurrences of four points
+  /// are interleaved so their GF(2^m) multiplication chains overlap instead
+  /// of serializing (the last-point memo only helps *repeated* points; this
+  /// is the distinct-point complement, see BM_KWiseDistinctPointDraws).
+  /// Does not read or update the memo. `out` may be the *same* span as
+  /// `points` (in-place evaluation); any other overlap is undefined --
+  /// blocks of outputs are written before later points are read.
+  void values(std::span<const std::uint64_t> points,
+              std::span<std::uint64_t> out) const;
 
   /// Disables/enables the last-point memo (default: enabled). The produced
   /// values are identical either way; this only exists so benchmarks can

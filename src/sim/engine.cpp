@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cost/meter.hpp"
 #include "support/math.hpp"
 
 namespace rlocal {
@@ -75,6 +76,16 @@ EngineStats Engine::run(const ProgramFactory& factory) {
   for (NodeId v = 0; v < n; ++v) programs_.push_back(factory(v));
 
   stats_ = EngineStats{};
+  // Report whatever executed into the active cost meter on EVERY exit --
+  // normal completion, the engine's own per-round deadline check, and
+  // exceptions thrown from program code (a NodeRandomness draw checkpoint
+  // expiring mid-round, a CongestViolation from submit). The partial cost
+  // a deadline/violation record carries depends on this firing during
+  // unwinding too.
+  struct MeterReport {
+    const Engine* engine;
+    ~MeterReport() { engine->report_run_to_meter(); }
+  } report{this};
   pending_.clear();
   port_used_.assign(static_cast<std::size_t>(n), {});
   for (NodeId v = 0; v < n; ++v) {
@@ -100,8 +111,14 @@ EngineStats Engine::run(const ProgramFactory& factory) {
     Context ctx = make_context(v, 0);
     programs_[static_cast<std::size_t>(v)]->on_start(ctx);
   }
+  stats_.per_round_messages.push_back(stats_.messages);
 
   for (int round = 1; round <= options_.max_rounds; ++round) {
+    // Per-round cooperative cancellation (a sweep cell's deadline token
+    // reaches the engine here; no-op outside a metered run). The rounds
+    // and messages executed before expiry still reach the meter via the
+    // MeterReport guard above.
+    cost::checkpoint();
     // Check halting before delivering: if everyone halted we are done.
     bool all_halted = true;
     for (NodeId v = 0; v < n; ++v) {
@@ -127,20 +144,34 @@ EngineStats Engine::run(const ProgramFactory& factory) {
     }
 
     stats_.rounds = round;
+    const std::int64_t messages_before = stats_.messages;
     for (NodeId v = 0; v < n; ++v) {
       auto& program = *programs_[static_cast<std::size_t>(v)];
       if (program.halted()) continue;
       Context ctx = make_context(v, round);
       program.on_round(ctx);
     }
+    stats_.per_round_messages.push_back(stats_.messages - messages_before);
   }
 
-  stats_.completed = false;
-  for (NodeId v = 0; v < n; ++v) {
-    if (!programs_[static_cast<std::size_t>(v)]->halted()) return stats_;
-  }
   stats_.completed = true;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!programs_[static_cast<std::size_t>(v)]->halted()) {
+      stats_.completed = false;
+      break;
+    }
+  }
   return stats_;
+}
+
+void Engine::report_run_to_meter() const {
+  // The LOCAL model enforces no cap, so it reports 0 -- the cost ledger's
+  // "zero-bit-cap" invariant for non-CONGEST runs.
+  cost::record_engine_run(
+      stats_.rounds, stats_.messages, stats_.total_bits,
+      stats_.max_message_bits,
+      options_.model == CommModel::kCongest ? bandwidth_bits_ : 0,
+      stats_.per_round_messages);
 }
 
 }  // namespace rlocal

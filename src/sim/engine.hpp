@@ -104,6 +104,9 @@ struct EngineStats {
   std::int64_t total_bits = 0;
   int max_message_bits = 0;
   bool completed = false;  ///< all programs halted within max_rounds
+  /// Messages submitted per round (index 0 = on_start sends). The raw data
+  /// behind the cost ledger's per-round p50/p95/max histogram.
+  std::vector<std::int64_t> per_round_messages;
 };
 
 class Engine {
@@ -127,6 +130,9 @@ class Engine {
  private:
   friend class Context;
   void submit(NodeId from, int port, Message message);
+  /// Reports the finished run into the active cost meter (cost/meter.hpp);
+  /// no-op outside a metered cell.
+  void report_run_to_meter() const;
 
   const Graph* graph_;
   EngineOptions options_;

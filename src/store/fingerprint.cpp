@@ -54,7 +54,11 @@ std::uint64_t graph_fingerprint(const Graph& g) {
 std::uint64_t sweep_fingerprint(const lab::Registry& registry,
                                 const lab::SweepSpec& spec) {
   Digest digest;
-  digest.feed("rlocal.sweep_fingerprint/1");
+  // /2 adds the bandwidth axis (and implies cost-block frames); bumping the
+  // tag retires every /1-era store from resume on purpose -- their frames
+  // carry no cost blocks, so mixing them into a /3 record set would produce
+  // records downstream validation rejects.
+  digest.feed("rlocal.sweep_fingerprint/2");
 
   digest.feed("solvers");
   if (spec.solvers.empty()) {
@@ -92,6 +96,18 @@ std::uint64_t sweep_fingerprint(const lab::Registry& registry,
     for (const auto& [key, value] : variant.params) {
       digest.feed(key);
       digest.feed(value);
+    }
+  }
+
+  // Resolved like run_sweep resolves it: an empty axis is the single
+  // implicit coordinate 0, so spelling the default explicitly fingerprints
+  // identically (the record sets are identical).
+  digest.feed("bandwidths");
+  if (spec.bandwidths.empty()) {
+    digest.feed(static_cast<std::uint64_t>(0));
+  } else {
+    for (const int bandwidth : spec.bandwidths) {
+      digest.feed(static_cast<std::uint64_t>(bandwidth));
     }
   }
 

@@ -1,39 +1,67 @@
 #include "store/record_io.hpp"
 
+#include <algorithm>
+#include <climits>
 #include <sstream>
 
 #include "support/assert.hpp"
 #include "support/json.hpp"
 
 namespace rlocal::store {
-namespace {
 
 /// The one definition of the frame's record fields (fixed order; see file
-/// comment of record_io.hpp). emit_json in lab/emit.cpp mirrors this shape
-/// for whole-run artifacts.
+/// comment of record_io.hpp). emit_json in lab/emit.cpp reuses it for
+/// whole-run artifacts (with the read-side "resumed" marker included).
 void write_record_fields(JsonWriter& w, const lab::RunRecord& r,
-                         bool include_wall_ms) {
+                         bool include_wall_ms, bool include_resumed) {
   w.field("solver", r.solver);
   w.field("problem", r.problem);
   w.field("graph", r.graph);
   w.field("regime", r.regime);
   if (!r.variant.empty()) w.field("variant", r.variant);
+  if (r.bandwidth_bits > 0) w.field("bandwidth_bits", r.bandwidth_bits);
   w.field("seed", r.seed);
   if (r.skipped) {
     w.field("skipped", true);
     return;
   }
+  // Restored-from-store cells carry their original run's observables and
+  // wall time; the marker lets downstream aggregation (the CI regression
+  // gate) exclude them from per-process timing totals. Never persisted in
+  // frames -- it describes how *this* process obtained the record.
+  if (include_resumed && r.resumed) w.field("resumed", true);
   w.field("success", r.success);
   w.field("checker_passed", r.checker_passed);
   if (!r.error.empty()) w.field("error", r.error);
   if (r.colors >= 0) w.field("colors", r.colors);
-  if (r.rounds >= 0) w.field("rounds", r.rounds);
   if (r.iterations >= 0) w.field("iterations", r.iterations);
   if (r.diameter >= 0) w.field("diameter", r.diameter);
   w.field("objective", r.objective);
   w.field("shared_seed_bits", r.shared_seed_bits);
   w.field("derived_bits", r.derived_bits);
   if (include_wall_ms) w.field("wall_ms", r.wall_ms);
+  // The typed cost block (src/cost/): fixed key order, negatives ("not
+  // measured") omitted, so encode(decode(frame)) stays byte-identical.
+  // Replaces the pre-/3 top-level "rounds" observable.
+  if (r.cost.populated) {
+    w.key("cost");
+    w.begin_object();
+    w.field("model", cost::cost_model_name(r.cost.model));
+    if (r.cost.rounds >= 0) w.field("rounds", r.cost.rounds);
+    if (r.cost.messages >= 0) w.field("messages", r.cost.messages);
+    if (r.cost.total_bits >= 0) w.field("total_bits", r.cost.total_bits);
+    if (r.cost.max_message_bits > 0) {
+      w.field("max_message_bits", r.cost.max_message_bits);
+    }
+    w.field("bandwidth_bits", r.cost.bandwidth_bits);
+    if (r.cost.engine_runs > 0) w.field("engine_runs", r.cost.engine_runs);
+    if (r.cost.msgs_per_round_p50 >= 0) {
+      w.field("msgs_p50", r.cost.msgs_per_round_p50);
+      w.field("msgs_p95", r.cost.msgs_per_round_p95);
+      w.field("msgs_max", r.cost.msgs_per_round_max);
+    }
+    w.end_object();
+  }
   if (!r.metrics.empty()) {
     w.key("metrics");
     w.begin_object();
@@ -41,8 +69,6 @@ void write_record_fields(JsonWriter& w, const lab::RunRecord& r,
     w.end_object();
   }
 }
-
-}  // namespace
 
 std::string encode_frame(const StoredRecord& stored) {
   std::ostringstream out;
@@ -87,7 +113,7 @@ std::optional<StoredRecord> decode_frame(std::string_view line) {
     r.checker_passed = v.bool_or("checker_passed", false);
     r.error = v.string_or("error", "");
     r.colors = static_cast<int>(v.number_or("colors", -1));
-    r.rounds = static_cast<int>(v.number_or("rounds", -1));
+    r.bandwidth_bits = static_cast<int>(v.number_or("bandwidth_bits", 0));
     r.iterations = static_cast<int>(v.number_or("iterations", -1));
     r.diameter = static_cast<int>(v.number_or("diameter", -1));
     r.objective = v.number_or("objective", 0.0);
@@ -100,6 +126,36 @@ std::optional<StoredRecord> decode_frame(std::string_view line) {
     r.shared_seed_bits = shared_bits->as_uint64();
     r.derived_bits = derived_bits->as_uint64();
     r.wall_ms = v.number_or("wall_ms", 0.0);
+    if (const JsonValue* block = v.find("cost");
+        block != nullptr && block->is_object()) {
+      const std::string model = block->string_or("model", "");
+      if (model.empty()) return std::nullopt;
+      r.cost.model = cost::cost_model_from_name(model);  // throws -> torn
+      r.cost.populated = true;
+      r.cost.rounds =
+          static_cast<std::int64_t>(block->number_or("rounds", -1));
+      r.cost.messages =
+          static_cast<std::int64_t>(block->number_or("messages", -1));
+      r.cost.total_bits =
+          static_cast<std::int64_t>(block->number_or("total_bits", -1));
+      r.cost.max_message_bits =
+          static_cast<int>(block->number_or("max_message_bits", 0));
+      r.cost.bandwidth_bits =
+          static_cast<int>(block->number_or("bandwidth_bits", 0));
+      r.cost.engine_runs =
+          static_cast<int>(block->number_or("engine_runs", 0));
+      r.cost.msgs_per_round_p50 =
+          static_cast<std::int64_t>(block->number_or("msgs_p50", -1));
+      r.cost.msgs_per_round_p95 =
+          static_cast<std::int64_t>(block->number_or("msgs_p95", -1));
+      r.cost.msgs_per_round_max =
+          static_cast<std::int64_t>(block->number_or("msgs_max", -1));
+      // Mirror for the legacy observable (summary tables of resumed runs).
+      r.rounds = r.cost.rounds < 0
+                     ? -1
+                     : static_cast<int>(std::min<std::int64_t>(
+                           r.cost.rounds, INT_MAX));
+    }
     if (const JsonValue* metrics = v.find("metrics");
         metrics != nullptr && metrics->is_object()) {
       for (const auto& [key, value] : metrics->as_object()) {

@@ -12,8 +12,13 @@
 // Each frame carries two store-level coordinates ahead of the record:
 //   cell_index -- the cell's position in the sweep's deterministic grid
 //                 enumeration (the merge key);
-//   cell_seed  -- the 5-coordinate mixed master seed (lab::cell_seed), a
-//                 redundant integrity check against grid drift.
+//   cell_seed  -- the 6-coordinate mixed master seed (lab::cell_seed,
+//                 incl. the bandwidth axis), a redundant integrity check
+//                 against grid drift.
+//
+// The record body includes the typed cost block (lab::RunRecord::cost,
+// src/cost/) with a fixed key order and negative "not measured" scalars
+// omitted, preserving the byte-identity property.
 #pragma once
 
 #include <optional>
@@ -21,8 +26,17 @@
 #include <string_view>
 
 #include "lab/record.hpp"
+#include "support/json.hpp"
 
 namespace rlocal::store {
+
+/// Writes one record's fields in the canonical fixed order (shared by
+/// shard frames and lab::emit_json whole-run artifacts, so the two formats
+/// diff cleanly). `include_wall_ms` gates the one nondeterministic field;
+/// `include_resumed` additionally emits the read-side "resumed" marker
+/// (whole-run artifacts only -- frames never persist it).
+void write_record_fields(JsonWriter& w, const lab::RunRecord& r,
+                         bool include_wall_ms, bool include_resumed = false);
 
 struct StoredRecord {
   std::uint64_t cell_index = 0;

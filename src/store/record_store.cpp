@@ -131,6 +131,10 @@ void write_manifest_json(std::ostream& out, const StoreManifest& manifest) {
   string_array("graphs", manifest.graphs);
   string_array("regimes", manifest.regimes);
   string_array("variants", manifest.variants);
+  w.key("bandwidth_bits");
+  w.begin_array();
+  for (const int bandwidth : manifest.bandwidths) w.value(bandwidth);
+  w.end_array();
   w.key("seeds");
   w.begin_array();
   for (const std::uint64_t seed : manifest.seeds) w.value(seed);
@@ -177,6 +181,15 @@ StoreManifest parse_manifest(const std::string& path, const std::string& text) {
     manifest.graphs = strings("graphs");
     manifest.regimes = strings("regimes");
     manifest.variants = strings("variants");
+    if (const JsonValue* bandwidths = spec->find("bandwidth_bits");
+        bandwidths != nullptr && bandwidths->is_array()) {
+      for (const JsonValue& bandwidth : bandwidths->as_array()) {
+        if (bandwidth.is_number()) {
+          manifest.bandwidths.push_back(
+              static_cast<int>(bandwidth.as_int64()));
+        }
+      }
+    }
     if (const JsonValue* seeds = spec->find("seeds");
         seeds != nullptr && seeds->is_array()) {
       for (const JsonValue& seed : seeds->as_array()) {

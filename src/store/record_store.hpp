@@ -28,7 +28,10 @@
 
 namespace rlocal::store {
 
-inline constexpr const char* kStoreSchema = "rlocal.store/1";
+// /2: frames carry the typed cost block + bandwidth coordinate and the
+// manifest echoes the bandwidth axis (ISSUE 4). /1 stores predate the cost
+// ledger and cannot be resumed (their fingerprints use the /1 rule anyway).
+inline constexpr const char* kStoreSchema = "rlocal.store/2";
 
 struct StoreManifest {
   std::string fingerprint;  ///< 16-hex canonical spec fingerprint
@@ -43,6 +46,7 @@ struct StoreManifest {
   std::vector<std::string> graphs;
   std::vector<std::string> regimes;
   std::vector<std::string> variants;
+  std::vector<int> bandwidths;  ///< bandwidth axis; empty = implicit {0}
   std::vector<std::uint64_t> seeds;
   double cell_deadline_ms = 0;
 };

@@ -2,6 +2,8 @@
 // including the lemma's bit-count property under the paper's own h'.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "decomp/beacons.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
@@ -20,7 +22,53 @@ TEST_P(ZooPlacements, AllPlacementsHonorThePromise) {
     EXPECT_TRUE(placement_covers(g, place_beacons_sparse(g, h))) << h;
     EXPECT_TRUE(placement_covers(g, place_beacons_random(g, h, 0.1, 3)))
         << h;
+    EXPECT_TRUE(placement_covers(g, place_beacons_clustered(g, h))) << h;
   }
+}
+
+TEST(PlacementRegistry, NamesAndIdsRoundTrip) {
+  const auto& registry = beacon_placement_registry();
+  ASSERT_EQ(registry.size(), 4u);
+  for (const PlacementStrategyInfo& info : registry) {
+    EXPECT_EQ(beacon_placement_id(info.name), info.id);
+    EXPECT_STREQ(beacon_placement_name(info.id), info.name);
+  }
+  EXPECT_EQ(beacon_placement_id("deterministic"), 0);
+  EXPECT_EQ(beacon_placement_id("adversarial_far"), 1);
+  EXPECT_EQ(beacon_placement_id("random"), 2);
+  EXPECT_EQ(beacon_placement_id("adversarial_clustered"), 3);
+  EXPECT_THROW(beacon_placement_id("no_such"), InvariantError);
+  EXPECT_THROW(beacon_placement_name(42), InvariantError);
+}
+
+TEST(PlacementRegistry, DispatchMatchesDirectCalls) {
+  const Graph g = make_grid(7, 7);
+  const int h = 2;
+  EXPECT_EQ(place_beacons(0, g, h, 1.0, 3).beacons,
+            place_beacons_greedy(g, h).beacons);
+  EXPECT_EQ(place_beacons(1, g, h, 1.0, 3).beacons,
+            place_beacons_sparse(g, h).beacons);
+  EXPECT_EQ(place_beacons(2, g, h, 0.25, 3).beacons,
+            place_beacons_random(g, h, 0.25, 3).beacons);
+  EXPECT_EQ(place_beacons(3, g, h, 1.0, 3).beacons,
+            place_beacons_clustered(g, h).beacons);
+  EXPECT_THROW(place_beacons(9, g, h, 1.0, 3), InvariantError);
+}
+
+TEST(PlacementRegistry, ClusteredPlacementIsClumpedAndDeterministic) {
+  // On a long path with h = 1 the clump around the min-id endpoint covers
+  // only its neighborhood; the repair must add the rest, and the result
+  // must be identical across calls (it is the adversary's instance).
+  const Graph g = make_path(40);
+  const BeaconPlacement a = place_beacons_clustered(g, 1);
+  const BeaconPlacement b = place_beacons_clustered(g, 1);
+  EXPECT_EQ(a.beacons, b.beacons);
+  EXPECT_TRUE(placement_covers(g, a));
+  // The clump: min-id node and its h-ball are all beacons.
+  EXPECT_TRUE(std::find(a.beacons.begin(), a.beacons.end(), 0) !=
+              a.beacons.end());
+  EXPECT_TRUE(std::find(a.beacons.begin(), a.beacons.end(), 1) !=
+              a.beacons.end());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,510 @@
+// The cost-accounting subsystem (src/cost/): model registry, ledger
+// charging/metering semantics, engine-stats agreement on real programs,
+// the LOCAL zero-bit-cap invariant, mischarge detection as a checker
+// failure, cross-thread determinism of cost blocks, and store round-trip +
+// resume byte-identity of rlocal.sweep/3 frames over a bandwidth axis.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "core/api.hpp"
+#include "cost/meter.hpp"
+#include "store/store.hpp"
+
+namespace rlocal {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ----------------------------------------------------------------- models
+
+TEST(CostModel, RegistryNamesRoundTrip) {
+  const auto& registry = cost::cost_model_registry();
+  ASSERT_EQ(registry.size(), 4u);
+  for (const cost::CostModelSpec& spec : registry) {
+    EXPECT_EQ(cost::cost_model_name(spec.model), spec.name);
+    EXPECT_EQ(cost::cost_model_from_name(spec.name), spec.model);
+  }
+  EXPECT_EQ(cost::cost_model_name(cost::CostModel::kLocal), "local");
+  EXPECT_EQ(cost::cost_model_name(cost::CostModel::kCongest), "congest");
+  EXPECT_EQ(cost::cost_model_name(cost::CostModel::kSequentialSLocal),
+            "slocal");
+  EXPECT_EQ(cost::cost_model_name(cost::CostModel::kOracle), "oracle");
+  EXPECT_THROW(cost::cost_model_from_name("quantum"), InvariantError);
+  // Only CONGEST is bandwidth-bound; only the synchronous models count
+  // rounds.
+  EXPECT_TRUE(cost::cost_model_spec(cost::CostModel::kCongest)
+                  .bandwidth_bound);
+  EXPECT_FALSE(cost::cost_model_spec(cost::CostModel::kLocal)
+                   .bandwidth_bound);
+  EXPECT_TRUE(cost::cost_model_spec(cost::CostModel::kLocal).synchronous);
+  EXPECT_FALSE(cost::cost_model_spec(cost::CostModel::kOracle).synchronous);
+}
+
+TEST(CostModel, EveryRegistrySolverDeclaresOne) {
+  // ISSUE 4 acceptance: all 20 solvers declare a CostModel (the pure
+  // virtual enforces it at compile time; this pins the assignments'
+  // consistency with supports_bandwidth).
+  const lab::Registry& registry = lab::Registry::global();
+  EXPECT_GE(registry.size(), 20u);
+  for (const lab::Solver* solver : registry.solvers()) {
+    const cost::CostModelSpec& spec =
+        cost::cost_model_spec(solver->cost_model());
+    EXPECT_TRUE(solver->supports_bandwidth(0)) << solver->name();
+    EXPECT_EQ(solver->supports_bandwidth(64), spec.bandwidth_bound)
+        << solver->name();
+  }
+  // Spot checks of the declared models.
+  EXPECT_EQ(registry.at("mis/luby").cost_model(),
+            cost::CostModel::kCongest);
+  EXPECT_EQ(registry.at("splitting/random").cost_model(),
+            cost::CostModel::kLocal);
+  EXPECT_EQ(registry.at("mis/greedy").cost_model(),
+            cost::CostModel::kSequentialSLocal);
+  EXPECT_EQ(registry.at("derand/brute_force").cost_model(),
+            cost::CostModel::kOracle);
+}
+
+// ----------------------------------------------------------------- ledger
+
+TEST(CostLedger, ChargingAndResolution) {
+  cost::CostLedger ledger;
+  EXPECT_EQ(ledger.rounds, -1);
+  EXPECT_EQ(ledger.messages, -1);
+  ledger.charge_rounds(3);
+  ledger.charge_rounds(4);
+  ledger.charge_messages(10, 320);
+  ledger.finalize();
+  EXPECT_EQ(ledger.rounds, 7);
+  EXPECT_EQ(ledger.messages, 10);
+  EXPECT_EQ(ledger.total_bits, 320);
+  EXPECT_FALSE(ledger.mischarge);
+  // No engine ran: the histogram stays unmeasured.
+  EXPECT_EQ(ledger.msgs_per_round_p50, -1);
+  EXPECT_THROW(ledger.charge_rounds(-1), InvariantError);
+}
+
+TEST(CostLedger, EngineObservationsAndHistogram) {
+  cost::CostLedger ledger;
+  ledger.observe_engine(/*rounds=*/3, /*messages=*/60, /*bits=*/600,
+                        /*max_message_bits=*/32, /*bandwidth=*/64,
+                        {10, 20, 30});
+  ledger.observe_engine(/*rounds=*/1, /*messages=*/40, /*bits=*/100,
+                        /*max_message_bits=*/48, /*bandwidth=*/48,
+                        {40});
+  ledger.finalize();
+  EXPECT_EQ(ledger.engine_runs, 2);
+  EXPECT_EQ(ledger.rounds, 4);  // no explicit charge: engine rounds win
+  EXPECT_EQ(ledger.messages, 100);
+  EXPECT_EQ(ledger.total_bits, 700);
+  EXPECT_EQ(ledger.max_message_bits, 48);
+  EXPECT_EQ(ledger.bandwidth_bits, 64);  // largest cap enforced
+  // Histogram over {10, 20, 30, 40}: lower median 20, p95 = max = 40.
+  EXPECT_EQ(ledger.msgs_per_round_p50, 20);
+  EXPECT_EQ(ledger.msgs_per_round_p95, 40);
+  EXPECT_EQ(ledger.msgs_per_round_max, 40);
+  EXPECT_FALSE(ledger.mischarge);
+}
+
+TEST(CostLedger, MischargeIsUnderchargingOnly) {
+  cost::CostLedger under;
+  under.charge_rounds(2);
+  under.observe_engine(3, 1, 1, 1, 0, {1, 1, 1});
+  under.finalize();
+  EXPECT_TRUE(under.mischarge);
+  EXPECT_NE(under.mischarge_reason().find("cost:"), std::string::npos);
+
+  cost::CostLedger over;  // model cost above simulated cost is legal
+  over.charge_rounds(5);
+  over.observe_engine(3, 1, 1, 1, 0, {1, 1, 1});
+  over.finalize();
+  EXPECT_FALSE(over.mischarge);
+  EXPECT_EQ(over.rounds, 5);  // the explicit (model) charge wins
+
+  cost::CostLedger engine_only;  // no explicit charge: nothing to contradict
+  engine_only.observe_engine(3, 1, 1, 1, 0, {1, 1, 1});
+  engine_only.finalize();
+  EXPECT_FALSE(engine_only.mischarge);
+}
+
+// ------------------------------------------------- engine-stats agreement
+
+TEST(CostMeter, FloodProgramLedgerMatchesEngineStats) {
+  const Graph g = make_grid(6, 6);
+  cost::CostLedger ledger;
+  EngineStats stats;
+  {
+    cost::MeterScope scope(&ledger);
+    EXPECT_TRUE(cost::meter_active());
+    stats = run_flood_min(g, /*depth=*/5).stats;
+  }
+  EXPECT_FALSE(cost::meter_active());
+  ledger.finalize();
+  EXPECT_EQ(ledger.engine_runs, 1);
+  EXPECT_EQ(ledger.rounds, stats.rounds);
+  EXPECT_EQ(ledger.messages, stats.messages);
+  EXPECT_EQ(ledger.total_bits, stats.total_bits);
+  EXPECT_EQ(ledger.max_message_bits, stats.max_message_bits);
+  EXPECT_GT(ledger.bandwidth_bits, 0);  // CONGEST default cap was enforced
+  // The histogram is the per-round message counts the engine recorded.
+  std::int64_t histogram_total = 0;
+  for (const std::int64_t count : stats.per_round_messages) {
+    histogram_total += count;
+  }
+  EXPECT_EQ(histogram_total, stats.messages);
+  EXPECT_EQ(ledger.msgs_per_round_max,
+            *std::max_element(stats.per_round_messages.begin(),
+                              stats.per_round_messages.end()));
+}
+
+TEST(CostMeter, LubyEngineCellIsMeteredNotHandCharged) {
+  // The acceptance bar: an engine-backed solver's messages/bits come from
+  // EngineStats. Run the same cell manually and through run_cell; the
+  // record's cost block must equal the engine's own accounting.
+  const Graph g = make_gnp(60, 5.0 / 60, 17);
+  const std::uint64_t seed = 7;
+  const lab::ParamMap params = {{"engine", 1.0}};
+  const lab::RunRecord record = lab::Registry::global().run_cell(
+      "mis/luby", g, "gnp", Regime::full(), seed, params);
+  ASSERT_EQ(record.error, "");
+  ASSERT_TRUE(record.checker_passed);
+  ASSERT_TRUE(record.cost.populated);
+  EXPECT_EQ(record.cost.model, cost::CostModel::kCongest);
+  EXPECT_EQ(record.cost.engine_runs, 1);
+
+  NodeRandomness rnd(Regime::full(), seed);
+  const LubyMisResult direct = run_luby_mis(g, rnd);
+  EXPECT_EQ(record.cost.rounds, direct.stats.rounds);
+  EXPECT_EQ(record.cost.messages, direct.stats.messages);
+  EXPECT_EQ(record.cost.total_bits, direct.stats.total_bits);
+  EXPECT_EQ(record.cost.max_message_bits, direct.stats.max_message_bits);
+  EXPECT_EQ(record.rounds, direct.stats.rounds);  // the mirror agrees
+  EXPECT_GT(record.cost.msgs_per_round_max, 0);
+}
+
+TEST(CostMeter, ReferenceCellChargesExplicitlyWithoutMetering) {
+  const Graph g = make_grid(6, 6);
+  const lab::RunRecord record = lab::Registry::global().run_cell(
+      "mis/luby", g, "grid", Regime::full(), 3);
+  ASSERT_TRUE(record.cost.populated);
+  EXPECT_EQ(record.cost.engine_runs, 0);
+  EXPECT_EQ(record.cost.messages, -1);  // never on a simulated wire
+  EXPECT_EQ(record.cost.rounds, 2 * record.iterations);
+  EXPECT_EQ(record.cost.bandwidth_bits, 0);
+}
+
+// ------------------------------------------------------ model invariants
+
+TEST(CostInvariant, NonCongestSolversNeverEnforceABitCap) {
+  // The LOCAL-model zero-bit-cap invariant: solvers whose model is not
+  // bandwidth-bound must report bandwidth_bits == 0 in every cost block
+  // (nothing enforced a cap on them), across the whole smoke grid.
+  lab::SweepSpec spec;
+  spec.graphs = {{"grid", make_grid(6, 6)}};
+  spec.regimes = {Regime::full()};
+  spec.seeds = {1, 2};
+  spec.threads = 2;
+  const lab::SweepResult result = lab::run_sweep(spec);
+  int non_congest_records = 0;
+  for (const lab::RunRecord& r : result.records) {
+    if (r.skipped) continue;
+    ASSERT_TRUE(r.cost.populated) << r.solver;
+    if (r.cost.model != cost::CostModel::kCongest) {
+      ++non_congest_records;
+      EXPECT_EQ(r.cost.bandwidth_bits, 0) << r.solver;
+    }
+  }
+  EXPECT_GT(non_congest_records, 0);
+}
+
+TEST(CostInvariant, BandwidthAxisSkipsNonCongestSolvers) {
+  lab::SweepSpec spec;
+  spec.graphs = {{"grid", make_grid(5, 5)}};
+  spec.regimes = {Regime::full()};
+  spec.seeds = {1};
+  spec.solvers = {"mis/luby", "mis/greedy"};
+  spec.bandwidths = {0, 96};
+  spec.keep_unsupported = true;
+  spec.threads = 1;
+  const lab::SweepResult result = lab::run_sweep(spec);
+  // luby runs both coordinates; greedy (slocal) runs 0 and skips 96.
+  ASSERT_EQ(result.records.size(), 4u);
+  EXPECT_EQ(result.cells_run, 3);
+  EXPECT_EQ(result.cells_skipped, 1);
+  std::set<std::pair<std::string, int>> ran, skipped;
+  for (const lab::RunRecord& r : result.records) {
+    (r.skipped ? skipped : ran).insert({r.solver, r.bandwidth_bits});
+  }
+  EXPECT_TRUE(ran.count({"mis/luby", 96}) == 1);
+  EXPECT_TRUE(skipped.count({"mis/greedy", 96}) == 1);
+  // The bandwidth coordinate separates cell seeds; the default one is the
+  // historical 5-coordinate seed.
+  EXPECT_NE(lab::cell_seed(1, "mis/luby", "grid", "full", "", 96),
+            lab::cell_seed(1, "mis/luby", "grid", "full", "", 0));
+  EXPECT_EQ(lab::cell_seed(1, "mis/luby", "grid", "full", "", 0),
+            lab::cell_seed(1, "mis/luby", "grid", "full", ""));
+}
+
+TEST(CostInvariant, BandwidthCoordinateReachesTheEngine) {
+  // An engine-backed CONGEST cell under a shrunken cap: the enforced cap
+  // in the cost block is the coordinate, and a cap below the program's
+  // message size surfaces as a CongestViolation record, not a crash.
+  const Graph g = make_grid(5, 5);
+  const lab::RunRecord ok = lab::Registry::global().run_cell(
+      "mis/luby", g, "grid", Regime::full(), 3, {{"engine", 1.0}},
+      lab::RunContext{}.with_bandwidth_bits(96));
+  ASSERT_EQ(ok.error, "");
+  EXPECT_EQ(ok.bandwidth_bits, 96);
+  EXPECT_EQ(ok.cost.bandwidth_bits, 96);
+  EXPECT_LE(ok.cost.max_message_bits, 96);
+
+  const lab::RunRecord tight = lab::Registry::global().run_cell(
+      "mis/luby", g, "grid", Regime::full(), 3, {{"engine", 1.0}},
+      lab::RunContext{}.with_bandwidth_bits(8));
+  EXPECT_NE(tight.error.find("CONGEST"), std::string::npos);
+  EXPECT_FALSE(tight.checker_passed);
+}
+
+// --------------------------------------------------- mischarge detection
+
+/// Runs a real engine program but under-charges rounds: the checker must
+/// fail the record with a "cost:" reason.
+class MischargingSolver final : public lab::Solver {
+ public:
+  std::string name() const override { return "test/mischarge"; }
+  std::string problem() const override { return "test"; }
+  std::string description() const override { return "under-charges rounds"; }
+  std::vector<RegimeKind> supported_regimes() const override {
+    return {RegimeKind::kFull};
+  }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kCongest;
+  }
+  lab::RunRecord run(const Graph& g, const Regime&, std::uint64_t,
+                     const lab::ParamMap& params,
+                     const lab::RunContext&) const override {
+    const FloodMinResult flood = run_flood_min(g, /*depth=*/4);
+    lab::RunRecord record;
+    record.success = true;
+    record.checker_passed = true;
+    // Honest solvers charge >= what the engine executed; this one claims
+    // less when asked to cheat.
+    record.cost.charge_rounds(lab::param_int(params, "cheat", 0) != 0
+                                  ? flood.stats.rounds - 1
+                                  : flood.stats.rounds);
+    return record;
+  }
+};
+
+TEST(Mischarge, UnderchargingEngineRoundsFailsTheChecker) {
+  lab::Registry registry;
+  registry.add(std::make_unique<MischargingSolver>());
+  const Graph g = make_grid(5, 5);
+  const lab::RunRecord honest = registry.run_cell(
+      "test/mischarge", g, "grid", Regime::full(), 1);
+  EXPECT_TRUE(honest.checker_passed);
+  EXPECT_EQ(honest.error, "");
+  EXPECT_FALSE(honest.cost.mischarge);
+
+  const lab::RunRecord cheat = registry.run_cell(
+      "test/mischarge", g, "grid", Regime::full(), 1, {{"cheat", 1.0}});
+  EXPECT_FALSE(cheat.checker_passed);
+  EXPECT_TRUE(cheat.cost.mischarge);
+  EXPECT_NE(cheat.error.find("cost: solver charged"), std::string::npos);
+}
+
+// --------------------------------- determinism, store round-trip, resume
+
+lab::SweepSpec bandwidth_spec(int threads) {
+  lab::SweepSpec spec;
+  spec.graphs = {{"grid", make_grid(6, 6)}};
+  spec.regimes = {Regime::full(), Regime::kwise(64)};
+  spec.seeds = {1, 2};
+  spec.solvers = {"mis/luby", "decomp/elkin_neiman", "mis/greedy"};
+  spec.params = {{"engine", 1.0}};  // engine-metered cost blocks
+  spec.bandwidths = {0, 4096};
+  spec.threads = threads;
+  return spec;
+}
+
+TEST(CostDeterminism, CostBlocksAreThreadCountInvariant) {
+  const lab::SweepResult a = lab::run_sweep(bandwidth_spec(1));
+  const lab::SweepResult b = lab::run_sweep(bandwidth_spec(4));
+  ASSERT_EQ(a.records.size(), b.records.size());
+  ASSERT_GT(a.records.size(), 0u);
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const lab::RunRecord& x = a.records[i];
+    const lab::RunRecord& y = b.records[i];
+    SCOPED_TRACE(x.solver + "/" + x.regime);
+    EXPECT_EQ(x.bandwidth_bits, y.bandwidth_bits);
+    EXPECT_EQ(x.cost.populated, y.cost.populated);
+    EXPECT_EQ(x.cost.model, y.cost.model);
+    EXPECT_EQ(x.cost.rounds, y.cost.rounds);
+    EXPECT_EQ(x.cost.messages, y.cost.messages);
+    EXPECT_EQ(x.cost.total_bits, y.cost.total_bits);
+    EXPECT_EQ(x.cost.max_message_bits, y.cost.max_message_bits);
+    EXPECT_EQ(x.cost.bandwidth_bits, y.cost.bandwidth_bits);
+    EXPECT_EQ(x.cost.engine_runs, y.cost.engine_runs);
+    EXPECT_EQ(x.cost.msgs_per_round_p50, y.cost.msgs_per_round_p50);
+    EXPECT_EQ(x.cost.msgs_per_round_p95, y.cost.msgs_per_round_p95);
+    EXPECT_EQ(x.cost.msgs_per_round_max, y.cost.msgs_per_round_max);
+  }
+}
+
+std::string store_bytes(const std::string& dir) {
+  std::ostringstream out;
+  for (const store::StoredRecord& stored :
+       store::RecordStore::open(dir).read_all()) {
+    out << stored.cell_index << ' ' << stored.cell_seed << ' '
+        << store::canonical_record_json(stored.record) << '\n';
+  }
+  return out.str();
+}
+
+TEST(CostStore, FrameRoundTripPreservesCostBlockByteStably) {
+  store::StoredRecord stored;
+  stored.cell_index = 5;
+  stored.cell_seed = 0xFEEDFACE0ULL;
+  lab::RunRecord& r = stored.record;
+  r.solver = "mis/luby";
+  r.problem = "mis";
+  r.graph = "grid";
+  r.regime = "full";
+  r.bandwidth_bits = 96;
+  r.seed = 2;
+  r.success = true;
+  r.checker_passed = true;
+  r.cost.populated = true;
+  r.cost.model = cost::CostModel::kCongest;
+  r.cost.rounds = 12;
+  r.cost.messages = 480;
+  r.cost.total_bits = 9600;
+  r.cost.max_message_bits = 40;
+  r.cost.bandwidth_bits = 96;
+  r.cost.engine_runs = 1;
+  r.cost.msgs_per_round_p50 = 30;
+  r.cost.msgs_per_round_p95 = 60;
+  r.cost.msgs_per_round_max = 60;
+
+  const std::string frame = store::encode_frame(stored);
+  EXPECT_NE(frame.find("\"cost\""), std::string::npos);
+  EXPECT_NE(frame.find("\"model\":\"congest\""), std::string::npos);
+  const auto decoded = store::decode_frame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(store::encode_frame(*decoded), frame);  // byte-identical
+  EXPECT_TRUE(decoded->record.cost.populated);
+  EXPECT_EQ(decoded->record.cost.messages, 480);
+  EXPECT_EQ(decoded->record.bandwidth_bits, 96);
+  EXPECT_EQ(decoded->record.rounds, 12);  // the mirror is re-stamped
+  // Every strict prefix is torn, never a wrong record.
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    EXPECT_FALSE(store::decode_frame(frame.substr(0, cut)).has_value());
+  }
+  // A cost block with an unknown model is a torn frame, not a crash.
+  std::string bad = frame;
+  const std::size_t at = bad.find("congest");
+  bad.replace(at, 7, "quantum");
+  EXPECT_FALSE(store::decode_frame(bad).has_value());
+}
+
+TEST(CostStore, BandwidthSweepKillResumeIsByteIdentical) {
+  // The ISSUE 4 acceptance cycle, in-process: run a bandwidth-axis sweep
+  // into a store, kill it after a few cells (max_cells), resume, and
+  // compare against an uninterrupted run byte for byte.
+  const std::string dir =
+      (fs::temp_directory_path() / "rlocal_cost_store_resume").string();
+  const std::string clean_dir = dir + "_clean";
+  fs::remove_all(dir);
+  fs::remove_all(clean_dir);
+
+  lab::SweepSpec spec = bandwidth_spec(2);
+  spec.max_cells = 5;
+  lab::run_sweep(spec, lab::StoreOptions{dir, /*resume=*/false});
+  spec.max_cells = 0;
+  const lab::SweepResult resumed =
+      lab::run_sweep(spec, lab::StoreOptions{dir, /*resume=*/true});
+  EXPECT_EQ(resumed.cells_resumed, 5);
+  for (const lab::RunRecord& rec : resumed.records) {
+    if (rec.skipped) continue;
+    EXPECT_TRUE(rec.cost.populated) << rec.solver;
+  }
+
+  lab::run_sweep(bandwidth_spec(2),
+                 lab::StoreOptions{clean_dir, /*resume=*/false});
+  EXPECT_EQ(store_bytes(dir), store_bytes(clean_dir));
+
+  // The manifest echoes the bandwidth axis.
+  const store::StoreManifest manifest =
+      store::RecordStore::open(dir).manifest();
+  EXPECT_EQ(manifest.bandwidths, (std::vector<int>{0, 4096}));
+
+  fs::remove_all(dir);
+  fs::remove_all(clean_dir);
+}
+
+TEST(CostStore, BandwidthAxisChangesTheFingerprint) {
+  const lab::Registry& registry = lab::Registry::global();
+  const lab::SweepSpec base = bandwidth_spec(1);
+  lab::SweepSpec other = bandwidth_spec(1);
+  other.bandwidths = {0, 512};
+  EXPECT_NE(store::sweep_fingerprint(registry, base),
+            store::sweep_fingerprint(registry, other));
+  // The implicit axis fingerprints like the explicit default (identical
+  // record sets must stay resumable across the two spellings).
+  lab::SweepSpec implicit = bandwidth_spec(1);
+  implicit.bandwidths = {};
+  lab::SweepSpec explicit_default = bandwidth_spec(1);
+  explicit_default.bandwidths = {0};
+  EXPECT_EQ(store::sweep_fingerprint(registry, implicit),
+            store::sweep_fingerprint(registry, explicit_default));
+}
+
+// ------------------------------------------------ deadline through loops
+
+/// Deterministic pipelines must observe an already-expired deadline via
+/// cost::checkpoint() even though they draw no randomness at all.
+TEST(CostCheckpoint, DeadlineReachesDeterministicPipelines) {
+  const lab::Registry& registry = lab::Registry::global();
+  const Graph g = make_gnp(300, 6.0 / 300, 9);
+  const lab::RunContext expired = lab::RunContext::with_deadline(
+      lab::RunContext::Clock::now() - std::chrono::milliseconds(1));
+  for (const char* solver :
+       {"decomp/ball_carving", "splitting/cond_exp", "derand/brute_force",
+        "mis/from_decomposition", "coloring/from_decomposition"}) {
+    SCOPED_TRACE(solver);
+    const lab::RunRecord record = registry.run_cell(
+        solver, g, "gnp", Regime::full(), 1, {}, expired);
+    EXPECT_EQ(record.error, "deadline");
+    EXPECT_FALSE(record.success);
+    // The partial cost block is still stamped (model + any engine obs).
+    EXPECT_TRUE(record.cost.populated);
+  }
+}
+
+TEST(CostCheckpoint, DeadlineReachesTheEnginePerRound) {
+  // A Luby engine run under an already-expired deadline dies at the
+  // engine's own per-round checkpoint (the solver's randomness draws could
+  // also fire, so use flood -- a drawless program -- via the mischarge
+  // solver's machinery? Simpler: run flood directly under a scope whose
+  // hook throws immediately).
+  const Graph g = make_grid(8, 8);
+  cost::CostLedger ledger;
+  int calls = 0;
+  cost::MeterScope scope(&ledger, [&calls] {
+    if (++calls >= 2) throw lab::DeadlineExpired();
+  });
+  EXPECT_THROW(run_flood_min(g, /*depth=*/10), lab::DeadlineExpired);
+  EXPECT_GE(calls, 2);
+  // The rounds/messages executed before expiry still reached the meter --
+  // the "partial cost block" deadline records carry.
+  ledger.finalize();
+  EXPECT_EQ(ledger.engine_runs, 1);
+  EXPECT_GT(ledger.rounds, 0);
+  EXPECT_GT(ledger.messages, 0);
+}
+
+}  // namespace
+}  // namespace rlocal

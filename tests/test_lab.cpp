@@ -84,6 +84,9 @@ TEST(LabRegistry, RejectsDuplicateAndNullSolvers) {
     std::vector<RegimeKind> supported_regimes() const override {
       return {RegimeKind::kFull};
     }
+    cost::CostModel cost_model() const override {
+      return cost::CostModel::kOracle;
+    }
     lab::RunRecord run(const Graph&, const Regime&, std::uint64_t,
                        const lab::ParamMap&,
                        const lab::RunContext&) const override {
@@ -331,7 +334,8 @@ TEST(LabEmit, JsonIsWellFormedAndTableHasGroups) {
   std::ostringstream json;
   lab::emit_json(result, json);
   const std::string text = json.str();
-  EXPECT_NE(text.find("\"schema\": \"rlocal.sweep/2\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\": \"rlocal.sweep/3\""), std::string::npos);
+  EXPECT_NE(text.find("\"cost\""), std::string::npos);
   EXPECT_NE(text.find("\"records\""), std::string::npos);
   EXPECT_NE(text.find("\"derived_bits\""), std::string::npos);
   // Balanced braces/brackets (structural well-formedness proxy).

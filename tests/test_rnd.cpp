@@ -170,6 +170,53 @@ TEST(KWise, BernoulliFrequency) {
   EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.04);
 }
 
+TEST(KWise, BatchValuesAgreeWithSingleEvaluation) {
+  // values() is a pure reordering of value()'s arithmetic (four interleaved
+  // branchless Horner chains); outputs must agree bit for bit, on every
+  // batch size (the 4-lane main loop and the scalar tail), with points of
+  // very different magnitudes, and without disturbing the memo.
+  for (const int m : {8, 31, 64}) {
+    for (const int k : {1, 2, 7, 64}) {
+      const KWiseGenerator gen = KWiseGenerator::from_seed(k, m, 99);
+      const std::uint64_t mask =
+          m == 64 ? ~0ULL : ((1ULL << m) - 1);
+      std::vector<std::uint64_t> points;
+      for (std::uint64_t i = 0; i < 11; ++i) {
+        points.push_back((i * 0x9E3779B97F4A7C15ULL) & mask);
+      }
+      points.push_back(0);  // degenerate point
+      for (std::size_t count = 0; count <= points.size(); ++count) {
+        std::vector<std::uint64_t> out(count, ~0ULL);
+        gen.values(std::span(points.data(), count), out);
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(out[i], gen.value(points[i]))
+              << "m=" << m << " k=" << k << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KWise, BatchValuesMayAliasInput) {
+  const KWiseGenerator gen = KWiseGenerator::from_seed(8, 64, 3);
+  std::vector<std::uint64_t> data = {1, 2, 3, 4, 5, 6};
+  const std::vector<std::uint64_t> points = data;
+  gen.values(data, data);  // in-place
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], gen.value(points[i]));
+  }
+}
+
+TEST(KWise, BatchValuesRejectsShortOutput) {
+  const KWiseGenerator gen = KWiseGenerator::from_seed(4, 16, 3);
+  std::vector<std::uint64_t> points = {1, 2, 3};
+  std::vector<std::uint64_t> out(2);
+  EXPECT_THROW(gen.values(points, out), InvariantError);
+  std::vector<std::uint64_t> bad = {1ULL << 20, 1, 2, 3};  // exceeds GF(2^16)
+  std::vector<std::uint64_t> big(4);
+  EXPECT_THROW(gen.values(bad, big), InvariantError);
+}
+
 TEST(KWise, RejectsOutOfFieldPoint) {
   const KWiseGenerator gen = KWiseGenerator::from_seed(2, 8, 1);
   EXPECT_THROW(gen.value(256), InvariantError);

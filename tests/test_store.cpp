@@ -299,6 +299,9 @@ class SpinSolver final : public lab::Solver {
   std::vector<RegimeKind> supported_regimes() const override {
     return {RegimeKind::kFull};
   }
+  cost::CostModel cost_model() const override {
+    return cost::CostModel::kOracle;
+  }
   lab::RunRecord run(const Graph&, const Regime&, std::uint64_t,
                      const lab::ParamMap&,
                      const lab::RunContext& ctx) const override {
