@@ -2,7 +2,13 @@
 // generator costs. Performance baseline, not a paper claim.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
 #include "core/api.hpp"
+#include "sim/programs/chatter.hpp"
 
 namespace {
 
@@ -122,6 +128,65 @@ BENCHMARK(BM_KWiseDistinctPointDraws)
     ->Args({128, 1})
     ->Args({512, 0})
     ->Args({512, 1});
+
+// Before/after case for the batched randomness plane: one
+// NodeRandomness::priority_batch per iteration versus the scalar chunk()
+// loop it replaces (the reference-Luby per-iteration access pattern:
+// distinct nodes, one stream). Arg(1) = batch (the "after"), Arg(0) =
+// scalar loop (the "before"); the drawn values are byte-identical.
+void BM_NodeRandomnessBatchedDraws(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  NodeRandomness rnd(Regime::kwise(k), 3);
+  constexpr std::size_t kNodes = 256;
+  std::vector<std::uint64_t> nodes(kNodes);
+  std::vector<std::uint64_t> out(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    nodes[i] = static_cast<std::uint64_t>(i);
+  }
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    ++stream;
+    if (state.range(1) != 0) {
+      rnd.priority_batch(nodes, stream, 24, out);
+    } else {
+      for (std::size_t i = 0; i < kNodes; ++i) {
+        out[i] = rnd.chunk(nodes[i], stream) >> 40;
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kNodes));
+}
+BENCHMARK(BM_NodeRandomnessBatchedDraws)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
+// Arena round throughput: a broadcast-heavy protocol (every node sends a
+// two-word payload to every neighbor every round), items = messages
+// delivered. The engine is reused across run() calls, so after the first
+// run the arena/CSR buffers are warm and the round loop performs zero heap
+// allocations -- this counter is the "after" of the MessageArena change
+// (the "before" allocated one std::vector per message per round).
+void BM_EngineArenaRound(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = make_gnp(n, 8.0 / n, 7);
+  Engine engine(g, {});
+  std::int64_t messages = 0;
+  for (auto _ : state) {
+    const EngineStats stats = engine.run([&](NodeId v) {
+      return std::make_unique<ChatterProgram>(g.id(v), /*rounds=*/16);
+    });
+    messages = stats.messages;
+    benchmark::DoNotOptimize(messages);
+  }
+  state.SetItemsProcessed(state.iterations() * messages);
+}
+BENCHMARK(BM_EngineArenaRound)->Arg(256)->Arg(1024);
 
 void BM_EpsBiasBit(benchmark::State& state) {
   const EpsBiasGenerator gen =

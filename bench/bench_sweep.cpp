@@ -20,15 +20,109 @@
 //                     (bits; 0 = the model default). Non-zero caps bind
 //                     only CONGEST-model solvers; other solvers' cells are
 //                     regime-style skipped.
+//   --profile         print a per-(solver, regime) cell-time breakdown --
+//                     cells, total ms, ms/cell, sorted by total time -- and
+//                     write it as JSON to --profile-out (default
+//                     BENCH_profile.json). The table is how a perf change
+//                     is attributed: k-wise-heavy cells respond to the
+//                     batched randomness plane, engine-backed cells to the
+//                     message arena (see docs/perf.md).
 //
 // With --store the 1-thread timing baseline is skipped: the store's frames
 // are the artifact and a second full run would double every record's cost.
+#include <algorithm>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <map>
 #include <thread>
+#include <vector>
 
 #include "core/api.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+/// Per-(solver, regime) cell-time aggregate behind --profile. Resumed
+/// records carry another process's wall time and are excluded, like the
+/// gate's wall-time aggregates.
+struct ProfileRow {
+  std::string solver;
+  std::string regime;
+  int cells = 0;
+  double total_ms = 0.0;
+};
+
+std::vector<ProfileRow> profile_rows(const rlocal::lab::SweepResult& result) {
+  std::map<std::pair<std::string, std::string>, ProfileRow> agg;
+  for (const rlocal::lab::RunRecord& r : result.records) {
+    if (r.skipped || r.resumed) continue;
+    ProfileRow& row = agg[{r.solver, r.regime}];
+    row.solver = r.solver;
+    row.regime = r.regime;
+    row.cells += 1;
+    row.total_ms += r.wall_ms;
+  }
+  std::vector<ProfileRow> rows;
+  rows.reserve(agg.size());
+  for (auto& [key, row] : agg) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(),
+            [](const ProfileRow& a, const ProfileRow& b) {
+              return a.total_ms > b.total_ms;
+            });
+  return rows;
+}
+
+void print_profile(const std::vector<ProfileRow>& rows, std::ostream& out) {
+  std::size_t solver_width = 6;
+  std::size_t regime_width = 6;
+  for (const ProfileRow& row : rows) {
+    solver_width = std::max(solver_width, row.solver.size());
+    regime_width = std::max(regime_width, row.regime.size());
+  }
+  out << "\n[profile] cell-time breakdown (executed cells only)\n"
+      << std::left << std::setw(static_cast<int>(solver_width)) << "solver"
+      << "  " << std::setw(static_cast<int>(regime_width)) << "regime"
+      << std::right << "  " << std::setw(6) << "cells" << "  "
+      << std::setw(10) << "total ms" << "  " << std::setw(10) << "ms/cell"
+      << "\n";
+  for (const ProfileRow& row : rows) {
+    out << std::left << std::setw(static_cast<int>(solver_width))
+        << row.solver << "  " << std::setw(static_cast<int>(regime_width))
+        << row.regime << std::right << "  " << std::setw(6) << row.cells
+        << "  " << std::setw(10) << std::fixed << std::setprecision(2)
+        << row.total_ms << "  " << std::setw(10)
+        << (row.cells > 0 ? row.total_ms / row.cells : 0.0) << "\n";
+  }
+  out.unsetf(std::ios::fixed);
+}
+
+bool write_profile_json(const std::vector<ProfileRow>& rows,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  rlocal::JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", "rlocal.profile/1");
+  w.key("rows");
+  w.begin_array();
+  for (const ProfileRow& row : rows) {
+    w.begin_object();
+    w.field("solver", row.solver);
+    w.field("regime", row.regime);
+    w.field("cells", row.cells);
+    w.field("total_ms", row.total_ms);
+    w.field("ms_per_cell", row.cells > 0 ? row.total_ms / row.cells : 0.0);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rlocal;
@@ -152,6 +246,18 @@ int main(int argc, char** argv) {
     std::cout << "wall: " << fmt(result.wall_ms, 1) << " ms on "
               << result.threads_used << " threads; store: " << store_dir
               << (resume ? " (resumed)" : "") << "\n";
+  }
+
+  if (args.has("profile")) {
+    const std::vector<ProfileRow> rows = profile_rows(result);
+    print_profile(rows, std::cout);
+    const std::string profile_path =
+        args.get_string("profile-out", "BENCH_profile.json");
+    if (!write_profile_json(rows, profile_path)) {
+      std::cerr << "error: could not write " << profile_path << "\n";
+      return 2;
+    }
+    std::cout << "wrote profile breakdown to " << profile_path << "\n";
   }
 
   std::ofstream out(out_path);

@@ -8,7 +8,7 @@
 
 namespace rlocal {
 
-EnResult elkin_neiman_core(const Graph& g, const ShiftDrawer& draw,
+EnResult elkin_neiman_core(const Graph& g, const ShiftBatchDrawer& draw,
                            const EnOptions& options) {
   const auto n = static_cast<std::size_t>(g.num_nodes());
   const int logn = log2n(static_cast<std::uint64_t>(
@@ -31,18 +31,35 @@ EnResult elkin_neiman_core(const Graph& g, const ShiftDrawer& draw,
   for (NodeId v = 0; v < g.num_nodes(); ++v) node_of_id[g.id(v)] = v;
 
   std::vector<std::int32_t> start(n);
+  // Phase-batched shift draws: the live set is gathered once per phase and
+  // handed to the drawer whole, so regime-backed drawers run one
+  // geometric_batch instead of a Horner chain per node (values are
+  // byte-identical to the per-node loop -- each node's shift is a pure
+  // function of (node, phase)).
+  std::vector<NodeId> live_nodes;
+  std::vector<int> shifts;
+  live_nodes.reserve(n);
+  shifts.reserve(n);
   for (int phase = 0; phase < phases && live_count > 0; ++phase) {
     result.phases_used = phase + 1;
+    live_nodes.clear();
+    std::int64_t live_degree_sum = 0;
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       if (live[static_cast<std::size_t>(v)]) {
-        const int shift = draw(v, phase, cap);
-        RLOCAL_CHECK(shift >= 1 && shift <= cap, "shift outside [1, cap]");
-        start[static_cast<std::size_t>(v)] = shift;
-        result.max_shift = std::max(result.max_shift, shift);
-        result.shift_bits += static_cast<std::uint64_t>(shift);
+        live_nodes.push_back(v);
+        live_degree_sum += g.degree(v);
       } else {
         start[static_cast<std::size_t>(v)] = -1;
       }
+    }
+    shifts.resize(live_nodes.size());
+    draw(live_nodes, phase, cap, shifts);
+    for (std::size_t i = 0; i < live_nodes.size(); ++i) {
+      const int shift = shifts[i];
+      RLOCAL_CHECK(shift >= 1 && shift <= cap, "shift outside [1, cap]");
+      start[static_cast<std::size_t>(live_nodes[i])] = shift;
+      result.max_shift = std::max(result.max_shift, shift);
+      result.shift_bits += static_cast<std::uint64_t>(shift);
     }
 
     EngineOptions engine_options;
@@ -52,6 +69,13 @@ EnResult elkin_neiman_core(const Graph& g, const ShiftDrawer& draw,
             ? run_top_two(g, start, live, cap + 1, engine_options)
             : reference_top_two(g, start, live);
     result.rounds_charged += cap + 2;  // propagation + join decision
+    // Model worst case matching the charged rounds: every live node may
+    // broadcast its top-two in each of the (cap + 1) propagation rounds.
+    const std::int64_t phase_messages =
+        static_cast<std::int64_t>(cap + 1) * live_degree_sum;
+    result.analytic_messages += phase_messages;
+    result.analytic_bits +=
+        phase_messages * 2 * top_two_entry_bits(g.num_nodes());
 
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       if (!live[static_cast<std::size_t>(v)]) continue;
@@ -109,13 +133,31 @@ EnResult elkin_neiman_core(const Graph& g, const ShiftDrawer& draw,
   return result;
 }
 
+EnResult elkin_neiman_core(const Graph& g, const ShiftDrawer& draw,
+                           const EnOptions& options) {
+  ShiftBatchDrawer batch = [&draw](std::span<const NodeId> nodes, int phase,
+                                   int cap, std::span<int> out) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      out[i] = draw(nodes[i], phase, cap);
+    }
+  };
+  return elkin_neiman_core(g, batch, options);
+}
+
 EnResult elkin_neiman_decomposition(const Graph& g, NodeRandomness& rnd,
                                     const EnOptions& options) {
-  auto drawer = [&rnd, &options](NodeId node, int phase, int cap) {
-    return rnd.geometric(static_cast<std::uint64_t>(node),
-                         options.stream_base +
-                             static_cast<std::uint64_t>(phase),
-                         cap);
+  std::vector<std::uint64_t> points;
+  ShiftBatchDrawer drawer = [&rnd, &options, &points](
+                                std::span<const NodeId> nodes, int phase,
+                                int cap, std::span<int> out) {
+    points.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      points[i] = static_cast<std::uint64_t>(nodes[i]);
+    }
+    rnd.geometric_batch(points,
+                        options.stream_base +
+                            static_cast<std::uint64_t>(phase),
+                        cap, out);
   };
   return elkin_neiman_core(g, drawer, options);
 }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 
 #include "decomp/decomposition.hpp"
 #include "graph/graph.hpp"
@@ -46,6 +47,13 @@ struct EnOptions {
 /// Returns the shift for `node` in `phase`, in [1, cap].
 using ShiftDrawer = std::function<int(NodeId node, int phase, int cap)>;
 
+/// Batched drawer: fills out[i] in [1, cap] for nodes[i] -- the whole live
+/// set of one phase in a single call, so regime-backed drawers can route
+/// the draws through NodeRandomness::geometric_batch (one interleaved
+/// Horner pass instead of one chain per node).
+using ShiftBatchDrawer = std::function<void(
+    std::span<const NodeId> nodes, int phase, int cap, std::span<int> out)>;
+
 struct EnResult {
   Decomposition decomposition;  ///< partial if !all_clustered
   bool all_clustered = false;
@@ -55,8 +63,22 @@ struct EnResult {
   int max_shift = 0;          ///< largest shift drawn (w.h.p. O(log n))
   int rounds_charged = 0;     ///< CONGEST rounds: (cap + 2) per phase
   std::uint64_t shift_bits = 0;  ///< coin flips consumed by shift draws
+  /// Analytic CONGEST message accounting matching rounds_charged: per phase
+  /// every live node may broadcast its current top-two in each of the
+  /// (cap + 1) propagation rounds (two measure entries per message). The
+  /// engine's dirty-flag pruning sends fewer real wires; this is the model
+  /// worst case the theorems charge, reported so reference-executed sweeps
+  /// carry deterministic message totals (see docs/cost_model.md).
+  std::int64_t analytic_messages = 0;
+  std::int64_t analytic_bits = 0;
 };
 
+EnResult elkin_neiman_core(const Graph& g, const ShiftBatchDrawer& draw,
+                           const EnOptions& options);
+
+/// Scalar-drawer convenience overload (wraps `draw` in a per-node loop);
+/// kept for drawers with inherently sequential state, e.g. the Lemma 3.3
+/// per-cluster finite bit pools.
 EnResult elkin_neiman_core(const Graph& g, const ShiftDrawer& draw,
                            const EnOptions& options);
 

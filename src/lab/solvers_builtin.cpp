@@ -63,6 +63,12 @@ class ElkinNeimanSolver final : public Solver {
     EnResult result = elkin_neiman_decomposition(g, rnd, options);
     RunRecord record;
     record.cost.charge_rounds(result.rounds_charged);
+    // The engine path meters real wires; the reference path charges the
+    // model's analytic top-two broadcast count (see EnResult).
+    if (!options.use_engine) {
+      record.cost.charge_messages(result.analytic_messages,
+                                  result.analytic_bits);
+    }
     record.iterations = result.phases_used;
     record.metrics["max_shift"] = result.max_shift;
     record.metrics["shift_bits"] = static_cast<double>(result.shift_bits);
@@ -108,6 +114,7 @@ class SharedCongestSolver final : public Solver {
         shared_randomness_decomposition(g, rnd, options);
     RunRecord record;
     record.cost.charge_rounds(result.rounds_charged);
+    charge_congest_worst_case(record, g, result.rounds_charged);
     record.iterations = result.phases_used;
     record.metrics["epochs_per_phase"] = result.epochs_per_phase;
     record.metrics["max_radius_drawn"] = result.max_radius_drawn;
@@ -156,8 +163,14 @@ class LubyMisSolver final : public Solver {
         result.success && is_maximal_independent_set(g, result.in_mis);
     record.iterations = result.iterations;
     // The engine path's rounds/messages/bits are metered automatically
-    // (cost/meter.hpp); only the reference path charges the model cost.
-    if (!on_engine) record.cost.charge_rounds(2 * result.iterations);
+    // (cost/meter.hpp); only the reference path charges the model cost --
+    // its analytic announce/JOIN counts replay the protocol's exact sends,
+    // so both paths report the same message totals on identical coins.
+    if (!on_engine) {
+      record.cost.charge_rounds(2 * result.iterations);
+      record.cost.charge_messages(result.analytic_messages,
+                                  result.analytic_bits);
+    }
     int mis_size = 0;
     for (const bool b : result.in_mis) mis_size += b ? 1 : 0;
     record.objective = mis_size;
@@ -228,6 +241,8 @@ class RandomColoringSolver final : public Solver {
         is_valid_coloring(g, result.color, g.max_degree() + 1);
     record.iterations = result.iterations;
     record.cost.charge_rounds(result.rounds_charged);
+    record.cost.charge_messages(result.analytic_messages,
+                                result.analytic_bits);
     int used = 0;
     for (const int c : result.color) used = std::max(used, c + 1);
     record.colors = used;

@@ -12,6 +12,7 @@
 #include "lab/solver.hpp"
 #include "lab/sweep.hpp"
 #include "rnd/regime.hpp"
+#include "support/math.hpp"
 
 namespace rlocal::lab {
 
@@ -48,6 +49,26 @@ inline const std::vector<RegimeKind> kAllRegimes = {
     RegimeKind::kSharedKWise,    RegimeKind::kSharedEpsBias,
     RegimeKind::kPooled,         RegimeKind::kAllZeros,
     RegimeKind::kAllOnes};
+
+/// Analytic message charge for reference-executed CONGEST solvers whose
+/// protocols do not expose exact per-send counts: every charged round, each
+/// edge may carry one message in each direction -- the model's worst case,
+/// deterministic in the spec, so compare_sweep.py's message gate covers
+/// cells the engine never simulates. Solvers with cheap exact counts (Luby
+/// announce/JOIN sends, EN top-two broadcasts, coloring proposals) charge
+/// those instead. `bits_per_message <= 0` uses the engine's default CONGEST
+/// cap of 32 ceil(log2 n) bits.
+inline void charge_congest_worst_case(RunRecord& record, const Graph& g,
+                                      std::int64_t rounds,
+                                      int bits_per_message = 0) {
+  if (rounds < 0) return;
+  const int bits =
+      bits_per_message > 0
+          ? bits_per_message
+          : 32 * log2n(static_cast<std::uint64_t>(g.num_nodes()));
+  const std::int64_t messages = 2 * g.num_edges() * rounds;
+  record.cost.charge_messages(messages, messages * bits);
+}
 
 /// Fills the outcome/observable fields shared by every decomposition-shaped
 /// solver: runs the independent checker when the decomposition is total,

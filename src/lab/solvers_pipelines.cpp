@@ -63,11 +63,18 @@ constexpr std::uint64_t kBeaconStream = 0x2B1Bu;  // "one-bit"
 /// run_cell surfaces as the cell's error.
 FixedBitSource beacon_bits_from_regime(const BeaconPlacement& placement,
                                        NodeRandomness& rnd) {
-  std::vector<bool> bits;
-  bits.reserve(placement.beacons.size());
-  for (const NodeId b : placement.beacons) {
-    bits.push_back(rnd.bit(static_cast<std::uint64_t>(b), kBeaconStream, 0));
+  // One bits_batch over the whole placement instead of a scalar bit() per
+  // beacon: identical values and ledger charges, one interleaved Horner
+  // pass through the regime's generator(s).
+  const std::size_t count = placement.beacons.size();
+  std::vector<std::uint64_t> nodes(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    nodes[i] = static_cast<std::uint64_t>(placement.beacons[i]);
   }
+  std::vector<std::uint8_t> drawn(count);
+  rnd.bits_batch(nodes, kBeaconStream, 0, drawn);
+  std::vector<bool> bits(count);
+  for (std::size_t i = 0; i < count; ++i) bits[i] = drawn[i] != 0;
   return FixedBitSource(std::move(bits));
 }
 
@@ -124,6 +131,7 @@ RunRecord run_one_bit(const Graph& g, const Regime& regime,
       pipeline(g, placement, beacon_bits, one_bit_options_from_params(params));
   RunRecord record;
   record.cost.charge_rounds(result.rounds_charged);
+  charge_congest_worst_case(record, g, result.rounds_charged);
   // The theorem's promise is conditional on Lemma 3.2's bit guarantee;
   // success reports "produced a total decomposition" and the hypothesis
   // shortfall is an observable of its own (E1/E5 tabulate it).
@@ -235,6 +243,7 @@ class BeaconClusterSolver final : public Solver {
     record.checker_passed = check_partition(g, gather) &&
                             placement_covers(g, placement);
     record.cost.charge_rounds(gather.rounds_charged);
+    charge_congest_worst_case(record, g, gather.rounds_charged);
     record.objective = static_cast<double>(gather.centers.size());
     record.metrics["hypothesis_met"] = record.success ? 1.0 : 0.0;
     record.metrics["beacons"] = static_cast<double>(placement.beacons.size());
@@ -299,6 +308,7 @@ class ShatteringSolver final : public Solver {
     ShatteringResult result = boosted_decomposition(g, rnd, options);
     RunRecord record;
     record.cost.charge_rounds(result.total_rounds);
+    charge_congest_worst_case(record, g, result.total_rounds);
     record.metrics["base_complete"] = result.base_complete ? 1.0 : 0.0;
     record.metrics["base_rounds"] = result.base_rounds;
     record.metrics["leftover_nodes"] = result.leftover_nodes;
@@ -350,6 +360,8 @@ class PretendNSolver final : public Solver {
     EnResult result = elkin_neiman_decomposition(g, rnd, options);
     RunRecord record;
     record.cost.charge_rounds(result.rounds_charged);
+    record.cost.charge_messages(result.analytic_messages,
+                                result.analytic_bits);
     record.iterations = result.phases_used;
     record.metrics["pretended_n"] = static_cast<double>(pretended);
     record.metrics["phases"] = options.phases;

@@ -19,12 +19,15 @@ ColoringResult random_coloring(const Graph& g, NodeRandomness& rnd,
   std::vector<int> proposal(n, -1);
   std::vector<bool> taken;  // scratch: palette colors already owned nearby
 
+  const int color_bits = log2n(static_cast<std::uint64_t>(palette) + 1) + 1;
   for (int iteration = 1; iteration <= budget; ++iteration) {
     bool any_uncolored = false;
+    std::int64_t uncolored_degree_sum = 0;
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       proposal[static_cast<std::size_t>(v)] = -1;
       if (result.color[static_cast<std::size_t>(v)] != -1) continue;
       any_uncolored = true;
+      uncolored_degree_sum += g.degree(v);
       // Remaining palette: colors in [0, deg(v)] not owned by neighbors.
       taken.assign(static_cast<std::size_t>(g.degree(v)) + 1, false);
       for (const NodeId u : g.neighbors(v)) {
@@ -51,6 +54,9 @@ ColoringResult random_coloring(const Graph& g, NodeRandomness& rnd,
       RLOCAL_ASSERT(is_valid_coloring(g, result.color, palette));
       return result;
     }
+    // Both rounds of this iteration: proposal + decision broadcasts.
+    result.analytic_messages += 2 * uncolored_degree_sum;
+    result.analytic_bits += 2 * uncolored_degree_sum * color_bits;
     // Conflict resolution: a proposal sticks unless an uncolored neighbor
     // with smaller id proposed the same color.
     for (NodeId v = 0; v < g.num_nodes(); ++v) {

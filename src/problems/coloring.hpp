@@ -16,6 +16,13 @@ struct ColoringResult {
   bool success = false;
   int iterations = 0;
   int rounds_charged = 0;  ///< 2 CONGEST rounds per iteration
+  /// Analytic CONGEST message accounting matching rounds_charged: in both
+  /// rounds of an iteration every still-uncolored node broadcasts (its
+  /// proposal, then its adopt/retry decision), each message one palette
+  /// color plus a flag wide. Deterministic in the coins, so sweeps carry
+  /// message totals without a simulated wire.
+  std::int64_t analytic_messages = 0;
+  std::int64_t analytic_bits = 0;
 };
 
 /// Random-trial (Delta+1)-coloring: every uncolored node proposes a uniform

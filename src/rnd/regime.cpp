@@ -196,14 +196,207 @@ std::uint64_t NodeRandomness::chunk(std::uint64_t node, std::uint64_t stream,
 }
 
 bool NodeRandomness::bit(std::uint64_t node, std::uint64_t stream, int j) {
-  RLOCAL_CHECK(j >= 0 && j < kMaxBitsPerDraw, "bit index out of range");
-  maybe_checkpoint();
-  derived_bits_ += 1;
-  if (regime_.kind == RegimeKind::kSharedEpsBias) {
-    const std::uint64_t point = pack(node, stream, j >> 6);
-    return epsbias_->bit((point << 6) | static_cast<std::uint64_t>(j & 63));
+  std::uint8_t out = 0;
+  bits_batch(std::span<const std::uint64_t>(&node, 1), stream, j,
+             std::span<std::uint8_t>(&out, 1));
+  return out != 0;
+}
+
+void NodeRandomness::batch_checkpoint(std::uint64_t draws) {
+  // Count draws only while a checkpoint is armed, exactly like the scalar
+  // maybe_checkpoint's short-circuit -- so batch and scalar draw histories
+  // keep the same fire phase even when the hook is installed mid-run.
+  if (!checkpoint_) return;
+  const std::uint64_t boundaries_before = draw_calls_ / kCheckpointInterval;
+  draw_calls_ += draws;
+  const std::uint64_t fires =
+      draw_calls_ / kCheckpointInterval - boundaries_before;
+  for (std::uint64_t f = 0; f < fires; ++f) checkpoint_();
+}
+
+void NodeRandomness::gather_chunks(std::span<const std::uint64_t> nodes,
+                                   std::uint64_t stream, int c,
+                                   std::span<std::uint64_t> words) {
+  const std::size_t count = nodes.size();
+  RLOCAL_CHECK(words.size() >= count,
+               "gather_chunks output span is shorter than the node span");
+  if (count == 0) return;
+  if (count == 1) {
+    // Single-point gathers keep the scalar path's last-point memo warm
+    // (chunk_impl routes through KWiseGenerator::value), so the thin scalar
+    // wrappers retain their repeated-point O(1) behavior.
+    words[0] = chunk_impl(nodes[0], stream, c);
+    return;
   }
-  return ((chunk_impl(node, stream, j >> 6) >> (j & 63)) & 1ULL) != 0;
+  switch (regime_.kind) {
+    case RegimeKind::kFull: {
+      // Per-point mixing has no cross-point batching win; share chunk_impl
+      // so the derivation (salt, mix, packing) lives in exactly one place.
+      for (std::size_t i = 0; i < count; ++i) {
+        words[i] = chunk_impl(nodes[i], stream, c);
+      }
+      return;
+    }
+    case RegimeKind::kKWise:
+    case RegimeKind::kSharedKWise: {
+      batch_points_.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        batch_points_[i] = pack(nodes[i], stream, c);
+      }
+      kwise_->values(batch_points_, words);
+      return;
+    }
+    case RegimeKind::kPooled: {
+      // Group nodes by pool (first-appearance order, pools marked done with
+      // -1) and run one values() pass per touched pool; the lazy
+      // pool_generator charge makes the seed ledger identical to the scalar
+      // loop's.
+      batch_pool_.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        batch_pool_[i] = pool_of(nodes[i]);
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::int32_t pool = batch_pool_[i];
+        if (pool < 0) continue;
+        batch_points_.clear();
+        batch_scatter_.clear();
+        for (std::size_t j = i; j < count; ++j) {
+          if (batch_pool_[j] != pool) continue;
+          batch_points_.push_back(pack(nodes[j], stream, c));
+          batch_scatter_.push_back(j);
+          batch_pool_[j] = -1;
+        }
+        const KWiseGenerator& gen = pool_generator(pool);
+        gen.values(batch_points_, batch_points_);  // in-place
+        for (std::size_t j = 0; j < batch_scatter_.size(); ++j) {
+          words[batch_scatter_[j]] = batch_points_[j];
+        }
+      }
+      return;
+    }
+    case RegimeKind::kSharedEpsBias: {
+      for (std::size_t i = 0; i < count; ++i) {
+        words[i] = chunk_impl(nodes[i], stream, c);
+      }
+      return;
+    }
+    case RegimeKind::kAllZeros: {
+      for (std::size_t i = 0; i < count; ++i) words[i] = 0;
+      return;
+    }
+    case RegimeKind::kAllOnes: {
+      for (std::size_t i = 0; i < count; ++i) words[i] = ~0ULL;
+      return;
+    }
+  }
+  RLOCAL_ASSERT(false);
+}
+
+void NodeRandomness::bits_batch(std::span<const std::uint64_t> nodes,
+                                std::uint64_t stream, int j,
+                                std::span<std::uint8_t> out) {
+  RLOCAL_CHECK(j >= 0 && j < kMaxBitsPerDraw, "bit index out of range");
+  RLOCAL_CHECK(out.size() >= nodes.size(),
+               "bits_batch output span is shorter than the node span");
+  const std::size_t count = nodes.size();
+  batch_checkpoint(count);
+  derived_bits_ += count;
+  if (regime_.kind == RegimeKind::kSharedEpsBias) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t point = pack(nodes[i], stream, j >> 6);
+      out[i] = epsbias_->bit((point << 6) |
+                             static_cast<std::uint64_t>(j & 63))
+                   ? 1
+                   : 0;
+    }
+    return;
+  }
+  batch_words_.resize(count);
+  gather_chunks(nodes, stream, j >> 6,
+                std::span<std::uint64_t>(batch_words_.data(), count));
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<std::uint8_t>((batch_words_[i] >> (j & 63)) & 1ULL);
+  }
+}
+
+void NodeRandomness::priority_batch(std::span<const std::uint64_t> nodes,
+                                    std::uint64_t stream, int bits,
+                                    std::span<std::uint64_t> out) {
+  RLOCAL_CHECK(bits >= 1 && bits <= 64, "priority width must be in [1, 64]");
+  RLOCAL_CHECK(out.size() >= nodes.size(),
+               "priority_batch output span is shorter than the node span");
+  const std::size_t count = nodes.size();
+  batch_checkpoint(count);
+  derived_bits_ += 64 * static_cast<std::uint64_t>(count);
+  gather_chunks(nodes, stream, 0, out);
+  for (std::size_t i = 0; i < count; ++i) out[i] >>= (64 - bits);
+}
+
+void NodeRandomness::geometric_batch(std::span<const std::uint64_t> nodes,
+                                     std::uint64_t stream, int cap,
+                                     std::span<int> out) {
+  RLOCAL_CHECK(cap >= 1 && cap <= kMaxBitsPerDraw, "geometric cap invalid");
+  RLOCAL_CHECK(out.size() >= nodes.size(),
+               "geometric_batch output span is shorter than the node span");
+  const std::size_t count = nodes.size();
+  std::uint64_t bits_examined = 0;
+  if (regime_.kind == RegimeKind::kSharedEpsBias) {
+    // One LFSR evaluation per examined bit, exactly like the scalar loop --
+    // assembling whole 64-bit words would cost 64 evaluations where the
+    // expected run needs two.
+    for (std::size_t i = 0; i < count; ++i) {
+      int result = cap;
+      for (int k = 1; k <= cap; ++k) {
+        const std::uint64_t point = pack(nodes[i], stream, (k - 1) >> 6);
+        if (!epsbias_->bit((point << 6) |
+                           static_cast<std::uint64_t>((k - 1) & 63))) {
+          result = k;
+          break;
+        }
+      }
+      out[i] = result;
+      bits_examined += static_cast<std::uint64_t>(result);
+    }
+  } else {
+    batch_nodes_.assign(nodes.begin(), nodes.end());
+    batch_index_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) batch_index_[i] = i;
+    std::size_t active = count;
+    for (int c = 0; active > 0; ++c) {
+      const int lo = c * 64;  // first bit index covered by this chunk
+      const int hi = std::min(cap, lo + 64);
+      batch_words_.resize(active);
+      gather_chunks(std::span<const std::uint64_t>(batch_nodes_.data(),
+                                                   active),
+                    stream, c,
+                    std::span<std::uint64_t>(batch_words_.data(), active));
+      std::size_t next = 0;
+      for (std::size_t i = 0; i < active; ++i) {
+        const std::uint64_t word = batch_words_[i];
+        int result = 0;
+        for (int k = lo + 1; k <= hi; ++k) {
+          // Heads continue the run, the first tail stops it: Pr[X=k] = 2^-k.
+          if (((word >> ((k - 1) & 63)) & 1ULL) == 0) {
+            result = k;
+            break;
+          }
+        }
+        if (result == 0 && hi == cap) result = cap;  // all heads to the cap
+        if (result != 0) {
+          out[batch_index_[i]] = result;
+          bits_examined += static_cast<std::uint64_t>(result);
+        } else {
+          // Still all-heads with bits left: stays active for chunk c + 1.
+          batch_nodes_[next] = batch_nodes_[i];
+          batch_index_[next] = batch_index_[i];
+          ++next;
+        }
+      }
+      active = next;
+    }
+  }
+  batch_checkpoint(bits_examined);
+  derived_bits_ += bits_examined;
 }
 
 bool NodeRandomness::bernoulli(std::uint64_t node, std::uint64_t stream,
@@ -231,12 +424,10 @@ bool NodeRandomness::bernoulli(std::uint64_t node, std::uint64_t stream,
 
 int NodeRandomness::geometric(std::uint64_t node, std::uint64_t stream,
                               int cap) {
-  RLOCAL_CHECK(cap >= 1 && cap <= kMaxBitsPerDraw, "geometric cap invalid");
-  for (int k = 1; k <= cap; ++k) {
-    // Heads continue the run, the first tail stops it: Pr[X=k] = 2^-k.
-    if (!bit(node, stream, k - 1)) return k;
-  }
-  return cap;
+  int out = 0;
+  geometric_batch(std::span<const std::uint64_t>(&node, 1), stream, cap,
+                  std::span<int>(&out, 1));
+  return out;
 }
 
 std::uint64_t pack_draw(std::uint64_t node, std::uint64_t stream, int chunk) {

@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -119,6 +120,44 @@ class NodeRandomness {
   /// Geometric with Pr[X=k] = 2^-k truncated at cap (<= kMaxBitsPerDraw).
   int geometric(std::uint64_t node, std::uint64_t stream, int cap);
 
+  // --- Batched fast path -------------------------------------------------
+  //
+  // One call gathers a draw for MANY nodes of one stream: the (node, stream,
+  // chunk) evaluation points are materialized together and routed through
+  // KWiseGenerator::values (per-pool generators in the pooled regime), so
+  // the GF(2^64) Horner chains of four points overlap instead of
+  // serializing -- the dominant cost of k-wise-heavy sweep cells. Results
+  // are byte-identical to the scalar loops (`out[i] == scalar(nodes[i])`),
+  // and the ledger/draw-call accounting is charged once per batch in the
+  // exact amounts the scalar loop would accumulate, so batch and scalar
+  // runs produce identical records. The scalar bit()/geometric() above are
+  // thin wrappers over single-element batches.
+  //
+  // Checkpoint semantics: a batch fires the installed checkpoint exactly as
+  // many times as the equivalent scalar loop would (one fire per
+  // kCheckpointInterval draw calls), coalesced at one point of the batch
+  // instead of interleaved between draws -- a throwing checkpoint (deadline
+  // expiry) therefore aborts the batch wholesale instead of a suffix. The
+  // hook cannot observe values, so determinism of the produced draws is
+  // untouched either way.
+
+  /// out[i] = bit(nodes[i], stream, j), as 0/1 bytes.
+  void bits_batch(std::span<const std::uint64_t> nodes, std::uint64_t stream,
+                  int j, std::span<std::uint8_t> out);
+
+  /// out[i] = chunk(nodes[i], stream, 0) >> (64 - bits) -- the top-`bits`
+  /// priority draw of Luby-style algorithms; bits in [1, 64].
+  void priority_batch(std::span<const std::uint64_t> nodes,
+                      std::uint64_t stream, int bits,
+                      std::span<std::uint64_t> out);
+
+  /// out[i] = geometric(nodes[i], stream, cap). Chunk c of every
+  /// still-undecided node is gathered in one values() pass before the next
+  /// chunk is touched, so a cap > 64 costs one extra batched evaluation per
+  /// 64 all-heads bits instead of one Horner chain per bit.
+  void geometric_batch(std::span<const std::uint64_t> nodes,
+                       std::uint64_t stream, int cap, std::span<int> out);
+
   const Regime& regime() const { return regime_; }
 
   /// Bits of true (seed) randomness the regime consumed; 0 for kFull/kKWise
@@ -166,13 +205,30 @@ class NodeRandomness {
       checkpoint_();
     }
   }
+  /// Batch equivalent: advances the draw-call counter by `draws` and fires
+  /// the checkpoint once per kCheckpointInterval boundary crossed -- the
+  /// same number of fires the scalar loop's maybe_checkpoint() would make.
+  void batch_checkpoint(std::uint64_t draws);
   std::optional<KWiseGenerator> kwise_;
   std::optional<EpsBiasGenerator> epsbias_;
   /// Lazily instantiated per-pool generators (kPooled).
   std::map<std::int32_t, KWiseGenerator> pools_;
+  // Reused batch scratch (points / per-node pool ids / geometric work
+  // lists); member buffers so steady-state batches allocate nothing.
+  std::vector<std::uint64_t> batch_points_;   ///< gather_chunks: eval points
+  std::vector<std::uint64_t> batch_words_;    ///< gathered 64-bit chunks
+  std::vector<std::int32_t> batch_pool_;      ///< gather_chunks: pool ids
+  std::vector<std::size_t> batch_scatter_;    ///< gather_chunks: pool scatter
+  std::vector<std::uint64_t> batch_nodes_;    ///< geometric: active nodes
+  std::vector<std::size_t> batch_index_;      ///< geometric: active -> out
 
   static std::uint64_t pack(std::uint64_t node, std::uint64_t stream, int c);
   std::uint64_t chunk_impl(std::uint64_t node, std::uint64_t stream, int c);
+  /// words[i] = chunk_impl(nodes[i], stream, c) for the whole span; no
+  /// ledger/checkpoint side effects (callers charge per public batch).
+  void gather_chunks(std::span<const std::uint64_t> nodes,
+                     std::uint64_t stream, int c,
+                     std::span<std::uint64_t> words);
   const KWiseGenerator& pool_generator(std::int32_t pool);
 };
 

@@ -7,16 +7,15 @@
 
 namespace rlocal {
 
-void Context::send(int port, Message message) {
+void Context::send(int port, std::span<const std::uint64_t> words, int bits) {
   RLOCAL_CHECK(port >= 0 && port < static_cast<int>(neighbor_count_),
                "send: port out of range");
-  engine_->submit(self_, port, std::move(message));
+  engine_->submit(self_, port, words, bits);
 }
 
-void Context::broadcast(const Message& message) {
-  for (int p = 0; p < static_cast<int>(neighbor_count_); ++p) {
-    send(p, message);
-  }
+void Context::broadcast(std::span<const std::uint64_t> words, int bits) {
+  if (neighbor_count_ == 0) return;
+  engine_->submit_broadcast(self_, words, bits);
 }
 
 Engine::Engine(const Graph& g, EngineOptions options)
@@ -44,14 +43,14 @@ Engine::Engine(const Graph& g, EngineOptions options)
   }
 }
 
-void Engine::submit(NodeId from, int port, Message message) {
+void Engine::submit_at(NodeId from, int port, int bits, std::uint32_t offset,
+                       std::uint32_t count) {
   // The declared bit count is the semantic on-the-wire size (fields are
   // conceptually bit-packed); the payload words are a convenience encoding.
   // Only the declared size is bandwidth-checked -- programs are first-party.
-  if (options_.model == CommModel::kCongest &&
-      message.bits > bandwidth_bits_) {
+  if (options_.model == CommModel::kCongest && bits > bandwidth_bits_) {
     throw CongestViolation(
-        "message of " + std::to_string(message.bits) + " bits exceeds " +
+        "message of " + std::to_string(bits) + " bits exceeds " +
         std::to_string(bandwidth_bits_) + "-bit CONGEST bandwidth");
   }
   auto& used = port_used_[static_cast<std::size_t>(from)];
@@ -60,13 +59,56 @@ void Engine::submit(NodeId from, int port, Message message) {
   used[static_cast<std::size_t>(port)] = true;
 
   stats_.messages += 1;
-  stats_.total_bits += message.bits;
-  stats_.max_message_bits = std::max(stats_.max_message_bits, message.bits);
+  stats_.total_bits += bits;
+  stats_.max_message_bits = std::max(stats_.max_message_bits, bits);
 
   const NodeId to = graph_->neighbors(from)[static_cast<std::size_t>(port)];
   const int to_port = reverse_port_[static_cast<std::size_t>(from)]
                                    [static_cast<std::size_t>(port)];
-  pending_.push_back(Pending{to, to_port, std::move(message)});
+  send_arena_.push(to, to_port, bits, offset, count);
+}
+
+void Engine::submit(NodeId from, int port,
+                    std::span<const std::uint64_t> words, int bits) {
+  const std::uint32_t offset = send_arena_.append_words(words);
+  submit_at(from, port, bits, offset,
+            static_cast<std::uint32_t>(words.size()));
+}
+
+void Engine::submit_broadcast(NodeId from,
+                              std::span<const std::uint64_t> words,
+                              int bits) {
+  // One payload copy shared by every port's slot: broadcast costs
+  // O(words + degree) arena traffic instead of O(words * degree).
+  const std::uint32_t offset = send_arena_.append_words(words);
+  const auto count = static_cast<std::uint32_t>(words.size());
+  const int degree = graph_->degree(from);
+  for (int p = 0; p < degree; ++p) submit_at(from, p, bits, offset, count);
+}
+
+void Engine::deliver_round() {
+  std::swap(send_arena_, deliver_arena_);
+  send_arena_.clear();
+  const auto slots = deliver_arena_.slots();
+  const auto n = static_cast<std::size_t>(graph_->num_nodes());
+  // CSR index: count per destination, prefix-sum, then fill in submission
+  // order (stable per node, matching the old per-node push_back order).
+  std::fill(inbox_cursor_.begin(), inbox_cursor_.end(), 0u);
+  for (const auto& slot : slots) {
+    ++inbox_cursor_[static_cast<std::size_t>(slot.to)];
+  }
+  std::uint32_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    inbox_offset_[v] = total;
+    total += inbox_cursor_[v];
+    inbox_cursor_[v] = inbox_offset_[v];
+  }
+  inbox_offset_[n] = total;
+  incoming_.resize(total);
+  for (const auto& slot : slots) {
+    incoming_[inbox_cursor_[static_cast<std::size_t>(slot.to)]++] =
+        Incoming{slot.to_port, slot.bits, deliver_arena_.words(slot)};
+  }
 }
 
 EngineStats Engine::run(const ProgramFactory& factory) {
@@ -86,14 +128,17 @@ EngineStats Engine::run(const ProgramFactory& factory) {
     const Engine* engine;
     ~MeterReport() { engine->report_run_to_meter(); }
   } report{this};
-  pending_.clear();
-  port_used_.assign(static_cast<std::size_t>(n), {});
+  send_arena_.clear();
+  deliver_arena_.clear();
+  incoming_.clear();
+  inbox_offset_.assign(static_cast<std::size_t>(n) + 1, 0u);
+  inbox_cursor_.assign(static_cast<std::size_t>(n), 0u);
+  port_used_.resize(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
     port_used_[static_cast<std::size_t>(v)].assign(
         static_cast<std::size_t>(graph_->degree(v)), false);
   }
 
-  std::vector<std::vector<Incoming>> inboxes(static_cast<std::size_t>(n));
   auto make_context = [&](NodeId v, int round) {
     Context ctx;
     ctx.engine_ = this;
@@ -102,7 +147,9 @@ EngineStats Engine::run(const ProgramFactory& factory) {
     ctx.round_ = round;
     ctx.num_nodes_ = n;
     ctx.neighbor_count_ = graph_->neighbors(v).size();
-    ctx.inbox_ = &inboxes[static_cast<std::size_t>(v)];
+    const std::size_t lo = inbox_offset_[static_cast<std::size_t>(v)];
+    const std::size_t hi = inbox_offset_[static_cast<std::size_t>(v) + 1];
+    ctx.inbox_ = std::span<const Incoming>(incoming_.data() + lo, hi - lo);
     return ctx;
   };
 
@@ -132,13 +179,10 @@ EngineStats Engine::run(const ProgramFactory& factory) {
       return stats_;
     }
 
-    // Deliver messages sent in the previous round.
-    for (auto& box : inboxes) box.clear();
-    for (auto& p : pending_) {
-      inboxes[static_cast<std::size_t>(p.to)].push_back(
-          Incoming{p.to_port, std::move(p.message)});
-    }
-    pending_.clear();
+    // Deliver messages sent in the previous round (arena swap + CSR fill;
+    // the new send arena is empty and the delivered spans stay stable for
+    // the whole round).
+    deliver_round();
     for (auto& used : port_used_) {
       std::fill(used.begin(), used.end(), false);
     }

@@ -11,6 +11,12 @@
 // run. Nodes know n (non-uniform algorithms), their own unique identifier,
 // and their neighbor ports -- they do NOT know neighbor identities beyond
 // what messages tell them, matching the KT0 knowledge assumption.
+//
+// Message storage is arena-based: payload words live in a per-round flat
+// buffer (MessageArena) that send and delivery double-buffer between
+// rounds, and delivered messages are word *spans* into the deliver-side
+// arena -- the round loop performs zero per-message heap allocations at
+// steady state (see docs/perf.md for the lifetime rules).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +38,10 @@ class CongestViolation : public std::runtime_error {
 
 /// A message: up to a few words of payload with a declared bit size (the
 /// declared size is what the bandwidth check uses; it must cover the words).
+/// Convenience *construction* type only -- on submission the words are
+/// copied into the engine's per-round MessageArena, so hot-loop programs
+/// should prefer the span-based Context::send/broadcast overloads (stack
+/// words, zero heap traffic) over building a Message per round.
 struct Message {
   std::vector<std::uint64_t> words;
   int bits = 0;
@@ -44,9 +54,60 @@ struct Message {
   }
 };
 
+/// One delivered message: a word span into the engine's deliver-side arena.
+/// The span (and the Incoming itself) is valid for the duration of the
+/// receiving on_round call only -- the arena is recycled when the next
+/// round's delivery swap happens. Programs that need a payload beyond the
+/// round must copy the words out.
 struct Incoming {
   int port;  ///< which neighbor port delivered it
-  Message message;
+  int bits;  ///< declared on-the-wire size
+  std::span<const std::uint64_t> words;
+};
+
+/// Per-round message storage: payload words live in one reused flat buffer
+/// and per-message routing headers (slots) in another, so a round of
+/// traffic costs zero heap allocations at steady state. The engine keeps
+/// two arenas -- programs write the send arena while they read spans into
+/// the deliver arena, and the round boundary swaps them (double buffering
+/// is what keeps delivered spans stable for the whole round).
+class MessageArena {
+ public:
+  struct Slot {
+    NodeId to;
+    int to_port;
+    int bits;
+    std::uint32_t offset;  ///< first payload word in the flat buffer
+    std::uint32_t count;   ///< payload word count
+  };
+
+  /// Drops all slots and words but keeps capacity.
+  void clear() {
+    words_.clear();
+    slots_.clear();
+  }
+
+  /// Appends a payload, returning its offset; broadcast fan-out appends the
+  /// words once and shares the offset across per-port slots.
+  std::uint32_t append_words(std::span<const std::uint64_t> words) {
+    const auto offset = static_cast<std::uint32_t>(words_.size());
+    words_.insert(words_.end(), words.begin(), words.end());
+    return offset;
+  }
+
+  void push(NodeId to, int to_port, int bits, std::uint32_t offset,
+            std::uint32_t count) {
+    slots_.push_back(Slot{to, to_port, bits, offset, count});
+  }
+
+  std::span<const Slot> slots() const { return slots_; }
+  std::span<const std::uint64_t> words(const Slot& slot) const {
+    return {words_.data() + slot.offset, slot.count};
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::vector<Slot> slots_;
 };
 
 class Engine;
@@ -59,13 +120,24 @@ class Context {
   int round() const { return round_; }
   NodeId num_nodes() const { return num_nodes_; }
   int degree() const { return static_cast<int>(neighbor_count_); }
-  const std::vector<Incoming>& inbox() const { return *inbox_; }
+  /// Messages delivered this round; spans are valid until on_round returns.
+  std::span<const Incoming> inbox() const { return inbox_; }
 
-  /// Sends to neighbor port p in [0, degree). At most one message per port
-  /// per round.
-  void send(int port, Message message);
-  /// Sends the same message to every neighbor.
-  void broadcast(const Message& message);
+  /// Sends `words` (declared size `bits`) to neighbor port p in
+  /// [0, degree). At most one message per port per round. The words are
+  /// copied into the engine's send arena, so stack buffers are fine and no
+  /// heap allocation happens at steady state.
+  void send(int port, std::span<const std::uint64_t> words, int bits);
+  /// Convenience overload for the owning Message type.
+  void send(int port, const Message& message) {
+    send(port, message.words, message.bits);
+  }
+  /// Sends the same payload to every neighbor (the words are appended to
+  /// the arena once and shared across ports).
+  void broadcast(std::span<const std::uint64_t> words, int bits);
+  void broadcast(const Message& message) {
+    broadcast(message.words, message.bits);
+  }
 
  private:
   friend class Engine;
@@ -75,7 +147,7 @@ class Context {
   int round_ = 0;
   NodeId num_nodes_ = 0;
   std::size_t neighbor_count_ = 0;
-  const std::vector<Incoming>* inbox_ = nullptr;
+  std::span<const Incoming> inbox_;
 };
 
 /// A node's program. The engine calls on_start once (round 0, may send),
@@ -129,7 +201,18 @@ class Engine {
 
  private:
   friend class Context;
-  void submit(NodeId from, int port, Message message);
+  /// Bandwidth/port checks + stats for one message whose words are already
+  /// in the send arena at [offset, offset + count).
+  void submit_at(NodeId from, int port, int bits, std::uint32_t offset,
+                 std::uint32_t count);
+  void submit(NodeId from, int port, std::span<const std::uint64_t> words,
+              int bits);
+  void submit_broadcast(NodeId from, std::span<const std::uint64_t> words,
+                        int bits);
+  /// Swaps send/deliver arenas and rebuilds the CSR inbox index over the
+  /// deliver arena's slots (counts -> prefix sums -> fill); all buffers are
+  /// reused, so a steady-state round allocates nothing.
+  void deliver_round();
   /// Reports the finished run into the active cost meter (cost/meter.hpp);
   /// no-op outside a metered cell.
   void report_run_to_meter() const;
@@ -139,13 +222,15 @@ class Engine {
   int bandwidth_bits_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
 
-  // Per-round outboxes: (destination node, destination port, message).
-  struct Pending {
-    NodeId to;
-    int to_port;
-    Message message;
-  };
-  std::vector<Pending> pending_;
+  // Double-buffered per-round message arenas: programs submit into send_
+  // while the round's inbox spans point into deliver_ (see MessageArena).
+  MessageArena send_arena_;
+  MessageArena deliver_arena_;
+  // CSR inbox over deliver_arena_: node v's messages are
+  // incoming_[inbox_offset_[v] .. inbox_offset_[v + 1]).
+  std::vector<Incoming> incoming_;
+  std::vector<std::uint32_t> inbox_offset_;  // n + 1 prefix sums
+  std::vector<std::uint32_t> inbox_cursor_;  // fill cursors (scratch)
   std::vector<std::vector<bool>> port_used_;  // per node, per port, this round
   EngineStats stats_;
   // Reverse port map: for edge (u -> v) at u's port p, the port of u at v.

@@ -14,7 +14,8 @@ void BfsTreeProgram::on_start(Context& ctx) {
   if (is_source_) {
     owner_id_ = own_id_;
     dist_ = 0;
-    ctx.broadcast(Message::single(owner_id_, id_bits(ctx.num_nodes())));
+    ctx.broadcast(std::span<const std::uint64_t>(&owner_id_, 1),
+                  id_bits(ctx.num_nodes()));
     announced_ = true;
   }
   if (depth_ <= 0) done_ = true;
@@ -27,9 +28,9 @@ void BfsTreeProgram::on_round(Context& ctx) {
     std::uint64_t best = kNoOwner;
     int best_port = -1;
     for (const auto& in : ctx.inbox()) {
-      RLOCAL_ASSERT(!in.message.words.empty());
-      if (in.message.words[0] < best) {
-        best = in.message.words[0];
+      RLOCAL_ASSERT(!in.words.empty());
+      if (in.words[0] < best) {
+        best = in.words[0];
         best_port = in.port;
       }
     }
@@ -37,7 +38,8 @@ void BfsTreeProgram::on_round(Context& ctx) {
       owner_id_ = best;
       dist_ = ctx.round();
       parent_port_ = best_port;
-      ctx.broadcast(Message::single(owner_id_, id_bits(ctx.num_nodes())));
+      ctx.broadcast(std::span<const std::uint64_t>(&owner_id_, 1),
+                    id_bits(ctx.num_nodes()));
       announced_ = true;
     }
   }

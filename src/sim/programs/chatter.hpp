@@ -1,0 +1,48 @@
+// Synthetic broadcast-heavy traffic: every node sends a two-word payload to
+// every neighbor every round for a fixed number of rounds -- the densest
+// legal CONGEST pattern (one message per port per round). Not a paper
+// algorithm; the load generator behind the engine's allocation-gate test
+// and the BM_EngineArenaRound throughput counter, shared so the two always
+// measure the same traffic shape.
+#pragma once
+
+#include <span>
+
+#include "sim/engine.hpp"
+
+namespace rlocal {
+
+class ChatterProgram final : public NodeProgram {
+ public:
+  ChatterProgram(std::uint64_t id, int rounds) : id_(id), rounds_(rounds) {}
+
+  void on_start(Context& ctx) override { chatter(ctx); }
+  void on_round(Context& ctx) override {
+    std::uint64_t sum = 0;
+    for (const auto& in : ctx.inbox()) {
+      sum += in.words[0];
+      if (in.words.size() > 1) sum += in.words[1];
+    }
+    sum_ = sum;
+    if (ctx.round() >= rounds_) {
+      done_ = true;
+      return;
+    }
+    chatter(ctx);
+  }
+  bool halted() const override { return done_; }
+
+ private:
+  void chatter(Context& ctx) {
+    // Stack words: the arena copies them on submit (see docs/perf.md).
+    const std::uint64_t words[2] = {id_, sum_};
+    ctx.broadcast(std::span<const std::uint64_t>(words, 2), 64);
+  }
+
+  std::uint64_t id_;
+  std::uint64_t sum_ = 0;
+  int rounds_;
+  bool done_ = false;
+};
+
+}  // namespace rlocal

@@ -13,15 +13,16 @@ void FloodMinProgram::on_start(Context& ctx) {
     done_ = true;
     return;
   }
-  ctx.broadcast(Message::single(best_, id_bits(ctx.num_nodes())));
+  ctx.broadcast(std::span<const std::uint64_t>(&best_, 1),
+                id_bits(ctx.num_nodes()));
 }
 
 void FloodMinProgram::on_round(Context& ctx) {
   bool improved = false;
   for (const auto& in : ctx.inbox()) {
-    RLOCAL_ASSERT(!in.message.words.empty());
-    if (in.message.words[0] < best_) {
-      best_ = in.message.words[0];
+    RLOCAL_ASSERT(!in.words.empty());
+    if (in.words[0] < best_) {
+      best_ = in.words[0];
       improved = true;
     }
   }
@@ -30,7 +31,8 @@ void FloodMinProgram::on_round(Context& ctx) {
     return;
   }
   if (improved) {
-    ctx.broadcast(Message::single(best_, id_bits(ctx.num_nodes())));
+    ctx.broadcast(std::span<const std::uint64_t>(&best_, 1),
+                  id_bits(ctx.num_nodes()));
   }
 }
 

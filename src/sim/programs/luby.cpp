@@ -39,10 +39,9 @@ void LubyMisProgram::draw_and_announce(Context& ctx) {
     return;
   }
   priority_ = draw_priority(*rnd_, node_, iteration_);
-  Message m;
-  m.words = {priority_, own_id_};
-  m.bits = priority_message_bits(ctx.num_nodes());
-  ctx.broadcast(m);
+  const std::uint64_t words[2] = {priority_, own_id_};
+  ctx.broadcast(std::span<const std::uint64_t>(words, 2),
+                priority_message_bits(ctx.num_nodes()));
 }
 
 void LubyMisProgram::on_start(Context& ctx) { draw_and_announce(ctx); }
@@ -56,7 +55,7 @@ void LubyMisProgram::on_round(Context& ctx) {
     // inbox holds (priority, id) pairs only.
     bool wins = true;
     for (const auto& in : ctx.inbox()) {
-      const auto& w = in.message.words;
+      const auto w = in.words;
       RLOCAL_ASSERT(w.size() == 2);
       if (!beats(priority_, own_id_, w[0], w[1])) {
         wins = false;
@@ -65,13 +64,13 @@ void LubyMisProgram::on_round(Context& ctx) {
     }
     if (wins) {
       state_ = State::kInMis;
-      ctx.broadcast(Message{{}, 1});  // JOIN
+      ctx.broadcast(std::span<const std::uint64_t>{}, 1);  // JOIN
       halted_ = true;
     }
   } else {
     // Phase 1 delivered JOIN announcements (empty payloads).
     for (const auto& in : ctx.inbox()) {
-      if (in.message.words.empty()) {
+      if (in.words.empty()) {
         state_ = State::kOut;
         halted_ = true;
         return;
@@ -118,22 +117,40 @@ LubyMisResult reference_luby_mis(const Graph& g, NodeRandomness& rnd,
   std::vector<S> state(n, S::kUndecided);
   LubyMisResult result;
   result.in_mis.assign(n, false);
+  const int offer_bits = priority_message_bits(g.num_nodes());
 
   std::vector<std::uint64_t> priority(n, 0);
+  // Batched priority plane: one priority_batch call per iteration over the
+  // undecided set replaces one full Horner chain per node (the per-draw
+  // values are byte-identical to the scalar rnd.chunk path, so the engine
+  // cross-check still sees the same coins).
+  std::vector<std::uint64_t> undecided;
+  std::vector<std::uint64_t> drawn;
+  undecided.reserve(n);
+  drawn.reserve(n);
   for (int iteration = 1; iteration <= budget; ++iteration) {
-    bool any_undecided = false;
+    undecided.clear();
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       if (state[static_cast<std::size_t>(v)] == S::kUndecided) {
-        any_undecided = true;
-        priority[static_cast<std::size_t>(v)] =
-            draw_priority(rnd, v, iteration);
+        undecided.push_back(static_cast<std::uint64_t>(v));
       }
     }
-    if (!any_undecided) {
+    if (undecided.empty()) {
       result.success = true;
       result.iterations = iteration - 1;
       result.random_bits = rnd.derived_bits() - bits_before;
       return result;
+    }
+    drawn.resize(undecided.size());
+    rnd.priority_batch(undecided, static_cast<std::uint64_t>(iteration),
+                       kPriorityBits, drawn);
+    for (std::size_t i = 0; i < undecided.size(); ++i) {
+      priority[static_cast<std::size_t>(undecided[i])] = drawn[i];
+      // The announce broadcast of this iteration's protocol rounds.
+      const auto deg = static_cast<std::int64_t>(
+          g.degree(static_cast<NodeId>(undecided[i])));
+      result.analytic_messages += deg;
+      result.analytic_bits += deg * offer_bits;
     }
     result.iterations = iteration;
     std::vector<NodeId> joiners;
@@ -153,6 +170,9 @@ LubyMisResult reference_luby_mis(const Graph& g, NodeRandomness& rnd,
     for (const NodeId v : joiners) {
       state[static_cast<std::size_t>(v)] = S::kIn;
       result.in_mis[static_cast<std::size_t>(v)] = true;
+      // The 1-bit JOIN broadcast of the protocol's second phase.
+      result.analytic_messages += g.degree(v);
+      result.analytic_bits += g.degree(v);
       for (const NodeId u : g.neighbors(v)) {
         if (state[static_cast<std::size_t>(u)] == S::kUndecided) {
           state[static_cast<std::size_t>(u)] = S::kOut;

@@ -53,6 +53,13 @@ struct LubyMisResult {
   int iterations = 0;
   EngineStats stats;
   std::uint64_t random_bits = 0;
+  /// Analytic CONGEST message count of the protocol (reference path only;
+  /// the engine path meters real wires instead): per iteration, every
+  /// still-undecided node broadcasts its (priority, id) offer and every
+  /// winner broadcasts JOIN -- exactly the sends the engine executes, so
+  /// the two paths report identical totals on identical coins.
+  std::int64_t analytic_messages = 0;
+  std::int64_t analytic_bits = 0;
 };
 
 /// `max_iterations <= 0` uses the default 8 * ceil(log2 n) + 8.

@@ -13,20 +13,9 @@ int entry_bits(NodeId n) {
   return 3 * log2n(static_cast<std::uint64_t>(n)) + 2 + 16;
 }
 
-Message encode(const MeasureEntry& a, const MeasureEntry& b, NodeId n) {
-  Message m;
-  int entries = 0;
-  for (const MeasureEntry* e : {&a, &b}) {
-    if (!e->present()) continue;
-    m.words.push_back(e->origin_id);
-    m.words.push_back(static_cast<std::uint64_t>(e->value));
-    ++entries;
-  }
-  m.bits = entries * entry_bits(n);
-  return m;
-}
-
 }  // namespace
+
+int top_two_entry_bits(NodeId n) { return entry_bits(n); }
 
 void TopTwoProgram::offer(const MeasureEntry& entry) {
   if (!entry.present() || !participates_) return;
@@ -67,7 +56,19 @@ void TopTwoProgram::maybe_broadcast(Context& ctx) {
   if (a.present() && a.value < 0) a = MeasureEntry{};
   if (b.present() && b.value < 0) b = MeasureEntry{};
   if (!a.present() && !b.present()) return;
-  ctx.broadcast(encode(a, b, ctx.num_nodes()));
+  // Wire format: up to two (origin id, value) pairs, packed on the stack --
+  // the arena copies them on submit, so no per-message heap traffic.
+  std::uint64_t words[4];
+  int entries = 0;
+  for (const MeasureEntry* e : {&a, &b}) {
+    if (!e->present()) continue;
+    words[2 * entries] = e->origin_id;
+    words[2 * entries + 1] = static_cast<std::uint64_t>(e->value);
+    ++entries;
+  }
+  ctx.broadcast(std::span<const std::uint64_t>(
+                    words, static_cast<std::size_t>(2 * entries)),
+                entries * entry_bits(ctx.num_nodes()));
 }
 
 void TopTwoProgram::on_start(Context& ctx) {
@@ -82,7 +83,7 @@ void TopTwoProgram::on_start(Context& ctx) {
 
 void TopTwoProgram::on_round(Context& ctx) {
   for (const auto& in : ctx.inbox()) {
-    const auto& w = in.message.words;
+    const auto w = in.words;
     RLOCAL_ASSERT(w.size() % 2 == 0);
     for (std::size_t i = 0; i + 1 < w.size(); i += 2) {
       offer(MeasureEntry{w[i], static_cast<std::int32_t>(w[i + 1])});

@@ -85,4 +85,9 @@ TopTwoResult reference_top_two(const Graph& g,
                                const std::vector<std::int32_t>& start_value,
                                const std::vector<bool>& participates);
 
+/// Declared wire size of one (origin id, value) measure entry at network
+/// size n -- a full top-two message carries two; exposed so callers that
+/// execute the reference path can charge the model's analytic message cost.
+int top_two_entry_bits(NodeId n);
+
 }  // namespace rlocal

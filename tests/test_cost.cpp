@@ -191,9 +191,41 @@ TEST(CostMeter, ReferenceCellChargesExplicitlyWithoutMetering) {
       "mis/luby", g, "grid", Regime::full(), 3);
   ASSERT_TRUE(record.cost.populated);
   EXPECT_EQ(record.cost.engine_runs, 0);
-  EXPECT_EQ(record.cost.messages, -1);  // never on a simulated wire
   EXPECT_EQ(record.cost.rounds, 2 * record.iterations);
   EXPECT_EQ(record.cost.bandwidth_bits, 0);
+  // Analytic message charging: the reference path replays the protocol's
+  // exact announce/JOIN sends, so on the same coins its charged totals
+  // equal the engine path's metered wires -- no simulated wire needed for
+  // the sweep message gate to see this solver.
+  const lab::RunRecord engine_record = lab::Registry::global().run_cell(
+      "mis/luby", g, "grid", Regime::full(), 3, {{"engine", 1.0}});
+  ASSERT_EQ(engine_record.cost.engine_runs, 1);
+  EXPECT_GT(record.cost.messages, 0);
+  EXPECT_EQ(record.cost.messages, engine_record.cost.messages);
+  EXPECT_EQ(record.cost.total_bits, engine_record.cost.total_bits);
+}
+
+TEST(CostMeter, ReferenceCongestGridCarriesMessageTotals) {
+  // The compare_sweep.py message gate reads cost.messages per solver; the
+  // default bench grid executes reference paths (engine=0), so every
+  // CONGEST-model solver must charge a deterministic analytic message count
+  // there -- the ROADMAP "engine=1 only" gap, closed.
+  lab::SweepSpec spec;
+  spec.graphs = {{"grid", make_grid(6, 6)}};
+  spec.regimes = {Regime::full()};
+  spec.seeds = {5};
+  spec.threads = 1;
+  const lab::SweepResult result = lab::run_sweep(spec);
+  int congest_records = 0;
+  for (const lab::RunRecord& r : result.records) {
+    if (r.skipped) continue;
+    ASSERT_TRUE(r.cost.populated) << r.solver;
+    if (r.cost.model != cost::CostModel::kCongest) continue;
+    ++congest_records;
+    EXPECT_GE(r.cost.messages, 0) << r.solver;
+    EXPECT_GE(r.cost.total_bits, r.cost.messages) << r.solver;
+  }
+  EXPECT_GE(congest_records, 8);  // every CONGEST solver of the registry
 }
 
 // ------------------------------------------------------ model invariants

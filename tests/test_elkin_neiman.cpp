@@ -4,6 +4,7 @@
 
 #include "decomp/elkin_neiman.hpp"
 #include "graph/generators.hpp"
+#include "sim/programs/top_two.hpp"
 #include "support/math.hpp"
 #include "test_util.hpp"
 
@@ -82,6 +83,30 @@ TEST(ElkinNeiman, BitsMatchDrawnShifts) {
   const EnResult r = elkin_neiman_core(g, drawer, {});
   EXPECT_EQ(r.shift_bits, drawn);
   EXPECT_EQ(r.max_shift, 3);
+}
+
+TEST(ElkinNeiman, AnalyticMessageChargeMatchesChargedRounds) {
+  // The analytic message count is the model worst case behind the charged
+  // rounds: (cap + 1) live-degree broadcasts per phase, each message two
+  // measure entries wide -- so bits relate to messages by one uniform
+  // width, and a 2-node graph's first phase is exactly computable.
+  const Graph g = make_grid(6, 6);
+  NodeRandomness rnd(Regime::full(), 3);
+  const EnResult r = elkin_neiman_decomposition(g, rnd);
+  EXPECT_GT(r.analytic_messages, 0);
+  EXPECT_EQ(r.analytic_bits,
+            r.analytic_messages * 2 * top_two_entry_bits(g.num_nodes()));
+
+  const Graph pair = make_path(2);
+  // Node 0 shifts 4, node 1 shifts 1: node 0's measure dominates both
+  // endpoints with margin > 1, so phase 0 clusters everyone.
+  auto drawer = [](NodeId node, int, int) { return node == 0 ? 4 : 1; };
+  EnOptions options;
+  options.shift_cap = 4;
+  const EnResult tiny = elkin_neiman_core(pair, drawer, options);
+  ASSERT_EQ(tiny.phases_used, 1);
+  // 1 phase x (cap + 1) propagation rounds x live degree sum 2.
+  EXPECT_EQ(tiny.analytic_messages, (4 + 1) * 2);
 }
 
 TEST(ElkinNeiman, ConstantShiftsStallWithoutMargin) {

@@ -509,6 +509,149 @@ TEST(PooledRegime, BernoulliFrequencyReasonable) {
   EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.04);
 }
 
+// ---------------------------------------------------------- batched draws
+
+/// Every regime the batched plane must reproduce byte-for-byte, including
+/// a table-bound pooled regime (nodes limited to the table size) and the
+/// adversarial constants.
+std::vector<Regime> batch_regimes() {
+  return {Regime::full(),
+          Regime::kwise(8),
+          Regime::shared_kwise(512),
+          Regime::shared_epsbias(32),
+          Regime::pooled(3, 256),
+          Regime::pooled({0, 0, 1, 2, 1, 0, 2, 2, 1, 0}, 256),
+          Regime::all_zeros(),
+          Regime::all_ones()};
+}
+
+std::vector<std::uint64_t> batch_nodes(const Regime& regime) {
+  // Non-monotone order on purpose: batching must not depend on sortedness.
+  std::vector<std::uint64_t> nodes = {7, 0, 3, 9, 1, 8, 2, 6, 4, 5};
+  if (regime.kind != RegimeKind::kPooled || !regime.pool_table) {
+    for (std::uint64_t i = 0; i < 13; ++i) nodes.push_back(40 + 3 * i);
+  }
+  return nodes;
+}
+
+TEST(BatchedDraws, BitsBatchMatchesScalarAcrossRegimes) {
+  for (const Regime& regime : batch_regimes()) {
+    const std::vector<std::uint64_t> nodes = batch_nodes(regime);
+    NodeRandomness scalar(regime, 77);
+    NodeRandomness batched(regime, 77);
+    for (const int j : {0, 5, 63, 64, 200}) {
+      std::vector<std::uint8_t> out(nodes.size(), 0xFF);
+      batched.bits_batch(nodes, /*stream=*/4, j, out);
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        EXPECT_EQ(out[i] != 0, scalar.bit(nodes[i], 4, j))
+            << regime.name() << " node " << nodes[i] << " j " << j;
+      }
+    }
+    // One ledger charge per batch, in the scalar loop's exact amounts.
+    EXPECT_EQ(batched.derived_bits(), scalar.derived_bits()) << regime.name();
+    EXPECT_EQ(batched.shared_seed_bits(), scalar.shared_seed_bits())
+        << regime.name();
+    if (regime.kind == RegimeKind::kPooled) {
+      EXPECT_EQ(batched.pools_touched(), scalar.pools_touched())
+          << regime.name();
+    }
+  }
+}
+
+TEST(BatchedDraws, GeometricBatchMatchesScalarAcrossRegimes) {
+  for (const Regime& regime : batch_regimes()) {
+    const std::vector<std::uint64_t> nodes = batch_nodes(regime);
+    NodeRandomness scalar(regime, 123);
+    NodeRandomness batched(regime, 123);
+    // cap > 64 exercises the multi-chunk continuation (all_ones runs every
+    // node to the cap across two chunks).
+    for (const int cap : {1, 7, 100}) {
+      std::vector<int> out(nodes.size(), -1);
+      batched.geometric_batch(nodes, /*stream=*/9, cap, out);
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        EXPECT_EQ(out[i], scalar.geometric(nodes[i], 9, cap))
+            << regime.name() << " node " << nodes[i] << " cap " << cap;
+      }
+    }
+    EXPECT_EQ(batched.derived_bits(), scalar.derived_bits()) << regime.name();
+    EXPECT_EQ(batched.shared_seed_bits(), scalar.shared_seed_bits())
+        << regime.name();
+  }
+}
+
+TEST(BatchedDraws, PriorityBatchMatchesScalarChunk) {
+  for (const Regime& regime : batch_regimes()) {
+    const std::vector<std::uint64_t> nodes = batch_nodes(regime);
+    NodeRandomness scalar(regime, 5);
+    NodeRandomness batched(regime, 5);
+    for (const int bits : {1, 24, 64}) {
+      std::vector<std::uint64_t> out(nodes.size());
+      batched.priority_batch(nodes, /*stream=*/2, bits, out);
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const std::uint64_t expected =
+            bits == 64 ? scalar.chunk(nodes[i], 2)
+                       : scalar.chunk(nodes[i], 2) >> (64 - bits);
+        EXPECT_EQ(out[i], expected) << regime.name() << " bits " << bits;
+      }
+    }
+    EXPECT_EQ(batched.derived_bits(), scalar.derived_bits()) << regime.name();
+  }
+}
+
+TEST(BatchedDraws, EmptyBatchesAreNoOps) {
+  NodeRandomness rnd(Regime::kwise(4), 1);
+  rnd.bits_batch({}, 0, 0, {});
+  rnd.priority_batch({}, 0, 24, {});
+  rnd.geometric_batch({}, 0, 8, {});
+  EXPECT_EQ(rnd.derived_bits(), 0u);
+}
+
+TEST(BatchedDraws, CheckpointFiresLikeTheScalarLoop) {
+  // The deadline hook must fire once per kCheckpointInterval draw calls
+  // whether the draws arrive one by one or as a batch; geometric draws
+  // count one call per examined bit in both shapes.
+  const Regime regime = Regime::kwise(8);
+  NodeRandomness scalar(regime, 42);
+  NodeRandomness batched(regime, 42);
+  int scalar_fires = 0;
+  int batched_fires = 0;
+  scalar.set_checkpoint([&scalar_fires] { ++scalar_fires; });
+  batched.set_checkpoint([&batched_fires] { ++batched_fires; });
+
+  std::vector<std::uint64_t> nodes(150);
+  for (std::size_t i = 0; i < nodes.size(); ++i) nodes[i] = i;
+  std::vector<std::uint8_t> bits(nodes.size());
+  batched.bits_batch(nodes, 0, 0, bits);
+  for (const std::uint64_t node : nodes) scalar.bit(node, 0, 0);
+  EXPECT_GT(batched_fires, 0);
+  EXPECT_EQ(batched_fires, scalar_fires);
+
+  std::vector<int> draws(nodes.size());
+  batched.geometric_batch(nodes, 1, 40, draws);
+  for (const std::uint64_t node : nodes) scalar.geometric(node, 1, 40);
+  EXPECT_EQ(batched_fires, scalar_fires);
+}
+
+TEST(BatchedDraws, ThrowingCheckpointAbortsTheBatchWholesale) {
+  // A deadline expiring mid-batch surfaces as the hook's exception; the
+  // generator stays usable and deterministic afterwards (the hook cannot
+  // observe or alter values).
+  struct Expired {};
+  NodeRandomness rnd(Regime::kwise(8), 42);
+  NodeRandomness untouched(Regime::kwise(8), 42);
+  int fires = 0;
+  rnd.set_checkpoint([&fires] {
+    if (++fires >= 2) throw Expired{};
+  });
+  std::vector<std::uint64_t> nodes(3 * NodeRandomness::kCheckpointInterval);
+  for (std::size_t i = 0; i < nodes.size(); ++i) nodes[i] = i;
+  std::vector<std::uint8_t> out(nodes.size());
+  EXPECT_THROW(rnd.bits_batch(nodes, 0, 0, out), Expired);
+  EXPECT_EQ(fires, 2);
+  rnd.set_checkpoint(nullptr);
+  EXPECT_EQ(rnd.bit(1, 2, 3), untouched.bit(1, 2, 3));
+}
+
 TEST(KWiseHelpers, PackDrawInjective) {
   EXPECT_NE(pack_draw(1, 0, 0), pack_draw(0, 1, 0));
   EXPECT_NE(pack_draw(1, 2, 3), pack_draw(1, 2, 4));
