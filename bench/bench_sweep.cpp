@@ -10,6 +10,14 @@
 //
 //   --store=DIR       stream records into a sharded on-disk store
 //   --resume          restore completed cells from DIR instead of re-running
+//   --claim           cooperative multi-process drain: claim lease ranges of
+//                     the grid under DIR/claims/ so any number of
+//                     bench_sweep processes share one store (each writing
+//                     its own shard; see docs/service.md)
+//   --owner=ID        unique claimer id for --claim (default pid-<pid>)
+//   --claim-range=N   cells per claim lease (default 64)
+//   --claim-ttl-ms=MS unchanged-lease window before a holder is presumed
+//                     dead and its lease stolen (default 10000)
 //   --cell-limit=N    stop after N executed cells (crash injection for the
 //                     CI resume smoke test; the store stays resumable)
 //   --deadline-ms=MS  per-cell wall-clock budget; overruns are recorded as
@@ -137,8 +145,15 @@ int main(int argc, char** argv) {
       args.get_string("out", "BENCH_sweep.json");
   const std::string store_dir = args.get_string("store", "");
   const bool resume = args.has("resume");
-  if (resume && store_dir.empty()) {
-    std::cerr << "error: --resume requires --store=DIR\n";
+  const bool claim = args.has("claim");
+  if ((resume || claim) && store_dir.empty()) {
+    std::cerr << "error: --" << (resume ? "resume" : "claim")
+              << " requires --store=DIR\n";
+    return 2;
+  }
+  if (resume && claim) {
+    std::cerr << "error: --claim already resumes (done ranges are never "
+                 "re-run); drop --resume\n";
     return 2;
   }
 
@@ -221,7 +236,16 @@ int main(int argc, char** argv) {
       baseline_ms = sweep(baseline).wall_ms;
       result = sweep(spec);
     } else {
-      result = lab::run_sweep(spec, lab::StoreOptions{store_dir, resume});
+      lab::StoreOptions store_options;
+      store_options.dir = store_dir;
+      store_options.resume = resume;
+      store_options.claim = claim;
+      store_options.claim_owner = args.get_string("owner", "");
+      store_options.claim_range_cells =
+          static_cast<std::uint64_t>(args.get_int("claim-range", 0));
+      store_options.claim_ttl_ms =
+          static_cast<std::uint64_t>(args.get_int("claim-ttl-ms", 0));
+      result = lab::run_sweep(spec, store_options);
     }
   } catch (const std::exception& e) {
     // Store/spec problems (missing manifest, fingerprint mismatch, corrupt
@@ -245,7 +269,8 @@ int main(int argc, char** argv) {
   } else {
     std::cout << "wall: " << fmt(result.wall_ms, 1) << " ms on "
               << result.threads_used << " threads; store: " << store_dir
-              << (resume ? " (resumed)" : "") << "\n";
+              << (resume ? " (resumed)" : claim ? " (claimed drain)" : "")
+              << "\n";
   }
 
   if (args.has("profile")) {

@@ -30,17 +30,28 @@ partial cost block of ``error="deadline"`` records (how far a cell got
 before expiry is wall-clock-dependent) -- the CI resume smoke test's
 "kill + resume == uninterrupted run" check.
 
+Agg mode (``--agg``) recomputes the per-(solver, regime, variant) x metric
+aggregates of a store directory from scratch and compares them against an
+``/agg`` JSONL response saved from the rlocald query daemon
+(docs/service.md): counts and the order-statistic fields (min/p50/p90/max
+-- raw stored values, round-tripped exactly via ``%.17g``) must match
+exactly; sum and mean tolerate 1e-9 relative error. The daemon's
+incremental index is thereby pinned to the ground truth on disk.
+
 Usage:
     compare_sweep.py BASELINE CURRENT [--max-ratio 2.0] [--min-ms 5.0]
                      [--min-msgs 100]
     compare_sweep.py --diff A B
+    compare_sweep.py --agg STORE AGG_JSONL
 
 Exit codes: 0 ok (including "no baseline available" in gate mode),
-1 regression / record mismatch / missing cost block, 2 malformed input.
+1 regression / record mismatch / aggregate mismatch / missing cost block,
+2 malformed input.
 """
 
 import argparse
 import json
+import math
 import os
 import sys
 
@@ -205,6 +216,116 @@ def run_diff(a_path, b_path):
     return 1
 
 
+# Metric order must match the daemon's agg_metrics() (src/service/).
+AGG_METRICS = ("rounds", "messages", "total_bits", "wall_ms")
+
+
+def nearest_rank(sorted_values, q):
+    """Same definition as the daemon: sorted[clamp(ceil(q*n) - 1)]."""
+    rank = math.ceil(q * len(sorted_values)) - 1
+    return sorted_values[max(0, min(rank, len(sorted_values) - 1))]
+
+
+def recompute_agg(records):
+    """From-scratch ground truth for the daemon's /agg rows: non-skipped
+    records only, a metric observed iff its JSON key is present (the
+    encoder omits unmeasured negatives), values summed in sorted order so
+    float accumulation matches the C++ bit for bit."""
+    groups = {}
+    for record in records:
+        if record.get("skipped"):
+            continue
+        cost = record.get("cost", {})
+        observed = {
+            "rounds": cost.get("rounds"),
+            "messages": cost.get("messages"),
+            "total_bits": cost.get("total_bits"),
+            "wall_ms": record.get("wall_ms"),
+        }
+        key = (record["solver"], record["regime"],
+               record.get("variant", ""))
+        metrics = groups.setdefault(key, {})
+        for metric, value in observed.items():
+            if value is None:
+                continue
+            metrics.setdefault(metric, []).append(float(value))
+    rows = {}
+    for key, metrics in groups.items():
+        for metric in AGG_METRICS:
+            values = sorted(metrics.get(metric, ()))
+            if not values:
+                continue
+            total = 0.0
+            for value in values:
+                total += value
+            rows[key + (metric,)] = {
+                "count": len(values),
+                "sum": total,
+                "mean": total / len(values),
+                "min": values[0],
+                "p50": nearest_rank(values, 0.5),
+                "p90": nearest_rank(values, 0.9),
+                "max": values[-1],
+            }
+    return rows
+
+
+def load_agg_jsonl(path, fingerprint):
+    """Parses a saved /agg response, keeping rows for `fingerprint`."""
+    rows = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("store") != fingerprint:
+                continue
+            key = (row["solver"], row["regime"], row.get("variant", ""),
+                   row["metric"])
+            rows[key] = row
+    return rows
+
+
+def run_agg(store_path, agg_path):
+    manifest_path = os.path.join(store_path, "manifest.json")
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        fingerprint = json.load(fh)["fingerprint"]
+    expected = recompute_agg(load_records(store_path))
+    served = load_agg_jsonl(agg_path, fingerprint)
+
+    failures = 0
+    for key in sorted(set(expected) | set(served)):
+        label = "/".join(key[:3]) + " " + key[3]
+        if key not in served:
+            print(f"  missing from daemon output: {label}", file=sys.stderr)
+            failures += 1
+            continue
+        if key not in expected:
+            print(f"  not in the store: {label}", file=sys.stderr)
+            failures += 1
+            continue
+        want, got = expected[key], served[key]
+        for field in ("count", "min", "p50", "p90", "max"):
+            if float(got[field]) != float(want[field]):
+                print(f"  {label} {field}: daemon {got[field]} != "
+                      f"store {want[field]}", file=sys.stderr)
+                failures += 1
+        for field in ("sum", "mean"):
+            reference = abs(want[field])
+            if abs(float(got[field]) - want[field]) > 1e-9 * max(
+                    1.0, reference):
+                print(f"  {label} {field}: daemon {got[field]} != "
+                      f"store {want[field]}", file=sys.stderr)
+                failures += 1
+    if failures:
+        print(f"FAIL: {failures} aggregate mismatch(es) between "
+              f"{agg_path} and {store_path}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(expected)} aggregate rows match the store exactly")
+    return 0
+
+
 def gate_ratios(metric, unit, base, base_counts, curr, curr_counts,
                 min_total, max_ratio):
     """Prints the per-solver comparison table for one metric and returns
@@ -299,15 +420,23 @@ def main():
     parser.add_argument("--diff", action="store_true",
                         help="compare record sets byte-for-byte "
                              "(wall time excluded) instead of gating")
+    parser.add_argument("--agg", action="store_true",
+                        help="treat BASELINE as a store directory and "
+                             "CURRENT as a saved rlocald /agg JSONL "
+                             "response; verify the aggregates match")
     args = parser.parse_args()
 
-    if args.diff:
-        try:
+    if args.diff and args.agg:
+        print("--diff and --agg are mutually exclusive", file=sys.stderr)
+        return 2
+    try:
+        if args.diff:
             return run_diff(args.baseline, args.current)
-        except (ValueError, KeyError, OSError,
-                json.JSONDecodeError) as error:
-            print(f"malformed sweep artifact: {error}", file=sys.stderr)
-            return 2
+        if args.agg:
+            return run_agg(args.baseline, args.current)
+    except (ValueError, KeyError, OSError, json.JSONDecodeError) as error:
+        print(f"malformed sweep artifact: {error}", file=sys.stderr)
+        return 2
     return run_gate(args)
 
 

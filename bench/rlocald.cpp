@@ -1,0 +1,81 @@
+// rlocald -- the sweep lab's query daemon (docs/service.md).
+//
+//   ./rlocald --store=DIR [--store=DIR2 ...] [--port=0] [--threads=2]
+//             [--refresh-ms=200] [--once]
+//
+// Watches the given store directories (they may not exist yet; each
+// attaches once its manifest appears), maintains an incremental aggregate
+// index over their shards, and serves the JSONL HTTP API on loopback:
+//
+//   curl http://127.0.0.1:PORT/healthz
+//   curl http://127.0.0.1:PORT/sweeps
+//   curl "http://127.0.0.1:PORT/agg?solver=mis/luby&metric=rounds"
+//   curl "http://127.0.0.1:PORT/records?cell=17"
+//
+// --port=0 binds an ephemeral port; the chosen port is printed as
+// "rlocald: listening on 127.0.0.1:<port>" so scripts can scrape it.
+// --once refreshes the index, prints /sweeps to stdout, and exits without
+// serving (a CLI peek at a store, and the smoke tests' fallback).
+//
+// The daemon runs until SIGINT/SIGTERM.
+#include <csignal>
+#include <iostream>
+#include <semaphore>
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+// Async-signal-safe shutdown latch: the handler releases, main acquires.
+std::binary_semaphore g_shutdown{0};
+
+void handle_signal(int) { g_shutdown.release(); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rlocal;
+  std::vector<std::string> stores;
+  service::DaemonOptions options;
+  // Multiple --store flags are meaningful here, so scan argv directly and
+  // leave the scalar flags to CliArgs.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--store=", 0) == 0) stores.push_back(arg.substr(8));
+  }
+  const CliArgs args(argc, argv);
+  if (stores.empty()) {
+    std::cerr << "usage: rlocald --store=DIR [--store=DIR2 ...] [--port=0]\n"
+              << "               [--threads=2] [--refresh-ms=200] [--once]\n";
+    return 2;
+  }
+  options.stores = std::move(stores);
+  options.port = static_cast<int>(args.get_int("port", 0));
+  options.http_threads = static_cast<int>(args.get_int("threads", 2));
+  options.refresh_interval_ms =
+      static_cast<int>(args.get_int("refresh-ms", 200));
+
+  try {
+    if (args.has("once")) {
+      options.port = 0;  // bound briefly; only the route formatting is used
+      service::Daemon daemon(options);
+      std::cout << daemon.handle({"GET", "/sweeps", {}}).body;
+      return 0;
+    }
+    service::Daemon daemon(options);
+    std::cout << "rlocald: listening on 127.0.0.1:" << daemon.port() << "\n"
+              << std::flush;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    g_shutdown.acquire();
+    std::cout << "rlocald: shutting down\n";
+    daemon.stop();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

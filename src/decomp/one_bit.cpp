@@ -222,6 +222,85 @@ class ClusterSeededRandomness final : public EpochRandomness {
     return cap;
   }
 
+  // Batched epoch draws: nodes grouped per cluster generator (first-
+  // appearance order) and each group routed through KWiseGenerator::values,
+  // so the Horner chains of a cluster's nodes overlap. values() == value()
+  // point-for-point, so results match the scalar overrides exactly.
+  void center_coins(std::span<const NodeId> nodes, int phase, int epoch,
+                    double q, std::span<std::uint8_t> out) override {
+    const std::uint64_t s = stream(phase, epoch, 0);
+    const auto threshold = static_cast<std::uint64_t>(
+        std::ldexp(static_cast<long double>(q), kFieldBits));
+    group_clusters(nodes);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const NodeId cluster = batch_cluster_[i];
+      if (cluster < 0) continue;  // already gathered with an earlier group
+      batch_points_.clear();
+      batch_scatter_.clear();
+      for (std::size_t j = i; j < nodes.size(); ++j) {
+        if (batch_cluster_[j] != cluster) continue;
+        batch_points_.push_back(point(nodes[j], s, 0));
+        batch_scatter_.push_back(j);
+        batch_cluster_[j] = -1;
+      }
+      const KWiseGenerator& gen = generators_[static_cast<std::size_t>(cluster)];
+      gen.values(batch_points_, batch_points_);  // in-place
+      for (std::size_t j = 0; j < batch_scatter_.size(); ++j) {
+        out[batch_scatter_[j]] = batch_points_[j] < threshold ? 1 : 0;
+      }
+    }
+  }
+  void radius_draws(std::span<const NodeId> nodes, int phase, int epoch,
+                    int cap, std::span<int> out) override {
+    const std::uint64_t s = stream(phase, epoch, 1);
+    group_clusters(nodes);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const NodeId cluster = batch_cluster_[i];
+      if (cluster < 0) continue;
+      batch_active_.clear();
+      batch_scatter_.clear();
+      for (std::size_t j = i; j < nodes.size(); ++j) {
+        if (batch_cluster_[j] != cluster) continue;
+        batch_active_.push_back(nodes[j]);
+        batch_scatter_.push_back(j);
+        batch_cluster_[j] = -1;
+      }
+      const KWiseGenerator& gen = generators_[static_cast<std::size_t>(cluster)];
+      // Chunk c of every still-all-heads node gathered in one values()
+      // pass, exactly the bit order of the scalar radius_draw loop.
+      std::size_t active = batch_active_.size();
+      for (int c = 0; active > 0; ++c) {
+        const int lo = c * kFieldBits;
+        const int hi = std::min(cap, lo + kFieldBits);
+        batch_points_.resize(active);
+        for (std::size_t j = 0; j < active; ++j) {
+          batch_points_[j] = point(batch_active_[j], s, c);
+        }
+        gen.values(batch_points_, batch_points_);
+        std::size_t next = 0;
+        for (std::size_t j = 0; j < active; ++j) {
+          const std::uint64_t word = batch_points_[j];
+          int result = 0;
+          for (int k = lo + 1; k <= hi; ++k) {
+            if (((word >> ((k - 1) % kFieldBits)) & 1ULL) == 0) {
+              result = k;
+              break;
+            }
+          }
+          if (result == 0 && hi == cap) result = cap;  // all heads to the cap
+          if (result != 0) {
+            out[batch_scatter_[j]] = result;
+          } else {
+            batch_active_[next] = batch_active_[j];
+            batch_scatter_[next] = batch_scatter_[j];
+            ++next;
+          }
+        }
+        active = next;
+      }
+    }
+  }
+
   int min_kwise() const { return min_kwise_; }
   int short_pools() const { return short_pools_; }
 
@@ -254,6 +333,14 @@ class ClusterSeededRandomness final : public EpochRandomness {
     return generators_[static_cast<std::size_t>(
         cluster_of_[static_cast<std::size_t>(node)])];
   }
+  /// Fills batch_cluster_[i] with nodes[i]'s cluster index (consumed by the
+  /// batch overrides, which mark entries -1 as they gather each group).
+  void group_clusters(std::span<const NodeId> nodes) {
+    batch_cluster_.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      batch_cluster_[i] = cluster_of_[static_cast<std::size_t>(nodes[i])];
+    }
+  }
   /// Injective 32-bit packing: node (13) | stream (13) | chunk (6).
   static std::uint64_t point(NodeId node, std::uint64_t stream, int chunk) {
     RLOCAL_CHECK(stream < (1ULL << 13) && chunk < (1 << 6),
@@ -274,6 +361,12 @@ class ClusterSeededRandomness final : public EpochRandomness {
   std::vector<KWiseGenerator> generators_;
   int min_kwise_ = -1;
   int short_pools_ = 0;
+  // Reused batch-draw scratch (cluster per node, evaluation points, output
+  // slots, and the still-all-heads set of the radius loop).
+  std::vector<NodeId> batch_cluster_;
+  std::vector<std::uint64_t> batch_points_;
+  std::vector<std::size_t> batch_scatter_;
+  std::vector<NodeId> batch_active_;
 };
 
 }  // namespace

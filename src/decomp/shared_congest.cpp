@@ -66,6 +66,25 @@ int measure_reach(const Graph& g, const std::vector<std::int32_t>& start,
 
 }  // namespace
 
+void EpochRandomness::center_coins(std::span<const NodeId> nodes, int phase,
+                                   int epoch, double q,
+                                   std::span<std::uint8_t> out) {
+  RLOCAL_CHECK(out.size() >= nodes.size(),
+               "center_coins output span is shorter than the node span");
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    out[i] = center_coin(nodes[i], phase, epoch, q) ? 1 : 0;
+  }
+}
+
+void EpochRandomness::radius_draws(std::span<const NodeId> nodes, int phase,
+                                   int epoch, int cap, std::span<int> out) {
+  RLOCAL_CHECK(out.size() >= nodes.size(),
+               "radius_draws output span is shorter than the node span");
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    out[i] = radius_draw(nodes[i], phase, epoch, cap);
+  }
+}
+
 int shared_congest_epochs(NodeId n) {
   return epochs_for(n, log2n(static_cast<std::uint64_t>(
                             std::max<NodeId>(2, n))));
@@ -96,6 +115,12 @@ SharedCongestResult shared_congest_core(const Graph& g, EpochRandomness& rnd,
 
   std::vector<bool> live(n);
   std::vector<std::int32_t> start(n);
+  // Election scratch, hoisted out of the phase loop: the live set, its
+  // coins, the elected centers, and their radii (batched draws).
+  std::vector<NodeId> live_nodes;
+  std::vector<std::uint8_t> coins;
+  std::vector<NodeId> centers;
+  std::vector<int> radii;
   for (int phase = 0; phase < phases && clustered_count < n; ++phase) {
     result.phases_used = phase + 1;
     // Live = unclustered nodes; set-aside nodes leave `live` mid-phase.
@@ -106,19 +131,33 @@ SharedCongestResult shared_congest_core(const Graph& g, EpochRandomness& rnd,
       const double q = std::min(
           1.0, std::ldexp(static_cast<double>(logn), epoch) /
                    static_cast<double>(g.num_nodes()));
-      bool any_center = false;
+      // Election, batched: one coins draw over the whole live set, then one
+      // radii draw over the elected centers. Draws are pure functions of
+      // (node, phase, epoch), so this produces exactly the per-node values
+      // of the scalar interleaved loop.
+      live_nodes.clear();
       for (NodeId v = 0; v < g.num_nodes(); ++v) {
         start[static_cast<std::size_t>(v)] = -1;
-        if (!live[static_cast<std::size_t>(v)]) continue;
-        if (!rnd.center_coin(v, phase, epoch, q)) continue;
-        const int x = rnd.radius_draw(v, phase, epoch, radius_cap);
+        if (live[static_cast<std::size_t>(v)]) live_nodes.push_back(v);
+      }
+      coins.resize(live_nodes.size());
+      rnd.center_coins(live_nodes, phase, epoch, q, coins);
+      centers.clear();
+      for (std::size_t i = 0; i < live_nodes.size(); ++i) {
+        if (coins[i] != 0) centers.push_back(live_nodes[i]);
+      }
+      radii.resize(centers.size());
+      rnd.radius_draws(centers, phase, epoch, radius_cap, radii);
+      const bool any_center = !centers.empty();
+      for (std::size_t i = 0; i < centers.size(); ++i) {
+        const NodeId v = centers[i];
+        const int x = radii[i];
         RLOCAL_CHECK(x >= 1 && x <= radius_cap, "radius outside [1, cap]");
         result.max_radius_drawn = std::max(result.max_radius_drawn, x);
         start[static_cast<std::size_t>(v)] =
             static_cast<std::int32_t>(base_radius + x);
         RLOCAL_CHECK(start[static_cast<std::size_t>(v)] < (1 << 16),
                      "measure exceeds wire format");
-        any_center = true;
       }
       result.rounds_charged += 1;  // the election round
       if (!any_center) continue;
@@ -212,7 +251,27 @@ class RegimeEpochRandomness final : public EpochRandomness {
                            stream(phase, epoch, 1), cap);
   }
 
+  // Whole-epoch draws ride the batch randomness plane (one gather per
+  // epoch instead of one Horner chain per node); byte-identical to the
+  // scalar entry points above by the BatchedDraws identity guarantee.
+  void center_coins(std::span<const NodeId> nodes, int phase, int epoch,
+                    double q, std::span<std::uint8_t> out) override {
+    widen(nodes);
+    rnd_->bernoulli_batch(nodes64_, stream(phase, epoch, 0), q, out);
+  }
+  void radius_draws(std::span<const NodeId> nodes, int phase, int epoch,
+                    int cap, std::span<int> out) override {
+    widen(nodes);
+    rnd_->geometric_batch(nodes64_, stream(phase, epoch, 1), cap, out);
+  }
+
  private:
+  void widen(std::span<const NodeId> nodes) {
+    nodes64_.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      nodes64_[i] = static_cast<std::uint64_t>(nodes[i]);
+    }
+  }
   std::uint64_t stream(int phase, int epoch, int which) const {
     return (static_cast<std::uint64_t>(phase) *
                 static_cast<std::uint64_t>(epochs_ + 1) +
@@ -222,6 +281,7 @@ class RegimeEpochRandomness final : public EpochRandomness {
   }
   NodeRandomness* rnd_;
   int epochs_;
+  std::vector<std::uint64_t> nodes64_;  ///< reused NodeId -> u64 widening
 };
 
 }  // namespace

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "decomp/decomposition.hpp"
 #include "graph/graph.hpp"
@@ -33,6 +34,20 @@ class EpochRandomness {
   virtual bool center_coin(NodeId node, int phase, int epoch, double q) = 0;
   /// Truncated geometric radius draw (Pr[X=k] = 2^-k, k in [1, cap]).
   virtual int radius_draw(NodeId node, int phase, int epoch, int cap) = 0;
+
+  // Batched forms: the core draws one epoch's coins (all live nodes) and
+  // radii (all elected centers) through these, so providers can route whole
+  // node ranges into the batch randomness plane (NodeRandomness::
+  // bernoulli_batch / geometric_batch). Draws are pure functions of
+  // (node, phase, epoch), so the defaults -- plain scalar loops -- are
+  // byte-identical to overridden implementations by construction.
+
+  /// out[i] = center_coin(nodes[i], phase, epoch, q), as 0/1 bytes.
+  virtual void center_coins(std::span<const NodeId> nodes, int phase,
+                            int epoch, double q, std::span<std::uint8_t> out);
+  /// out[i] = radius_draw(nodes[i], phase, epoch, cap).
+  virtual void radius_draws(std::span<const NodeId> nodes, int phase,
+                            int epoch, int cap, std::span<int> out);
 };
 
 struct SharedCongestOptions {

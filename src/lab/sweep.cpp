@@ -1,11 +1,14 @@
 #include "lab/sweep.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <optional>
 #include <thread>
 
 #include "rnd/prng.hpp"
+#include "service/claims.hpp"
 #include "store/store.hpp"
 #include "support/assert.hpp"
 
@@ -151,13 +154,24 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
 
   // --- Store attachment: open/create, fingerprint gate, restore. ---------
   std::optional<store::RecordStore> record_store;
+  const bool claim_mode = store_options != nullptr && store_options->claim;
   if (store_options != nullptr) {
     RLOCAL_CHECK(!store_options->dir.empty(),
                  "sweep store options need a directory");
+    RLOCAL_CHECK(!(store_options->claim && store_options->resume),
+                 "sweep store: claim and resume are mutually exclusive (a "
+                 "claimed drain never re-runs done ranges anyway)");
     const std::uint64_t fingerprint =
         store::sweep_fingerprint(registry, spec);
     const std::string fingerprint_hex = store::fingerprint_hex(fingerprint);
-    if (store_options->resume) {
+    if (claim_mode) {
+      // Join-or-create: exactly one process publishes the manifest; joiners
+      // fingerprint-verify. Existing shards are kept -- a claimed drain of a
+      // half-finished store is exactly how multi-process resume works.
+      record_store.emplace(service::ensure_store(
+          store_options->dir,
+          manifest_from_spec(solvers, spec, fingerprint, storable_cells)));
+    } else if (store_options->resume) {
       record_store.emplace(store::RecordStore::open(store_options->dir));
       RLOCAL_CHECK(
           record_store->manifest().fingerprint == fingerprint_hex,
@@ -211,26 +225,70 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
   std::atomic<std::size_t> cursor{0};
   std::atomic<int> executed{0};
   std::atomic<bool> truncated{false};
+
+  const auto materialize_skipped = [&](std::size_t i) {
+    const Cell& cell = cells[i];
+    RunRecord& record = result.records[i];
+    record.solver = cell.solver->name();
+    record.problem = cell.solver->problem();
+    record.graph = cell.graph->name;
+    record.regime = cell.regime->name();
+    record.variant = cell.variant->name;
+    record.bandwidth_bits = cell.bandwidth_bits;
+    record.seed = cell.user_seed;
+    record.skipped = true;
+    done[i] = 1;
+  };
+
+  // Runs cell i and streams its frame into `shard` (opened lazily under
+  // `shard_name` so workers that never execute a cell create no file).
+  const auto execute_cell =
+      [&](std::size_t i, std::optional<store::RecordStore::ShardWriter>& shard,
+          const std::string& shard_name) {
+        const Cell& cell = cells[i];
+        const std::uint64_t master =
+            cell_seed(cell.user_seed, cell.solver->name(), cell.graph->name,
+                      cell.regime->name(), cell.variant->name,
+                      cell.bandwidth_bits);
+        const RunContext ctx =
+            RunContext::with_deadline_ms(spec.cell_deadline_ms)
+                .with_bandwidth_bits(cell.bandwidth_bits);
+        {
+          // Lazy zoo entries are built here and destroyed at scope exit --
+          // before the record is appended to the store -- so peak memory is
+          // one instance per worker even on n >> 10^6 grids.
+          Graph built;
+          const Graph* graph = &cell.graph->graph;
+          if (cell.graph->lazy()) {
+            built = cell.graph->factory();
+            graph = &built;
+          }
+          RunRecord record = registry.run_cell(*cell.solver, *graph,
+                                               cell.graph->name, *cell.regime,
+                                               master, *cell.params, ctx);
+          record.variant = cell.variant->name;
+          record.seed = cell.user_seed;  // the user's seed, not the mix
+          result.records[i] = std::move(record);
+        }
+        if (record_store.has_value()) {
+          if (!shard.has_value()) {
+            shard.emplace(record_store->shard_writer(shard_name));
+          }
+          shard->append({static_cast<std::uint64_t>(i), master,
+                         result.records[i]});
+        }
+        done[i] = 1;
+      };
+
   const auto worker = [&](int worker_index) {
-    // One shard per worker, opened lazily so workers that only materialize
-    // skipped/resumed cells do not create empty shard files.
     std::optional<store::RecordStore::ShardWriter> shard;
+    const std::string shard_name = std::to_string(worker_index);
     while (true) {
       const std::size_t i = cursor.fetch_add(1);
       if (i >= cells.size()) return;
       if (done[i]) continue;  // restored from the store
-      const Cell& cell = cells[i];
-      if (cell.skipped) {
-        RunRecord& record = result.records[i];
-        record.solver = cell.solver->name();
-        record.problem = cell.solver->problem();
-        record.graph = cell.graph->name;
-        record.regime = cell.regime->name();
-        record.variant = cell.variant->name;
-        record.bandwidth_bits = cell.bandwidth_bits;
-        record.seed = cell.user_seed;
-        record.skipped = true;
-        done[i] = 1;
+      if (cells[i].skipped) {
+        materialize_skipped(i);
         continue;
       }
       if (spec.max_cells > 0 && executed.fetch_add(1) >= spec.max_cells) {
@@ -240,50 +298,87 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
         truncated.store(true, std::memory_order_relaxed);
         continue;
       }
-      const std::uint64_t master =
-          cell_seed(cell.user_seed, cell.solver->name(), cell.graph->name,
-                    cell.regime->name(), cell.variant->name,
-                    cell.bandwidth_bits);
-      const RunContext ctx =
-          RunContext::with_deadline_ms(spec.cell_deadline_ms)
-              .with_bandwidth_bits(cell.bandwidth_bits);
-      {
-        // Lazy zoo entries are built here and destroyed at scope exit --
-        // before the record is appended to the store -- so peak memory is
-        // one instance per worker even on n >> 10^6 grids.
-        Graph built;
-        const Graph* graph = &cell.graph->graph;
-        if (cell.graph->lazy()) {
-          built = cell.graph->factory();
-          graph = &built;
-        }
-        RunRecord record = registry.run_cell(*cell.solver, *graph,
-                                             cell.graph->name, *cell.regime,
-                                             master, *cell.params, ctx);
-        record.variant = cell.variant->name;
-        record.seed = cell.user_seed;  // report the user's seed, not the mix
-        result.records[i] = std::move(record);
-      }
-      if (record_store.has_value()) {
-        if (!shard.has_value()) {
-          shard.emplace(record_store->shard_writer(worker_index));
-        }
-        shard->append({static_cast<std::uint64_t>(i), master,
-                       result.records[i]});
-      }
-      done[i] = 1;
+      execute_cell(i, shard, shard_name);
     }
   };
 
-  if (threads <= 1) {
-    worker(0);
-    result.threads_used = 1;
+  // Claimed drain: workers claim lease ranges through the filesystem
+  // instead of the in-process cursor, so any number of *processes* (and
+  // their threads -- every claimer is just an owner id) cooperate on one
+  // grid. Lost races sleep-and-retry until every range is done: a range
+  // held by a claimer that dies goes stale and is stolen.
+  const std::string claim_owner =
+      store_options != nullptr && !store_options->claim_owner.empty()
+          ? store_options->claim_owner
+          : "pid-" + std::to_string(static_cast<long>(::getpid()));
+  service::ClaimOptions claim_options;
+  if (claim_mode) {
+    if (store_options->claim_range_cells > 0) {
+      claim_options.range_cells = store_options->claim_range_cells;
+    }
+    if (store_options->claim_ttl_ms > 0) {
+      claim_options.ttl_ms = store_options->claim_ttl_ms;
+    }
+    // Skipped cells are free, deterministic, and never persisted: every
+    // process materializes all of them locally, outside the claim plane.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].skipped && !done[i]) materialize_skipped(i);
+    }
+  }
+  const auto claim_worker = [&](int worker_index) {
+    const std::string self =
+        claim_owner + "-w" + std::to_string(worker_index);
+    service::WorkClaims claims(store_options->dir, self,
+                               static_cast<std::uint64_t>(cells.size()),
+                               claim_options);
+    std::optional<store::RecordStore::ShardWriter> shard;
+    while (true) {
+      const std::optional<std::uint64_t> range = claims.acquire();
+      if (!range.has_value()) {
+        if (claims.all_done()) return;
+        // Everything left is freshly held by other claimers; wait for them
+        // to finish ranges (or die and go stale) and rescan.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<std::uint64_t>(claim_options.ttl_ms / 4 + 1, 50)));
+        continue;
+      }
+      bool ours = true;
+      for (std::uint64_t i = claims.range_begin(*range);
+           i < claims.range_end(*range); ++i) {
+        if (done[i]) continue;  // skipped cells, materialized above
+        if (spec.max_cells > 0 && executed.fetch_add(1) >= spec.max_cells) {
+          truncated.store(true, std::memory_order_relaxed);
+          claims.release(*range);  // hand the rest to other claimers now
+          return;
+        }
+        execute_cell(static_cast<std::size_t>(i), shard, self);
+        if (!claims.heartbeat(*range)) {
+          // Stolen: this claimer looked dead. The frames it already wrote
+          // are byte-identical duplicates of the thief's; abandon the rest.
+          ours = false;
+          break;
+        }
+      }
+      if (ours) claims.mark_done(*range);
+    }
+  };
+
+  const auto run_pool = [&](const auto& body) {
+    if (threads <= 1) {
+      body(0);
+      result.threads_used = 1;
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(threads));
+      for (int t = 0; t < threads; ++t) pool.emplace_back(body, t);
+      for (std::thread& t : pool) t.join();
+      result.threads_used = threads;
+    }
+  };
+  if (claim_mode) {
+    run_pool(claim_worker);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (std::thread& t : pool) t.join();
-    result.threads_used = threads;
+    run_pool(worker);
   }
 
   const auto stop = std::chrono::steady_clock::now();
@@ -291,8 +386,9 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
       std::chrono::duration<double, std::milli>(stop - start).count();
 
   // Compact a truncated run: grid order is preserved, unmaterialized cells
-  // (max_cells budget) drop out.
-  if (truncated.load(std::memory_order_relaxed)) {
+  // (max_cells budget, or -- in a claimed drain -- cells other claimers
+  // ran) drop out.
+  if (truncated.load(std::memory_order_relaxed) || claim_mode) {
     std::size_t kept = 0;
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (!done[i]) continue;
@@ -314,8 +410,15 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
     }
   }
   if (record_store.has_value()) {
-    record_store->finalize(static_cast<std::uint64_t>(result.cells_run) +
-                           static_cast<std::uint64_t>(result.cells_resumed));
+    if (claim_mode) {
+      // This process only saw its own claims; the advisory completion count
+      // is what the whole cooperating fleet has durably stored.
+      record_store->finalize(
+          static_cast<std::uint64_t>(record_store->read_all().size()));
+    } else {
+      record_store->finalize(static_cast<std::uint64_t>(result.cells_run) +
+                             static_cast<std::uint64_t>(result.cells_resumed));
+    }
   }
   return result;
 }

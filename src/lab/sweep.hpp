@@ -70,11 +70,31 @@ struct SweepSpec {
 
 /// Attaches a durable on-disk record store (src/store/) to a sweep.
 struct StoreOptions {
+  StoreOptions() = default;
+  /// The common two-knob spelling, `StoreOptions{dir, resume}`; the claim
+  /// fields below are set member-wise by callers that drain cooperatively.
+  StoreOptions(std::string dir_, bool resume_ = false)
+      : dir(std::move(dir_)), resume(resume_) {}
+
   std::string dir;  ///< store directory (created if absent)
   /// false: start fresh (existing shards in `dir` are truncated);
   /// true: verify the manifest's spec fingerprint, restore every completed
   /// cell from the shards (RunRecord::resumed), and run only the rest.
   bool resume = false;
+  /// Cooperative multi-process drain (src/service/claims.hpp): join or
+  /// create the store (never truncating an existing one), then claim lease
+  /// ranges of the grid instead of racing an in-process cursor, so N
+  /// independent processes drain one sweep concurrently. Claiming is
+  /// inherently resumable -- done ranges are never re-run -- and mutually
+  /// exclusive with `resume`. The result holds only the cells this process
+  /// materialized; the full record set is the store (read_all).
+  bool claim = false;
+  /// Unique claimer id for lease files and shard names; "" derives
+  /// "pid-<pid>". In-process workers append "-w<worker>".
+  std::string claim_owner;
+  std::uint64_t claim_range_cells = 0;  ///< cells per lease; 0 -> 64
+  /// Stale-lease observation window (ms); 0 -> 10s. See ClaimOptions.
+  std::uint64_t claim_ttl_ms = 0;
 };
 
 struct SweepResult {

@@ -401,25 +401,55 @@ void NodeRandomness::geometric_batch(std::span<const std::uint64_t> nodes,
 
 bool NodeRandomness::bernoulli(std::uint64_t node, std::uint64_t stream,
                                double p) {
+  std::uint8_t out = 0;
+  bernoulli_batch(std::span<const std::uint64_t>(&node, 1), stream, p,
+                  std::span<std::uint8_t>(&out, 1));
+  return out != 0;
+}
+
+void NodeRandomness::bernoulli_batch(std::span<const std::uint64_t> nodes,
+                                     std::uint64_t stream, double p,
+                                     std::span<std::uint8_t> out) {
   RLOCAL_CHECK(p >= 0.0 && p <= 1.0, "p must be a probability");
-  maybe_checkpoint();
-  if (p >= 1.0) return true;
-  if (p <= 0.0) return false;
+  RLOCAL_CHECK(out.size() >= nodes.size(),
+               "bernoulli_batch output span is shorter than the node span");
+  const std::size_t count = nodes.size();
+  if (p >= 1.0 || p <= 0.0) {
+    // The scalar path checkpoints before the degenerate early-outs and
+    // derives nothing; charge the same draw calls here.
+    batch_checkpoint(count);
+    for (std::size_t i = 0; i < count; ++i) out[i] = p >= 1.0 ? 1 : 0;
+    return;
+  }
   if (regime_.kind == RegimeKind::kSharedEpsBias) {
-    // 20 assembled bits; quantization error 2^-20.
-    std::uint64_t value = 0;
-    for (int j = 0; j < 20; ++j) {
-      if (bit(node, stream, j)) value |= (1ULL << j);
-    }
+    // 20 assembled bits per coin; quantization error 2^-20. The scalar loop
+    // makes 21 draw calls per node (the bernoulli entry + 20 bit draws).
+    batch_checkpoint(21 * static_cast<std::uint64_t>(count));
+    derived_bits_ += 20 * static_cast<std::uint64_t>(count);
     const auto threshold = static_cast<std::uint64_t>(
         std::ldexp(static_cast<long double>(p), 20));
-    return value < threshold;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t value = 0;
+      const std::uint64_t point = pack(nodes[i], stream, 0);
+      for (int j = 0; j < 20; ++j) {
+        if (epsbias_->bit((point << 6) | static_cast<std::uint64_t>(j))) {
+          value |= (1ULL << j);
+        }
+      }
+      out[i] = value < threshold ? 1 : 0;
+    }
+    return;
   }
-  derived_bits_ += 64;
-  const std::uint64_t word = chunk_impl(node, stream, 0);
+  batch_checkpoint(count);
+  derived_bits_ += 64 * static_cast<std::uint64_t>(count);
+  batch_words_.resize(count);
+  gather_chunks(nodes, stream, 0,
+                std::span<std::uint64_t>(batch_words_.data(), count));
   const auto threshold = static_cast<std::uint64_t>(
       std::ldexp(static_cast<long double>(p), 64));
-  return word < threshold;
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = batch_words_[i] < threshold ? 1 : 0;
+  }
 }
 
 int NodeRandomness::geometric(std::uint64_t node, std::uint64_t stream,

@@ -145,6 +145,12 @@ class NodeRandomness {
   void bits_batch(std::span<const std::uint64_t> nodes, std::uint64_t stream,
                   int j, std::span<std::uint8_t> out);
 
+  /// out[i] = bernoulli(nodes[i], stream, p), as 0/1 bytes -- the batched
+  /// center-election coin of the epoch constructions (Theorems 3.6/3.7).
+  void bernoulli_batch(std::span<const std::uint64_t> nodes,
+                       std::uint64_t stream, double p,
+                       std::span<std::uint8_t> out);
+
   /// out[i] = chunk(nodes[i], stream, 0) >> (64 - bits) -- the top-`bits`
   /// priority draw of Luby-style algorithms; bits in [1, 64].
   void priority_batch(std::span<const std::uint64_t> nodes,

@@ -1,0 +1,260 @@
+#include "service/agg_index.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "store/record_io.hpp"
+#include "support/assert.hpp"
+
+namespace rlocal::service {
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<std::string> list_shards(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string name = it->path().filename().string();
+    if (name.rfind("shard-", 0) == 0 && name.size() > 6 &&
+        name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+      paths.push_back(it->path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+CellEntry entry_from(const store::StoredRecord& stored,
+                     const std::string& shard_path, std::uint64_t offset,
+                     std::uint64_t length) {
+  CellEntry entry;
+  entry.cell_index = stored.cell_index;
+  entry.solver = stored.record.solver;
+  entry.graph = stored.record.graph;
+  entry.regime = stored.record.regime;
+  entry.variant = stored.record.variant;
+  entry.seed = stored.record.seed;
+  entry.skipped = stored.record.skipped;
+  entry.rounds = stored.record.rounds;
+  entry.messages = stored.record.cost.messages;
+  entry.total_bits = stored.record.cost.total_bits;
+  entry.wall_ms = stored.record.wall_ms;
+  entry.shard_path = shard_path;
+  entry.frame_offset = offset;
+  entry.frame_length = length;
+  return entry;
+}
+
+}  // namespace
+
+const std::vector<std::string>& agg_metrics() {
+  static const std::vector<std::string> kMetrics = {"rounds", "messages",
+                                                    "total_bits", "wall_ms"};
+  return kMetrics;
+}
+
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  RLOCAL_CHECK(!sorted.empty(), "nearest_rank over an empty sample");
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::int64_t>(std::ceil(q * n)) - 1;
+  rank = std::max<std::int64_t>(0, std::min<std::int64_t>(
+                                       rank, static_cast<std::int64_t>(n) - 1));
+  return sorted[static_cast<std::size_t>(rank)];
+}
+
+std::vector<AggRow> aggregate(const IndexSnapshot& snapshot,
+                              const AggFilter& filter) {
+  std::vector<AggRow> rows;
+  for (const std::shared_ptr<const StoreIndex>& store : snapshot.stores) {
+    // (solver, regime, variant) -> metric -> raw values.
+    std::map<std::tuple<std::string, std::string, std::string>,
+             std::map<std::string, std::vector<double>>>
+        groups;
+    for (const auto& [index, cell] : store->cells) {
+      if (cell.skipped) continue;
+      if (!filter.solver.empty() && cell.solver != filter.solver) continue;
+      if (!filter.regime.empty() && cell.regime != filter.regime) continue;
+      if (filter.variant != "*" && cell.variant != filter.variant) continue;
+      auto& metrics = groups[{cell.solver, cell.regime, cell.variant}];
+      if (cell.rounds >= 0) {
+        metrics["rounds"].push_back(static_cast<double>(cell.rounds));
+      }
+      if (cell.messages >= 0) {
+        metrics["messages"].push_back(static_cast<double>(cell.messages));
+      }
+      if (cell.total_bits >= 0) {
+        metrics["total_bits"].push_back(static_cast<double>(cell.total_bits));
+      }
+      if (cell.wall_ms >= 0) metrics["wall_ms"].push_back(cell.wall_ms);
+    }
+    for (auto& [key, metrics] : groups) {
+      for (const std::string& metric : agg_metrics()) {
+        if (!filter.metric.empty() && metric != filter.metric) continue;
+        auto it = metrics.find(metric);
+        if (it == metrics.end() || it->second.empty()) continue;
+        std::vector<double>& values = it->second;
+        std::sort(values.begin(), values.end());
+        AggRow row;
+        row.fingerprint = store->manifest.fingerprint;
+        row.solver = std::get<0>(key);
+        row.regime = std::get<1>(key);
+        row.variant = std::get<2>(key);
+        row.metric = metric;
+        row.count = values.size();
+        for (const double v : values) row.sum += v;
+        row.mean = row.sum / static_cast<double>(values.size());
+        row.min = values.front();
+        row.p50 = nearest_rank(values, 0.5);
+        row.p90 = nearest_rank(values, 0.9);
+        row.max = values.back();
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  return rows;
+}
+
+AggIndex::AggIndex(std::vector<std::string> store_dirs) {
+  stores_.reserve(store_dirs.size());
+  for (std::string& dir : store_dirs) {
+    WatchedStore store;
+    store.dir = std::move(dir);
+    stores_.push_back(std::move(store));
+  }
+  snapshot_ = std::make_shared<const IndexSnapshot>();
+}
+
+bool AggIndex::tail_shard(WatchedStore& store, const std::string& path,
+                          std::uint64_t* new_frames) {
+  ShardCursor& cursor = store.cursors[path];
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(path, ec);
+  if (ec) return true;  // raced with removal; nothing to read
+  if (size < cursor.offset) return false;  // shrank: caller rebuilds
+  if (size == cursor.offset) return true;
+  const std::uint64_t base = cursor.offset;  // all offsets below are base+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return true;
+  in.seekg(static_cast<std::streamoff>(base));
+  std::string bytes(static_cast<std::size_t>(size - base), '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  bytes.resize(static_cast<std::size_t>(in.gcount()));
+
+  std::size_t line_start = 0;
+  while (line_start < bytes.size()) {
+    const std::size_t newline = bytes.find('\n', line_start);
+    if (newline == std::string::npos) break;  // in-flight tail; retry later
+    const std::string_view line(bytes.data() + line_start,
+                                newline - line_start);
+    std::optional<store::StoredRecord> frame = store::decode_frame(line);
+    if (!frame.has_value()) {
+      // Torn or mid-write bytes: stop here and retry from this offset on
+      // the next refresh. A writer's own open-time truncation (or more
+      // appended bytes making the line whole) resolves it.
+      break;
+    }
+    store.cells[frame->cell_index] =
+        entry_from(*frame, path, base + line_start, line.size());
+    ++store.frames_seen;
+    ++*new_frames;
+    line_start = newline + 1;
+    cursor.offset = base + static_cast<std::uint64_t>(line_start);
+  }
+  return true;
+}
+
+std::uint64_t AggIndex::refresh() {
+  std::uint64_t new_frames = 0;
+  bool changed = false;
+  for (WatchedStore& store : stores_) {
+    if (!store.attached) {
+      if (!store::RecordStore::exists(store.dir)) continue;
+      try {
+        store.manifest = store::RecordStore::open(store.dir).manifest();
+      } catch (const std::exception&) {
+        continue;  // manifest mid-publish; retry next refresh
+      }
+      store.attached = true;
+      changed = true;
+    }
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      bool ok = true;
+      for (const std::string& path : list_shards(store.dir)) {
+        if (!tail_shard(store, path, &new_frames)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) break;
+      // A shard shrank below its cursor: the store was rewritten out from
+      // under us. Drop this store's view and re-ingest from scratch.
+      store.cursors.clear();
+      store.cells.clear();
+      store.frames_seen = 0;
+      changed = true;
+    }
+    // Completion counts may advance without new frames (finalize); refresh
+    // the manifest echo cheaply when anything else moved.
+    if (new_frames > 0 && store.attached) {
+      try {
+        store.manifest = store::RecordStore::open(store.dir).manifest();
+      } catch (const std::exception&) {
+        // keep the previous echo
+      }
+    }
+  }
+  if (new_frames > 0) changed = true;
+  if (changed) publish();
+  return new_frames;
+}
+
+void AggIndex::publish() {
+  auto next = std::make_shared<IndexSnapshot>();
+  next->version = ++version_;
+  for (const WatchedStore& store : stores_) {
+    if (!store.attached) continue;
+    auto view = std::make_shared<StoreIndex>();
+    view->dir = store.dir;
+    view->manifest = store.manifest;
+    view->cells = store.cells;
+    view->frames_seen = store.frames_seen;
+    next->stores.push_back(std::move(view));
+  }
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(next);
+}
+
+std::shared_ptr<const IndexSnapshot> AggIndex::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+std::optional<std::string> AggIndex::read_frame(const StoreIndex& store,
+                                                std::uint64_t cell) const {
+  const auto it = store.cells.find(cell);
+  if (it == store.cells.end()) return std::nullopt;
+  const CellEntry& entry = it->second;
+  const int fd = ::open(entry.shard_path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  std::string line(static_cast<std::size_t>(entry.frame_length), '\0');
+  const ssize_t n = ::pread(fd, line.data(), line.size(),
+                            static_cast<off_t>(entry.frame_offset));
+  ::close(fd);
+  if (n != static_cast<ssize_t>(line.size())) return std::nullopt;
+  // Decode-validate: the bytes must still be the indexed cell's frame.
+  const std::optional<store::StoredRecord> frame = store::decode_frame(line);
+  if (!frame.has_value() || frame->cell_index != cell) return std::nullopt;
+  return line;
+}
+
+}  // namespace rlocal::service

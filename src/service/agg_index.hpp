@@ -1,0 +1,157 @@
+// AggIndex: the rlocald daemon's incremental view over sweep stores.
+//
+// The index tails every shard of every watched store with a per-shard byte
+// cursor parked at the end of the last fully-decoded frame -- exactly the
+// point a writer's own torn-tail truncation preserves -- so a refresh reads
+// only newly-appended bytes, never rescanning history. A torn or in-flight
+// final frame simply leaves the cursor in place; the next refresh retries
+// from there (live ingestion tolerance). A shard that *shrinks* below a
+// cursor was rewritten out from under us (never done by the lab's writers);
+// that store's view is rebuilt from scratch.
+//
+// Snapshot discipline: refresh() builds a new immutable IndexSnapshot and
+// swaps it under a mutex held only for the pointer exchange. Query threads
+// grab the shared_ptr and read without locks, so serving never blocks on
+// ingestion (and vice versa).
+//
+// Aggregation (the /agg endpoint and tests) is computed from per-cell
+// summaries grouped by (solver, regime, variant): nearest-rank percentiles
+// over rounds / messages / total_bits / wall_ms, with "not measured"
+// scalars excluded per metric and skipped cells excluded entirely.
+// compare_sweep.py --agg recomputes the same numbers from the raw store,
+// pinning the daemon's math to the offline truth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/record_store.hpp"
+
+namespace rlocal::service {
+
+/// Per-cell summary the index keeps in memory: the aggregation coordinates
+/// and metric scalars, plus the frame's location on disk so /records can
+/// serve the full record without retaining frame bodies in RAM.
+struct CellEntry {
+  std::uint64_t cell_index = 0;
+  std::string solver;
+  std::string graph;
+  std::string regime;
+  std::string variant;
+  std::uint64_t seed = 0;
+  bool skipped = false;
+  // Metric scalars; -1 (or NaN-free "absent" convention below) = not
+  // measured, excluded from that metric's aggregate.
+  std::int64_t rounds = -1;
+  std::int64_t messages = -1;
+  std::int64_t total_bits = -1;
+  double wall_ms = -1.0;
+  // Frame location (last-write-wins winner for this cell_index).
+  std::string shard_path;
+  std::uint64_t frame_offset = 0;  ///< byte offset of the frame line
+  std::uint64_t frame_length = 0;  ///< line length excluding '\n'
+};
+
+/// Immutable per-store view.
+struct StoreIndex {
+  std::string dir;
+  store::StoreManifest manifest;
+  std::map<std::uint64_t, CellEntry> cells;  ///< deduped, grid order
+  std::uint64_t frames_seen = 0;  ///< decoded frames incl. duplicates
+};
+
+/// Immutable whole-index snapshot; query threads hold the shared_ptr while
+/// serving and never observe a half-applied refresh.
+struct IndexSnapshot {
+  std::vector<std::shared_ptr<const StoreIndex>> stores;
+  std::uint64_t version = 0;  ///< bumped per refresh that changed anything
+};
+
+/// One aggregate row: a (store, solver, regime, variant, metric) group.
+struct AggRow {
+  std::string fingerprint;  ///< owning store's spec fingerprint
+  std::string solver;
+  std::string regime;
+  std::string variant;
+  std::string metric;  ///< "rounds" | "messages" | "total_bits" | "wall_ms"
+  std::uint64_t count = 0;
+  double sum = 0;
+  double mean = 0;
+  double min = 0;
+  double p50 = 0;  ///< nearest-rank: sorted[ceil(0.5 * count) - 1]
+  double p90 = 0;
+  double max = 0;
+};
+
+/// Filters for aggregate(); empty string = wildcard. `variant` uses "*" as
+/// the wildcard so the empty (implicit) variant stays addressable.
+struct AggFilter {
+  std::string solver;
+  std::string regime;
+  std::string variant = "*";
+  std::string metric;
+};
+
+const std::vector<std::string>& agg_metrics();  ///< the four metric names
+
+/// Nearest-rank percentile over ascending `sorted`: element at index
+/// ceil(q * n) - 1 (clamped). Shared with compare_sweep.py --agg.
+double nearest_rank(const std::vector<double>& sorted, double q);
+
+/// Aggregate rows over a snapshot, grouped by (store, solver, regime,
+/// variant) x metric, in deterministic (sorted) order.
+std::vector<AggRow> aggregate(const IndexSnapshot& snapshot,
+                              const AggFilter& filter);
+
+class AggIndex {
+ public:
+  /// Watches `store_dirs`. Directories without a manifest yet are polled on
+  /// every refresh and attach once one appears (a daemon may be started
+  /// before the first sweep process).
+  explicit AggIndex(std::vector<std::string> store_dirs);
+
+  /// One incremental pass over every watched store; returns the number of
+  /// newly decoded frames. Call from a single ingestion thread.
+  std::uint64_t refresh();
+
+  /// Current immutable snapshot (never null; empty before the first
+  /// refresh attaches a store).
+  std::shared_ptr<const IndexSnapshot> snapshot() const;
+
+  /// Reads the raw frame line for `cell` back from disk (pread at the
+  /// indexed offset, decode-validated). nullopt when the cell is unknown
+  /// or the bytes on disk no longer decode to the indexed cell.
+  std::optional<std::string> read_frame(const StoreIndex& store,
+                                        std::uint64_t cell) const;
+
+ private:
+  struct ShardCursor {
+    std::uint64_t offset = 0;  ///< end of the last fully-decoded frame
+  };
+  struct WatchedStore {
+    std::string dir;
+    bool attached = false;
+    store::StoreManifest manifest;
+    std::map<std::string, ShardCursor> cursors;  ///< by shard path
+    std::map<std::uint64_t, CellEntry> cells;
+    std::uint64_t frames_seen = 0;
+  };
+
+  /// Tails one shard from its cursor; returns decoded frames and advances
+  /// the cursor. Detects shrink (-> store rebuild) via the return flag.
+  bool tail_shard(WatchedStore& store, const std::string& path,
+                  std::uint64_t* new_frames);
+  void publish();
+
+  std::vector<WatchedStore> stores_;
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const IndexSnapshot> snapshot_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace rlocal::service

@@ -1,0 +1,317 @@
+#include "service/claims.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "support/assert.hpp"
+#include "support/json.hpp"
+
+namespace rlocal::service {
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what, const std::string& path) {
+  throw InvariantError("work claims: " + what + " '" + path +
+                       "': " + std::strerror(errno));
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char ch : s) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Owner ids appear in file names; anything outside [A-Za-z0-9_.-] is
+/// flattened so callers can pass hostnames or free-form labels.
+std::string sanitize(const std::string& owner) {
+  std::string out = owner;
+  for (char& ch : out) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == '.' ||
+                    ch == '-';
+    if (!ok) ch = '_';
+  }
+  return out;
+}
+
+/// Writes `text` to `path` then fsyncs it, so a published lease is always a
+/// complete JSON document (publishes go through link/rename afterwards).
+void write_file_synced(const std::string& path, const std::string& text) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail_errno("open", path);
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + written,
+                              text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail_errno("write", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail_errno("fsync", path);
+  }
+  ::close(fd);
+}
+
+std::string lease_json(std::uint64_t range, const std::string& owner,
+                       std::uint64_t seq, bool done) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("range", range);
+  w.field("owner", owner);
+  w.field("seq", seq);
+  w.field("done", done);
+  w.end_object();
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace
+
+WorkClaims::WorkClaims(std::string store_dir, std::string owner,
+                       std::uint64_t total_cells, ClaimOptions options)
+    : owner_(std::move(owner)), total_cells_(total_cells), options_(options) {
+  RLOCAL_CHECK(!owner_.empty(), "work claims: owner id must not be empty");
+  RLOCAL_CHECK(options_.range_cells > 0,
+               "work claims: range_cells must be > 0");
+  claims_dir_ = (fs::path(store_dir) / "claims").string();
+  fs::create_directories(claims_dir_);
+  tmp_path_ =
+      (fs::path(claims_dir_) / (".tmp-" + sanitize(owner_))).string();
+  num_ranges_ =
+      (total_cells_ + options_.range_cells - 1) / options_.range_cells;
+  known_done_.assign(num_ranges_, 0);
+  scan_start_ = num_ranges_ == 0 ? 0 : fnv1a(owner_) % num_ranges_;
+}
+
+std::uint64_t WorkClaims::range_begin(std::uint64_t range) const {
+  RLOCAL_CHECK(range < num_ranges_, "work claims: range out of bounds");
+  return range * options_.range_cells;
+}
+
+std::uint64_t WorkClaims::range_end(std::uint64_t range) const {
+  RLOCAL_CHECK(range < num_ranges_, "work claims: range out of bounds");
+  return std::min(total_cells_, (range + 1) * options_.range_cells);
+}
+
+std::string WorkClaims::lease_path(std::uint64_t range) const {
+  return (fs::path(claims_dir_) / ("range-" + std::to_string(range) + ".json"))
+      .string();
+}
+
+WorkClaims::ReadResult WorkClaims::read_lease(std::uint64_t range) const {
+  ReadResult result;
+  std::ifstream in(lease_path(range), std::ios::binary);
+  if (!in.good()) return result;  // kMissing
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const JsonValue root = json_parse(buffer.str());
+    RLOCAL_CHECK(root.is_object(), "lease is not an object");
+    result.lease.owner = root.string_or("owner", "");
+    RLOCAL_CHECK(!result.lease.owner.empty(), "lease has no owner");
+    const JsonValue* seq = root.find("seq");
+    RLOCAL_CHECK(seq != nullptr && seq->is_number(), "lease has no seq");
+    result.lease.seq = seq->as_uint64();
+    result.lease.done = root.bool_or("done", false);
+    result.state = LeaseState::kOk;
+  } catch (const std::exception&) {
+    // Leases are published atomically, so a torn/garbled file means outside
+    // interference; treat it as immediately stealable rather than wedging
+    // the range forever.
+    result.state = LeaseState::kCorrupt;
+  }
+  return result;
+}
+
+void WorkClaims::write_lease(std::uint64_t range, std::uint64_t seq,
+                             bool done) const {
+  write_file_synced(tmp_path_, lease_json(range, owner_, seq, done));
+  std::error_code ec;
+  fs::rename(tmp_path_, lease_path(range), ec);
+  RLOCAL_CHECK(!ec, "work claims: rename '" + tmp_path_ + "' -> '" +
+                        lease_path(range) + "': " + ec.message());
+}
+
+bool WorkClaims::create_exclusive(std::uint64_t range) {
+  write_file_synced(tmp_path_, lease_json(range, owner_, 1, false));
+  const std::string lease = lease_path(range);
+  // link(2) is the portable atomic create-exclusive publish: it fails with
+  // EEXIST when any other claimer's lease is already in place.
+  if (::link(tmp_path_.c_str(), lease.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp_path_.c_str());
+    if (err == EEXIST) return false;
+    errno = err;
+    fail_errno("link", lease);
+  }
+  ::unlink(tmp_path_.c_str());
+  return true;
+}
+
+bool WorkClaims::try_acquire(std::uint64_t range) {
+  RLOCAL_CHECK(range < num_ranges_, "work claims: range out of bounds");
+  if (known_done_[range]) return false;
+  const ReadResult current = read_lease(range);
+  if (current.state == LeaseState::kMissing) {
+    return create_exclusive(range);
+  }
+  if (current.state == LeaseState::kOk) {
+    if (current.lease.done) {
+      known_done_[range] = 1;
+      return false;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    auto [it, inserted] = observed_.try_emplace(range);
+    Observation& obs = it->second;
+    if (inserted || obs.owner != current.lease.owner ||
+        obs.seq != current.lease.seq) {
+      // New or advancing lease: restart this claimer's staleness window.
+      obs = {current.lease.owner, current.lease.seq, now};
+      return false;
+    }
+    if (now - obs.first_seen <
+        std::chrono::milliseconds(options_.ttl_ms)) {
+      return false;  // unchanged, but not long enough to presume death
+    }
+  }
+  // Stale (or corrupt) lease: move it aside, then run the normal exclusive
+  // create race -- a concurrent stealer may win, which is fine.
+  observed_.erase(range);
+  const std::string aside =
+      (fs::path(claims_dir_) / (".stale-" + std::to_string(range) + "-" +
+                                sanitize(owner_)))
+          .string();
+  std::error_code ec;
+  fs::rename(lease_path(range), aside, ec);
+  if (!ec) fs::remove(aside, ec);
+  return create_exclusive(range);
+}
+
+std::optional<std::uint64_t> WorkClaims::acquire() {
+  for (std::uint64_t step = 0; step < num_ranges_; ++step) {
+    const std::uint64_t range = (scan_start_ + step) % num_ranges_;
+    if (try_acquire(range)) {
+      scan_start_ = (range + 1) % num_ranges_;
+      return range;
+    }
+  }
+  return std::nullopt;
+}
+
+bool WorkClaims::heartbeat(std::uint64_t range) {
+  const ReadResult current = read_lease(range);
+  if (current.state != LeaseState::kOk || current.lease.owner != owner_) {
+    return false;  // stolen (we looked dead); abandon the range
+  }
+  write_lease(range, current.lease.seq + 1, current.lease.done);
+  return true;
+}
+
+void WorkClaims::mark_done(std::uint64_t range) {
+  const ReadResult current = read_lease(range);
+  const std::uint64_t seq =
+      current.state == LeaseState::kOk ? current.lease.seq + 1 : 1;
+  write_lease(range, seq, /*done=*/true);
+  known_done_[range] = 1;
+}
+
+void WorkClaims::release(std::uint64_t range) {
+  const ReadResult current = read_lease(range);
+  if (current.state == LeaseState::kOk && current.lease.owner == owner_ &&
+      !current.lease.done) {
+    std::error_code ec;
+    fs::remove(lease_path(range), ec);
+  }
+}
+
+std::optional<LeaseInfo> WorkClaims::peek(std::uint64_t range) const {
+  const ReadResult current = read_lease(range);
+  if (current.state != LeaseState::kOk) return std::nullopt;
+  return current.lease;
+}
+
+std::uint64_t WorkClaims::count_done() const {
+  std::uint64_t done = 0;
+  for (std::uint64_t range = 0; range < num_ranges_; ++range) {
+    if (!known_done_[range]) {
+      const ReadResult current = read_lease(range);
+      if (current.state == LeaseState::kOk && current.lease.done) {
+        known_done_[range] = 1;
+      }
+    }
+    if (known_done_[range]) ++done;
+  }
+  return done;
+}
+
+store::RecordStore ensure_store(const std::string& dir,
+                                store::StoreManifest manifest,
+                                double timeout_ms) {
+  fs::create_directories(dir);
+  const std::string lock = (fs::path(dir) / ".init-lock").string();
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  while (true) {
+    if (store::RecordStore::exists(dir)) {
+      store::RecordStore opened = store::RecordStore::open(dir);
+      RLOCAL_CHECK(
+          opened.manifest().fingerprint == manifest.fingerprint,
+          "claimed drain: store '" + dir +
+              "' was written by a different spec (fingerprint " +
+              opened.manifest().fingerprint + ", this spec is " +
+              manifest.fingerprint + "); refusing to mix records");
+      return opened;
+    }
+    const int fd = ::open(lock.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      ::close(fd);
+      // Won the init race (or inherited a reclaimed lock): publish the
+      // manifest, then release the lock.
+      if (!store::RecordStore::exists(dir)) {
+        store::RecordStore created =
+            store::RecordStore::create(dir, std::move(manifest));
+        ::unlink(lock.c_str());
+        return created;
+      }
+      ::unlink(lock.c_str());
+      continue;  // someone else published first; open it above
+    }
+    RLOCAL_CHECK(errno == EEXIST,
+                 "claimed drain: cannot create init lock '" + lock +
+                     "': " + std::strerror(errno));
+    // A process is initializing; wait for its manifest. If none appears
+    // within the timeout the initializer crashed pre-manifest: reclaim the
+    // lock and race again (give up after a second full window).
+    if (elapsed_ms() > timeout_ms) {
+      RLOCAL_CHECK(elapsed_ms() <= 2 * timeout_ms,
+                   "claimed drain: no manifest appeared in '" + dir +
+                       "' (initializer crashed?)");
+      std::error_code ec;
+      fs::remove(lock, ec);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace rlocal::service

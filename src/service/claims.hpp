@@ -1,0 +1,148 @@
+// WorkClaims: cooperative, coordinator-free claiming of sweep cell ranges,
+// so N independent run_sweep processes drain one fingerprinted sweep
+// concurrently (each writing its own shard; see docs/service.md).
+//
+// Protocol. The grid's cell indices are partitioned into fixed ranges of
+// `range_cells`. Each range has at most one lease file under
+// `<store>/claims/range-<k>.json` holding {range, owner, seq, done}:
+//
+//   * acquire   -- create the lease exclusively (write a private tmp file,
+//                  then link(2) it into place; EEXIST means someone else
+//                  holds the range). No lock server, no coordinator.
+//   * heartbeat -- rewrite the lease with seq+1 (tmp + atomic rename) after
+//                  every cell; returns false when the lease is no longer
+//                  ours (stolen), telling the caller to abandon the range.
+//   * mark_done -- rewrite the lease with done = true; a done lease is
+//                  permanent and the range is never claimed again.
+//
+// Stale detection is observation-based: no cross-process clocks are ever
+// compared. A claimer remembers (owner, seq, local steady time) per lease
+// it could not acquire; when the pair stays unchanged for longer than
+// `ttl_ms` of *its own* clock, the holder is presumed dead and the lease is
+// stolen (renamed away, then the normal exclusive create race decides the
+// new holder).
+//
+// Failure model: at-least-once execution. A steal (or the heartbeat race it
+// loses) can make two claimers run the same range; both append frames for
+// the same cells, which is benign because records are deterministic
+// (byte-identical payloads) and RecordStore::read_all deduplicates by
+// cell_index last-write-wins. What the protocol guarantees is that every
+// range is eventually executed by a *live* claimer and that done ranges are
+// never re-run.
+//
+// Threading: one WorkClaims instance per claimer (thread or process); the
+// instance itself is not thread-safe. Distinct claimers in one process must
+// use distinct owner ids.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/record_store.hpp"
+
+namespace rlocal::service {
+
+struct ClaimOptions {
+  std::uint64_t range_cells = 64;  ///< cell indices per lease range
+  /// Local observation window after which an unchanged (owner, seq) lease
+  /// is presumed dead and stolen. Must comfortably exceed the worst-case
+  /// per-cell wall time (heartbeats happen once per cell).
+  std::uint64_t ttl_ms = 10'000;
+};
+
+/// One lease as read back from disk (exposed for tests/inspection).
+struct LeaseInfo {
+  std::string owner;
+  std::uint64_t seq = 0;
+  bool done = false;
+};
+
+class WorkClaims {
+ public:
+  /// `store_dir` is the sweep store directory; leases live in its `claims/`
+  /// subdirectory (created if absent). `owner` must be unique per claimer
+  /// and non-empty; `total_cells` is the grid's cell count (all claimers
+  /// must agree, which the store fingerprint already pins).
+  WorkClaims(std::string store_dir, std::string owner,
+             std::uint64_t total_cells, ClaimOptions options = {});
+
+  const std::string& owner() const { return owner_; }
+  std::uint64_t num_ranges() const { return num_ranges_; }
+  std::uint64_t range_begin(std::uint64_t range) const;
+  std::uint64_t range_end(std::uint64_t range) const;
+
+  /// Claims some not-done range: scans from a per-owner start offset (so
+  /// concurrent claimers fan out over the grid instead of contending on
+  /// range 0), acquiring the first free or stale lease. Returns the claimed
+  /// range, or nullopt when every range is currently done or freshly held
+  /// by someone else -- callers should sleep briefly and retry until
+  /// all_done() (a holder may still crash and go stale).
+  std::optional<std::uint64_t> acquire();
+
+  /// Attempts to acquire one specific range (exposed for tests).
+  bool try_acquire(std::uint64_t range);
+
+  /// Re-asserts ownership after finishing a cell. False means the lease was
+  /// stolen (this claimer looked dead): stop working on the range -- frames
+  /// already appended are harmless duplicates.
+  bool heartbeat(std::uint64_t range);
+
+  /// Permanently marks the range complete. Safe to call even after a steal:
+  /// the records are durable in this claimer's shard regardless.
+  void mark_done(std::uint64_t range);
+
+  /// Abandons a held range without completing it (budget exhausted);
+  /// removes the lease so other claimers pick it up without waiting ttl.
+  void release(std::uint64_t range);
+
+  /// Reads the lease for `range`; nullopt when none exists.
+  std::optional<LeaseInfo> peek(std::uint64_t range) const;
+
+  std::uint64_t count_done() const;  ///< done ranges (scans the claims dir)
+  bool all_done() const { return count_done() == num_ranges_; }
+
+ private:
+  enum class LeaseState { kMissing, kCorrupt, kOk };
+  struct ReadResult {
+    LeaseState state = LeaseState::kMissing;
+    LeaseInfo lease;
+  };
+  struct Observation {
+    std::string owner;
+    std::uint64_t seq = 0;
+    std::chrono::steady_clock::time_point first_seen;
+  };
+
+  std::string lease_path(std::uint64_t range) const;
+  ReadResult read_lease(std::uint64_t range) const;
+  bool create_exclusive(std::uint64_t range);
+  void write_lease(std::uint64_t range, std::uint64_t seq, bool done) const;
+
+  std::string claims_dir_;
+  std::string owner_;
+  std::string tmp_path_;  ///< per-owner scratch file for atomic publishes
+  std::uint64_t total_cells_ = 0;
+  std::uint64_t num_ranges_ = 0;
+  ClaimOptions options_;
+  std::uint64_t scan_start_ = 0;  ///< acquire() fan-out offset
+  /// Ranges this instance has seen marked done (saves re-reading leases).
+  mutable std::vector<char> known_done_;
+  /// Stale-detection memory: last (owner, seq) seen per contended lease.
+  std::unordered_map<std::uint64_t, Observation> observed_;
+};
+
+/// Joins or creates the store directory for a claimed drain: exactly one
+/// process creates the manifest (guarded by an exclusive `.init-lock` file);
+/// the rest wait for it to appear and open it. Throws InvariantError when
+/// the existing store's fingerprint differs from `manifest.fingerprint`, or
+/// when no manifest appears within `timeout_ms` (a lock left by a process
+/// that crashed pre-manifest is itself reclaimed after the timeout).
+store::RecordStore ensure_store(const std::string& dir,
+                                store::StoreManifest manifest,
+                                double timeout_ms = 10'000);
+
+}  // namespace rlocal::service

@@ -1,0 +1,212 @@
+#include "service/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/assert.hpp"
+
+namespace rlocal::service {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+int hex_digit(char ch) {
+  if (ch >= '0' && ch <= '9') return ch - '0';
+  if (ch >= 'a' && ch <= 'f') return ch - 'a' + 10;
+  if (ch >= 'A' && ch <= 'F') return ch - 'A' + 10;
+  return -1;
+}
+
+std::string url_decode(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == '+') {
+      out += ' ';
+    } else if (raw[i] == '%' && i + 2 < raw.size() &&
+               hex_digit(raw[i + 1]) >= 0 && hex_digit(raw[i + 2]) >= 0) {
+      out += static_cast<char>(hex_digit(raw[i + 1]) * 16 +
+                               hex_digit(raw[i + 2]));
+      i += 2;
+    } else {
+      out += raw[i];
+    }
+  }
+  return out;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+void write_all(int fd, const std::string& bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + written, bytes.size() - written,
+               MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing to do
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::map<std::string, std::string> parse_query(const std::string& raw) {
+  std::map<std::string, std::string> query;
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    const std::size_t amp = raw.find('&', start);
+    const std::string_view pair(
+        raw.data() + start,
+        (amp == std::string::npos ? raw.size() : amp) - start);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        query[url_decode(pair)] = "";
+      } else {
+        query[url_decode(pair.substr(0, eq))] =
+            url_decode(pair.substr(eq + 1));
+      }
+    }
+    if (amp == std::string::npos) break;
+    start = amp + 1;
+  }
+  return query;
+}
+
+HttpServer::HttpServer(int port, Handler handler, int threads)
+    : handler_(std::move(handler)) {
+  RLOCAL_CHECK(handler_ != nullptr, "http server needs a handler");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  RLOCAL_CHECK(listen_fd_ >= 0,
+               std::string("http: socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, always
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw InvariantError("http: cannot listen on 127.0.0.1:" +
+                         std::to_string(port) + ": " + reason);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  const int count = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int t = 0; t < count; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::worker_loop() {
+  // All workers poll + accept on the shared listening socket; the 100 ms
+  // poll timeout is the stop-flag latency bound.
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;  // lost the race to another worker
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  // Read until the end of the header block (GETs have no body).
+  std::string request;
+  char buffer[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    request.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse response;
+  const std::size_t line_end = request.find("\r\n");
+  const std::string request_line =
+      request.substr(0, line_end == std::string::npos ? 0 : line_end);
+  const std::size_t method_end = request_line.find(' ');
+  const std::size_t target_end =
+      method_end == std::string::npos
+          ? std::string::npos
+          : request_line.find(' ', method_end + 1);
+  if (method_end == std::string::npos || target_end == std::string::npos) {
+    response = {400, "text/plain", "bad request\n"};
+  } else {
+    HttpRequest parsed;
+    parsed.method = request_line.substr(0, method_end);
+    std::string target =
+        request_line.substr(method_end + 1, target_end - method_end - 1);
+    const std::size_t question = target.find('?');
+    if (question != std::string::npos) {
+      parsed.query = parse_query(target.substr(question + 1));
+      target.resize(question);
+    }
+    parsed.path = url_decode(target);
+    if (parsed.method != "GET") {
+      response = {405, "text/plain", "only GET is supported\n"};
+    } else {
+      try {
+        response = handler_(parsed);
+      } catch (const std::exception& e) {
+        response = {500, "text/plain", std::string("error: ") + e.what() +
+                                           "\n"};
+      }
+    }
+  }
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_text(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  write_all(fd, out);
+}
+
+}  // namespace rlocal::service

@@ -1,0 +1,63 @@
+// Minimal blocking HTTP/1.1 server for rlocald's JSONL query API.
+//
+// Deliberately tiny: loopback only, GET only, Connection: close, a handful
+// of worker threads each doing poll(accept fd) -> accept -> read one
+// request -> write one response. No external dependencies, no TLS, no
+// keep-alive -- the daemon serves line-oriented JSON to curl and scripts,
+// not browsers (docs/service.md). Handlers run on the worker threads and
+// must be thread-safe (rlocald's are pure functions of an immutable index
+// snapshot, so they trivially are).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rlocal::service {
+
+struct HttpRequest {
+  std::string method;  ///< "GET" (anything else is answered 405)
+  std::string path;    ///< decoded path, query string stripped
+  std::map<std::string, std::string> query;  ///< decoded query parameters
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/x-ndjson";
+  std::string body;
+};
+
+/// Parses and percent-decodes a query string ("a=1&b=x%20y") -- exposed for
+/// tests.
+std::map<std::string, std::string> parse_query(const std::string& raw);
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and starts
+  /// `threads` worker threads. Throws InvariantError when the bind fails.
+  HttpServer(int port, Handler handler, int threads = 2);
+  ~HttpServer();  ///< stop() + join
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  int port() const { return port_; }
+  void stop();
+
+ private:
+  void worker_loop();
+  void serve_connection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace rlocal::service

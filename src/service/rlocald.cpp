@@ -1,0 +1,172 @@
+#include "service/rlocald.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <sstream>
+
+#include "support/json.hpp"
+
+namespace rlocal::service {
+
+namespace {
+
+HttpResponse jsonl(std::string body) {
+  return {200, "application/x-ndjson", std::move(body)};
+}
+
+HttpResponse not_found(const std::string& what) {
+  return {404, "text/plain", what + "\n"};
+}
+
+void write_agg_row(JsonWriter& w, const AggRow& row) {
+  w.begin_object();
+  w.field("store", row.fingerprint);
+  w.field("solver", row.solver);
+  w.field("regime", row.regime);
+  w.field("variant", row.variant);
+  w.field("metric", row.metric);
+  w.field("count", row.count);
+  w.field("sum", row.sum);
+  w.field("mean", row.mean);
+  w.field("min", row.min);
+  w.field("p50", row.p50);
+  w.field("p90", row.p90);
+  w.field("max", row.max);
+  w.end_object();
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)), index_(options_.stores) {
+  index_.refresh();
+  server_ = std::make_unique<HttpServer>(
+      options_.port,
+      [this](const HttpRequest& request) { return handle(request); },
+      options_.http_threads);
+  ingest_thread_ = std::thread([this] { ingest_loop(); });
+}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::stop() {
+  if (stopping_.exchange(true)) return;
+  if (ingest_thread_.joinable()) ingest_thread_.join();
+  server_->stop();
+}
+
+void Daemon::ingest_loop() {
+  const auto interval =
+      std::chrono::milliseconds(std::max(1, options_.refresh_interval_ms));
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    index_.refresh();
+    // Sleep in small slices so stop() is never blocked on a long interval.
+    auto remaining = interval;
+    while (remaining.count() > 0 &&
+           !stopping_.load(std::memory_order_relaxed)) {
+      const auto slice =
+          std::min(remaining, std::chrono::milliseconds(20));
+      std::this_thread::sleep_for(slice);
+      remaining -= slice;
+    }
+  }
+}
+
+HttpResponse Daemon::handle(const HttpRequest& request) {
+  const auto get = [&request](const char* key,
+                              const std::string& fallback = "") {
+    const auto it = request.query.find(key);
+    return it == request.query.end() ? fallback : it->second;
+  };
+  const std::shared_ptr<const IndexSnapshot> snapshot = index_.snapshot();
+
+  if (request.path == "/healthz") {
+    std::uint64_t cells = 0;
+    for (const auto& store : snapshot->stores) cells += store->cells.size();
+    std::ostringstream out;
+    JsonWriter w(out, /*indent=*/0);
+    w.begin_object();
+    w.field("status", "ok");
+    w.field("stores", static_cast<std::uint64_t>(snapshot->stores.size()));
+    w.field("cells", cells);
+    w.field("index_version", snapshot->version);
+    w.end_object();
+    out << '\n';
+    return jsonl(out.str());
+  }
+
+  if (request.path == "/sweeps") {
+    std::ostringstream out;
+    for (const auto& store : snapshot->stores) {
+      JsonWriter w(out, /*indent=*/0);
+      w.begin_object();
+      w.field("dir", store->dir);
+      w.field("fingerprint", store->manifest.fingerprint);
+      w.field("total_cells", store->manifest.total_cells);
+      w.field("completed_cells", store->manifest.completed_cells);
+      w.field("indexed_cells",
+              static_cast<std::uint64_t>(store->cells.size()));
+      w.field("frames_seen", store->frames_seen);
+      w.end_object();
+      out << '\n';
+    }
+    return jsonl(out.str());
+  }
+
+  if (request.path == "/agg") {
+    AggFilter filter;
+    filter.solver = get("solver");
+    filter.regime = get("regime");
+    filter.variant = get("variant", "*");
+    filter.metric = get("metric");
+    if (!filter.metric.empty()) {
+      const auto& metrics = agg_metrics();
+      if (std::find(metrics.begin(), metrics.end(), filter.metric) ==
+          metrics.end()) {
+        return {400, "text/plain",
+                "unknown metric '" + filter.metric +
+                    "' (rounds|messages|total_bits|wall_ms)\n"};
+      }
+    }
+    std::ostringstream out;
+    for (const AggRow& row : aggregate(*snapshot, filter)) {
+      JsonWriter w(out, /*indent=*/0);
+      write_agg_row(w, row);
+      out << '\n';
+    }
+    return jsonl(out.str());
+  }
+
+  if (request.path == "/records") {
+    const std::string cell_text = get("cell");
+    if (cell_text.empty()) {
+      return {400, "text/plain", "missing required parameter 'cell'\n"};
+    }
+    std::uint64_t cell = 0;
+    try {
+      std::size_t parsed = 0;
+      cell = std::stoull(cell_text, &parsed);
+      if (parsed != cell_text.size()) throw std::invalid_argument(cell_text);
+    } catch (const std::exception&) {
+      return {400, "text/plain",
+              "parameter 'cell' is not an unsigned integer\n"};
+    }
+    const std::string fingerprint = get("store");
+    for (const auto& store : snapshot->stores) {
+      if (!fingerprint.empty() &&
+          store->manifest.fingerprint != fingerprint) {
+        continue;
+      }
+      if (std::optional<std::string> frame = index_.read_frame(*store, cell);
+          frame.has_value()) {
+        return jsonl(*frame + "\n");
+      }
+    }
+    return not_found("no such cell");
+  }
+
+  return not_found("no such route (try /healthz, /sweeps, /agg, /records)");
+}
+
+}  // namespace rlocal::service

@@ -1,0 +1,67 @@
+// rlocald: the sweep lab's long-running query daemon.
+//
+// Watches one or more store directories, keeps an incremental AggIndex over
+// their shards (an ingestion thread tails newly-appended frames; queries
+// read immutable snapshots and never block on ingestion), and serves a
+// minimal JSONL HTTP API on loopback (docs/service.md):
+//
+//   GET /healthz            -- {"status":"ok", ...} liveness + index stats
+//   GET /sweeps             -- one line per attached store (fingerprint,
+//                              cell counts, ingestion progress)
+//   GET /agg?solver=&regime=&variant=&metric=
+//                           -- aggregate rows (nearest-rank percentiles)
+//                              per (solver, regime, variant) x metric
+//   GET /records?cell=K[&store=FP]
+//                           -- the raw stored frame for one cell
+//
+// The daemon binary is bench/rlocald.cpp; this class is the embeddable
+// core (tests run it in-process on an ephemeral port).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/agg_index.hpp"
+#include "service/http.hpp"
+
+namespace rlocal::service {
+
+struct DaemonOptions {
+  std::vector<std::string> stores;  ///< store directories to watch
+  int port = 0;                     ///< HTTP port; 0 = ephemeral
+  int http_threads = 2;
+  int refresh_interval_ms = 200;  ///< ingestion poll cadence
+};
+
+class Daemon {
+ public:
+  /// Runs one initial index refresh synchronously (so a store that already
+  /// has frames is queryable the moment the constructor returns), then
+  /// starts the ingestion thread and the HTTP server.
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  int port() const { return server_->port(); }
+  std::shared_ptr<const IndexSnapshot> snapshot() const {
+    return index_.snapshot();
+  }
+  void stop();
+
+  /// Route dispatch, exposed for tests (the HTTP server calls this).
+  HttpResponse handle(const HttpRequest& request);
+
+ private:
+  void ingest_loop();
+
+  DaemonOptions options_;
+  AggIndex index_;
+  std::unique_ptr<HttpServer> server_;
+  std::thread ingest_thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace rlocal::service

@@ -1,0 +1,16 @@
+// Umbrella header for the sweep-as-a-service subsystem:
+//
+//   claims.hpp    -- WorkClaims, the coordinator-free multi-process drain
+//                    protocol over a store's claims/ directory;
+//   agg_index.hpp -- AggIndex, the incremental per-store aggregate index
+//                    (snapshot-swapped, never a full rescan);
+//   http.hpp      -- the minimal blocking HTTP/1.1 server;
+//   rlocald.hpp   -- Daemon, the query service tying the two together.
+//
+// See docs/service.md for the protocol and API reference.
+#pragma once
+
+#include "service/agg_index.hpp"
+#include "service/claims.hpp"
+#include "service/http.hpp"
+#include "service/rlocald.hpp"

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -269,9 +270,21 @@ std::vector<StoredRecord> RecordStore::read_all() const {
 
 RecordStore::ShardWriter RecordStore::shard_writer(int index) const {
   RLOCAL_CHECK(index >= 0, "sweep store: shard index must be >= 0");
+  return shard_writer(std::to_string(index));
+}
+
+RecordStore::ShardWriter RecordStore::shard_writer(
+    const std::string& name) const {
+  RLOCAL_CHECK(!name.empty(), "sweep store: shard name must not be empty");
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == '.' ||
+                    ch == '-';
+    RLOCAL_CHECK(ok, "sweep store: shard name '" + name +
+                         "' has characters outside [A-Za-z0-9_.-]");
+  }
   const std::string path =
-      (fs::path(dir_) / (kShardPrefix + std::to_string(index) + kShardSuffix))
-          .string();
+      (fs::path(dir_) / (kShardPrefix + name + kShardSuffix)).string();
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) fail_errno("open", path);
   // Truncate a torn tail so appended frames never fuse with partial bytes.
@@ -294,7 +307,14 @@ void RecordStore::finalize(std::uint64_t completed_cells) {
 
 void RecordStore::write_manifest() const {
   const std::string path = (fs::path(dir_) / kManifestName).string();
-  const std::string tmp = path + ".tmp";
+  // Pid- and call-qualified tmp: concurrent finalizes from a claimed drain
+  // (other processes, or claimer threads within one) must not share a
+  // scratch file -- one's rename would yank it out from under the other.
+  // The rename itself is atomic either way.
+  static std::atomic<std::uint64_t> tmp_counter{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) +
+                          "." + std::to_string(++tmp_counter);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     RLOCAL_CHECK(out.good(), "sweep store: cannot write '" + tmp + "'");

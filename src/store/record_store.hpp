@@ -96,6 +96,11 @@ class RecordStore {
   /// Opens shard `index` ("shard-<index>.jsonl") for appending.
   ShardWriter shard_writer(int index) const;
 
+  /// Opens shard "shard-<name>.jsonl" for appending. Multi-process drains
+  /// (service/claims.hpp) name shards by claim owner so concurrent writers
+  /// never collide; `name` must be non-empty [A-Za-z0-9_.-].
+  ShardWriter shard_writer(const std::string& name) const;
+
   /// Rewrites the manifest with the final completion count (atomic).
   void finalize(std::uint64_t completed_cells);
 

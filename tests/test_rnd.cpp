@@ -579,6 +579,32 @@ TEST(BatchedDraws, GeometricBatchMatchesScalarAcrossRegimes) {
   }
 }
 
+TEST(BatchedDraws, BernoulliBatchMatchesScalarAcrossRegimes) {
+  for (const Regime& regime : batch_regimes()) {
+    const std::vector<std::uint64_t> nodes = batch_nodes(regime);
+    NodeRandomness scalar(regime, 31);
+    NodeRandomness batched(regime, 31);
+    // 0 and 1 hit the degenerate branch (checkpoint only, no bits); the
+    // irrational p exercises the threshold compare in both the 20-bit
+    // eps-bias path and the 64-bit chunk path.
+    for (const double p : {0.0, 0.25, 0.6180339887, 1.0}) {
+      std::vector<std::uint8_t> out(nodes.size(), 0xFF);
+      batched.bernoulli_batch(nodes, /*stream=*/6, p, out);
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        EXPECT_EQ(out[i] != 0, scalar.bernoulli(nodes[i], 6, p))
+            << regime.name() << " node " << nodes[i] << " p " << p;
+      }
+    }
+    EXPECT_EQ(batched.derived_bits(), scalar.derived_bits()) << regime.name();
+    EXPECT_EQ(batched.shared_seed_bits(), scalar.shared_seed_bits())
+        << regime.name();
+    if (regime.kind == RegimeKind::kPooled) {
+      EXPECT_EQ(batched.pools_touched(), scalar.pools_touched())
+          << regime.name();
+    }
+  }
+}
+
 TEST(BatchedDraws, PriorityBatchMatchesScalarChunk) {
   for (const Regime& regime : batch_regimes()) {
     const std::vector<std::uint64_t> nodes = batch_nodes(regime);

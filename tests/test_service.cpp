@@ -1,0 +1,550 @@
+// The sweep-as-a-service subsystem: the WorkClaims lease protocol
+// (double-claim impossibility under racing acquirers, stale-lease reclaim
+// after a simulated crash, heartbeats keeping live claimers safe), claimed
+// multi-claimer drains producing byte-identical stores, the incremental
+// AggIndex (vs from-scratch aggregation, torn-frame tolerance), and the
+// rlocald HTTP round trip on an ephemeral port.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "core/api.hpp"
+#include "service/service.hpp"
+#include "store/store.hpp"
+
+namespace rlocal {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("rlocal_service_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    fs::remove_all(dir_);
+    fs::remove_all(dir_ + "_clean");
+  }
+
+  std::string dir_;
+};
+
+/// Same small real grid as test_store.cpp: 2 solvers x 1 graph x 2 regimes
+/// x 2 seeds = 8 cells, none skipped.
+lab::SweepSpec small_spec() {
+  lab::SweepSpec spec;
+  spec.graphs = {{"grid", make_grid(5, 5)}};
+  spec.regimes = {Regime::full(), Regime::kwise(64)};
+  spec.seeds = {1, 2};
+  spec.solvers = {"mis/luby", "mis/greedy"};
+  spec.threads = 2;
+  return spec;
+}
+
+std::string canonical(const std::vector<store::StoredRecord>& records) {
+  std::ostringstream out;
+  for (const store::StoredRecord& stored : records) {
+    out << stored.cell_index << ' ' << stored.cell_seed << ' '
+        << store::canonical_record_json(stored.record) << '\n';
+  }
+  return out.str();
+}
+
+std::string store_bytes(const std::string& dir) {
+  return canonical(store::RecordStore::open(dir).read_all());
+}
+
+store::StoreManifest test_manifest(std::uint64_t total_cells = 8,
+                                   const std::string& fingerprint =
+                                       "00000000deadbeef") {
+  store::StoreManifest manifest;
+  manifest.fingerprint = fingerprint;
+  manifest.total_cells = total_cells;
+  return manifest;
+}
+
+/// A store directory WorkClaims can point at (leases only need claims/ to
+/// be creatable under it).
+void make_bare_store(const std::string& dir) { fs::create_directories(dir); }
+
+// ---- Lease protocol -------------------------------------------------------
+
+TEST_F(ServiceTest, RangePartitionCoversTheGrid) {
+  make_bare_store(dir_);
+  service::ClaimOptions options;
+  options.range_cells = 3;
+  service::WorkClaims claims(dir_, "a", 8, options);
+  ASSERT_EQ(claims.num_ranges(), 3u);  // 3 + 3 + 2
+  EXPECT_EQ(claims.range_begin(0), 0u);
+  EXPECT_EQ(claims.range_end(0), 3u);
+  EXPECT_EQ(claims.range_begin(2), 6u);
+  EXPECT_EQ(claims.range_end(2), 8u);  // last range is the remainder
+}
+
+TEST_F(ServiceTest, DoubleClaimIsImpossible) {
+  make_bare_store(dir_);
+  service::WorkClaims a(dir_, "a", 8);
+  service::WorkClaims b(dir_, "b", 8);
+  ASSERT_EQ(a.num_ranges(), 1u);
+  EXPECT_TRUE(a.try_acquire(0));
+  EXPECT_FALSE(b.try_acquire(0));  // held, fresh
+  const auto lease = b.peek(0);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->owner, "a");
+  EXPECT_FALSE(lease->done);
+}
+
+TEST_F(ServiceTest, RacingAcquirersExactlyOneWins) {
+  make_bare_store(dir_);
+  constexpr int kClaimers = 8;
+  std::vector<std::unique_ptr<service::WorkClaims>> claimers;
+  for (int i = 0; i < kClaimers; ++i) {
+    claimers.push_back(std::make_unique<service::WorkClaims>(
+        dir_, "racer-" + std::to_string(i), 8));
+  }
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClaimers; ++i) {
+    threads.emplace_back([&, i] {
+      if (claimers[static_cast<std::size_t>(i)]->try_acquire(0)) ++winners;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(winners.load(), 1);  // create-exclusive decides, exactly once
+}
+
+TEST_F(ServiceTest, DoneRangeIsNeverReclaimed) {
+  make_bare_store(dir_);
+  service::ClaimOptions options;
+  options.ttl_ms = 1;  // even an "expired" done lease must stay done
+  service::WorkClaims a(dir_, "a", 8, options);
+  service::WorkClaims b(dir_, "b", 8, options);
+  ASSERT_TRUE(a.try_acquire(0));
+  a.mark_done(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(b.try_acquire(0));  // first observation
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(b.try_acquire(0));  // well past ttl: still refused
+  EXPECT_FALSE(b.acquire().has_value());
+  EXPECT_TRUE(b.all_done());
+}
+
+TEST_F(ServiceTest, StaleLeaseIsReclaimedAfterSimulatedCrash) {
+  make_bare_store(dir_);
+  service::ClaimOptions options;
+  options.ttl_ms = 60;
+  // "crashed" acquires and then never heartbeats again (process death).
+  service::WorkClaims crashed(dir_, "crashed", 8, options);
+  ASSERT_TRUE(crashed.try_acquire(0));
+  service::WorkClaims b(dir_, "b", 8, options);
+  // First sighting only starts b's observation window; no instant steal.
+  EXPECT_FALSE(b.try_acquire(0));
+  // Once (owner, seq) stays unchanged past ttl on b's own clock, b steals.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool stolen = false;
+  while (!stolen && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stolen = b.try_acquire(0);
+  }
+  EXPECT_TRUE(stolen);
+  const auto lease = b.peek(0);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->owner, "b");
+  // The presumed-dead claimer notices on its next heartbeat and abandons.
+  EXPECT_FALSE(crashed.heartbeat(0));
+}
+
+TEST_F(ServiceTest, HeartbeatsPreventSteal) {
+  make_bare_store(dir_);
+  service::ClaimOptions options;
+  options.ttl_ms = 80;
+  service::WorkClaims a(dir_, "a", 8, options);
+  service::WorkClaims b(dir_, "b", 8, options);
+  ASSERT_TRUE(a.try_acquire(0));
+  // a heartbeats well inside b's ttl window: b can never build an
+  // unchanged-observation case, so the lease is safe indefinitely.
+  const auto end =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  while (std::chrono::steady_clock::now() < end) {
+    EXPECT_TRUE(a.heartbeat(0));
+    EXPECT_FALSE(b.try_acquire(0));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+TEST_F(ServiceTest, ReleaseHandsTheRangeOver) {
+  make_bare_store(dir_);
+  service::WorkClaims a(dir_, "a", 8);
+  service::WorkClaims b(dir_, "b", 8);
+  ASSERT_TRUE(a.try_acquire(0));
+  a.release(0);
+  EXPECT_TRUE(b.try_acquire(0));  // immediate, no ttl wait
+}
+
+TEST_F(ServiceTest, CorruptLeaseIsImmediatelyStealable) {
+  // Lease publishes are atomic (link / rename), so garbled bytes can only
+  // mean outside interference -- reclaimed on sight, no ttl wait, instead
+  // of wedging the range forever.
+  make_bare_store(dir_);
+  service::WorkClaims b(dir_, "b", 8);
+  fs::create_directories(dir_ + "/claims");
+  std::ofstream(dir_ + "/claims/range-0.json") << "{\"range\":0,\"ow";
+  EXPECT_TRUE(b.try_acquire(0));
+  const auto lease = b.peek(0);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->owner, "b");
+}
+
+TEST_F(ServiceTest, EnsureStoreRefusesFingerprintMismatch) {
+  store::RecordStore first =
+      service::ensure_store(dir_, test_manifest(8, "1111111111111111"));
+  EXPECT_EQ(first.manifest().fingerprint, "1111111111111111");
+  // Joining with the same fingerprint is fine...
+  service::ensure_store(dir_, test_manifest(8, "1111111111111111"));
+  // ...a different grid is not.
+  EXPECT_THROW(
+      service::ensure_store(dir_, test_manifest(8, "2222222222222222")),
+      InvariantError);
+}
+
+TEST_F(ServiceTest, EnsureStoreReclaimsAbandonedInitLock) {
+  // A process that crashed after taking the init lock but before publishing
+  // the manifest must not wedge the store forever.
+  fs::create_directories(dir_);
+  std::ofstream(dir_ + "/.init-lock") << "";
+  store::RecordStore created = service::ensure_store(
+      dir_, test_manifest(8, "3333333333333333"), /*timeout_ms=*/200);
+  EXPECT_EQ(created.manifest().fingerprint, "3333333333333333");
+}
+
+// ---- Claimed drains -------------------------------------------------------
+
+TEST_F(ServiceTest, SingleClaimedDrainMatchesPlainStore) {
+  lab::StoreOptions options;
+  options.dir = dir_;
+  options.claim = true;
+  options.claim_owner = "solo";
+  options.claim_range_cells = 3;
+  const lab::SweepResult result = lab::run_sweep(small_spec(), options);
+  EXPECT_EQ(result.cells_run, 8);
+  EXPECT_EQ(result.cells_failed, 0);
+
+  const std::string clean_dir = dir_ + "_clean";
+  lab::run_sweep(small_spec(), lab::StoreOptions{clean_dir, false});
+  EXPECT_EQ(store_bytes(dir_), store_bytes(clean_dir));
+}
+
+TEST_F(ServiceTest, ConcurrentClaimersDrainByteIdentically) {
+  // Three claimers (stand-ins for three processes) drain one store
+  // concurrently, each under its own owner id and lease ranges of 2 cells.
+  // The acceptance bar: the merged store equals a single-process run's,
+  // byte for byte.
+  auto claimer = [this](const std::string& owner) {
+    lab::SweepSpec spec = small_spec();
+    spec.threads = 1;
+    lab::StoreOptions options;
+    options.dir = dir_;
+    options.claim = true;
+    options.claim_owner = owner;
+    options.claim_range_cells = 2;
+    lab::run_sweep(spec, options);
+  };
+  std::thread a(claimer, "alpha"), b(claimer, "beta"), c(claimer, "gamma");
+  a.join();
+  b.join();
+  c.join();
+
+  store::RecordStore merged = store::RecordStore::open(dir_);
+  EXPECT_EQ(merged.manifest().completed_cells, 8u);
+  EXPECT_EQ(merged.read_all().size(), 8u);
+
+  const std::string clean_dir = dir_ + "_clean";
+  lab::run_sweep(small_spec(), lab::StoreOptions{clean_dir, false});
+  EXPECT_EQ(store_bytes(dir_), store_bytes(clean_dir));
+}
+
+TEST_F(ServiceTest, ClaimedDrainResumesAfterBudgetExhaustion) {
+  // max_cells simulates a claimer dying mid-drain (its held range is
+  // released); a later claimer finishes the grid and the store still equals
+  // a clean run.
+  lab::SweepSpec spec = small_spec();
+  spec.threads = 1;
+  spec.max_cells = 3;
+  lab::StoreOptions options;
+  options.dir = dir_;
+  options.claim = true;
+  options.claim_owner = "first";
+  options.claim_range_cells = 2;
+  const lab::SweepResult partial = lab::run_sweep(spec, options);
+  EXPECT_EQ(partial.cells_run, 3);
+
+  spec.max_cells = 0;
+  options.claim_owner = "second";
+  lab::run_sweep(spec, options);
+
+  const std::string clean_dir = dir_ + "_clean";
+  lab::run_sweep(small_spec(), lab::StoreOptions{clean_dir, false});
+  EXPECT_EQ(store_bytes(dir_), store_bytes(clean_dir));
+}
+
+TEST_F(ServiceTest, ClaimAndResumeAreMutuallyExclusive) {
+  lab::StoreOptions options;
+  options.dir = dir_;
+  options.claim = true;
+  options.resume = true;
+  EXPECT_THROW(lab::run_sweep(small_spec(), options), InvariantError);
+}
+
+// ---- AggIndex -------------------------------------------------------------
+
+/// From-scratch reference aggregation: a brand-new index over the same
+/// directory, fully refreshed.
+std::vector<service::AggRow> from_scratch(const std::string& dir,
+                                          const service::AggFilter& filter) {
+  service::AggIndex fresh({dir});
+  fresh.refresh();
+  return service::aggregate(*fresh.snapshot(), filter);
+}
+
+bool rows_equal(const std::vector<service::AggRow>& a,
+                const std::vector<service::AggRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].solver != b[i].solver || a[i].regime != b[i].regime ||
+        a[i].variant != b[i].variant || a[i].metric != b[i].metric ||
+        a[i].count != b[i].count || a[i].sum != b[i].sum ||
+        a[i].min != b[i].min || a[i].p50 != b[i].p50 ||
+        a[i].p90 != b[i].p90 || a[i].max != b[i].max) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(AggMath, NearestRankPercentiles) {
+  const std::vector<double> one = {5.0};
+  EXPECT_EQ(service::nearest_rank(one, 0.5), 5.0);
+  EXPECT_EQ(service::nearest_rank(one, 0.9), 5.0);
+  const std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(service::nearest_rank(v, 0.5), 5.0);   // ceil(0.5*10) = 5th
+  EXPECT_EQ(service::nearest_rank(v, 0.9), 9.0);   // ceil(0.9*10) = 9th
+  EXPECT_EQ(service::nearest_rank(v, 1.0), 10.0);  // max
+}
+
+TEST_F(ServiceTest, IncrementalIndexMatchesFromScratchAcrossAppends) {
+  // Partial drain, index it, finish the drain, refresh incrementally: the
+  // incremental view must equal a brand-new index's at every step.
+  lab::SweepSpec spec = small_spec();
+  spec.max_cells = 3;
+  spec.threads = 1;
+  lab::run_sweep(spec, lab::StoreOptions{dir_, false});
+
+  service::AggIndex index({dir_});
+  const std::uint64_t first = index.refresh();
+  EXPECT_EQ(first, 3u);
+  EXPECT_EQ(index.refresh(), 0u);  // nothing new: no frames re-read
+  EXPECT_TRUE(
+      rows_equal(service::aggregate(*index.snapshot(), {}),
+                 from_scratch(dir_, {})));
+
+  spec.max_cells = 0;
+  lab::run_sweep(spec, lab::StoreOptions{dir_, /*resume=*/true});
+  const std::uint64_t second = index.refresh();
+  EXPECT_EQ(second, 5u);  // only the newly-appended frames
+  const auto rows = service::aggregate(*index.snapshot(), {});
+  EXPECT_FALSE(rows.empty());
+  EXPECT_TRUE(rows_equal(rows, from_scratch(dir_, {})));
+
+  // Filters select, never recompute.
+  service::AggFilter filter;
+  filter.solver = "mis/luby";
+  filter.metric = "rounds";
+  for (const service::AggRow& row :
+       service::aggregate(*index.snapshot(), filter)) {
+    EXPECT_EQ(row.solver, "mis/luby");
+    EXPECT_EQ(row.metric, "rounds");
+    EXPECT_GE(row.count, 1u);
+  }
+}
+
+TEST_F(ServiceTest, TornFinalFrameIsToleratedThenCountedOnce) {
+  lab::run_sweep(small_spec(), lab::StoreOptions{dir_, false});
+  service::AggIndex index({dir_});
+  ASSERT_EQ(index.refresh(), 8u);
+
+  // A writer is mid-append: half a frame, no newline yet.
+  store::StoredRecord extra;
+  extra.cell_index = 99;
+  extra.record.solver = "mis/luby";
+  extra.record.problem = "mis";
+  extra.record.graph = "grid";
+  extra.record.regime = "full";
+  extra.record.seed = 7;
+  extra.record.success = true;
+  extra.record.cost.populated = true;  // "rounds" lives in the cost block
+  extra.record.cost.rounds = 4;
+  const std::string frame = store::encode_frame(extra);
+  const std::string shard = dir_ + "/shard-live.jsonl";
+  {
+    std::ofstream out(shard, std::ios::binary);
+    out << frame.substr(0, frame.size() / 2);
+  }
+  EXPECT_EQ(index.refresh(), 0u);  // torn tail: tolerated, not ingested
+  EXPECT_EQ(index.snapshot()->stores.at(0)->cells.count(99), 0u);
+
+  // The writer finishes the line: exactly one new frame on the next pass.
+  {
+    std::ofstream out(shard, std::ios::binary | std::ios::app);
+    out << frame.substr(frame.size() / 2) << '\n';
+  }
+  EXPECT_EQ(index.refresh(), 1u);
+  EXPECT_EQ(index.refresh(), 0u);  // and never counted again
+  const auto snapshot = index.snapshot();
+  ASSERT_EQ(snapshot->stores.size(), 1u);
+  EXPECT_EQ(snapshot->stores.at(0)->cells.count(99), 1u);
+  EXPECT_EQ(snapshot->stores.at(0)->cells.at(99).rounds, 4);
+}
+
+TEST_F(ServiceTest, IndexAttachesToAStoreBornLater) {
+  service::AggIndex index({dir_});  // nothing on disk yet
+  EXPECT_EQ(index.refresh(), 0u);
+  EXPECT_TRUE(index.snapshot()->stores.empty());
+  lab::run_sweep(small_spec(), lab::StoreOptions{dir_, false});
+  EXPECT_EQ(index.refresh(), 8u);  // attached and ingested in one pass
+  ASSERT_EQ(index.snapshot()->stores.size(), 1u);
+}
+
+// ---- HTTP -----------------------------------------------------------------
+
+TEST(Http, ParseQuery) {
+  const auto query =
+      service::parse_query("solver=mis%2Fluby&metric=rounds&flag");
+  EXPECT_EQ(query.at("solver"), "mis/luby");
+  EXPECT_EQ(query.at("metric"), "rounds");
+  EXPECT_EQ(query.at("flag"), "");
+  EXPECT_TRUE(service::parse_query("").empty());
+  EXPECT_EQ(service::parse_query("a=b+c%20d").at("a"), "b c d");
+}
+
+/// A minimal blocking HTTP client for the round-trip test: one GET, reads
+/// until the peer closes (the server always sends Connection: close).
+std::string http_get(int port, const std::string& target,
+                     const std::string& method = "GET") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request =
+      method + " " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(ServiceTest, DaemonHttpRoundTripOnEphemeralPort) {
+  lab::run_sweep(small_spec(), lab::StoreOptions{dir_, false});
+  service::DaemonOptions options;
+  options.stores = {dir_};
+  options.port = 0;  // ephemeral: the OS picks, tests never collide
+  options.refresh_interval_ms = 50;
+  service::Daemon daemon(options);
+  ASSERT_GT(daemon.port(), 0);
+
+  const std::string health = http_get(daemon.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"cells\":8"), std::string::npos);
+
+  const std::string sweeps = http_get(daemon.port(), "/sweeps");
+  EXPECT_NE(sweeps.find("\"indexed_cells\":8"), std::string::npos);
+
+  const std::string agg =
+      http_get(daemon.port(), "/agg?solver=mis%2Fluby&metric=rounds");
+  EXPECT_NE(agg.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(agg.find("\"solver\":\"mis/luby\""), std::string::npos);
+  EXPECT_NE(agg.find("\"metric\":\"rounds\""), std::string::npos);
+  EXPECT_NE(agg.find("\"count\":2"), std::string::npos);  // 2 seeds/regime
+
+  // A cell that exists comes back as its exact stored frame.
+  const std::string record = http_get(daemon.port(), "/records?cell=0");
+  EXPECT_NE(record.find("\"cell_index\":0"), std::string::npos);
+
+  EXPECT_NE(http_get(daemon.port(), "/records?cell=12345")
+                .find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(http_get(daemon.port(), "/records").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(http_get(daemon.port(), "/agg?metric=bogus")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(http_get(daemon.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(http_get(daemon.port(), "/healthz", "POST")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  daemon.stop();
+}
+
+TEST_F(ServiceTest, DaemonServesDuringLiveIngestion) {
+  // Start the daemon on an empty directory, then drain a claimed sweep into
+  // it while polling /healthz and /agg: every response must be well-formed,
+  // and the final aggregate must equal a from-scratch recomputation.
+  service::DaemonOptions options;
+  options.stores = {dir_};
+  options.port = 0;
+  options.refresh_interval_ms = 10;
+  service::Daemon daemon(options);
+
+  std::thread drain([this] {
+    lab::SweepSpec spec = small_spec();
+    spec.threads = 1;
+    lab::StoreOptions store_options;
+    store_options.dir = dir_;
+    store_options.claim = true;
+    store_options.claim_owner = "live";
+    store_options.claim_range_cells = 2;
+    lab::run_sweep(spec, store_options);
+  });
+  while (true) {
+    const std::string health = http_get(daemon.port(), "/healthz");
+    ASSERT_NE(health.find("HTTP/1.1 200"), std::string::npos);
+    const std::string agg = http_get(daemon.port(), "/agg");
+    ASSERT_NE(agg.find("HTTP/1.1 200"), std::string::npos);
+    if (health.find("\"cells\":8") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  drain.join();
+  daemon.stop();
+  EXPECT_TRUE(rows_equal(service::aggregate(*daemon.snapshot(), {}),
+                         from_scratch(dir_, {})));
+}
+
+}  // namespace
+}  // namespace rlocal
