@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "rnd/dispatch.hpp"
 #include "sim/programs/chatter.hpp"
 
 namespace {
@@ -93,11 +94,21 @@ BENCHMARK(BM_KWiseRepeatedPointDraws)
 
 // Before/after case for batched multi-point Horner: *distinct* points (one
 // priority per node per iteration, the Luby/EN access pattern) defeat the
-// last-point memo entirely. Arg(1) = values() batch (the "after": four
-// interleaved branchless chains), Arg(0) = a value() loop (the "before":
-// one dependent GF(2^m) chain at a time).
+// last-point memo entirely. Arg(1) = values() batch (the "after":
+// interleaved chains), Arg(0) = a value() loop (the "before": one dependent
+// GF(2^m) chain at a time). Arg(2) forces the evaluation backend for the
+// batch path -- 0 = portable (4-wide shift/xor), 1 = PCLMUL (8-wide
+// carry-less multiply, docs/randomness.md) -- so one run yields the
+// before/after numbers across both the batching and the SIMD changes.
 void BM_KWiseDistinctPointDraws(benchmark::State& state) {
   const auto k = static_cast<int>(state.range(0));
+  const rnd::Backend backend =
+      state.range(2) != 0 ? rnd::Backend::kPclmul : rnd::Backend::kPortable;
+  if (!rnd::backend_available(backend)) {
+    state.SkipWithError("backend unavailable on this binary+CPU");
+    return;
+  }
+  rnd::force_backend(backend);
   const KWiseGenerator gen = KWiseGenerator::from_seed(k, 64, 3);
   constexpr std::size_t kBatch = 256;
   std::vector<std::uint64_t> points(kBatch);
@@ -120,14 +131,18 @@ void BM_KWiseDistinctPointDraws(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(kBatch));
+  rnd::clear_backend_override();
 }
 BENCHMARK(BM_KWiseDistinctPointDraws)
-    ->Args({16, 0})
-    ->Args({16, 1})
-    ->Args({128, 0})
-    ->Args({128, 1})
-    ->Args({512, 0})
-    ->Args({512, 1});
+    ->Args({16, 0, 0})
+    ->Args({16, 1, 0})
+    ->Args({16, 1, 1})
+    ->Args({128, 0, 0})
+    ->Args({128, 1, 0})
+    ->Args({128, 1, 1})
+    ->Args({512, 0, 0})
+    ->Args({512, 1, 0})
+    ->Args({512, 1, 1});
 
 // Before/after case for the batched randomness plane: one
 // NodeRandomness::priority_batch per iteration versus the scalar chunk()

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "rnd/dispatch.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
 
@@ -89,7 +90,8 @@ void print_profile(const std::vector<ProfileRow>& rows, std::ostream& out) {
     solver_width = std::max(solver_width, row.solver.size());
     regime_width = std::max(regime_width, row.regime.size());
   }
-  out << "\n[profile] cell-time breakdown (executed cells only)\n"
+  out << "\n[profile] cell-time breakdown (executed cells only; rnd backend: "
+      << rlocal::rnd::backend_name(rlocal::rnd::active_backend()) << ")\n"
       << std::left << std::setw(static_cast<int>(solver_width)) << "solver"
       << "  " << std::setw(static_cast<int>(regime_width)) << "regime"
       << std::right << "  " << std::setw(6) << "cells" << "  "
@@ -110,6 +112,11 @@ bool write_profile_json(const std::vector<ProfileRow>& rows,
                         const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
+  // The backend is stamped per row (not once at the top) so rows stay
+  // self-describing when profile JSONs from different machines are
+  // concatenated or diffed row-wise across runs.
+  const std::string backend =
+      rlocal::rnd::backend_name(rlocal::rnd::active_backend());
   rlocal::JsonWriter w(out);
   w.begin_object();
   w.field("schema", "rlocal.profile/1");
@@ -119,6 +126,7 @@ bool write_profile_json(const std::vector<ProfileRow>& rows,
     w.begin_object();
     w.field("solver", row.solver);
     w.field("regime", row.regime);
+    w.field("rnd_backend", backend);
     w.field("cells", row.cells);
     w.field("total_ms", row.total_ms);
     w.field("ms_per_cell", row.cells > 0 ? row.total_ms / row.cells : 0.0);

@@ -1,0 +1,40 @@
+// Backend probe for the randomness dispatch plane (docs/randomness.md).
+//
+//   rnd_probe            print compiled/available/active for every backend
+//   rnd_probe <backend>  exit 0 if <backend> is available on this
+//                        binary+CPU, 1 if not, 2 for an unknown name
+//
+// CI uses the query form to decide whether a forced-SIMD ctest leg can run
+// on the current machine ("skip gracefully when the CPU lacks it") instead
+// of letting RLOCAL_RND_BACKEND=pclmul fail every test on older hardware.
+#include <cstring>
+#include <iostream>
+
+#include "rnd/dispatch.hpp"
+
+int main(int argc, char** argv) {
+  using rlocal::rnd::Backend;
+  if (argc > 2 || (argc == 2 && std::strcmp(argv[1], "--help") == 0)) {
+    std::cerr << "usage: rnd_probe [backend]\n";
+    return 2;
+  }
+  if (argc == 2) {
+    const auto backend = rlocal::rnd::parse_backend_name(argv[1]);
+    if (!backend.has_value()) {
+      std::cerr << "unknown backend '" << argv[1]
+                << "' (expected portable or pclmul)\n";
+      return 2;
+    }
+    return rlocal::rnd::backend_available(*backend) ? 0 : 1;
+  }
+  for (const Backend backend : {Backend::kPortable, Backend::kPclmul}) {
+    std::cout << rlocal::rnd::backend_name(backend)
+              << " compiled=" << rlocal::rnd::backend_compiled(backend)
+              << " available=" << rlocal::rnd::backend_available(backend)
+              << "\n";
+  }
+  std::cout << "active=" << rlocal::rnd::backend_name(
+                                rlocal::rnd::active_backend())
+            << "\n";
+  return 0;
+}

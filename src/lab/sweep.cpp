@@ -7,6 +7,7 @@
 #include <optional>
 #include <thread>
 
+#include "rnd/dispatch.hpp"
 #include "rnd/prng.hpp"
 #include "service/claims.hpp"
 #include "store/store.hpp"
@@ -56,6 +57,7 @@ store::StoreManifest manifest_from_spec(
   manifest.bandwidths = spec.bandwidths;
   manifest.seeds = spec.seeds;
   manifest.cell_deadline_ms = spec.cell_deadline_ms;
+  manifest.rnd_backend = rnd::backend_name(rnd::active_backend());
   return manifest;
 }
 

@@ -1,0 +1,127 @@
+#include "rnd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "rnd/kwise_backend.hpp"
+#include "support/assert.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#endif
+
+namespace rlocal::rnd {
+
+namespace {
+
+/// CPUID.1:ECX feature bits; both checked because the kernel TU uses
+/// SSE4.1 extracts alongside the carry-less multiplies (every PCLMUL CPU
+/// since Westmere has both, but the probe stays honest).
+bool cpu_has_pclmul() {
+#if defined(__x86_64__) || defined(_M_X64)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  constexpr unsigned kPclmulBit = 1u << 1;
+  constexpr unsigned kSse41Bit = 1u << 19;
+  return (ecx & kPclmulBit) != 0 && (ecx & kSse41Bit) != 0;
+#else
+  return false;
+#endif
+}
+
+Backend best_available() {
+  return backend_available(Backend::kPclmul) ? Backend::kPclmul
+                                             : Backend::kPortable;
+}
+
+Backend resolve_from_env() {
+  const char* raw = std::getenv("RLOCAL_RND_BACKEND");
+  if (raw == nullptr) return best_available();
+  const std::string_view requested(raw);
+  if (requested.empty() || requested == "auto") return best_available();
+  const std::optional<Backend> parsed = parse_backend_name(requested);
+  RLOCAL_CHECK(parsed.has_value(),
+               "RLOCAL_RND_BACKEND='" + std::string(requested) +
+                   "' is not a backend (use auto, portable, or pclmul)");
+  RLOCAL_CHECK(backend_available(*parsed),
+               "RLOCAL_RND_BACKEND forces the " +
+                   std::string(backend_name(*parsed)) +
+                   " backend, which is " +
+                   (backend_compiled(*parsed)
+                        ? "not supported by this CPU"
+                        : "not compiled into this binary"));
+  return *parsed;
+}
+
+/// force_backend override; -1 = none. Atomic (not a mutex) because
+/// active_backend sits on the values() hot path.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kPortable:
+      return "portable";
+    case Backend::kPclmul:
+      return "pclmul";
+  }
+  RLOCAL_ASSERT(false);
+}
+
+std::optional<Backend> parse_backend_name(std::string_view name) {
+  if (name == "portable") return Backend::kPortable;
+  if (name == "pclmul") return Backend::kPclmul;
+  return std::nullopt;
+}
+
+bool backend_compiled(Backend backend) {
+  switch (backend) {
+    case Backend::kPortable:
+      return true;
+    case Backend::kPclmul:
+      return detail::kwise_pclmul_compiled();
+  }
+  RLOCAL_ASSERT(false);
+}
+
+bool backend_available(Backend backend) {
+  if (backend == Backend::kPortable) return true;
+  // cpuid is cheap but not free; the result cannot change within a process.
+  static const bool has_pclmul = cpu_has_pclmul();
+  return backend_compiled(backend) && has_pclmul;
+}
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> backends = {Backend::kPortable};
+  if (backend_available(Backend::kPclmul)) {
+    backends.push_back(Backend::kPclmul);
+  }
+  return backends;
+}
+
+Backend active_backend() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Backend>(forced);
+  // Magic-static: the env var is read and validated once per process, on
+  // the first unforced draw (or probe).
+  static const Backend resolved = resolve_from_env();
+  return resolved;
+}
+
+void force_backend(Backend backend) {
+  RLOCAL_CHECK(backend_available(backend),
+               std::string("cannot force the ") + backend_name(backend) +
+                   " backend: " +
+                   (backend_compiled(backend)
+                        ? "this CPU does not support it"
+                        : "it is not compiled into this binary"));
+  g_forced.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+void clear_backend_override() {
+  g_forced.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace rlocal::rnd

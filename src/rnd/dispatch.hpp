@@ -1,0 +1,69 @@
+// Runtime selection of the k-wise evaluation backend (docs/randomness.md).
+//
+// Every backend produces byte-identical draws (the BatchedDraws identity
+// suite is the oracle), so selection is purely a performance decision:
+//
+//   kPortable -- branchless shift/xor GF(2^m) arithmetic, 4-wide Horner
+//                interleave. Always compiled, runs anywhere.
+//   kPclmul   -- PCLMULQDQ carry-less multiply + exact Barrett reduction,
+//                8-wide Horner interleave (src/rnd/kwise_pclmul.cpp).
+//                Needs the RLOCAL_SIMD build flags and a CPU with the
+//                PCLMULQDQ + SSE4.1 bits.
+//
+// Resolution order, decided once per process and cheap to consult on every
+// KWiseGenerator::values call:
+//
+//   1. force_backend(b)            -- test/API override, checked available;
+//   2. RLOCAL_RND_BACKEND env var  -- "portable" / "pclmul" force that
+//      backend (first use throws InvariantError if it is unavailable, so a
+//      CI leg forcing SIMD fails loudly rather than silently falling back),
+//      "auto"/unset pick the best available;
+//   3. best available              -- kPclmul when the binary and CPU both
+//      support it, else kPortable.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace rlocal::rnd {
+
+enum class Backend {
+  kPortable = 0,
+  kPclmul = 1,
+};
+
+/// Stable lowercase name ("portable", "pclmul") -- the spelling accepted by
+/// RLOCAL_RND_BACKEND and stamped into profile rows and store manifests.
+const char* backend_name(Backend backend);
+
+/// Inverse of backend_name; nullopt for unknown spellings ("auto" is not a
+/// backend -- callers handle it before parsing).
+std::optional<Backend> parse_backend_name(std::string_view name);
+
+/// The binary contains this backend's code (a build-configuration fact).
+bool backend_compiled(Backend backend);
+
+/// backend_compiled and the running CPU supports it; kPortable is always
+/// available.
+bool backend_available(Backend backend);
+
+/// Every available backend, kPortable first (so it is never empty and the
+/// first entry is always a valid comparison baseline).
+std::vector<Backend> available_backends();
+
+/// The backend KWiseGenerator::values uses right now (see resolution order
+/// above). May throw InvariantError on first use when RLOCAL_RND_BACKEND
+/// names an unknown or unavailable backend.
+Backend active_backend();
+
+/// Overrides the active backend (wins over the env var) after checking
+/// availability; throws InvariantError for an unavailable backend and
+/// changes nothing. Draws are byte-identical across backends, so flipping
+/// this mid-run affects wall time only.
+void force_backend(Backend backend);
+
+/// Removes the force_backend override, returning to env/auto resolution.
+void clear_backend_override();
+
+}  // namespace rlocal::rnd

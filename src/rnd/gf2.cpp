@@ -62,6 +62,18 @@ GF2m::GF2m(int m, std::uint64_t low_poly) : m_(m), low_(low_poly) {
   RLOCAL_CHECK((low_poly & ~mask_) == 0, "low polynomial exceeds degree");
   RLOCAL_CHECK((low_poly & 1ULL) == 1ULL,
                "reduction polynomial needs constant term 1");
+  // mu_low = floor(low * x^m / f): together with the implicit x^m term this
+  // is floor(x^(2m) / f), the Barrett constant of the clmul backends. Note
+  // x^(2m) itself would not fit Poly128 at m = 64; the identity
+  // x^(2m) = f * x^m + low * x^m sidesteps that.
+  const Poly128 f = (static_cast<Poly128>(1) << m) | static_cast<Poly128>(low_);
+  Poly128 rem = static_cast<Poly128>(low_) << m;
+  Poly128 quotient = 0;
+  for (int d = poly_degree(rem); d >= m; d = poly_degree(rem)) {
+    quotient ^= static_cast<Poly128>(1) << (d - m);
+    rem ^= f << (d - m);
+  }
+  mu_low_ = static_cast<std::uint64_t>(quotient);
 }
 
 std::uint64_t GF2m::mul(std::uint64_t a, std::uint64_t b) const {

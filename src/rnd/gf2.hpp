@@ -27,6 +27,14 @@ class GF2m {
   std::uint64_t low_poly() const { return low_; }
   std::uint64_t mask() const { return mask_; }
 
+  /// Barrett helper for carry-less-multiply backends: the low m bits of
+  /// mu = floor(x^(2m) / f). Since f = x^m + low, mu = x^m + this value, so
+  /// the full quotient never needs more than 64 stored bits even at m = 64.
+  /// Reducing a product P (deg <= 2m-2) is then exact in two folds:
+  ///   qhat = P >> m;  q = qhat ^ ((qhat * mu_low) >> m);
+  ///   P mod f = (P ^ q*low) & mask          (q << m has no bits below m).
+  std::uint64_t barrett_mu_low() const { return mu_low_; }
+
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const { return a ^ b; }
 
   /// Carryless multiplication mod the reduction polynomial.
@@ -48,6 +56,7 @@ class GF2m {
   int m_;
   std::uint64_t low_;
   std::uint64_t mask_;
+  std::uint64_t mu_low_;
 };
 
 /// True iff x^m + low is irreducible over GF(2) (Rabin's test).

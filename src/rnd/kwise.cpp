@@ -3,6 +3,9 @@
 #include <bit>
 #include <cmath>
 
+#include "rnd/dispatch.hpp"
+#include "rnd/kwise_backend.hpp"
+
 namespace rlocal {
 
 KWiseGenerator::KWiseGenerator(int k, int m, BitSource& seed_source)
@@ -41,14 +44,26 @@ void KWiseGenerator::values(std::span<const std::uint64_t> points,
                             std::span<std::uint64_t> out) const {
   RLOCAL_CHECK(out.size() >= points.size(),
                "values() output span is shorter than the point span");
+  // Backend dispatch (src/rnd/dispatch.hpp): one relaxed atomic load picks
+  // the evaluation kernel. Both kernels compute the same polynomial over
+  // the same field, so the produced bytes are identical -- the choice is
+  // wall-time only (pinned by the BackendMatrix identity tests).
+  if (rnd::active_backend() == rnd::Backend::kPclmul) {
+    const detail::Gf2KernelParams field{field_.degree(), field_.low_poly(),
+                                        field_.mask(),
+                                        field_.barrett_mu_low()};
+    detail::kwise_values_pclmul(field, coefficients_, points, out);
+    return;
+  }
   const std::size_t count = points.size();
   const std::size_t k = coefficients_.size();
   std::size_t i = 0;
-  // Four interleaved Horner chains. A single GF(2^m) product is a long
-  // *dependent* shift/xor chain (GF2m::mul), so evaluating one point at a
-  // time leaves the core mostly stalled on it; here each multiply step is
-  // a branchless fixed-trip loop over four independent accumulators, so
-  // the four chains overlap. The arithmetic is identical to value().
+  // Portable kernel: four interleaved Horner chains. A single GF(2^m)
+  // product is a long *dependent* shift/xor chain (GF2m::mul), so
+  // evaluating one point at a time leaves the core mostly stalled on it;
+  // here each multiply step is a branchless fixed-trip loop over four
+  // independent accumulators, so the four chains overlap. The arithmetic
+  // is identical to value().
   for (; i + 4 <= count; i += 4) {
     const std::uint64_t x0 = points[i], x1 = points[i + 1];
     const std::uint64_t x2 = points[i + 2], x3 = points[i + 3];

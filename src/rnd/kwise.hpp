@@ -40,10 +40,14 @@ class KWiseGenerator {
   std::uint64_t value(std::uint64_t point) const;
 
   /// Batch evaluation at many (typically *distinct*) points --
-  /// `out[i] = value(points[i])`, but the Horner recurrences of four points
-  /// are interleaved so their GF(2^m) multiplication chains overlap instead
-  /// of serializing (the last-point memo only helps *repeated* points; this
-  /// is the distinct-point complement, see BM_KWiseDistinctPointDraws).
+  /// `out[i] = value(points[i])`, with the Horner recurrences of several
+  /// points interleaved so their GF(2^m) multiplication chains overlap
+  /// instead of serializing (the last-point memo only helps *repeated*
+  /// points; this is the distinct-point complement, see
+  /// BM_KWiseDistinctPointDraws). The evaluation kernel is chosen by
+  /// rnd::active_backend() -- portable branchless shift/xor (4-wide) or
+  /// PCLMUL carry-less multiply (8-wide) -- and every backend produces
+  /// byte-identical outputs (docs/randomness.md states the contract).
   /// Does not read or update the memo. `out` may be the *same* span as
   /// `points` (in-place evaluation); any other overlap is undefined --
   /// blocks of outputs are written before later points are read.

@@ -1,0 +1,47 @@
+// Internal interface between KWiseGenerator and its evaluation backends
+// (src/rnd/dispatch.hpp selects one at runtime; docs/randomness.md states
+// the contract every backend must meet: byte-identical outputs to the
+// portable shift/xor path for every field degree and point set).
+//
+// The PCLMUL kernels live in kwise_pclmul.cpp, the only translation unit
+// compiled with the SIMD flags (-mpclmul -msse4.1, CMake option
+// RLOCAL_SIMD). When the flags are off -- or the target is not x86-64 --
+// that file still defines these symbols: kwise_pclmul_compiled() reports
+// false and the kernels throw, so dispatch never has to link-time-detect
+// anything.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rlocal::detail {
+
+/// The field constants a backend needs, copied out of GF2m so the kernel
+/// translation unit does not depend on the class layout.
+struct Gf2KernelParams {
+  int m = 64;                ///< field degree, in [2, 64]
+  std::uint64_t low = 0;     ///< reduction polynomial below x^m
+  std::uint64_t mask = 0;    ///< (1 << m) - 1 (all-ones at m = 64)
+  std::uint64_t mu_low = 0;  ///< GF2m::barrett_mu_low()
+};
+
+/// True when this binary contains the PCLMUL kernels (a compile-time fact;
+/// whether the *CPU* can run them is rnd::backend_available's job).
+bool kwise_pclmul_compiled();
+
+/// a * b in GF(2^m) via carry-less multiply + exact Barrett reduction.
+/// Identical results to GF2m::mul for all in-field a, b.
+std::uint64_t gf2_mul_pclmul(const Gf2KernelParams& field, std::uint64_t a,
+                             std::uint64_t b);
+
+/// The PCLMUL evaluation kernel behind KWiseGenerator::values: 8
+/// interleaved Horner chains (three carry-less multiplies per GF(2^m)
+/// product), remainder evaluated one chain at a time with the same
+/// arithmetic. Precondition: coefficients non-empty, out.size() >=
+/// points.size(); out-of-field points throw like the portable path.
+void kwise_values_pclmul(const Gf2KernelParams& field,
+                         std::span<const std::uint64_t> coefficients,
+                         std::span<const std::uint64_t> points,
+                         std::span<std::uint64_t> out);
+
+}  // namespace rlocal::detail

@@ -1,0 +1,167 @@
+// PCLMULQDQ backend for the GF(2^m) k-wise generator (see
+// kwise_backend.hpp for the contract, docs/randomness.md for the math).
+//
+// A GF(2^m) product is computed as one 64x64 -> 128 carry-less multiply
+// followed by an exact polynomial Barrett reduction (two more carry-less
+// multiplies, no correction step: polynomial division has no carries, so
+// with mu = floor(x^(2m)/f) the estimated quotient is the true quotient
+// for any product of degree <= 2m-2). That replaces the portable path's
+// per-set-bit shift/xor loop with three constant-time clmuls, and eight
+// Horner chains are interleaved so the ~7-cycle clmul latencies overlap
+// across lanes instead of serializing within one.
+//
+// This is the only translation unit compiled with -mpclmul -msse4.1; every
+// entry point is reached strictly behind rnd::backend_available(kPclmul)'s
+// cpuid check (dispatch.cpp), so no illegal instruction can execute on a
+// CPU without the extensions.
+#include "rnd/kwise_backend.hpp"
+
+#include "support/assert.hpp"
+
+#if defined(RLOCAL_SIMD_PCLMUL) && (defined(__x86_64__) || defined(_M_X64))
+
+#include <smmintrin.h>  // SSE4.1: _mm_extract_epi64
+#include <wmmintrin.h>  // PCLMUL: _mm_clmulepi64_si128
+
+namespace rlocal::detail {
+
+bool kwise_pclmul_compiled() { return true; }
+
+namespace {
+
+struct U128 {
+  std::uint64_t lo, hi;
+};
+
+inline U128 clmul64(std::uint64_t a, std::uint64_t b) {
+  const __m128i p = _mm_clmulepi64_si128(
+      _mm_cvtsi64_si128(static_cast<long long>(a)),
+      _mm_cvtsi64_si128(static_cast<long long>(b)), 0x00);
+  return {static_cast<std::uint64_t>(_mm_cvtsi128_si64(p)),
+          static_cast<std::uint64_t>(_mm_extract_epi64(p, 1))};
+}
+
+inline std::uint64_t clmul64_lo(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(_mm_clmulepi64_si128(
+      _mm_cvtsi64_si128(static_cast<long long>(a)),
+      _mm_cvtsi64_si128(static_cast<long long>(b)), 0x00)));
+}
+
+/// p mod f for deg(p) <= 2m-2, exact Barrett (see GF2m::barrett_mu_low).
+/// kM64 hoists the m = 64 shifts (a 64-bit shift by m would be UB there,
+/// and m = 64 is the draw funnel's only field, so it gets the short path).
+template <bool kM64>
+inline std::uint64_t barrett_reduce(const Gf2KernelParams& f, U128 p) {
+  std::uint64_t qhat, q;
+  if constexpr (kM64) {
+    qhat = p.hi;
+  } else {
+    qhat = (p.lo >> f.m) | (p.hi << (64 - f.m));
+  }
+  const U128 t = clmul64(qhat, f.mu_low);
+  if constexpr (kM64) {
+    q = qhat ^ t.hi;
+  } else {
+    q = qhat ^ ((t.lo >> f.m) | (t.hi << (64 - f.m)));
+  }
+  // q*f = (q << m) ^ q*low; the shifted half has no bits below x^m, so only
+  // q*low reaches the masked remainder.
+  return (p.lo ^ clmul64_lo(q, f.low)) & f.mask;
+}
+
+template <bool kM64>
+inline std::uint64_t mul(const Gf2KernelParams& f, std::uint64_t a,
+                         std::uint64_t b) {
+  return barrett_reduce<kM64>(f, clmul64(a, b));
+}
+
+template <bool kM64>
+void values_kernel(const Gf2KernelParams& f,
+                   std::span<const std::uint64_t> coefficients,
+                   std::span<const std::uint64_t> points,
+                   std::span<std::uint64_t> out) {
+  constexpr std::size_t kLanes = 8;
+  const std::size_t count = points.size();
+  const std::size_t k = coefficients.size();
+  const std::uint64_t top = coefficients.back();
+  std::size_t i = 0;
+  for (; i + kLanes <= count; i += kLanes) {
+    std::uint64_t x[kLanes], acc[kLanes];
+    std::uint64_t oob = 0;
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      x[lane] = points[i + lane];
+      oob |= x[lane];
+      acc[lane] = top;
+    }
+    RLOCAL_CHECK((oob & ~f.mask) == 0, "evaluation point exceeds field size");
+    for (std::size_t c = k - 1; c-- > 0;) {
+      // All eight products are issued before any reduction consumes one:
+      // the three-clmul dependency chain of a single lane is latency-bound,
+      // and this ordering is what lets the other lanes fill it.
+      U128 prod[kLanes];
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        prod[lane] = clmul64(acc[lane], x[lane]);
+      }
+      const std::uint64_t coeff = coefficients[c];
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        acc[lane] = barrett_reduce<kM64>(f, prod[lane]) ^ coeff;
+      }
+    }
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      out[i + lane] = acc[lane];
+    }
+  }
+  for (; i < count; ++i) {
+    const std::uint64_t x = points[i];
+    RLOCAL_CHECK((x & ~f.mask) == 0, "evaluation point exceeds field size");
+    std::uint64_t acc = top;
+    for (std::size_t c = k - 1; c-- > 0;) {
+      acc = mul<kM64>(f, acc, x) ^ coefficients[c];
+    }
+    out[i] = acc;
+  }
+}
+
+}  // namespace
+
+std::uint64_t gf2_mul_pclmul(const Gf2KernelParams& field, std::uint64_t a,
+                             std::uint64_t b) {
+  return field.m == 64 ? mul<true>(field, a, b) : mul<false>(field, a, b);
+}
+
+void kwise_values_pclmul(const Gf2KernelParams& field,
+                         std::span<const std::uint64_t> coefficients,
+                         std::span<const std::uint64_t> points,
+                         std::span<std::uint64_t> out) {
+  RLOCAL_ASSERT(!coefficients.empty());
+  RLOCAL_ASSERT(out.size() >= points.size());
+  if (field.m == 64) {
+    values_kernel<true>(field, coefficients, points, out);
+  } else {
+    values_kernel<false>(field, coefficients, points, out);
+  }
+}
+
+}  // namespace rlocal::detail
+
+#else  // PCLMUL not compiled in: report so, and make any call a clean error.
+
+namespace rlocal::detail {
+
+bool kwise_pclmul_compiled() { return false; }
+
+std::uint64_t gf2_mul_pclmul(const Gf2KernelParams&, std::uint64_t,
+                             std::uint64_t) {
+  RLOCAL_CHECK(false, "pclmul backend is not compiled into this binary");
+}
+
+void kwise_values_pclmul(const Gf2KernelParams&,
+                         std::span<const std::uint64_t>,
+                         std::span<const std::uint64_t>,
+                         std::span<std::uint64_t>) {
+  RLOCAL_CHECK(false, "pclmul backend is not compiled into this binary");
+}
+
+}  // namespace rlocal::detail
+
+#endif

@@ -119,6 +119,9 @@ void write_manifest_json(std::ostream& out, const StoreManifest& manifest) {
   w.field("fingerprint", manifest.fingerprint);
   w.field("total_cells", manifest.total_cells);
   w.field("completed_cells", manifest.completed_cells);
+  if (!manifest.rnd_backend.empty()) {
+    w.field("rnd_backend", manifest.rnd_backend);
+  }
   w.key("spec");
   w.begin_object();
   const auto string_array = [&w](const char* key,
@@ -166,6 +169,7 @@ StoreManifest parse_manifest(const std::string& path, const std::string& text) {
   if (completed != nullptr && completed->is_number()) {
     manifest.completed_cells = completed->as_uint64();
   }
+  manifest.rnd_backend = root.string_or("rnd_backend", "");
   if (const JsonValue* spec = root.find("spec");
       spec != nullptr && spec->is_object()) {
     const auto strings = [spec](const char* key) {

@@ -49,6 +49,12 @@ struct StoreManifest {
   std::vector<int> bandwidths;  ///< bandwidth axis; empty = implicit {0}
   std::vector<std::uint64_t> seeds;
   double cell_deadline_ms = 0;
+  /// Randomness backend active when the store was created (rnd/dispatch.hpp
+  /// name, e.g. "portable" or "pclmul"); "" when the store predates the
+  /// field. Informational provenance only -- every backend draws
+  /// byte-identical values, so it is deliberately NOT part of the
+  /// fingerprint and never blocks a resume on different hardware.
+  std::string rnd_backend;
 };
 
 class RecordStore {

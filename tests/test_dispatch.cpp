@@ -1,0 +1,171 @@
+// Tests for the randomness backend dispatch plane (src/rnd/dispatch.hpp):
+// name/parse round-trips, cpuid-gated availability, the forced-override
+// API, clean rejection of unavailable backends, and -- when the PCLMUL
+// kernels can run on this machine -- exact arithmetic agreement between the
+// carry-less-multiply field operations and the portable shift/xor ones,
+// across every field degree the library supports.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rnd/dispatch.hpp"
+#include "rnd/gf2.hpp"
+#include "rnd/kwise.hpp"
+#include "rnd/kwise_backend.hpp"
+#include "rnd/prng.hpp"
+#include "support/assert.hpp"
+
+namespace rlocal {
+namespace {
+
+using rnd::Backend;
+
+/// Every test leaves the process in auto-resolution; a stray override
+/// would silently re-aim every later test binary's draws at one backend.
+class DispatchTest : public ::testing::Test {
+ protected:
+  void TearDown() override { rnd::clear_backend_override(); }
+};
+
+detail::Gf2KernelParams params_of(const GF2m& field) {
+  return {field.degree(), field.low_poly(), field.mask(),
+          field.barrett_mu_low()};
+}
+
+TEST_F(DispatchTest, NamesRoundTrip) {
+  for (const Backend backend : {Backend::kPortable, Backend::kPclmul}) {
+    const auto parsed = rnd::parse_backend_name(rnd::backend_name(backend));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, backend);
+  }
+  EXPECT_FALSE(rnd::parse_backend_name("").has_value());
+  EXPECT_FALSE(rnd::parse_backend_name("auto").has_value());
+  EXPECT_FALSE(rnd::parse_backend_name("PCLMUL").has_value());
+  EXPECT_FALSE(rnd::parse_backend_name("avx512").has_value());
+}
+
+TEST_F(DispatchTest, PortableIsAlwaysAvailable) {
+  EXPECT_TRUE(rnd::backend_compiled(Backend::kPortable));
+  EXPECT_TRUE(rnd::backend_available(Backend::kPortable));
+  const std::vector<Backend> available = rnd::available_backends();
+  ASSERT_FALSE(available.empty());
+  EXPECT_EQ(available.front(), Backend::kPortable);
+}
+
+TEST_F(DispatchTest, AvailabilityRequiresCompilation) {
+  // available => compiled, never the reverse; and the active backend is an
+  // available one.
+  for (const Backend backend : {Backend::kPortable, Backend::kPclmul}) {
+    if (rnd::backend_available(backend)) {
+      EXPECT_TRUE(rnd::backend_compiled(backend));
+    }
+  }
+  EXPECT_TRUE(rnd::backend_available(rnd::active_backend()));
+}
+
+TEST_F(DispatchTest, ForcedOverrideIsHonoredAndClears) {
+  const Backend before = rnd::active_backend();
+  for (const Backend backend : rnd::available_backends()) {
+    rnd::force_backend(backend);
+    EXPECT_EQ(rnd::active_backend(), backend);
+  }
+  rnd::clear_backend_override();
+  EXPECT_EQ(rnd::active_backend(), before);
+}
+
+TEST_F(DispatchTest, UnavailableBackendIsRejectedCleanly) {
+  if (rnd::backend_available(Backend::kPclmul)) {
+    GTEST_SKIP() << "every backend is available on this binary+CPU; the "
+                    "rejection path is exercised on portable-only builds";
+  }
+  const Backend before = rnd::active_backend();
+  EXPECT_THROW(rnd::force_backend(Backend::kPclmul), InvariantError);
+  EXPECT_EQ(rnd::active_backend(), before);  // failed force changed nothing
+  EXPECT_THROW(
+      detail::gf2_mul_pclmul(params_of(GF2m(64)), 2, 3), InvariantError);
+}
+
+TEST_F(DispatchTest, PclmulMulMatchesPortableExhaustiveGF16) {
+  if (!rnd::backend_available(Backend::kPclmul)) {
+    GTEST_SKIP() << "pclmul unavailable on this binary+CPU";
+  }
+  const GF2m field(4);
+  const detail::Gf2KernelParams params = params_of(field);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      EXPECT_EQ(detail::gf2_mul_pclmul(params, a, b), field.mul(a, b))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST_F(DispatchTest, PclmulMulMatchesPortableAcrossAllDegrees) {
+  if (!rnd::backend_available(Backend::kPclmul)) {
+    GTEST_SKIP() << "pclmul unavailable on this binary+CPU";
+  }
+  // Random pairs plus the mask edge (all-ones operands maximize the
+  // product degree, the case Barrett's degree bound must survive).
+  Xoshiro256 prng(7);
+  for (int m = 2; m <= 64; ++m) {
+    const GF2m field(m);
+    const detail::Gf2KernelParams params = params_of(field);
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::uint64_t a = prng() & field.mask();
+      const std::uint64_t b = prng() & field.mask();
+      ASSERT_EQ(detail::gf2_mul_pclmul(params, a, b), field.mul(a, b))
+          << "m=" << m << " a=" << a << " b=" << b;
+    }
+    ASSERT_EQ(detail::gf2_mul_pclmul(params, field.mask(), field.mask()),
+              field.mul(field.mask(), field.mask()))
+        << "m=" << m;
+  }
+}
+
+TEST_F(DispatchTest, BackendsProduceByteIdenticalBatchEvaluations) {
+  // The generator-level identity the BatchedDraws regime suite builds on:
+  // values() under every available backend equals scalar value() (which
+  // always runs the portable field arithmetic), for degrees on both sides
+  // of the m = 64 kernel split, ks around the 8-wide block size, and
+  // batch lengths exercising full blocks plus every remainder shape.
+  for (const int m : {2, 17, 63, 64}) {
+    const std::uint64_t mask = m == 64 ? ~0ULL : ((1ULL << m) - 1);
+    for (const int k : {1, 2, 7, 8, 9, 33}) {
+      const KWiseGenerator gen = KWiseGenerator::from_seed(k, m, 99);
+      Xoshiro256 prng(static_cast<std::uint64_t>(m * 1000 + k));
+      std::vector<std::uint64_t> points(21);
+      for (auto& p : points) p = prng() & mask;
+      for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                              std::size_t{8}, std::size_t{16},
+                              points.size()}) {
+        const std::span<const std::uint64_t> slice(points.data(), len);
+        for (const Backend backend : rnd::available_backends()) {
+          rnd::force_backend(backend);
+          std::vector<std::uint64_t> out(len, ~0ULL);
+          gen.values(slice, out);
+          for (std::size_t i = 0; i < len; ++i) {
+            ASSERT_EQ(out[i], gen.value(slice[i]))
+                << rnd::backend_name(backend) << " m=" << m << " k=" << k
+                << " len=" << len << " i=" << i;
+          }
+        }
+        rnd::clear_backend_override();
+      }
+    }
+  }
+}
+
+TEST_F(DispatchTest, OutOfFieldPointsRejectedByEveryBackend) {
+  const KWiseGenerator gen = KWiseGenerator::from_seed(4, 8, 3);
+  const std::vector<std::uint64_t> points = {1, 2, 3, 4, 5, 6, 7, 256};
+  std::vector<std::uint64_t> out(points.size());
+  for (const Backend backend : rnd::available_backends()) {
+    rnd::force_backend(backend);
+    EXPECT_THROW(gen.values(points, out), InvariantError)
+        << rnd::backend_name(backend);
+  }
+}
+
+}  // namespace
+}  // namespace rlocal

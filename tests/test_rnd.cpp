@@ -6,8 +6,10 @@
 #include <bit>
 #include <cmath>
 #include <map>
+#include <span>
 
 #include "rnd/bitsource.hpp"
+#include "rnd/dispatch.hpp"
 #include "rnd/epsbias.hpp"
 #include "rnd/gf2.hpp"
 #include "rnd/kwise.hpp"
@@ -676,6 +678,70 @@ TEST(BatchedDraws, ThrowingCheckpointAbortsTheBatchWholesale) {
   EXPECT_EQ(fires, 2);
   rnd.set_checkpoint(nullptr);
   EXPECT_EQ(rnd.bit(1, 2, 3), untouched.bit(1, 2, 3));
+}
+
+TEST(BatchedDraws, BackendMatrixByteIdenticalDrawsAndLedger) {
+  // The identity suite above, replayed with the evaluation backend forced
+  // to each available implementation (portable shift/xor, PCLMUL when this
+  // binary+CPU has it): every backend must reproduce the portable
+  // transcript byte-for-byte -- draws AND ledger charges -- across all 8
+  // regimes. This is the oracle a new backend has to pass before it may
+  // ship (docs/randomness.md).
+  struct Transcript {
+    std::vector<std::uint8_t> bits;
+    std::vector<std::uint64_t> priorities;
+    std::vector<int> geometrics;
+    std::vector<std::uint8_t> coins;
+    std::vector<std::uint64_t> ledger;  // derived/shared/pools per regime
+  };
+  auto record = [](rnd::Backend backend) {
+    rnd::force_backend(backend);
+    Transcript t;
+    for (const Regime& regime : batch_regimes()) {
+      const std::vector<std::uint64_t> nodes = batch_nodes(regime);
+      NodeRandomness r(regime, 77);
+      const std::size_t n = nodes.size();
+      t.bits.resize(t.bits.size() + n);
+      r.bits_batch(nodes, 4, 70,
+                   std::span<std::uint8_t>(t.bits.data() + t.bits.size() - n,
+                                           n));
+      t.priorities.resize(t.priorities.size() + n);
+      r.priority_batch(
+          nodes, 2, 24,
+          std::span<std::uint64_t>(
+              t.priorities.data() + t.priorities.size() - n, n));
+      t.geometrics.resize(t.geometrics.size() + n);
+      r.geometric_batch(
+          nodes, 9, 100,
+          std::span<int>(t.geometrics.data() + t.geometrics.size() - n, n));
+      t.coins.resize(t.coins.size() + n);
+      r.bernoulli_batch(
+          nodes, 6, 0.37,
+          std::span<std::uint8_t>(t.coins.data() + t.coins.size() - n, n));
+      t.ledger.push_back(r.derived_bits());
+      t.ledger.push_back(r.shared_seed_bits());
+      t.ledger.push_back(regime.kind == RegimeKind::kPooled
+                             ? static_cast<std::uint64_t>(r.pools_touched())
+                             : 0);
+    }
+    rnd::clear_backend_override();
+    return t;
+  };
+  const std::vector<rnd::Backend> backends = rnd::available_backends();
+  ASSERT_EQ(backends.front(), rnd::Backend::kPortable);
+  const Transcript baseline = record(backends.front());
+  EXPECT_FALSE(baseline.bits.empty());
+  for (std::size_t b = 1; b < backends.size(); ++b) {
+    const Transcript other = record(backends[b]);
+    EXPECT_EQ(other.bits, baseline.bits) << rnd::backend_name(backends[b]);
+    EXPECT_EQ(other.priorities, baseline.priorities)
+        << rnd::backend_name(backends[b]);
+    EXPECT_EQ(other.geometrics, baseline.geometrics)
+        << rnd::backend_name(backends[b]);
+    EXPECT_EQ(other.coins, baseline.coins) << rnd::backend_name(backends[b]);
+    EXPECT_EQ(other.ledger, baseline.ledger)
+        << rnd::backend_name(backends[b]);
+  }
 }
 
 TEST(KWiseHelpers, PackDrawInjective) {

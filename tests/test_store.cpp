@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "core/api.hpp"
+#include "rnd/dispatch.hpp"
 #include "store/store.hpp"
 
 namespace rlocal {
@@ -156,6 +157,9 @@ TEST_F(StoreTest, CleanRunPersistsEveryCellInGridOrder) {
   store::RecordStore opened = store::RecordStore::open(dir_);
   EXPECT_EQ(opened.manifest().total_cells, 8u);
   EXPECT_EQ(opened.manifest().completed_cells, 8u);
+  // Provenance stamp survives the manifest round-trip (docs/randomness.md).
+  EXPECT_EQ(opened.manifest().rnd_backend,
+            rnd::backend_name(rnd::active_backend()));
   const std::vector<store::StoredRecord> stored = opened.read_all();
   ASSERT_EQ(stored.size(), 8u);
   for (std::size_t i = 0; i < stored.size(); ++i) {
