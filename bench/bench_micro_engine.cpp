@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "obs/obs.hpp"
 #include "rnd/dispatch.hpp"
 #include "sim/programs/chatter.hpp"
 
@@ -202,6 +203,33 @@ void BM_EngineArenaRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * messages);
 }
 BENCHMARK(BM_EngineArenaRound)->Arg(256)->Arg(1024);
+
+// Tracing overhead on the hottest instrumented loop: the same warm-engine
+// chatter workload as BM_EngineArenaRound, with the obs tracer disabled
+// (Arg 0 -- the default production state; every span site is one relaxed
+// atomic load + branch) versus enabled (Arg 1 -- span begin/end pairs
+// recorded into per-thread rings). The Arg(0)/Arg(1) delta is the
+// measured overhead contract quoted in docs/observability.md.
+void BM_TraceOverhead(benchmark::State& state) {
+  const Graph g = make_gnp(512, 8.0 / 512, 7);
+  if (state.range(0) != 0) {
+    obs::Tracer::enable(/*ring_kb=*/4096);
+  } else {
+    obs::Tracer::disable();
+  }
+  Engine engine(g, {});
+  std::int64_t messages = 0;
+  for (auto _ : state) {
+    const EngineStats stats = engine.run([&](NodeId v) {
+      return std::make_unique<ChatterProgram>(g.id(v), /*rounds=*/16);
+    });
+    messages = stats.messages;
+    benchmark::DoNotOptimize(messages);
+  }
+  state.SetItemsProcessed(state.iterations() * messages);
+  obs::Tracer::disable();
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1);
 
 void BM_EpsBiasBit(benchmark::State& state) {
   const EpsBiasGenerator gen =

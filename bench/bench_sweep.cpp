@@ -29,12 +29,31 @@
 //                     only CONGEST-model solvers; other solvers' cells are
 //                     regime-style skipped.
 //   --profile         print a per-(solver, regime) cell-time breakdown --
-//                     cells, total ms, ms/cell, sorted by total time -- and
-//                     write it as JSON to --profile-out (default
-//                     BENCH_profile.json). The table is how a perf change
-//                     is attributed: k-wise-heavy cells respond to the
-//                     batched randomness plane, engine-backed cells to the
-//                     message arena (see docs/perf.md).
+//                     cells, total ms, ms/cell, plus per-phase attribution
+//                     (engine / draw / checker / graph build / store
+//                     append), sorted by total time -- and write it as
+//                     JSON (schema rlocal.profile/2) to --profile-out
+//                     (default BENCH_profile.json). The table is how a
+//                     perf change is attributed: k-wise-heavy cells
+//                     respond to the batched randomness plane,
+//                     engine-backed cells to the message arena (see
+//                     docs/perf.md).
+//   --engine          set the engine=1 sweep param: solvers that support it
+//                     (mis/luby, decomp/elkin_neiman) execute on the
+//                     message-passing engine instead of their centralized
+//                     references, so engine rounds are metered on real
+//                     wires -- and show up as engine_round spans under
+//                     --trace. Changes the records (metered vs analytic
+//                     provenance), so the CI byte-identity gate runs
+//                     without it.
+//   --trace=FILE      record a tracing session (src/obs/) over the whole
+//                     run -- every sweep it performs, including the
+//                     1-thread baseline when no --store is given -- and
+//                     write Chrome trace-event JSON to FILE (open in
+//                     Perfetto / chrome://tracing; docs/observability.md)
+//   --trace-ring-kb=N per-thread trace ring size in KiB (default 4096;
+//                     16 events/KiB -- a full ring drops oldest events
+//                     and reports how many)
 //
 // With --store the 1-thread timing baseline is skipped: the store's frames
 // are the artifact and a second full run would double every record's cost.
@@ -47,6 +66,7 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "obs/obs.hpp"
 #include "rnd/dispatch.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
@@ -61,6 +81,15 @@ struct ProfileRow {
   std::string regime;
   int cells = 0;
   double total_ms = 0.0;
+  // Phase attribution sums (rlocal.profile/2; lab::RunRecord::phases).
+  // engine/draw/checker overlap solver time -- attribution, not a
+  // partition; graph build and store append surround it.
+  double graph_build_ms = 0.0;
+  double solver_ms = 0.0;
+  double checker_ms = 0.0;
+  double engine_ms = 0.0;
+  double draw_ms = 0.0;
+  double store_append_ms = 0.0;
 };
 
 std::vector<ProfileRow> profile_rows(const rlocal::lab::SweepResult& result) {
@@ -72,6 +101,12 @@ std::vector<ProfileRow> profile_rows(const rlocal::lab::SweepResult& result) {
     row.regime = r.regime;
     row.cells += 1;
     row.total_ms += r.wall_ms;
+    row.graph_build_ms += r.phases.graph_build_ms;
+    row.solver_ms += r.phases.solver_ms;
+    row.checker_ms += r.phases.checker_ms;
+    row.engine_ms += r.phases.engine_ms;
+    row.draw_ms += r.phases.draw_ms;
+    row.store_append_ms += r.phases.store_append_ms;
   }
   std::vector<ProfileRow> rows;
   rows.reserve(agg.size());
@@ -91,19 +126,26 @@ void print_profile(const std::vector<ProfileRow>& rows, std::ostream& out) {
     regime_width = std::max(regime_width, row.regime.size());
   }
   out << "\n[profile] cell-time breakdown (executed cells only; rnd backend: "
-      << rlocal::rnd::backend_name(rlocal::rnd::active_backend()) << ")\n"
+      << rlocal::rnd::backend_name(rlocal::rnd::active_backend())
+      << "; engine/draw/check attribute within solver time)\n"
       << std::left << std::setw(static_cast<int>(solver_width)) << "solver"
       << "  " << std::setw(static_cast<int>(regime_width)) << "regime"
       << std::right << "  " << std::setw(6) << "cells" << "  "
       << std::setw(10) << "total ms" << "  " << std::setw(10) << "ms/cell"
-      << "\n";
+      << "  " << std::setw(9) << "engine" << "  " << std::setw(9) << "draw"
+      << "  " << std::setw(9) << "check" << "  " << std::setw(9) << "build"
+      << "  " << std::setw(9) << "append" << "\n";
   for (const ProfileRow& row : rows) {
     out << std::left << std::setw(static_cast<int>(solver_width))
         << row.solver << "  " << std::setw(static_cast<int>(regime_width))
         << row.regime << std::right << "  " << std::setw(6) << row.cells
         << "  " << std::setw(10) << std::fixed << std::setprecision(2)
         << row.total_ms << "  " << std::setw(10)
-        << (row.cells > 0 ? row.total_ms / row.cells : 0.0) << "\n";
+        << (row.cells > 0 ? row.total_ms / row.cells : 0.0) << "  "
+        << std::setw(9) << row.engine_ms << "  " << std::setw(9)
+        << row.draw_ms << "  " << std::setw(9) << row.checker_ms << "  "
+        << std::setw(9) << row.graph_build_ms << "  " << std::setw(9)
+        << row.store_append_ms << "\n";
   }
   out.unsetf(std::ios::fixed);
 }
@@ -119,7 +161,10 @@ bool write_profile_json(const std::vector<ProfileRow>& rows,
       rlocal::rnd::backend_name(rlocal::rnd::active_backend());
   rlocal::JsonWriter w(out);
   w.begin_object();
-  w.field("schema", "rlocal.profile/1");
+  // /2 adds the per-phase attribution sums; every /1 field is kept with
+  // its old meaning so /1 readers' code paths keep working on the common
+  // subset (compare_sweep.py reads either).
+  w.field("schema", "rlocal.profile/2");
   w.key("rows");
   w.begin_array();
   for (const ProfileRow& row : rows) {
@@ -130,6 +175,12 @@ bool write_profile_json(const std::vector<ProfileRow>& rows,
     w.field("cells", row.cells);
     w.field("total_ms", row.total_ms);
     w.field("ms_per_cell", row.cells > 0 ? row.total_ms / row.cells : 0.0);
+    w.field("graph_build_ms", row.graph_build_ms);
+    w.field("solver_ms", row.solver_ms);
+    w.field("checker_ms", row.checker_ms);
+    w.field("engine_ms", row.engine_ms);
+    w.field("draw_ms", row.draw_ms);
+    w.field("store_append_ms", row.store_append_ms);
     w.end_object();
   }
   w.end_array();
@@ -197,6 +248,7 @@ int main(int argc, char** argv) {
   // so the k-wise path actually draws bits (only conflict_free/kwise reads
   // this knob).
   spec.params = {{"small_threshold", 8.0}};
+  if (args.has("engine")) spec.params["engine"] = 1.0;
   // Comma-separated bandwidth axis, e.g. --bandwidths=0,64,16. Bad tokens
   // are a user error, not a crash (the other flags go through CliArgs).
   if (const std::string raw = args.get_string("bandwidths", "");
@@ -233,6 +285,11 @@ int main(int argc, char** argv) {
   spec.max_cells = static_cast<int>(args.get_int("cell-limit", 0));
   spec.threads = static_cast<int>(args.get_int("threads", 0));
 
+  const std::string trace_path = args.get_string("trace", "");
+  const auto trace_ring_kb =
+      static_cast<std::size_t>(args.get_int("trace-ring-kb", 4096));
+  if (!trace_path.empty()) obs::Tracer::enable(trace_ring_kb);
+
   lab::SweepResult result;
   double baseline_ms = 0.0;
   try {
@@ -260,6 +317,22 @@ int main(int argc, char** argv) {
     // shards) are user-facing errors, not crashes.
     std::cerr << "error: " << e.what() << "\n";
     return 2;
+  }
+
+  if (!trace_path.empty()) {
+    // Disable first so the drain sees quiescent rings (worker threads have
+    // joined inside sweep(); disabling stops any later emit racing it).
+    obs::Tracer::disable();
+    std::ofstream trace_out(trace_path);
+    obs::Tracer::write_chrome_trace(trace_out);
+    if (!trace_out) {
+      std::cerr << "error: could not write " << trace_path << "\n";
+      return 2;
+    }
+    std::cout << "wrote trace to " << trace_path << " ("
+              << obs::Tracer::dropped_events()
+              << " events dropped by full rings; raise --trace-ring-kb if "
+                 "nonzero)\n";
   }
 
   std::cout << "\n";

@@ -38,11 +38,20 @@ aggregates of a store directory from scratch and compares them against an
 exactly; sum and mean tolerate 1e-9 relative error. The daemon's
 incremental index is thereby pinned to the ground truth on disk.
 
+Profile mode (``--profile``) compares two ``bench_sweep --profile``
+artifacts (schema ``rlocal.profile/1`` or ``/2``) per (solver, regime) on
+ms-per-cell, gated by the same ``--max-ratio``. When the current artifact
+is ``/2`` the per-phase attribution sums (engine / draw / checker / graph
+build / store append; see docs/perf.md) are printed alongside each
+regression so a slowdown arrives pre-attributed; a ``/1`` input on either
+side degrades gracefully to the total-time comparison.
+
 Usage:
     compare_sweep.py BASELINE CURRENT [--max-ratio 2.0] [--min-ms 5.0]
                      [--min-msgs 100]
     compare_sweep.py --diff A B
     compare_sweep.py --agg STORE AGG_JSONL
+    compare_sweep.py --profile BASE_PROFILE CURR_PROFILE
 
 Exit codes: 0 ok (including "no baseline available" in gate mode),
 1 regression / record mismatch / aggregate mismatch / missing cost block,
@@ -326,6 +335,82 @@ def run_agg(store_path, agg_path):
     return 0
 
 
+PROFILE_SCHEMAS = ("rlocal.profile/1", "rlocal.profile/2")
+# /2 per-row phase attribution sums, in display order (docs/perf.md).
+PROFILE_PHASES = ("engine_ms", "draw_ms", "checker_ms", "graph_build_ms",
+                  "store_append_ms")
+
+
+def load_profile(path):
+    """(schema, {(solver, regime): row}) from a bench_sweep --profile JSON.
+
+    ``/1`` rows simply lack the phase fields; readers treat absent phases
+    as unattributed time rather than failing, so a /2 reader accepts both.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    schema = data.get("schema")
+    if schema not in PROFILE_SCHEMAS:
+        raise ValueError(f"{path}: unknown schema {schema!r}")
+    rows = {}
+    for row in data.get("rows", []):
+        rows[(row["solver"], row["regime"])] = row
+    return schema, rows
+
+
+def phase_summary(row):
+    """One-line phase attribution of a /2 row ("" for /1 rows)."""
+    parts = []
+    for phase in PROFILE_PHASES:
+        value = row.get(phase)
+        if value is None or value <= 0.0:
+            continue
+        parts.append(f"{phase[:-3]} {value:.1f}ms")
+    return "; ".join(parts)
+
+
+def run_profile(base_path, curr_path, max_ratio, min_ms):
+    curr_schema, curr = load_profile(curr_path)
+    print(f"current profile: {curr_path} ({curr_schema}, "
+          f"{len(curr)} rows)")
+    if not os.path.exists(base_path):
+        print(f"no baseline at {base_path}; first run passes trivially")
+        return 0
+    base_schema, base = load_profile(base_path)
+    print(f"baseline profile: {base_path} ({base_schema}, "
+          f"{len(base)} rows)")
+
+    regressions = []
+    width = max((len("/".join(k)) for k in curr), default=12)
+    print(f"{'solver/regime':<{width}}  {'base ms/cell':>12}  "
+          f"{'curr ms/cell':>12}  {'ratio':>6}")
+    for key in sorted(curr):
+        row = curr[key]
+        label = "/".join(key)
+        if key not in base:
+            print(f"{label:<{width}}  {'new':>12}  "
+                  f"{row['ms_per_cell']:>12.2f}  {'-':>6}")
+            continue
+        base_per = base[key]["ms_per_cell"]
+        curr_per = row["ms_per_cell"]
+        ratio = curr_per / base_per if base_per > 0 else float("inf")
+        flag = ""
+        if row["total_ms"] >= min_ms and base[key]["total_ms"] >= min_ms \
+                and ratio > max_ratio:
+            regressions.append((label, ratio, phase_summary(row)))
+            flag = "  << REGRESSION"
+        print(f"{label:<{width}}  {base_per:>12.2f}  {curr_per:>12.2f}  "
+              f"{ratio:>6.2f}{flag}")
+    if regressions:
+        for label, ratio, phases in regressions:
+            attribution = f" [{phases}]" if phases else ""
+            print(f"FAIL: {label} ms/cell regressed {ratio:.2f}x"
+                  f"{attribution}", file=sys.stderr)
+        return 1
+    print(f"OK: no (solver, regime) cell regressed beyond {max_ratio}x")
+    return 0
+
+
 def gate_ratios(metric, unit, base, base_counts, curr, curr_counts,
                 min_total, max_ratio):
     """Prints the per-solver comparison table for one metric and returns
@@ -424,16 +509,24 @@ def main():
                         help="treat BASELINE as a store directory and "
                              "CURRENT as a saved rlocald /agg JSONL "
                              "response; verify the aggregates match")
+    parser.add_argument("--profile", action="store_true",
+                        help="treat both inputs as bench_sweep --profile "
+                             "JSONs (rlocal.profile/1 or /2) and gate "
+                             "ms-per-cell per (solver, regime)")
     args = parser.parse_args()
 
-    if args.diff and args.agg:
-        print("--diff and --agg are mutually exclusive", file=sys.stderr)
+    if sum((args.diff, args.agg, args.profile)) > 1:
+        print("--diff, --agg and --profile are mutually exclusive",
+              file=sys.stderr)
         return 2
     try:
         if args.diff:
             return run_diff(args.baseline, args.current)
         if args.agg:
             return run_agg(args.baseline, args.current)
+        if args.profile:
+            return run_profile(args.baseline, args.current,
+                               args.max_ratio, args.min_ms)
     except (ValueError, KeyError, OSError, json.JSONDecodeError) as error:
         print(f"malformed sweep artifact: {error}", file=sys.stderr)
         return 2

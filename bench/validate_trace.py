@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Structural validator for the obs tracer's Chrome trace-event exports.
+
+Checks that a ``bench_sweep --trace=FILE`` artifact (docs/observability.md)
+is a loadable, internally consistent trace:
+
+  * top level is an object with a ``traceEvents`` array; every event has
+    ``ph``, ``pid``, ``tid``, ``name`` and (except metadata events) a
+    numeric ``ts``;
+  * within each (pid, tid) stream, timestamps are monotonically
+    non-decreasing and duration events balance: every ``E`` closes the
+    most recent open ``B`` (same name, LIFO), and no ``B`` is left open at
+    the end of the stream. The exporter repairs ring wraparound before
+    writing, so an unbalanced file is an exporter bug, not a full ring;
+  * ``--require NAME`` (repeatable) asserts at least one non-metadata
+    event whose name starts with NAME exists -- CI uses this to pin that
+    the cell, engine-round and draw spans survive end to end.
+
+Exit codes: 0 valid, 1 structural violation / missing required event,
+2 unreadable or unparseable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def validate(path, require):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"unreadable trace: {error}", file=sys.stderr)
+        return 2
+
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(f"{path}: no traceEvents array")
+
+    # Per-(pid, tid): last timestamp and the LIFO stack of open B names.
+    last_ts = {}
+    open_spans = {}
+    counts = {"B": 0, "E": 0, "i": 0, "C": 0, "M": 0}
+    seen_names = set()
+    for n, event in enumerate(events):
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in event:
+                return fail(f"event #{n} lacks {key!r}: {event}")
+        ph = event["ph"]
+        if ph not in counts:
+            return fail(f"event #{n} has unknown phase {ph!r}")
+        counts[ph] += 1
+        if ph == "M":
+            continue  # metadata carries no timestamp contract
+        seen_names.add(event["name"])
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            return fail(f"event #{n} lacks a numeric ts: {event}")
+        stream = (event["pid"], event["tid"])
+        if ts < last_ts.get(stream, float("-inf")):
+            return fail(f"event #{n} goes back in time on stream "
+                        f"{stream}: {ts} after {last_ts[stream]}")
+        last_ts[stream] = ts
+        if ph == "B":
+            open_spans.setdefault(stream, []).append(event["name"])
+        elif ph == "E":
+            stack = open_spans.get(stream, [])
+            if not stack:
+                return fail(f"event #{n}: E without an open B on stream "
+                            f"{stream}: {event['name']}")
+            opened = stack.pop()
+            if opened != event["name"]:
+                return fail(f"event #{n}: E {event['name']!r} closes "
+                            f"B {opened!r} on stream {stream}")
+    for stream, stack in open_spans.items():
+        if stack:
+            return fail(f"stream {stream} ends with open span(s): {stack}")
+
+    for prefix in require:
+        if not any(name.startswith(prefix) for name in seen_names):
+            return fail(f"no event named {prefix}* in {path} "
+                        f"(saw {len(seen_names)} distinct names)")
+
+    streams = len(last_ts)
+    print(f"OK: {path}: {len(events)} events across {streams} stream(s) "
+          f"({counts['B']} B / {counts['E']} E / {counts['i']} i / "
+          f"{counts['C']} C / {counts['M']} M), balanced and monotonic")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="assert an event whose name starts with NAME "
+                             "exists (repeatable)")
+    args = parser.parse_args()
+    return validate(args.trace, args.require)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,23 @@ struct RunRecord {
 
   double wall_ms = 0.0;
 
+  /// Where the cell's wall time went (obs/phase.hpp): solver total plus
+  /// the engine/draw/checker time attributed *inside* it (overlapping, not
+  /// a partition), and the sweep-stamped graph build / store append around
+  /// it. In-memory only -- deliberately NOT serialized by store frames or
+  /// emit_json, so persisted artifacts stay byte-identical whether or not
+  /// anyone looks at phases. Feeds the `rlocal.profile/2` schema
+  /// (docs/perf.md).
+  struct PhaseBreakdown {
+    double graph_build_ms = 0.0;
+    double solver_ms = 0.0;
+    double checker_ms = 0.0;
+    double engine_ms = 0.0;
+    double draw_ms = 0.0;
+    double store_append_ms = 0.0;
+  };
+  PhaseBreakdown phases;
+
   std::map<std::string, double> metrics;  ///< solver-specific extras
   std::any artifact;  ///< typed payload (e.g. Decomposition); may be empty
 

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "cost/meter.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace rlocal::lab {
@@ -80,6 +81,10 @@ RunRecord Registry::run_cell(const Solver& solver, const Graph& g,
                              const Regime& regime, std::uint64_t seed,
                              const ParamMap& params,
                              const RunContext& ctx) const {
+  // Phase attribution for this cell: the engine, draw-funnel, and checker
+  // timers (obs/phase.hpp) deposit into this scope while the solver runs;
+  // the breakdown lands in record.phases (in-memory only, rlocal.profile/2).
+  obs::CellPhaseScope phase_scope;
   const auto start = std::chrono::steady_clock::now();
   RunRecord record;
   // Engine executions report into this ledger through the thread-local
@@ -88,6 +93,7 @@ RunRecord Registry::run_cell(const Solver& solver, const Graph& g,
   // the deterministic pipelines' cost::checkpoint() calls.
   cost::CostLedger engine_meter;
   try {
+    obs::ObsSpan solver_span("lab", "solver_run");
     cost::MeterScope meter(
         &engine_meter,
         ctx.has_deadline()
@@ -133,6 +139,13 @@ RunRecord Registry::run_cell(const Solver& solver, const Graph& g,
   record.seed = seed;
   record.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
+  // The solver phase is the whole measured run (the graph-build and
+  // store-append phases around it are stamped by the sweep); engine, draw,
+  // and checker time sit *inside* it.
+  record.phases.solver_ms = record.wall_ms;
+  record.phases.checker_ms = phase_scope.ms(obs::Phase::kChecker);
+  record.phases.engine_ms = phase_scope.ms(obs::Phase::kEngine);
+  record.phases.draw_ms = phase_scope.ms(obs::Phase::kDraw);
   return record;
 }
 

@@ -159,8 +159,10 @@ class LubyMisSolver final : public Solver {
                   : reference_luby_mis(g, rnd, max_iterations);
     RunRecord record;
     record.success = result.success;
-    record.checker_passed =
-        result.success && is_maximal_independent_set(g, result.in_mis);
+    record.checker_passed = result.success && timed_checker([&] {
+                              return is_maximal_independent_set(g,
+                                                                result.in_mis);
+                            });
     record.iterations = result.iterations;
     // The engine path's rounds/messages/bits are metered automatically
     // (cost/meter.hpp); only the reference path charges the model cost --
@@ -203,7 +205,8 @@ class GreedyMisSolver final : public Solver {
     const std::vector<bool> in_mis = greedy_mis_by_id(g);
     RunRecord record;
     record.success = true;
-    record.checker_passed = is_maximal_independent_set(g, in_mis);
+    record.checker_passed =
+        timed_checker([&] { return is_maximal_independent_set(g, in_mis); });
     int mis_size = 0;
     for (const bool b : in_mis) mis_size += b ? 1 : 0;
     record.objective = mis_size;
@@ -236,9 +239,10 @@ class RandomColoringSolver final : public Solver {
         random_coloring(g, rnd, param_int(params, "max_iterations", 0));
     RunRecord record;
     record.success = result.success;
-    record.checker_passed =
-        result.success &&
-        is_valid_coloring(g, result.color, g.max_degree() + 1);
+    record.checker_passed = result.success && timed_checker([&] {
+                              return is_valid_coloring(g, result.color,
+                                                       g.max_degree() + 1);
+                            });
     record.iterations = result.iterations;
     record.cost.charge_rounds(result.rounds_charged);
     record.cost.charge_messages(result.analytic_messages,
@@ -290,8 +294,8 @@ class RandomSplittingSolver final : public Solver {
     const SplittingResult result = random_splitting(h, rnd);
     RunRecord record;
     record.success = result.violations == 0;
-    record.checker_passed =
-        count_splitting_violations(h, result.red) == 0;
+    record.checker_passed = timed_checker(
+        [&] { return count_splitting_violations(h, result.red) == 0; });
     record.cost.charge_rounds(0);  // the point of Lemma 3.4
     record.cost.charge_messages(0, 0);
     record.objective = result.violations;
@@ -337,7 +341,8 @@ class CfMulticolorSolver final : public Solver {
         h, rnd, param_int(params, "small_threshold", 0));
     RunRecord record;
     record.success = result.valid;
-    record.checker_passed = is_conflict_free(h, result.coloring);
+    record.checker_passed =
+        timed_checker([&] { return is_conflict_free(h, result.coloring); });
     record.colors = result.coloring.num_colors;
     record.objective = result.coloring.num_colors;
     record.metrics["classes_marked"] = result.classes_marked;
@@ -378,7 +383,8 @@ class CfDeterministicSolver final : public Solver {
     const CfDeterministicResult result = cf_multicolor_deterministic(h);
     RunRecord record;
     record.success = true;
-    record.checker_passed = is_conflict_free(h, result.coloring);
+    record.checker_passed =
+        timed_checker([&] { return is_conflict_free(h, result.coloring); });
     record.colors = result.coloring.num_colors;
     record.objective = result.coloring.num_colors;
     record.metrics["phases"] = result.phases;

@@ -11,10 +11,26 @@
 #include "lab/record.hpp"
 #include "lab/solver.hpp"
 #include "lab/sweep.hpp"
+#include "obs/obs.hpp"
 #include "rnd/regime.hpp"
 #include "support/math.hpp"
 
 namespace rlocal::lab {
+
+/// Runs an independent output checker under the kChecker phase timer and a
+/// "checker" span, so validation cost is attributed separately from the
+/// algorithm inside a cell's solver time (rlocal.profile/2). Checkers are
+/// centralized full-graph scans; their invocation sites wrap the whole
+/// check expression:
+///
+///   record.checker_passed =
+///       timed_checker([&] { return is_maximal_independent_set(g, mis); });
+template <typename Fn>
+inline auto timed_checker(Fn&& fn) {
+  obs::PhaseTimer timer(obs::Phase::kChecker);
+  obs::ObsSpan span("lab", "checker");
+  return fn();
+}
 
 /// Cell-scoped NodeRandomness with the cell's deadline token armed as a
 /// draw-level checkpoint: every randomized algorithm's inner loop passes
@@ -78,7 +94,8 @@ inline void fill_decomposition_fields(const Graph& g,
                                       bool all_clustered, RunRecord& record) {
   record.success = all_clustered;
   if (all_clustered) {
-    const ValidationReport report = validate_decomposition(g, decomposition);
+    const ValidationReport report =
+        timed_checker([&] { return validate_decomposition(g, decomposition); });
     record.checker_passed = report.valid;
     if (!report.valid) record.error = "checker: " + report.error;
     record.colors = report.colors_used;

@@ -240,8 +240,9 @@ class BeaconClusterSolver final : public Solver {
         gather.isolated.end();
     record.success =
         !has_non_isolated || gather.min_bits_non_isolated >= k;
-    record.checker_passed = check_partition(g, gather) &&
-                            placement_covers(g, placement);
+    record.checker_passed = timed_checker([&] {
+      return check_partition(g, gather) && placement_covers(g, placement);
+    });
     record.cost.charge_rounds(gather.rounds_charged);
     charge_congest_worst_case(record, g, gather.rounds_charged);
     record.objective = static_cast<double>(gather.centers.size());
@@ -439,8 +440,9 @@ class BruteForceSolver final : public Solver {
     record.success = result.derandomizable;
     // Independent check: a reported perfect seed must indeed succeed on
     // family members we can rebuild here (the extremes: complete + path).
-    record.checker_passed = result.derandomizable &&
-                            witness_checks_out(result, options);
+    record.checker_passed = result.derandomizable && timed_checker([&] {
+                              return witness_checks_out(result, options);
+                            });
     record.objective = static_cast<double>(result.perfect_seeds);
     record.metrics["graphs_in_family"] =
         static_cast<double>(result.graphs_in_family);
@@ -491,7 +493,8 @@ class MisFromDecompositionSolver final : public Solver {
         mis_from_decomposition(g, carving.decomposition);
     RunRecord record;
     record.success = true;
-    record.checker_passed = is_maximal_independent_set(g, result.in_mis);
+    record.checker_passed = timed_checker(
+        [&] { return is_maximal_independent_set(g, result.in_mis); });
     record.cost.charge_rounds(result.rounds_charged);
     int mis_size = 0;
     for (const bool b : result.in_mis) mis_size += b ? 1 : 0;
@@ -527,8 +530,9 @@ class ColoringFromDecompositionSolver final : public Solver {
         coloring_from_decomposition(g, carving.decomposition);
     RunRecord record;
     record.success = true;
-    record.checker_passed =
-        is_valid_coloring(g, result.color, g.max_degree() + 1);
+    record.checker_passed = timed_checker([&] {
+      return is_valid_coloring(g, result.color, g.max_degree() + 1);
+    });
     record.cost.charge_rounds(result.rounds_charged);
     int used = 0;
     for (const int c : result.color) used = std::max(used, c + 1);
@@ -567,7 +571,9 @@ class SlocalMisSolver final : public Solver {
     }
     RunRecord record;
     record.success = true;
-    record.checker_passed = is_maximal_independent_set(g, in_mis) &&
+    record.checker_passed = timed_checker([&] {
+                              return is_maximal_independent_set(g, in_mis);
+                            }) &&
                             result.locality <= 1;
     record.objective = mis_size;
     record.metrics["mis_size"] = mis_size;
@@ -605,9 +611,11 @@ class SlocalColoringSolver final : public Solver {
     }
     RunRecord record;
     record.success = true;
-    record.checker_passed =
-        is_valid_coloring(g, color, g.max_degree() + 1) &&
-        result.locality <= 1;
+    record.checker_passed = timed_checker([&] {
+                              return is_valid_coloring(g, color,
+                                                       g.max_degree() + 1);
+                            }) &&
+                            result.locality <= 1;
     record.colors = used;
     record.objective = used;
     record.metrics["locality"] = result.locality;
@@ -653,7 +661,8 @@ class CondExpSplittingSolver final : public Solver {
     record.success = result.violations == 0;
     // The method's guarantee: estimator never increases, so initial < 1
     // forces zero violations; re-count independently.
-    const int recounted = count_splitting_violations(h, result.red);
+    const int recounted = timed_checker(
+        [&] { return count_splitting_violations(h, result.red); });
     record.checker_passed =
         recounted == result.violations &&
         (result.initial_estimate >= 1.0 || recounted == 0);

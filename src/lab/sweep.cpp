@@ -7,6 +7,7 @@
 #include <optional>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "rnd/dispatch.hpp"
 #include "rnd/prng.hpp"
 #include "service/claims.hpp"
@@ -255,6 +256,20 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
         const RunContext ctx =
             RunContext::with_deadline_ms(spec.cell_deadline_ms)
                 .with_bandwidth_bits(cell.bandwidth_bits);
+        // Per-cell span tagged solver/regime(/variant); the name is only
+        // assembled when a tracing session is live, so the disabled sweep
+        // allocates nothing here.
+        std::string span_name;
+        if (obs::Tracer::enabled()) {
+          span_name = "cell " + cell.solver->name() + "/" +
+                      cell.regime->name();
+          if (!cell.variant->name.empty()) {
+            span_name += "/" + cell.variant->name;
+          }
+        }
+        obs::ObsSpan cell_span(span_name.empty() ? nullptr : "sweep",
+                               span_name);
+        double graph_build_ms = 0.0;
         {
           // Lazy zoo entries are built here and destroyed at scope exit --
           // before the record is appended to the store -- so peak memory is
@@ -262,7 +277,13 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
           Graph built;
           const Graph* graph = &cell.graph->graph;
           if (cell.graph->lazy()) {
+            obs::ObsSpan build_span("sweep", "graph_build");
+            const auto build_start = std::chrono::steady_clock::now();
             built = cell.graph->factory();
+            graph_build_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() -
+                                 build_start)
+                                 .count();
             graph = &built;
           }
           RunRecord record = registry.run_cell(*cell.solver, *graph,
@@ -270,14 +291,23 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
                                                master, *cell.params, ctx);
           record.variant = cell.variant->name;
           record.seed = cell.user_seed;  // the user's seed, not the mix
+          record.phases.graph_build_ms = graph_build_ms;
           result.records[i] = std::move(record);
         }
         if (record_store.has_value()) {
           if (!shard.has_value()) {
             shard.emplace(record_store->shard_writer(shard_name));
           }
+          obs::ObsSpan append_span("store", "store_append");
+          const auto append_start = std::chrono::steady_clock::now();
           shard->append({static_cast<std::uint64_t>(i), master,
                          result.records[i]});
+          // Stamped after the frame is written, so the persisted bytes do
+          // not depend on this (in-memory-only) field.
+          result.records[i].phases.store_append_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - append_start)
+                  .count();
         }
         done[i] = 1;
       };
@@ -410,6 +440,22 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
     if (!record.error.empty() || !record.checker_passed) {
       ++result.cells_failed;
     }
+  }
+  {
+    // Process-wide totals for /metrics (docs/observability.md). Added once
+    // per sweep from the final tally, not per cell, so the worker loop
+    // stays untouched.
+    static obs::Counter& run_total = obs::counter("rlocal_cells_run_total");
+    static obs::Counter& failed_total =
+        obs::counter("rlocal_cells_failed_total");
+    static obs::Counter& skipped_total =
+        obs::counter("rlocal_cells_skipped_total");
+    static obs::Counter& resumed_total =
+        obs::counter("rlocal_cells_resumed_total");
+    run_total.add(static_cast<std::uint64_t>(result.cells_run));
+    failed_total.add(static_cast<std::uint64_t>(result.cells_failed));
+    skipped_total.add(static_cast<std::uint64_t>(result.cells_skipped));
+    resumed_total.add(static_cast<std::uint64_t>(result.cells_resumed));
   }
   if (record_store.has_value()) {
     if (claim_mode) {

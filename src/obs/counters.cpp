@@ -1,0 +1,102 @@
+#include "obs/counters.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace rlocal::obs {
+namespace {
+
+// Heap cells behind unique_ptr so references survive map rehashes; std::map
+// keeps a deterministic (sorted) exposition order, which makes /metrics
+// output stable across runs and easy to diff.
+struct RegistryState {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+};
+
+RegistryState& registry() {
+  static RegistryState* state = new RegistryState();  // never destroyed:
+  // counters may be touched from detached/exiting threads after static
+  // destruction would have run (same leak-on-purpose idiom as TLS rings
+  // in obs/trace.cpp).
+  return *state;
+}
+
+/// Prometheus base name: the registered name with any `{label="..."}`
+/// suffix stripped, for the `# TYPE` comment line.
+std::string_view base_name(std::string_view full) {
+  const std::size_t brace = full.find('{');
+  return brace == std::string_view::npos ? full : full.substr(0, brace);
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  RegistryState& state = registry();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.counters.find(name);
+  if (it == state.counters.end()) {
+    it = state.counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  RegistryState& state = registry();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.gauges.find(name);
+  if (it == state.gauges.end()) {
+    it = state.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricValue> metrics_snapshot() {
+  RegistryState& state = registry();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<MetricValue> out;
+  out.reserve(state.counters.size() + state.gauges.size());
+  for (const auto& [name, cell] : state.counters) {
+    out.push_back({name, cell->value(), /*is_gauge=*/false});
+  }
+  for (const auto& [name, cell] : state.gauges) {
+    out.push_back({name, cell->value(), /*is_gauge=*/true});
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& out) {
+  // One # TYPE line per base name: labeled variants of the same metric
+  // (rlocal_kwise_draws_total{backend="..."}) must share a single TYPE
+  // declaration. The snapshot is sorted by full name, so equal base names
+  // are adjacent.
+  std::string last_base;
+  for (const MetricValue& m : metrics_snapshot()) {
+    const std::string_view base = base_name(m.name);
+    if (base != last_base) {
+      out << "# TYPE " << base << (m.is_gauge ? " gauge" : " counter")
+          << "\n";
+      last_base = std::string(base);
+    }
+    out << m.name << " " << m.value << "\n";
+  }
+}
+
+void reset_for_tests() {
+  RegistryState& state = registry();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& [name, cell] : state.counters) {
+    cell->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, cell] : state.gauges) {
+    cell->value_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace rlocal::obs

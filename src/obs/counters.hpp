@@ -1,0 +1,95 @@
+// Process-wide registry of named monotonic counters and gauges -- the
+// "metrics" half of the observability plane (docs/observability.md; the
+// "tracing" half is obs/trace.hpp).
+//
+// Design goals, in order:
+//   1. Hot-path increments must be a single relaxed fetch_add on a cached
+//      reference -- no lock, no lookup, no allocation. Call sites do
+//
+//        static obs::Counter& c = obs::counter("rlocal_cells_run_total");
+//        c.add();
+//
+//      The function-local static pays the registry lookup once per call
+//      site (C++11 magic statics make that thread-safe); afterwards an
+//      increment costs the same as cost::Meter's relaxed adds.
+//   2. Registered cells are never invalidated: the registry hands out
+//      references into heap cells owned by a process-lifetime map, so a
+//      cached `Counter&` stays valid forever. reset_for_tests() zeroes
+//      values but never removes cells.
+//   3. The snapshot/exposition side (rlocald's /metrics, tests) is the cold
+//      path and takes the registry mutex.
+//
+// Metric names follow Prometheus conventions: `rlocal_<noun>_total` for
+// monotonic counters, plain nouns for gauges, and an optional trailing
+// `{label="value"}` suffix baked into the registered name for per-backend
+// breakdowns (e.g. `rlocal_kwise_draws_total{backend="pclmul"}`). The text
+// exposition groups such names under one `# TYPE` line for the base name.
+// The full name reference lives in docs/observability.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlocal::obs {
+
+/// Monotonic counter. add() is wait-free; value() is a relaxed load (exact
+/// only after the writers quiesce, which is all the exposition side needs).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend void reset_for_tests();
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write or running-max gauge (e.g. arena high-water bytes).
+class Gauge {
+ public:
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if larger; lock-free CAS loop.
+  void record_max(std::uint64_t v) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend void reset_for_tests();
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Registry lookup; registers the name on first use. The returned reference
+/// is valid for the rest of the process.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+
+/// One row of a cold-path snapshot, sorted by full name (the registry's
+/// map order), so exposition output is stable across runs.
+struct MetricValue {
+  std::string name;  ///< full registered name, labels included
+  std::uint64_t value = 0;
+  bool is_gauge = false;
+};
+std::vector<MetricValue> metrics_snapshot();
+
+/// Prometheus text exposition (version 0.0.4) of every registered metric:
+/// a `# TYPE` line per base name (labels stripped) followed by the sample
+/// lines. rlocald serves this verbatim at /metrics, prefixed with its
+/// store-derived samples.
+void write_prometheus(std::ostream& out);
+
+/// Zeroes every registered value (cells stay registered and cached
+/// references stay valid). Tests only: production counters are monotonic.
+void reset_for_tests();
+
+}  // namespace rlocal::obs

@@ -1,0 +1,7 @@
+#include "obs/phase.hpp"
+
+namespace rlocal::obs::detail {
+
+thread_local std::uint64_t* t_phase_ns = nullptr;
+
+}  // namespace rlocal::obs::detail

@@ -1,0 +1,102 @@
+// Per-cell phase-time accounting: where a cell's wall time goes (graph
+// build vs solver vs checker vs engine vs draw funnel vs store append).
+// Feeds the `rlocal.profile/2` schema (bench_sweep --profile, docs/perf.md)
+// and rides along with the tracer (docs/observability.md) -- but unlike the
+// tracer it is always on while a cell runs, so the cost must stay trivial:
+//
+//   - A CellPhaseScope (installed by Registry::run_cell) is two TLS pointer
+//     writes plus zeroing a small array.
+//   - A PhaseTimer at an instrumented site is one TLS load + branch when no
+//     scope is installed (engine runs outside the lab, unit tests), and two
+//     steady_clock reads when one is. Sites that fire at per-element rates
+//     (scalar draws are one-element batch calls, see rnd/regime.cpp) gate
+//     the timer on a batch-size floor so the clock reads stay amortized.
+//
+// Phases overlap deliberately: kEngine and kDraw time is *inside* kSolver
+// time (attribution, not a partition). The profile table documents this.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace rlocal::obs {
+
+enum class Phase {
+  kGraphBuild = 0,  ///< lazy graph factory call (lab/sweep.cpp)
+  kSolver,          ///< Solver::run total (lab/registry.cpp)
+  kChecker,         ///< output validation inside the solver run
+  kEngine,          ///< sim::Engine::run round loops
+  kDraw,            ///< NodeRandomness batch draws (>= floor elements)
+  kStoreAppend,     ///< record frame append + fsync (lab/sweep.cpp)
+  kCount,
+};
+
+namespace detail {
+// Nanosecond accumulators of the innermost installed scope, or nullptr.
+extern thread_local std::uint64_t* t_phase_ns;
+}  // namespace detail
+
+/// True when a scope is installed on this thread (i.e. PhaseTimer will pay
+/// for clock reads).
+inline bool phase_active() { return detail::t_phase_ns != nullptr; }
+
+/// Installs a zeroed accumulator array for the current thread; restores the
+/// previous one (nesting: a sweep-in-a-test inside a traced bench) on exit.
+class CellPhaseScope {
+ public:
+  CellPhaseScope() : prev_(detail::t_phase_ns) {
+    detail::t_phase_ns = ns_.data();
+  }
+  ~CellPhaseScope() { detail::t_phase_ns = prev_; }
+  CellPhaseScope(const CellPhaseScope&) = delete;
+  CellPhaseScope& operator=(const CellPhaseScope&) = delete;
+
+  double ms(Phase p) const {
+    return static_cast<double>(ns_[static_cast<std::size_t>(p)]) / 1e6;
+  }
+  /// Direct deposit for call sites that already measured an interval
+  /// (graph build / store append wrap non-inline work in sweep.cpp).
+  void add_ns(Phase p, std::uint64_t ns) {
+    ns_[static_cast<std::size_t>(p)] += ns;
+  }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(Phase::kCount)> ns_{};
+  std::uint64_t* prev_;
+};
+
+/// Accumulates the enclosing block's duration into the installed scope's
+/// phase slot. No scope installed => one TLS load and a branch, no clock.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(Phase p) : slot_(detail::t_phase_ns) {
+    if (slot_ == nullptr) return;
+    slot_ += static_cast<std::size_t>(p);
+    start_ = std::chrono::steady_clock::now();
+  }
+  /// Conditional form: `active == false` makes this a guaranteed no-op.
+  /// Per-element-rate sites (scalar draws are one-element batches) pass
+  /// `count >= floor` so the two clock reads stay amortized over a batch.
+  PhaseTimer(Phase p, bool active)
+      : slot_(active ? detail::t_phase_ns : nullptr) {
+    if (slot_ == nullptr) return;
+    slot_ += static_cast<std::size_t>(p);
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (slot_ == nullptr) return;
+    *slot_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::uint64_t* slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rlocal::obs

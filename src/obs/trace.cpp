@@ -1,0 +1,257 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace rlocal::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One thread's ring. Single writer (the owning thread), many cold readers.
+/// `written` is the monotonic count of events ever emitted; the live window
+/// is [max(0, written - capacity), written) and everything older was
+/// overwritten. The writer publishes each slot with a release store of
+/// `written`; drain acquires it, so events below the loaded count are fully
+/// written (a concurrently-written slot can still be overtaken by wraparound
+/// -- drains are documented as quiescent-ring operations).
+struct ThreadRing {
+  ThreadRing(int tid_in, std::size_t capacity)
+      : tid(tid_in), slots(capacity) {}
+  const int tid;
+  std::vector<TraceEvent> slots;
+  std::atomic<std::uint64_t> written{0};
+};
+
+struct TracerState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadRing>> rings;  // current session only
+  std::size_t ring_events = 0;
+  // steady_clock origin of the session, as raw nanoseconds so the emit path
+  // can read it without the mutex.
+  std::atomic<std::int64_t> epoch_ns{0};
+};
+
+// Leaked on purpose: worker threads may emit (or run TLS destructors)
+// during process teardown, after function-local statics would have been
+// destroyed.
+TracerState& state() {
+  static TracerState* s = new TracerState();
+  return *s;
+}
+
+// Session epoch. A thread whose cached ring belongs to an older session
+// re-registers; bumped by every enable().
+std::atomic<std::uint64_t> g_session{0};
+
+thread_local ThreadRing* t_ring = nullptr;
+thread_local std::uint64_t t_session = 0;
+// The TLS shared_ptr keeps the ring alive if the registry is cleared by a
+// later enable() while this thread still holds a stale pointer.
+thread_local std::shared_ptr<ThreadRing> t_ring_owner;
+
+/// Slow path of emit(): (re-)registers this thread's ring for the current
+/// session. Returns nullptr if the tracer raced to disabled.
+ThreadRing* register_thread() {
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!Tracer::enabled()) return nullptr;
+  auto ring = std::make_shared<ThreadRing>(static_cast<int>(s.rings.size()),
+                                           s.ring_events);
+  s.rings.push_back(ring);
+  t_ring_owner = ring;
+  t_ring = ring.get();
+  t_session = g_session.load(std::memory_order_relaxed);
+  return t_ring;
+}
+
+void emit(char phase, const char* cat, std::string_view name,
+          std::uint64_t value) {
+  if (!Tracer::enabled()) return;
+  ThreadRing* ring = t_ring;
+  if (ring == nullptr ||
+      t_session != g_session.load(std::memory_order_relaxed)) {
+    ring = register_thread();
+    if (ring == nullptr) return;
+  }
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count();
+  const std::int64_t origin =
+      state().epoch_ns.load(std::memory_order_relaxed);
+  const std::uint64_t ts =
+      now_ns > origin ? static_cast<std::uint64_t>(now_ns - origin) : 0;
+  const std::uint64_t w = ring->written.load(std::memory_order_relaxed);
+  TraceEvent& e = ring->slots[w % ring->slots.size()];
+  e.ts_ns = ts;
+  e.value = value;
+  e.cat = cat;
+  e.phase = phase;
+  const std::size_t n =
+      name.size() < sizeof(e.name) - 1 ? name.size() : sizeof(e.name) - 1;
+  name.copy(e.name, n);
+  e.name[n] = '\0';
+  ring->written.store(w + 1, std::memory_order_release);
+}
+
+}  // namespace
+
+std::atomic<bool> Tracer::g_enabled{false};
+
+void Tracer::enable(std::size_t ring_kb) {
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (ring_kb < 1) ring_kb = 1;
+  s.ring_events = ring_kb * 1024 / sizeof(TraceEvent);
+  s.rings.clear();
+  s.epoch_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       Clock::now().time_since_epoch())
+                       .count(),
+                   std::memory_order_relaxed);
+  g_session.fetch_add(1, std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void Tracer::begin(const char* cat, std::string_view name) {
+  emit('B', cat, name, 0);
+}
+void Tracer::end(const char* cat, std::string_view name) {
+  emit('E', cat, name, 0);
+}
+void Tracer::instant(const char* cat, std::string_view name,
+                     std::uint64_t value) {
+  emit('i', cat, name, value);
+}
+void Tracer::counter(const char* cat, std::string_view name,
+                     std::uint64_t value) {
+  emit('C', cat, name, value);
+}
+
+std::vector<Tracer::ThreadStream> Tracer::drain() {
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<ThreadStream> out;
+  out.reserve(s.rings.size());
+  for (const auto& ring : s.rings) {
+    const std::uint64_t written =
+        ring->written.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->slots.size();
+    ThreadStream stream;
+    stream.tid = ring->tid;
+    stream.dropped = written > cap ? written - cap : 0;
+    const std::uint64_t first = written > cap ? written - cap : 0;
+    stream.events.reserve(static_cast<std::size_t>(written - first));
+    for (std::uint64_t i = first; i < written; ++i) {
+      stream.events.push_back(ring->slots[i % cap]);
+    }
+    out.push_back(std::move(stream));
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped_events() {
+  std::uint64_t total = 0;
+  for (const ThreadStream& stream : drain()) total += stream.dropped;
+  return total;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) {
+  const std::vector<ThreadStream> streams = drain();
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  auto event_common = [&](char phase, int tid, double ts_us,
+                          const char* cat, std::string_view name) {
+    w.begin_object();
+    w.key("ph");
+    w.value(std::string_view(&phase, 1));
+    w.field("pid", 1);
+    w.field("tid", tid);
+    w.field("ts", ts_us);
+    w.field("cat", cat != nullptr ? cat : "obs");
+    w.field("name", name);
+  };
+
+  for (const ThreadStream& stream : streams) {
+    // Thread-name metadata row so Perfetto labels tracks "ring N".
+    w.begin_object();
+    w.field("ph", "M");
+    w.field("pid", 1);
+    w.field("tid", stream.tid);
+    w.field("name", "thread_name");
+    w.key("args");
+    w.begin_object();
+    w.field("name", "ring " + std::to_string(stream.tid));
+    w.end_object();
+    w.end_object();
+
+    // Wraparound repair: an 'E' whose 'B' was overwritten would drive the
+    // viewer's span stack negative -- drop it. Conversely a 'B' whose 'E'
+    // never arrived (ring stopped mid-span, or disable() raced) is closed
+    // at the stream's final timestamp below, under its own name so the
+    // B/E pairing stays exact (bench/validate_trace.py checks it).
+    std::vector<std::pair<const char*, std::string>> open_spans;
+    std::uint64_t last_ts = 0;
+    for (const TraceEvent& e : stream.events) {
+      last_ts = e.ts_ns > last_ts ? e.ts_ns : last_ts;
+      const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+      const std::string_view name(e.name);
+      switch (e.phase) {
+        case 'B':
+          open_spans.emplace_back(e.cat, std::string(name));
+          event_common('B', stream.tid, ts_us, e.cat, name);
+          w.end_object();
+          break;
+        case 'E':
+          if (open_spans.empty()) break;  // orphaned by wraparound
+          open_spans.pop_back();
+          event_common('E', stream.tid, ts_us, e.cat, name);
+          w.end_object();
+          break;
+        case 'i':
+          event_common('i', stream.tid, ts_us, e.cat, name);
+          w.field("s", "t");  // thread-scoped instant
+          w.key("args");
+          w.begin_object();
+          w.field("value", e.value);
+          w.end_object();
+          w.end_object();
+          break;
+        case 'C':
+          event_common('C', stream.tid, ts_us, e.cat, name);
+          w.key("args");
+          w.begin_object();
+          w.field("value", e.value);
+          w.end_object();
+          w.end_object();
+          break;
+        default:
+          break;  // torn slot from a non-quiescent drain
+      }
+    }
+    const double close_us = static_cast<double>(last_ts) / 1000.0;
+    while (!open_spans.empty()) {
+      const auto& [cat, name] = open_spans.back();
+      event_common('E', stream.tid, close_us, cat, name);
+      w.end_object();
+      open_spans.pop_back();
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace rlocal::obs

@@ -1,0 +1,137 @@
+// Runtime-switchable tracing into per-thread fixed-size ring buffers, drained
+// on demand to Chrome trace-event JSON (chrome://tracing / Perfetto). The
+// "spans" half of the observability plane; obs/counters.hpp is the other.
+//
+// Overhead contract (pinned by BM_TraceOverhead and the zero-allocation test
+// in tests/test_obs.cpp):
+//   - DISABLED (the default): every emit primitive is one relaxed atomic
+//     load plus a predictable branch. No clock read, no TLS ring lookup,
+//     no allocation. Instrumentation can therefore live inside the engine
+//     round loop and the draw funnel without a build-time switch.
+//   - ENABLED: an emit is a TLS lookup, one steady_clock read, a 64-byte
+//     struct copy into a preallocated ring slot, and a release store of the
+//     write index. Still allocation-free after the ring is registered; a
+//     full ring overwrites the oldest events (counted, never blocking).
+//
+// Event model: Chrome's phase letters. 'B'/'E' bracket a span (ObsSpan emits
+// the pair via RAII), 'i' is an instant (claim steals, fsyncs), 'C' is a
+// counter sample. Names are truncated into a fixed inline buffer -- events
+// never own heap memory. Categories must be string literals (the pointer is
+// stored, not the bytes).
+//
+// Threading: each thread writes only its own ring (registered on first emit
+// after enable(); re-registered when a new session bumps the epoch). Rings
+// are owned by shared_ptr from both the thread and a global registry, so a
+// drain after worker threads have exited still sees their events. drain()
+// and write_chrome_trace() are cold-path, mutex-protected, and intended for
+// quiescent rings (after the sweep joins its workers); draining mid-write
+// is memory-safe but may observe a torn oldest event, which export drops.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace rlocal::obs {
+
+/// One ring slot. Fixed 64-byte layout: 8B timestamp, 8B payload, 8B
+/// category pointer, 1B phase, 39B inline NUL-terminated name (longer names
+/// truncate -- fine for "cell mis/pooled(...)"-shaped labels).
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;     ///< nanoseconds since Tracer::enable()
+  std::uint64_t value = 0;     ///< payload for 'C' (sample) and 'i' events
+  const char* cat = nullptr;   ///< static string literal, e.g. "engine"
+  char phase = 0;              ///< 'B', 'E', 'i', or 'C'
+  char name[39] = {};
+};
+static_assert(sizeof(TraceEvent) == 64, "ring slots are sized to 64 bytes");
+
+class Tracer {
+ public:
+  /// The one hot-path check. Relaxed: enable/disable are coarse session
+  /// boundaries, not synchronization points.
+  static bool enabled() {
+    return g_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Starts a tracing session: clears previously drained rings, bumps the
+  /// session epoch (stale thread-local ring pointers re-register), resets
+  /// the timestamp origin, and sets the per-thread ring capacity to
+  /// `ring_kb` KiB (16 events/KiB; clamped to at least 1 KiB).
+  static void enable(std::size_t ring_kb = 4096);
+
+  /// Stops recording. Buffered events stay drainable.
+  static void disable();
+
+  // Emit primitives. All are no-ops (one load + branch) when disabled.
+  static void begin(const char* cat, std::string_view name);
+  static void end(const char* cat, std::string_view name);
+  static void instant(const char* cat, std::string_view name,
+                      std::uint64_t value = 0);
+  static void counter(const char* cat, std::string_view name,
+                      std::uint64_t value);
+
+  /// Everything one thread's ring still holds, oldest first, plus how many
+  /// older events the ring overwrote.
+  struct ThreadStream {
+    int tid = 0;  ///< small integer id, assigned in registration order
+    std::uint64_t dropped = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  /// Snapshots every registered ring (current session only). Non-consuming:
+  /// a later drain or export sees the same events.
+  static std::vector<ThreadStream> drain();
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]}. Per-thread streams are
+  /// repaired for ring wraparound so every exported 'B' has its 'E' --
+  /// orphaned 'E's (begin overwritten) are dropped and spans still open at
+  /// the end of a stream are closed at its last timestamp. The output
+  /// round-trips through support/json's strict parser.
+  static void write_chrome_trace(std::ostream& out);
+
+  /// Total events overwritten across all rings in this session.
+  static std::uint64_t dropped_events();
+
+ private:
+  friend class ObsSpan;
+  static std::atomic<bool> g_enabled;
+};
+
+/// RAII span: emits 'B' at construction and the matching 'E' at destruction.
+/// Constructing with a null category is an explicit no-op form, used to gate
+/// spans on runtime conditions (e.g. batch draws only above a size floor):
+///
+///   ObsSpan span(count >= 16 ? "rnd" : nullptr, "draw.bits");
+///
+/// The enabled check happens once, at construction: if tracing flips off
+/// mid-span the 'E' is still emitted into the ring (harmless; export
+/// balances), and if it flips on mid-span no unmatched 'E' is recorded.
+class ObsSpan {
+ public:
+  ObsSpan(const char* cat, std::string_view name) {
+    if (cat == nullptr || !Tracer::enabled()) return;
+    cat_ = cat;
+    const std::size_t n =
+        name.size() < sizeof(name_) - 1 ? name.size() : sizeof(name_) - 1;
+    for (std::size_t i = 0; i < n; ++i) name_[i] = name[i];
+    name_[n] = '\0';
+    len_ = static_cast<unsigned char>(n);
+    Tracer::begin(cat_, std::string_view(name_, len_));
+  }
+  ~ObsSpan() {
+    if (cat_ != nullptr) Tracer::end(cat_, std::string_view(name_, len_));
+  }
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  const char* cat_ = nullptr;
+  unsigned char len_ = 0;
+  char name_[39];
+};
+
+}  // namespace rlocal::obs

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/counters.hpp"
 #include "rnd/dispatch.hpp"
 #include "rnd/kwise_backend.hpp"
 
@@ -49,11 +50,21 @@ void KWiseGenerator::values(std::span<const std::uint64_t> points,
   // the same field, so the produced bytes are identical -- the choice is
   // wall-time only (pinned by the BackendMatrix identity tests).
   if (rnd::active_backend() == rnd::Backend::kPclmul) {
+    // Per-backend draw volume for /metrics: one count per evaluation point
+    // (the label spelling matches rnd::backend_name).
+    static obs::Counter& draws =
+        obs::counter("rlocal_kwise_draws_total{backend=\"pclmul\"}");
+    draws.add(points.size());
     const detail::Gf2KernelParams field{field_.degree(), field_.low_poly(),
                                         field_.mask(),
                                         field_.barrett_mu_low()};
     detail::kwise_values_pclmul(field, coefficients_, points, out);
     return;
+  }
+  {
+    static obs::Counter& draws =
+        obs::counter("rlocal_kwise_draws_total{backend=\"portable\"}");
+    draws.add(points.size());
   }
   const std::size_t count = points.size();
   const std::size_t k = coefficients_.size();

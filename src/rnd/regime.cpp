@@ -4,9 +4,18 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/obs.hpp"
 #include "support/math.hpp"
 
 namespace rlocal {
+namespace {
+// Observability floor for the batch entry points: scalar draws are
+// one-element batch calls (bit()/geometric()/bernoulli() wrap their batch
+// forms), so unconditional spans/timers would pay clock reads per element
+// on scalar-heavy paths. Below this element count a draw traces nothing and
+// folds into the enclosing solver phase.
+constexpr std::size_t kObsBatchFloor = 16;
+}  // namespace
 
 Regime Regime::pooled(std::vector<std::int32_t> table, int bits_per_pool) {
   RLOCAL_CHECK(!table.empty(), "pooled(table, bits) requires a non-empty "
@@ -299,6 +308,8 @@ void NodeRandomness::bits_batch(std::span<const std::uint64_t> nodes,
   RLOCAL_CHECK(out.size() >= nodes.size(),
                "bits_batch output span is shorter than the node span");
   const std::size_t count = nodes.size();
+  obs::ObsSpan span(count >= kObsBatchFloor ? "rnd" : nullptr, "draw.bits");
+  obs::PhaseTimer timer(obs::Phase::kDraw, count >= kObsBatchFloor);
   batch_checkpoint(count);
   derived_bits_ += count;
   if (regime_.kind == RegimeKind::kSharedEpsBias) {
@@ -326,6 +337,9 @@ void NodeRandomness::priority_batch(std::span<const std::uint64_t> nodes,
   RLOCAL_CHECK(out.size() >= nodes.size(),
                "priority_batch output span is shorter than the node span");
   const std::size_t count = nodes.size();
+  obs::ObsSpan span(count >= kObsBatchFloor ? "rnd" : nullptr,
+                    "draw.priority");
+  obs::PhaseTimer timer(obs::Phase::kDraw, count >= kObsBatchFloor);
   batch_checkpoint(count);
   derived_bits_ += 64 * static_cast<std::uint64_t>(count);
   gather_chunks(nodes, stream, 0, out);
@@ -339,6 +353,9 @@ void NodeRandomness::geometric_batch(std::span<const std::uint64_t> nodes,
   RLOCAL_CHECK(out.size() >= nodes.size(),
                "geometric_batch output span is shorter than the node span");
   const std::size_t count = nodes.size();
+  obs::ObsSpan span(count >= kObsBatchFloor ? "rnd" : nullptr,
+                    "draw.geometric");
+  obs::PhaseTimer timer(obs::Phase::kDraw, count >= kObsBatchFloor);
   std::uint64_t bits_examined = 0;
   if (regime_.kind == RegimeKind::kSharedEpsBias) {
     // One LFSR evaluation per examined bit, exactly like the scalar loop --
@@ -414,6 +431,9 @@ void NodeRandomness::bernoulli_batch(std::span<const std::uint64_t> nodes,
   RLOCAL_CHECK(out.size() >= nodes.size(),
                "bernoulli_batch output span is shorter than the node span");
   const std::size_t count = nodes.size();
+  obs::ObsSpan span(count >= kObsBatchFloor ? "rnd" : nullptr,
+                    "draw.bernoulli");
+  obs::PhaseTimer timer(obs::Phase::kDraw, count >= kObsBatchFloor);
   if (p >= 1.0 || p <= 0.0) {
     // The scalar path checkpoints before the degenerate early-outs and
     // derives nothing; charge the same draw calls here.

@@ -45,6 +45,10 @@ CellEntry entry_from(const store::StoredRecord& stored,
   entry.variant = stored.record.variant;
   entry.seed = stored.record.seed;
   entry.skipped = stored.record.skipped;
+  // Same failure criterion as run_sweep's cells_failed tally.
+  entry.failed = !stored.record.skipped &&
+                 (!stored.record.error.empty() ||
+                  !stored.record.checker_passed);
   entry.rounds = stored.record.rounds;
   entry.messages = stored.record.cost.messages;
   entry.total_bits = stored.record.cost.total_bits;

@@ -45,6 +45,9 @@ struct CellEntry {
   std::string variant;
   std::uint64_t seed = 0;
   bool skipped = false;
+  /// Errored or checker-failed (the sweep's cells_failed criterion); feeds
+  /// /metrics' rlocal_cells_failed_total and /progress' failed_cells.
+  bool failed = false;
   // Metric scalars; -1 (or NaN-free "absent" convention below) = not
   // measured, excluded from that metric's aggregate.
   std::int64_t rounds = -1;

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/json.hpp"
 
@@ -21,6 +22,18 @@ namespace {
 [[noreturn]] void fail_errno(const std::string& what, const std::string& path) {
   throw InvariantError("work claims: " + what + " '" + path +
                        "': " + std::strerror(errno));
+}
+
+/// Claim-protocol observability: counters split fresh acquires from steals
+/// (disjoint -- a steal is not also counted as an acquire), and each event
+/// leaves an instant in the trace with the range index as payload, so a
+/// drain's lease churn is visible on the claimer's track.
+void note_claim_event(const char* name, std::uint64_t range, bool steal) {
+  static obs::Counter& acquires =
+      obs::counter("rlocal_claim_acquires_total");
+  static obs::Counter& steals = obs::counter("rlocal_claim_steals_total");
+  (steal ? steals : acquires).add();
+  obs::Tracer::instant("claims", name, range);
 }
 
 std::uint64_t fnv1a(const std::string& s) {
@@ -170,7 +183,9 @@ bool WorkClaims::try_acquire(std::uint64_t range) {
   if (known_done_[range]) return false;
   const ReadResult current = read_lease(range);
   if (current.state == LeaseState::kMissing) {
-    return create_exclusive(range);
+    if (!create_exclusive(range)) return false;
+    note_claim_event("claim_acquire", range, /*steal=*/false);
+    return true;
   }
   if (current.state == LeaseState::kOk) {
     if (current.lease.done) {
@@ -201,7 +216,9 @@ bool WorkClaims::try_acquire(std::uint64_t range) {
   std::error_code ec;
   fs::rename(lease_path(range), aside, ec);
   if (!ec) fs::remove(aside, ec);
-  return create_exclusive(range);
+  if (!create_exclusive(range)) return false;
+  note_claim_event("claim_steal", range, /*steal=*/true);
+  return true;
 }
 
 std::optional<std::uint64_t> WorkClaims::acquire() {
@@ -218,9 +235,16 @@ std::optional<std::uint64_t> WorkClaims::acquire() {
 bool WorkClaims::heartbeat(std::uint64_t range) {
   const ReadResult current = read_lease(range);
   if (current.state != LeaseState::kOk || current.lease.owner != owner_) {
-    return false;  // stolen (we looked dead); abandon the range
+    // Stolen (we looked dead); abandon the range. The instant makes the
+    // victim's side of a steal visible in its own trace.
+    obs::Tracer::instant("claims", "claim_lost", range);
+    return false;
   }
   write_lease(range, current.lease.seq + 1, current.lease.done);
+  static obs::Counter& heartbeats =
+      obs::counter("rlocal_claim_heartbeats_total");
+  heartbeats.add();
+  obs::Tracer::instant("claims", "claim_heartbeat", range);
   return true;
 }
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <set>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/json.hpp"
 
 namespace rlocal::service {
@@ -74,6 +76,11 @@ void Daemon::ingest_loop() {
 }
 
 HttpResponse Daemon::handle(const HttpRequest& request) {
+  {
+    static obs::Counter& requests =
+        obs::counter("rlocal_http_requests_total");
+    requests.add();
+  }
   const auto get = [&request](const char* key,
                               const std::string& fallback = "") {
     const auto it = request.query.find(key);
@@ -138,6 +145,97 @@ HttpResponse Daemon::handle(const HttpRequest& request) {
     return jsonl(out.str());
   }
 
+  if (request.path == "/metrics") {
+    // Prometheus text exposition. Two sections: store-derived samples from
+    // the index snapshot (what the watched drain has durably written --
+    // this daemon did not run the cells, so its process counters cannot
+    // carry them), then every process-wide obs counter/gauge (HTTP request
+    // volume, plus whatever else this process touched).
+    std::uint64_t cells_run = 0;
+    std::uint64_t cells_failed = 0;
+    std::uint64_t total_cells = 0;
+    std::uint64_t completed_cells = 0;
+    std::uint64_t frames_seen = 0;
+    for (const auto& store : snapshot->stores) {
+      for (const auto& [index, entry] : store->cells) {
+        if (entry.skipped) continue;
+        ++cells_run;
+        if (entry.failed) ++cells_failed;
+      }
+      total_cells += store->manifest.total_cells;
+      completed_cells += store->manifest.completed_cells;
+      frames_seen += store->frames_seen;
+    }
+    std::ostringstream out;
+    out << "# TYPE rlocal_cells_run_total counter\n"
+        << "rlocal_cells_run_total " << cells_run << "\n"
+        << "# TYPE rlocal_cells_failed_total counter\n"
+        << "rlocal_cells_failed_total " << cells_failed << "\n"
+        << "# TYPE rlocal_store_total_cells gauge\n"
+        << "rlocal_store_total_cells " << total_cells << "\n"
+        << "# TYPE rlocal_store_completed_cells gauge\n"
+        << "rlocal_store_completed_cells " << completed_cells << "\n"
+        << "# TYPE rlocal_store_frames_seen_total counter\n"
+        << "rlocal_store_frames_seen_total " << frames_seen << "\n"
+        << "# TYPE rlocal_stores gauge\n"
+        << "rlocal_stores " << snapshot->stores.size() << "\n"
+        << "# TYPE rlocal_index_version gauge\n"
+        << "rlocal_index_version " << snapshot->version << "\n";
+    // Process-wide obs metrics, skipping names the store-derived section
+    // already emitted (a process that both ran a sweep and serves it --
+    // the in-process test fixture -- must not expose duplicate series;
+    // the store-derived reading is the authoritative one).
+    static const std::set<std::string> kStoreDerived = {
+        "rlocal_cells_run_total", "rlocal_cells_failed_total"};
+    std::string last_base;
+    for (const obs::MetricValue& m : obs::metrics_snapshot()) {
+      const std::string base = m.name.substr(0, m.name.find('{'));
+      if (kStoreDerived.count(base) != 0) continue;
+      if (base != last_base) {
+        out << "# TYPE " << base << (m.is_gauge ? " gauge" : " counter")
+            << "\n";
+        last_base = base;
+      }
+      out << m.name << " " << m.value << "\n";
+    }
+    return {200, "text/plain; version=0.0.4", out.str()};
+  }
+
+  if (request.path == "/progress") {
+    // One JSONL line per watched store: how far the drain has come, so a
+    // live million-cell sweep can be watched without touching the store.
+    std::ostringstream out;
+    for (const auto& store : snapshot->stores) {
+      std::uint64_t failed = 0;
+      std::uint64_t skipped = 0;
+      for (const auto& [index, entry] : store->cells) {
+        if (entry.skipped) ++skipped;
+        if (entry.failed) ++failed;
+      }
+      const std::uint64_t indexed =
+          static_cast<std::uint64_t>(store->cells.size());
+      const std::uint64_t run = indexed - skipped;
+      const std::uint64_t total = store->manifest.total_cells;
+      JsonWriter w(out, /*indent=*/0);
+      w.begin_object();
+      w.field("dir", store->dir);
+      w.field("fingerprint", store->manifest.fingerprint);
+      w.field("total_cells", total);
+      w.field("indexed_cells", indexed);
+      w.field("run_cells", run);
+      w.field("failed_cells", failed);
+      w.field("pct_done",
+              total == 0 ? 0.0
+                         : 100.0 * static_cast<double>(run) /
+                               static_cast<double>(total));
+      w.field("frames_seen", store->frames_seen);
+      w.field("index_version", snapshot->version);
+      w.end_object();
+      out << '\n';
+    }
+    return jsonl(out.str());
+  }
+
   if (request.path == "/records") {
     const std::string cell_text = get("cell");
     if (cell_text.empty()) {
@@ -166,7 +264,9 @@ HttpResponse Daemon::handle(const HttpRequest& request) {
     return not_found("no such cell");
   }
 
-  return not_found("no such route (try /healthz, /sweeps, /agg, /records)");
+  return not_found(
+      "no such route (try /healthz, /sweeps, /agg, /records, /metrics, "
+      "/progress)");
 }
 
 }  // namespace rlocal::service

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cost/meter.hpp"
+#include "obs/obs.hpp"
 #include "support/math.hpp"
 
 namespace rlocal {
@@ -112,6 +113,16 @@ void Engine::deliver_round() {
 }
 
 EngineStats Engine::run(const ProgramFactory& factory) {
+  // Whole-run attribution: phase time for the profile's `engine` column and
+  // a span bracketing the run. Both are RAII, so every exit (completion,
+  // deadline, CongestViolation unwind) closes them.
+  obs::PhaseTimer phase_timer(obs::Phase::kEngine);
+  obs::ObsSpan run_span("engine", "engine_run");
+  {
+    static obs::Counter& runs_total = obs::counter("rlocal_engine_runs_total");
+    runs_total.add();
+  }
+
   const NodeId n = graph_->num_nodes();
   programs_.clear();
   programs_.reserve(static_cast<std::size_t>(n));
@@ -128,6 +139,21 @@ EngineStats Engine::run(const ProgramFactory& factory) {
     const Engine* engine;
     ~MeterReport() { engine->report_run_to_meter(); }
   } report{this};
+  // Same every-exit discipline for the observability totals: messages the
+  // run actually executed and the largest arena footprint any round held.
+  struct ObsReport {
+    const Engine* engine;
+    std::size_t arena_high_water = 0;
+    ~ObsReport() {
+      static obs::Counter& messages_total =
+          obs::counter("rlocal_engine_messages_total");
+      static obs::Gauge& arena_gauge =
+          obs::gauge("rlocal_arena_high_water_bytes");
+      messages_total.add(
+          static_cast<std::uint64_t>(engine->stats_.messages));
+      arena_gauge.record_max(arena_high_water);
+    }
+  } obs_report{this};
   send_arena_.clear();
   deliver_arena_.clear();
   incoming_.clear();
@@ -161,6 +187,9 @@ EngineStats Engine::run(const ProgramFactory& factory) {
   stats_.per_round_messages.push_back(stats_.messages);
 
   for (int round = 1; round <= options_.max_rounds; ++round) {
+    // One span per round (disabled cost: a relaxed load + branch at each
+    // end). Covers the halting check, delivery, and every on_round call.
+    obs::ObsSpan round_span("engine", "engine_round");
     // Per-round cooperative cancellation (a sweep cell's deadline token
     // reaches the engine here; no-op outside a metered run). The rounds
     // and messages executed before expiry still reach the meter via the
@@ -183,11 +212,18 @@ EngineStats Engine::run(const ProgramFactory& factory) {
     // the new send arena is empty and the delivered spans stay stable for
     // the whole round).
     deliver_round();
+    obs_report.arena_high_water =
+        std::max(obs_report.arena_high_water, deliver_arena_.byte_size());
     for (auto& used : port_used_) {
       std::fill(used.begin(), used.end(), false);
     }
 
     stats_.rounds = round;
+    {
+      static obs::Counter& rounds_total =
+          obs::counter("rlocal_engine_rounds_total");
+      rounds_total.add();
+    }
     const std::int64_t messages_before = stats_.messages;
     for (NodeId v = 0; v < n; ++v) {
       auto& program = *programs_[static_cast<std::size_t>(v)];

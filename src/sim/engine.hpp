@@ -105,6 +105,13 @@ class MessageArena {
     return {words_.data() + slot.offset, slot.count};
   }
 
+  /// Live payload + slot bytes this round; feeds the engine's
+  /// `rlocal_arena_high_water_bytes` gauge (docs/observability.md).
+  std::size_t byte_size() const {
+    return words_.size() * sizeof(std::uint64_t) +
+           slots_.size() * sizeof(Slot);
+  }
+
  private:
   std::vector<std::uint64_t> words_;
   std::vector<Slot> slots_;

@@ -12,6 +12,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/json.hpp"
 
@@ -232,7 +233,16 @@ void RecordStore::ShardWriter::append(const StoredRecord& stored) {
   RLOCAL_CHECK(fd_ >= 0, "sweep store: append on a moved-from ShardWriter");
   const std::string line = encode_frame(stored) + '\n';
   write_all(fd_, line.data(), line.size(), path_);
-  if (::fsync(fd_) != 0) fail_errno("fsync", path_);
+  {
+    // The fsync dominates append latency on most filesystems, so it gets
+    // its own span; the counters feed /metrics' durability rates.
+    obs::ObsSpan span("store", "shard_fsync");
+    if (::fsync(fd_) != 0) fail_errno("fsync", path_);
+  }
+  static obs::Counter& records = obs::counter("rlocal_records_written_total");
+  static obs::Counter& fsyncs = obs::counter("rlocal_store_fsync_total");
+  records.add();
+  fsyncs.add();
 }
 
 RecordStore RecordStore::create(const std::string& dir,

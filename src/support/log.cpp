@@ -1,11 +1,20 @@
 #include "support/log.hpp"
 
+#include <cstdlib>
 #include <iostream>
+#include <mutex>
+#include <optional>
+#include <string_view>
 
 namespace rlocal {
 
 namespace {
+// One mutex serializes both level resolution (first use reads the env var)
+// and the writes themselves, so concurrent lines never interleave mid-line.
+std::mutex g_mutex;
 LogLevel g_level = LogLevel::kWarn;
+bool g_explicit = false;      // set_log_level() was called
+bool g_env_resolved = false;  // RLOCAL_LOG_LEVEL was consulted
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,15 +29,66 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::optional<LogLevel> parse_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+/// Called with g_mutex held. Resolution order mirrors rnd/dispatch: an
+/// explicit set_log_level() beats the env var, which beats the kWarn
+/// default. Unlike the backend dispatch this never throws -- logging must
+/// not take the process down -- so an unknown spelling emits one warning
+/// line and keeps the default.
+LogLevel resolved_level_locked() {
+  if (!g_env_resolved) {
+    g_env_resolved = true;
+    if (!g_explicit) {
+      if (const char* env = std::getenv("RLOCAL_LOG_LEVEL")) {
+        if (const auto parsed = parse_level(env)) {
+          g_level = *parsed;
+        } else if (*env != '\0') {
+          std::cerr << "[rlocal WARN] unknown RLOCAL_LOG_LEVEL '" << env
+                    << "' (expected debug|info|warn|error); keeping "
+                    << level_name(g_level) << "\n";
+        }
+      }
+    }
+  }
+  return g_level;
+}
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_level = level;
+  g_explicit = true;
+  g_env_resolved = true;  // explicit choice; never consult the env var
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return resolved_level_locked();
+}
 
 void log_message(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::cerr << "[rlocal " << level_name(level) << "] " << message << "\n";
+  // Assemble the full line before taking the stream: one formatted write
+  // under the mutex keeps concurrent workers' lines whole.
+  std::string line;
+  line.reserve(message.size() + 24);
+  line += "[rlocal ";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += "\n";
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (static_cast<int>(level) < static_cast<int>(resolved_level_locked())) {
+    return;
+  }
+  std::cerr << line;
 }
 
 }  // namespace rlocal

@@ -1,5 +1,7 @@
-// Minimal leveled logging to stderr. Not thread-safe by design: the library
-// is single-threaded (the simulator is deterministic and sequential).
+// Minimal leveled logging to stderr. Thread-safe: run_sweep worker threads
+// and claim processes log concurrently, so each message is assembled
+// privately (LogLine's own stream) and written as a single formatted line
+// under a mutex -- concurrent lines interleave whole, never mid-line.
 #pragma once
 
 #include <sstream>
@@ -9,8 +11,12 @@ namespace rlocal {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global log threshold; messages below it are dropped. Defaults to kWarn so
-/// that library users are not spammed; benches raise it to kInfo.
+/// Global log threshold; messages below it are dropped. Resolution order
+/// mirrors rnd/dispatch's backend choice: an explicit set_log_level() call
+/// wins; otherwise the RLOCAL_LOG_LEVEL env var (debug|info|warn|error,
+/// read once at first use; an unknown spelling warns and is ignored);
+/// otherwise the default kWarn, so library users are not spammed (benches
+/// raise it to kInfo).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
@@ -42,3 +48,4 @@ class LogLine {
 #define RLOCAL_DEBUG() RLOCAL_LOG(::rlocal::LogLevel::kDebug)
 #define RLOCAL_INFO() RLOCAL_LOG(::rlocal::LogLevel::kInfo)
 #define RLOCAL_WARN() RLOCAL_LOG(::rlocal::LogLevel::kWarn)
+#define RLOCAL_ERROR() RLOCAL_LOG(::rlocal::LogLevel::kError)

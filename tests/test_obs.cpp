@@ -1,0 +1,344 @@
+// The observability plane's own contract tests: ring wraparound with drop
+// accounting, span nesting, multi-thread drains, the counter registry under
+// contention, Prometheus text shape, and the Chrome-trace JSON round-trip
+// through support/json's strict parser.
+//
+// Like tests/test_engine.cpp, this translation unit replaces the global
+// allocator with a counting one so the disabled-tracer contract ("one
+// relaxed load + branch, zero allocation") is pinned by an actual count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "support/json.hpp"
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rlocal::obs {
+namespace {
+
+/// Events the current thread's ring holds (this session), oldest first.
+std::vector<TraceEvent> my_events() {
+  // With a single emitting thread there is exactly one registered ring.
+  const std::vector<Tracer::ThreadStream> streams = Tracer::drain();
+  std::vector<TraceEvent> out;
+  for (const Tracer::ThreadStream& s : streams) {
+    out.insert(out.end(), s.events.begin(), s.events.end());
+  }
+  return out;
+}
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Tracer::disable(); }
+};
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer::disable();
+  Tracer::begin("t", "a");
+  Tracer::instant("t", "b", 7);
+  Tracer::counter("t", "c", 9);
+  Tracer::end("t", "a");
+  { ObsSpan span("t", "raii"); }
+  EXPECT_TRUE(Tracer::drain().empty());
+}
+
+TEST_F(TracerTest, DisabledEmitDoesNotAllocate) {
+  Tracer::disable();
+  const std::uint64_t before = g_alloc_count.load();
+  for (int i = 0; i < 1000; ++i) {
+    ObsSpan span("t", "hot");
+    Tracer::instant("t", "i", static_cast<std::uint64_t>(i));
+    Tracer::counter("t", "c", static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(g_alloc_count.load(), before);
+}
+
+TEST_F(TracerTest, EnabledEmitIsAllocationFreeAfterRegistration) {
+  Tracer::enable(/*ring_kb=*/4);
+  Tracer::instant("t", "warmup");  // registers this thread's ring
+  const std::uint64_t before = g_alloc_count.load();
+  for (int i = 0; i < 1000; ++i) {
+    ObsSpan span("t", "hot");
+    Tracer::instant("t", "i", static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(g_alloc_count.load(), before);
+}
+
+TEST_F(TracerTest, SpansNestAndBalance) {
+  Tracer::enable(/*ring_kb=*/4);
+  {
+    ObsSpan outer("t", "outer");
+    ObsSpan inner("t", "inner");
+    Tracer::instant("t", "tick", 3);
+  }
+  const std::vector<TraceEvent> events = my_events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].phase, 'B');
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].phase, 'i');
+  EXPECT_EQ(events[2].value, 3u);
+  // Destruction order: inner closes before outer.
+  EXPECT_EQ(events[3].phase, 'E');
+  EXPECT_STREQ(events[3].name, "inner");
+  EXPECT_EQ(events[4].phase, 'E');
+  EXPECT_STREQ(events[4].name, "outer");
+  // Timestamps are monotonic within the thread.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+}
+
+TEST_F(TracerTest, NullCategorySpanIsANoOp) {
+  Tracer::enable(/*ring_kb=*/4);
+  { ObsSpan span(nullptr, "gated-off"); }
+  EXPECT_TRUE(my_events().empty());
+}
+
+TEST_F(TracerTest, LongNamesTruncateNotOverflow) {
+  Tracer::enable(/*ring_kb=*/4);
+  const std::string long_name(200, 'x');
+  Tracer::instant("t", long_name);
+  const std::vector<TraceEvent> events = my_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string_view(events[0].name).size(),
+            sizeof(TraceEvent::name) - 1);
+}
+
+TEST_F(TracerTest, FullRingDropsOldestAndCountsThem) {
+  Tracer::enable(/*ring_kb=*/1);  // 16 event slots
+  const std::uint64_t total = 50;
+  for (std::uint64_t i = 0; i < total; ++i) Tracer::instant("t", "e", i);
+  const std::vector<Tracer::ThreadStream> streams = Tracer::drain();
+  ASSERT_EQ(streams.size(), 1u);
+  EXPECT_EQ(streams[0].events.size(), 16u);
+  EXPECT_EQ(streams[0].dropped, total - 16);
+  EXPECT_EQ(Tracer::dropped_events(), total - 16);
+  // The survivors are the *newest* events, oldest first.
+  for (std::size_t i = 0; i < streams[0].events.size(); ++i) {
+    EXPECT_EQ(streams[0].events[i].value, total - 16 + i);
+  }
+}
+
+TEST_F(TracerTest, DrainIsNonConsuming) {
+  Tracer::enable(/*ring_kb=*/4);
+  Tracer::instant("t", "once");
+  EXPECT_EQ(my_events().size(), 1u);
+  EXPECT_EQ(my_events().size(), 1u);
+}
+
+TEST_F(TracerTest, ReenableStartsAFreshSession) {
+  Tracer::enable(/*ring_kb=*/4);
+  Tracer::instant("t", "old");
+  Tracer::enable(/*ring_kb=*/4);
+  Tracer::instant("t", "new");
+  const std::vector<TraceEvent> events = my_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "new");
+  EXPECT_EQ(Tracer::dropped_events(), 0u);
+}
+
+TEST_F(TracerTest, EventsSurviveDisable) {
+  Tracer::enable(/*ring_kb=*/4);
+  Tracer::instant("t", "kept");
+  Tracer::disable();
+  Tracer::instant("t", "ignored");
+  const std::vector<TraceEvent> events = my_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "kept");
+}
+
+TEST_F(TracerTest, MultiThreadDrainKeepsPerThreadStreams) {
+  Tracer::enable(/*ring_kb=*/8);  // 128 slots: 96 events/thread, no wrap
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 32;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ObsSpan span("t", "work");
+        Tracer::instant("t", "step", i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // Rings outlive their threads (shared ownership): every stream is still
+  // drainable, with its own tid and internally-monotonic timestamps.
+  const std::vector<Tracer::ThreadStream> streams = Tracer::drain();
+  ASSERT_EQ(streams.size(), static_cast<std::size_t>(kThreads));
+  std::vector<bool> tid_seen(kThreads, false);
+  for (const Tracer::ThreadStream& s : streams) {
+    ASSERT_GE(s.tid, 0);
+    ASSERT_LT(s.tid, kThreads);
+    EXPECT_FALSE(tid_seen[static_cast<std::size_t>(s.tid)]);
+    tid_seen[static_cast<std::size_t>(s.tid)] = true;
+    EXPECT_EQ(s.events.size(), 3 * kPerThread);
+    for (std::size_t i = 1; i < s.events.size(); ++i) {
+      EXPECT_GE(s.events[i].ts_ns, s.events[i - 1].ts_ns);
+    }
+  }
+}
+
+/// Parses `out` as JSON and returns the traceEvents array, asserting the
+/// strict parser accepts the export byte-for-byte.
+JsonValue::Array parse_trace(const std::string& out) {
+  const JsonValue root = json_parse(out);
+  const JsonValue* events = root.find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  return events->as_array();
+}
+
+TEST_F(TracerTest, ChromeTraceRoundTripsThroughStrictParser) {
+  Tracer::enable(/*ring_kb=*/4);
+  {
+    ObsSpan span("t", "outer \"quoted\" name");
+    Tracer::instant("t", "tick", 11);
+    Tracer::counter("t", "gauge", 42);
+  }
+  std::ostringstream out;
+  Tracer::write_chrome_trace(out);
+  const JsonValue::Array events = parse_trace(out.str());
+  // 1 thread_name metadata event + B, i, C, E.
+  ASSERT_EQ(events.size(), 5u);
+  int begins = 0, ends = 0, instants = 0, counters = 0, metas = 0;
+  double last_ts = -1.0;
+  for (const JsonValue& e : events) {
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "M") {
+      ++metas;
+      continue;
+    }
+    const double ts = e.find("ts")->as_double();
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+    if (ph == "i") ++instants;
+    if (ph == "C") ++counters;
+  }
+  EXPECT_EQ(metas, 1);
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(ends, 1);
+  EXPECT_EQ(instants, 1);
+  EXPECT_EQ(counters, 1);
+}
+
+TEST_F(TracerTest, ExportRepairsWraparoundOrphans) {
+  Tracer::enable(/*ring_kb=*/1);  // 16 slots
+  // 20 sequential spans: the ring holds the last 8 B/E pairs; if the window
+  // were misaligned the export would still have to balance it.
+  for (int i = 0; i < 20; ++i) {
+    ObsSpan span("t", "s");
+  }
+  // One span left open at drain time must be closed by the exporter.
+  Tracer::begin("t", "unfinished");
+  std::ostringstream out;
+  Tracer::write_chrome_trace(out);
+  const JsonValue::Array events = parse_trace(out.str());
+  int depth = 0;
+  for (const JsonValue& e : events) {
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "B") ++depth;
+    if (ph == "E") --depth;
+    EXPECT_GE(depth, 0) << "orphaned E escaped the export repair";
+  }
+  EXPECT_EQ(depth, 0) << "unclosed B escaped the export repair";
+}
+
+TEST(CountersTest, RegistryHandsOutStableCells) {
+  reset_for_tests();
+  Counter& a = counter("rlocal_test_alpha_total");
+  Counter& b = counter("rlocal_test_alpha_total");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+  reset_for_tests();
+  EXPECT_EQ(a.value(), 0u);  // zeroed, not invalidated
+}
+
+TEST(CountersTest, CountersAreExactUnderContention) {
+  reset_for_tests();
+  Counter& c = counter("rlocal_test_contended_total");
+  Gauge& g = gauge("rlocal_test_highwater");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAdds = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &c, &g] {
+      for (std::uint64_t i = 0; i < kAdds; ++i) {
+        c.add();
+        g.record_max(static_cast<std::uint64_t>(t) * kAdds + i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kAdds);
+  EXPECT_EQ(g.value(), (kThreads - 1) * kAdds + (kAdds - 1));
+}
+
+TEST(CountersTest, PrometheusTextGroupsLabeledSeries) {
+  reset_for_tests();
+  counter("rlocal_test_draws_total{backend=\"portable\"}").add(5);
+  counter("rlocal_test_draws_total{backend=\"pclmul\"}").add(7);
+  gauge("rlocal_test_level").set(9);
+  std::ostringstream out;
+  write_prometheus(out);
+  const std::string text = out.str();
+  // One TYPE line for the labeled pair, both samples present.
+  EXPECT_EQ(text.find("# TYPE rlocal_test_draws_total counter"),
+            text.rfind("# TYPE rlocal_test_draws_total counter"));
+  EXPECT_NE(text.find("rlocal_test_draws_total{backend=\"pclmul\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("rlocal_test_draws_total{backend=\"portable\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rlocal_test_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("rlocal_test_level 9"), std::string::npos);
+}
+
+TEST(PhaseTest, ScopeAttributesNestedTimers) {
+  EXPECT_FALSE(phase_active());
+  CellPhaseScope scope;
+  EXPECT_TRUE(phase_active());
+  { PhaseTimer t(Phase::kEngine); }
+  { PhaseTimer t(Phase::kDraw, /*active=*/false); }  // gated off
+  scope.add_ns(Phase::kChecker, 2'000'000);
+  EXPECT_GE(scope.ms(Phase::kEngine), 0.0);
+  EXPECT_EQ(scope.ms(Phase::kDraw), 0.0);
+  EXPECT_DOUBLE_EQ(scope.ms(Phase::kChecker), 2.0);
+}
+
+TEST(PhaseTest, TimerWithoutScopeIsInert) {
+  EXPECT_FALSE(phase_active());
+  PhaseTimer t(Phase::kEngine);  // must not crash or write anywhere
+}
+
+}  // namespace
+}  // namespace rlocal::obs

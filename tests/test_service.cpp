@@ -512,6 +512,45 @@ TEST_F(ServiceTest, DaemonHttpRoundTripOnEphemeralPort) {
   daemon.stop();
 }
 
+TEST_F(ServiceTest, MetricsAndProgressEndpoints) {
+  lab::run_sweep(small_spec(), lab::StoreOptions{dir_, false});
+  service::DaemonOptions options;
+  options.stores = {dir_};
+  options.port = 0;
+  options.refresh_interval_ms = 50;
+  service::Daemon daemon(options);
+  ASSERT_GT(daemon.port(), 0);
+
+  const std::string metrics = http_get(daemon.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  // The store-derived reading is authoritative: all 8 cells ran, none
+  // skipped or failed (the ISSUE's CI gate asserts the same equality
+  // against the store's record count).
+  EXPECT_NE(metrics.find("# TYPE rlocal_cells_run_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("\nrlocal_cells_run_total 8\n"), std::string::npos);
+  EXPECT_NE(metrics.find("\nrlocal_cells_failed_total 0\n"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("\nrlocal_store_total_cells 8\n"),
+            std::string::npos);
+  // The process that ran the sweep serves it here (in-process fixture):
+  // the store-derived series must not be duplicated by the process-wide
+  // obs counters of the same name.
+  EXPECT_EQ(metrics.find("\nrlocal_cells_run_total "),
+            metrics.rfind("\nrlocal_cells_run_total "));
+  // Process metrics ride behind the store section.
+  EXPECT_NE(metrics.find("rlocal_http_requests_total"), std::string::npos);
+
+  const std::string progress = http_get(daemon.port(), "/progress");
+  EXPECT_NE(progress.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(progress.find("\"total_cells\":8"), std::string::npos);
+  EXPECT_NE(progress.find("\"run_cells\":8"), std::string::npos);
+  EXPECT_NE(progress.find("\"failed_cells\":0"), std::string::npos);
+  EXPECT_NE(progress.find("\"pct_done\":100"), std::string::npos);
+  daemon.stop();
+}
+
 TEST_F(ServiceTest, DaemonServesDuringLiveIngestion) {
   // Start the daemon on an empty directory, then drain a claimed sweep into
   // it while polling /healthz and /agg: every response must be well-formed,
