@@ -33,7 +33,10 @@
 //                     (engine / draw / checker / graph build / store
 //                     append), sorted by total time -- and write it as
 //                     JSON (schema rlocal.profile/2) to --profile-out
-//                     (default BENCH_profile.json). The table is how a
+//                     (default BENCH_profile.json). With --store a sidecar
+//                     copy also lands in DIR/profile-<owner>.json, which
+//                     rlocald ingests for its /profile endpoint
+//                     (docs/service.md). The table is how a
 //                     perf change is attributed: k-wise-heavy cells
 //                     respond to the batched randomness plane,
 //                     engine-backed cells to the message arena (see
@@ -57,6 +60,8 @@
 //
 // With --store the 1-thread timing baseline is skipped: the store's frames
 // are the artifact and a second full run would double every record's cost.
+#include <unistd.h>
+
 #include <algorithm>
 #include <fstream>
 #include <iomanip>
@@ -68,6 +73,7 @@
 #include "core/api.hpp"
 #include "obs/obs.hpp"
 #include "rnd/dispatch.hpp"
+#include "service/claims.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
 
@@ -289,6 +295,10 @@ int main(int argc, char** argv) {
   const auto trace_ring_kb =
       static_cast<std::size_t>(args.get_int("trace-ring-kb", 4096));
   if (!trace_path.empty()) obs::Tracer::enable(trace_ring_kb);
+  // Latency histograms are always on for the bench binary: they never touch
+  // records (byte-identity is a store property) and their enabled cost is
+  // two clock reads per hot span (docs/observability.md).
+  obs::Histogram::enable();
 
   lab::SweepResult result;
   double baseline_ms = 0.0;
@@ -329,7 +339,9 @@ int main(int argc, char** argv) {
       std::cerr << "error: could not write " << trace_path << "\n";
       return 2;
     }
-    std::cout << "wrote trace to " << trace_path << " ("
+    // Trace diagnostics go to stderr: stdout carries the summary table and
+    // is routinely piped/parsed.
+    std::cerr << "wrote trace to " << trace_path << " ("
               << obs::Tracer::dropped_events()
               << " events dropped by full rings; raise --trace-ring-kb if "
                  "nonzero)\n";
@@ -364,6 +376,21 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::cout << "wrote profile breakdown to " << profile_path << "\n";
+    if (!store_dir.empty()) {
+      // Sidecar copy inside the store so rlocald's /profile can serve the
+      // phase attribution: record frames deliberately never carry phase
+      // data (byte-identity), so the daemon reads these per-owner files
+      // instead. The name never matches the shard-*.jsonl glob, keeping
+      // store readers and --diff oblivious.
+      std::string owner = args.get_string("owner", "");
+      if (owner.empty()) owner = "pid-" + std::to_string(::getpid());
+      const std::string sidecar = store_dir + "/profile-" +
+                                  service::sanitize_owner(owner) + ".json";
+      if (!write_profile_json(rows, sidecar)) {
+        std::cerr << "error: could not write " << sidecar << "\n";
+        return 2;
+      }
+    }
   }
 
   std::ofstream out(out_path);

@@ -1,0 +1,230 @@
+// rlocal_top -- a dependency-free terminal dashboard over a running rlocald
+// (docs/service.md). Polls /progress, /eta, /workers and /stragglers and
+// renders per-store progress bars, the fleet's worker table, straggler
+// callouts and the completion forecast.
+//
+//   ./rlocal_top --port=PORT [--host=127.0.0.1] [--interval-ms=1000]
+//                [--once]
+//
+// --once renders a single frame without the ANSI screen clear and exits
+// (exit 1 when the daemon is unreachable) -- the CI smoke mode. Without it
+// the dashboard redraws every interval until interrupted.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using rlocal::JsonValue;
+
+/// One blocking GET; nullopt on connect/send failure. The server always
+/// closes the connection after the response (the read-until-EOF contract
+/// the in-repo HttpServer guarantees).
+std::optional<std::string> http_get(const std::string& host, int port,
+                                    const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: " + host + "\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// Parses a JSONL response body (one JSON object per line) after stripping
+/// the HTTP header block; non-200 responses and torn lines yield nothing.
+std::vector<JsonValue> jsonl_rows(const std::optional<std::string>& response) {
+  std::vector<JsonValue> rows;
+  if (!response.has_value()) return rows;
+  if (response->find("HTTP/1.1 200") != 0) return rows;
+  const std::size_t body_at = response->find("\r\n\r\n");
+  if (body_at == std::string::npos) return rows;
+  std::istringstream body(response->substr(body_at + 4));
+  std::string line;
+  while (std::getline(body, line)) {
+    if (line.empty()) continue;
+    if (std::optional<JsonValue> row = rlocal::json_try_parse(line);
+        row.has_value() && row->is_object()) {
+      rows.push_back(std::move(*row));
+    }
+  }
+  return rows;
+}
+
+std::string bar(double pct, int width) {
+  const int filled = static_cast<int>(
+      std::lround(std::clamp(pct, 0.0, 100.0) / 100.0 * width));
+  std::string out(static_cast<std::size_t>(filled), '#');
+  out.append(static_cast<std::size_t>(width - filled), '.');
+  return out;
+}
+
+std::string duration_text(double ms) {
+  if (ms < 0) return "?";
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1);
+  if (ms < 1000) {
+    out << ms << "ms";
+  } else if (ms < 60'000) {
+    out << ms / 1000.0 << "s";
+  } else if (ms < 3'600'000) {
+    out << ms / 60'000.0 << "m";
+  } else {
+    out << ms / 3'600'000.0 << "h";
+  }
+  return out.str();
+}
+
+/// Store names get long; the fingerprint prefix is the stable short handle.
+std::string short_store(const JsonValue& row) {
+  std::string fp = row.string_or("store", "");
+  if (fp.empty()) fp = row.string_or("fingerprint", "?");
+  return fp.size() > 12 ? fp.substr(0, 12) : fp;
+}
+
+void render(std::ostream& out, const std::string& host, int port,
+            const std::vector<JsonValue>& progress,
+            const std::vector<JsonValue>& etas,
+            const std::vector<JsonValue>& workers,
+            const std::vector<JsonValue>& stragglers) {
+  out << "rlocal top -- " << host << ":" << port << "\n\n";
+
+  out << "sweeps:\n";
+  if (progress.empty()) out << "  (no stores attached)\n";
+  for (const JsonValue& row : progress) {
+    const double pct = row.number_or("pct_done", 0.0);
+    out << "  " << short_store(row) << "  [" << bar(pct, 30) << "] "
+        << std::fixed << std::setprecision(1) << pct << "%  "
+        << static_cast<std::uint64_t>(row.number_or("run_cells", 0)) << "/"
+        << static_cast<std::uint64_t>(row.number_or("total_cells", 0))
+        << " cells";
+    const auto failed =
+        static_cast<std::uint64_t>(row.number_or("failed_cells", 0));
+    if (failed > 0) out << "  FAILED=" << failed;
+    out << "\n";
+  }
+
+  out << "\neta:\n";
+  if (etas.empty()) out << "  (none)\n";
+  for (const JsonValue& row : etas) {
+    out << "  " << short_store(row) << "  remaining="
+        << static_cast<std::uint64_t>(row.number_or("remaining_cells", 0))
+        << "  workers="
+        << static_cast<std::uint64_t>(row.number_or("active_workers", 0))
+        << "  ms/cell=" << duration_text(row.number_or("ms_per_cell", -1.0))
+        << "  eta=" << duration_text(row.number_or("eta_ms", -1.0)) << "\n";
+  }
+
+  out << "\nworkers:\n";
+  out << "  " << std::left << std::setw(20) << "owner" << std::right
+      << std::setw(8) << "active" << std::setw(8) << "done" << std::setw(10)
+      << "cells" << std::setw(10) << "inflight" << std::setw(12) << "hb_age"
+      << std::setw(12) << "ms/cell" << "  state\n";
+  if (workers.empty()) out << "  (no workers observed)\n";
+  for (const JsonValue& row : workers) {
+    out << "  " << std::left << std::setw(20)
+        << row.string_or("owner", "?") << std::right << std::setw(8)
+        << static_cast<std::uint64_t>(row.number_or("ranges_active", 0))
+        << std::setw(8)
+        << static_cast<std::uint64_t>(row.number_or("ranges_done", 0))
+        << std::setw(10)
+        << static_cast<std::uint64_t>(row.number_or("cells_done", 0))
+        << std::setw(10)
+        << static_cast<std::uint64_t>(row.number_or("cells_in_flight", 0))
+        << std::setw(12)
+        << duration_text(row.number_or("heartbeat_age_ms", -1.0))
+        << std::setw(12)
+        << duration_text(row.number_or("ewma_ms_per_cell", -1.0)) << "  "
+        << (row.bool_or("stale", false) ? "STALE" : "ok") << "\n";
+  }
+
+  out << "\nstragglers:\n";
+  if (stragglers.empty()) out << "  (none)\n";
+  for (const JsonValue& row : stragglers) {
+    out << "  " << row.string_or("owner", "?") << " range "
+        << static_cast<std::uint64_t>(row.number_or("range", 0)) << " ["
+        << static_cast<std::uint64_t>(row.number_or("cells_begin", 0)) << ", "
+        << static_cast<std::uint64_t>(row.number_or("cells_end", 0)) << ")  "
+        << static_cast<std::uint64_t>(row.number_or("cells_remaining", 0))
+        << " cells left, idle "
+        << duration_text(row.number_or("age_ms", 0.0)) << " (threshold "
+        << duration_text(row.number_or("threshold_ms", 0.0)) << ")\n";
+  }
+  out << std::flush;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rlocal::CliArgs args(argc, argv);
+  const int port = static_cast<int>(args.get_int("port", 0));
+  if (port <= 0) {
+    std::cerr << "usage: rlocal_top --port=PORT [--host=127.0.0.1]\n"
+              << "                  [--interval-ms=1000] [--once]\n";
+    return 2;
+  }
+  const std::string host = args.get_string("host", "127.0.0.1");
+  const auto interval =
+      std::chrono::milliseconds(std::max<std::int64_t>(
+          50, args.get_int("interval-ms", 1000)));
+  const bool once = args.has("once");
+
+  for (;;) {
+    const std::optional<std::string> progress_raw =
+        http_get(host, port, "/progress");
+    if (!progress_raw.has_value()) {
+      std::cerr << "rlocal_top: cannot reach " << host << ":" << port
+                << "\n";
+      if (once) return 1;
+      std::this_thread::sleep_for(interval);
+      continue;
+    }
+    const std::vector<JsonValue> progress = jsonl_rows(progress_raw);
+    const std::vector<JsonValue> etas =
+        jsonl_rows(http_get(host, port, "/eta"));
+    const std::vector<JsonValue> workers =
+        jsonl_rows(http_get(host, port, "/workers"));
+    const std::vector<JsonValue> stragglers =
+        jsonl_rows(http_get(host, port, "/stragglers"));
+
+    std::ostringstream frame;
+    render(frame, host, port, progress, etas, workers, stragglers);
+    if (!once) std::cout << "\x1b[H\x1b[2J";  // home + clear, then redraw
+    std::cout << frame.str();
+    if (once) return 0;
+    std::this_thread::sleep_for(interval);
+  }
+}

@@ -1,7 +1,8 @@
 // rlocald -- the sweep lab's query daemon (docs/service.md).
 //
 //   ./rlocald --store=DIR [--store=DIR2 ...] [--port=0] [--threads=2]
-//             [--refresh-ms=200] [--once]
+//             [--refresh-ms=200] [--stale-ms=10000] [--straggler-factor=3]
+//             [--once]
 //
 // Watches the given store directories (they may not exist yet; each
 // attaches once its manifest appears), maintains an incremental aggregate
@@ -49,7 +50,9 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (stores.empty()) {
     std::cerr << "usage: rlocald --store=DIR [--store=DIR2 ...] [--port=0]\n"
-              << "               [--threads=2] [--refresh-ms=200] [--once]\n";
+              << "               [--threads=2] [--refresh-ms=200]\n"
+              << "               [--stale-ms=10000] [--straggler-factor=3]\n"
+              << "               [--once]\n";
     return 2;
   }
   options.stores = std::move(stores);
@@ -57,6 +60,13 @@ int main(int argc, char** argv) {
   options.http_threads = static_cast<int>(args.get_int("threads", 2));
   options.refresh_interval_ms =
       static_cast<int>(args.get_int("refresh-ms", 200));
+  // Fleet telemetry knobs (/workers, /stragglers): how old an unchanged
+  // lease must look before its owner is flagged stale, and the k in the
+  // "older than k x p90" straggler rule.
+  options.fleet.stale_after_ms = static_cast<std::uint64_t>(args.get_int(
+      "stale-ms", static_cast<long long>(options.fleet.stale_after_ms)));
+  options.fleet.straggler_factor =
+      args.get_double("straggler-factor", options.fleet.straggler_factor);
 
   try {
     if (args.has("once")) {

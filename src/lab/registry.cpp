@@ -94,6 +94,11 @@ RunRecord Registry::run_cell(const Solver& solver, const Graph& g,
   cost::CostLedger engine_meter;
   try {
     obs::ObsSpan solver_span("lab", "solver_run");
+    static obs::Histogram& solver_hist = obs::histogram(
+        "rlocal_span_latency_seconds{span=\"solver_run\"}");
+    static obs::Counter& solver_spans =
+        obs::counter("rlocal_spans_total{span=\"solver_run\"}");
+    obs::LatencyTimer solver_latency(solver_hist, solver_spans);
     cost::MeterScope meter(
         &engine_meter,
         ctx.has_deadline()

@@ -299,6 +299,11 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
             shard.emplace(record_store->shard_writer(shard_name));
           }
           obs::ObsSpan append_span("store", "store_append");
+          static obs::Histogram& append_hist = obs::histogram(
+              "rlocal_span_latency_seconds{span=\"store_append\"}");
+          static obs::Counter& append_spans =
+              obs::counter("rlocal_spans_total{span=\"store_append\"}");
+          obs::LatencyTimer append_latency(append_hist, append_spans);
           const auto append_start = std::chrono::steady_clock::now();
           shard->append({static_cast<std::uint64_t>(i), master,
                          result.records[i]});

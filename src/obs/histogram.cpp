@@ -1,0 +1,134 @@
+#include "obs/histogram.hpp"
+
+#include <chrono>
+#include <iomanip>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace rlocal::obs {
+namespace {
+
+// Same leak-on-purpose registry idiom as obs/counters.cpp: heap cells
+// behind unique_ptr (a Histogram holds 252 atomics and is immovable),
+// std::map for deterministic exposition order, never destroyed.
+struct HistogramRegistry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> cells;
+};
+
+HistogramRegistry& registry() {
+  static HistogramRegistry* state = new HistogramRegistry();
+  return *state;
+}
+
+/// Splits a registered name into (base, label body without braces); the
+/// label body is empty for unlabeled names. `le` has to be spliced into the
+/// existing label set, so the exposition needs the parts, not the whole.
+std::pair<std::string_view, std::string_view> split_name(
+    std::string_view full) {
+  const std::size_t brace = full.find('{');
+  if (brace == std::string_view::npos) return {full, {}};
+  std::string_view labels = full.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.remove_suffix(1);
+  return {full.substr(0, brace), labels};
+}
+
+/// Nanoseconds rendered as seconds (le boundaries, _sum). Nine
+/// significant digits distinguish adjacent buckets at every octave (they
+/// differ by >= 20%) while staying readable.
+std::string seconds_text(std::uint64_t upper_ns) {
+  std::ostringstream out;
+  out << std::setprecision(9) << static_cast<double>(upper_ns) / 1e9;
+  return out.str();
+}
+
+}  // namespace
+
+std::atomic<bool> Histogram::g_enabled{false};
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    snap.buckets.emplace_back(bucket_upper_ns(i), n);
+    snap.count += n;
+  }
+  snap.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::uint64_t LatencyTimer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Histogram& histogram(std::string_view name) {
+  HistogramRegistry& state = registry();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.cells.find(name);
+  if (it == state.cells.end()) {
+    it = state.cells.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<HistogramValue> histograms_snapshot() {
+  HistogramRegistry& state = registry();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<HistogramValue> out;
+  out.reserve(state.cells.size());
+  for (const auto& [name, cell] : state.cells) {
+    out.push_back({name, cell->snapshot()});
+  }
+  return out;
+}
+
+void write_prometheus_histograms(std::ostream& out) {
+  std::string last_base;
+  for (const HistogramValue& h : histograms_snapshot()) {
+    const auto [base, labels] = split_name(h.name);
+    if (base != last_base) {
+      out << "# TYPE " << base << " histogram\n";
+      last_base = std::string(base);
+    }
+    // Cumulative _bucket lines over the non-empty buckets only; eliding
+    // empty ones keeps every emitted count correct (each line is "all
+    // observations <= le", and nothing lives between a bucket's upper
+    // bound and the next non-empty bucket's).
+    const std::string prefix =
+        labels.empty() ? "" : std::string(labels) + ",";
+    std::uint64_t cumulative = 0;
+    for (const auto& [upper_ns, count] : h.snap.buckets) {
+      cumulative += count;
+      out << base << "_bucket{" << prefix << "le=\"" << seconds_text(upper_ns)
+          << "\"} " << cumulative << "\n";
+    }
+    out << base << "_bucket{" << prefix << "le=\"+Inf\"} " << h.snap.count
+        << "\n";
+    const std::string suffix =
+        labels.empty() ? "" : "{" + std::string(labels) + "}";
+    out << base << "_sum" << suffix << " " << seconds_text(h.snap.sum_ns)
+        << "\n";
+    out << base << "_count" << suffix << " " << h.snap.count << "\n";
+  }
+}
+
+void reset_histograms_for_tests() {
+  HistogramRegistry& state = registry();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& [name, cell] : state.cells) {
+    for (auto& bucket : cell->buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    cell->sum_ns_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace rlocal::obs

@@ -1,0 +1,169 @@
+// Process-wide registry of lock-free latency histograms -- the
+// "distributions" third of the observability plane (docs/observability.md;
+// counters/gauges are obs/counters.hpp, spans are obs/trace.hpp).
+//
+// Bucketing is log-linear (base-2 octaves with 4 linear sub-buckets each),
+// the classic HDR-style compromise: ~19% worst-case relative error per
+// bucket, a fixed 252-slot array covering every uint64 nanosecond value,
+// and bucket selection that is two shifts and a mask -- no search, no
+// floating point. Values 0..3 ns get exact singleton buckets; from 4 ns up,
+// octave o (values [2^o, 2^(o+1))) is split into 4 equal sub-ranges.
+//
+// Same design rules as the counter registry, in order:
+//   1. The hot path (`LatencyTimer`, one per span family call site) is one
+//      relaxed atomic load plus a branch when the histogram plane is
+//      disabled -- no clock read, no allocation. Enabled, it is two clock
+//      reads and three relaxed fetch_adds (bucket, sum, span counter).
+//   2. Registered histograms are never invalidated: references from
+//      `histogram(name)` stay valid for the rest of the process.
+//   3. Snapshot/exposition is the cold path and takes the registry mutex.
+//
+// Exposition follows the Prometheus histogram convention: for a registered
+// name `rlocal_span_latency_seconds{span="solver_run"}` the text form is
+// cumulative `..._bucket{span="solver_run",le="..."}` lines (le in seconds,
+// +Inf last), then `..._sum` and `..._count`. Empty buckets are elided --
+// cumulative counts stay correct without them.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace rlocal::obs {
+
+/// Lock-free log-bucketed histogram of nanosecond values. record() is
+/// wait-free; snapshot() is exact once writers quiesce (same contract as
+/// Counter::value()).
+class Histogram {
+ public:
+  static constexpr int kSubBits = 2;           ///< 4 sub-buckets per octave
+  static constexpr std::uint64_t kSub = 1ULL << kSubBits;
+  /// Buckets 0..3 hold values 0..3 exactly; octaves 2..63 contribute 4
+  /// sub-buckets each: 4 + 62 * 4 = 252 slots, covering all of uint64.
+  static constexpr std::size_t kBucketCount = kSub + (64 - kSubBits) * kSub;
+
+  /// Whether the histogram plane records. Like tracing, disabled is the
+  /// default and the disabled emit path is one relaxed load + branch.
+  static bool enabled() {
+    return g_enabled.load(std::memory_order_relaxed);
+  }
+  static void enable() {
+    g_enabled.store(true, std::memory_order_relaxed);
+  }
+  static void disable() {
+    g_enabled.store(false, std::memory_order_relaxed);
+  }
+
+  /// Bucket index for a value: identity below kSub, then
+  /// (octave, top-2-bits-below-the-msb) packed into a flat index.
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const int octave = std::bit_width(v) - 1;  // >= kSubBits
+    const std::uint64_t sub = (v >> (octave - kSubBits)) & (kSub - 1);
+    return static_cast<std::size_t>(octave - kSubBits) * kSub +
+           static_cast<std::size_t>(kSub + sub);
+  }
+
+  /// Largest value the bucket holds (its inclusive `le` boundary in ns).
+  static std::uint64_t bucket_upper_ns(std::size_t index) {
+    if (index < kSub) return index;
+    const int octave = static_cast<int>(index / kSub) + kSubBits - 1;
+    const std::uint64_t sub = index % kSub;
+    return (1ULL << octave) + ((sub + 1) << (octave - kSubBits)) - 1;
+  }
+
+  /// Records one value. Unconditional: the enabled() gate belongs to the
+  /// call site (LatencyTimer checks once, at construction).
+  void record(std::uint64_t ns) {
+    buckets_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  /// Cold-path copy: non-empty buckets as (upper_ns, count-in-bucket)
+  /// pairs in ascending order, plus the totals.
+  struct Snapshot {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  friend void reset_histograms_for_tests();
+  static std::atomic<bool> g_enabled;
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// Registry lookup; registers the name (full, labels included -- e.g.
+/// `rlocal_span_latency_seconds{span="solver_run"}`) on first use. The
+/// returned reference is valid for the rest of the process.
+Histogram& histogram(std::string_view name);
+
+/// Cold-path snapshot of every registered histogram, sorted by full name.
+struct HistogramValue {
+  std::string name;  ///< full registered name, labels included
+  Histogram::Snapshot snap;
+};
+std::vector<HistogramValue> histograms_snapshot();
+
+/// Prometheus text exposition of every registered histogram: one
+/// `# TYPE <base> histogram` line per base name, then cumulative _bucket
+/// lines (le in seconds), _sum (seconds) and _count per series. rlocald
+/// appends this to /metrics after the counter/gauge section.
+void write_prometheus_histograms(std::ostream& out);
+
+/// Zeroes every registered histogram (cells stay registered). Tests only.
+void reset_histograms_for_tests();
+
+/// RAII latency probe for a hot span family: when the histogram plane is
+/// enabled, records the enclosing scope's wall time into `hist` and bumps
+/// `spans` by one at destruction -- the two move together, so a histogram's
+/// `_count` always equals its matching span counter once writers quiesce
+/// (the /metrics self-scrape invariant). Disabled, construction is one
+/// relaxed load + branch and destruction a predictable branch; no clock
+/// read, no allocation either way. Call sites cache the registry refs:
+///
+///   static obs::Histogram& h =
+///       obs::histogram("rlocal_span_latency_seconds{span=\"solver_run\"}");
+///   static obs::Counter& c =
+///       obs::counter("rlocal_spans_total{span=\"solver_run\"}");
+///   obs::LatencyTimer lat(h, c);
+class LatencyTimer {
+ public:
+  LatencyTimer(Histogram& hist, Counter& spans)
+      : hist_(Histogram::enabled() ? &hist : nullptr), spans_(&spans) {
+    if (hist_ != nullptr) start_ns_ = now_ns();
+  }
+  /// Runtime-gated form, mirroring ObsSpan's null-category idiom: the draw
+  /// funnel passes `count >= kObsBatchFloor` so scalar (one-element) draws
+  /// never pay a clock read.
+  LatencyTimer(Histogram& hist, Counter& spans, bool active)
+      : hist_(active && Histogram::enabled() ? &hist : nullptr),
+        spans_(&spans) {
+    if (hist_ != nullptr) start_ns_ = now_ns();
+  }
+  ~LatencyTimer() {
+    if (hist_ == nullptr) return;
+    const std::uint64_t end = now_ns();
+    hist_->record(end > start_ns_ ? end - start_ns_ : 0);
+    spans_->add();
+  }
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+ private:
+  static std::uint64_t now_ns();
+  Histogram* hist_;
+  Counter* spans_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace rlocal::obs

@@ -1,10 +1,11 @@
 // Umbrella header for the observability plane: spans + Chrome-trace export
 // (obs/trace.hpp), named counters/gauges + Prometheus exposition
-// (obs/counters.hpp), and per-cell phase attribution (obs/phase.hpp).
-// Instrumented subsystems include this one header; docs/observability.md is
-// the user-facing guide.
+// (obs/counters.hpp), latency histograms + LatencyTimer (obs/histogram.hpp),
+// and per-cell phase attribution (obs/phase.hpp). Instrumented subsystems
+// include this one header; docs/observability.md is the user-facing guide.
 #pragma once
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/phase.hpp"
 #include "obs/trace.hpp"

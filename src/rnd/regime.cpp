@@ -310,6 +310,11 @@ void NodeRandomness::bits_batch(std::span<const std::uint64_t> nodes,
   const std::size_t count = nodes.size();
   obs::ObsSpan span(count >= kObsBatchFloor ? "rnd" : nullptr, "draw.bits");
   obs::PhaseTimer timer(obs::Phase::kDraw, count >= kObsBatchFloor);
+  static obs::Histogram& bits_hist =
+      obs::histogram("rlocal_span_latency_seconds{span=\"draw.bits\"}");
+  static obs::Counter& bits_spans =
+      obs::counter("rlocal_spans_total{span=\"draw.bits\"}");
+  obs::LatencyTimer latency(bits_hist, bits_spans, count >= kObsBatchFloor);
   batch_checkpoint(count);
   derived_bits_ += count;
   if (regime_.kind == RegimeKind::kSharedEpsBias) {
@@ -340,6 +345,12 @@ void NodeRandomness::priority_batch(std::span<const std::uint64_t> nodes,
   obs::ObsSpan span(count >= kObsBatchFloor ? "rnd" : nullptr,
                     "draw.priority");
   obs::PhaseTimer timer(obs::Phase::kDraw, count >= kObsBatchFloor);
+  static obs::Histogram& priority_hist =
+      obs::histogram("rlocal_span_latency_seconds{span=\"draw.priority\"}");
+  static obs::Counter& priority_spans =
+      obs::counter("rlocal_spans_total{span=\"draw.priority\"}");
+  obs::LatencyTimer latency(priority_hist, priority_spans,
+                            count >= kObsBatchFloor);
   batch_checkpoint(count);
   derived_bits_ += 64 * static_cast<std::uint64_t>(count);
   gather_chunks(nodes, stream, 0, out);
@@ -356,6 +367,12 @@ void NodeRandomness::geometric_batch(std::span<const std::uint64_t> nodes,
   obs::ObsSpan span(count >= kObsBatchFloor ? "rnd" : nullptr,
                     "draw.geometric");
   obs::PhaseTimer timer(obs::Phase::kDraw, count >= kObsBatchFloor);
+  static obs::Histogram& geometric_hist =
+      obs::histogram("rlocal_span_latency_seconds{span=\"draw.geometric\"}");
+  static obs::Counter& geometric_spans =
+      obs::counter("rlocal_spans_total{span=\"draw.geometric\"}");
+  obs::LatencyTimer latency(geometric_hist, geometric_spans,
+                            count >= kObsBatchFloor);
   std::uint64_t bits_examined = 0;
   if (regime_.kind == RegimeKind::kSharedEpsBias) {
     // One LFSR evaluation per examined bit, exactly like the scalar loop --
@@ -434,6 +451,12 @@ void NodeRandomness::bernoulli_batch(std::span<const std::uint64_t> nodes,
   obs::ObsSpan span(count >= kObsBatchFloor ? "rnd" : nullptr,
                     "draw.bernoulli");
   obs::PhaseTimer timer(obs::Phase::kDraw, count >= kObsBatchFloor);
+  static obs::Histogram& bernoulli_hist =
+      obs::histogram("rlocal_span_latency_seconds{span=\"draw.bernoulli\"}");
+  static obs::Counter& bernoulli_spans =
+      obs::counter("rlocal_spans_total{span=\"draw.bernoulli\"}");
+  obs::LatencyTimer latency(bernoulli_hist, bernoulli_spans,
+                            count >= kObsBatchFloor);
   if (p >= 1.0 || p <= 0.0) {
     // The scalar path checkpoints before the degenerate early-outs and
     // derives nothing; charge the same draw calls here.

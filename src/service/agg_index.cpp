@@ -9,29 +9,40 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
+#include <tuple>
 
 #include "store/record_io.hpp"
 #include "support/assert.hpp"
+#include "support/json.hpp"
 
 namespace rlocal::service {
 namespace fs = std::filesystem;
 
 namespace {
 
-std::vector<std::string> list_shards(const std::string& dir) {
+std::vector<std::string> list_files(const std::string& dir,
+                                    std::string_view prefix,
+                                    std::string_view suffix) {
   std::vector<std::string> paths;
   std::error_code ec;
   for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
        it.increment(ec)) {
     if (!it->is_regular_file()) continue;
     const std::string name = it->path().filename().string();
-    if (name.rfind("shard-", 0) == 0 && name.size() > 6 &&
-        name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+    if (name.size() > prefix.size() + suffix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0 &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
       paths.push_back(it->path().string());
     }
   }
   std::sort(paths.begin(), paths.end());
   return paths;
+}
+
+std::vector<std::string> list_shards(const std::string& dir) {
+  return list_files(dir, "shard-", ".jsonl");
 }
 
 CellEntry entry_from(const store::StoredRecord& stored,
@@ -44,6 +55,7 @@ CellEntry entry_from(const store::StoredRecord& stored,
   entry.regime = stored.record.regime;
   entry.variant = stored.record.variant;
   entry.seed = stored.record.seed;
+  entry.bandwidth_bits = stored.record.bandwidth_bits;
   entry.skipped = stored.record.skipped;
   // Same failure criterion as run_sweep's cells_failed tally.
   entry.failed = !stored.record.skipped &&
@@ -128,6 +140,77 @@ std::vector<AggRow> aggregate(const IndexSnapshot& snapshot,
   return rows;
 }
 
+std::vector<CompareRow> compare_regimes(const IndexSnapshot& snapshot,
+                                        const CompareFilter& filter) {
+  std::vector<CompareRow> rows;
+  if (filter.regime_a.empty() || filter.regime_b.empty()) return rows;
+  for (const std::shared_ptr<const StoreIndex>& store : snapshot.stores) {
+    // Pair cells on every grid coordinate except the regime, so each ratio
+    // compares the same experiment under the two regimes.
+    using PairKey =
+        std::tuple<std::string, std::string, std::string, int, std::uint64_t>;
+    std::map<PairKey, std::pair<const CellEntry*, const CellEntry*>> paired;
+    for (const auto& [index, cell] : store->cells) {
+      if (cell.skipped) continue;
+      if (!filter.solver.empty() && cell.solver != filter.solver) continue;
+      const bool is_a = cell.regime == filter.regime_a;
+      const bool is_b = cell.regime == filter.regime_b;
+      if (!is_a && !is_b) continue;
+      auto& slot = paired[{cell.solver, cell.graph, cell.variant,
+                           cell.bandwidth_bits, cell.seed}];
+      (is_a ? slot.first : slot.second) = &cell;
+    }
+    struct Acc {
+      std::vector<double> ratios;
+      double sum_a = 0;
+      double sum_b = 0;
+    };
+    std::map<std::tuple<std::string, std::string, std::string>, Acc> groups;
+    for (const auto& [key, cells] : paired) {
+      if (cells.first == nullptr || cells.second == nullptr) continue;
+      for (const std::string& metric : agg_metrics()) {
+        if (!filter.metric.empty() && metric != filter.metric) continue;
+        const auto value = [&metric](const CellEntry& cell) -> double {
+          if (metric == "rounds") return static_cast<double>(cell.rounds);
+          if (metric == "messages") return static_cast<double>(cell.messages);
+          if (metric == "total_bits") {
+            return static_cast<double>(cell.total_bits);
+          }
+          return cell.wall_ms;
+        };
+        const double a = value(*cells.first);
+        const double b = value(*cells.second);
+        // Unmeasured scalars are -1; a zero denominator has no ratio.
+        if (a <= 0 || b < 0) continue;
+        Acc& acc = groups[{std::get<0>(key), std::get<2>(key), metric}];
+        acc.ratios.push_back(b / a);
+        acc.sum_a += a;
+        acc.sum_b += b;
+      }
+    }
+    for (auto& [key, acc] : groups) {
+      std::sort(acc.ratios.begin(), acc.ratios.end());
+      CompareRow row;
+      row.fingerprint = store->manifest.fingerprint;
+      row.solver = std::get<0>(key);
+      row.variant = std::get<1>(key);
+      row.metric = std::get<2>(key);
+      row.regime_a = filter.regime_a;
+      row.regime_b = filter.regime_b;
+      row.pairs = acc.ratios.size();
+      const auto n = static_cast<double>(acc.ratios.size());
+      row.mean_a = acc.sum_a / n;
+      row.mean_b = acc.sum_b / n;
+      row.ratio_min = acc.ratios.front();
+      row.ratio_p50 = nearest_rank(acc.ratios, 0.5);
+      row.ratio_p90 = nearest_rank(acc.ratios, 0.9);
+      row.ratio_max = acc.ratios.back();
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
 AggIndex::AggIndex(std::vector<std::string> store_dirs) {
   stores_.reserve(store_dirs.size());
   for (std::string& dir : store_dirs) {
@@ -177,6 +260,69 @@ bool AggIndex::tail_shard(WatchedStore& store, const std::string& path,
   return true;
 }
 
+bool AggIndex::refresh_profiles(WatchedStore& store) {
+  std::map<std::string, std::pair<std::uintmax_t, std::int64_t>> current;
+  for (const std::string& path :
+       list_files(store.dir, "profile-", ".json")) {
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(path, ec);
+    if (ec) continue;
+    const fs::file_time_type mtime = fs::last_write_time(path, ec);
+    if (ec) continue;
+    current.emplace(
+        path, std::make_pair(size, static_cast<std::int64_t>(
+                                       mtime.time_since_epoch().count())));
+  }
+  if (current == store.profile_stat) return false;
+  store.profile_stat = std::move(current);
+  // Sidecars are small (one row per (solver, regime)); a full re-read and
+  // re-merge on any change is cheaper than being clever. A file caught
+  // mid-write fails json_try_parse and is skipped; the writer's final bytes
+  // change its (size, mtime) and the next refresh picks it up.
+  std::map<std::pair<std::string, std::string>, ProfileSlice> merged;
+  for (const auto& [path, stat] : store.profile_stat) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::optional<JsonValue> root = json_try_parse(buffer.str());
+    if (!root.has_value() || !root->is_object()) continue;
+    if (root->string_or("schema", "").rfind("rlocal.profile/", 0) != 0) {
+      continue;
+    }
+    const JsonValue* json_rows = root->find("rows");
+    if (json_rows == nullptr || !json_rows->is_array()) continue;
+    for (const JsonValue& row : json_rows->as_array()) {
+      if (!row.is_object()) continue;
+      const std::string solver = row.string_or("solver", "");
+      const std::string regime = row.string_or("regime", "");
+      if (solver.empty() || regime.empty()) continue;
+      ProfileSlice& slice = merged[{solver, regime}];
+      slice.solver = solver;
+      slice.regime = regime;
+      slice.cells +=
+          static_cast<std::uint64_t>(row.number_or("cells", 0.0));
+      slice.total_ms += row.number_or("total_ms", 0.0);
+      slice.graph_build_ms += row.number_or("graph_build_ms", 0.0);
+      slice.solver_ms += row.number_or("solver_ms", 0.0);
+      slice.checker_ms += row.number_or("checker_ms", 0.0);
+      slice.engine_ms += row.number_or("engine_ms", 0.0);
+      slice.draw_ms += row.number_or("draw_ms", 0.0);
+      slice.store_append_ms += row.number_or("store_append_ms", 0.0);
+    }
+  }
+  store.profile.clear();
+  store.profile.reserve(merged.size());
+  for (auto& [key, slice] : merged) store.profile.push_back(std::move(slice));
+  std::sort(store.profile.begin(), store.profile.end(),
+            [](const ProfileSlice& a, const ProfileSlice& b) {
+              if (a.total_ms != b.total_ms) return a.total_ms > b.total_ms;
+              return std::tie(a.solver, a.regime) < std::tie(b.solver,
+                                                             b.regime);
+            });
+  return true;
+}
+
 std::uint64_t AggIndex::refresh() {
   std::uint64_t new_frames = 0;
   bool changed = false;
@@ -207,6 +353,7 @@ std::uint64_t AggIndex::refresh() {
       store.frames_seen = 0;
       changed = true;
     }
+    if (store.attached && refresh_profiles(store)) changed = true;
     // Completion counts may advance without new frames (finalize); refresh
     // the manifest echo cheaply when anything else moved.
     if (new_frames > 0 && store.attached) {
@@ -232,6 +379,7 @@ void AggIndex::publish() {
     view->manifest = store.manifest;
     view->cells = store.cells;
     view->frames_seen = store.frames_seen;
+    view->profile = store.profile;
     next->stores.push_back(std::move(view));
   }
   std::lock_guard<std::mutex> lock(snapshot_mutex_);

@@ -28,6 +28,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "store/record_store.hpp"
@@ -44,6 +45,7 @@ struct CellEntry {
   std::string regime;
   std::string variant;
   std::uint64_t seed = 0;
+  int bandwidth_bits = 0;  ///< per-message cap axis; part of /compare's key
   bool skipped = false;
   /// Errored or checker-failed (the sweep's cells_failed criterion); feeds
   /// /metrics' rlocal_cells_failed_total and /progress' failed_cells.
@@ -60,12 +62,33 @@ struct CellEntry {
   std::uint64_t frame_length = 0;  ///< line length excluding '\n'
 };
 
+/// One /profile row: per-(solver, regime) phase attribution merged across
+/// a store's `profile-<owner>.json` sidecars (schema rlocal.profile/2,
+/// written by `bench_sweep --store --profile`). Phase data deliberately
+/// never rides the record frames (byte-identity), so these sidecars are the
+/// daemon's only source for it.
+struct ProfileSlice {
+  std::string solver;
+  std::string regime;
+  std::uint64_t cells = 0;
+  double total_ms = 0;
+  double graph_build_ms = 0;
+  double solver_ms = 0;
+  double checker_ms = 0;
+  double engine_ms = 0;
+  double draw_ms = 0;
+  double store_append_ms = 0;
+};
+
 /// Immutable per-store view.
 struct StoreIndex {
   std::string dir;
   store::StoreManifest manifest;
   std::map<std::uint64_t, CellEntry> cells;  ///< deduped, grid order
   std::uint64_t frames_seen = 0;  ///< decoded frames incl. duplicates
+  /// Merged profile sidecar rows, total_ms-descending (the profile table's
+  /// order); empty when no sidecar has been written.
+  std::vector<ProfileSlice> profile;
 };
 
 /// Immutable whole-index snapshot; query threads hold the shared_ptr while
@@ -111,6 +134,42 @@ double nearest_rank(const std::vector<double>& sorted, double q);
 std::vector<AggRow> aggregate(const IndexSnapshot& snapshot,
                               const AggFilter& filter);
 
+/// One /compare row: paired per-cell ratios between two regimes. Cells are
+/// paired on (solver, graph, variant, bandwidth, seed) -- every coordinate
+/// except the regime -- so each ratio compares the *same* experiment under
+/// regime_b vs regime_a (ratio = b / a; pairs where a's value is <= 0 or
+/// either side is unmeasured are dropped). Percentiles are nearest-rank
+/// over the ratios, per (store, solver, variant) group x metric.
+struct CompareRow {
+  std::string fingerprint;
+  std::string solver;
+  std::string variant;
+  std::string metric;
+  std::string regime_a;
+  std::string regime_b;
+  std::uint64_t pairs = 0;
+  double mean_a = 0;  ///< mean of regime_a's paired values
+  double mean_b = 0;
+  double ratio_min = 0;
+  double ratio_p50 = 0;
+  double ratio_p90 = 0;
+  double ratio_max = 0;
+};
+
+/// Filters for compare_regimes(); the two regime names are required, solver
+/// and metric are optional narrowing (empty = all).
+struct CompareFilter {
+  std::string regime_a;
+  std::string regime_b;
+  std::string solver;
+  std::string metric;
+};
+
+/// Paired regime comparison over a snapshot (the /compare endpoint), in
+/// deterministic (solver, variant, metric) order per store.
+std::vector<CompareRow> compare_regimes(const IndexSnapshot& snapshot,
+                                        const CompareFilter& filter);
+
 class AggIndex {
  public:
   /// Watches `store_dirs`. Directories without a manifest yet are polled on
@@ -143,12 +202,21 @@ class AggIndex {
     std::map<std::string, ShardCursor> cursors;  ///< by shard path
     std::map<std::uint64_t, CellEntry> cells;
     std::uint64_t frames_seen = 0;
+    /// Profile sidecar change detection: (size, mtime) per profile-*.json
+    /// seen last refresh. Sidecars are small whole-file rewrites (never
+    /// appended), so any difference triggers a full re-read and re-merge.
+    std::map<std::string, std::pair<std::uintmax_t, std::int64_t>>
+        profile_stat;
+    std::vector<ProfileSlice> profile;
   };
 
   /// Tails one shard from its cursor; returns decoded frames and advances
   /// the cursor. Detects shrink (-> store rebuild) via the return flag.
   bool tail_shard(WatchedStore& store, const std::string& path,
                   std::uint64_t* new_frames);
+  /// Re-reads the store's profile sidecars when any changed on disk; true
+  /// when the merged slices were rebuilt.
+  bool refresh_profiles(WatchedStore& store);
   void publish();
 
   std::vector<WatchedStore> stores_;

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -45,17 +46,27 @@ std::uint64_t fnv1a(const std::string& s) {
   return hash;
 }
 
-/// Owner ids appear in file names; anything outside [A-Za-z0-9_.-] is
-/// flattened so callers can pass hostnames or free-form labels.
-std::string sanitize(const std::string& owner) {
-  std::string out = owner;
-  for (char& ch : out) {
-    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
-                    (ch >= '0' && ch <= '9') || ch == '_' || ch == '.' ||
-                    ch == '-';
-    if (!ok) ch = '_';
+/// Parses a lease document; nullopt for torn/garbled bytes. The cell-span
+/// fields are optional so leases written before they existed still read.
+std::optional<LeaseInfo> parse_lease(const std::string& text) {
+  try {
+    const JsonValue root = json_parse(text);
+    RLOCAL_CHECK(root.is_object(), "lease is not an object");
+    LeaseInfo lease;
+    lease.owner = root.string_or("owner", "");
+    RLOCAL_CHECK(!lease.owner.empty(), "lease has no owner");
+    const JsonValue* seq = root.find("seq");
+    RLOCAL_CHECK(seq != nullptr && seq->is_number(), "lease has no seq");
+    lease.seq = seq->as_uint64();
+    lease.done = root.bool_or("done", false);
+    lease.cells_begin = static_cast<std::uint64_t>(
+        root.number_or("cells_begin", 0.0));
+    lease.cells_end = static_cast<std::uint64_t>(
+        root.number_or("cells_end", 0.0));
+    return lease;
+  } catch (const std::exception&) {
+    return std::nullopt;
   }
-  return out;
 }
 
 /// Writes `text` to `path` then fsyncs it, so a published lease is always a
@@ -82,7 +93,8 @@ void write_file_synced(const std::string& path, const std::string& text) {
 }
 
 std::string lease_json(std::uint64_t range, const std::string& owner,
-                       std::uint64_t seq, bool done) {
+                       std::uint64_t seq, bool done,
+                       std::uint64_t cells_begin, std::uint64_t cells_end) {
   std::ostringstream out;
   JsonWriter w(out);
   w.begin_object();
@@ -90,6 +102,8 @@ std::string lease_json(std::uint64_t range, const std::string& owner,
   w.field("owner", owner);
   w.field("seq", seq);
   w.field("done", done);
+  w.field("cells_begin", cells_begin);
+  w.field("cells_end", cells_end);
   w.end_object();
   out << '\n';
   return out.str();
@@ -106,7 +120,7 @@ WorkClaims::WorkClaims(std::string store_dir, std::string owner,
   claims_dir_ = (fs::path(store_dir) / "claims").string();
   fs::create_directories(claims_dir_);
   tmp_path_ =
-      (fs::path(claims_dir_) / (".tmp-" + sanitize(owner_))).string();
+      (fs::path(claims_dir_) / (".tmp-" + sanitize_owner(owner_))).string();
   num_ranges_ =
       (total_cells_ + options_.range_cells - 1) / options_.range_cells;
   known_done_.assign(num_ranges_, 0);
@@ -134,17 +148,11 @@ WorkClaims::ReadResult WorkClaims::read_lease(std::uint64_t range) const {
   if (!in.good()) return result;  // kMissing
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  try {
-    const JsonValue root = json_parse(buffer.str());
-    RLOCAL_CHECK(root.is_object(), "lease is not an object");
-    result.lease.owner = root.string_or("owner", "");
-    RLOCAL_CHECK(!result.lease.owner.empty(), "lease has no owner");
-    const JsonValue* seq = root.find("seq");
-    RLOCAL_CHECK(seq != nullptr && seq->is_number(), "lease has no seq");
-    result.lease.seq = seq->as_uint64();
-    result.lease.done = root.bool_or("done", false);
+  if (std::optional<LeaseInfo> lease = parse_lease(buffer.str());
+      lease.has_value()) {
+    result.lease = std::move(*lease);
     result.state = LeaseState::kOk;
-  } catch (const std::exception&) {
+  } else {
     // Leases are published atomically, so a torn/garbled file means outside
     // interference; treat it as immediately stealable rather than wedging
     // the range forever.
@@ -155,7 +163,9 @@ WorkClaims::ReadResult WorkClaims::read_lease(std::uint64_t range) const {
 
 void WorkClaims::write_lease(std::uint64_t range, std::uint64_t seq,
                              bool done) const {
-  write_file_synced(tmp_path_, lease_json(range, owner_, seq, done));
+  write_file_synced(tmp_path_, lease_json(range, owner_, seq, done,
+                                          range_begin(range),
+                                          range_end(range)));
   std::error_code ec;
   fs::rename(tmp_path_, lease_path(range), ec);
   RLOCAL_CHECK(!ec, "work claims: rename '" + tmp_path_ + "' -> '" +
@@ -163,7 +173,9 @@ void WorkClaims::write_lease(std::uint64_t range, std::uint64_t seq,
 }
 
 bool WorkClaims::create_exclusive(std::uint64_t range) {
-  write_file_synced(tmp_path_, lease_json(range, owner_, 1, false));
+  write_file_synced(tmp_path_, lease_json(range, owner_, 1, false,
+                                          range_begin(range),
+                                          range_end(range)));
   const std::string lease = lease_path(range);
   // link(2) is the portable atomic create-exclusive publish: it fails with
   // EEXIST when any other claimer's lease is already in place.
@@ -211,7 +223,7 @@ bool WorkClaims::try_acquire(std::uint64_t range) {
   observed_.erase(range);
   const std::string aside =
       (fs::path(claims_dir_) / (".stale-" + std::to_string(range) + "-" +
-                                sanitize(owner_)))
+                                sanitize_owner(owner_)))
           .string();
   std::error_code ec;
   fs::rename(lease_path(range), aside, ec);
@@ -336,6 +348,53 @@ store::RecordStore ensure_store(const std::string& dir,
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
+}
+
+std::string sanitize_owner(const std::string& owner) {
+  std::string out = owner;
+  for (char& ch : out) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == '.' ||
+                    ch == '-';
+    if (!ok) ch = '_';
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, LeaseInfo>> read_all_leases(
+    const std::string& store_dir) {
+  std::vector<std::pair<std::uint64_t, LeaseInfo>> out;
+  const fs::path claims = fs::path(store_dir) / "claims";
+  std::error_code ec;
+  for (fs::directory_iterator it(claims, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string name = it->path().filename().string();
+    if (name.rfind("range-", 0) != 0 || name.size() <= 11 ||
+        name.compare(name.size() - 5, 5, ".json") != 0) {
+      continue;
+    }
+    std::uint64_t range = 0;
+    try {
+      std::size_t parsed = 0;
+      const std::string digits = name.substr(6, name.size() - 11);
+      range = std::stoull(digits, &parsed);
+      if (parsed != digits.size()) continue;
+    } catch (const std::exception&) {
+      continue;
+    }
+    std::ifstream in(it->path(), std::ios::binary);
+    if (!in.good()) continue;  // raced with a rename/steal
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (std::optional<LeaseInfo> lease = parse_lease(buffer.str());
+        lease.has_value()) {
+      out.emplace_back(range, std::move(*lease));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 }  // namespace rlocal::service

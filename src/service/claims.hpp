@@ -59,6 +59,12 @@ struct LeaseInfo {
   std::string owner;
   std::uint64_t seq = 0;
   bool done = false;
+  /// The range's cell span [cells_begin, cells_end), written by the holder
+  /// (who knows the range geometry) so observers -- the fleet tracker --
+  /// can size a lease without knowing range_cells. Parsed tolerantly:
+  /// leases from before these fields existed read back as an empty span.
+  std::uint64_t cells_begin = 0;
+  std::uint64_t cells_end = 0;
 };
 
 class WorkClaims {
@@ -144,5 +150,17 @@ class WorkClaims {
 store::RecordStore ensure_store(const std::string& dir,
                                 store::StoreManifest manifest,
                                 double timeout_ms = 10'000);
+
+/// Owner ids appear in file names (lease tmp files, shard names, profile
+/// sidecars); anything outside [A-Za-z0-9_.-] is flattened to '_' so
+/// callers can pass hostnames or free-form labels.
+std::string sanitize_owner(const std::string& owner);
+
+/// Reads every lease under `<store_dir>/claims/` as (range, lease) pairs in
+/// ascending range order. Corrupt or mid-publish files are skipped; an
+/// absent claims directory yields an empty vector. Read-only -- this is the
+/// fleet tracker's observation input, usable by any process.
+std::vector<std::pair<std::uint64_t, LeaseInfo>> read_all_leases(
+    const std::string& store_dir);
 
 }  // namespace rlocal::service

@@ -1,0 +1,223 @@
+#include "service/fleet.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "service/claims.hpp"
+
+namespace rlocal::service {
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Shard files are named `shard-<owner>.jsonl` (claim workers use
+/// `<claim_owner>-w<k>`, plain sweeps the thread index), so the shard a
+/// cell landed in attributes it to a worker.
+std::string owner_from_shard(const std::string& shard_path) {
+  std::string name = fs::path(shard_path).filename().string();
+  if (name.rfind("shard-", 0) == 0) name.erase(0, 6);
+  const std::size_t suffix = name.rfind(".jsonl");
+  if (suffix != std::string::npos && suffix + 6 == name.size()) {
+    name.erase(suffix);
+  }
+  return name;
+}
+
+double ewma_step(double prev, double x, double alpha) {
+  return prev < 0 ? x : alpha * x + (1.0 - alpha) * prev;
+}
+
+/// Everything known about one owner of one store, accumulated across the
+/// cell and lease passes before worker rows are emitted.
+struct OwnerStats {
+  std::uint64_t ranges_active = 0;
+  std::uint64_t ranges_done = 0;
+  std::uint64_t cells_claimed = 0;
+  std::uint64_t cells_in_flight = 0;
+  std::uint64_t cells_done = 0;
+  double heartbeat_age_ms = -1.0;
+  double ewma_ms_per_cell = -1.0;
+};
+
+}  // namespace
+
+FleetTracker::FleetTracker(FleetOptions options) : options_(options) {
+  view_ = std::make_shared<const FleetView>();
+}
+
+std::shared_ptr<const FleetView> FleetTracker::update(
+    const IndexSnapshot& snapshot) {
+  const auto now = std::chrono::steady_clock::now();
+  auto next = std::make_shared<FleetView>();
+  next->version = ++version_;
+  // Observations surviving this pass; leases that vanished (released,
+  // stolen-and-renamed, store gone) drop out automatically.
+  std::map<std::pair<std::string, std::uint64_t>, LeaseObservation> kept;
+
+  for (const std::shared_ptr<const StoreIndex>& store : snapshot.stores) {
+    // --- Cell pass: per-owner throughput and the cost distributions the
+    // straggler threshold and ETA need. EWMA runs in cell-index order (the
+    // map's order) -- deterministic, and recent-ish for the fan-out way
+    // claimers walk the grid.
+    std::map<std::string, OwnerStats> owners;
+    std::map<std::pair<std::string, std::string>, std::vector<double>>
+        cost_by_group;
+    double store_ewma = -1.0;
+    std::uint64_t skipped = 0;
+    for (const auto& [index, cell] : store->cells) {
+      if (cell.skipped) {
+        ++skipped;
+        continue;
+      }
+      OwnerStats& stats = owners[owner_from_shard(cell.shard_path)];
+      ++stats.cells_done;
+      if (cell.wall_ms >= 0) {
+        cost_by_group[{cell.solver, cell.regime}].push_back(cell.wall_ms);
+        store_ewma = ewma_step(store_ewma, cell.wall_ms,
+                               options_.ewma_alpha);
+        stats.ewma_ms_per_cell = ewma_step(stats.ewma_ms_per_cell,
+                                           cell.wall_ms,
+                                           options_.ewma_alpha);
+      }
+    }
+    std::map<std::pair<std::string, std::string>, double> p90_by_group;
+    std::vector<double> all_costs;
+    for (auto& [group, costs] : cost_by_group) {
+      std::sort(costs.begin(), costs.end());
+      p90_by_group[group] = nearest_rank(costs, 0.9);
+      all_costs.insert(all_costs.end(), costs.begin(), costs.end());
+    }
+    double store_p90 = -1.0;
+    if (!all_costs.empty()) {
+      std::sort(all_costs.begin(), all_costs.end());
+      store_p90 = nearest_rank(all_costs, 0.9);
+    }
+
+    // --- Lease pass: observation-based ages (the claims protocol's own
+    // staleness rule, on this process' clock), straggler flags.
+    for (const auto& [range, lease] : read_all_leases(store->dir)) {
+      if (lease.done) {
+        ++owners[lease.owner].ranges_done;
+        continue;
+      }
+      const std::pair<std::string, std::uint64_t> key{store->dir, range};
+      LeaseObservation obs;
+      if (const auto it = observed_.find(key);
+          it != observed_.end() && it->second.owner == lease.owner &&
+          it->second.seq == lease.seq) {
+        obs = it->second;  // unchanged: the age keeps growing
+      } else {
+        obs = {lease.owner, lease.seq, now};
+      }
+      kept[key] = obs;
+      const double age_ms =
+          std::chrono::duration<double, std::milli>(now - obs.last_advance)
+              .count();
+      OwnerStats& stats = owners[lease.owner];
+      ++stats.ranges_active;
+      if (stats.heartbeat_age_ms < 0 || age_ms < stats.heartbeat_age_ms) {
+        stats.heartbeat_age_ms = age_ms;
+      }
+      const std::uint64_t span = lease.cells_end > lease.cells_begin
+                                     ? lease.cells_end - lease.cells_begin
+                                     : 0;
+      stats.cells_claimed += span;
+      if (span == 0) continue;  // pre-span lease format: size unknown
+      const auto span_begin = store->cells.lower_bound(lease.cells_begin);
+      const auto span_end = store->cells.lower_bound(lease.cells_end);
+      const auto indexed = static_cast<std::uint64_t>(
+          std::distance(span_begin, span_end));
+      const std::uint64_t remaining = span > indexed ? span - indexed : 0;
+      stats.cells_in_flight += remaining;
+      if (remaining == 0) continue;  // fully drained; just not marked done
+      // Threshold: k x the p90 of the (solver, regime) groups this span is
+      // known to contain (its already-indexed cells), else the store-wide
+      // p90, clamped below by the floor. No cost observed at all -> only
+      // the floor (a brand-new drain must not flag instantly).
+      double p90 = -1.0;
+      for (auto it = span_begin; it != span_end; ++it) {
+        if (it->second.skipped) continue;
+        if (const auto found = p90_by_group.find(
+                {it->second.solver, it->second.regime});
+            found != p90_by_group.end()) {
+          p90 = std::max(p90, found->second);
+        }
+      }
+      if (p90 < 0) p90 = store_p90;
+      const double threshold =
+          std::max(options_.straggler_floor_ms,
+                   p90 < 0 ? 0.0 : options_.straggler_factor * p90);
+      if (age_ms > threshold) {
+        StragglerRow row;
+        row.fingerprint = store->manifest.fingerprint;
+        row.dir = store->dir;
+        row.owner = lease.owner;
+        row.range = range;
+        row.cells_begin = lease.cells_begin;
+        row.cells_end = lease.cells_end;
+        row.cells_remaining = remaining;
+        row.age_ms = age_ms;
+        row.threshold_ms = threshold;
+        next->stragglers.push_back(std::move(row));
+      }
+    }
+
+    // --- Emit worker rows (map order: sorted by owner) and the ETA.
+    std::uint64_t active_workers = 0;
+    for (const auto& [owner, stats] : owners) {
+      WorkerRow row;
+      row.fingerprint = store->manifest.fingerprint;
+      row.dir = store->dir;
+      row.owner = owner;
+      row.ranges_active = stats.ranges_active;
+      row.ranges_done = stats.ranges_done;
+      row.cells_claimed = stats.cells_claimed;
+      row.cells_in_flight = stats.cells_in_flight;
+      row.cells_done = stats.cells_done;
+      row.heartbeat_age_ms = stats.heartbeat_age_ms;
+      row.ewma_ms_per_cell = stats.ewma_ms_per_cell;
+      row.stale = stats.ranges_active > 0 &&
+                  stats.heartbeat_age_ms >
+                      static_cast<double>(options_.stale_after_ms);
+      if (stats.ranges_active > 0 && !row.stale) ++active_workers;
+      next->workers.push_back(std::move(row));
+    }
+
+    EtaRow eta;
+    eta.fingerprint = store->manifest.fingerprint;
+    eta.dir = store->dir;
+    eta.total_cells = store->manifest.total_cells;
+    const auto indexed = static_cast<std::uint64_t>(store->cells.size());
+    eta.run_cells = indexed - skipped;
+    eta.remaining_cells = eta.total_cells > eta.run_cells
+                              ? eta.total_cells - eta.run_cells
+                              : 0;
+    eta.active_workers = active_workers;
+    eta.ms_per_cell = store_ewma;
+    if (eta.remaining_cells == 0) {
+      eta.eta_ms = 0.0;
+    } else if (store_ewma >= 0) {
+      eta.eta_ms = static_cast<double>(eta.remaining_cells) * store_ewma /
+                   static_cast<double>(std::max<std::uint64_t>(
+                       1, active_workers));
+    }
+    eta.pct_done = eta.total_cells == 0
+                       ? 0.0
+                       : 100.0 * static_cast<double>(eta.run_cells) /
+                             static_cast<double>(eta.total_cells);
+    next->etas.push_back(std::move(eta));
+  }
+
+  observed_ = std::move(kept);
+  std::shared_ptr<const FleetView> published = std::move(next);
+  std::lock_guard<std::mutex> lock(view_mutex_);
+  view_ = published;
+  return published;
+}
+
+std::shared_ptr<const FleetView> FleetTracker::view() const {
+  std::lock_guard<std::mutex> lock(view_mutex_);
+  return view_;
+}
+
+}  // namespace rlocal::service

@@ -1,0 +1,130 @@
+// FleetTracker: per-owner worker telemetry over a claimed drain -- the
+// "who is draining my sweep, how fast, and when will it finish" plane
+// behind rlocald's /workers, /stragglers and /eta endpoints
+// (docs/service.md).
+//
+// Inputs are purely observational: the store's `claims/` lease files
+// (read_all_leases) plus the AggIndex snapshot's per-cell entries. Like the
+// claim protocol itself, liveness is never judged by comparing
+// cross-process clocks: the tracker remembers (owner, seq, local steady
+// time last advanced) per lease and calls a lease's age "time since *this
+// process* last saw its (owner, seq) change". A dead worker's lease stops
+// advancing, its age grows past stale_after_ms, and the owner is flagged
+// stale -- exactly the signal a WorkClaims claimer uses to steal, surfaced
+// for humans before the steal happens.
+//
+// Stragglers are active leases with unfinished cells whose age exceeds
+// k x the p90 per-cell wall time (per (solver, regime) of the cells already
+// indexed inside the lease's span, falling back to the store-wide p90,
+// clamped below by straggler_floor_ms). ETA is remaining cells x the
+// store-wide EWMA cell cost, divided over the live workers.
+//
+// Threading: update() must be called from a single thread (rlocald's
+// ingestion loop); view() hands out an immutable snapshot under the same
+// swap discipline as AggIndex, so serving never blocks tracking.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/agg_index.hpp"
+
+namespace rlocal::service {
+
+struct FleetOptions {
+  /// Unchanged-lease age after which its owner is flagged stale (same
+  /// meaning as ClaimOptions::ttl_ms, evaluated on this observer's clock).
+  std::uint64_t stale_after_ms = 10'000;
+  double straggler_factor = 3.0;    ///< k in "older than k x p90"
+  double straggler_floor_ms = 1'000.0;  ///< threshold never drops below
+  double ewma_alpha = 0.25;         ///< ms-per-cell smoothing
+};
+
+/// One worker (lease owner or shard writer) of one store.
+struct WorkerRow {
+  std::string fingerprint;
+  std::string dir;
+  std::string owner;
+  std::uint64_t ranges_active = 0;  ///< leases currently held, not done
+  std::uint64_t ranges_done = 0;    ///< done leases bearing this owner
+  std::uint64_t cells_claimed = 0;  ///< cell span of the active leases
+  std::uint64_t cells_in_flight = 0;  ///< claimed cells not yet indexed
+  std::uint64_t cells_done = 0;     ///< indexed cells in this owner's shard
+  /// Freshest active lease's age in ms (proof of life); -1 when the owner
+  /// holds no active lease (e.g. finished, or a plain thread-shard writer).
+  double heartbeat_age_ms = -1.0;
+  double ewma_ms_per_cell = -1.0;   ///< -1 until a cell cost is observed
+  bool stale = false;  ///< holds an active lease older than stale_after_ms
+};
+
+/// One active lease flagged as a straggler.
+struct StragglerRow {
+  std::string fingerprint;
+  std::string dir;
+  std::string owner;
+  std::uint64_t range = 0;
+  std::uint64_t cells_begin = 0;
+  std::uint64_t cells_end = 0;
+  std::uint64_t cells_remaining = 0;  ///< unindexed cells in the span
+  double age_ms = 0;        ///< unchanged-(owner, seq) age
+  double threshold_ms = 0;  ///< k x p90 (clamped) it exceeded
+};
+
+/// Per-store completion forecast (mirrors /progress' done accounting).
+struct EtaRow {
+  std::string fingerprint;
+  std::string dir;
+  std::uint64_t total_cells = 0;
+  std::uint64_t run_cells = 0;        ///< indexed minus skipped
+  std::uint64_t remaining_cells = 0;  ///< total minus run
+  std::uint64_t active_workers = 0;   ///< owners with a live active lease
+  double ms_per_cell = -1.0;  ///< store-wide EWMA; -1 until observed
+  /// remaining x ms_per_cell / max(1, active_workers); 0 when done, -1
+  /// while no cell cost has been observed yet.
+  double eta_ms = -1.0;
+  double pct_done = 0;
+};
+
+/// Immutable fleet snapshot; deterministic (dir, owner) / (dir, range)
+/// ordering.
+struct FleetView {
+  std::vector<WorkerRow> workers;
+  std::vector<StragglerRow> stragglers;
+  std::vector<EtaRow> etas;
+  std::uint64_t version = 0;
+};
+
+class FleetTracker {
+ public:
+  explicit FleetTracker(FleetOptions options = {});
+
+  /// One observation pass: reads every watched store's leases, folds in the
+  /// index snapshot, publishes (and returns) a new view. Single caller.
+  std::shared_ptr<const FleetView> update(const IndexSnapshot& snapshot);
+
+  /// Current immutable view (never null; empty before the first update).
+  std::shared_ptr<const FleetView> view() const;
+
+ private:
+  struct LeaseObservation {
+    std::string owner;
+    std::uint64_t seq = 0;
+    std::chrono::steady_clock::time_point last_advance;
+  };
+
+  FleetOptions options_;
+  /// Staleness memory per (store dir, range); pruned when leases vanish.
+  std::map<std::pair<std::string, std::uint64_t>, LeaseObservation>
+      observed_;
+  std::uint64_t version_ = 0;
+  mutable std::mutex view_mutex_;
+  std::shared_ptr<const FleetView> view_;
+};
+
+}  // namespace rlocal::service

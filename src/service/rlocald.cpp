@@ -41,8 +41,15 @@ void write_agg_row(JsonWriter& w, const AggRow& row) {
 }  // namespace
 
 Daemon::Daemon(DaemonOptions options)
-    : options_(std::move(options)), index_(options_.stores) {
+    : options_(std::move(options)),
+      index_(options_.stores),
+      fleet_(options_.fleet),
+      start_time_(std::chrono::steady_clock::now()) {
+  // The daemon is an observability process: its own span latencies (HTTP
+  // request handling at minimum) are part of what it exposes at /metrics.
+  obs::Histogram::enable();
   index_.refresh();
+  fleet_.update(*index_.snapshot());
   server_ = std::make_unique<HttpServer>(
       options_.port,
       [this](const HttpRequest& request) { return handle(request); },
@@ -63,6 +70,7 @@ void Daemon::ingest_loop() {
       std::chrono::milliseconds(std::max(1, options_.refresh_interval_ms));
   while (!stopping_.load(std::memory_order_relaxed)) {
     index_.refresh();
+    fleet_.update(*index_.snapshot());
     // Sleep in small slices so stop() is never blocked on a long interval.
     auto remaining = interval;
     while (remaining.count() > 0 &&
@@ -81,6 +89,11 @@ HttpResponse Daemon::handle(const HttpRequest& request) {
         obs::counter("rlocal_http_requests_total");
     requests.add();
   }
+  static obs::Histogram& http_hist = obs::histogram(
+      "rlocal_span_latency_seconds{span=\"http_request\"}");
+  static obs::Counter& http_spans =
+      obs::counter("rlocal_spans_total{span=\"http_request\"}");
+  obs::LatencyTimer http_latency(http_hist, http_spans);
   const auto get = [&request](const char* key,
                               const std::string& fallback = "") {
     const auto it = request.query.find(key);
@@ -151,6 +164,11 @@ HttpResponse Daemon::handle(const HttpRequest& request) {
     // this daemon did not run the cells, so its process counters cannot
     // carry them), then every process-wide obs counter/gauge (HTTP request
     // volume, plus whatever else this process touched).
+    obs::gauge("rlocal_uptime_seconds")
+        .set(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::seconds>(
+                std::chrono::steady_clock::now() - start_time_)
+                .count()));
     std::uint64_t cells_run = 0;
     std::uint64_t cells_failed = 0;
     std::uint64_t total_cells = 0;
@@ -198,6 +216,11 @@ HttpResponse Daemon::handle(const HttpRequest& request) {
       }
       out << m.name << " " << m.value << "\n";
     }
+    // Latency histograms last: cumulative _bucket/_sum/_count series per
+    // span family (docs/observability.md). rlocal_span_latency_seconds's
+    // _count equals the matching rlocal_spans_total counter above --
+    // LatencyTimer bumps both under one gate.
+    obs::write_prometheus_histograms(out);
     return {200, "text/plain; version=0.0.4", out.str()};
   }
 
@@ -237,36 +260,237 @@ HttpResponse Daemon::handle(const HttpRequest& request) {
   }
 
   if (request.path == "/records") {
-    const std::string cell_text = get("cell");
-    if (cell_text.empty()) {
-      return {400, "text/plain", "missing required parameter 'cell'\n"};
+    // Strict parameter set: a typo'd filter silently matching everything is
+    // worse than a 400.
+    static const std::set<std::string> kRecordParams = {
+        "cell", "store", "solver", "regime", "failed", "limit"};
+    for (const auto& [key, value] : request.query) {
+      if (kRecordParams.count(key) == 0) {
+        return {400, "text/plain",
+                "unknown parameter '" + key +
+                    "' (cell|store|solver|regime|failed|limit)\n"};
+      }
     }
-    std::uint64_t cell = 0;
-    try {
-      std::size_t parsed = 0;
-      cell = std::stoull(cell_text, &parsed);
-      if (parsed != cell_text.size()) throw std::invalid_argument(cell_text);
-    } catch (const std::exception&) {
-      return {400, "text/plain",
-              "parameter 'cell' is not an unsigned integer\n"};
-    }
+    const auto parse_u64 =
+        [](const std::string& text) -> std::optional<std::uint64_t> {
+      try {
+        std::size_t parsed = 0;
+        const std::uint64_t value = std::stoull(text, &parsed);
+        if (parsed != text.size()) return std::nullopt;
+        return value;
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    };
     const std::string fingerprint = get("store");
+    if (const std::string cell_text = get("cell"); !cell_text.empty()) {
+      // Exact mode: the raw stored frame for one cell.
+      const std::optional<std::uint64_t> cell = parse_u64(cell_text);
+      if (!cell.has_value()) {
+        return {400, "text/plain",
+                "parameter 'cell' is not an unsigned integer\n"};
+      }
+      for (const auto& store : snapshot->stores) {
+        if (!fingerprint.empty() &&
+            store->manifest.fingerprint != fingerprint) {
+          continue;
+        }
+        if (std::optional<std::string> frame =
+                index_.read_frame(*store, *cell);
+            frame.has_value()) {
+          return jsonl(*frame + "\n");
+        }
+      }
+      return not_found("no such cell");
+    }
+    // Listing mode: per-cell summary rows from the index (no disk reads),
+    // filtered by solver / regime / failed, capped by limit.
+    const std::string solver = get("solver");
+    const std::string regime = get("regime");
+    const std::string failed_text = get("failed");
+    if (!failed_text.empty() && failed_text != "0" && failed_text != "1") {
+      return {400, "text/plain", "parameter 'failed' must be 0 or 1\n"};
+    }
+    std::uint64_t limit = 100;
+    if (const std::string limit_text = get("limit"); !limit_text.empty()) {
+      const std::optional<std::uint64_t> parsed = parse_u64(limit_text);
+      if (!parsed.has_value() || *parsed == 0) {
+        return {400, "text/plain",
+                "parameter 'limit' must be a positive integer\n"};
+      }
+      limit = *parsed;
+    }
+    std::ostringstream out;
+    std::uint64_t emitted = 0;
     for (const auto& store : snapshot->stores) {
+      if (emitted >= limit) break;
       if (!fingerprint.empty() &&
           store->manifest.fingerprint != fingerprint) {
         continue;
       }
-      if (std::optional<std::string> frame = index_.read_frame(*store, cell);
-          frame.has_value()) {
-        return jsonl(*frame + "\n");
+      for (const auto& [index, entry] : store->cells) {
+        if (emitted >= limit) break;
+        if (!solver.empty() && entry.solver != solver) continue;
+        if (!regime.empty() && entry.regime != regime) continue;
+        if (!failed_text.empty() && entry.failed != (failed_text == "1")) {
+          continue;
+        }
+        JsonWriter w(out, /*indent=*/0);
+        w.begin_object();
+        w.field("store", store->manifest.fingerprint);
+        w.field("cell", entry.cell_index);
+        w.field("solver", entry.solver);
+        w.field("graph", entry.graph);
+        w.field("regime", entry.regime);
+        w.field("variant", entry.variant);
+        w.field("seed", entry.seed);
+        w.field("bandwidth_bits",
+                static_cast<std::int64_t>(entry.bandwidth_bits));
+        w.field("skipped", entry.skipped);
+        w.field("failed", entry.failed);
+        w.field("rounds", entry.rounds);
+        w.field("messages", entry.messages);
+        w.field("total_bits", entry.total_bits);
+        w.field("wall_ms", entry.wall_ms);
+        w.end_object();
+        out << '\n';
+        ++emitted;
       }
     }
-    return not_found("no such cell");
+    return jsonl(out.str());
+  }
+
+  if (request.path == "/workers" || request.path == "/stragglers" ||
+      request.path == "/eta") {
+    const std::shared_ptr<const FleetView> fleet = fleet_.view();
+    std::ostringstream out;
+    if (request.path == "/workers") {
+      for (const WorkerRow& row : fleet->workers) {
+        JsonWriter w(out, /*indent=*/0);
+        w.begin_object();
+        w.field("store", row.fingerprint);
+        w.field("dir", row.dir);
+        w.field("owner", row.owner);
+        w.field("ranges_active", row.ranges_active);
+        w.field("ranges_done", row.ranges_done);
+        w.field("cells_claimed", row.cells_claimed);
+        w.field("cells_in_flight", row.cells_in_flight);
+        w.field("cells_done", row.cells_done);
+        w.field("heartbeat_age_ms", row.heartbeat_age_ms);
+        w.field("ewma_ms_per_cell", row.ewma_ms_per_cell);
+        w.field("stale", row.stale);
+        w.end_object();
+        out << '\n';
+      }
+    } else if (request.path == "/stragglers") {
+      for (const StragglerRow& row : fleet->stragglers) {
+        JsonWriter w(out, /*indent=*/0);
+        w.begin_object();
+        w.field("store", row.fingerprint);
+        w.field("dir", row.dir);
+        w.field("owner", row.owner);
+        w.field("range", row.range);
+        w.field("cells_begin", row.cells_begin);
+        w.field("cells_end", row.cells_end);
+        w.field("cells_remaining", row.cells_remaining);
+        w.field("age_ms", row.age_ms);
+        w.field("threshold_ms", row.threshold_ms);
+        w.end_object();
+        out << '\n';
+      }
+    } else {
+      for (const EtaRow& row : fleet->etas) {
+        JsonWriter w(out, /*indent=*/0);
+        w.begin_object();
+        w.field("store", row.fingerprint);
+        w.field("dir", row.dir);
+        w.field("total_cells", row.total_cells);
+        w.field("run_cells", row.run_cells);
+        w.field("remaining_cells", row.remaining_cells);
+        w.field("active_workers", row.active_workers);
+        w.field("ms_per_cell", row.ms_per_cell);
+        w.field("eta_ms", row.eta_ms);
+        w.field("pct_done", row.pct_done);
+        w.end_object();
+        out << '\n';
+      }
+    }
+    return jsonl(out.str());
+  }
+
+  if (request.path == "/profile") {
+    const std::string solver = get("solver");
+    const std::string regime = get("regime");
+    std::ostringstream out;
+    for (const auto& store : snapshot->stores) {
+      for (const ProfileSlice& slice : store->profile) {
+        if (!solver.empty() && slice.solver != solver) continue;
+        if (!regime.empty() && slice.regime != regime) continue;
+        JsonWriter w(out, /*indent=*/0);
+        w.begin_object();
+        w.field("store", store->manifest.fingerprint);
+        w.field("solver", slice.solver);
+        w.field("regime", slice.regime);
+        w.field("cells", slice.cells);
+        w.field("total_ms", slice.total_ms);
+        w.field("graph_build_ms", slice.graph_build_ms);
+        w.field("solver_ms", slice.solver_ms);
+        w.field("checker_ms", slice.checker_ms);
+        w.field("engine_ms", slice.engine_ms);
+        w.field("draw_ms", slice.draw_ms);
+        w.field("store_append_ms", slice.store_append_ms);
+        w.end_object();
+        out << '\n';
+      }
+    }
+    return jsonl(out.str());
+  }
+
+  if (request.path == "/compare") {
+    CompareFilter filter;
+    filter.regime_a = get("regime_a");
+    filter.regime_b = get("regime_b");
+    if (filter.regime_a.empty() || filter.regime_b.empty()) {
+      return {400, "text/plain",
+              "parameters 'regime_a' and 'regime_b' are required\n"};
+    }
+    filter.solver = get("solver");
+    filter.metric = get("metric");
+    if (!filter.metric.empty()) {
+      const auto& metrics = agg_metrics();
+      if (std::find(metrics.begin(), metrics.end(), filter.metric) ==
+          metrics.end()) {
+        return {400, "text/plain",
+                "unknown metric '" + filter.metric +
+                    "' (rounds|messages|total_bits|wall_ms)\n"};
+      }
+    }
+    std::ostringstream out;
+    for (const CompareRow& row : compare_regimes(*snapshot, filter)) {
+      JsonWriter w(out, /*indent=*/0);
+      w.begin_object();
+      w.field("store", row.fingerprint);
+      w.field("solver", row.solver);
+      w.field("variant", row.variant);
+      w.field("metric", row.metric);
+      w.field("regime_a", row.regime_a);
+      w.field("regime_b", row.regime_b);
+      w.field("pairs", row.pairs);
+      w.field("mean_a", row.mean_a);
+      w.field("mean_b", row.mean_b);
+      w.field("ratio_min", row.ratio_min);
+      w.field("ratio_p50", row.ratio_p50);
+      w.field("ratio_p90", row.ratio_p90);
+      w.field("ratio_max", row.ratio_max);
+      w.end_object();
+      out << '\n';
+    }
+    return jsonl(out.str());
   }
 
   return not_found(
       "no such route (try /healthz, /sweeps, /agg, /records, /metrics, "
-      "/progress)");
+      "/progress, /workers, /stragglers, /eta, /profile, /compare)");
 }
 
 }  // namespace rlocal::service

@@ -13,17 +13,29 @@
 //                              per (solver, regime, variant) x metric
 //   GET /records?cell=K[&store=FP]
 //                           -- the raw stored frame for one cell
+//   GET /records?[solver=][&regime=][&failed=1][&limit=N][&store=FP]
+//                           -- filtered per-cell summary listing
+//   GET /workers, /stragglers, /eta
+//                           -- fleet telemetry (service/fleet.hpp)
+//   GET /profile?[solver=][&regime=]
+//                           -- per-(solver, regime) phase slices merged
+//                              from the store's profile sidecars
+//   GET /compare?regime_a=&regime_b=[&solver=][&metric=]
+//                           -- paired per-cell regime ratio rows
+//   GET /metrics, /progress -- Prometheus exposition / drain progress
 //
 // The daemon binary is bench/rlocald.cpp; this class is the embeddable
 // core (tests run it in-process on an ephemeral port).
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/agg_index.hpp"
+#include "service/fleet.hpp"
 #include "service/http.hpp"
 
 namespace rlocal::service {
@@ -33,6 +45,7 @@ struct DaemonOptions {
   int port = 0;                     ///< HTTP port; 0 = ephemeral
   int http_threads = 2;
   int refresh_interval_ms = 200;  ///< ingestion poll cadence
+  FleetOptions fleet;             ///< staleness / straggler thresholds
 };
 
 class Daemon {
@@ -59,6 +72,8 @@ class Daemon {
 
   DaemonOptions options_;
   AggIndex index_;
+  FleetTracker fleet_;
+  std::chrono::steady_clock::time_point start_time_;
   std::unique_ptr<HttpServer> server_;
   std::thread ingest_thread_;
   std::atomic<bool> stopping_{false};

@@ -4,13 +4,16 @@
 //                    protocol over a store's claims/ directory;
 //   agg_index.hpp -- AggIndex, the incremental per-store aggregate index
 //                    (snapshot-swapped, never a full rescan);
+//   fleet.hpp     -- FleetTracker, per-owner worker telemetry (stragglers,
+//                    heartbeats, ETA) derived from leases + the index;
 //   http.hpp      -- the minimal blocking HTTP/1.1 server;
-//   rlocald.hpp   -- Daemon, the query service tying the two together.
+//   rlocald.hpp   -- Daemon, the query service tying the rest together.
 //
 // See docs/service.md for the protocol and API reference.
 #pragma once
 
 #include "service/agg_index.hpp"
 #include "service/claims.hpp"
+#include "service/fleet.hpp"
 #include "service/http.hpp"
 #include "service/rlocald.hpp"

@@ -190,6 +190,11 @@ EngineStats Engine::run(const ProgramFactory& factory) {
     // One span per round (disabled cost: a relaxed load + branch at each
     // end). Covers the halting check, delivery, and every on_round call.
     obs::ObsSpan round_span("engine", "engine_round");
+    static obs::Histogram& round_hist = obs::histogram(
+        "rlocal_span_latency_seconds{span=\"engine_round\"}");
+    static obs::Counter& round_spans =
+        obs::counter("rlocal_spans_total{span=\"engine_round\"}");
+    obs::LatencyTimer round_latency(round_hist, round_spans);
     // Per-round cooperative cancellation (a sweep cell's deadline token
     // reaches the engine here; no-op outside a metered run). The rounds
     // and messages executed before expiry still reach the meter via the

@@ -340,5 +340,180 @@ TEST(PhaseTest, TimerWithoutScopeIsInert) {
   PhaseTimer t(Phase::kEngine);  // must not crash or write anywhere
 }
 
+class HistogramTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_histograms_for_tests();
+    reset_for_tests();
+  }
+  void TearDown() override { Histogram::disable(); }
+};
+
+TEST_F(HistogramTest, BucketBoundaries) {
+  // Values 0..3 get exact singleton buckets.
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_upper_ns(v), v);
+  }
+  // First octave: [4, 8) splits into 4 sub-buckets of width 1.
+  EXPECT_EQ(Histogram::bucket_index(4), 4u);
+  EXPECT_EQ(Histogram::bucket_index(5), 5u);
+  EXPECT_EQ(Histogram::bucket_index(7), 7u);
+  EXPECT_EQ(Histogram::bucket_index(8), 8u);  // next octave starts
+  EXPECT_EQ(Histogram::bucket_upper_ns(4), 4u);
+  EXPECT_EQ(Histogram::bucket_upper_ns(7), 7u);
+  // Around a power of two: 2^k closes one octave, 2^k is the next's first
+  // sub-bucket.
+  EXPECT_EQ(Histogram::bucket_index(1023), Histogram::bucket_index(1000));
+  EXPECT_NE(Histogram::bucket_index(1024), Histogram::bucket_index(1023));
+  // The top of uint64 maps to the last bucket, whose upper bound is max.
+  EXPECT_EQ(Histogram::bucket_index(~0ULL), Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::bucket_upper_ns(Histogram::kBucketCount - 1),
+            ~0ULL);
+  // Structural invariants across the whole range: every value lands in a
+  // bucket whose bounds bracket it, and upper bounds round-trip.
+  for (const std::uint64_t v :
+       {0ULL, 1ULL, 3ULL, 4ULL, 7ULL, 8ULL, 12ULL, 100ULL, 4095ULL,
+        4096ULL, 1ULL << 20, (1ULL << 20) + 1, (1ULL << 40) - 1,
+        1ULL << 40, ~0ULL >> 1, ~0ULL}) {
+    const std::size_t index = Histogram::bucket_index(v);
+    ASSERT_LT(index, Histogram::kBucketCount);
+    EXPECT_LE(v, Histogram::bucket_upper_ns(index)) << v;
+    if (index > 0) {
+      EXPECT_GT(v, Histogram::bucket_upper_ns(index - 1)) << v;
+    }
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper_ns(index)),
+              index);
+  }
+}
+
+TEST_F(HistogramTest, MultiThreadRecordsAreExact) {
+  Histogram& h = histogram("rlocal_test_latency_seconds{span=\"mt\"}");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        // A spread of octaves, deterministic per thread.
+        h.record((i % 7) * (static_cast<std::uint64_t>(t) + 1) * 37 + i % 3);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // Reference: the same stream folded single-threaded.
+  std::uint64_t count = 0, sum = 0;
+  std::vector<std::uint64_t> expected(Histogram::kBucketCount, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      const std::uint64_t v =
+          (i % 7) * (static_cast<std::uint64_t>(t) + 1) * 37 + i % 3;
+      ++count;
+      sum += v;
+      ++expected[Histogram::bucket_index(v)];
+    }
+  }
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, count);
+  EXPECT_EQ(snap.sum_ns, sum);
+  std::uint64_t buckets_total = 0;
+  for (const auto& [upper, in_bucket] : snap.buckets) {
+    EXPECT_GT(in_bucket, 0u);  // empty buckets are elided
+    std::size_t index = Histogram::kBucketCount;
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      if (Histogram::bucket_upper_ns(i) == upper) index = i;
+    }
+    ASSERT_LT(index, Histogram::kBucketCount);
+    EXPECT_EQ(in_bucket, expected[index]);
+    buckets_total += in_bucket;
+  }
+  EXPECT_EQ(buckets_total, count);
+}
+
+TEST_F(HistogramTest, DisabledLatencyTimerRecordsNothingAndNeverAllocates) {
+  Histogram::disable();
+  Histogram& h = histogram("rlocal_test_latency_seconds{span=\"off\"}");
+  Counter& spans = counter("rlocal_test_spans_total{span=\"off\"}");
+  const std::uint64_t before = g_alloc_count.load();
+  for (int i = 0; i < 1000; ++i) {
+    LatencyTimer timer(h, spans);
+  }
+  EXPECT_EQ(g_alloc_count.load(), before);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(spans.value(), 0u);
+}
+
+TEST_F(HistogramTest, EnabledLatencyTimerFeedsHistogramAndCounterTogether) {
+  Histogram::enable();
+  Histogram& h = histogram("rlocal_test_latency_seconds{span=\"on\"}");
+  Counter& spans = counter("rlocal_test_spans_total{span=\"on\"}");
+  const std::uint64_t before = g_alloc_count.load();
+  for (int i = 0; i < 100; ++i) {
+    LatencyTimer timer(h, spans);
+  }
+  // The armed hot path is allocation-free too (registry refs are cached by
+  // the caller; record() is pure atomics).
+  EXPECT_EQ(g_alloc_count.load(), before);
+  // The self-scrape invariant: _count == matching span counter.
+  EXPECT_EQ(h.snapshot().count, 100u);
+  EXPECT_EQ(spans.value(), 100u);
+  // The gated form with active=false records neither.
+  {
+    LatencyTimer timer(h, spans, /*active=*/false);
+  }
+  EXPECT_EQ(h.snapshot().count, 100u);
+  EXPECT_EQ(spans.value(), 100u);
+}
+
+TEST_F(HistogramTest, PrometheusTextIsCumulativePerSeries) {
+  Histogram& a = histogram("rlocal_test_hist_seconds{span=\"alpha\"}");
+  Histogram& b = histogram("rlocal_test_hist_seconds{span=\"beta\"}");
+  a.record(0);
+  a.record(5);
+  a.record(5);
+  a.record(1'000'000);  // 1 ms
+  b.record(2);
+  std::ostringstream out;
+  write_prometheus_histograms(out);
+  const std::string text = out.str();
+  // One TYPE line for the shared base name, histogram-typed.
+  EXPECT_EQ(text.find("# TYPE rlocal_test_hist_seconds histogram"),
+            text.rfind("# TYPE rlocal_test_hist_seconds histogram"));
+  // Labeled series keep their span label alongside le.
+  EXPECT_NE(
+      text.find("rlocal_test_hist_seconds_bucket{span=\"alpha\",le=\"0"),
+      std::string::npos);
+  EXPECT_NE(text.find("rlocal_test_hist_seconds_count{span=\"alpha\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("rlocal_test_hist_seconds_count{span=\"beta\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 1"), std::string::npos);
+  // Cumulative counts: every _bucket value is non-decreasing down a series
+  // and the last equals _count.
+  std::istringstream lines(text);
+  std::string line;
+  std::uint64_t last = 0;
+  bool in_alpha = false;
+  while (std::getline(lines, line)) {
+    if (line.find("_bucket{span=\"alpha\"") == std::string::npos) {
+      in_alpha = false;
+      continue;
+    }
+    const std::uint64_t value =
+        std::stoull(line.substr(line.rfind(' ') + 1));
+    if (in_alpha) {
+      EXPECT_GE(value, last);
+    }
+    last = value;
+    in_alpha = true;
+  }
+  EXPECT_EQ(last, 4u);
+  // _sum is in seconds: 0 + 5 + 5 + 1000000 ns = 0.00100001 s.
+  EXPECT_NE(text.find("rlocal_test_hist_seconds_sum{span=\"alpha\"} 0.00100"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace rlocal::obs

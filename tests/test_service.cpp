@@ -499,7 +499,11 @@ TEST_F(ServiceTest, DaemonHttpRoundTripOnEphemeralPort) {
   EXPECT_NE(http_get(daemon.port(), "/records?cell=12345")
                 .find("HTTP/1.1 404"),
             std::string::npos);
-  EXPECT_NE(http_get(daemon.port(), "/records").find("HTTP/1.1 400"),
+  // Without cell=, /records is the filtered listing (a 200 even when broad).
+  EXPECT_NE(http_get(daemon.port(), "/records").find("HTTP/1.1 200"),
+            std::string::npos);
+  EXPECT_NE(http_get(daemon.port(), "/records?cell=abc")
+                .find("HTTP/1.1 400"),
             std::string::npos);
   EXPECT_NE(http_get(daemon.port(), "/agg?metric=bogus")
                 .find("HTTP/1.1 400"),
@@ -583,6 +587,262 @@ TEST_F(ServiceTest, DaemonServesDuringLiveIngestion) {
   daemon.stop();
   EXPECT_TRUE(rows_equal(service::aggregate(*daemon.snapshot(), {}),
                          from_scratch(dir_, {})));
+}
+
+// ---- Fleet console --------------------------------------------------------
+
+/// Response body (after the HTTP header block).
+std::string body_of(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : response.substr(at + 4);
+}
+
+std::size_t count_lines(const std::string& body) {
+  std::size_t lines = 0;
+  for (const char c : body) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+/// Value of an exact sample line `<name> <value>` in Prometheus text.
+std::uint64_t sample_value(const std::string& text, const std::string& name) {
+  const std::size_t at = text.find("\n" + name + " ");
+  EXPECT_NE(at, std::string::npos) << name;
+  if (at == std::string::npos) return ~0ULL;
+  const std::size_t start = at + 1 + name.size() + 1;
+  return std::stoull(text.substr(start));
+}
+
+TEST_F(ServiceTest, RecordsFilteredListing) {
+  lab::run_sweep(small_spec(), lab::StoreOptions{dir_, false});
+  service::DaemonOptions options;
+  options.stores = {dir_};
+  options.port = 0;
+  options.refresh_interval_ms = 50;
+  service::Daemon daemon(options);
+
+  // solver= narrows to that solver's 4 cells (1 graph x 2 regimes x 2
+  // seeds), each row a summary object.
+  const std::string luby =
+      http_get(daemon.port(), "/records?solver=mis%2Fluby");
+  EXPECT_NE(luby.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(count_lines(body_of(luby)), 4u);
+  EXPECT_EQ(body_of(luby).find("mis/greedy"), std::string::npos);
+  EXPECT_NE(body_of(luby).find("\"regime\":\"full\""), std::string::npos);
+
+  // regime= composes; failed=1 is empty here (nothing failed).
+  const std::string kwise = http_get(
+      daemon.port(), "/records?solver=mis%2Fluby&regime=kwise(64)");
+  EXPECT_EQ(count_lines(body_of(kwise)), 2u);
+  const std::string failed = http_get(daemon.port(), "/records?failed=1");
+  EXPECT_NE(failed.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(count_lines(body_of(failed)), 0u);
+  EXPECT_EQ(count_lines(body_of(http_get(daemon.port(),
+                                         "/records?failed=0"))),
+            8u);
+
+  // limit= caps the listing.
+  const std::string limited = http_get(daemon.port(), "/records?limit=3");
+  EXPECT_EQ(count_lines(body_of(limited)), 3u);
+
+  // Unknown or malformed parameters are a 400, never an empty-match 200.
+  EXPECT_NE(http_get(daemon.port(), "/records?sovler=mis%2Fluby")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(http_get(daemon.port(), "/records?failed=2")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(http_get(daemon.port(), "/records?limit=0")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  daemon.stop();
+}
+
+TEST_F(ServiceTest, CompareEndpointPairsRegimes) {
+  lab::run_sweep(small_spec(), lab::StoreOptions{dir_, false});
+  service::DaemonOptions options;
+  options.stores = {dir_};
+  options.port = 0;
+  options.refresh_interval_ms = 50;
+  service::Daemon daemon(options);
+
+  // Both regimes are required.
+  EXPECT_NE(http_get(daemon.port(), "/compare").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(http_get(daemon.port(), "/compare?regime_a=full")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(http_get(daemon.port(),
+                     "/compare?regime_a=full&regime_b=kwise(64)&metric=bogus")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+
+  const std::string compare = http_get(
+      daemon.port(),
+      "/compare?regime_a=full&regime_b=kwise(64)&solver=mis%2Fluby");
+  EXPECT_NE(compare.find("HTTP/1.1 200"), std::string::npos);
+  const std::string body = body_of(compare);
+  EXPECT_NE(body.find("\"solver\":\"mis/luby\""), std::string::npos);
+  EXPECT_EQ(body.find("mis/greedy"), std::string::npos);
+  EXPECT_NE(body.find("\"regime_a\":\"full\""), std::string::npos);
+  EXPECT_NE(body.find("\"regime_b\":\"kwise(64)\""), std::string::npos);
+  // 2 seeds pair up per (solver, variant, metric) row.
+  EXPECT_NE(body.find("\"pairs\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"ratio_p50\":"), std::string::npos);
+  daemon.stop();
+}
+
+TEST_F(ServiceTest, ProfileEndpointServesSidecarSlices) {
+  lab::run_sweep(small_spec(), lab::StoreOptions{dir_, false});
+  // A sidecar as `bench_sweep --profile --store` would leave it.
+  std::ofstream(dir_ + "/profile-tester.json")
+      << "{\"schema\":\"rlocal.profile/2\",\"rows\":[{"
+         "\"solver\":\"mis/luby\",\"regime\":\"full\",\"cells\":2,"
+         "\"total_ms\":12.5,\"graph_build_ms\":1.0,\"solver_ms\":8.0,"
+         "\"checker_ms\":1.5,\"engine_ms\":7.0,\"draw_ms\":3.0,"
+         "\"store_append_ms\":0.5},{"
+         "\"solver\":\"mis/greedy\",\"regime\":\"full\",\"cells\":2,"
+         "\"total_ms\":4.0,\"graph_build_ms\":0.5,\"solver_ms\":2.0,"
+         "\"checker_ms\":0.5,\"engine_ms\":1.5,\"draw_ms\":0.5,"
+         "\"store_append_ms\":0.25}]}";
+  service::DaemonOptions options;
+  options.stores = {dir_};
+  options.port = 0;
+  options.refresh_interval_ms = 50;
+  service::Daemon daemon(options);
+
+  const std::string all = http_get(daemon.port(), "/profile");
+  EXPECT_NE(all.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(count_lines(body_of(all)), 2u);
+  // total_ms-descending: the luby slice leads.
+  EXPECT_LT(body_of(all).find("mis/luby"), body_of(all).find("mis/greedy"));
+  EXPECT_NE(body_of(all).find("\"draw_ms\":3"), std::string::npos);
+
+  const std::string narrowed =
+      http_get(daemon.port(), "/profile?solver=mis%2Fgreedy&regime=full");
+  EXPECT_EQ(count_lines(body_of(narrowed)), 1u);
+  EXPECT_NE(body_of(narrowed).find("\"total_ms\":4"), std::string::npos);
+  daemon.stop();
+}
+
+TEST_F(ServiceTest, FleetEndpointsAfterFinishedDrain) {
+  lab::StoreOptions store_options;
+  store_options.dir = dir_;
+  store_options.claim = true;
+  store_options.claim_owner = "solo";
+  store_options.claim_range_cells = 2;
+  lab::run_sweep(small_spec(), store_options);
+
+  service::DaemonOptions options;
+  options.stores = {dir_};
+  options.port = 0;
+  options.refresh_interval_ms = 50;
+  service::Daemon daemon(options);
+
+  // The finished drain's leases are all done. Drain workers claim under
+  // per-thread ids (`<owner>-w<k>`, matching their shard names), so those
+  // are the owners the fleet reports: done ranges, nobody active or stale.
+  const std::string workers = http_get(daemon.port(), "/workers");
+  EXPECT_NE(workers.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(workers.find("\"owner\":\"solo-w0\""), std::string::npos);
+  EXPECT_NE(workers.find("\"ranges_done\":"), std::string::npos);
+  EXPECT_NE(workers.find("\"cells_done\":"), std::string::npos);
+  EXPECT_EQ(workers.find("\"stale\":true"), std::string::npos);
+  EXPECT_EQ(workers.find("\"ranges_active\":1"), std::string::npos);
+
+  const std::string eta = http_get(daemon.port(), "/eta");
+  EXPECT_NE(eta.find("\"total_cells\":8"), std::string::npos);
+  EXPECT_NE(eta.find("\"run_cells\":8"), std::string::npos);
+  EXPECT_NE(eta.find("\"remaining_cells\":0"), std::string::npos);
+  EXPECT_NE(eta.find("\"eta_ms\":0"), std::string::npos);
+
+  const std::string stragglers = http_get(daemon.port(), "/stragglers");
+  EXPECT_NE(stragglers.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(count_lines(body_of(stragglers)), 0u);
+  daemon.stop();
+}
+
+TEST_F(ServiceTest, DeadWorkerSurfacesAsStragglerAndStale) {
+  // A partial claimed drain leaves unfinished ranges...
+  lab::SweepSpec spec = small_spec();
+  spec.threads = 1;
+  spec.max_cells = 3;
+  lab::StoreOptions store_options;
+  store_options.dir = dir_;
+  store_options.claim = true;
+  store_options.claim_owner = "first";
+  store_options.claim_range_cells = 2;
+  lab::run_sweep(spec, store_options);
+
+  // ...and "ghost" claims one, then dies (never heartbeats again).
+  service::WorkClaims ghost(dir_, "ghost", 8,
+                            service::ClaimOptions{.range_cells = 2});
+  const std::optional<std::uint64_t> held = ghost.acquire();
+  ASSERT_TRUE(held.has_value());
+
+  service::DaemonOptions options;
+  options.stores = {dir_};
+  options.port = 0;
+  options.refresh_interval_ms = 20;
+  options.fleet.stale_after_ms = 50;     // observation-age staleness
+  options.fleet.straggler_floor_ms = 1;  // flag almost immediately
+  options.fleet.straggler_factor = 0.0;
+  service::Daemon daemon(options);
+
+  // The tracker's age is "time since THIS process saw (owner, seq) change",
+  // so the flags appear once the daemon has watched the frozen lease long
+  // enough -- poll rather than sleep.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::string workers, stragglers;
+  while (std::chrono::steady_clock::now() < deadline) {
+    workers = http_get(daemon.port(), "/workers");
+    stragglers = http_get(daemon.port(), "/stragglers");
+    if (workers.find("\"stale\":true") != std::string::npos &&
+        stragglers.find("\"owner\":\"ghost\"") != std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_NE(workers.find("\"owner\":\"ghost\""), std::string::npos);
+  EXPECT_NE(workers.find("\"stale\":true"), std::string::npos);
+  EXPECT_NE(stragglers.find("\"owner\":\"ghost\""), std::string::npos);
+  EXPECT_NE(stragglers.find("\"cells_remaining\":"), std::string::npos);
+  // The unfinished grid also shows in the forecast.
+  const std::string eta = http_get(daemon.port(), "/eta");
+  EXPECT_NE(eta.find("\"run_cells\":3"), std::string::npos);
+  EXPECT_NE(eta.find("\"remaining_cells\":5"), std::string::npos);
+  daemon.stop();
+}
+
+TEST_F(ServiceTest, MetricsSelfScrapeHistogramsMatchSpanCounters) {
+  lab::run_sweep(small_spec(), lab::StoreOptions{dir_, false});
+  service::DaemonOptions options;
+  options.stores = {dir_};
+  options.port = 0;
+  options.refresh_interval_ms = 50;
+  service::Daemon daemon(options);
+
+  // A few requests so the http_request span family is non-trivial.
+  for (int i = 0; i < 5; ++i) http_get(daemon.port(), "/healthz");
+  const std::string metrics = http_get(daemon.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE rlocal_span_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE rlocal_uptime_seconds gauge"),
+            std::string::npos);
+  // The self-scrape invariant: every latency histogram's _count equals its
+  // span counter -- LatencyTimer bumps both under one gate, and the
+  // in-flight /metrics request itself has recorded neither yet.
+  const std::uint64_t spans = sample_value(
+      metrics, "rlocal_spans_total{span=\"http_request\"}");
+  const std::uint64_t count = sample_value(
+      metrics,
+      "rlocal_span_latency_seconds_count{span=\"http_request\"}");
+  EXPECT_GE(spans, 5u);
+  EXPECT_EQ(spans, count);
+  daemon.stop();
 }
 
 }  // namespace
