@@ -65,9 +65,9 @@ import os
 import sys
 
 LEGACY_SCHEMAS = ("rlocal.sweep/1", "rlocal.sweep/2", "rlocal.sweep/3")
-STORE_SCHEMAS = ("rlocal.store/1", "rlocal.store/2")
+STORE_SCHEMAS = ("rlocal.store/1", "rlocal.store/2", "rlocal.store/3")
 # Formats whose records carry typed cost blocks on every executed cell.
-COST_CAPABLE_SCHEMAS = ("rlocal.store/2", "rlocal.sweep/3")
+COST_CAPABLE_SCHEMAS = ("rlocal.store/2", "rlocal.store/3", "rlocal.sweep/3")
 # Nondeterministic / provenance fields excluded from record identity.
 VOLATILE_FIELDS = ("wall_ms", "resumed")
 # Store-only coordinates, excluded so a store directory diffs cleanly
@@ -226,7 +226,8 @@ def run_diff(a_path, b_path):
 
 
 # Metric order must match the daemon's agg_metrics() (src/service/).
-AGG_METRICS = ("rounds", "messages", "total_bits", "wall_ms")
+# "quality" exists only on fault-injected cells (rlocal.store/3).
+AGG_METRICS = ("rounds", "messages", "total_bits", "wall_ms", "quality")
 
 
 def nearest_rank(sorted_values, q):
@@ -250,6 +251,7 @@ def recompute_agg(records):
             "messages": cost.get("messages"),
             "total_bits": cost.get("total_bits"),
             "wall_ms": record.get("wall_ms"),
+            "quality": record.get("quality"),
         }
         key = (record["solver"], record["regime"],
                record.get("variant", ""))

@@ -4,11 +4,14 @@
 // callouts and the completion forecast.
 //
 //   ./rlocal_top --port=PORT [--host=127.0.0.1] [--interval-ms=1000]
-//                [--once]
+//                [--once] [--retries=5]
 //
 // --once renders a single frame without the ANSI screen clear and exits
 // (exit 1 when the daemon is unreachable) -- the CI smoke mode. Without it
-// the dashboard redraws every interval until interrupted.
+// the dashboard redraws every interval until interrupted. Unreachable
+// daemons are retried --retries times with exponential backoff before the
+// frame is declared lost, so a dashboard started a moment before rlocald
+// finishes binding does not die on the first refused connect.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -62,6 +65,30 @@ std::optional<std::string> http_get(const std::string& host, int port,
   }
   ::close(fd);
   return response;
+}
+
+/// http_get with bounded retry: transient connect/read failures (daemon
+/// still binding its port, a restart mid-poll) are retried with
+/// exponential backoff (100ms, 200ms, ... doubling per attempt) instead of
+/// tearing down the dashboard on the first refused loopback request. Only
+/// after `attempts` consecutive failures does it give up, and then it says
+/// so once with the full retry history rather than failing silently.
+std::optional<std::string> http_get_retry(const std::string& host, int port,
+                                          const std::string& target,
+                                          int attempts) {
+  auto backoff = std::chrono::milliseconds(100);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    std::optional<std::string> response = http_get(host, port, target);
+    if (response.has_value()) return response;
+    if (attempt == attempts) break;
+    std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+  }
+  std::cerr << "rlocal_top: cannot reach " << host << ":" << port << target
+            << " after " << attempts
+            << " attempts (exponential backoff); is rlocald running and "
+               "listening on this port?\n";
+  return std::nullopt;
 }
 
 /// Parses a JSONL response body (one JSON object per line) after stripping
@@ -193,7 +220,8 @@ int main(int argc, char** argv) {
   const int port = static_cast<int>(args.get_int("port", 0));
   if (port <= 0) {
     std::cerr << "usage: rlocal_top --port=PORT [--host=127.0.0.1]\n"
-              << "                  [--interval-ms=1000] [--once]\n";
+              << "                  [--interval-ms=1000] [--once]"
+                 " [--retries=5]\n";
     return 2;
   }
   const std::string host = args.get_string("host", "127.0.0.1");
@@ -201,17 +229,20 @@ int main(int argc, char** argv) {
       std::chrono::milliseconds(std::max<std::int64_t>(
           50, args.get_int("interval-ms", 1000)));
   const bool once = args.has("once");
+  const int attempts = static_cast<int>(std::clamp<std::int64_t>(
+      args.get_int("retries", 5), 1, 20));
 
   for (;;) {
     const std::optional<std::string> progress_raw =
-        http_get(host, port, "/progress");
+        http_get_retry(host, port, "/progress", attempts);
     if (!progress_raw.has_value()) {
-      std::cerr << "rlocal_top: cannot reach " << host << ":" << port
-                << "\n";
       if (once) return 1;
       std::this_thread::sleep_for(interval);
       continue;
     }
+    // The follow-up endpoints share the daemon we just reached; a failure
+    // here is a race with shutdown, so one attempt each is enough and the
+    // sections render as empty.
     const std::vector<JsonValue> progress = jsonl_rows(progress_raw);
     const std::vector<JsonValue> etas =
         jsonl_rows(http_get(host, port, "/eta"));

@@ -67,7 +67,27 @@ void CostLedger::observe_engine(
                              per_round_messages.end());
 }
 
+void CostLedger::observe_faults(std::int64_t dropped_messages,
+                                std::int64_t dropped_bits,
+                                std::int64_t crashed_nodes,
+                                std::int64_t skewed_deliveries) {
+  RLOCAL_CHECK(dropped_messages >= 0 && dropped_bits >= 0 &&
+                   crashed_nodes >= 0 && skewed_deliveries >= 0,
+               "fault tallies cannot be negative");
+  faults_active = true;
+  faults_dropped_messages += dropped_messages;
+  faults_dropped_bits += dropped_bits;
+  faults_crashed_nodes += crashed_nodes;
+  faults_skewed_deliveries += skewed_deliveries;
+}
+
 void CostLedger::merge_observations(const CostLedger& engine_side) {
+  if (engine_side.faults_active) {
+    observe_faults(engine_side.faults_dropped_messages,
+                   engine_side.faults_dropped_bits,
+                   engine_side.faults_crashed_nodes,
+                   engine_side.faults_skewed_deliveries);
+  }
   if (engine_side.engine_runs == 0) return;
   engine_runs += engine_side.engine_runs;
   engine_rounds_ += engine_side.engine_rounds_;

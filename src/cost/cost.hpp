@@ -88,6 +88,16 @@ struct CostLedger {
   /// the engine executed. run_cell turns this into a checker failure.
   bool mischarge = false;
 
+  // Fault-injection tallies (sim/faults.hpp; docs/faults.md). `faults_active`
+  // means a fault schedule was armed on at least one metered engine run --
+  // the block is then serialized even when every tally is zero, so faulted
+  // cells carry it deterministically; reliable cells never do.
+  bool faults_active = false;
+  std::int64_t faults_dropped_messages = 0;
+  std::int64_t faults_dropped_bits = 0;
+  std::int64_t faults_crashed_nodes = 0;
+  std::int64_t faults_skewed_deliveries = 0;
+
   // --- Charging API (solvers; see file comment) -------------------------
   /// Explicitly charge `n` synchronous rounds (accumulates).
   void charge_rounds(std::int64_t n);
@@ -100,6 +110,11 @@ struct CostLedger {
                       std::int64_t engine_bits, int engine_max_message_bits,
                       int enforced_bandwidth_bits,
                       const std::vector<std::int64_t>& per_round_messages);
+  /// Folds one armed fault schedule's tallies into the ledger (the engine
+  /// reports them alongside observe_engine when faults were injected).
+  void observe_faults(std::int64_t dropped_messages,
+                      std::int64_t dropped_bits, std::int64_t crashed_nodes,
+                      std::int64_t skewed_deliveries);
   /// Folds another ledger's engine observations into this one (run_cell
   /// merges the meter's engine-side ledger into the solver's record).
   void merge_observations(const CostLedger& engine_side);

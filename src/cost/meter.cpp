@@ -32,6 +32,15 @@ void record_engine_run(std::int64_t rounds, std::int64_t messages,
                             enforced_bandwidth_bits, per_round_messages);
 }
 
+void record_engine_faults(std::int64_t dropped_messages,
+                          std::int64_t dropped_bits,
+                          std::int64_t crashed_nodes,
+                          std::int64_t skewed_deliveries) {
+  if (tl_ledger == nullptr) return;
+  tl_ledger->observe_faults(dropped_messages, dropped_bits, crashed_nodes,
+                            skewed_deliveries);
+}
+
 void checkpoint() {
   if (tl_checkpoint != nullptr) (*tl_checkpoint)();
 }

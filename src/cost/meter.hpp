@@ -54,6 +54,14 @@ void record_engine_run(std::int64_t rounds, std::int64_t messages,
                        int enforced_bandwidth_bits,
                        const std::vector<std::int64_t>& per_round_messages);
 
+/// Folds an armed fault schedule's tallies into the active ledger; no-op
+/// when no scope is armed. Called by the engine next to record_engine_run
+/// whenever faults were injected (even if every tally is zero).
+void record_engine_faults(std::int64_t dropped_messages,
+                          std::int64_t dropped_bits,
+                          std::int64_t crashed_nodes,
+                          std::int64_t skewed_deliveries);
+
 /// Cooperative cancellation point; cheap no-op without an armed hook.
 void checkpoint();
 

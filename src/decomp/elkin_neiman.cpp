@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "rnd/prng.hpp"
 #include "sim/programs/top_two.hpp"
 #include "support/math.hpp"
 
@@ -64,6 +65,12 @@ EnResult elkin_neiman_core(const Graph& g, const ShiftBatchDrawer& draw,
 
     EngineOptions engine_options;
     engine_options.bandwidth_bits = options.bandwidth_bits;
+    if (options.faults.enabled()) {
+      engine_options.faults = options.faults;
+      engine_options.fault_seed =
+          mix3(options.fault_seed, static_cast<std::uint64_t>(phase),
+               0x656E666C74ULL);  // "enflt"
+    }
     const TopTwoResult measures =
         options.use_engine
             ? run_top_two(g, start, live, cap + 1, engine_options)
@@ -94,24 +101,43 @@ EnResult elkin_neiman_core(const Graph& g, const ShiftBatchDrawer& draw,
     // Second pass: tree parents. For a clustered non-center v with measure
     // m1 and origin o, some live neighbor u has best (o, m1 + 1) and is
     // clustered with the same origin (see header); pick the smallest such.
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      if (!live[static_cast<std::size_t>(v)]) continue;
-      const NodeId o = owner[static_cast<std::size_t>(v)];
-      if (o == -1 || o == v) continue;
-      const std::int32_t m1 =
-          measures.best[static_cast<std::size_t>(v)].value;
-      NodeId chosen = -1;
-      for (const NodeId u : g.neighbors(v)) {
-        if (!live[static_cast<std::size_t>(u)]) continue;
-        const MeasureEntry& ub = measures.best[static_cast<std::size_t>(u)];
-        if (ub.present() && ub.origin_id == g.id(o) &&
-            ub.value == m1 + 1 && owner[static_cast<std::size_t>(u)] == o) {
-          chosen = u;
-          break;
+    // Under faults that propagation invariant can break -- v's offer
+    // arrived over a wire whose later updates were dropped, so no neighbor
+    // still advertises (o, m1 + 1). Such nodes unjoin and stay live for
+    // the next phase (degraded coverage is exactly what the quality score
+    // measures), and the fixed-point loop cascades the unjoin to nodes
+    // whose only candidate parents unjoined. On a reliable network one
+    // iteration suffices and an unjoin is an invariant violation.
+    bool reparent = true;
+    while (reparent) {
+      reparent = false;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (!live[static_cast<std::size_t>(v)]) continue;
+        const NodeId o = owner[static_cast<std::size_t>(v)];
+        if (o == -1 || o == v) continue;
+        const NodeId p = parent[static_cast<std::size_t>(v)];
+        if (p != -1 && owner[static_cast<std::size_t>(p)] == o) continue;
+        const std::int32_t m1 =
+            measures.best[static_cast<std::size_t>(v)].value;
+        NodeId chosen = -1;
+        for (const NodeId u : g.neighbors(v)) {
+          if (!live[static_cast<std::size_t>(u)]) continue;
+          const MeasureEntry& ub =
+              measures.best[static_cast<std::size_t>(u)];
+          if (ub.present() && ub.origin_id == g.id(o) &&
+              ub.value == m1 + 1 && owner[static_cast<std::size_t>(u)] == o) {
+            chosen = u;
+            break;
+          }
         }
+        RLOCAL_ASSERT(chosen != -1 || options.faults.enabled());
+        if (chosen == -1) {
+          owner[static_cast<std::size_t>(v)] = -1;
+          color[static_cast<std::size_t>(v)] = -1;
+        }
+        parent[static_cast<std::size_t>(v)] = chosen;
+        reparent = true;
       }
-      RLOCAL_ASSERT(chosen != -1);
-      parent[static_cast<std::size_t>(v)] = chosen;
     }
     // Retire this phase's clustered nodes.
     for (NodeId v = 0; v < g.num_nodes(); ++v) {

@@ -27,6 +27,7 @@
 #include "decomp/decomposition.hpp"
 #include "graph/graph.hpp"
 #include "rnd/regime.hpp"
+#include "sim/faults.hpp"
 
 namespace rlocal {
 
@@ -42,6 +43,12 @@ struct EnOptions {
   /// Per-message cap handed to the engine (0 = CONGEST default); only read
   /// when use_engine is set.
   int bandwidth_bits = 0;
+  /// Fault schedule armed on each phase's engine run (sim/faults.hpp); only
+  /// read when use_engine is set. Each phase derives its own schedule from
+  /// (fault_seed, phase), so a dropped wire in phase i says nothing about
+  /// phase i + 1 -- fresh faults per phase, like the shifts.
+  FaultSpec faults{};
+  std::uint64_t fault_seed = 0;
 };
 
 /// Returns the shift for `node` in `phase`, in [1, cap].

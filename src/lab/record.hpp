@@ -45,6 +45,10 @@ struct RunRecord {
   /// engine-backed CONGEST runs; 0 = the model's default cap (the implicit
   /// pre-bandwidth-axis grid). The *enforced* cap lives in cost.
   int bandwidth_bits = 0;
+  /// The sweep's fault-axis coordinate (canonical FaultSpec name, e.g.
+  /// "drop0.05"); empty = the implicit reliable network, exactly like the
+  /// empty variant, so pre-fault-axis records stay byte-identical.
+  std::string fault;
   std::uint64_t seed = 0;
 
   // Outcome.
@@ -67,6 +71,12 @@ struct RunRecord {
   int iterations = -1;  ///< iterations of the iterative schemes
   int diameter = -1;    ///< max cluster tree diameter (decompositions)
   double objective = 0.0;  ///< problem-specific scalar (violations, size, ...)
+  /// Solution-quality score under fault injection: the checker's violation
+  /// count (0 = a fully valid output despite the faults; see docs/faults.md
+  /// for the per-problem definition). -1 on reliable cells, where validity
+  /// stays the pass/fail `checker_passed` verdict -- degraded-but-useful
+  /// outputs are *measured* on the fault axis, never on the reliable grid.
+  std::int64_t quality = -1;
 
   // Randomness ledger (from NodeRandomness).
   std::uint64_t shared_seed_bits = 0;  ///< true seed entropy consumed

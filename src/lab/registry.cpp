@@ -141,6 +141,10 @@ RunRecord Registry::run_cell(const Solver& solver, const Graph& g,
   record.graph = graph_name;
   record.regime = regime.name();
   record.bandwidth_bits = ctx.bandwidth_bits();
+  // Canonical fault coordinate ("" on the reliable grid, so pre-fault-axis
+  // records stay byte-identical). Stamped from the context, not the solver:
+  // an errored faulted cell still records which fault regime it ran under.
+  record.fault = ctx.faults().enabled() ? ctx.faults().name() : "";
   record.seed = seed;
   record.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();

@@ -33,6 +33,7 @@
 #include "graph/graph.hpp"
 #include "lab/record.hpp"
 #include "rnd/regime.hpp"
+#include "sim/faults.hpp"
 
 namespace rlocal::lab {
 
@@ -73,6 +74,18 @@ class RunContext {
   /// model's default cap" (32 ceil(log2 n) in CONGEST, unbounded in LOCAL).
   int bandwidth_bits() const { return bandwidth_bits_; }
 
+  /// Copy of this context with the cell's fault-axis coordinate attached
+  /// (sim/faults.hpp). Fault-supporting solvers arm their engine with the
+  /// spec (keyed by the cell's master seed); the disabled default is the
+  /// reliable network.
+  RunContext with_faults(const FaultSpec& faults) const {
+    RunContext ctx = *this;
+    ctx.faults_ = faults;
+    return ctx;
+  }
+  /// The sweep's fault-axis coordinate; `!enabled()` on the reliable grid.
+  const FaultSpec& faults() const { return faults_; }
+
   bool has_deadline() const { return deadline_.has_value(); }
   bool expired() const {
     return deadline_.has_value() && Clock::now() >= *deadline_;
@@ -85,6 +98,7 @@ class RunContext {
  private:
   std::optional<Clock::time_point> deadline_;
   int bandwidth_bits_ = 0;
+  FaultSpec faults_{};
 };
 
 class Solver {
@@ -112,6 +126,14 @@ class Solver {
   /// models; sweeps skip other solvers' non-zero-bandwidth cells exactly
   /// like unsupported regimes.
   bool supports_bandwidth(int bandwidth_bits) const;
+
+  /// True when the solver can execute under an injected fault schedule --
+  /// i.e. it routes its communication through sim::Engine, where the fault
+  /// plane lives. Sweeps skip other solvers' faulted cells exactly like
+  /// unsupported regimes; fault-supporting solvers must take the engine
+  /// path whenever ctx.faults().enabled() (reference shortcuts see no
+  /// wire and therefore no faults).
+  virtual bool supports_faults() const { return false; }
 
   /// Runs one cell and fills outcome/observable/ledger fields. Identity
   /// fields and wall time are stamped by the caller (Registry::run_cell).

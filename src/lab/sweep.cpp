@@ -33,6 +33,10 @@ struct Cell {
   const ParamVariant* variant = nullptr;
   const ParamMap* params = nullptr;  ///< spec params overlaid with variant's
   int bandwidth_bits = 0;            ///< bandwidth-axis coordinate
+  const FaultSpec* fault = nullptr;  ///< fault-axis coordinate
+  /// Canonical record/seed coordinate: "" for the implicit none (so the
+  /// reliable grid's seeds and frames stay byte-identical), name() else.
+  const std::string* fault_name = nullptr;
   std::uint64_t user_seed = 0;
   bool skipped = false;
 };
@@ -56,6 +60,9 @@ store::StoreManifest manifest_from_spec(
     manifest.variants.push_back(variant.name);
   }
   manifest.bandwidths = spec.bandwidths;
+  for (const FaultSpec& fault : spec.faults) {
+    manifest.faults.push_back(fault.name());
+  }
   manifest.seeds = spec.seeds;
   manifest.cell_deadline_ms = spec.cell_deadline_ms;
   manifest.rnd_backend = rnd::backend_name(rnd::active_backend());
@@ -119,6 +126,30 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
     }
   }
 
+  // Resolve the fault axis: one implicit none ("reliable network") when no
+  // coordinates are given. A non-none schedule only binds fault-supporting
+  // (engine-backed) solvers; the rest of the grid is skipped per-solver
+  // below, like unsupported regimes and bandwidths. The canonical names are
+  // the record/seed coordinates ("" for none, so default grids keep their
+  // exact cell seeds and frame bytes).
+  std::vector<FaultSpec> faults = spec.faults;
+  if (faults.empty()) faults.push_back(FaultSpec::none());
+  std::vector<std::string> fault_names;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    RLOCAL_CHECK(faults[i].drop_prob >= 0.0 && faults[i].drop_prob < 1.0 &&
+                     faults[i].crash_fraction >= 0.0 &&
+                     faults[i].crash_fraction < 1.0 &&
+                     faults[i].crash_round_cap >= 1 &&
+                     faults[i].skew_max >= 0,
+                 "sweep fault coordinate out of range");
+    fault_names.push_back(faults[i].enabled() ? faults[i].name() : "");
+    for (std::size_t j = 0; j < i; ++j) {
+      RLOCAL_CHECK(!(faults[j] == faults[i]),
+                   "duplicate sweep fault coordinate '" + faults[i].name() +
+                       "'");
+    }
+  }
+
   std::vector<Cell> cells;
   int cells_skipped = 0;
   std::uint64_t storable_cells = 0;
@@ -128,19 +159,22 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
         const bool regime_ok = solver->supports(regime);
         for (std::size_t v = 0; v < variants.size(); ++v) {
           for (const int bandwidth : bandwidths) {
-            const bool supported =
-                regime_ok && solver->supports_bandwidth(bandwidth);
-            if (!supported) {
-              // Same unit as cells_run: one per grid cell incl. the seed
-              // axis.
-              cells_skipped += static_cast<int>(spec.seeds.size());
-              if (!spec.keep_unsupported) continue;
-            }
-            for (const std::uint64_t seed : spec.seeds) {
-              cells.push_back({solver, &entry, &regime, variants[v],
-                               &variant_params[v], bandwidth, seed,
-                               !supported});
-              if (supported) ++storable_cells;
+            for (std::size_t f = 0; f < faults.size(); ++f) {
+              const bool supported =
+                  regime_ok && solver->supports_bandwidth(bandwidth) &&
+                  (!faults[f].enabled() || solver->supports_faults());
+              if (!supported) {
+                // Same unit as cells_run: one per grid cell incl. the seed
+                // axis.
+                cells_skipped += static_cast<int>(spec.seeds.size());
+                if (!spec.keep_unsupported) continue;
+              }
+              for (const std::uint64_t seed : spec.seeds) {
+                cells.push_back({solver, &entry, &regime, variants[v],
+                                 &variant_params[v], bandwidth, &faults[f],
+                                 &fault_names[f], seed, !supported});
+                if (supported) ++storable_cells;
+              }
             }
           }
         }
@@ -191,7 +225,7 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
         const std::uint64_t master =
             cell_seed(cell.user_seed, cell.solver->name(), cell.graph->name,
                       cell.regime->name(), cell.variant->name,
-                      cell.bandwidth_bits);
+                      cell.bandwidth_bits, *cell.fault_name);
         // The fingerprint already pins the grid; these per-frame checks
         // catch a store whose shards were edited or mixed by hand.
         RLOCAL_CHECK(!cell.skipped && stored.cell_seed == master &&
@@ -200,6 +234,7 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
                          stored.record.regime == cell.regime->name() &&
                          stored.record.variant == cell.variant->name &&
                          stored.record.bandwidth_bits == cell.bandwidth_bits &&
+                         stored.record.fault == *cell.fault_name &&
                          stored.record.seed == cell.user_seed,
                      "sweep store '" + store_options->dir +
                          "' frame does not match its grid cell " +
@@ -238,6 +273,7 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
     record.regime = cell.regime->name();
     record.variant = cell.variant->name;
     record.bandwidth_bits = cell.bandwidth_bits;
+    record.fault = *cell.fault_name;
     record.seed = cell.user_seed;
     record.skipped = true;
     done[i] = 1;
@@ -252,10 +288,11 @@ SweepResult run_sweep_impl(const Registry& registry, const SweepSpec& spec,
         const std::uint64_t master =
             cell_seed(cell.user_seed, cell.solver->name(), cell.graph->name,
                       cell.regime->name(), cell.variant->name,
-                      cell.bandwidth_bits);
+                      cell.bandwidth_bits, *cell.fault_name);
         const RunContext ctx =
             RunContext::with_deadline_ms(spec.cell_deadline_ms)
-                .with_bandwidth_bits(cell.bandwidth_bits);
+                .with_bandwidth_bits(cell.bandwidth_bits)
+                .with_faults(*cell.fault);
         // Per-cell span tagged solver/regime(/variant); the name is only
         // assembled when a tracing session is live, so the disabled sweep
         // allocates nothing here.
@@ -507,6 +544,21 @@ std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
   if (bandwidth_bits <= 0) return base;
   return mix3(base, static_cast<std::uint64_t>(bandwidth_bits),
               0x62616E647769ULL);  // "bandwi"
+}
+
+std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
+                        const std::string& graph, const std::string& regime,
+                        const std::string& variant, int bandwidth_bits,
+                        const std::string& fault) {
+  // The reliable network contributes nothing, exactly like the empty
+  // variant and the default bandwidth: pre-fault-axis grids keep their cell
+  // seeds, so old stores remain reproducible cell-for-cell. Both spellings
+  // of the implicit coordinate ("" in records, "none" in specs) map to the
+  // base seed.
+  const std::uint64_t base =
+      cell_seed(user_seed, solver, graph, regime, variant, bandwidth_bits);
+  if (fault.empty() || fault == "none") return base;
+  return mix3(base, fnv1a(fault), 0x6661756C7473ULL);  // "faults"
 }
 
 SweepResult run_sweep(const Registry& registry, const SweepSpec& spec) {

@@ -18,6 +18,7 @@
 
 #include "graph/generators.hpp"
 #include "lab/registry.hpp"
+#include "sim/faults.hpp"
 
 namespace rlocal::lab {
 
@@ -51,6 +52,15 @@ struct SweepSpec {
   /// solvers -- other solvers' non-zero cells are skipped exactly like
   /// unsupported regimes. Negative or duplicate entries throw.
   std::vector<int> bandwidths;
+  /// Fault-injection axis (sim/faults.hpp): each coordinate subjects
+  /// engine-backed runs to a deterministic, seed-derived fault schedule.
+  /// Empty means one implicit FaultSpec::none() coordinate = "the reliable
+  /// network" -- it contributes nothing to cell seeds or the fingerprint,
+  /// so pre-fault-axis grids stay byte-identical. Non-none coordinates bind
+  /// only fault-supporting (engine-backed) solvers; other solvers' faulted
+  /// cells are skipped exactly like unsupported regimes. Out-of-range or
+  /// duplicate (by canonical name) entries throw.
+  std::vector<FaultSpec> faults;
   int threads = 0;  ///< worker count; <= 0 -> hardware_concurrency
   /// Unsupported (solver, regime) cells: false drops them (counted in
   /// cells_skipped), true keeps a RunRecord with skipped = true.
@@ -131,7 +141,9 @@ SweepResult run_sweep(const SweepSpec& spec, const StoreOptions& store);
 /// single cell outside a sweep). The 4-argument form is the empty-variant
 /// cell; the 6-argument form adds the bandwidth coordinate (0 -- the
 /// default cap -- contributes nothing, so pre-bandwidth-axis grids keep
-/// their exact seeds, like the empty variant before it).
+/// their exact seeds, like the empty variant before it); the 7-argument
+/// form adds the fault coordinate by canonical name (""/"none" -- the
+/// reliable network -- likewise contributes nothing).
 std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
                         const std::string& graph, const std::string& regime);
 std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
@@ -140,5 +152,9 @@ std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
 std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
                         const std::string& graph, const std::string& regime,
                         const std::string& variant, int bandwidth_bits);
+std::uint64_t cell_seed(std::uint64_t user_seed, const std::string& solver,
+                        const std::string& graph, const std::string& regime,
+                        const std::string& variant, int bandwidth_bits,
+                        const std::string& fault);
 
 }  // namespace rlocal::lab

@@ -81,6 +81,24 @@ ColoringResult random_coloring(const Graph& g, NodeRandomness& rnd,
   return result;
 }
 
+std::int64_t coloring_quality(const Graph& g, const std::vector<int>& color) {
+  RLOCAL_CHECK(color.size() == static_cast<std::size_t>(g.num_nodes()),
+               "color must cover all nodes");
+  std::int64_t score = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int cv = color[static_cast<std::size_t>(v)];
+    if (cv < 0) {
+      ++score;
+      continue;
+    }
+    // Each monochromatic edge counted once, from its smaller endpoint.
+    for (const NodeId u : g.neighbors(v)) {
+      if (u > v && color[static_cast<std::size_t>(u)] == cv) ++score;
+    }
+  }
+  return score;
+}
+
 bool is_valid_coloring(const Graph& g, const std::vector<int>& color,
                        int max_colors) {
   if (color.size() != static_cast<std::size_t>(g.num_nodes())) return false;

@@ -4,6 +4,7 @@
 // randomness regime so experiment E9 can compare regimes.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -36,5 +37,10 @@ ColoringResult random_coloring(const Graph& g, NodeRandomness& rnd,
 /// True iff `color` is a proper coloring with entries in [0, max_colors).
 bool is_valid_coloring(const Graph& g, const std::vector<int>& color,
                        int max_colors);
+
+/// Fault-plane quality score (docs/faults.md): the number of monochromatic
+/// edges plus the number of uncolored nodes (color < 0). 0 iff the coloring
+/// is proper and total.
+std::int64_t coloring_quality(const Graph& g, const std::vector<int>& color);
 
 }  // namespace rlocal

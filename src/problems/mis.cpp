@@ -22,6 +22,30 @@ std::vector<bool> greedy_mis(const Graph& g,
   return in_mis;
 }
 
+std::int64_t mis_quality(const Graph& g, const std::vector<bool>& in_mis) {
+  RLOCAL_CHECK(in_mis.size() == static_cast<std::size_t>(g.num_nodes()),
+               "in_mis must cover all nodes");
+  std::int64_t score = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in_mis[static_cast<std::size_t>(v)]) {
+      // Each violated edge counted once, from its smaller endpoint.
+      for (const NodeId u : g.neighbors(v)) {
+        if (u > v && in_mis[static_cast<std::size_t>(u)]) ++score;
+      }
+    } else {
+      bool covered = false;
+      for (const NodeId u : g.neighbors(v)) {
+        if (in_mis[static_cast<std::size_t>(u)]) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) ++score;
+    }
+  }
+  return score;
+}
+
 std::vector<bool> greedy_mis_by_id(const Graph& g) {
   std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
   std::iota(order.begin(), order.end(), 0);

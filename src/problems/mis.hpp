@@ -5,6 +5,7 @@
 // machinery (MIS is O(1)-locally checkable).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/algorithms.hpp"
@@ -15,6 +16,12 @@ namespace rlocal {
 
 /// Sequential greedy MIS in the given processing order (SLOCAL locality 1).
 std::vector<bool> greedy_mis(const Graph& g, const std::vector<NodeId>& order);
+
+/// Fault-plane quality score (docs/faults.md): the number of independence
+/// violations (edges with both endpoints in the set) plus the number of
+/// uncovered nodes (neither in the set nor adjacent to it). 0 iff `in_mis`
+/// is a maximal independent set; undecided nodes score as not-in-set.
+std::int64_t mis_quality(const Graph& g, const std::vector<bool>& in_mis);
 
 /// Greedy MIS in ascending-identifier order.
 std::vector<bool> greedy_mis_by_id(const Graph& g);

@@ -56,6 +56,7 @@ CellEntry entry_from(const store::StoredRecord& stored,
   entry.variant = stored.record.variant;
   entry.seed = stored.record.seed;
   entry.bandwidth_bits = stored.record.bandwidth_bits;
+  entry.fault = stored.record.fault;
   entry.skipped = stored.record.skipped;
   // Same failure criterion as run_sweep's cells_failed tally.
   entry.failed = !stored.record.skipped &&
@@ -65,6 +66,7 @@ CellEntry entry_from(const store::StoredRecord& stored,
   entry.messages = stored.record.cost.messages;
   entry.total_bits = stored.record.cost.total_bits;
   entry.wall_ms = stored.record.wall_ms;
+  entry.quality = stored.record.quality;
   entry.shard_path = shard_path;
   entry.frame_offset = offset;
   entry.frame_length = length;
@@ -74,8 +76,8 @@ CellEntry entry_from(const store::StoredRecord& stored,
 }  // namespace
 
 const std::vector<std::string>& agg_metrics() {
-  static const std::vector<std::string> kMetrics = {"rounds", "messages",
-                                                    "total_bits", "wall_ms"};
+  static const std::vector<std::string> kMetrics = {
+      "rounds", "messages", "total_bits", "wall_ms", "quality"};
   return kMetrics;
 }
 
@@ -112,6 +114,9 @@ std::vector<AggRow> aggregate(const IndexSnapshot& snapshot,
         metrics["total_bits"].push_back(static_cast<double>(cell.total_bits));
       }
       if (cell.wall_ms >= 0) metrics["wall_ms"].push_back(cell.wall_ms);
+      if (cell.quality >= 0) {
+        metrics["quality"].push_back(static_cast<double>(cell.quality));
+      }
     }
     for (auto& [key, metrics] : groups) {
       for (const std::string& metric : agg_metrics()) {
@@ -145,10 +150,11 @@ std::vector<CompareRow> compare_regimes(const IndexSnapshot& snapshot,
   std::vector<CompareRow> rows;
   if (filter.regime_a.empty() || filter.regime_b.empty()) return rows;
   for (const std::shared_ptr<const StoreIndex>& store : snapshot.stores) {
-    // Pair cells on every grid coordinate except the regime, so each ratio
-    // compares the same experiment under the two regimes.
-    using PairKey =
-        std::tuple<std::string, std::string, std::string, int, std::uint64_t>;
+    // Pair cells on every grid coordinate except the regime (including the
+    // fault coordinate), so each ratio compares the same experiment under
+    // the two regimes.
+    using PairKey = std::tuple<std::string, std::string, std::string, int,
+                               std::string, std::uint64_t>;
     std::map<PairKey, std::pair<const CellEntry*, const CellEntry*>> paired;
     for (const auto& [index, cell] : store->cells) {
       if (cell.skipped) continue;
@@ -157,7 +163,7 @@ std::vector<CompareRow> compare_regimes(const IndexSnapshot& snapshot,
       const bool is_b = cell.regime == filter.regime_b;
       if (!is_a && !is_b) continue;
       auto& slot = paired[{cell.solver, cell.graph, cell.variant,
-                           cell.bandwidth_bits, cell.seed}];
+                           cell.bandwidth_bits, cell.fault, cell.seed}];
       (is_a ? slot.first : slot.second) = &cell;
     }
     struct Acc {
@@ -176,6 +182,7 @@ std::vector<CompareRow> compare_regimes(const IndexSnapshot& snapshot,
           if (metric == "total_bits") {
             return static_cast<double>(cell.total_bits);
           }
+          if (metric == "quality") return static_cast<double>(cell.quality);
           return cell.wall_ms;
         };
         const double a = value(*cells.first);
@@ -205,6 +212,83 @@ std::vector<CompareRow> compare_regimes(const IndexSnapshot& snapshot,
       row.ratio_p50 = nearest_rank(acc.ratios, 0.5);
       row.ratio_p90 = nearest_rank(acc.ratios, 0.9);
       row.ratio_max = acc.ratios.back();
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::vector<FaultRow> compare_faults(const IndexSnapshot& snapshot,
+                                     const FaultFilter& filter) {
+  std::vector<FaultRow> rows;
+  for (const std::shared_ptr<const StoreIndex>& store : snapshot.stores) {
+    // Pair cells on every grid coordinate except the fault: the reliable
+    // side ("") is the baseline for each faulted sibling.
+    using PairKey = std::tuple<std::string, std::string, std::string,
+                               std::string, int, std::uint64_t>;
+    std::map<PairKey, std::pair<const CellEntry*,
+                                std::vector<const CellEntry*>>>
+        paired;
+    for (const auto& [index, cell] : store->cells) {
+      if (cell.skipped) continue;
+      if (!filter.solver.empty() && cell.solver != filter.solver) continue;
+      if (!filter.regime.empty() && cell.regime != filter.regime) continue;
+      if (!filter.fault.empty() && !cell.fault.empty() &&
+          cell.fault != filter.fault) {
+        continue;
+      }
+      auto& slot = paired[{cell.solver, cell.graph, cell.regime,
+                           cell.variant, cell.bandwidth_bits, cell.seed}];
+      if (cell.fault.empty()) {
+        slot.first = &cell;
+      } else {
+        slot.second.push_back(&cell);
+      }
+    }
+    struct Acc {
+      std::vector<double> qualities;
+      std::vector<double> round_ratios;
+    };
+    // (solver, regime, variant, fault) -> accumulated pairs.
+    std::map<std::tuple<std::string, std::string, std::string, std::string>,
+             Acc>
+        groups;
+    for (const auto& [key, slot] : paired) {
+      const CellEntry* reliable = slot.first;
+      // No clean baseline: the reliable sibling is missing or itself
+      // failed, so the delta would not isolate the injected faults.
+      if (reliable == nullptr || reliable->failed) continue;
+      for (const CellEntry* faulty : slot.second) {
+        if (faulty->quality < 0) continue;  // errored before scoring
+        Acc& acc = groups[{faulty->solver, faulty->regime, faulty->variant,
+                           faulty->fault}];
+        acc.qualities.push_back(static_cast<double>(faulty->quality));
+        if (reliable->rounds > 0 && faulty->rounds >= 0) {
+          acc.round_ratios.push_back(static_cast<double>(faulty->rounds) /
+                                     static_cast<double>(reliable->rounds));
+        }
+      }
+    }
+    for (auto& [key, acc] : groups) {
+      if (acc.qualities.empty()) continue;
+      std::sort(acc.qualities.begin(), acc.qualities.end());
+      std::sort(acc.round_ratios.begin(), acc.round_ratios.end());
+      FaultRow row;
+      row.fingerprint = store->manifest.fingerprint;
+      row.solver = std::get<0>(key);
+      row.regime = std::get<1>(key);
+      row.variant = std::get<2>(key);
+      row.fault = std::get<3>(key);
+      row.pairs = acc.qualities.size();
+      double sum = 0;
+      for (const double q : acc.qualities) sum += q;
+      row.quality_mean = sum / static_cast<double>(acc.qualities.size());
+      row.quality_p50 = nearest_rank(acc.qualities, 0.5);
+      row.quality_p90 = nearest_rank(acc.qualities, 0.9);
+      row.quality_max = acc.qualities.back();
+      row.rounds_ratio_p50 = acc.round_ratios.empty()
+                                 ? 0
+                                 : nearest_rank(acc.round_ratios, 0.5);
       rows.push_back(std::move(row));
     }
   }

@@ -16,8 +16,8 @@
 //
 // Aggregation (the /agg endpoint and tests) is computed from per-cell
 // summaries grouped by (solver, regime, variant): nearest-rank percentiles
-// over rounds / messages / total_bits / wall_ms, with "not measured"
-// scalars excluded per metric and skipped cells excluded entirely.
+// over rounds / messages / total_bits / wall_ms / quality, with "not
+// measured" scalars excluded per metric and skipped cells excluded entirely.
 // compare_sweep.py --agg recomputes the same numbers from the raw store,
 // pinning the daemon's math to the offline truth.
 #pragma once
@@ -46,6 +46,8 @@ struct CellEntry {
   std::string variant;
   std::uint64_t seed = 0;
   int bandwidth_bits = 0;  ///< per-message cap axis; part of /compare's key
+  /// Fault-axis coordinate (canonical spec name; "" = reliable network).
+  std::string fault;
   bool skipped = false;
   /// Errored or checker-failed (the sweep's cells_failed criterion); feeds
   /// /metrics' rlocal_cells_failed_total and /progress' failed_cells.
@@ -56,6 +58,9 @@ struct CellEntry {
   std::int64_t messages = -1;
   std::int64_t total_bits = -1;
   double wall_ms = -1.0;
+  /// Fault-plane quality score (violations; 0 = perfect output); -1 on
+  /// reliable cells, where the pass/fail checker verdict applies instead.
+  std::int64_t quality = -1;
   // Frame location (last-write-wins winner for this cell_index).
   std::string shard_path;
   std::uint64_t frame_offset = 0;  ///< byte offset of the frame line
@@ -105,6 +110,7 @@ struct AggRow {
   std::string regime;
   std::string variant;
   std::string metric;  ///< "rounds" | "messages" | "total_bits" | "wall_ms"
+                       ///< | "quality"
   std::uint64_t count = 0;
   double sum = 0;
   double mean = 0;
@@ -123,7 +129,7 @@ struct AggFilter {
   std::string metric;
 };
 
-const std::vector<std::string>& agg_metrics();  ///< the four metric names
+const std::vector<std::string>& agg_metrics();  ///< the five metric names
 
 /// Nearest-rank percentile over ascending `sorted`: element at index
 /// ceil(q * n) - 1 (clamped). Shared with compare_sweep.py --agg.
@@ -169,6 +175,41 @@ struct CompareFilter {
 /// deterministic (solver, variant, metric) order per store.
 std::vector<CompareRow> compare_regimes(const IndexSnapshot& snapshot,
                                         const CompareFilter& filter);
+
+/// One /faults row: the same-experiment contrast between the reliable
+/// network and one injected fault spec. Cells are paired on every grid
+/// coordinate except the fault ("" = reliable), per (solver, regime,
+/// variant, fault) group. Quality percentiles are nearest-rank over the
+/// faulted side's scores -- the reliable side reads as 0 violations when
+/// its checker passed, and pairs whose reliable side failed outright are
+/// dropped (no clean baseline). rounds_ratio_p50 is the faulted / reliable
+/// metered round count over pairs where both sides measured > 0 rounds.
+struct FaultRow {
+  std::string fingerprint;
+  std::string solver;
+  std::string regime;
+  std::string variant;
+  std::string fault;  ///< canonical FaultSpec name of the faulted side
+  std::uint64_t pairs = 0;
+  double quality_mean = 0;
+  double quality_p50 = 0;
+  double quality_p90 = 0;
+  double quality_max = 0;
+  double rounds_ratio_p50 = 0;  ///< 0 when no pair had both sides metered
+};
+
+/// Filters for compare_faults(); all optional narrowing (empty = all).
+struct FaultFilter {
+  std::string solver;
+  std::string regime;
+  std::string fault;
+};
+
+/// Paired reliable-vs-faulted comparison over a snapshot (the /faults
+/// endpoint), in deterministic (solver, regime, variant, fault) order per
+/// store. Stores without a fault axis contribute no rows.
+std::vector<FaultRow> compare_faults(const IndexSnapshot& snapshot,
+                                     const FaultFilter& filter);
 
 class AggIndex {
  public:

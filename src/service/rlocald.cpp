@@ -146,7 +146,7 @@ HttpResponse Daemon::handle(const HttpRequest& request) {
           metrics.end()) {
         return {400, "text/plain",
                 "unknown metric '" + filter.metric +
-                    "' (rounds|messages|total_bits|wall_ms)\n"};
+                    "' (rounds|messages|total_bits|wall_ms|quality)\n"};
       }
     }
     std::ostringstream out;
@@ -346,12 +346,14 @@ HttpResponse Daemon::handle(const HttpRequest& request) {
         w.field("seed", entry.seed);
         w.field("bandwidth_bits",
                 static_cast<std::int64_t>(entry.bandwidth_bits));
+        if (!entry.fault.empty()) w.field("fault", entry.fault);
         w.field("skipped", entry.skipped);
         w.field("failed", entry.failed);
         w.field("rounds", entry.rounds);
         w.field("messages", entry.messages);
         w.field("total_bits", entry.total_bits);
         w.field("wall_ms", entry.wall_ms);
+        if (entry.quality >= 0) w.field("quality", entry.quality);
         w.end_object();
         out << '\n';
         ++emitted;
@@ -462,7 +464,7 @@ HttpResponse Daemon::handle(const HttpRequest& request) {
           metrics.end()) {
         return {400, "text/plain",
                 "unknown metric '" + filter.metric +
-                    "' (rounds|messages|total_bits|wall_ms)\n"};
+                    "' (rounds|messages|total_bits|wall_ms|quality)\n"};
       }
     }
     std::ostringstream out;
@@ -488,9 +490,36 @@ HttpResponse Daemon::handle(const HttpRequest& request) {
     return jsonl(out.str());
   }
 
+  if (request.path == "/faults") {
+    FaultFilter filter;
+    filter.solver = get("solver");
+    filter.regime = get("regime");
+    filter.fault = get("fault");
+    std::ostringstream out;
+    for (const FaultRow& row : compare_faults(*snapshot, filter)) {
+      JsonWriter w(out, /*indent=*/0);
+      w.begin_object();
+      w.field("store", row.fingerprint);
+      w.field("solver", row.solver);
+      w.field("regime", row.regime);
+      w.field("variant", row.variant);
+      w.field("fault", row.fault);
+      w.field("pairs", row.pairs);
+      w.field("quality_mean", row.quality_mean);
+      w.field("quality_p50", row.quality_p50);
+      w.field("quality_p90", row.quality_p90);
+      w.field("quality_max", row.quality_max);
+      w.field("rounds_ratio_p50", row.rounds_ratio_p50);
+      w.end_object();
+      out << '\n';
+    }
+    return jsonl(out.str());
+  }
+
   return not_found(
       "no such route (try /healthz, /sweeps, /agg, /records, /metrics, "
-      "/progress, /workers, /stragglers, /eta, /profile, /compare)");
+      "/progress, /workers, /stragglers, /eta, /profile, /compare, "
+      "/faults)");
 }
 
 }  // namespace rlocal::service

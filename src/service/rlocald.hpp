@@ -22,6 +22,9 @@
 //                              from the store's profile sidecars
 //   GET /compare?regime_a=&regime_b=[&solver=][&metric=]
 //                           -- paired per-cell regime ratio rows
+//   GET /faults?[solver=][&regime=][&fault=]
+//                           -- paired reliable-vs-faulted quality rows
+//                              (fault-injection sweeps; docs/faults.md)
 //   GET /metrics, /progress -- Prometheus exposition / drain progress
 //
 // The daemon binary is bench/rlocald.cpp; this class is the embeddable

@@ -21,6 +21,12 @@ void Context::broadcast(std::span<const std::uint64_t> words, int bits) {
 
 Engine::Engine(const Graph& g, EngineOptions options)
     : graph_(&g), options_(options) {
+  if (options_.faults.enabled()) {
+    // Realizing the spec is the only up-front fault work (per-node crash and
+    // skew draws); the span makes schedule construction attributable.
+    obs::ObsSpan fault_span("faults", "fault_inject");
+    faults_.emplace(options_.faults, options_.fault_seed, g.num_nodes());
+  }
   bandwidth_bits_ =
       options_.bandwidth_bits > 0
           ? options_.bandwidth_bits
@@ -87,16 +93,54 @@ void Engine::submit_broadcast(NodeId from,
   for (int p = 0; p < degree; ++p) submit_at(from, p, bits, offset, count);
 }
 
-void Engine::deliver_round() {
+void Engine::deliver_round(int round) {
   std::swap(send_arena_, deliver_arena_);
   send_arena_.clear();
   const auto slots = deliver_arena_.slots();
   const auto n = static_cast<std::size_t>(graph_->num_nodes());
+  // Fault plane, pass 1: classify every slot (deliver / drop / delay) and
+  // pull previously delayed messages due this round. Decisions are pure
+  // functions of (schedule, directed edge, round), so the classification is
+  // independent of slot order and thread schedule.
+  due_.clear();
+  if (faults_.has_value()) {
+    if (const auto it = delayed_.find(round); it != delayed_.end()) {
+      due_ = std::move(it->second);
+      delayed_.erase(it);
+    }
+    slot_action_.assign(slots.size(), 0);  // 0 deliver, 1 drop, 2 delay
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      const auto& slot = slots[s];
+      if (faults_->drop(slot.to, slot.to_port, round)) {
+        slot_action_[s] = 1;
+        stats_.dropped_messages += 1;
+        stats_.dropped_bits += slot.bits;
+        continue;
+      }
+      // neighbors(to)[to_port] is the sender (the reverse-port contract);
+      // its skew defers the delivery whole rounds, one coin already spent.
+      const NodeId sender =
+          graph_->neighbors(slot.to)[static_cast<std::size_t>(slot.to_port)];
+      const int skew = faults_->skew(sender);
+      if (skew > 0) {
+        slot_action_[s] = 2;
+        const auto words = deliver_arena_.words(slot);
+        delayed_[round + skew].push_back(
+            DelayedMessage{slot.to, slot.to_port, slot.bits,
+                           {words.begin(), words.end()}});
+      }
+    }
+  }
   // CSR index: count per destination, prefix-sum, then fill in submission
   // order (stable per node, matching the old per-node push_back order).
+  // Delayed messages due this round precede the round's own arrivals.
   std::fill(inbox_cursor_.begin(), inbox_cursor_.end(), 0u);
-  for (const auto& slot : slots) {
-    ++inbox_cursor_[static_cast<std::size_t>(slot.to)];
+  for (const auto& delayed : due_) {
+    ++inbox_cursor_[static_cast<std::size_t>(delayed.to)];
+  }
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (faults_.has_value() && slot_action_[s] != 0) continue;
+    ++inbox_cursor_[static_cast<std::size_t>(slots[s].to)];
   }
   std::uint32_t total = 0;
   for (std::size_t v = 0; v < n; ++v) {
@@ -106,7 +150,15 @@ void Engine::deliver_round() {
   }
   inbox_offset_[n] = total;
   incoming_.resize(total);
-  for (const auto& slot : slots) {
+  for (const auto& delayed : due_) {
+    stats_.skewed_deliveries += 1;
+    incoming_[inbox_cursor_[static_cast<std::size_t>(delayed.to)]++] =
+        Incoming{delayed.to_port, delayed.bits,
+                 {delayed.words.data(), delayed.words.size()}};
+  }
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (faults_.has_value() && slot_action_[s] != 0) continue;
+    const auto& slot = slots[s];
     incoming_[inbox_cursor_[static_cast<std::size_t>(slot.to)]++] =
         Incoming{slot.to_port, slot.bits, deliver_arena_.words(slot)};
   }
@@ -152,8 +204,21 @@ EngineStats Engine::run(const ProgramFactory& factory) {
       messages_total.add(
           static_cast<std::uint64_t>(engine->stats_.messages));
       arena_gauge.record_max(arena_high_water);
+      if (engine->faults_.has_value()) {
+        static obs::Counter& dropped_total =
+            obs::counter("rlocal_faults_dropped_total");
+        static obs::Counter& crashed_total =
+            obs::counter("rlocal_faults_crashed_nodes_total");
+        dropped_total.add(
+            static_cast<std::uint64_t>(engine->stats_.dropped_messages));
+        crashed_total.add(
+            static_cast<std::uint64_t>(engine->stats_.crashed_nodes));
+      }
     }
   } obs_report{this};
+  stats_.faulted = faults_.has_value();
+  delayed_.clear();
+  due_.clear();
   send_arena_.clear();
   deliver_arena_.clear();
   incoming_.clear();
@@ -200,10 +265,24 @@ EngineStats Engine::run(const ProgramFactory& factory) {
     // and messages executed before expiry still reach the meter via the
     // MeterReport guard above.
     cost::checkpoint();
-    // Check halting before delivering: if everyone halted we are done.
+    // Crash-stop takes effect at the round boundary: a node crashing at
+    // round c participates fully through c-1, then never runs again.
+    // Tallied here, before the halting check, so a crash that *ends* the
+    // run (everyone else already halted) is still metered, and tallied
+    // per round entered so partial (deadline/violation) runs meter
+    // correctly.
+    if (faults_.has_value()) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (faults_->crash_round(v) == round) ++stats_.crashed_nodes;
+      }
+    }
+    // Check halting before delivering: if everyone halted we are done. A
+    // crash-stopped node counts as halted -- it stays in the graph but takes
+    // no further rounds, so it must not keep the run alive.
     bool all_halted = true;
     for (NodeId v = 0; v < n; ++v) {
-      if (!programs_[static_cast<std::size_t>(v)]->halted()) {
+      if (!programs_[static_cast<std::size_t>(v)]->halted() &&
+          !(faults_.has_value() && faults_->crashed(v, round))) {
         all_halted = false;
         break;
       }
@@ -216,7 +295,7 @@ EngineStats Engine::run(const ProgramFactory& factory) {
     // Deliver messages sent in the previous round (arena swap + CSR fill;
     // the new send arena is empty and the delivered spans stay stable for
     // the whole round).
-    deliver_round();
+    deliver_round(round);
     obs_report.arena_high_water =
         std::max(obs_report.arena_high_water, deliver_arena_.byte_size());
     for (auto& used : port_used_) {
@@ -232,6 +311,7 @@ EngineStats Engine::run(const ProgramFactory& factory) {
     const std::int64_t messages_before = stats_.messages;
     for (NodeId v = 0; v < n; ++v) {
       auto& program = *programs_[static_cast<std::size_t>(v)];
+      if (faults_.has_value() && faults_->crashed(v, round)) continue;
       if (program.halted()) continue;
       Context ctx = make_context(v, round);
       program.on_round(ctx);
@@ -241,7 +321,9 @@ EngineStats Engine::run(const ProgramFactory& factory) {
 
   stats_.completed = true;
   for (NodeId v = 0; v < n; ++v) {
-    if (!programs_[static_cast<std::size_t>(v)]->halted()) {
+    if (!programs_[static_cast<std::size_t>(v)]->halted() &&
+        !(faults_.has_value() &&
+          faults_->crashed(v, options_.max_rounds))) {
       stats_.completed = false;
       break;
     }
@@ -257,6 +339,13 @@ void Engine::report_run_to_meter() const {
       stats_.max_message_bits,
       options_.model == CommModel::kCongest ? bandwidth_bits_ : 0,
       stats_.per_round_messages);
+  if (faults_.has_value()) {
+    // Armed schedules always report (possibly all-zero) fault tallies, so a
+    // faulted cell's cost block carries a faults section deterministically.
+    cost::record_engine_faults(stats_.dropped_messages, stats_.dropped_bits,
+                               stats_.crashed_nodes,
+                               stats_.skewed_deliveries);
+  }
 }
 
 }  // namespace rlocal

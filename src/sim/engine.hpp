@@ -21,12 +21,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/faults.hpp"
 
 namespace rlocal {
 
@@ -175,6 +178,12 @@ struct EngineOptions {
   /// 0 means "use the default 32 * ceil(log2 n) bits".
   int bandwidth_bits = 0;
   int max_rounds = 1 << 16;
+  /// Fault injection (sim/faults.hpp): when `faults.enabled()` the engine
+  /// realizes the spec as a FaultSchedule keyed by `fault_seed` (the cell's
+  /// master seed in a sweep) and applies it at the delivery step. The
+  /// disabled default costs the reliable path nothing.
+  FaultSpec faults{};
+  std::uint64_t fault_seed = 0;
 };
 
 struct EngineStats {
@@ -182,10 +191,18 @@ struct EngineStats {
   std::int64_t messages = 0;
   std::int64_t total_bits = 0;
   int max_message_bits = 0;
-  bool completed = false;  ///< all programs halted within max_rounds
+  bool completed = false;  ///< all live programs halted within max_rounds
   /// Messages submitted per round (index 0 = on_start sends). The raw data
   /// behind the cost ledger's per-round p50/p95/max histogram.
   std::vector<std::int64_t> per_round_messages;
+  // Fault-injection tallies (all stay 0 on a reliable run). Send-side
+  // counters above still include dropped/delayed traffic -- the sender paid
+  // for the message; these meter what the network then did to it.
+  bool faulted = false;  ///< a fault schedule was armed for this run
+  std::int64_t dropped_messages = 0;
+  std::int64_t dropped_bits = 0;
+  int crashed_nodes = 0;  ///< nodes that crash-stopped during this run
+  std::int64_t skewed_deliveries = 0;  ///< messages delivered late
 };
 
 class Engine {
@@ -205,6 +222,10 @@ class Engine {
 
   int bandwidth_bits() const { return bandwidth_bits_; }
   const Graph& graph() const { return *graph_; }
+  /// The armed fault schedule, or nullptr on a reliable engine.
+  const FaultSchedule* fault_schedule() const {
+    return faults_.has_value() ? &*faults_ : nullptr;
+  }
 
  private:
   friend class Context;
@@ -218,8 +239,12 @@ class Engine {
                         int bits);
   /// Swaps send/deliver arenas and rebuilds the CSR inbox index over the
   /// deliver arena's slots (counts -> prefix sums -> fill); all buffers are
-  /// reused, so a steady-state round allocates nothing.
-  void deliver_round();
+  /// reused, so a steady-state round allocates nothing. Under an armed
+  /// fault schedule the slots are filtered first: dropped deliveries are
+  /// metered and discarded, skewed senders' payloads are copied into the
+  /// cross-round delay buffer, and previously delayed messages due at
+  /// `round` join the inbox ahead of this round's arrivals.
+  void deliver_round(int round);
   /// Reports the finished run into the active cost meter (cost/meter.hpp);
   /// no-op outside a metered cell.
   void report_run_to_meter() const;
@@ -242,6 +267,20 @@ class Engine {
   EngineStats stats_;
   // Reverse port map: for edge (u -> v) at u's port p, the port of u at v.
   std::vector<std::vector<int>> reverse_port_;
+
+  // Fault plane (inactive on reliable runs). Skewed payloads are the one
+  // per-message copy the engine makes: arena words only live one round, so
+  // a message crossing round boundaries must own its words until delivery.
+  std::optional<FaultSchedule> faults_;
+  struct DelayedMessage {
+    NodeId to;
+    int to_port;
+    int bits;
+    std::vector<std::uint64_t> words;
+  };
+  std::map<int, std::vector<DelayedMessage>> delayed_;  // keyed by due round
+  std::vector<DelayedMessage> due_;  // due this round; spans point in here
+  std::vector<char> slot_action_;    // scratch: deliver/drop/delay per slot
 };
 
 }  // namespace rlocal

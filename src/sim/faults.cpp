@@ -1,0 +1,174 @@
+#include "sim/faults.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "rnd/prng.hpp"
+#include "support/assert.hpp"
+
+namespace rlocal {
+namespace {
+
+// Domain separators for the fault stream's evaluation points. The stream
+// itself is keyed by mix3(cell_seed, kFaultPlane, ...), so it shares no
+// coins with NodeRandomness (which derives from the same cell seed through
+// regime-specific paths); the per-decision domains below keep drop, crash,
+// crash-round and skew draws on disjoint points of that one stream.
+constexpr std::uint64_t kFaultPlane = 0x6661756C7473ULL;   // "faults"
+constexpr std::uint64_t kFaultInject = 0x696E6A656374ULL;  // "inject"
+constexpr std::uint64_t kDropDomain = 0x64726F70ULL;       // "drop"
+constexpr std::uint64_t kCrashDomain = 0x6372617368ULL;    // "crash"
+constexpr std::uint64_t kCrashRoundDomain = 0x6372726E64ULL;  // "crrnd"
+constexpr std::uint64_t kSkewDomain = 0x736B6577ULL;  // "skew"
+
+/// Independence degree of the fault stream. Fault coins need no more
+/// independence than the algorithms' own k-wise regimes use; 16 matches the
+/// default scarce-regime k and keeps schedule construction cheap.
+constexpr int kFaultK = 16;
+
+/// Shortest decimal that round-trips: %g (6 significant digits) when it
+/// re-parses exactly, %.17g otherwise. Coordinate names are identity (cell
+/// seeds and store frames hash them), so lossy formatting is not an option.
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  if (std::strtod(buffer, nullptr) != value) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  }
+  return buffer;
+}
+
+/// Parses `text` after `prefix` as a double; false when the prefix does not
+/// match or trailing characters remain before `end` (std::string::npos =
+/// the whole string).
+bool parse_component(const std::string& text, const std::string& prefix,
+                     double* out) {
+  if (text.rfind(prefix, 0) != 0 || text.size() == prefix.size()) {
+    return false;
+  }
+  const char* begin = text.c_str() + prefix.size();
+  char* end = nullptr;
+  *out = std::strtod(begin, &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+std::string FaultSpec::name() const {
+  if (!enabled()) return "none";
+  std::string out;
+  const auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += '+';
+    out += part;
+  };
+  if (drop_prob > 0.0) append("drop" + format_double(drop_prob));
+  if (crash_fraction > 0.0) {
+    append("crash" + format_double(crash_fraction) + "@" +
+           std::to_string(crash_round_cap));
+  }
+  if (skew_max > 0) append("skew" + std::to_string(skew_max));
+  return out;
+}
+
+std::optional<FaultSpec> FaultSpec::parse(const std::string& text) {
+  if (text == "none") return FaultSpec::none();
+  if (text.empty()) return std::nullopt;
+  FaultSpec spec;
+  bool saw_drop = false;
+  bool saw_crash = false;
+  bool saw_skew = false;
+  std::size_t at = 0;
+  while (at <= text.size()) {
+    const std::size_t plus = text.find('+', at);
+    const std::string token = text.substr(
+        at, plus == std::string::npos ? std::string::npos : plus - at);
+    at = plus == std::string::npos ? text.size() + 1 : plus + 1;
+    double value = 0.0;
+    if (parse_component(token, "drop", &value)) {
+      if (saw_drop || value < 0.0 || value >= 1.0) return std::nullopt;
+      saw_drop = true;
+      spec.drop_prob = value;
+    } else if (token.rfind("crash", 0) == 0) {
+      if (saw_crash) return std::nullopt;
+      saw_crash = true;
+      std::string fraction_text = token.substr(5);
+      const std::size_t sep = fraction_text.find('@');
+      if (sep != std::string::npos) {
+        const std::string cap_text = fraction_text.substr(sep + 1);
+        fraction_text = fraction_text.substr(0, sep);
+        char* end = nullptr;
+        const long cap = std::strtol(cap_text.c_str(), &end, 10);
+        if (cap_text.empty() || end == nullptr || *end != '\0' || cap < 1 ||
+            cap > (1 << 20)) {
+          return std::nullopt;
+        }
+        spec.crash_round_cap = static_cast<int>(cap);
+      }
+      if (!parse_component("crash" + fraction_text, "crash", &value) ||
+          value < 0.0 || value >= 1.0) {
+        return std::nullopt;
+      }
+      spec.crash_fraction = value;
+    } else if (parse_component(token, "skew", &value)) {
+      const int skew = static_cast<int>(value);
+      if (saw_skew || value != skew || skew < 0 || skew > (1 << 10)) {
+        return std::nullopt;
+      }
+      saw_skew = true;
+      spec.skew_max = skew;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return spec;
+}
+
+bool operator==(const FaultSpec& a, const FaultSpec& b) {
+  // The canonical name is the identity (it omits don't-care fields, e.g.
+  // the crash-round cap of a spec that crashes nobody).
+  return a.name() == b.name();
+}
+
+FaultSchedule::FaultSchedule(const FaultSpec& spec, std::uint64_t cell_seed,
+                             NodeId n)
+    : spec_(spec),
+      stream_(KWiseGenerator::from_seed(
+          kFaultK, 64, mix3(cell_seed, kFaultPlane, kFaultInject))) {
+  RLOCAL_CHECK(spec.drop_prob >= 0.0 && spec.drop_prob < 1.0 &&
+                   spec.crash_fraction >= 0.0 && spec.crash_fraction < 1.0 &&
+                   spec.crash_round_cap >= 1 && spec.skew_max >= 0,
+               "fault spec out of range: " + spec.name());
+  crash_round_.assign(static_cast<std::size_t>(n), -1);
+  skew_.assign(static_cast<std::size_t>(n), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto node = static_cast<std::uint64_t>(v);
+    if (spec_.crash_fraction > 0.0 &&
+        stream_.bernoulli(mix3(kCrashDomain, node, 0),
+                          spec_.crash_fraction)) {
+      // Uniform crash round in [1, cap]; the 64-bit modulo bias is < 2^-44
+      // for any cap the parser admits.
+      crash_round_[static_cast<std::size_t>(v)] = static_cast<int>(
+          1 + stream_.value(mix3(kCrashRoundDomain, node, 0)) %
+                  static_cast<std::uint64_t>(spec_.crash_round_cap));
+    }
+    if (spec_.skew_max > 0) {
+      skew_[static_cast<std::size_t>(v)] = static_cast<int>(
+          stream_.value(mix3(kSkewDomain, node, 0)) %
+          static_cast<std::uint64_t>(spec_.skew_max + 1));
+    }
+  }
+}
+
+bool FaultSchedule::drop(NodeId to, int to_port, int round) const {
+  if (spec_.drop_prob <= 0.0) return false;
+  // One coin per (directed edge, scheduled round): (to, to_port) names the
+  // directed edge uniquely, so the decision is slot-order-independent.
+  const std::uint64_t edge =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(to)) << 28) ^
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(to_port));
+  return stream_.bernoulli(
+      mix3(kDropDomain, edge, static_cast<std::uint64_t>(round)),
+      spec_.drop_prob);
+}
+
+}  // namespace rlocal

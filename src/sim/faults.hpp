@@ -1,0 +1,102 @@
+// Fault injection for the synchronous engine: unreliable networks as a
+// first-class, *deterministic* experiment axis (docs/faults.md).
+//
+// A FaultSpec names three classic failure modes -- per-delivery message
+// drops, crash-stop nodes, per-node delivery skew -- and a FaultSchedule
+// realizes a spec as a pure function of (spec, seed, graph size). Fault
+// coins come from a dedicated GF(2^64) k-wise stream keyed by the cell's
+// master seed with a fault-plane salt, addressed by (edge, round) or node:
+// the schedule never touches NodeRandomness (algorithm randomness and its
+// seed-bit ledgers are byte-identical to a schedule-free run of the same
+// draws), and every decision is stateless, so a given (spec, seed) yields
+// the same fault trace regardless of thread count, claim ownership, or
+// kill/resume -- the determinism contract the sweep store depends on.
+//
+// The engine consumes the schedule at the MessageArena routing step
+// (sim/engine.cpp): dropped messages vanish between send and delivery (the
+// send-side cost meter already charged them; the faults cost block meters
+// the loss), crashed nodes stop taking rounds but remain in the graph, and
+// skewed senders' messages are buffered across round boundaries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rnd/kwise.hpp"
+
+namespace rlocal {
+
+/// One fault regime: which failures an engine run is subjected to. The
+/// canonical `name()` is the sweep-axis coordinate (store frames, cell-seed
+/// derivation, rlocald grouping), so it must round-trip through `parse()`.
+struct FaultSpec {
+  /// Per-delivery drop probability in [0, 1); each (directed edge, round)
+  /// delivery flips its own k-wise coin.
+  double drop_prob = 0.0;
+  /// Expected fraction of crash-stop nodes in [0, 1); each node flips one
+  /// coin, and a crashing node draws its crash round uniformly from
+  /// [1, crash_round_cap]. Crashed nodes stop participating (no on_round,
+  /// counted halted) but stay in the graph.
+  double crash_fraction = 0.0;
+  int crash_round_cap = 16;
+  /// Per-node delivery delay bound in rounds: each node draws a fixed skew
+  /// in [0, skew_max] and all its messages arrive that many rounds late.
+  int skew_max = 0;
+
+  /// True when any failure mode is active; a disabled spec is the implicit
+  /// "none" axis coordinate and costs the engine nothing.
+  bool enabled() const {
+    return drop_prob > 0.0 || crash_fraction > 0.0 || skew_max > 0;
+  }
+
+  static FaultSpec none() { return FaultSpec{}; }
+
+  /// Canonical coordinate name: "none", or "+"-joined active components,
+  /// e.g. "drop0.05", "crash0.1@8", "drop0.02+skew2".
+  std::string name() const;
+
+  /// Inverse of name(); nullopt on malformed or out-of-range text.
+  static std::optional<FaultSpec> parse(const std::string& text);
+};
+
+bool operator==(const FaultSpec& a, const FaultSpec& b);
+
+/// The realized fault trace of one engine run: pure decision functions over
+/// a dedicated k-wise stream. Construction draws the per-node crash/skew
+/// assignments once; drop coins are evaluated on demand per
+/// (destination, port, round) -- each directed edge has one delivery coin
+/// per round, so the trace is independent of slot visit order.
+class FaultSchedule {
+ public:
+  FaultSchedule(const FaultSpec& spec, std::uint64_t cell_seed, NodeId n);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// True when the delivery into `to` via its port `to_port` scheduled for
+  /// `round` is dropped. (to, to_port) names the directed edge, so the coin
+  /// is shared with no other delivery.
+  bool drop(NodeId to, int to_port, int round) const;
+
+  /// First round the node no longer participates in; -1 = never crashes.
+  int crash_round(NodeId v) const {
+    return crash_round_[static_cast<std::size_t>(v)];
+  }
+  bool crashed(NodeId v, int round) const {
+    const int c = crash_round(v);
+    return c >= 0 && round >= c;
+  }
+
+  /// Fixed delivery delay (rounds) of messages sent by `v`.
+  int skew(NodeId v) const { return skew_[static_cast<std::size_t>(v)]; }
+
+ private:
+  FaultSpec spec_;
+  KWiseGenerator stream_;
+  std::vector<int> crash_round_;  ///< per node; -1 = never
+  std::vector<int> skew_;         ///< per node delivery delay
+};
+
+}  // namespace rlocal

@@ -111,6 +111,18 @@ std::uint64_t sweep_fingerprint(const lab::Registry& registry,
     }
   }
 
+  // The fault axis is fed only when non-default (spelled out and not
+  // exactly {none}): the implicit reliable network must fingerprint like
+  // the axis never existed, so every pre-fault-plane store keeps resuming.
+  // Spelling {none} explicitly is likewise the identical record set.
+  const bool default_faults =
+      spec.faults.empty() ||
+      (spec.faults.size() == 1 && !spec.faults[0].enabled());
+  if (!default_faults) {
+    digest.feed("faults");
+    for (const FaultSpec& fault : spec.faults) digest.feed(fault.name());
+  }
+
   digest.feed("policy");
   digest.feed(static_cast<std::uint64_t>(spec.keep_unsupported ? 1 : 0));
   digest.feed(spec.cell_deadline_ms);

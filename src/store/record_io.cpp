@@ -20,6 +20,9 @@ void write_record_fields(JsonWriter& w, const lab::RunRecord& r,
   w.field("regime", r.regime);
   if (!r.variant.empty()) w.field("variant", r.variant);
   if (r.bandwidth_bits > 0) w.field("bandwidth_bits", r.bandwidth_bits);
+  // The fault coordinate is "" on the reliable grid, so no-fault frames
+  // stay byte-identical to their pre-/3 encoding (docs/faults.md).
+  if (!r.fault.empty()) w.field("fault", r.fault);
   w.field("seed", r.seed);
   if (r.skipped) {
     w.field("skipped", true);
@@ -37,6 +40,9 @@ void write_record_fields(JsonWriter& w, const lab::RunRecord& r,
   if (r.iterations >= 0) w.field("iterations", r.iterations);
   if (r.diameter >= 0) w.field("diameter", r.diameter);
   w.field("objective", r.objective);
+  // Quality (violation count) exists only on faulted cells; -1 = unset, so
+  // reliable frames never carry the key.
+  if (r.quality >= 0) w.field("quality", r.quality);
   w.field("shared_seed_bits", r.shared_seed_bits);
   w.field("derived_bits", r.derived_bits);
   if (include_wall_ms) w.field("wall_ms", r.wall_ms);
@@ -59,6 +65,18 @@ void write_record_fields(JsonWriter& w, const lab::RunRecord& r,
       w.field("msgs_p50", r.cost.msgs_per_round_p50);
       w.field("msgs_p95", r.cost.msgs_per_round_p95);
       w.field("msgs_max", r.cost.msgs_per_round_max);
+    }
+    // Faulted cells always carry the block (even all-zero: "ran under a
+    // fault schedule that happened to fire nothing" is itself data);
+    // reliable cells never do.
+    if (r.cost.faults_active) {
+      w.key("faults");
+      w.begin_object();
+      w.field("dropped_messages", r.cost.faults_dropped_messages);
+      w.field("dropped_bits", r.cost.faults_dropped_bits);
+      w.field("crashed_nodes", r.cost.faults_crashed_nodes);
+      w.field("skewed_deliveries", r.cost.faults_skewed_deliveries);
+      w.end_object();
     }
     w.end_object();
   }
@@ -114,9 +132,11 @@ std::optional<StoredRecord> decode_frame(std::string_view line) {
     r.error = v.string_or("error", "");
     r.colors = static_cast<int>(v.number_or("colors", -1));
     r.bandwidth_bits = static_cast<int>(v.number_or("bandwidth_bits", 0));
+    r.fault = v.string_or("fault", "");
     r.iterations = static_cast<int>(v.number_or("iterations", -1));
     r.diameter = static_cast<int>(v.number_or("diameter", -1));
     r.objective = v.number_or("objective", 0.0);
+    r.quality = static_cast<std::int64_t>(v.number_or("quality", -1));
     const JsonValue* shared_bits = v.find("shared_seed_bits");
     const JsonValue* derived_bits = v.find("derived_bits");
     if (shared_bits == nullptr || !shared_bits->is_number() ||
@@ -150,6 +170,18 @@ std::optional<StoredRecord> decode_frame(std::string_view line) {
           static_cast<std::int64_t>(block->number_or("msgs_p95", -1));
       r.cost.msgs_per_round_max =
           static_cast<std::int64_t>(block->number_or("msgs_max", -1));
+      if (const JsonValue* faults = block->find("faults");
+          faults != nullptr && faults->is_object()) {
+        r.cost.faults_active = true;
+        r.cost.faults_dropped_messages = static_cast<std::int64_t>(
+            faults->number_or("dropped_messages", 0));
+        r.cost.faults_dropped_bits =
+            static_cast<std::int64_t>(faults->number_or("dropped_bits", 0));
+        r.cost.faults_crashed_nodes = static_cast<std::int64_t>(
+            faults->number_or("crashed_nodes", 0));
+        r.cost.faults_skewed_deliveries = static_cast<std::int64_t>(
+            faults->number_or("skewed_deliveries", 0));
+      }
       // Mirror for the legacy observable (summary tables of resumed runs).
       r.rounds = r.cost.rounds < 0
                      ? -1

@@ -140,6 +140,10 @@ void write_manifest_json(std::ostream& out, const StoreManifest& manifest) {
   w.begin_array();
   for (const int bandwidth : manifest.bandwidths) w.value(bandwidth);
   w.end_array();
+  // Written only when the axis was spelled out: a default (implicit
+  // reliable-network) grid's manifest carries no faults key at all, in the
+  // same spirit as the frames omitting the fault coordinate.
+  if (!manifest.faults.empty()) string_array("faults", manifest.faults);
   w.key("seeds");
   w.begin_array();
   for (const std::uint64_t seed : manifest.seeds) w.value(seed);
@@ -187,6 +191,7 @@ StoreManifest parse_manifest(const std::string& path, const std::string& text) {
     manifest.graphs = strings("graphs");
     manifest.regimes = strings("regimes");
     manifest.variants = strings("variants");
+    manifest.faults = strings("faults");
     if (const JsonValue* bandwidths = spec->find("bandwidth_bits");
         bandwidths != nullptr && bandwidths->is_array()) {
       for (const JsonValue& bandwidth : bandwidths->as_array()) {

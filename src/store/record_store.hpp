@@ -28,10 +28,13 @@
 
 namespace rlocal::store {
 
-// /2: frames carry the typed cost block + bandwidth coordinate and the
-// manifest echoes the bandwidth axis (ISSUE 4). /1 stores predate the cost
-// ledger and cannot be resumed (their fingerprints use the /1 rule anyway).
-inline constexpr const char* kStoreSchema = "rlocal.store/2";
+// /3: frames may carry the fault coordinate, the quality score and the
+// cost block's faults section, and the manifest echoes the fault axis
+// (docs/faults.md). Reliable cells serialize none of the new fields, so /3
+// frames of a no-fault grid are byte-identical to /2 frames -- only the
+// manifest tag moves. /2: typed cost block + bandwidth coordinate (ISSUE
+// 4). Pre-/3 stores cannot be resumed (matching the /1 -> /2 precedent).
+inline constexpr const char* kStoreSchema = "rlocal.store/3";
 
 struct StoreManifest {
   std::string fingerprint;  ///< 16-hex canonical spec fingerprint
@@ -47,6 +50,9 @@ struct StoreManifest {
   std::vector<std::string> regimes;
   std::vector<std::string> variants;
   std::vector<int> bandwidths;  ///< bandwidth axis; empty = implicit {0}
+  /// Fault axis (canonical FaultSpec names, "none" for the reliable
+  /// coordinate); empty = implicit {none}.
+  std::vector<std::string> faults;
   std::vector<std::uint64_t> seeds;
   double cell_deadline_ms = 0;
   /// Randomness backend active when the store was created (rnd/dispatch.hpp

@@ -1,0 +1,388 @@
+// The fault-injection plane (docs/faults.md): FaultSpec grammar, schedule
+// determinism, engine drop/crash/skew semantics and metering, the
+// algorithm-randomness firewall (fault coins never advance the
+// NodeRandomness ledgers), quality scoring, and the sweep-level contract --
+// thread-count invariance, claimed drains, kill+resume, and the implicit
+// reliable axis staying byte-identical to a fault-free grid.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "core/api.hpp"
+#include "service/service.hpp"
+#include "store/store.hpp"
+
+namespace rlocal {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- FaultSpec grammar ----------------------------------------------------
+
+TEST(FaultSpec, NameParseRoundTrips) {
+  for (const char* text :
+       {"none", "drop0.05", "crash0.1@8", "skew2", "drop0.02+skew1",
+        "drop0.25+crash0.5@4+skew3"}) {
+    const auto spec = FaultSpec::parse(text);
+    ASSERT_TRUE(spec.has_value()) << text;
+    EXPECT_EQ(spec->name(), text);
+    // name() is the canonical coordinate, so it must parse back to an
+    // equal spec (the round trip the sweep axis and store depend on).
+    const auto again = FaultSpec::parse(spec->name());
+    ASSERT_TRUE(again.has_value()) << text;
+    EXPECT_TRUE(*again == *spec) << text;
+  }
+  EXPECT_FALSE(FaultSpec::parse("none").value().enabled());
+  EXPECT_TRUE(FaultSpec::parse("drop0.05").value().enabled());
+}
+
+TEST(FaultSpec, RejectsMalformedAndOutOfRange) {
+  for (const char* text :
+       {"", "bogus", "drop", "drop1.0", "drop-0.1", "crash1.0@4",
+        "crash0.5@0", "skew-1", "drop0.1++skew1", "drop0.1+",
+        "drop0.1 skew1"}) {
+    EXPECT_FALSE(FaultSpec::parse(text).has_value()) << text;
+  }
+  // An omitted crash-round cap is the documented default, not an error.
+  const auto defaulted = FaultSpec::parse("crash0.5");
+  ASSERT_TRUE(defaulted.has_value());
+  EXPECT_EQ(defaulted->crash_round_cap, 16);
+}
+
+// ---- FaultSchedule determinism --------------------------------------------
+
+/// Canonical spelling of a schedule's full decision surface over a small
+/// (node, port, round) box -- two schedules are "the same fault trace" iff
+/// these bytes match.
+std::string schedule_trace(const FaultSchedule& schedule, NodeId n) {
+  std::ostringstream out;
+  for (NodeId v = 0; v < n; ++v) {
+    out << schedule.crash_round(v) << '/' << schedule.skew(v) << ';';
+    for (int port = 0; port < 4; ++port) {
+      for (int round = 0; round < 32; ++round) {
+        out << (schedule.drop(v, port, round) ? '1' : '0');
+      }
+    }
+  }
+  return out.str();
+}
+
+TEST(FaultSchedule, SameSeedSameTraceDifferentSeedDiffers) {
+  const FaultSpec spec = FaultSpec::parse("drop0.3+crash0.4@8+skew2").value();
+  const NodeId n = 48;
+  const FaultSchedule a(spec, /*cell_seed=*/1234, n);
+  const FaultSchedule b(spec, /*cell_seed=*/1234, n);
+  const FaultSchedule c(spec, /*cell_seed=*/1235, n);
+  EXPECT_EQ(schedule_trace(a, n), schedule_trace(b, n));
+  EXPECT_NE(schedule_trace(a, n), schedule_trace(c, n));
+}
+
+TEST(FaultSchedule, CrashRoundsLandInsideTheCap) {
+  FaultSpec spec;
+  spec.crash_fraction = 0.999999;  // effectively everyone crashes
+  spec.crash_round_cap = 4;
+  const NodeId n = 64;
+  const FaultSchedule schedule(spec, 7, n);
+  int crashed = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const int round = schedule.crash_round(v);
+    if (round < 0) continue;
+    ++crashed;
+    EXPECT_GE(round, 1);  // round 0 (on_start) always runs
+    EXPECT_LE(round, spec.crash_round_cap);
+  }
+  EXPECT_GT(crashed, n / 2);
+
+  const FaultSchedule reliable(FaultSpec::none(), 7, n);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(reliable.crash_round(v), -1);
+    EXPECT_EQ(reliable.skew(v), 0);
+    EXPECT_FALSE(reliable.drop(v, 0, 1));
+  }
+}
+
+// ---- Engine semantics + the randomness firewall ---------------------------
+
+TEST(FaultEngine, DropsAreMeteredAndDeterministic) {
+  const Graph g = make_gnp(40, 0.2, 11);
+  EngineOptions options;
+  options.faults = FaultSpec::parse("drop0.3").value();
+  options.fault_seed = 99;
+
+  NodeRandomness rnd_a(Regime::full(), 5);
+  const LubyMisResult a = run_luby_mis(g, rnd_a, 0, options);
+  EXPECT_TRUE(a.stats.faulted);
+  EXPECT_GT(a.stats.dropped_messages, 0);
+  EXPECT_GT(a.stats.dropped_bits, 0);
+  EXPECT_EQ(a.stats.crashed_nodes, 0);
+  EXPECT_EQ(a.stats.skewed_deliveries, 0);
+
+  // The same (spec, fault_seed, algorithm seed) reproduces the run byte
+  // for byte -- drops, output, everything.
+  NodeRandomness rnd_b(Regime::full(), 5);
+  const LubyMisResult b = run_luby_mis(g, rnd_b, 0, options);
+  EXPECT_EQ(a.in_mis, b.in_mis);
+  EXPECT_EQ(a.stats.dropped_messages, b.stats.dropped_messages);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(rnd_a.derived_bits(), rnd_b.derived_bits());
+}
+
+TEST(FaultEngine, CrashedNodesStopButTheRunCompletes) {
+  const Graph g = make_gnp(40, 0.2, 11);
+  EngineOptions options;
+  options.faults.crash_fraction = 0.999999;
+  options.faults.crash_round_cap = 1;  // everyone who crashes dies at round 1
+  options.fault_seed = 3;
+  NodeRandomness rnd(Regime::full(), 5);
+  const LubyMisResult r = run_luby_mis(g, rnd, 0, options);
+  EXPECT_TRUE(r.stats.completed);  // crashed nodes count as halted
+  EXPECT_GT(r.stats.crashed_nodes, 20);
+}
+
+TEST(FaultEngine, SkewDelaysDeliveriesAcrossRounds) {
+  const Graph g = make_gnp(40, 0.2, 11);
+  EngineOptions options;
+  options.faults.skew_max = 2;
+  options.fault_seed = 42;
+  NodeRandomness rnd(Regime::full(), 5);
+  const LubyMisResult r = run_luby_mis(g, rnd, 0, options);
+  EXPECT_TRUE(r.stats.faulted);
+  EXPECT_GT(r.stats.skewed_deliveries, 0);
+  EXPECT_EQ(r.stats.dropped_messages, 0);  // skewed, never lost
+}
+
+TEST(FaultEngine, ArmedScheduleNeverAdvancesAlgorithmLedgers) {
+  // An armed-but-inert schedule (a crash fraction so small nobody crashes
+  // for this seed) must leave the run indistinguishable from a reliable
+  // one: same output, same rounds, and -- the firewall this plane is built
+  // on -- the same NodeRandomness ledgers. Fault coins come from their own
+  // k-wise stream, never from algorithm randomness.
+  const Graph g = make_gnp(40, 0.2, 11);
+  EngineOptions faulty;
+  faulty.faults.crash_fraction = 1e-12;
+  faulty.fault_seed = 17;
+  const FaultSchedule schedule(faulty.faults, faulty.fault_seed,
+                               g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(schedule.crash_round(v), -1);  // inert for this seed
+  }
+
+  NodeRandomness rnd_faulty(Regime::shared_kwise(4096), 5);
+  const LubyMisResult with = run_luby_mis(g, rnd_faulty, 0, faulty);
+  NodeRandomness rnd_clean(Regime::shared_kwise(4096), 5);
+  const LubyMisResult without = run_luby_mis(g, rnd_clean, 0, {});
+
+  EXPECT_TRUE(with.stats.faulted);
+  EXPECT_FALSE(without.stats.faulted);
+  EXPECT_EQ(with.in_mis, without.in_mis);
+  EXPECT_EQ(with.stats.rounds, without.stats.rounds);
+  EXPECT_EQ(rnd_faulty.shared_seed_bits(), rnd_clean.shared_seed_bits());
+  EXPECT_EQ(rnd_faulty.derived_bits(), rnd_clean.derived_bits());
+}
+
+// ---- Quality scoring ------------------------------------------------------
+
+TEST(FaultQuality, MisQualityCountsViolationsAndUncovered) {
+  // Path 0-1-2-3: {0,1} has one independence violation (edge 0-1) and
+  // leaves 3 uncovered.
+  const Graph path = make_path(4);
+  EXPECT_EQ(mis_quality(path, {true, true, false, false}), 2);
+  EXPECT_EQ(mis_quality(path, {true, false, true, false}), 0);  // valid MIS
+  EXPECT_EQ(mis_quality(path, {false, false, false, false}), 4);
+}
+
+TEST(FaultQuality, ColoringQualityCountsMonochromeAndUncolored) {
+  const Graph path = make_path(4);
+  EXPECT_EQ(coloring_quality(path, {0, 0, 1, -1}), 2);  // edge 0-1 + node 3
+  EXPECT_EQ(coloring_quality(path, {0, 1, 0, 1}), 0);
+  EXPECT_EQ(coloring_quality(path, {2, 2, 2, 2}), 3);  // every edge clashes
+}
+
+// ---- Sweep-level contract -------------------------------------------------
+
+class FaultSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("rlocal_faults_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::remove_all(dir_ + "_b");
+  }
+  void TearDown() override {
+    fs::remove_all(dir_);
+    fs::remove_all(dir_ + "_b");
+  }
+
+  std::string dir_;
+};
+
+/// 1 solver x 1 graph x 2 regimes x 2 seeds x 3 fault coordinates = 12
+/// cells, none skipped (mis/luby supports faults via the engine path).
+lab::SweepSpec fault_spec() {
+  lab::SweepSpec spec;
+  spec.graphs = {{"gnp", make_gnp(32, 0.15, 9)}};
+  spec.regimes = {Regime::full(), Regime::kwise(64)};
+  spec.seeds = {1, 2};
+  spec.solvers = {"mis/luby"};
+  spec.faults = {FaultSpec::none(), FaultSpec::parse("drop0.2").value(),
+                 FaultSpec::parse("crash0.3@4").value()};
+  spec.threads = 2;
+  return spec;
+}
+
+std::string canonical(const std::vector<store::StoredRecord>& records) {
+  std::ostringstream out;
+  for (const store::StoredRecord& stored : records) {
+    out << stored.cell_index << ' ' << stored.cell_seed << ' '
+        << store::canonical_record_json(stored.record) << '\n';
+  }
+  return out.str();
+}
+
+std::string store_bytes(const std::string& dir) {
+  return canonical(store::RecordStore::open(dir).read_all());
+}
+
+TEST_F(FaultSweepTest, FaultedCellsScoreQualityReliableCellsDoNot) {
+  const lab::SweepResult result = sweep(fault_spec());
+  EXPECT_EQ(result.cells_failed, 0);
+  EXPECT_EQ(result.cells_skipped, 0);
+  int faulted = 0, reliable = 0;
+  for (const lab::RunRecord& r : result.records) {
+    if (r.fault.empty()) {
+      ++reliable;
+      EXPECT_EQ(r.quality, -1);  // reliable cells keep pass/fail semantics
+      EXPECT_FALSE(r.cost.faults_active);
+    } else {
+      ++faulted;
+      EXPECT_TRUE(r.success);  // quality replaces pass/fail under faults
+      EXPECT_GE(r.quality, 0);
+      EXPECT_TRUE(r.cost.faults_active);
+    }
+  }
+  EXPECT_EQ(reliable, 4);
+  EXPECT_EQ(faulted, 8);
+}
+
+TEST_F(FaultSweepTest, ThreadCountNeverChangesTheStore) {
+  lab::SweepSpec one = fault_spec();
+  one.threads = 1;
+  lab::run_sweep(one, lab::StoreOptions{dir_, false});
+
+  lab::SweepSpec many = fault_spec();
+  many.threads = 4;
+  lab::run_sweep(many, lab::StoreOptions{dir_ + "_b", false});
+
+  EXPECT_EQ(store_bytes(dir_), store_bytes(dir_ + "_b"));
+}
+
+TEST_F(FaultSweepTest, ConcurrentClaimersDrainFaultGridByteIdentically) {
+  auto claimer = [this](const std::string& owner) {
+    lab::SweepSpec spec = fault_spec();
+    spec.threads = 1;
+    lab::StoreOptions options;
+    options.dir = dir_;
+    options.claim = true;
+    options.claim_owner = owner;
+    options.claim_range_cells = 3;
+    lab::run_sweep(spec, options);
+  };
+  std::thread a(claimer, "alpha"), b(claimer, "beta");
+  a.join();
+  b.join();
+
+  lab::run_sweep(fault_spec(), lab::StoreOptions{dir_ + "_b", false});
+  EXPECT_EQ(store_bytes(dir_), store_bytes(dir_ + "_b"));
+}
+
+TEST_F(FaultSweepTest, KillAndResumeRestoresTheSameBytes) {
+  lab::SweepSpec partial = fault_spec();
+  partial.max_cells = 5;  // simulated kill mid-grid
+  lab::run_sweep(partial, lab::StoreOptions{dir_, false});
+
+  const lab::SweepResult resumed = lab::run_sweep(
+      fault_spec(), lab::StoreOptions{dir_, /*resume=*/true});
+  EXPECT_EQ(resumed.cells_resumed, 5);
+  EXPECT_EQ(resumed.cells_run, 7);
+
+  lab::run_sweep(fault_spec(), lab::StoreOptions{dir_ + "_b", false});
+  EXPECT_EQ(store_bytes(dir_), store_bytes(dir_ + "_b"));
+}
+
+TEST_F(FaultSweepTest, ImplicitReliableAxisIsInvisible) {
+  // Spelling out faults = {none} must change nothing: same fingerprint,
+  // same store bytes, same cell seeds as a spec with no fault axis at all.
+  // This is the guarantee that keeps every pre-fault-plane store resumable
+  // and byte-identical.
+  lab::SweepSpec plain = fault_spec();
+  plain.faults.clear();
+  lab::SweepSpec spelled = fault_spec();
+  spelled.faults = {FaultSpec::none()};
+
+  const lab::Registry& registry = lab::Registry::global();
+  EXPECT_EQ(store::sweep_fingerprint(registry, plain),
+            store::sweep_fingerprint(registry, spelled));
+  // A non-default axis is a different grid.
+  EXPECT_NE(store::sweep_fingerprint(registry, fault_spec()),
+            store::sweep_fingerprint(registry, plain));
+
+  lab::run_sweep(plain, lab::StoreOptions{dir_, false});
+  lab::run_sweep(spelled, lab::StoreOptions{dir_ + "_b", false});
+  EXPECT_EQ(store_bytes(dir_), store_bytes(dir_ + "_b"));
+}
+
+// ---- Store frames ---------------------------------------------------------
+
+TEST(FaultStore, ReliableFramesCarryNoFaultFields) {
+  store::StoredRecord stored;
+  stored.cell_index = 1;
+  stored.cell_seed = 2;
+  stored.record.solver = "mis/luby";
+  stored.record.problem = "mis";
+  stored.record.graph = "g";
+  stored.record.regime = "full";
+  const std::string frame = store::encode_frame(stored);
+  EXPECT_EQ(frame.find("\"fault\""), std::string::npos);
+  EXPECT_EQ(frame.find("\"quality\""), std::string::npos);
+  EXPECT_EQ(frame.find("\"faults\""), std::string::npos);
+}
+
+TEST(FaultStore, FaultedFramesRoundTripByteIdentically) {
+  store::StoredRecord stored;
+  stored.cell_index = 3;
+  stored.cell_seed = 4;
+  lab::RunRecord& r = stored.record;
+  r.solver = "mis/luby";
+  r.problem = "mis";
+  r.graph = "g";
+  r.regime = "kwise(64)";
+  r.fault = "drop0.1+skew2";
+  r.success = true;
+  r.checker_passed = true;
+  r.quality = 7;
+  r.cost.populated = true;
+  r.cost.rounds = 9;
+  r.cost.faults_active = true;
+  r.cost.faults_dropped_messages = 12;
+  r.cost.faults_dropped_bits = 768;
+  r.cost.faults_crashed_nodes = 0;
+  r.cost.faults_skewed_deliveries = 5;
+  const std::string frame = store::encode_frame(stored);
+  const auto decoded = store::decode_frame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->record.fault, "drop0.1+skew2");
+  EXPECT_EQ(decoded->record.quality, 7);
+  EXPECT_TRUE(decoded->record.cost.faults_active);
+  EXPECT_EQ(decoded->record.cost.faults_dropped_messages, 12);
+  EXPECT_EQ(decoded->record.cost.faults_skewed_deliveries, 5);
+  EXPECT_EQ(store::encode_frame(*decoded), frame);  // byte-identical
+}
+
+}  // namespace
+}  // namespace rlocal
